@@ -1,0 +1,54 @@
+//! Criterion benches for the tensor substrate: monolithic inference vs
+//! halo-region inference, and the split/stitch primitives of the Fig. 6
+//! workflow (which the paper found must be memory-level operations to be
+//! negligible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pico_model::{zoo, Rows};
+use pico_tensor::{Engine, Tensor};
+
+fn bench_inference(c: &mut Criterion) {
+    let model = zoo::mnist_toy();
+    let engine = Engine::with_seed(&model, 1);
+    let input = Tensor::random(model.input_shape(), 2);
+    let seg = model.full_segment();
+    let h = model.output_shape().height;
+
+    c.bench_function("mnist_toy_full_inference", |b| {
+        b.iter(|| engine.infer(&input).unwrap())
+    });
+    c.bench_function("mnist_toy_quarter_region", |b| {
+        let rows = Rows::new(0, h / 4);
+        let tile = input
+            .slice_rows(model.segment_input_rows(seg, rows))
+            .unwrap();
+        b.iter(|| engine.infer_region(seg, rows, &tile).unwrap())
+    });
+}
+
+fn bench_split_stitch(c: &mut Criterion) {
+    let model = zoo::vgg16();
+    // conv1_1 output: 64 x 224 x 224 (~12.8 MB), the paper's worst case
+    // for split/stitch overhead.
+    let fmap = Tensor::random(model.unit_output_shape(0), 3);
+    let shares = pico_model::rows_split_even(Rows::full(224), 8);
+
+    c.bench_function("split_224x224x64_into_8", |b| {
+        b.iter(|| {
+            shares
+                .iter()
+                .map(|r| fmap.slice_rows(*r).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    let tiles: Vec<Tensor> = shares
+        .iter()
+        .map(|r| fmap.slice_rows(*r).unwrap())
+        .collect();
+    c.bench_function("stitch_8_into_224x224x64", |b| {
+        b.iter(|| Tensor::stitch_rows(&tiles).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_split_stitch);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches behind Table II: planner wall-time as the problem
+//! grows. PICO stays sub-millisecond-to-millisecond while the BFS
+//! optimal search explodes combinatorially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pico_model::zoo;
+use pico_partition::{BfsOptimal, Cluster, CostParams, PicoPlanner, Planner};
+
+fn bench_pico_planner(c: &mut Criterion) {
+    let params = CostParams::wifi_50mbps();
+    let mut group = c.benchmark_group("pico_planner");
+    for (layers, devices) in [(4usize, 4usize), (8, 4), (16, 4), (8, 8), (16, 8)] {
+        let model = zoo::toy(layers);
+        let cluster = Cluster::pi_cluster(devices, 1.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}L_{devices}D")),
+            &(model, cluster),
+            |b, (model, cluster)| {
+                b.iter(|| PicoPlanner::new().plan(model, cluster, &params).unwrap())
+            },
+        );
+    }
+    // Real models, the scale BFS can never touch.
+    for model in [zoo::vgg16().features(), zoo::yolov2()] {
+        let cluster = Cluster::paper_heterogeneous();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name().to_owned()),
+            &model,
+            |b, model| b.iter(|| PicoPlanner::new().plan(model, &cluster, &params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bfs_small(c: &mut Criterion) {
+    let params = CostParams::wifi_50mbps();
+    let mut group = c.benchmark_group("bfs_optimal");
+    group.sample_size(10);
+    for (layers, devices) in [(4usize, 4usize), (6, 4), (8, 4)] {
+        let model = zoo::toy(layers);
+        let cluster = Cluster::pi_cluster(devices, 1.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}L_{devices}D")),
+            &(model, cluster),
+            |b, (model, cluster)| {
+                b.iter(|| BfsOptimal::new().search(model, cluster, &params).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pico_planner, bench_bfs_small);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the queueing simulator and cost model — the
+//! substrate every figure's sweep runs on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pico_model::zoo;
+use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+use pico_sim::{Arrivals, Simulation};
+
+fn bench_simulation(c: &mut Criterion) {
+    let model = zoo::vgg16().features();
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    let params = CostParams::wifi_50mbps();
+    let plan = PicoPlanner::new().plan(&model, &cluster, &params).unwrap();
+    let sim = Simulation::new(&model, &cluster, &params);
+
+    c.bench_function("closed_loop_1000_tasks", |b| {
+        b.iter(|| sim.run(&plan, &Arrivals::closed_loop(1000)))
+    });
+    let arrivals = Arrivals::poisson(0.5, 2000.0, 7);
+    c.bench_function("poisson_1000s_stream", |b| {
+        b.iter(|| sim.run(&plan, &arrivals))
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = zoo::yolov2();
+    let cluster = Cluster::paper_heterogeneous();
+    let params = CostParams::wifi_50mbps();
+    let plan = PicoPlanner::new().plan(&model, &cluster, &params).unwrap();
+    let cm = params.cost_model(&model);
+
+    c.bench_function("evaluate_yolov2_plan", |b| {
+        b.iter(|| cm.evaluate(&plan, &cluster))
+    });
+    c.bench_function("redundancy_yolov2_plan", |b| {
+        b.iter(|| pico_partition::redundancy::plan_work(&model, &plan))
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the ablation studies (beyond the paper's evaluation): share
+//! balancing, bandwidth sweep, T_lim trade-off, strip-vs-grid
+//! partitioning, and per-scheme memory footprints.
+fn main() {
+    pico_bench::ablation::print_all();
+}

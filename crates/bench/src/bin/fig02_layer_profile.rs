@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2: per-layer communication/computation shares.
+fn main() {
+    pico_bench::fig02::print(&pico_bench::fig02::run());
+}

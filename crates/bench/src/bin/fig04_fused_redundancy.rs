@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4: fused-layer FLOPs vs devices and fused layers.
+fn main() {
+    pico_bench::fig04::print(&pico_bench::fig04::run());
+}

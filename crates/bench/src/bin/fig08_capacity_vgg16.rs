@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8: cluster capacity for VGG16.
+fn main() {
+    pico_bench::fig08::print(
+        "Fig. 8 — cluster capacity, VGG16",
+        &pico_bench::fig08::run(),
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9: cluster capacity for YOLOv2.
+fn main() {
+    pico_bench::fig09::print(
+        "Fig. 9 — cluster capacity, YOLOv2",
+        &pico_bench::fig09::run(),
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10: average latency vs workload for VGG16.
+fn main() {
+    pico_bench::fig10::print(
+        "Fig. 10 — avg latency vs workload, VGG16",
+        &pico_bench::fig10::run(),
+    );
+}

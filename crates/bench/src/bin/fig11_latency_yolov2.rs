@@ -1,0 +1,9 @@
+//! Regenerates Fig. 11: average latency vs workload for YOLOv2.
+fn main() {
+    let rows = pico_bench::fig11::run();
+    pico_bench::fig11::print("Fig. 11a — avg latency vs workload, YOLOv2", &rows);
+    println!("# Fig. 11b — latency at 100% workload");
+    for r in pico_bench::fig11::breakdown_at_full_load(&rows) {
+        println!("{},{},{:.3}", r.ghz, r.scheme, r.avg_latency);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12: speedup for graph-based CNNs.
+fn main() {
+    pico_bench::fig12::print(&pico_bench::fig12::run());
+}

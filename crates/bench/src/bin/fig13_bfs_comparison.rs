@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13: PICO vs BFS utilization/redundancy.
+fn main() {
+    pico_bench::fig13::print(&pico_bench::fig13::run());
+}

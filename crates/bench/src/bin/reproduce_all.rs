@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper in one run.
+//! Output is the concatenation of all per-experiment CSV blocks.
+fn main() {
+    pico_bench::fig02::print(&pico_bench::fig02::run());
+    pico_bench::fig04::print(&pico_bench::fig04::run());
+    pico_bench::fig08::print(
+        "Fig. 8 — cluster capacity, VGG16",
+        &pico_bench::fig08::run(),
+    );
+    pico_bench::fig09::print(
+        "Fig. 9 — cluster capacity, YOLOv2",
+        &pico_bench::fig09::run(),
+    );
+    pico_bench::fig10::print(
+        "Fig. 10 — avg latency vs workload, VGG16",
+        &pico_bench::fig10::run(),
+    );
+    let rows11 = pico_bench::fig11::run();
+    pico_bench::fig11::print("Fig. 11a — avg latency vs workload, YOLOv2", &rows11);
+    println!("# Fig. 11b — latency at 100% workload");
+    for r in pico_bench::fig11::breakdown_at_full_load(&rows11) {
+        println!("{},{},{:.3}", r.ghz, r.scheme, r.avg_latency);
+    }
+    println!();
+    pico_bench::fig12::print(&pico_bench::fig12::run());
+    pico_bench::table1::print(&pico_bench::table1::run());
+    pico_bench::table2::print(&pico_bench::table2::run());
+    pico_bench::fig13::print(&pico_bench::fig13::run());
+}

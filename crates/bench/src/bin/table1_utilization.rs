@@ -1,0 +1,4 @@
+//! Regenerates Table I: per-device utilization/redundancy.
+fn main() {
+    pico_bench::table1::print(&pico_bench::table1::run());
+}

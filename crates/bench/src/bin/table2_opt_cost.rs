@@ -1,0 +1,5 @@
+//! Regenerates Table II: PICO vs BFS planner wall-time.
+//! Set `PICO_BFS_BUDGET_SECS` to change the per-cell BFS budget.
+fn main() {
+    pico_bench::table2::print(&pico_bench::table2::run());
+}

@@ -1,0 +1,80 @@
+//! Fig. 2 — "The communication and computation overhead of each layer"
+//! for VGG16 and YOLOv2: per-layer FLOPs share and output-traffic share.
+
+use pico_model::profile::{conv_flops_share, layer_profile, UnitProfile};
+use pico_model::{zoo, Model};
+
+/// The Fig. 2 data for one model.
+#[derive(Debug, Clone)]
+pub struct Fig02 {
+    /// Model name.
+    pub model: String,
+    /// Per-unit profile rows, model order.
+    pub rows: Vec<UnitProfile>,
+    /// Fraction of total FLOPs coming from convolutions (the paper's
+    /// 99.19% / 99.59% observation).
+    pub conv_share: f64,
+}
+
+/// Profiles one model.
+pub fn run_model(model: &Model) -> Fig02 {
+    Fig02 {
+        model: model.name().to_owned(),
+        rows: layer_profile(model),
+        conv_share: conv_flops_share(model),
+    }
+}
+
+/// Profiles both Fig. 2 models (VGG16 incl. FC layers, YOLOv2).
+pub fn run() -> Vec<Fig02> {
+    vec![run_model(&zoo::vgg16()), run_model(&zoo::yolov2())]
+}
+
+/// Prints the Fig. 2 series as CSV-ish text.
+pub fn print(results: &[Fig02]) {
+    for fig in results {
+        println!(
+            "# Fig. 2 ({}) — conv FLOPs share {:.2}%",
+            fig.model,
+            100.0 * fig.conv_share
+        );
+        println!("layer,name,computation_share,communication_share");
+        for r in &fig.rows {
+            println!(
+                "{},{},{:.4},{:.4}",
+                r.index, r.name, r.flops_share, r.comm_share
+            );
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shares_match_paper() {
+        let results = run();
+        // Paper: 99.19% (VGG16) and 99.59% (YOLOv2).
+        assert!(
+            (results[0].conv_share - 0.9919).abs() < 0.01,
+            "{}",
+            results[0].conv_share
+        );
+        assert!(results[1].conv_share > 0.99, "{}", results[1].conv_share);
+    }
+
+    #[test]
+    fn early_layers_dominate_communication() {
+        // Fig. 2's visual: communication share concentrates in early
+        // (large-feature-map) layers, computation in the middle/late
+        // conv layers.
+        let vgg = &run()[0];
+        let first_half_comm: f64 = vgg.rows[..vgg.rows.len() / 2]
+            .iter()
+            .map(|r| r.comm_share)
+            .sum();
+        assert!(first_half_comm > 0.8, "{first_half_comm}");
+    }
+}

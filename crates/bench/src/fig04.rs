@@ -1,0 +1,79 @@
+//! Fig. 4 — "Computation overhead with different partition settings":
+//! FLOPs per device (4a) and total FLOPs (4b) when fusing the first `n`
+//! layers of VGG16 across `p` devices.
+
+use pico_model::zoo;
+use pico_partition::redundancy::{fused_layer_flops, FusedFlopsPoint};
+
+/// Sweeps devices x fused-units over VGG16's feature extractor.
+pub fn run() -> Vec<FusedFlopsPoint> {
+    let model = zoo::vgg16().features();
+    let mut out = Vec::new();
+    for devices in 1..=8usize {
+        for fused in 1..=13usize.min(model.len()) {
+            out.push(fused_layer_flops(&model, fused, devices));
+        }
+    }
+    out
+}
+
+/// Prints both panels as CSV.
+pub fn print(points: &[FusedFlopsPoint]) {
+    println!("# Fig. 4a/4b (VGG16) — fused-layer FLOPs");
+    println!("devices,fused_units,per_device_gflops,total_gflops,monolithic_gflops,redundancy");
+    for p in points {
+        let red = (p.total_flops - p.monolithic_flops) / p.total_flops;
+        println!(
+            "{},{},{:.3},{:.3},{:.3},{:.4}",
+            p.devices,
+            p.fused_units,
+            p.per_device_flops / 1e9,
+            p.total_flops / 1e9,
+            p.monolithic_flops / 1e9,
+            red
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(points: &[FusedFlopsPoint], devices: usize, fused: usize) -> &FusedFlopsPoint {
+        points
+            .iter()
+            .find(|p| p.devices == devices && p.fused_units == fused)
+            .expect("point in sweep")
+    }
+
+    #[test]
+    fn redundancy_grows_with_devices_and_depth() {
+        let pts = run();
+        let red = |d, f| {
+            let p = at(&pts, d, f);
+            (p.total_flops - p.monolithic_flops) / p.total_flops
+        };
+        // More devices at fixed depth -> more total redundancy.
+        assert!(red(8, 8) > red(2, 8));
+        // Deeper fusion at fixed devices -> more redundancy.
+        assert!(red(8, 12) > red(8, 4));
+        // Single device: none.
+        assert!(red(1, 13) < 1e-12);
+    }
+
+    #[test]
+    fn per_device_flops_fall_then_flatten() {
+        // Fig. 4a: parallelism helps, but redundancy erodes the gain on
+        // deep fusion — per-device work at 8 devices is far more than
+        // total/8.
+        let pts = run();
+        let deep1 = at(&pts, 1, 12).per_device_flops;
+        let deep8 = at(&pts, 8, 12).per_device_flops;
+        assert!(deep8 < deep1);
+        assert!(
+            deep8 > deep1 / 8.0 * 1.1,
+            "deep fusion should not scale ideally"
+        );
+    }
+}

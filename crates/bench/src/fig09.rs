@@ -1,0 +1,56 @@
+//! Fig. 9 — "The cluster capacity when executing YOLOv2": the Fig. 8
+//! sweep on the deeper model, where layer-wise parallelization collapses
+//! under its own communication.
+
+use pico_model::zoo;
+
+pub use crate::fig08::{print, CapacityRow};
+
+/// The YOLOv2 capacity sweep.
+pub fn run() -> Vec<CapacityRow> {
+    crate::fig08::run_for(&zoo::yolov2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FREQS_GHZ;
+    use pico_partition::Scheme;
+
+    #[test]
+    fn yolov2_capacity_shape() {
+        crate::fig08::assert_capacity_shape(&run());
+    }
+
+    #[test]
+    fn layer_wise_gains_little_from_devices_when_fast() {
+        // The paper's observation: with rich compute (their 1 GHz case),
+        // adding devices barely helps LW on YOLOv2 because per-layer
+        // communication dominates.
+        let rows = run();
+        let fastest = FREQS_GHZ[2];
+        let lw = |d: usize| {
+            rows.iter()
+                .find(|r| r.ghz == fastest && r.devices == d && r.scheme == Scheme::LayerWise)
+                .expect("row present")
+                .tasks_per_min
+        };
+        let gain = lw(8) / lw(1);
+        assert!(
+            gain < 2.0,
+            "LW gained {gain}x from 8 devices at {fastest} GHz"
+        );
+        // ...while PICO keeps scaling with the same devices.
+        let pico = |d: usize| {
+            rows.iter()
+                .find(|r| r.ghz == fastest && r.devices == d && r.scheme == Scheme::Pico)
+                .expect("row present")
+                .tasks_per_min
+        };
+        assert!(
+            pico(8) / pico(1) > 2.0 * gain,
+            "PICO gain {} vs LW gain {gain}",
+            pico(8) / pico(1)
+        );
+    }
+}

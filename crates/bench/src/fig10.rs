@@ -1,0 +1,129 @@
+//! Fig. 10 — "The average latency of different algorithms for VGG16":
+//! average inference latency (waiting + processing) under Poisson
+//! arrivals at 40–150 % of the cluster capacity, for EFL / OFL / PICO /
+//! APICO. The paper defines cluster capacity as the EFL scheme's
+//! throughput.
+
+use pico_core::Pico;
+use pico_model::{zoo, Model};
+use pico_partition::{Cluster, CostParams, EarlyFused, OptimalFused, Planner};
+use pico_sim::{Arrivals, Simulation};
+
+use crate::FREQS_GHZ;
+
+/// Workload levels as fractions of EFL capacity.
+pub const LOADS: [f64; 12] = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5];
+
+/// One (frequency, load, scheme) sample.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// CPU frequency in GHz.
+    pub ghz: f64,
+    /// Workload as a fraction of EFL capacity.
+    pub load: f64,
+    /// Scheme label (`EFL`, `OFL`, `PICO`, `APICO`).
+    pub scheme: &'static str,
+    /// Average inference latency (s), mean over 3 seeded runs.
+    pub avg_latency: f64,
+}
+
+/// Runs the workload sweep for one model on an 8-device cluster.
+pub fn run_for(model: &Model) -> Vec<LatencyRow> {
+    let params = CostParams::wifi_50mbps();
+    let mut rows = Vec::new();
+    for ghz in FREQS_GHZ {
+        let cluster = Cluster::pi_cluster(8, ghz);
+        let pico = Pico::new(model.clone(), cluster.clone());
+        let efl = EarlyFused::new()
+            .plan(model, &cluster, &params)
+            .expect("EFL plans");
+        let ofl = OptimalFused::new()
+            .plan(model, &cluster, &params)
+            .expect("OFL plans");
+        let pipeline = pico.plan().expect("PICO plans");
+        let capacity = 1.0 / pico.predict(&efl).period;
+        // "We execute the inference process for 10 minutes and repeat
+        // them 3 times."
+        let horizon = 600.0;
+        let sim = Simulation::new(model, &cluster, &params);
+        for load in LOADS {
+            let lambda = load * capacity;
+            let mut sums = [0.0f64; 4]; // EFL, OFL, PICO, APICO
+            const SEEDS: [u64; 3] = [11, 22, 33];
+            for seed in SEEDS {
+                let arrivals = Arrivals::poisson(lambda, horizon, seed);
+                sums[0] += sim.run(&efl, &arrivals).avg_latency;
+                sums[1] += sim.run(&ofl, &arrivals).avg_latency;
+                sums[2] += sim.run(&pipeline, &arrivals).avg_latency;
+                let (r, _) = pico
+                    .run_adaptive(&arrivals, 30.0, 0.4)
+                    .expect("adaptive candidates plan");
+                sums[3] += r.avg_latency;
+            }
+            for (i, scheme) in ["EFL", "OFL", "PICO", "APICO"].iter().enumerate() {
+                rows.push(LatencyRow {
+                    ghz,
+                    load,
+                    scheme,
+                    avg_latency: sums[i] / SEEDS.len() as f64,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The VGG16 sweep (Fig. 10).
+pub fn run() -> Vec<LatencyRow> {
+    run_for(&zoo::vgg16().features())
+}
+
+/// Prints a latency sweep as CSV.
+pub fn print(title: &str, rows: &[LatencyRow]) {
+    println!("# {title}");
+    println!("ghz,load,scheme,avg_latency_s");
+    for r in rows {
+        println!("{},{:.2},{},{:.3}", r.ghz, r.load, r.scheme, r.avg_latency);
+    }
+    println!();
+}
+
+/// Shape assertions shared with Fig. 11.
+#[cfg(test)]
+pub(crate) fn assert_latency_shape(rows: &[LatencyRow]) {
+    let at = |ghz: f64, load: f64, scheme: &str| {
+        rows.iter()
+            .find(|r| r.ghz == ghz && (r.load - load).abs() < 1e-9 && r.scheme == scheme)
+            .unwrap_or_else(|| panic!("missing ({ghz},{load},{scheme})"))
+            .avg_latency
+    };
+    for ghz in FREQS_GHZ {
+        // Under heavy load PICO keeps latency stable while EFL's queue
+        // explodes (paper: 1.7-6.5x reduction).
+        let ratio = at(ghz, 1.5, "EFL") / at(ghz, 1.5, "PICO");
+        assert!(ratio > 1.7, "{ghz} GHz: EFL/PICO ratio {ratio}");
+        // Latency is non-decreasing in load for the one-stage schemes.
+        let efl: Vec<f64> = LOADS.iter().map(|l| at(ghz, *l, "EFL")).collect();
+        for w in efl.windows(2) {
+            assert!(w[1] >= w[0] * 0.95, "EFL latency fell: {efl:?}");
+        }
+        // APICO tracks the better static scheme at both extremes
+        // (within noise).
+        for load in [0.4, 1.5] {
+            let apico = at(ghz, load, "APICO");
+            let best = at(ghz, load, "OFL").min(at(ghz, load, "PICO"));
+            assert!(
+                apico <= best * 1.35,
+                "{ghz} GHz load {load}: APICO {apico} vs best {best}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vgg16_latency_shape() {
+        super::assert_latency_shape(&super::run());
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 11 — "The average latency of different algorithms for YOLOv2":
+//! the Fig. 10 workload sweep on YOLOv2, plus the 100 %-workload
+//! breakdown the paper shows in Fig. 11b.
+
+use pico_model::zoo;
+
+pub use crate::fig10::{print, LatencyRow, LOADS};
+
+/// The YOLOv2 workload sweep.
+pub fn run() -> Vec<LatencyRow> {
+    crate::fig10::run_for(&zoo::yolov2())
+}
+
+/// Fig. 11b: the 100 %-workload slice (one row per scheme per
+/// frequency).
+pub fn breakdown_at_full_load(rows: &[LatencyRow]) -> Vec<&LatencyRow> {
+    rows.iter()
+        .filter(|r| (r.load - 1.0).abs() < 1e-9)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yolov2_latency_shape() {
+        let rows = run();
+        crate::fig10::assert_latency_shape(&rows);
+        // Fig. 11b slice exists for every scheme and frequency.
+        let slice = breakdown_at_full_load(&rows);
+        assert_eq!(slice.len(), 4 * crate::FREQS_GHZ.len());
+        // At 100% of EFL capacity the pipeline is comfortably better.
+        for ghz in crate::FREQS_GHZ {
+            let get = |s: &str| {
+                slice
+                    .iter()
+                    .find(|r| r.ghz == ghz && r.scheme == s)
+                    .expect("present")
+                    .avg_latency
+            };
+            assert!(get("PICO") < get("EFL"));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 12 — "The speedup ratio for graph-based CNNs": PICO's
+//! throughput speedup over single-device execution for ResNet34 and
+//! InceptionV3 at several CPU frequencies and device counts
+//! (blocks treated as special layers, Sec. IV-B).
+
+use pico_model::{zoo, Model};
+use pico_partition::{CostParams, PicoPlanner, Planner};
+
+use crate::{cluster, DEVICE_COUNTS, FREQS_GHZ};
+
+/// One (model, frequency, devices) speedup sample.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Model name.
+    pub model: String,
+    /// CPU frequency in GHz.
+    pub ghz: f64,
+    /// Devices cooperating.
+    pub devices: usize,
+    /// Throughput speedup over one device of the same frequency.
+    pub speedup: f64,
+}
+
+/// Runs the graph-CNN speedup sweep.
+pub fn run() -> Vec<SpeedupRow> {
+    let params = CostParams::wifi_50mbps();
+    let mut rows = Vec::new();
+    for model in [zoo::resnet34().features(), zoo::inception_v3().features()] {
+        for ghz in FREQS_GHZ {
+            let base = period_of(&model, 1, ghz, &params);
+            for devices in DEVICE_COUNTS {
+                let period = period_of(&model, devices, ghz, &params);
+                rows.push(SpeedupRow {
+                    model: model.name().to_owned(),
+                    ghz,
+                    devices,
+                    speedup: base / period,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn period_of(model: &Model, devices: usize, ghz: f64, params: &CostParams) -> f64 {
+    let c = cluster(devices, ghz);
+    let plan = PicoPlanner::new()
+        .plan(model, &c, params)
+        .expect("PICO plans");
+    params.cost_model(model).evaluate(&plan, &c).period
+}
+
+/// Prints the sweep as CSV.
+pub fn print(rows: &[SpeedupRow]) {
+    println!("# Fig. 12 — graph-CNN speedup (PICO vs one device)");
+    println!("model,ghz,devices,speedup");
+    for r in rows {
+        println!("{},{},{},{:.2}", r.model, r.ghz, r.devices, r.speedup);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at<'a>(rows: &'a [SpeedupRow], model: &str, ghz: f64, d: usize) -> &'a SpeedupRow {
+        rows.iter()
+            .find(|r| r.model.starts_with(model) && r.ghz == ghz && r.devices == d)
+            .unwrap_or_else(|| panic!("missing ({model},{ghz},{d})"))
+    }
+
+    #[test]
+    fn speedups_match_paper_bands() {
+        let rows = run();
+        // Paper: ~5x for ResNet34, ~4x for InceptionV3 at 8 devices.
+        // Accept generous bands around those (our substrate differs).
+        // Note: the paper also reports ResNet34 speeding up *more* than
+        // InceptionV3; our cost model puts the two within a few percent
+        // of each other (recorded as a deviation in EXPERIMENTS.md) —
+        // the band check is the stable part of the shape.
+        let r8 = at(&rows, "resnet34", FREQS_GHZ[0], 8).speedup;
+        let i8 = at(&rows, "inception_v3", FREQS_GHZ[0], 8).speedup;
+        assert!((3.0..8.0).contains(&r8), "resnet34 speedup {r8}");
+        assert!((2.5..8.0).contains(&i8), "inception speedup {i8}");
+    }
+
+    #[test]
+    fn low_frequency_speeds_up_more() {
+        // "The speedup effect is more obvious with low CPU frequency."
+        let rows = run();
+        for model in ["resnet34", "inception_v3"] {
+            let slow = at(&rows, model, FREQS_GHZ[0], 8).speedup;
+            let fast = at(&rows, model, FREQS_GHZ[2], 8).speedup;
+            assert!(slow >= fast * 0.95, "{model}: slow {slow} fast {fast}");
+        }
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_devices() {
+        let rows = run();
+        for model in ["resnet34", "inception_v3"] {
+            for ghz in FREQS_GHZ {
+                let series: Vec<f64> = DEVICE_COUNTS
+                    .iter()
+                    .map(|d| at(&rows, model, ghz, *d).speedup)
+                    .collect();
+                for w in series.windows(2) {
+                    assert!(w[1] >= w[0] * 0.98, "{model} {ghz}: {series:?}");
+                }
+                assert!((series[0] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Fig. 13 — "The comparison of resource utilization and redundant
+//! computation for PICO and BFS": the 8-conv + 2-pool toy model
+//! ("64x64 MINIST" input) on a 6-device heterogeneous cluster.
+
+use std::time::Duration;
+
+use pico_model::zoo;
+use pico_partition::{BfsOptimal, Cluster, CostParams, PicoPlanner, Planner};
+use pico_sim::{Arrivals, DeviceStat, Simulation};
+
+/// One planner's outcome on the Fig. 13 setup.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// `"PICO"` or `"BFS"`.
+    pub planner: &'static str,
+    /// Planner wall-time.
+    pub plan_time: Duration,
+    /// Predicted pipeline period.
+    pub period: f64,
+    /// Per-device utilization/redundancy, ascending device id.
+    pub devices: Vec<DeviceStat>,
+    /// Mean utilization over active devices.
+    pub avg_utilization: f64,
+}
+
+/// Runs the PICO-vs-BFS comparison.
+pub fn run() -> Vec<Fig13Row> {
+    let model = zoo::mnist_toy();
+    let cluster = Cluster::paper_heterogeneous_6();
+    let params = CostParams::wifi_50mbps();
+    let cm = params.cost_model(&model);
+    let sim = Simulation::new(&model, &cluster, &params);
+
+    let mut rows = Vec::new();
+    for (name, planner) in [
+        ("PICO", Box::new(PicoPlanner::new()) as Box<dyn Planner>),
+        ("BFS", Box::new(BfsOptimal::new())),
+    ] {
+        let t0 = std::time::Instant::now();
+        let plan = planner
+            .plan(&model, &cluster, &params)
+            .expect("toy model plans");
+        let plan_time = t0.elapsed();
+        let metrics = cm.evaluate(&plan, &cluster);
+        let report = sim.run(&plan, &Arrivals::closed_loop(100));
+        rows.push(Fig13Row {
+            planner: name,
+            plan_time,
+            period: metrics.period,
+            avg_utilization: report.avg_utilization(),
+            devices: report.device_stats,
+        });
+    }
+    rows
+}
+
+/// Prints the comparison.
+pub fn print(rows: &[Fig13Row]) {
+    println!("# Fig. 13 — PICO vs BFS on mnist_toy (8 conv + 2 pool), 6 heterogeneous devices");
+    println!("planner,plan_time_ms,period_s,metric,d0,d1,d2,d3,d4,d5");
+    for r in rows {
+        let utils: Vec<String> = r
+            .devices
+            .iter()
+            .map(|d| format!("{:.1}", 100.0 * d.utilization))
+            .collect();
+        let redus: Vec<String> = r
+            .devices
+            .iter()
+            .map(|d| format!("{:.1}", 100.0 * d.redundancy))
+            .collect();
+        println!(
+            "{},{:.1},{:.4},utilization_pct,{}",
+            r.planner,
+            r.plan_time.as_secs_f64() * 1e3,
+            r.period,
+            utils.join(",")
+        );
+        println!(
+            "{},{:.1},{:.4},redundancy_pct,{}",
+            r.planner,
+            r.plan_time.as_secs_f64() * 1e3,
+            r.period,
+            redus.join(",")
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_at_least_matches_pico_period() {
+        let rows = run();
+        let pico = rows.iter().find(|r| r.planner == "PICO").expect("PICO row");
+        let bfs = rows.iter().find(|r| r.planner == "BFS").expect("BFS row");
+        assert!(
+            bfs.period <= pico.period * 1.0001,
+            "bfs {} pico {}",
+            bfs.period,
+            pico.period
+        );
+        // "Considering the time taken by PICO and BFS, the performance
+        // of PICO is acceptable": within 40% of optimal here (the paper
+        // shows ~80% vs ~95% utilization, a similar-sized gap).
+        assert!(
+            pico.period <= bfs.period * 1.4,
+            "pico {} bfs {}",
+            pico.period,
+            bfs.period
+        );
+        // The optimal plan also keeps devices busier.
+        assert!(bfs.avg_utilization >= pico.avg_utilization * 0.95);
+    }
+
+    #[test]
+    fn utilizations_are_high() {
+        // Paper: all 6 devices above ~80% (PICO) and ~95% (BFS); accept
+        // a softer floor for the mean on our substrate.
+        for r in run() {
+            // The paper's Pis reach >80%; our 50 Mbps simulated link
+            // makes the tiny model comm-heavier, so the floor is lower
+            // (recorded in EXPERIMENTS.md).
+            assert!(
+                r.avg_utilization > 0.35,
+                "{}: avg utilization {:.3}",
+                r.planner,
+                r.avg_utilization
+            );
+            assert_eq!(r.devices.len(), 6);
+        }
+    }
+
+    #[test]
+    fn pico_plans_orders_of_magnitude_faster() {
+        let rows = run();
+        let pico = rows.iter().find(|r| r.planner == "PICO").expect("PICO row");
+        let bfs = rows.iter().find(|r| r.planner == "BFS").expect("BFS row");
+        assert!(
+            bfs.plan_time > pico.plan_time * 10,
+            "bfs {:?} pico {:?}",
+            bfs.plan_time,
+            pico.plan_time
+        );
+    }
+}

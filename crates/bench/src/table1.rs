@@ -1,0 +1,142 @@
+//! Table I — "The utilization and redundancy ratios among heterogeneous
+//! devices with different parallel schemes": per-device utilization and
+//! redundancy for VGG16 and YOLOv2 on the mixed 8-device cluster
+//! (2x1.2 GHz + 2x800 MHz + 4x600 MHz), under LW / EFL / OFL / PICO.
+
+use pico_model::{zoo, Model};
+use pico_partition::{Cluster, CostParams, Scheme};
+use pico_sim::{Arrivals, DeviceStat, Simulation};
+
+use crate::paper_planners;
+
+/// One (model, scheme) row group: per-device stats plus averages.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Model name.
+    pub model: String,
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Per-device stats, ascending device id (strongest devices first
+    /// in the paper's cluster declaration).
+    pub devices: Vec<DeviceStat>,
+    /// Mean utilization over active devices.
+    pub avg_utilization: f64,
+    /// Busy-weighted mean redundancy.
+    pub avg_redundancy: f64,
+}
+
+/// Runs the Table I measurement for one model.
+pub fn run_for(model: &Model) -> Vec<Table1Row> {
+    let cluster = Cluster::paper_heterogeneous();
+    let params = CostParams::wifi_50mbps();
+    let sim = Simulation::new(model, &cluster, &params);
+    paper_planners()
+        .into_iter()
+        .filter_map(|(scheme, planner)| {
+            let plan = planner.plan(model, &cluster, &params).ok()?;
+            let report = sim.run(&plan, &Arrivals::closed_loop(100));
+            Some(Table1Row {
+                model: model.name().to_owned(),
+                scheme,
+                avg_utilization: report.avg_utilization(),
+                avg_redundancy: report.avg_redundancy(),
+                devices: report.device_stats,
+            })
+        })
+        .collect()
+}
+
+/// Runs Table I for both models.
+pub fn run() -> Vec<Table1Row> {
+    let mut rows = run_for(&zoo::vgg16().features());
+    rows.extend(run_for(&zoo::yolov2()));
+    rows
+}
+
+/// Prints the table.
+pub fn print(rows: &[Table1Row]) {
+    println!("# Table I — utilization/redundancy on 2x1.2GHz + 2x800MHz + 4x600MHz");
+    println!("model,scheme,metric,d0,d1,d2,d3,d4,d5,d6,d7,average");
+    for row in rows {
+        let utils: Vec<String> = row
+            .devices
+            .iter()
+            .map(|d| format!("{:.1}", 100.0 * d.utilization))
+            .collect();
+        let redus: Vec<String> = row
+            .devices
+            .iter()
+            .map(|d| format!("{:.1}", 100.0 * d.redundancy))
+            .collect();
+        println!(
+            "{},{},utilization_pct,{},{:.1}",
+            row.model,
+            row.scheme,
+            utils.join(","),
+            100.0 * row.avg_utilization
+        );
+        println!(
+            "{},{},redundancy_pct,{},{:.1}",
+            row.model,
+            row.scheme,
+            redus.join(","),
+            100.0 * row.avg_redundancy
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(rows: &'a [Table1Row], model: &str, scheme: Scheme) -> &'a Table1Row {
+        rows.iter()
+            .find(|r| r.model.starts_with(model) && r.scheme == scheme)
+            .unwrap_or_else(|| panic!("missing ({model},{scheme})"))
+    }
+
+    #[test]
+    fn pico_has_best_utilization_with_low_redundancy() {
+        let rows = run();
+        for model in ["vgg16", "yolov2"] {
+            let pico = row(&rows, model, Scheme::Pico);
+            for s in [Scheme::LayerWise, Scheme::EarlyFused, Scheme::OptimalFused] {
+                let other = row(&rows, model, s);
+                assert!(
+                    pico.avg_utilization > other.avg_utilization,
+                    "{model}: PICO {:.3} vs {s} {:.3}",
+                    pico.avg_utilization,
+                    other.avg_utilization
+                );
+            }
+            // PICO's redundancy stays below the fused baselines'.
+            let efl = row(&rows, model, Scheme::EarlyFused);
+            let ofl = row(&rows, model, Scheme::OptimalFused);
+            assert!(pico.avg_redundancy < efl.avg_redundancy);
+            assert!(pico.avg_redundancy < ofl.avg_redundancy);
+        }
+    }
+
+    #[test]
+    fn lw_has_minimal_redundancy_but_poor_utilization() {
+        let rows = run();
+        for model in ["vgg16", "yolov2"] {
+            let lw = row(&rows, model, Scheme::LayerWise);
+            assert!(lw.avg_redundancy < 0.05, "{model}: {}", lw.avg_redundancy);
+            let pico = row(&rows, model, Scheme::Pico);
+            assert!(lw.avg_utilization < pico.avg_utilization / 2.0);
+        }
+    }
+
+    #[test]
+    fn all_eight_devices_reported() {
+        for r in run() {
+            assert_eq!(r.devices.len(), 8, "{} {}", r.model, r.scheme);
+            for d in &r.devices {
+                assert!((0.0..=1.0).contains(&d.utilization));
+                assert!((0.0..=1.0).contains(&d.redundancy));
+            }
+        }
+    }
+}

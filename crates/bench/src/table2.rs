@@ -1,0 +1,158 @@
+//! Table II — "The execution cost of algorithms": wall-clock planning
+//! time of the PICO heuristic versus the BFS optimal search across
+//! (layers, devices) sizes. The paper's point is the combinatorial
+//! explosion of BFS (sub-second PICO vs minutes/hours of BFS); a
+//! per-cell wall-clock budget stands in for the paper's ">1h" cells.
+
+use std::time::{Duration, Instant};
+
+use pico_model::zoo;
+use pico_partition::{BfsOptimal, Cluster, CostParams, Device, PicoPlanner, Planner};
+
+/// The paper's (layers, devices) grid.
+pub const GRID: [(usize, usize); 8] = [
+    (4, 4),
+    (8, 4),
+    (12, 4),
+    (16, 4),
+    (8, 6),
+    (10, 6),
+    (12, 6),
+    (8, 8),
+];
+
+/// A heterogeneous cluster with pairwise-distinct capacities
+/// (1.2 GHz, 1.15 GHz, ...). Distinct devices prevent the BFS search
+/// from collapsing equal-capacity symmetry, reproducing the full
+/// combinatorial blow-up the paper reports.
+pub fn grid_cluster(devices: usize) -> Cluster {
+    Cluster::new(
+        (0..devices)
+            .map(|i| Device::from_frequency(i, 1.2 - 0.05 * i as f64))
+            .collect(),
+    )
+}
+
+/// One grid cell of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Toy model depth.
+    pub layers: usize,
+    /// Cluster size.
+    pub devices: usize,
+    /// PICO heuristic planning time.
+    pub pico: Duration,
+    /// BFS search time (capped at the budget).
+    pub bfs: Duration,
+    /// Stage-set candidates BFS evaluated.
+    pub bfs_evaluated: u64,
+    /// Whether BFS hit the budget before finishing (the paper's ">1h").
+    pub bfs_timed_out: bool,
+}
+
+/// Runs the grid with the given per-cell BFS budget.
+pub fn run_with_budget(budget: Duration) -> Vec<Table2Row> {
+    let params = CostParams::wifi_50mbps();
+    GRID.iter()
+        .map(|&(layers, devices)| {
+            let model = zoo::toy(layers);
+            let cluster = grid_cluster(devices);
+
+            let t0 = Instant::now();
+            let _ = PicoPlanner::new()
+                .plan(&model, &cluster, &params)
+                .expect("PICO plans");
+            let pico = t0.elapsed();
+
+            let outcome = BfsOptimal::with_budget(budget)
+                .search(&model, &cluster, &params)
+                .expect("BFS finds at least one candidate");
+            Table2Row {
+                layers,
+                devices,
+                pico,
+                bfs: outcome.elapsed,
+                bfs_evaluated: outcome.evaluated,
+                bfs_timed_out: outcome.timed_out,
+            }
+        })
+        .collect()
+}
+
+/// Runs the grid with the default budget (`PICO_BFS_BUDGET_SECS` env
+/// var, default 30 s per cell).
+pub fn run() -> Vec<Table2Row> {
+    let secs = std::env::var("PICO_BFS_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30.0);
+    run_with_budget(Duration::from_secs_f64(secs))
+}
+
+/// Prints the table.
+pub fn print(rows: &[Table2Row]) {
+    println!("# Table II — planner wall-time, PICO (heuristic) vs BFS (optimal)");
+    println!("layers,devices,pico_ms,bfs_ms,bfs_candidates,bfs_timed_out");
+    for r in rows {
+        println!(
+            "{},{},{:.2},{:.1},{},{}",
+            r.layers,
+            r.devices,
+            r.pico.as_secs_f64() * 1e3,
+            r.bfs.as_secs_f64() * 1e3,
+            r.bfs_evaluated,
+            if r.bfs_timed_out {
+                "yes (budget hit)"
+            } else {
+                "no"
+            }
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pico_is_subsecond_everywhere() {
+        // "PICO (Heuristic): < 1s" for every grid cell.
+        for r in run_with_budget(Duration::from_millis(300)) {
+            assert!(
+                r.pico < Duration::from_secs(1),
+                "({}, {}): PICO took {:?}",
+                r.layers,
+                r.devices,
+                r.pico
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_cost_explodes_with_size() {
+        // The Table II trend: candidate count grows superlinearly in
+        // layers and devices.
+        let rows = run_with_budget(Duration::from_millis(500));
+        let cell = |l: usize, d: usize| {
+            rows.iter()
+                .find(|r| r.layers == l && r.devices == d)
+                .expect("cell present")
+        };
+        let small = cell(4, 4);
+        let wide = cell(16, 4);
+        let deep = cell(8, 6);
+        assert!(
+            wide.bfs_evaluated > small.bfs_evaluated * 8 || wide.bfs_timed_out,
+            "layers: {} -> {}",
+            small.bfs_evaluated,
+            wide.bfs_evaluated
+        );
+        assert!(
+            deep.bfs_evaluated > small.bfs_evaluated * 8 || deep.bfs_timed_out,
+            "devices: {} -> {}",
+            small.bfs_evaluated,
+            deep.bfs_evaluated
+        );
+    }
+}

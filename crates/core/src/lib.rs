@@ -1,0 +1,457 @@
+//! High-level facade for PICO cooperative inference.
+//!
+//! [`Pico`] bundles a model, a cluster, and the environment parameters,
+//! and exposes one-call access to everything the workspace can do:
+//! planning with any strategy, analytic prediction, queueing simulation,
+//! adaptive scheduling, and real threaded execution.
+//!
+//! # Example
+//!
+//! ```
+//! use pico_core::Pico;
+//! use pico_model::zoo;
+//! use pico_partition::Cluster;
+//! use pico_sim::Arrivals;
+//!
+//! let pico = Pico::new(zoo::vgg16().features(), Cluster::pi_cluster(8, 1.0));
+//! let plan = pico.plan()?;
+//! let metrics = pico.predict(&plan);
+//!
+//! // Simulated saturation run: throughput approaches 1 / period.
+//! let report = pico.simulate(&plan, &Arrivals::closed_loop(100));
+//! assert!(report.throughput <= 1.0 / metrics.period * 1.01);
+//! # Ok::<(), pico_partition::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pico_model::Model;
+use pico_partition::{
+    BfsOptimal, Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Plan,
+    PlanError, PlanMetrics, Planner, Scheme,
+};
+use pico_runtime::{PipelineRuntime, RunReport, RuntimeError, Throttle};
+use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simulation};
+use pico_tensor::{Engine, Tensor};
+
+/// One-stop entry point: a model deployed on a cluster under given
+/// network conditions.
+#[derive(Debug, Clone)]
+pub struct Pico {
+    model: Model,
+    cluster: Cluster,
+    params: CostParams,
+}
+
+impl Pico {
+    /// Creates a deployment with the paper's default environment
+    /// (50 Mbps WiFi, no latency limit).
+    pub fn new(model: Model, cluster: Cluster) -> Self {
+        Pico {
+            model,
+            cluster,
+            params: CostParams::wifi_50mbps(),
+        }
+    }
+
+    /// Overrides the environment parameters.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The environment parameters.
+    pub fn params(&self) -> CostParams {
+        self.params
+    }
+
+    /// Plans with the paper's PICO pipeline strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::LatencyInfeasible`] when a configured
+    /// `T_lim` cannot be met.
+    pub fn plan(&self) -> Result<Plan, PlanError> {
+        self.plan_with(&PicoPlanner)
+    }
+
+    /// Plans with an arbitrary strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the planner's error.
+    pub fn plan_with<P: Planner>(&self, planner: &P) -> Result<Plan, PlanError> {
+        planner.plan(&self.model, &self.cluster, &self.params)
+    }
+
+    /// Plans with every strategy the paper compares (LW, EFL, OFL,
+    /// PICO), skipping any that fail. BFS is excluded — it is only
+    /// tractable on toy models; use [`Pico::plan_with`] and
+    /// [`BfsOptimal`] explicitly for those.
+    pub fn plan_all(&self) -> Vec<Plan> {
+        let planners: Vec<Box<dyn Planner>> = vec![
+            Box::new(LayerWise::new()),
+            Box::new(EarlyFused::new()),
+            Box::new(OptimalFused::new()),
+            Box::new(PicoPlanner::new()),
+        ];
+        planners
+            .iter()
+            .filter_map(|p| self.plan_with(p).ok())
+            .collect()
+    }
+
+    /// Analytic period/latency prediction (Eqs. 10/11) for a plan.
+    pub fn predict(&self, plan: &Plan) -> PlanMetrics {
+        self.params
+            .cost_model(&self.model)
+            .evaluate(plan, &self.cluster)
+    }
+
+    /// Simulates a plan over an arrival stream.
+    pub fn simulate(&self, plan: &Plan, arrivals: &Arrivals) -> SimReport {
+        Simulation::new(&self.model, &self.cluster, &self.params).run(plan, arrivals)
+    }
+
+    /// Runs APICO: the adaptive scheduler picking between the PICO
+    /// pipeline and the OFL one-stage scheme per the estimated workload
+    /// (EWMA window `window` seconds, smoothing `beta`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors for either candidate.
+    pub fn run_adaptive(
+        &self,
+        arrivals: &Arrivals,
+        window: f64,
+        beta: f64,
+    ) -> Result<(SimReport, Vec<SchedulerDecision>), PlanError> {
+        let pico = self.plan()?;
+        let ofl = self.plan_with(&OptimalFused::new())?;
+        let sim = Simulation::new(&self.model, &self.cluster, &self.params);
+        let mut sched = AdaptiveScheduler::new(&sim, vec![pico, ofl], window, beta);
+        Ok(sched.run(&sim, arrivals))
+    }
+
+    /// Executes a plan for real on threads, with synthetic weights from
+    /// `seed`, and checks nothing — outputs are whatever the engine
+    /// computes (use [`Pico::execute_verified`] to compare against
+    /// single-device inference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures (bad input, failed device).
+    pub fn execute(
+        &self,
+        plan: &Plan,
+        inputs: Vec<Tensor>,
+        seed: u64,
+    ) -> Result<RunReport, RuntimeError> {
+        let engine = Engine::with_seed(&self.model, seed);
+        PipelineRuntime::new(&self.model, plan, &engine).run(inputs)
+    }
+
+    /// Executes a plan with cost-model-proportional throttling, making
+    /// relative stage times observable on a development machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures.
+    pub fn execute_throttled(
+        &self,
+        plan: &Plan,
+        inputs: Vec<Tensor>,
+        seed: u64,
+        scale: f64,
+    ) -> Result<RunReport, RuntimeError> {
+        let engine = Engine::with_seed(&self.model, seed);
+        let throttle = Throttle::new(self.cluster.clone(), self.params, scale);
+        PipelineRuntime::new(&self.model, plan, &engine)
+            .with_throttle(throttle)
+            .run(inputs)
+    }
+
+    /// Executes a plan and verifies every output equals single-device
+    /// inference, returning the report on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError::Tensor`] wrapping the mismatch when the
+    /// pipeline diverges (which would indicate a bug in split/stitch),
+    /// or any runtime failure.
+    pub fn execute_verified(
+        &self,
+        plan: &Plan,
+        inputs: Vec<Tensor>,
+        seed: u64,
+    ) -> Result<RunReport, RuntimeError> {
+        let engine = Engine::with_seed(&self.model, seed);
+        let report = PipelineRuntime::new(&self.model, plan, &engine).run(inputs.clone())?;
+        for (i, input) in inputs.iter().enumerate() {
+            let reference = engine.infer(input)?;
+            if report.outputs[i] != reference {
+                return Err(RuntimeError::Tensor(
+                    pico_tensor::TensorError::StitchMismatch {
+                        detail: format!(
+                        "task {i}: pipelined output diverges from single-device inference by {}",
+                        report.outputs[i].max_abs_diff(&reference)
+                    ),
+                    },
+                ));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Human-readable description of a plan.
+    pub fn describe(&self, plan: &Plan) -> String {
+        let metrics = self.predict(plan);
+        let mut out = format!(
+            "{} plan: {} stage(s), period {:.3}s ({:.2} tasks/s), latency {:.3}s\n",
+            plan.scheme,
+            plan.stage_count(),
+            metrics.period,
+            metrics.throughput(),
+            metrics.latency,
+        );
+        for (i, stage) in plan.stages.iter().enumerate() {
+            let cost = &metrics.stage_costs[i];
+            let names: Vec<String> = stage
+                .assignments
+                .iter()
+                .filter(|a| !a.rows.is_empty())
+                .map(|a| format!("d{}:{}", a.device, a.rows))
+                .collect();
+            out.push_str(&format!(
+                "  stage {i}: units {} | comp {:.3}s + comm {:.3}s | {}\n",
+                stage.segment,
+                cost.comp,
+                cost.comm,
+                names.join(" ")
+            ));
+        }
+        out
+    }
+
+    /// Executes with failure recovery: if a device dies mid-run
+    /// (surfacing as [`RuntimeError::DeviceFailed`]), the deployment
+    /// re-plans on the surviving devices and retries the whole batch,
+    /// until it succeeds or no devices remain.
+    ///
+    /// `known_failed` seeds the exclusion list (e.g. from a health
+    /// monitor); `inject_failures` marks devices that will fail when
+    /// used — the test/chaos hook.
+    ///
+    /// Returns the successful report, the plan that finally worked, and
+    /// the ids excluded along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::EmptyPlan`]-style planning failures wrapped
+    /// as [`RuntimeError::DeviceFailed`] context when the cluster runs
+    /// out of devices, or any non-failure runtime error as-is.
+    pub fn execute_with_recovery(
+        &self,
+        inputs: Vec<Tensor>,
+        seed: u64,
+        known_failed: &[usize],
+        inject_failures: &[usize],
+    ) -> Result<(RunReport, Plan, Vec<usize>), RuntimeError> {
+        let engine = Engine::with_seed(&self.model, seed);
+        let mut excluded: Vec<usize> = known_failed.to_vec();
+        loop {
+            let Some(cluster) = self.cluster.without(&excluded) else {
+                return Err(RuntimeError::DeviceFailed {
+                    device: *excluded.last().unwrap_or(&0),
+                    task: 0,
+                    cause: "no devices left to re-plan on".to_owned(),
+                });
+            };
+            let plan = PicoPlanner
+                .plan(&self.model, &cluster, &self.params)
+                .map_err(|e| RuntimeError::DeviceFailed {
+                    device: *excluded.last().unwrap_or(&0),
+                    task: 0,
+                    cause: format!("re-planning failed: {e}"),
+                })?;
+            let mut runtime = PipelineRuntime::new(&self.model, &plan, &engine);
+            for f in inject_failures {
+                if !excluded.contains(f) {
+                    runtime = runtime.with_failed_device(*f);
+                }
+            }
+            match runtime.run(inputs.clone()) {
+                Ok(report) => return Ok((report, plan, excluded)),
+                Err(RuntimeError::DeviceFailed { device, .. }) => {
+                    excluded.push(device);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Traces the period/latency Pareto frontier (Eq. 1's trade-off)
+    /// with `steps` latency-limit samples.
+    pub fn frontier(&self, steps: usize) -> Vec<pico_partition::pareto::FrontierPoint> {
+        pico_partition::pareto::frontier(&self.model, &self.cluster, &self.params, steps)
+    }
+
+    /// Convenience: the exhaustive-optimal planner for toy models.
+    pub fn bfs_planner() -> BfsOptimal {
+        BfsOptimal::new()
+    }
+
+    /// The scheme labels the paper compares, in its order.
+    pub fn paper_schemes() -> [Scheme; 4] {
+        [
+            Scheme::LayerWise,
+            Scheme::EarlyFused,
+            Scheme::OptimalFused,
+            Scheme::Pico,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+
+    fn deployment() -> Pico {
+        Pico::new(zoo::vgg16().features(), Cluster::pi_cluster(8, 1.0))
+    }
+
+    #[test]
+    fn plan_and_predict() {
+        let pico = deployment();
+        let plan = pico.plan().unwrap();
+        let metrics = pico.predict(&plan);
+        assert!(metrics.period > 0.0 && metrics.period <= metrics.latency);
+    }
+
+    #[test]
+    fn plan_all_yields_four_schemes() {
+        let plans = deployment().plan_all();
+        assert_eq!(plans.len(), 4);
+        let schemes: Vec<Scheme> = plans.iter().map(|p| p.scheme).collect();
+        assert_eq!(schemes, Pico::paper_schemes());
+    }
+
+    #[test]
+    fn simulate_headline_comparison() {
+        // PICO throughput beats each one-stage scheme on 8 devices.
+        let pico = deployment();
+        let plans = pico.plan_all();
+        let arrivals = Arrivals::closed_loop(64);
+        let mut by_scheme = std::collections::HashMap::new();
+        for plan in &plans {
+            by_scheme.insert(plan.scheme, pico.simulate(plan, &arrivals).throughput);
+        }
+        let pico_tp = by_scheme[&Scheme::Pico];
+        for s in [Scheme::LayerWise, Scheme::EarlyFused, Scheme::OptimalFused] {
+            assert!(
+                pico_tp > by_scheme[&s],
+                "{s}: {} vs {}",
+                by_scheme[&s],
+                pico_tp
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_runs() {
+        let pico = deployment();
+        let ofl = pico.plan_with(&OptimalFused::new()).unwrap();
+        let period = pico.predict(&ofl).period;
+        let arrivals = Arrivals::poisson(0.5 / period, 200.0 * period, 11);
+        let (report, decisions) = pico.run_adaptive(&arrivals, 5.0 * period, 0.4).unwrap();
+        assert!(report.completed > 0);
+        assert!(!decisions.is_empty());
+    }
+
+    #[test]
+    fn execute_verified_small_model() {
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(3, 1.0));
+        let plan = pico.plan().unwrap();
+        let inputs = vec![Tensor::random(pico.model().input_shape(), 5)];
+        let report = pico.execute_verified(&plan, inputs, 77).unwrap();
+        assert_eq!(report.outputs.len(), 1);
+    }
+
+    #[test]
+    fn recovery_replans_around_failed_devices() {
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(4, 1.0));
+        let inputs = vec![Tensor::random(pico.model().input_shape(), 3)];
+        // Healthy run for the reference output.
+        let healthy = pico.plan().unwrap();
+        let reference = pico.execute(&healthy, inputs.clone(), 9).unwrap();
+        // Kill whichever device serves the first stage.
+        let victim = healthy.stages[0].assignments[0].device;
+        let (report, plan, excluded) = pico
+            .execute_with_recovery(inputs, 9, &[], &[victim])
+            .unwrap();
+        assert!(excluded.contains(&victim));
+        assert!(!plan.used_devices().contains(&victim));
+        assert_eq!(report.outputs[0], reference.outputs[0]);
+    }
+
+    #[test]
+    fn recovery_gives_up_when_cluster_exhausted() {
+        let pico = Pico::new(zoo::toy(2), Cluster::pi_cluster(2, 1.0));
+        let inputs = vec![Tensor::random(pico.model().input_shape(), 1)];
+        let err = pico
+            .execute_with_recovery(inputs, 1, &[], &[0, 1])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DeviceFailed { .. }));
+    }
+
+    #[test]
+    fn recovery_honors_known_failures_upfront() {
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(4, 1.0));
+        let inputs = vec![Tensor::random(pico.model().input_shape(), 2)];
+        let (_, plan, _) = pico.execute_with_recovery(inputs, 5, &[2], &[]).unwrap();
+        assert!(!plan.used_devices().contains(&2));
+    }
+
+    #[test]
+    fn describe_mentions_stages_and_devices() {
+        let pico = deployment();
+        let plan = pico.plan().unwrap();
+        let text = pico.describe(&plan);
+        assert!(text.contains("PICO plan"));
+        assert!(text.contains("stage 0"));
+        assert!(text.contains("d"));
+    }
+
+    #[test]
+    fn frontier_through_facade() {
+        let pico = deployment();
+        let points = pico.frontier(8);
+        assert!(!points.is_empty());
+        assert!(points
+            .windows(2)
+            .all(|w| w[1].latency <= w[0].latency + 1e-9));
+    }
+
+    #[test]
+    fn t_lim_flows_through_builder() {
+        let pico = deployment();
+        let base = pico.predict(&pico.plan().unwrap());
+        let constrained = pico
+            .clone()
+            .with_params(CostParams::wifi_50mbps().with_t_lim(base.latency * 2.0));
+        let plan = constrained.plan().unwrap();
+        assert!(constrained.predict(&plan).latency <= base.latency * 2.0 + 1e-9);
+    }
+}

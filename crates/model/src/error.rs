@@ -1,0 +1,91 @@
+/// Errors raised while constructing or analysing a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A layer or block received an incompatible input shape.
+    ShapeMismatch {
+        /// Name of the offending layer/block.
+        unit: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A block's paths produce outputs that cannot be merged.
+    MergeMismatch {
+        /// Name of the offending block.
+        block: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A model was built with no units.
+    EmptyModel,
+    /// A segment index range was out of bounds or empty.
+    InvalidSegment {
+        /// The requested segment start (inclusive).
+        start: usize,
+        /// The requested segment end (exclusive).
+        end: usize,
+        /// Number of units in the model.
+        len: usize,
+    },
+}
+
+impl ModelError {
+    pub(crate) fn shape_mismatch(unit: &str, detail: impl Into<String>) -> Self {
+        ModelError::ShapeMismatch {
+            unit: unit.to_owned(),
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn merge_mismatch(block: &str, detail: impl Into<String>) -> Self {
+        ModelError::MergeMismatch {
+            block: block.to_owned(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::ShapeMismatch { unit, detail } => {
+                write!(f, "shape mismatch at `{unit}`: {detail}")
+            }
+            ModelError::MergeMismatch { block, detail } => {
+                write!(f, "merge mismatch in block `{block}`: {detail}")
+            }
+            ModelError::EmptyModel => write!(f, "model has no units"),
+            ModelError::InvalidSegment { start, end, len } => {
+                write!(
+                    f,
+                    "invalid segment [{start}, {end}) for model with {len} units"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ModelError::shape_mismatch("conv1", "bad channels");
+        assert_eq!(e.to_string(), "shape mismatch at `conv1`: bad channels");
+        assert_eq!(ModelError::EmptyModel.to_string(), "model has no units");
+        let e = ModelError::InvalidSegment {
+            start: 3,
+            end: 2,
+            len: 10,
+        };
+        assert!(e.to_string().contains("[3, 2)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

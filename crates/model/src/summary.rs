@@ -1,0 +1,120 @@
+//! Human-readable model summaries (à la `model.summary()`).
+
+use crate::{Model, Rows, Unit};
+
+/// One row of a [`summary`] table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Unit index.
+    pub index: usize,
+    /// Unit name.
+    pub name: String,
+    /// `conv` / `pool` / `fc` / `block(n paths)`.
+    pub kind: String,
+    /// Output shape as `CxHxW`.
+    pub output: String,
+    /// Learnable parameters.
+    pub parameters: usize,
+    /// FLOPs for the full output map.
+    pub flops: f64,
+}
+
+/// Per-unit rows for `model`, in execution order.
+pub fn summary(model: &Model) -> Vec<SummaryRow> {
+    (0..model.len())
+        .map(|i| {
+            let unit = model.unit(i);
+            let out = model.unit_output_shape(i);
+            let kind = match unit {
+                Unit::Layer(l) if l.is_conv() => "conv".to_owned(),
+                Unit::Layer(l) if l.is_pool() => "pool".to_owned(),
+                Unit::Layer(_) => "fc".to_owned(),
+                Unit::Block(b) => format!("block({} paths)", b.paths.len()),
+            };
+            SummaryRow {
+                index: i,
+                name: unit.name().to_owned(),
+                kind,
+                output: out.to_string(),
+                parameters: unit.parameters(),
+                flops: unit.flops(Rows::full(out.height), model.unit_input_shape(i), out),
+            }
+        })
+        .collect()
+}
+
+/// Formats the summary as an aligned text table with totals.
+///
+/// # Example
+///
+/// ```
+/// use pico_model::{summary::to_table, zoo};
+///
+/// let table = to_table(&zoo::mnist_toy());
+/// assert!(table.contains("conv1"));
+/// assert!(table.contains("total"));
+/// ```
+pub fn to_table(model: &Model) -> String {
+    let rows = summary(model);
+    let mut out = format!(
+        "{} — input {}\n{:<4} {:<16} {:<16} {:<14} {:>12} {:>12}\n",
+        model.name(),
+        model.input_shape(),
+        "#",
+        "name",
+        "kind",
+        "output",
+        "params",
+        "MFLOPs"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<4} {:<16} {:<16} {:<14} {:>12} {:>12.2}\n",
+            r.index,
+            r.name,
+            r.kind,
+            r.output,
+            r.parameters,
+            r.flops / 1e6
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} params, {:.2} GFLOPs over {} units ({} layers)\n",
+        model.parameters(),
+        model.total_flops() / 1e9,
+        model.len(),
+        model.layer_count()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn rows_cover_every_unit() {
+        let m = zoo::vgg16();
+        let rows = summary(&m);
+        assert_eq!(rows.len(), m.len());
+        assert_eq!(rows[0].kind, "conv");
+        assert!(rows.last().unwrap().kind == "fc");
+        let total: f64 = rows.iter().map(|r| r.flops).sum();
+        assert!((total - m.total_flops()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn blocks_are_labelled_with_path_counts() {
+        let m = zoo::inception_v3();
+        let rows = summary(&m);
+        assert!(rows.iter().any(|r| r.kind.starts_with("block(")));
+    }
+
+    #[test]
+    fn table_includes_totals_and_shapes() {
+        let t = to_table(&zoo::mnist_toy());
+        assert!(t.contains("64x16x16"));
+        assert!(t.contains("total:"));
+    }
+}

@@ -1,0 +1,148 @@
+use crate::{ConvSpec, Layer, Model, PoolSpec, Shape, Unit};
+
+/// AlexNet (Krizhevsky et al., 2012) with a 3x227x227 input — the
+/// original *grouped*-convolution network (conv2/4/5 used two groups to
+/// fit two GPUs), included as an extension to exercise `groups > 1`
+/// planning end to end: 5 conv + 3 pool + 3 fc.
+pub fn alexnet() -> Model {
+    let units: Vec<Unit> = vec![
+        Layer::conv("conv1", ConvSpec::square(3, 96, 11, 4, 0)).into(),
+        Layer::pool("pool1", PoolSpec::max(3, 2)).into(),
+        Layer::conv(
+            "conv2",
+            ConvSpec {
+                in_channels: 96,
+                out_channels: 256,
+                kernel: (5, 5),
+                stride: (1, 1),
+                padding: (2, 2),
+                groups: 2,
+            },
+        )
+        .into(),
+        Layer::pool("pool2", PoolSpec::max(3, 2)).into(),
+        Layer::conv("conv3", ConvSpec::square(256, 384, 3, 1, 1)).into(),
+        Layer::conv(
+            "conv4",
+            ConvSpec {
+                in_channels: 384,
+                out_channels: 384,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                groups: 2,
+            },
+        )
+        .into(),
+        Layer::conv(
+            "conv5",
+            ConvSpec {
+                in_channels: 384,
+                out_channels: 256,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                groups: 2,
+            },
+        )
+        .into(),
+        Layer::pool("pool5", PoolSpec::max(3, 2)).into(),
+        Layer::fc("fc6", 256 * 6 * 6, 4096).into(),
+        Layer::fc("fc7", 4096, 4096).into(),
+        Layer::fc("fc8", 4096, 1000).into(),
+    ];
+    Model::new("alexnet", Shape::new(3, 227, 227), units)
+        .expect("alexnet definition is internally consistent")
+}
+
+/// Tiny-YOLO (the YOLOv2-tiny detection head): 9 conv + 6 pool on a
+/// 3x416x416 input — the detector people actually deploy on Pi-class
+/// hardware.
+pub fn tiny_yolo() -> Model {
+    let mut units: Vec<Unit> = Vec::new();
+    let mut in_ch = 3;
+    // (out channels, pool stride after) for the backbone.
+    let body: [(usize, usize); 6] = [(16, 2), (32, 2), (64, 2), (128, 2), (256, 2), (512, 1)];
+    for (i, (out_ch, pool_stride)) in body.iter().enumerate() {
+        units.push(
+            Layer::conv(
+                format!("conv{}", i + 1),
+                ConvSpec::square(in_ch, *out_ch, 3, 1, 1),
+            )
+            .into(),
+        );
+        // YOLOv2-tiny's last pool is stride 1 (padding keeps 13x13).
+        if *pool_stride == 2 {
+            units.push(Layer::pool(format!("pool{}", i + 1), PoolSpec::max(2, 2)).into());
+        } else {
+            units.push(
+                Layer::pool(
+                    format!("pool{}", i + 1),
+                    crate::PoolSpec {
+                        kind: crate::PoolKind::Max,
+                        kernel: (2, 2),
+                        stride: (1, 1),
+                        padding: (1, 1),
+                    },
+                )
+                .into(),
+            );
+        }
+        in_ch = *out_ch;
+    }
+    units.push(Layer::conv("conv7", ConvSpec::square(512, 1024, 3, 1, 1)).into());
+    units.push(Layer::conv("conv8", ConvSpec::square(1024, 512, 3, 1, 1)).into());
+    units.push(Layer::conv("conv9", ConvSpec::pointwise(512, 425)).into());
+    Model::new("tiny_yolo", Shape::new(3, 416, 416), units)
+        .expect("tiny_yolo definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_shapes() {
+        let m = alexnet();
+        // conv1: (227-11)/4+1 = 55; pool1: 27; pool2: 13; pool5: 6.
+        assert_eq!(m.unit_output_shape(0).height, 55);
+        assert_eq!(m.unit_output_shape(1).height, 27);
+        assert_eq!(m.unit_output_shape(3).height, 13);
+        assert_eq!(m.unit_output_shape(7), Shape::new(256, 6, 6));
+        assert_eq!(m.output_shape(), Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn alexnet_parameters_are_about_61m() {
+        let p = alexnet().parameters();
+        assert!((58_000_000..64_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn alexnet_grouping_halves_conv2_cost() {
+        // conv2 with groups=2 costs half of its dense equivalent.
+        let m = alexnet();
+        let out = m.unit_output_shape(2);
+        let grouped = m
+            .unit(2)
+            .flops(crate::Rows::full(out.height), m.unit_input_shape(2), out);
+        let dense = (5 * 5 * 96 * 27 * 27 * 256) as f64;
+        assert!((grouped - dense / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiny_yolo_shapes() {
+        let m = tiny_yolo();
+        // 416 / 2^5 = 13; the stride-1 pool with padding gives 14 in our
+        // formula ((13 + 2 - 2)/1 + 1), matching the darknet "same" pad.
+        let final_grid = m.output_shape();
+        assert_eq!(final_grid.channels, 425);
+        assert!(final_grid.height == 13 || final_grid.height == 14);
+    }
+
+    #[test]
+    fn tiny_yolo_is_light() {
+        // ~5.5 GMACs at 416 - an order of magnitude under YOLOv2.
+        assert!(tiny_yolo().total_flops() < super::super::yolov2().total_flops() / 4.0);
+    }
+}

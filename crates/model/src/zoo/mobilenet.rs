@@ -1,0 +1,97 @@
+use crate::{ConvSpec, Layer, Model, PoolSpec, Shape, Unit};
+
+/// MobileNetV1 (Howard et al., 2017) with a 3x224x224 input: the
+/// canonical depthwise-separable edge CNN. Not part of the paper's
+/// evaluation, but the first model a downstream IoT user reaches for —
+/// and the stress test for grouped-convolution support.
+///
+/// Structure: a 3x3/2 stem, 13 depthwise-separable blocks (each a 3x3
+/// depthwise conv followed by a 1x1 pointwise conv), global average
+/// pooling, and a 1000-way classifier: 27 conv + 1 pool + 1 fc.
+pub fn mobilenet_v1() -> Model {
+    let mut units: Vec<Unit> = Vec::new();
+    units.push(Layer::conv("conv1", ConvSpec::square(3, 32, 3, 2, 1)).into());
+
+    // (stride, output channels) of each separable block.
+    let blocks: [(usize, usize); 13] = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    let mut in_ch = 32;
+    for (i, (stride, out_ch)) in blocks.iter().enumerate() {
+        units.push(
+            Layer::conv(
+                format!("dw{}", i + 1),
+                ConvSpec::depthwise(in_ch, 3, *stride, 1),
+            )
+            .into(),
+        );
+        units.push(Layer::conv(format!("pw{}", i + 1), ConvSpec::pointwise(in_ch, *out_ch)).into());
+        in_ch = *out_ch;
+    }
+
+    units.push(Layer::pool("avgpool", PoolSpec::avg(7, 1)).into());
+    units.push(Layer::fc("fc", 1024, 1000).into());
+    Model::new("mobilenet_v1", Shape::new(3, 224, 224), units)
+        .expect("mobilenet_v1 definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rows;
+
+    #[test]
+    fn output_and_unit_count() {
+        let m = mobilenet_v1();
+        assert_eq!(m.output_shape(), Shape::new(1000, 1, 1));
+        // 1 stem + 13 * 2 separable convs + pool + fc.
+        assert_eq!(m.len(), 1 + 26 + 2);
+    }
+
+    #[test]
+    fn flops_are_about_half_a_gmac() {
+        // Published MobileNetV1 is ~0.57 GMACs.
+        let flops = mobilenet_v1().total_flops();
+        assert!((0.4e9..0.8e9).contains(&flops), "got {flops:e}");
+    }
+
+    #[test]
+    fn parameters_are_about_4m() {
+        let p = mobilenet_v1().parameters();
+        assert!((3_500_000..4_800_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn depthwise_flops_are_cheap() {
+        // dw1 (64 ch would be dense 3x3: k^2*c^2*hw); depthwise is k^2*c*hw.
+        let m = mobilenet_v1();
+        // Unit 1 is dw1 (32 channels at 112x112).
+        let out = m.unit_output_shape(1);
+        let dw = m
+            .unit(1)
+            .flops(Rows::full(out.height), m.unit_input_shape(1), out);
+        assert_eq!(dw, (9 * 32 * 112 * 112) as f64);
+    }
+
+    #[test]
+    fn depthwise_receptive_field_matches_dense() {
+        // Grouping does not change spatial receptive fields.
+        let m = mobilenet_v1();
+        let rows = m
+            .unit(1)
+            .input_rows(Rows::new(10, 20), m.unit_input_shape(1));
+        assert_eq!(rows, Rows::new(9, 21));
+    }
+}

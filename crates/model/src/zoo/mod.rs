@@ -1,0 +1,239 @@
+//! Architecture-accurate reproductions of the models the paper
+//! evaluates.
+//!
+//! Weights are irrelevant to PICO's planning (the cost model depends
+//! only on layer shapes), so the zoo provides layer graphs only; the
+//! `pico-tensor` crate attaches synthetic weights when real execution is
+//! needed.
+//!
+//! | Model | Paper role | Units |
+//! |---|---|---|
+//! | [`vgg16`] | chain CNN, Figs. 2/4/8/10, Table I | 13 conv + 5 pool + 3 fc |
+//! | [`yolov2`] | deep chain CNN, Figs. 2/9/11, Table I | 23 conv + 5 pool |
+//! | [`resnet34`] | graph CNN (residual blocks), Fig. 12 | 16 blocks + stem + head |
+//! | [`inception_v3`] | graph CNN (inception blocks), Fig. 12 | 11 blocks + stem + head |
+//! | [`mobilenet_v1`] | depthwise-separable edge CNN (extension) | 27 conv + pool + fc |
+//! | [`alexnet`] | the original grouped-conv CNN (extension) | 5 conv + 3 pool + 3 fc |
+//! | [`tiny_yolo`] | YOLOv2-tiny, the realistic Pi-class detector (extension) | 9 conv + 6 pool |
+//! | [`toy`] | BFS-vs-PICO comparison, Table II / Fig. 13 | configurable |
+//! | [`identical_1x1`] | NP-hardness construction (Thm. 1) | n identical 1x1 convs |
+
+mod alexnet;
+mod inception;
+mod mobilenet;
+mod resnet;
+mod toy;
+mod vgg;
+mod yolo;
+
+pub use alexnet::{alexnet, tiny_yolo};
+pub use inception::inception_v3;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::resnet34;
+pub use toy::{identical_1x1, mnist_toy, toy};
+pub use vgg::vgg16;
+pub use yolo::yolov2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::conv_flops_share;
+
+    #[test]
+    fn vgg16_layer_counts_match_paper() {
+        let m = vgg16();
+        let conv = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_conv()))
+            .count();
+        let pool = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_pool()))
+            .count();
+        let fc = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_fc()))
+            .count();
+        assert_eq!((conv, pool, fc), (13, 5, 3));
+    }
+
+    #[test]
+    fn vgg16_flops_are_about_15_gmacs() {
+        // Published VGG16 multiply-accumulate count is ~15.5 G.
+        let flops = vgg16().total_flops();
+        assert!((14.0e9..17.0e9).contains(&flops), "got {flops:e}");
+    }
+
+    #[test]
+    fn vgg16_conv_share_matches_paper() {
+        // Paper: conv layers provide 99.19% of VGG16 computation.
+        let share = conv_flops_share(&vgg16());
+        assert!((0.985..0.995).contains(&share), "got {share}");
+    }
+
+    #[test]
+    fn yolov2_layer_counts_match_paper() {
+        let m = yolov2();
+        let conv = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_conv()))
+            .count();
+        let pool = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_pool()))
+            .count();
+        assert_eq!((conv, pool), (23, 5));
+    }
+
+    #[test]
+    fn yolov2_conv_share_matches_paper() {
+        // Paper: conv layers provide 99.59% of YOLOv2 computation.
+        let share = conv_flops_share(&yolov2());
+        assert!(share > 0.99, "got {share}");
+    }
+
+    #[test]
+    fn yolov2_deeper_than_vgg() {
+        // "There are 23 conv and 5 pooling layers in YOLO, nearly twice
+        // of VGG-16", and fewer parameters (1x1 convs replace FC).
+        assert!(yolov2().features().layer_count() > vgg16().features().layer_count());
+        assert!(yolov2().parameters() < vgg16().parameters());
+    }
+
+    #[test]
+    fn resnet34_has_16_residual_blocks() {
+        let m = resnet34();
+        let blocks = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Block(_)))
+            .count();
+        assert_eq!(blocks, 16);
+        // 34 weighted layers per the paper's naming: 33 conv + 1 fc
+        // (projection shortcuts add 3 more convs).
+        assert_eq!(m.output_shape(), crate::Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn resnet34_flops_are_about_3_6_gmacs() {
+        let flops = resnet34().total_flops();
+        assert!((3.0e9..4.5e9).contains(&flops), "got {flops:e}");
+    }
+
+    #[test]
+    fn inception_v3_output_and_blocks() {
+        let m = inception_v3();
+        let blocks = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Block(_)))
+            .count();
+        assert_eq!(blocks, 11); // 3 A + redA + 4 B + redB + 2 C
+        assert_eq!(m.output_shape(), crate::Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn inception_v3_flops_are_about_6_gmacs() {
+        // Published ~5.7 GMACs; our flattened inception-C duplicates a
+        // shared 1x1/3x3 prefix, so allow a slightly wider band.
+        let flops = inception_v3().total_flops();
+        assert!((5.0e9..8.0e9).contains(&flops), "got {flops:e}");
+    }
+
+    #[test]
+    fn inception_blocks_have_more_layers_than_residual_blocks() {
+        // The paper attributes InceptionV3's smaller speedup to its
+        // blocks containing more layers than residual blocks.
+        let avg_layers = |m: &crate::Model| {
+            let blocks: Vec<_> = m
+                .units()
+                .iter()
+                .filter_map(|u| match u {
+                    crate::Unit::Block(b) => Some(b.layer_count()),
+                    _ => None,
+                })
+                .collect();
+            blocks.iter().sum::<usize>() as f64 / blocks.len() as f64
+        };
+        assert!(avg_layers(&inception_v3()) > avg_layers(&resnet34()));
+    }
+
+    #[test]
+    fn toy_counts() {
+        let m = toy(8);
+        let conv = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_conv()))
+            .count();
+        assert_eq!(conv, 8);
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn mnist_toy_matches_fig13_description() {
+        // "a tiny model with 8 conv layers and 2 pooling layers ...
+        // input images from the standard 64x64 MINIST dataset".
+        let m = mnist_toy();
+        let conv = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_conv()))
+            .count();
+        let pool = m
+            .units()
+            .iter()
+            .filter(|u| matches!(u, crate::Unit::Layer(l) if l.is_pool()))
+            .count();
+        assert_eq!((conv, pool), (8, 2));
+        assert_eq!(m.input_shape().height, 64);
+    }
+
+    #[test]
+    fn identical_1x1_units_have_equal_cost() {
+        let m = identical_1x1(6);
+        let costs: Vec<f64> = (0..m.len())
+            .map(|i| {
+                m.unit(i).flops(
+                    crate::Rows::full(m.unit_output_shape(i).height),
+                    m.unit_input_shape(i),
+                    m.unit_output_shape(i),
+                )
+            })
+            .collect();
+        for c in &costs {
+            assert_eq!(*c, costs[0]);
+        }
+    }
+
+    #[test]
+    fn identical_1x1_has_no_halo() {
+        // The Theorem 1 construction: 1x1 kernels guarantee no
+        // overlapped partitions.
+        let m = identical_1x1(6);
+        let rows = m.segment_input_rows(m.full_segment(), crate::Rows::new(10, 20));
+        assert_eq!(rows, crate::Rows::new(10, 20));
+    }
+
+    #[test]
+    fn all_zoo_models_have_positive_flops() {
+        for m in [
+            vgg16(),
+            yolov2(),
+            resnet34(),
+            inception_v3(),
+            mobilenet_v1(),
+            alexnet(),
+            tiny_yolo(),
+            toy(4),
+            mnist_toy(),
+        ] {
+            assert!(m.total_flops() > 0.0, "{} has zero flops", m.name());
+        }
+    }
+}

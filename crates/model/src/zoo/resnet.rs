@@ -1,0 +1,96 @@
+use crate::{Block, ConvSpec, Layer, Model, PoolKind, PoolSpec, Shape, Unit};
+
+/// ResNet34 (He et al., 2016) with a 3x224x224 input: a 7x7 stem, 16
+/// basic residual blocks in four groups (3/4/6/3), global average
+/// pooling, and a 1000-way classifier — the paper's chain-of-blocks
+/// graph CNN (Fig. 5, Fig. 12).
+///
+/// Each residual block is one planning [`Unit`]; its input-row
+/// requirement is the union hull of the main path (two 3x3 convs) and
+/// the shortcut (Sec. IV-B).
+pub fn resnet34() -> Model {
+    let mut units: Vec<Unit> = Vec::new();
+    units.push(Layer::conv("conv1", ConvSpec::square(3, 64, 7, 2, 3)).into());
+    units.push(
+        Layer::pool(
+            "maxpool",
+            PoolSpec {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (1, 1),
+            },
+        )
+        .into(),
+    );
+
+    // (blocks, channels) per group; the first block of groups 2-4
+    // downsamples with stride 2 and a 1x1 projection shortcut.
+    let groups: [(usize, usize); 4] = [(3, 64), (4, 128), (6, 256), (3, 512)];
+    let mut in_ch = 64;
+    for (g, (blocks, ch)) in groups.iter().enumerate() {
+        for b in 0..*blocks {
+            let downsample = g > 0 && b == 0;
+            let stride = if downsample { 2 } else { 1 };
+            let main = vec![
+                Layer::conv(
+                    format!("res{}_{}a", g + 2, b + 1),
+                    ConvSpec::square(in_ch, *ch, 3, stride, 1),
+                ),
+                Layer::conv(
+                    format!("res{}_{}b", g + 2, b + 1),
+                    ConvSpec::square(*ch, *ch, 3, 1, 1),
+                ),
+            ];
+            let shortcut = if downsample || in_ch != *ch {
+                vec![Layer::conv(
+                    format!("res{}_{}proj", g + 2, b + 1),
+                    ConvSpec::square(in_ch, *ch, 1, stride, 0),
+                )]
+            } else {
+                vec![]
+            };
+            units.push(Block::residual(format!("res{}_{}", g + 2, b + 1), main, shortcut).into());
+            in_ch = *ch;
+        }
+    }
+
+    units.push(Layer::pool("avgpool", PoolSpec::avg(7, 1)).into());
+    units.push(Layer::fc("fc", 512, 1000).into());
+    Model::new("resnet34", Shape::new(3, 224, 224), units)
+        .expect("resnet34 definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rows;
+
+    #[test]
+    fn stage_resolutions() {
+        let m = resnet34();
+        // conv1: 112, maxpool: 56, after group2: 56, g3: 28, g4: 14, g5: 7.
+        assert_eq!(m.unit_output_shape(0).height, 112);
+        assert_eq!(m.unit_output_shape(1).height, 56);
+        assert_eq!(m.unit_output_shape(4), Shape::new(64, 56, 56)); // end of group 2
+        assert_eq!(m.unit_output_shape(8), Shape::new(128, 28, 28)); // end of group 3
+        assert_eq!(m.unit_output_shape(14), Shape::new(256, 14, 14)); // end of group 4
+        assert_eq!(m.unit_output_shape(17), Shape::new(512, 7, 7)); // end of group 5
+    }
+
+    #[test]
+    fn parameters_are_about_21m() {
+        let p = resnet34().parameters();
+        assert!((20_000_000..23_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn residual_block_halo_is_two_rows() {
+        let m = resnet34();
+        // Block index 2 is the first identity residual at 56x56.
+        let rows = m
+            .unit(2)
+            .input_rows(Rows::new(10, 20), m.unit_input_shape(2));
+        assert_eq!(rows, Rows::new(8, 22));
+    }
+}

@@ -1,0 +1,101 @@
+use crate::{ConvSpec, Layer, Model, PoolSpec, Shape, Unit};
+
+/// A toy chain of `conv_layers` 3x3 convolutions on a 3x64x64 input,
+/// used for the PICO-vs-BFS optimization-cost study (Table II): the BFS
+/// optimal planner is only tractable on models of this size.
+///
+/// Channel widths ramp 3 -> 16 -> 32 -> 32 -> ... so layer costs vary
+/// (a heterogeneous layer mix, like real CNNs).
+///
+/// # Panics
+///
+/// Panics if `conv_layers == 0`.
+pub fn toy(conv_layers: usize) -> Model {
+    assert!(conv_layers > 0, "toy model needs at least one layer");
+    let mut units: Vec<Unit> = Vec::new();
+    let mut in_ch = 3;
+    for i in 0..conv_layers {
+        let out_ch = match i {
+            0 => 16,
+            _ => 32,
+        };
+        units.push(
+            Layer::conv(
+                format!("conv{}", i + 1),
+                ConvSpec::square(in_ch, out_ch, 3, 1, 1),
+            )
+            .into(),
+        );
+        in_ch = out_ch;
+    }
+    Model::new(format!("toy{conv_layers}"), Shape::new(3, 64, 64), units)
+        .expect("toy definition is internally consistent")
+}
+
+/// The Fig. 13 toy model: 8 convolution and 2 pooling layers on a
+/// 1x64x64 input ("input images from the standard 64x64 MINIST
+/// dataset"), deployed on a 6-device heterogeneous cluster in the paper.
+pub fn mnist_toy() -> Model {
+    let mut units: Vec<Unit> = Vec::new();
+    let chans = [16, 16, 32, 32, 32, 64, 64, 64];
+    let mut in_ch = 1;
+    for (i, out_ch) in chans.iter().enumerate() {
+        units.push(
+            Layer::conv(
+                format!("conv{}", i + 1),
+                ConvSpec::square(in_ch, *out_ch, 3, 1, 1),
+            )
+            .into(),
+        );
+        in_ch = *out_ch;
+        // Pools after conv3 and conv6: 64 -> 32 -> 16.
+        if i == 2 || i == 5 {
+            units.push(Layer::pool(format!("pool{}", i / 3 + 1), PoolSpec::max(2, 2)).into());
+        }
+    }
+    Model::new("mnist_toy", Shape::new(1, 64, 64), units)
+        .expect("mnist_toy definition is internally consistent")
+}
+
+/// The Theorem 1 NP-hardness construction: `n` identical 1x1
+/// convolutions (no halo, so parallelization has zero overlap) on a
+/// 32x64x64 input. Used by tests that need perfectly divisible,
+/// identical-cost layers.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn identical_1x1(n: usize) -> Model {
+    assert!(n > 0, "identical_1x1 needs at least one layer");
+    let units: Vec<Unit> = (0..n)
+        .map(|i| Layer::conv(format!("pw{}", i + 1), ConvSpec::pointwise(32, 32)).into())
+        .collect();
+    Model::new(format!("identical1x1_{n}"), Shape::new(32, 64, 64), units)
+        .expect("identical_1x1 definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_sizes() {
+        for n in [1, 4, 8, 16] {
+            let m = toy(n);
+            assert_eq!(m.len(), n);
+            assert_eq!(m.output_shape().height, 64);
+        }
+    }
+
+    #[test]
+    fn mnist_toy_resolution_drops_twice() {
+        let m = mnist_toy();
+        assert_eq!(m.output_shape(), Shape::new(64, 16, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn toy_zero_panics() {
+        toy(0);
+    }
+}

@@ -1,0 +1,54 @@
+use crate::{ConvSpec, Layer, Model, PoolSpec, Shape, Unit};
+
+/// VGG16 (Simonyan & Zisserman, 2014) with a 3x224x224 input: 13
+/// convolution, 5 pooling, and 3 fully-connected layers — the paper's
+/// primary chain-structured benchmark (Table I lists "13 conv + 5
+/// pool").
+///
+/// Planners typically operate on [`Model::features`] (conv/pool only),
+/// matching the paper's layer counts.
+pub fn vgg16() -> Model {
+    let mut units: Vec<Unit> = Vec::new();
+    let mut in_ch = 3;
+    // (blocks of convs, output channels) per VGG16 configuration D.
+    let stages: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (s, (convs, out_ch)) in stages.iter().enumerate() {
+        for c in 0..*convs {
+            units.push(
+                Layer::conv(
+                    format!("conv{}_{}", s + 1, c + 1),
+                    ConvSpec::square(in_ch, *out_ch, 3, 1, 1),
+                )
+                .into(),
+            );
+            in_ch = *out_ch;
+        }
+        units.push(Layer::pool(format!("pool{}", s + 1), PoolSpec::max(2, 2)).into());
+    }
+    units.push(Layer::fc("fc6", 512 * 7 * 7, 4096).into());
+    units.push(Layer::fc("fc7", 4096, 4096).into());
+    units.push(Layer::fc("fc8", 4096, 1000).into());
+    Model::new("vgg16", Shape::new(3, 224, 224), units)
+        .expect("vgg16 definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_1000_classes() {
+        assert_eq!(vgg16().output_shape(), Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn features_end_at_7x7x512() {
+        assert_eq!(vgg16().features().output_shape(), Shape::new(512, 7, 7));
+    }
+
+    #[test]
+    fn parameters_are_about_138m() {
+        let p = vgg16().parameters();
+        assert!((130_000_000..145_000_000).contains(&p), "got {p}");
+    }
+}

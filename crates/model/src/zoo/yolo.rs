@@ -1,0 +1,85 @@
+use crate::{ConvSpec, Layer, Model, PoolSpec, Shape, Unit};
+
+/// YOLOv2 (Redmon & Farhadi, 2017) with a 3x448x448 input, as the chain
+/// of 23 convolution and 5 pooling layers the paper describes
+/// (Table I: "23 conv + 5 pool", input 448x448).
+///
+/// The Darknet19 backbone is reproduced exactly. The detection head's
+/// passthrough ("reorg") connection is linearized: the concatenation of
+/// the reorganized mid-level features is modeled as a 1x1 expansion to
+/// 1280 channels on the main path, preserving the 23-conv count and the
+/// FLOPs of the 1280-channel 3x3 head convolution. A chain model is what
+/// the paper's planner consumes ("VGG16 is a typical chain CNN" — YOLOv2
+/// is treated the same way).
+pub fn yolov2() -> Model {
+    let mut units: Vec<Unit> = Vec::new();
+    let mut n = 0usize;
+    let mut conv = |units: &mut Vec<Unit>, spec: ConvSpec| {
+        n += 1;
+        units.push(Layer::conv(format!("conv{n}"), spec).into());
+    };
+
+    // Darknet19 backbone (18 conv + 5 pool at detection resolution).
+    conv(&mut units, ConvSpec::square(3, 32, 3, 1, 1));
+    units.push(Layer::pool("pool1", PoolSpec::max(2, 2)).into());
+    conv(&mut units, ConvSpec::square(32, 64, 3, 1, 1));
+    units.push(Layer::pool("pool2", PoolSpec::max(2, 2)).into());
+    conv(&mut units, ConvSpec::square(64, 128, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(128, 64));
+    conv(&mut units, ConvSpec::square(64, 128, 3, 1, 1));
+    units.push(Layer::pool("pool3", PoolSpec::max(2, 2)).into());
+    conv(&mut units, ConvSpec::square(128, 256, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(256, 128));
+    conv(&mut units, ConvSpec::square(128, 256, 3, 1, 1));
+    units.push(Layer::pool("pool4", PoolSpec::max(2, 2)).into());
+    conv(&mut units, ConvSpec::square(256, 512, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(512, 256));
+    conv(&mut units, ConvSpec::square(256, 512, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(512, 256));
+    conv(&mut units, ConvSpec::square(256, 512, 3, 1, 1));
+    units.push(Layer::pool("pool5", PoolSpec::max(2, 2)).into());
+    conv(&mut units, ConvSpec::square(512, 1024, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(1024, 512));
+    conv(&mut units, ConvSpec::square(512, 1024, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(1024, 512));
+    conv(&mut units, ConvSpec::square(512, 1024, 3, 1, 1));
+
+    // Detection head (5 conv), passthrough linearized as a 1x1 -> 1280.
+    conv(&mut units, ConvSpec::square(1024, 1024, 3, 1, 1));
+    conv(&mut units, ConvSpec::square(1024, 1024, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(1024, 1280));
+    conv(&mut units, ConvSpec::square(1280, 1024, 3, 1, 1));
+    conv(&mut units, ConvSpec::pointwise(1024, 425));
+
+    Model::new("yolov2", Shape::new(3, 448, 448), units)
+        .expect("yolov2 definition is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_grid_is_14x14() {
+        // 448 / 2^5 = 14; 5 anchors x (5 + 80) = 425 channels.
+        assert_eq!(yolov2().output_shape(), Shape::new(425, 14, 14));
+    }
+
+    #[test]
+    fn features_equal_whole_model() {
+        // No FC layers: features() is the full 28-unit chain.
+        assert_eq!(yolov2().features().len(), yolov2().len());
+        assert_eq!(yolov2().len(), 28);
+    }
+
+    #[test]
+    fn flops_are_tens_of_gmacs() {
+        // YOLOv2@448 is ~30+ GMACs (deeper and wider input than VGG16).
+        let flops = yolov2().total_flops();
+        assert!(flops > vgg16_flops(), "got {flops:e}");
+    }
+
+    fn vgg16_flops() -> f64 {
+        super::super::vgg16().total_flops()
+    }
+}

@@ -1,0 +1,399 @@
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use pico_model::{Model, Rows, Segment};
+
+use crate::{
+    balance_rows, Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner, Scheme,
+    Stage,
+};
+
+/// Exhaustive search for the optimal pipeline — the paper's BFS baseline
+/// (Sec. V-C). It enumerates every contiguous layer partition and every
+/// assignment of devices to stages (devices may idle), evaluating each
+/// candidate with the full cost model.
+///
+/// The search space explodes combinatorially with layers and devices
+/// (Table II: minutes at 10 layers / 6 devices, over an hour beyond), so
+/// an optional wall-clock budget truncates the search; the outcome then
+/// carries the best plan found and a `timed_out` flag.
+///
+/// Symmetry between devices of equal capacity is broken (equal devices
+/// are interchangeable), and per-stage costs are memoized on
+/// (segment, capacity multiset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BfsOptimal {
+    budget: Option<Duration>,
+}
+
+/// Result of a [`BfsOptimal::search`].
+#[derive(Debug, Clone)]
+pub struct BfsOutcome {
+    /// The best plan found.
+    pub plan: Plan,
+    /// Predicted period of the best plan.
+    pub period: f64,
+    /// Predicted latency of the best plan.
+    pub latency: f64,
+    /// Candidate stage sets evaluated.
+    pub evaluated: u64,
+    /// Whether the wall-clock budget truncated the search.
+    pub timed_out: bool,
+    /// Wall-clock time spent searching.
+    pub elapsed: Duration,
+}
+
+impl BfsOptimal {
+    /// Creates an unbudgeted (complete) search.
+    pub fn new() -> Self {
+        BfsOptimal { budget: None }
+    }
+
+    /// Creates a search truncated after `budget` of wall-clock time.
+    pub fn with_budget(budget: Duration) -> Self {
+        BfsOptimal {
+            budget: Some(budget),
+        }
+    }
+
+    /// Runs the search, returning the best plan and search statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::LatencyInfeasible`] when `params.t_lim`
+    /// rejects every explored candidate, or
+    /// [`PlanError::UnsupportedModel`] when the budget expires before
+    /// any feasible candidate was evaluated.
+    pub fn search(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        params: &CostParams,
+    ) -> Result<BfsOutcome, PlanError> {
+        let start = Instant::now();
+        let mut ctx = SearchCtx {
+            model,
+            cluster,
+            params,
+            // Device ids strongest-first; equal-capacity runs are
+            // symmetry-broken during assignment.
+            ids: cluster.ids_by_capacity_desc(),
+            stage_cache: HashMap::new(),
+            best: None,
+            best_infeasible_latency: f64::INFINITY,
+            evaluated: 0,
+            deadline: self.budget.map(|b| start + b),
+            timed_out: false,
+        };
+
+        let l = model.len();
+        let max_stages = l.min(cluster.len());
+        let mut cuts = Vec::new();
+        ctx.enumerate_compositions(0, l, max_stages, &mut cuts);
+
+        let elapsed = start.elapsed();
+        match ctx.best {
+            Some((plan, period, latency)) => Ok(BfsOutcome {
+                plan,
+                period,
+                latency,
+                evaluated: ctx.evaluated,
+                timed_out: ctx.timed_out,
+                elapsed,
+            }),
+            None if ctx.timed_out => Err(PlanError::UnsupportedModel {
+                detail: format!(
+                    "BFS budget expired after {elapsed:?} before any candidate was evaluated"
+                ),
+            }),
+            None => Err(PlanError::LatencyInfeasible {
+                limit: params.t_lim.unwrap_or(f64::INFINITY),
+                best: ctx.best_infeasible_latency,
+            }),
+        }
+    }
+}
+
+impl Planner for BfsOptimal {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn plan(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        params: &CostParams,
+    ) -> Result<Plan, PlanError> {
+        self.search(model, cluster, params).map(|o| o.plan)
+    }
+}
+
+struct SearchCtx<'a> {
+    model: &'a Model,
+    cluster: &'a Cluster,
+    params: &'a CostParams,
+    ids: Vec<usize>,
+    /// (seg.start, seg.end, sorted device-id multiset) -> stage cost.
+    stage_cache: HashMap<(usize, usize, Vec<usize>), f64>,
+    best: Option<(Plan, f64, f64)>,
+    best_infeasible_latency: f64,
+    evaluated: u64,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl SearchCtx<'_> {
+    fn out_of_time(&mut self) -> bool {
+        if self.timed_out {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if self.evaluated.is_multiple_of(512) && Instant::now() > d {
+                self.timed_out = true;
+            }
+        }
+        self.timed_out
+    }
+
+    /// Enumerates contiguous segmentations of units `[from, l)` into at
+    /// most `stages_left` segments, then assigns devices for each.
+    fn enumerate_compositions(
+        &mut self,
+        from: usize,
+        l: usize,
+        stages_left: usize,
+        cuts: &mut Vec<Segment>,
+    ) {
+        if self.out_of_time() {
+            return;
+        }
+        if from == l {
+            let segments = cuts.clone();
+            let mut assignment = vec![usize::MAX; self.ids.len()];
+            self.assign_devices(&segments, 0, &mut assignment);
+            return;
+        }
+        if stages_left == 0 {
+            return;
+        }
+        for end in (from + 1)..=l {
+            cuts.push(Segment::new(from, end));
+            self.enumerate_compositions(end, l, stages_left - 1, cuts);
+            cuts.pop();
+        }
+    }
+
+    /// Assigns device `i` (strongest-first order) to one of the stages
+    /// or to idle, with symmetry breaking between equal-capacity
+    /// devices: within a run of equal devices, stage choices must be
+    /// non-decreasing (idle counts as the last choice).
+    fn assign_devices(&mut self, segments: &[Segment], i: usize, assignment: &mut Vec<usize>) {
+        if self.out_of_time() {
+            return;
+        }
+        let s = segments.len();
+        if i == self.ids.len() {
+            self.evaluate(segments, assignment);
+            return;
+        }
+        let min_choice = if i > 0 && self.capacity(i) == self.capacity(i - 1) {
+            assignment[i - 1]
+        } else {
+            0
+        };
+        // Choices: stage index 0..s, or s = idle.
+        for choice in min_choice..=s {
+            assignment[i] = choice;
+            // Feasibility: remaining devices must be able to fill all
+            // still-empty stages.
+            let empty_stages = (0..s)
+                .filter(|st| !assignment[..=i].iter().any(|a| a == st))
+                .count();
+            if empty_stages < self.ids.len() - i {
+                self.assign_devices(segments, i + 1, assignment);
+            }
+        }
+        assignment[i] = usize::MAX;
+    }
+
+    fn capacity(&self, i: usize) -> f64 {
+        self.cluster
+            .device(self.ids[i])
+            .expect("id from this cluster")
+            .capacity
+    }
+
+    fn evaluate(&mut self, segments: &[Segment], assignment: &[usize]) {
+        self.evaluated += 1;
+        let s = segments.len();
+        let mut period: f64 = 0.0;
+        let mut latency = 0.0;
+        let mut stages = Vec::with_capacity(s);
+        for (st, seg) in segments.iter().enumerate() {
+            let members: Vec<usize> = (0..self.ids.len())
+                .filter(|i| assignment[*i] == st)
+                .map(|i| self.ids[i])
+                .collect();
+            if members.is_empty() {
+                return; // infeasible: every stage needs a device
+            }
+            let cost = self.stage_cost(*seg, &members);
+            period = period.max(cost);
+            latency += cost;
+            stages.push(self.build_stage(*seg, &members));
+        }
+        if let Some(lim) = self.params.t_lim {
+            if latency > lim {
+                self.best_infeasible_latency = self.best_infeasible_latency.min(latency);
+                return;
+            }
+        }
+        let better = match &self.best {
+            None => true,
+            Some((_, p, t)) => period < *p || (period == *p && latency < *t),
+        };
+        if better {
+            let plan = Plan::new(Scheme::BfsOptimal, ExecutionMode::Pipelined, stages);
+            self.best = Some((plan, period, latency));
+        }
+    }
+
+    fn stage_cost(&mut self, seg: Segment, members: &[usize]) -> f64 {
+        let mut key_ids = members.to_vec();
+        key_ids.sort_unstable();
+        let key = (seg.start, seg.end, key_ids);
+        if let Some(v) = self.stage_cache.get(&key) {
+            return *v;
+        }
+        let stage = self.build_stage(seg, members);
+        let v = self
+            .params
+            .cost_model(self.model)
+            .stage_cost(&stage, self.cluster)
+            .total();
+        self.stage_cache.insert(key, v);
+        v
+    }
+
+    fn build_stage(&self, seg: Segment, members: &[usize]) -> Stage {
+        let h = self.model.unit_output_shape(seg.end - 1).height;
+        let devices: Vec<&crate::Device> = members
+            .iter()
+            .map(|id| self.cluster.device(*id).expect("id from this cluster"))
+            .collect();
+        // Same divide-and-conquer share balancing PICO uses, so BFS is a
+        // true exhaustive upper bound over the heuristic.
+        let shares = balance_rows(self.model, seg, Rows::full(h), &devices);
+        Stage::new(
+            seg,
+            members
+                .iter()
+                .zip(shares)
+                .map(|(id, r)| Assignment::new(*id, r))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PicoPlanner;
+    use pico_model::zoo;
+
+    #[test]
+    fn bfs_finds_valid_plan() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(3, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let out = BfsOptimal::new().search(&m, &c, &params).unwrap();
+        out.plan.validate(&m, &c).unwrap();
+        assert!(!out.timed_out);
+        assert!(out.evaluated > 0);
+    }
+
+    #[test]
+    fn bfs_period_never_worse_than_pico() {
+        // BFS is exhaustive over a superset of PICO's candidates with
+        // weighted shares, so its period lower-bounds the heuristic's on
+        // small instances (Fig. 13's premise).
+        let params = CostParams::wifi_50mbps();
+        for (layers, devices) in [(4, 3), (6, 4)] {
+            let m = zoo::toy(layers);
+            let c = Cluster::paper_heterogeneous_6();
+            let c = Cluster::new(c.devices()[..devices].to_vec());
+            let cm = params.cost_model(&m);
+            let bfs = BfsOptimal::new().search(&m, &c, &params).unwrap();
+            let pico = PicoPlanner.plan(&m, &c, &params).unwrap();
+            let pico_period = cm.evaluate(&pico, &c).period;
+            assert!(
+                bfs.period <= pico_period * 1.0001,
+                "({layers},{devices}): bfs {} pico {}",
+                bfs.period,
+                pico_period
+            );
+        }
+    }
+
+    #[test]
+    fn budget_truncates_search() {
+        let m = zoo::toy(10);
+        let c = Cluster::pi_cluster(6, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let out = BfsOptimal::with_budget(Duration::from_millis(50))
+            .search(&m, &c, &params)
+            .unwrap();
+        // Either it finished fast or it was truncated; both must yield a
+        // valid plan.
+        out.plan.validate(&m, &c).unwrap();
+        assert!(out.elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn t_lim_infeasible_reports_best() {
+        let m = zoo::toy(3);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let params = CostParams::wifi_50mbps().with_t_lim(1e-12);
+        match BfsOptimal::new().search(&m, &c, &params) {
+            Err(PlanError::LatencyInfeasible { best, .. }) => assert!(best.is_finite()),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_reduces_candidates() {
+        let m = zoo::toy(3);
+        let params = CostParams::wifi_50mbps();
+        let homo = Cluster::pi_cluster(4, 1.0);
+        let hetero = Cluster::new(vec![
+            crate::Device::from_frequency(0, 1.2),
+            crate::Device::from_frequency(1, 1.0),
+            crate::Device::from_frequency(2, 0.8),
+            crate::Device::from_frequency(3, 0.6),
+        ]);
+        let n_homo = BfsOptimal::new()
+            .search(&m, &homo, &params)
+            .unwrap()
+            .evaluated;
+        let n_hetero = BfsOptimal::new()
+            .search(&m, &hetero, &params)
+            .unwrap()
+            .evaluated;
+        assert!(n_homo < n_hetero, "homo {n_homo} hetero {n_hetero}");
+    }
+
+    #[test]
+    fn evaluated_grows_with_problem_size() {
+        // The Table II story: BFS cost explodes with layers/devices.
+        let params = CostParams::wifi_50mbps();
+        let c4 = Cluster::pi_cluster(4, 1.0);
+        let small = BfsOptimal::new()
+            .search(&zoo::toy(4), &c4, &params)
+            .unwrap();
+        let large = BfsOptimal::new()
+            .search(&zoo::toy(8), &c4, &params)
+            .unwrap();
+        assert!(large.evaluated > small.evaluated * 4);
+    }
+}

@@ -1,0 +1,429 @@
+use pico_model::{Model, Region2, Rows, Segment};
+use serde::{Deserialize, Serialize};
+
+use crate::{Assignment, Cluster, Device, ExecutionMode, Plan, Stage};
+
+/// Environment parameters of the cost model: the shared WLAN bandwidth
+/// `b` (the paper assumes one uniform bandwidth for all device pairs)
+/// and an optional pipeline latency limit `T_lim` (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Shared bandwidth in **bits per second**.
+    pub bandwidth_bps: f64,
+    /// Latency constraint `T_lim` in seconds (`None` = unconstrained).
+    pub t_lim: Option<f64>,
+}
+
+impl CostParams {
+    /// Creates parameters with the given bandwidth in bits/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not strictly positive and finite.
+    pub fn new(bandwidth_bps: f64) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive and finite"
+        );
+        CostParams {
+            bandwidth_bps,
+            t_lim: None,
+        }
+    }
+
+    /// The paper's testbed network: a WiFi access point with 50 Mbps.
+    pub fn wifi_50mbps() -> Self {
+        CostParams::new(50e6)
+    }
+
+    /// Returns these parameters with a latency limit.
+    pub fn with_t_lim(mut self, t_lim: f64) -> Self {
+        assert!(t_lim.is_finite() && t_lim > 0.0, "t_lim must be positive");
+        self.t_lim = Some(t_lim);
+        self
+    }
+
+    /// Builds a [`CostModel`] for a model under these parameters.
+    pub fn cost_model<'m>(&self, model: &'m Model) -> CostModel<'m> {
+        CostModel {
+            model,
+            params: *self,
+        }
+    }
+}
+
+impl Default for CostParams {
+    /// The paper's 50 Mbps WiFi, no latency limit.
+    fn default() -> Self {
+        CostParams::wifi_50mbps()
+    }
+}
+
+/// Computation/communication breakdown of one stage (Eq. 9:
+/// `T(S) = T_comp(S) + T_comm(S)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// `T_comp`: the slowest device's compute time (Eq. 6).
+    pub comp: f64,
+    /// `T_comm`: summed transfer time over the stage's devices (Eq. 8).
+    pub comm: f64,
+}
+
+impl StageCost {
+    /// Total stage time (Eq. 9).
+    pub fn total(&self) -> f64 {
+        self.comp + self.comm
+    }
+}
+
+/// Predicted performance of a whole plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanMetrics {
+    /// Pipeline period `P` (Eq. 10) — the reciprocal of throughput. For
+    /// sequential (one-stage) schemes this equals `latency`.
+    pub period: f64,
+    /// Pipeline latency `T` (Eq. 11) — time for one task to traverse
+    /// all stages.
+    pub latency: f64,
+    /// Per-stage cost breakdown.
+    pub stage_costs: Vec<StageCost>,
+}
+
+impl PlanMetrics {
+    /// Steady-state throughput in tasks per second (`1 / period`).
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.period
+    }
+}
+
+/// The paper's analytic cost model (Sec. III-B) bound to one model.
+///
+/// All times are seconds, all data volumes are bytes (converted to bits
+/// against [`CostParams::bandwidth_bps`]).
+#[derive(Debug, Clone)]
+pub struct CostModel<'m> {
+    model: &'m Model,
+    params: CostParams,
+}
+
+impl<'m> CostModel<'m> {
+    /// The model being costed.
+    pub fn model(&self) -> &'m Model {
+        self.model
+    }
+
+    /// The environment parameters.
+    pub fn params(&self) -> CostParams {
+        self.params
+    }
+
+    /// Eq. 5: time for `device` to compute output rows `rows` of
+    /// segment `seg` (including halo redundancy).
+    pub fn assignment_comp_time(&self, device: &Device, seg: Segment, rows: Rows) -> f64 {
+        device.compute_time(self.model.segment_flops(seg, rows))
+    }
+
+    /// Eq. 7: time to ship one device's input tile in and output tile
+    /// back over the shared link.
+    pub fn assignment_comm_time(&self, seg: Segment, rows: Rows) -> f64 {
+        let bytes = self.assignment_comm_bytes(seg, rows);
+        bytes as f64 * 8.0 / self.params.bandwidth_bps
+    }
+
+    /// Bytes moved for one assignment: `φ(F_i^k) + φ(F_j^k)`.
+    pub fn assignment_comm_bytes(&self, seg: Segment, rows: Rows) -> usize {
+        if rows.is_empty() {
+            return 0;
+        }
+        let in_rows = self.model.segment_input_rows(seg, rows);
+        let in_bytes = self
+            .model
+            .unit_input_shape(seg.start)
+            .row_bytes(in_rows.len());
+        let out_bytes = self
+            .model
+            .unit_output_shape(seg.end - 1)
+            .row_bytes(rows.len());
+        in_bytes + out_bytes
+    }
+
+    /// Eq. 5 for a rectangular tile (grid partitioning).
+    pub fn region_comp_time(&self, device: &Device, seg: Segment, region: Region2) -> f64 {
+        device.compute_time(self.model.segment_region_flops(seg, region))
+    }
+
+    /// Bytes moved for a rectangular tile: input region + output region.
+    pub fn region_comm_bytes(&self, seg: Segment, region: Region2) -> usize {
+        if region.is_empty() {
+            return 0;
+        }
+        let need = self.model.segment_input_region(seg, region);
+        need.bytes(self.model.unit_input_shape(seg.start).channels)
+            + region.bytes(self.model.unit_output_shape(seg.end - 1).channels)
+    }
+
+    /// Eq. 7 for a rectangular tile.
+    pub fn region_comm_time(&self, seg: Segment, region: Region2) -> f64 {
+        self.region_comm_bytes(seg, region) as f64 * 8.0 / self.params.bandwidth_bps
+    }
+
+    /// Compute time of one assignment (strip or tile).
+    pub fn comp_time_of(&self, device: &Device, seg: Segment, a: &Assignment) -> f64 {
+        match a.cols {
+            None => self.assignment_comp_time(device, seg, a.rows),
+            Some(_) => {
+                let width = self.model.unit_output_shape(seg.end - 1).width;
+                self.region_comp_time(device, seg, a.region(width))
+            }
+        }
+    }
+
+    /// Transfer time of one assignment (strip or tile).
+    pub fn comm_time_of(&self, seg: Segment, a: &Assignment) -> f64 {
+        match a.cols {
+            None => self.assignment_comm_time(seg, a.rows),
+            Some(_) => {
+                let width = self.model.unit_output_shape(seg.end - 1).width;
+                self.region_comm_time(seg, a.region(width))
+            }
+        }
+    }
+
+    /// Eqs. 6 + 8 + 9: a stage's compute (max over devices) and
+    /// communication (sum over devices) cost.
+    ///
+    /// Following Eq. 8 literally, *every* device in the stage — even a
+    /// single one — pays for shipping its input tile in and its output
+    /// tile out over the shared link: in a pipeline, data always moves
+    /// between the coordinator `d_f` and the compute devices, and
+    /// between consecutive stages' coordinators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment references a device missing from
+    /// `cluster`. Validate plans first ([`Plan::validate`]).
+    pub fn stage_cost(&self, stage: &Stage, cluster: &Cluster) -> StageCost {
+        let workers: Vec<&Assignment> =
+            stage.assignments.iter().filter(|a| !a.is_empty()).collect();
+        let comp = workers
+            .iter()
+            .map(|a| {
+                let device = cluster
+                    .device(a.device)
+                    .expect("plan references device missing from cluster");
+                self.comp_time_of(device, stage.segment, a)
+            })
+            .fold(0.0, f64::max);
+        let comm = workers
+            .iter()
+            .map(|a| self.comm_time_of(stage.segment, a))
+            .sum();
+        StageCost { comp, comm }
+    }
+
+    /// Evaluates a plan: per-stage costs, pipeline period (Eq. 10), and
+    /// pipeline latency (Eq. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references devices missing from `cluster`.
+    pub fn evaluate(&self, plan: &Plan, cluster: &Cluster) -> PlanMetrics {
+        let stage_costs: Vec<StageCost> = plan
+            .stages
+            .iter()
+            .map(|s| self.stage_cost(s, cluster))
+            .collect();
+        let latency: f64 = stage_costs.iter().map(StageCost::total).sum();
+        let period = match plan.mode {
+            ExecutionMode::Pipelined => {
+                stage_costs.iter().map(StageCost::total).fold(0.0, f64::max)
+            }
+            ExecutionMode::Sequential => latency,
+        };
+        PlanMetrics {
+            period,
+            latency,
+            stage_costs,
+        }
+    }
+
+    /// Cost of a hypothetical stage: segment `seg` split evenly over the
+    /// first `p` devices of `cluster` (the homogeneous `Ts[i][j][p]` of
+    /// Algorithm 1).
+    pub fn even_stage_cost(&self, seg: Segment, cluster: &Cluster, p: usize) -> StageCost {
+        let h = self.model.unit_output_shape(seg.end - 1).height;
+        let shares = pico_model::rows_split_even(Rows::full(h), p);
+        let stage = Stage::new(
+            seg,
+            cluster
+                .devices()
+                .iter()
+                .take(p)
+                .zip(shares)
+                .map(|(d, r)| crate::Assignment::new(d.id, r))
+                .collect(),
+        );
+        self.stage_cost(&stage, cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Scheme};
+    use pico_model::{rows_split_even, zoo};
+
+    fn toy_setup() -> (Model, Cluster, CostParams) {
+        (
+            zoo::toy(4),
+            Cluster::pi_cluster(4, 1.0),
+            CostParams::wifi_50mbps(),
+        )
+    }
+
+    #[test]
+    fn comp_time_scales_with_capacity() {
+        let (m, _, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let slow = Device::from_frequency(0, 0.6);
+        let fast = Device::from_frequency(1, 1.2);
+        let seg = m.full_segment();
+        let rows = Rows::full(m.output_shape().height);
+        let t_slow = cm.assignment_comp_time(&slow, seg, rows);
+        let t_fast = cm.assignment_comp_time(&fast, seg, rows);
+        assert!((t_slow / t_fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_bytes_count_input_and_output_tiles() {
+        let (m, _, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let seg = m.full_segment();
+        let h = m.output_shape().height;
+        let rows = Rows::new(0, h / 2);
+        let in_rows = m.segment_input_rows(seg, rows);
+        let expected =
+            m.input_shape().row_bytes(in_rows.len()) + m.output_shape().row_bytes(rows.len());
+        assert_eq!(cm.assignment_comm_bytes(seg, rows), expected);
+    }
+
+    #[test]
+    fn empty_assignment_moves_nothing() {
+        let (m, _, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        assert_eq!(cm.assignment_comm_bytes(m.full_segment(), Rows::empty()), 0);
+    }
+
+    #[test]
+    fn comm_time_uses_bits() {
+        let (m, _, _) = toy_setup();
+        let p = CostParams::new(8.0); // 8 bits/s = 1 byte/s
+        let cm = p.cost_model(&m);
+        let seg = m.full_segment();
+        let rows = Rows::new(0, 4);
+        let bytes = cm.assignment_comm_bytes(seg, rows);
+        assert!((cm.assignment_comm_time(seg, rows) - bytes as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_worker_stage_pays_its_transfer() {
+        // Eq. 8 charges every stage device for its input and output
+        // tiles, including a solo device.
+        let (m, c, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let h = m.output_shape().height;
+        let stage = Stage::new(m.full_segment(), vec![Assignment::new(0, Rows::full(h))]);
+        let cost = cm.stage_cost(&stage, &c);
+        let expected = cm.assignment_comm_time(m.full_segment(), Rows::full(h));
+        assert!((cost.comm - expected).abs() < 1e-12);
+        assert!(cost.comp > 0.0);
+    }
+
+    #[test]
+    fn stage_comp_is_max_comm_is_sum() {
+        let (m, c, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let h = m.output_shape().height;
+        let shares = rows_split_even(Rows::full(h), 2);
+        let stage = Stage::new(
+            m.full_segment(),
+            vec![Assignment::new(0, shares[0]), Assignment::new(1, shares[1])],
+        );
+        let cost = cm.stage_cost(&stage, &c);
+        let seg = m.full_segment();
+        let d0 = c.device(0).unwrap();
+        let t0 = cm.assignment_comp_time(d0, seg, shares[0]);
+        let t1 = cm.assignment_comp_time(c.device(1).unwrap(), seg, shares[1]);
+        assert!((cost.comp - t0.max(t1)).abs() < 1e-12);
+        let comm =
+            cm.assignment_comm_time(seg, shares[0]) + cm.assignment_comm_time(seg, shares[1]);
+        assert!((cost.comm - comm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_period_equals_latency() {
+        let (m, c, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::OptimalFused,
+            ExecutionMode::Sequential,
+            vec![
+                Stage::new(Segment::new(0, 2), vec![Assignment::new(0, Rows::full(h))]),
+                Stage::new(Segment::new(2, 4), vec![Assignment::new(1, Rows::full(h))]),
+            ],
+        );
+        let metrics = cm.evaluate(&plan, &c);
+        assert_eq!(metrics.period, metrics.latency);
+    }
+
+    #[test]
+    fn pipelined_period_is_max_stage() {
+        let (m, c, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![
+                Stage::new(Segment::new(0, 2), vec![Assignment::new(0, Rows::full(h))]),
+                Stage::new(Segment::new(2, 4), vec![Assignment::new(1, Rows::full(h))]),
+            ],
+        );
+        let metrics = cm.evaluate(&plan, &c);
+        let max = metrics
+            .stage_costs
+            .iter()
+            .map(StageCost::total)
+            .fold(0.0, f64::max);
+        assert_eq!(metrics.period, max);
+        assert!(metrics.period < metrics.latency);
+        assert!((metrics.throughput() - 1.0 / max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_stage_cost_more_devices_less_comp() {
+        let (m, c, p) = toy_setup();
+        let cm = p.cost_model(&m);
+        let seg = m.full_segment();
+        let c1 = cm.even_stage_cost(seg, &c, 1);
+        let c4 = cm.even_stage_cost(seg, &c, 4);
+        assert!(c4.comp < c1.comp);
+        // Splitting adds halo rows to the summed transfers.
+        assert!(c4.comm > c1.comm);
+        assert!(c1.comm > 0.0);
+    }
+
+    #[test]
+    fn default_params_are_paper_wifi() {
+        let p = CostParams::default();
+        assert_eq!(p.bandwidth_bps, 50e6);
+        assert_eq!(p.t_lim, None);
+    }
+
+    #[test]
+    fn t_lim_builder() {
+        let p = CostParams::wifi_50mbps().with_t_lim(2.5);
+        assert_eq!(p.t_lim, Some(2.5));
+    }
+}

@@ -1,0 +1,122 @@
+/// Errors raised while constructing or validating plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The plan has no stages.
+    EmptyPlan,
+    /// A stage has no devices with non-empty shares.
+    EmptyStage {
+        /// Index of the offending stage.
+        stage: usize,
+    },
+    /// Stage segments do not tile the model contiguously.
+    NonContiguousStages {
+        /// Where the next stage should start.
+        expected_start: usize,
+        /// Where it actually starts.
+        found_start: usize,
+    },
+    /// Stages stop before the end of the model.
+    IncompleteCoverage {
+        /// Units covered by the stages.
+        covered: usize,
+        /// Units in the model.
+        expected: usize,
+    },
+    /// An assignment references a device not in the cluster.
+    UnknownDevice {
+        /// The unknown device id.
+        device: usize,
+    },
+    /// A device appears in two stages of a pipelined plan (or twice in
+    /// one stage).
+    DeviceReuse {
+        /// The reused device id.
+        device: usize,
+        /// Stage where the reuse was detected.
+        stage: usize,
+    },
+    /// Row shares within a stage do not partition the output map.
+    BadRowCover {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// No plan satisfies the latency limit `T_lim`.
+    LatencyInfeasible {
+        /// The requested limit in seconds.
+        limit: f64,
+        /// The best achievable latency found.
+        best: f64,
+    },
+    /// The planner cannot handle this model (e.g. it contains
+    /// non-partitionable units in positions the strategy cannot express).
+    UnsupportedModel {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyPlan => write!(f, "plan has no stages"),
+            PlanError::EmptyStage { stage } => write!(f, "stage {stage} has no workers"),
+            PlanError::NonContiguousStages {
+                expected_start,
+                found_start,
+            } => write!(
+                f,
+                "stages are not contiguous: expected start {expected_start}, found {found_start}"
+            ),
+            PlanError::IncompleteCoverage { covered, expected } => {
+                write!(f, "stages cover {covered} of {expected} model units")
+            }
+            PlanError::UnknownDevice { device } => {
+                write!(f, "assignment references unknown device {device}")
+            }
+            PlanError::DeviceReuse { device, stage } => {
+                write!(
+                    f,
+                    "device {device} reused in stage {stage} of a pipelined plan"
+                )
+            }
+            PlanError::BadRowCover { stage, detail } => {
+                write!(
+                    f,
+                    "stage {stage} row shares do not partition the output: {detail}"
+                )
+            }
+            PlanError::LatencyInfeasible { limit, best } => write!(
+                f,
+                "no plan meets latency limit {limit:.4}s (best achievable {best:.4}s)"
+            ),
+            PlanError::UnsupportedModel { detail } => {
+                write!(f, "model not supported by this planner: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PlanError::LatencyInfeasible {
+            limit: 0.5,
+            best: 0.75,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0.5") && msg.contains("0.75"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<PlanError>();
+    }
+}

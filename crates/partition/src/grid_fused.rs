@@ -1,0 +1,302 @@
+use pico_model::{grid_split_even, Model, Rows, Segment};
+
+use crate::{
+    grid::best_grid, Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner,
+    Scheme, Stage,
+};
+
+/// DeepThings' actual scheme, as an extension beyond the paper's
+/// row-strip EFL baseline: the early fused layers are partitioned into a
+/// **2-D grid** of rectangular tiles ("Fused Tile Partitioning"), one
+/// tile per device; the remaining layers run on the fastest device.
+///
+/// The grid shape defaults to the factorization of the device count that
+/// minimizes total (halo-inclusive) FLOPs — near-square tiles duplicate
+/// less work and hold smaller input tiles than full-width strips (see
+/// [`crate::grid`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridFused {
+    fused_units: Option<usize>,
+    grid: Option<(usize, usize)>,
+}
+
+impl GridFused {
+    /// Creates the grid-fused planner with heuristic depth and grid
+    /// shape.
+    pub fn new() -> Self {
+        GridFused::default()
+    }
+
+    /// Fuses exactly the first `k` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_fused_units(mut self, k: usize) -> Self {
+        assert!(k > 0, "must fuse at least one unit");
+        self.fused_units = Some(k);
+        self
+    }
+
+    /// Uses a fixed `rows x cols` grid instead of the best
+    /// factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_grid(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "grid dims must be positive");
+        self.grid = Some((rows, cols));
+        self
+    }
+
+    /// The fused prefix length (same heuristic as EFL: until the map
+    /// shrinks to 1/8 of the input height).
+    fn prefix(&self, model: &Model) -> usize {
+        let cap = (0..model.len())
+            .find(|&i| !model.unit(i).is_partitionable())
+            .unwrap_or(model.len())
+            .max(1);
+        match self.fused_units {
+            Some(k) => k.min(model.len()).min(cap),
+            None => {
+                let target = model.input_shape().height.div_ceil(8);
+                let mut k = model.len();
+                for i in 0..model.len() {
+                    if model.unit_output_shape(i).height <= target {
+                        k = i + 1;
+                        break;
+                    }
+                }
+                k.min(cap)
+            }
+        }
+    }
+}
+
+impl Planner for GridFused {
+    fn name(&self) -> &'static str {
+        "GRID"
+    }
+
+    fn plan(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        _params: &CostParams,
+    ) -> Result<Plan, PlanError> {
+        let k = self.prefix(model);
+        let out = model.unit_output_shape(k - 1);
+        let (gr, gc) = match self.grid {
+            Some(dims) => dims,
+            None => {
+                let best = best_grid(model, k, cluster.len());
+                (best.grid_rows, best.grid_cols)
+            }
+        };
+        if gr * gc > cluster.len() {
+            return Err(PlanError::UnsupportedModel {
+                detail: format!(
+                    "grid {gr}x{gc} needs {} devices, cluster has {}",
+                    gr * gc,
+                    cluster.len()
+                ),
+            });
+        }
+        // Strongest devices take the tiles (row-major); a 1-wide grid
+        // degenerates into strips for exact plan equivalence with EFL.
+        let ids = cluster.ids_by_capacity_desc();
+        let tiles = grid_split_even(out.height, out.width, gr, gc);
+        let assignments: Vec<Assignment> = tiles
+            .into_iter()
+            .zip(ids.iter())
+            .map(|(region, id)| {
+                if gc == 1 {
+                    Assignment::new(*id, region.rows)
+                } else {
+                    Assignment::tile(*id, region)
+                }
+            })
+            .collect();
+        let mut stages = vec![Stage::new(Segment::new(0, k), assignments)];
+        if k < model.len() {
+            let tail_h = model.output_shape().height;
+            stages.push(Stage::new(
+                Segment::new(k, model.len()),
+                vec![Assignment::new(ids[0], Rows::full(tail_h))],
+            ));
+        }
+        Ok(Plan::new(
+            Scheme::GridFused,
+            ExecutionMode::Sequential,
+            stages,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EarlyFused;
+    use pico_model::zoo;
+
+    #[test]
+    fn grid_plan_validates() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let plan = GridFused::new()
+            .plan(&m, &c, &CostParams::default())
+            .unwrap();
+        plan.validate(&m, &c).unwrap();
+        assert!(plan.stages[0].is_grid() || plan.stages[0].worker_count() == 8);
+        assert_eq!(plan.scheme, Scheme::GridFused);
+    }
+
+    #[test]
+    fn grid_needs_enough_devices() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let err = GridFused::new()
+            .with_grid(2, 2)
+            .plan(&m, &c, &CostParams::default());
+        assert!(matches!(err, Err(PlanError::UnsupportedModel { .. })));
+    }
+
+    #[test]
+    fn explicit_grid_shape_is_used() {
+        let m = zoo::toy(6);
+        let c = Cluster::pi_cluster(6, 1.0);
+        let plan = GridFused::new()
+            .with_grid(2, 3)
+            .with_fused_units(6)
+            .plan(&m, &c, &CostParams::default())
+            .unwrap();
+        plan.validate(&m, &c).unwrap();
+        assert_eq!(plan.stages[0].worker_count(), 6);
+        assert!(plan.stages[0].is_grid());
+    }
+
+    #[test]
+    fn grid_reduces_fused_stage_cost_vs_strip_efl() {
+        // The extension's payoff: same fused depth, less halo ->
+        // cheaper fused stage compute than the strip EFL's.
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let cm = params.cost_model(&m);
+        let efl = EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let k = efl.stages[0].segment.end;
+        let grid = GridFused::new()
+            .with_fused_units(k)
+            .plan(&m, &c, &params)
+            .unwrap();
+        let efl_comp = cm.stage_cost(&efl.stages[0], &c).comp;
+        let grid_comp = cm.stage_cost(&grid.stages[0], &c).comp;
+        assert!(
+            grid_comp < efl_comp,
+            "grid {grid_comp} vs strips {efl_comp}"
+        );
+    }
+
+    #[test]
+    fn one_column_grid_degenerates_to_strips() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = GridFused::new()
+            .with_grid(4, 1)
+            .with_fused_units(4)
+            .plan(&m, &c, &CostParams::default())
+            .unwrap();
+        assert!(!plan.stages[0].is_grid());
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_cluster_gets_tiles_strongest_first() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::paper_heterogeneous();
+        let plan = GridFused::new()
+            .plan(&m, &c, &CostParams::default())
+            .unwrap();
+        plan.validate(&m, &c).unwrap();
+        let first = plan.stages[0].assignments[0].device;
+        assert_eq!(first, c.ids_by_capacity_desc()[0]);
+    }
+}
+
+#[cfg(test)]
+mod block_grid_tests {
+    use super::*;
+    use crate::Planner;
+    use pico_model::zoo;
+
+    #[test]
+    fn grid_plans_work_on_block_models() {
+        // Grid tiles back-propagate through residual blocks (union-hull
+        // receptive fields on both axes).
+        let m = zoo::resnet34().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let plan = GridFused::new().plan(&m, &c, &params).unwrap();
+        plan.validate(&m, &c).unwrap();
+        let metrics = params.cost_model(&m).evaluate(&plan, &c);
+        assert!(metrics.period.is_finite() && metrics.period > 0.0);
+    }
+
+    #[test]
+    fn grid_fused_stage_holds_smaller_input_tiles_than_strips() {
+        // At equal fused depth, a grid stage's largest input tile is
+        // smaller than the strip EFL's (the solo tail is identical in
+        // both plans, so only the fused stage is compared).
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let efl = crate::EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let k = efl.stages[0].segment.end;
+        let grid = GridFused::new()
+            .with_fused_units(k)
+            .plan(&m, &c, &params)
+            .unwrap();
+        let fused_max = |p: &crate::Plan| {
+            let stage = &p.stages[0];
+            let out_w = m.unit_output_shape(stage.segment.end - 1).width;
+            stage
+                .assignments
+                .iter()
+                .filter(|a| !a.is_empty())
+                .map(|a| {
+                    let region = a.region(out_w);
+                    m.segment_input_region(stage.segment, region)
+                        .bytes(m.unit_input_shape(stage.segment.start).channels)
+                })
+                .max()
+                .unwrap()
+        };
+        assert!(fused_max(&grid) < fused_max(&efl));
+    }
+
+    #[test]
+    fn grid_redundancy_below_strip_redundancy() {
+        // The coverage-count redundancy accounting agrees with the
+        // analytic grid module: grid tiles duplicate less than strips.
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let efl = crate::EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let k = efl.stages[0].segment.end;
+        let grid = GridFused::new()
+            .with_fused_units(k)
+            .plan(&m, &c, &params)
+            .unwrap();
+        let ratio = |p: &crate::Plan| {
+            let work = crate::redundancy::stage_work(&m, &p.stages[0]);
+            crate::redundancy::redundancy_ratio(&work)
+        };
+        assert!(
+            ratio(&grid) < ratio(&efl),
+            "grid {} strips {}",
+            ratio(&grid),
+            ratio(&efl)
+        );
+    }
+}

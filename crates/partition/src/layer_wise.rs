@@ -1,0 +1,118 @@
+use pico_model::{rows_split_weighted, Model, Rows, Segment};
+
+use crate::{
+    Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner, Scheme, Stage,
+};
+
+/// The layer-wise (LW) baseline, after MoDNN: every layer is scattered
+/// across the whole cluster and gathered back before the next layer.
+///
+/// Row shares are proportional to device capacity (MeDNN's adaptation to
+/// heterogeneous devices), which is the most charitable version of the
+/// baseline. LW has minimal redundancy (one layer of halo at a time) but
+/// pays per-layer communication — the paper removes it from the latency
+/// comparison "due to its poor performance".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerWise;
+
+impl LayerWise {
+    /// Creates the layer-wise planner.
+    pub fn new() -> Self {
+        LayerWise
+    }
+}
+
+impl Planner for LayerWise {
+    fn name(&self) -> &'static str {
+        "LW"
+    }
+
+    fn plan(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        _params: &CostParams,
+    ) -> Result<Plan, PlanError> {
+        let weights: Vec<f64> = cluster.devices().iter().map(|d| d.capacity).collect();
+        let fastest = cluster.ids_by_capacity_desc()[0];
+        let mut stages = Vec::with_capacity(model.len());
+        for i in 0..model.len() {
+            let seg = Segment::new(i, i + 1);
+            let h = model.unit_output_shape(i).height;
+            let assignments = if model.unit(i).is_partitionable() && h >= 1 {
+                cluster
+                    .devices()
+                    .iter()
+                    .zip(rows_split_weighted(Rows::full(h), &weights))
+                    .map(|(d, r)| Assignment::new(d.id, r))
+                    .collect()
+            } else {
+                // Non-partitionable (FC) layers run whole on the fastest
+                // device.
+                vec![Assignment::new(fastest, Rows::full(h))]
+            };
+            stages.push(Stage::new(seg, assignments));
+        }
+        Ok(Plan::new(
+            Scheme::LayerWise,
+            ExecutionMode::Sequential,
+            stages,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+
+    #[test]
+    fn one_stage_per_unit() {
+        let m = zoo::toy(6);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        assert_eq!(plan.stage_count(), 6);
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_shares_follow_capacity() {
+        let m = zoo::toy(1);
+        let c = Cluster::paper_heterogeneous();
+        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let st = &plan.stages[0];
+        // 1.2 GHz devices get ~2x the rows of 600 MHz devices.
+        let fast = st.assignments[0].rows.len() as f64;
+        let slow = st.assignments[7].rows.len() as f64;
+        assert!(fast / slow >= 1.5, "fast={fast} slow={slow}");
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn fc_layers_run_on_fastest_device() {
+        let m = zoo::vgg16();
+        let c = Cluster::paper_heterogeneous();
+        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let last = plan.stages.last().unwrap();
+        assert_eq!(last.worker_count(), 1);
+        assert_eq!(last.assignments[0].device, c.ids_by_capacity_desc()[0]);
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn sequential_mode() {
+        let m = zoo::toy(3);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        assert_eq!(plan.mode, ExecutionMode::Sequential);
+        assert_eq!(plan.scheme, Scheme::LayerWise);
+    }
+
+    #[test]
+    fn works_on_graph_models() {
+        let m = zoo::resnet34().features();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        plan.validate(&m, &c).unwrap();
+    }
+}

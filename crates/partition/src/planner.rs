@@ -1,0 +1,57 @@
+use pico_model::Model;
+
+use crate::{Cluster, CostParams, Plan, PlanError};
+
+/// A parallelization strategy: turns (model, cluster, environment) into
+/// an executable [`Plan`].
+///
+/// All implementations in this crate return plans that pass
+/// [`Plan::validate`] against the same model and cluster.
+pub trait Planner {
+    /// Short display name of the strategy (`"LW"`, `"PICO"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Computes a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::LatencyInfeasible`] when `params.t_lim` is
+    /// set and no plan meets it, or [`PlanError::UnsupportedModel`] when
+    /// the model cannot be expressed by this strategy.
+    fn plan(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        params: &CostParams,
+    ) -> Result<Plan, PlanError>;
+}
+
+impl<T: Planner + ?Sized> Planner for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn plan(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        params: &CostParams,
+    ) -> Result<Plan, PlanError> {
+        (**self).plan(model, cluster, params)
+    }
+}
+
+impl<T: Planner + ?Sized> Planner for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn plan(
+        &self,
+        model: &Model,
+        cluster: &Cluster,
+        params: &CostParams,
+    ) -> Result<Plan, PlanError> {
+        (**self).plan(model, cluster, params)
+    }
+}

@@ -1,0 +1,81 @@
+use pico_tensor::TensorError;
+
+/// Errors surfaced by the pipeline runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A device worker failed while computing a task.
+    DeviceFailed {
+        /// The failed device's id.
+        device: usize,
+        /// Task index being processed.
+        task: usize,
+        /// Human-readable cause.
+        cause: String,
+    },
+    /// A tensor operation failed inside a stage.
+    Tensor(TensorError),
+    /// A stage channel closed unexpectedly (a peer thread died).
+    ChannelClosed {
+        /// Which stage observed the closure.
+        stage: usize,
+    },
+    /// An input tensor does not match the model's input shape.
+    BadInput {
+        /// Task index of the offending input.
+        task: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::DeviceFailed {
+                device,
+                task,
+                cause,
+            } => write!(f, "device {device} failed on task {task}: {cause}"),
+            RuntimeError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            RuntimeError::ChannelClosed { stage } => {
+                write!(f, "stage {stage} channel closed unexpectedly")
+            }
+            RuntimeError::BadInput { task, detail } => {
+                write!(f, "bad input for task {task}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for RuntimeError {
+    fn from(e: TensorError) -> Self {
+        RuntimeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+
+    #[test]
+    fn tensor_error_chains_source() {
+        let e: RuntimeError = TensorError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,54 @@
+//! Multi-threaded pipelined inference runtime.
+//!
+//! Executes a [`Plan`](pico_partition::Plan) the way the paper's C++
+//! framework does (Fig. 6): each stage has a coordinator that takes
+//! feature maps from its input queue, **splits** them into per-device
+//! tiles, **scatters** to device workers, **gathers** their outputs,
+//! **stitches** them, and forwards to the next stage. Stages and device
+//! workers are real OS threads connected by channels, so pipelined plans
+//! genuinely overlap work on different tasks.
+//!
+//! The runtime's contract with the rest of the workspace:
+//!
+//! * **Correctness** — the pipeline's outputs are bit-identical to
+//!   single-device inference with the same engine (validated in tests);
+//! * **Mechanics** — queues, split/stitch, and stage concurrency are
+//!   real; wall-clock fidelity to the Raspberry Pi testbed is the
+//!   simulator's job (`pico-sim`), not this crate's. An optional
+//!   [`Throttle`] stretches per-device compute to cost-model
+//!   proportions, which makes relative speedups observable on a laptop.
+//! * **Failure injection** — devices can be marked failed; the error
+//!   surfaces from [`PipelineRuntime::run`] instead of hanging the
+//!   pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use pico_model::zoo;
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//! use pico_runtime::PipelineRuntime;
+//! use pico_tensor::{Engine, Tensor};
+//!
+//! let model = zoo::mnist_toy();
+//! let cluster = Cluster::pi_cluster(4, 1.0);
+//! let params = CostParams::wifi_50mbps();
+//! let plan = PicoPlanner::default().plan(&model, &cluster, &params)?;
+//!
+//! let engine = Engine::with_seed(&model, 1);
+//! let runtime = PipelineRuntime::new(&model, &plan, &engine);
+//! let inputs = vec![Tensor::random(model.input_shape(), 2)];
+//! let report = runtime.run(inputs.clone()).unwrap();
+//! assert_eq!(report.outputs[0], engine.infer(&inputs[0]).unwrap());
+//! # Ok::<(), pico_partition::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod runtime;
+mod throttle;
+
+pub use error::RuntimeError;
+pub use runtime::{PipelineRuntime, RunReport, StageStat, TaskTiming};
+pub use throttle::Throttle;

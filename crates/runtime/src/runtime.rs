@@ -1,0 +1,639 @@
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+#[cfg(test)]
+use pico_model::Rows;
+use pico_model::{Model, Region2, Segment};
+use pico_partition::Plan;
+use pico_tensor::{Engine, Tensor};
+
+use crate::{RuntimeError, Throttle};
+
+/// Completion record for one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTiming {
+    /// Task index (submission order).
+    pub task: usize,
+    /// Seconds from run start to this task's final stitch.
+    pub completed_at: f64,
+}
+
+/// Measured behaviour of one stage over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageStat {
+    /// Stage index.
+    pub stage: usize,
+    /// Tasks the stage processed.
+    pub tasks: usize,
+    /// Wall-clock seconds spent from scatter to stitch, summed over
+    /// tasks (the stage's busy time; the bottleneck stage has the
+    /// largest value).
+    pub busy_secs: f64,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Final feature maps, in task order.
+    pub outputs: Vec<Tensor>,
+    /// Per-task completion times.
+    pub timings: Vec<TaskTiming>,
+    /// Per-stage busy accounting (ascending stage index).
+    pub stage_stats: Vec<StageStat>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// The stage that accumulated the most busy time — the measured
+    /// pipeline bottleneck.
+    pub fn bottleneck_stage(&self) -> Option<usize> {
+        self.stage_stats
+            .iter()
+            .max_by(|a, b| {
+                a.busy_secs
+                    .partial_cmp(&b.busy_secs)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|s| s.stage)
+    }
+}
+
+/// A message flowing between stages: a task's feature map, or the error
+/// that killed it.
+type StageMsg = Result<(usize, Tensor), RuntimeError>;
+
+/// One worker's precomputed share of a stage.
+#[derive(Debug, Clone)]
+struct WorkerSpec {
+    device: usize,
+    seg: Segment,
+    /// Output region this worker produces (full-width for strips).
+    out_region: Region2,
+    /// Input region (of the stage's input map) this worker needs.
+    in_region: Region2,
+    /// FLOPs per task (for throttling).
+    flops: f64,
+    /// Bytes moved per task (for throttling).
+    comm_bytes: usize,
+}
+
+/// The Fig. 6 stage workflow as real threads (see the crate docs).
+#[derive(Debug)]
+pub struct PipelineRuntime<'a> {
+    model: &'a Model,
+    plan: &'a Plan,
+    engine: &'a Engine<'a>,
+    throttle: Option<Throttle>,
+    failed: HashSet<usize>,
+}
+
+impl<'a> PipelineRuntime<'a> {
+    /// Creates a runtime for a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's stages do not tile the model contiguously
+    /// (run [`Plan::validate`] first when the plan comes from outside
+    /// this workspace).
+    pub fn new(model: &'a Model, plan: &'a Plan, engine: &'a Engine<'a>) -> Self {
+        let mut cursor = 0;
+        for stage in &plan.stages {
+            assert_eq!(
+                stage.segment.start, cursor,
+                "plan stages must tile the model contiguously"
+            );
+            cursor = stage.segment.end;
+        }
+        assert_eq!(cursor, model.len(), "plan must cover the whole model");
+        PipelineRuntime {
+            model,
+            plan,
+            engine,
+            throttle: None,
+            failed: HashSet::new(),
+        }
+    }
+
+    /// Adds cost-model-proportional compute/transfer throttling.
+    pub fn with_throttle(mut self, throttle: Throttle) -> Self {
+        self.throttle = Some(throttle);
+        self
+    }
+
+    /// Marks a device as failed: its worker errors instead of computing
+    /// (failure-injection for tests and chaos experiments).
+    pub fn with_failed_device(mut self, device: usize) -> Self {
+        self.failed.insert(device);
+        self
+    }
+
+    /// Precomputes every stage's worker shares.
+    fn worker_specs(&self) -> Vec<Vec<WorkerSpec>> {
+        self.plan
+            .stages
+            .iter()
+            .map(|stage| {
+                let in_shape = self.model.unit_input_shape(stage.segment.start);
+                let out_shape = self.model.unit_output_shape(stage.segment.end - 1);
+                stage
+                    .assignments
+                    .iter()
+                    .filter(|a| !a.is_empty())
+                    .map(|a| {
+                        let out_region = a.region(out_shape.width);
+                        let in_region = self.model.segment_input_region(stage.segment, out_region);
+                        let flops = self.model.segment_region_flops(stage.segment, out_region);
+                        WorkerSpec {
+                            device: a.device,
+                            seg: stage.segment,
+                            out_region,
+                            in_region,
+                            flops,
+                            comm_bytes: in_region.bytes(in_shape.channels)
+                                + out_region.bytes(out_shape.channels),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Pushes `inputs` through the pipeline and waits for all outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuntimeError`] any stage produced (failed
+    /// device, halo/shape mismatch, bad input). Remaining in-flight
+    /// tasks are discarded.
+    pub fn run(&self, inputs: Vec<Tensor>) -> Result<RunReport, RuntimeError> {
+        for (task, input) in inputs.iter().enumerate() {
+            let expect = self.model.input_shape();
+            if input.shape() != expect {
+                return Err(RuntimeError::BadInput {
+                    task,
+                    detail: format!("expected {expect}, got {}", input.shape()),
+                });
+            }
+        }
+        let specs = self.worker_specs();
+        let stage_count = self.plan.stages.len();
+        let start = Instant::now();
+        let total = inputs.len();
+
+        let stats: Arc<Mutex<Vec<StageStat>>> = Arc::new(Mutex::new(
+            (0..stage_count)
+                .map(|s| StageStat {
+                    stage: s,
+                    tasks: 0,
+                    busy_secs: 0.0,
+                })
+                .collect(),
+        ));
+
+        std::thread::scope(|scope| {
+            // Inter-stage queues: entry i feeds stage i; the last feeds
+            // the collector.
+            let mut senders: Vec<Sender<StageMsg>> = Vec::with_capacity(stage_count + 1);
+            let mut receivers: Vec<Receiver<StageMsg>> = Vec::with_capacity(stage_count + 1);
+            for _ in 0..=stage_count {
+                let (tx, rx) = unbounded::<StageMsg>();
+                senders.push(tx);
+                receivers.push(rx);
+            }
+
+            for (s, workers) in specs.iter().enumerate() {
+                // Scatter/gather channels for this stage's workers.
+                let mut work_tx: Vec<Sender<(usize, Tensor)>> = Vec::new();
+                let mut done_rx: Vec<Receiver<StageMsg>> = Vec::new();
+                for spec in workers.iter() {
+                    let (wtx, wrx) = bounded::<(usize, Tensor)>(1);
+                    let (dtx, drx) = bounded::<StageMsg>(1);
+                    work_tx.push(wtx);
+                    done_rx.push(drx);
+                    let spec = spec.clone();
+                    let engine = self.engine;
+                    let throttle = self.throttle.clone();
+                    let failed = self.failed.contains(&spec.device);
+                    scope.spawn(move || {
+                        while let Ok((task, tile)) = wrx.recv() {
+                            let t0 = Instant::now();
+                            let result = if failed {
+                                Err(RuntimeError::DeviceFailed {
+                                    device: spec.device,
+                                    task,
+                                    cause: "injected failure".to_owned(),
+                                })
+                            } else {
+                                engine
+                                    .infer_region2(spec.seg, spec.out_region, &tile)
+                                    .map(|t| (task, t))
+                                    .map_err(RuntimeError::from)
+                            };
+                            if let Some(th) = &throttle {
+                                let target = th.compute_duration(spec.device, spec.flops)
+                                    + th.transfer_duration(spec.comm_bytes);
+                                let spent = t0.elapsed();
+                                if target > spent {
+                                    std::thread::sleep(target - spent);
+                                }
+                            }
+                            if dtx.send(result).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+
+                // Stage coordinator: split -> scatter -> gather -> stitch.
+                let rx_in = receivers[s].clone();
+                let tx_out = senders[s + 1].clone();
+                let in_regions: Vec<Region2> = workers.iter().map(|w| w.in_region).collect();
+                let stage_stats = Arc::clone(&stats);
+                scope.spawn(move || {
+                    'tasks: while let Ok(msg) = rx_in.recv() {
+                        let (task, fmap) = match msg {
+                            Ok(pair) => pair,
+                            Err(e) => {
+                                let _ = tx_out.send(Err(e));
+                                continue;
+                            }
+                        };
+                        let busy_from = Instant::now();
+                        // Scatter input tiles to every worker. Sending
+                        // is interleaved with gathering below through the
+                        // bounded(1) channels, but with one in-flight
+                        // task per stage a simple scatter-then-gather
+                        // never deadlocks.
+                        for (wtx, region) in work_tx.iter().zip(&in_regions) {
+                            let tile = match fmap.slice_region(*region) {
+                                Ok(t) => t,
+                                Err(e) => {
+                                    let _ = tx_out.send(Err(e.into()));
+                                    continue 'tasks;
+                                }
+                            };
+                            if wtx.send((task, tile)).is_err() {
+                                let _ = tx_out.send(Err(RuntimeError::ChannelClosed { stage: s }));
+                                continue 'tasks;
+                            }
+                        }
+                        // Gather per-worker outputs, in worker order.
+                        let mut tiles = Vec::with_capacity(done_rx.len());
+                        let mut failure = None;
+                        for drx in &done_rx {
+                            match drx.recv() {
+                                Ok(Ok((t, tile))) => {
+                                    debug_assert_eq!(t, task);
+                                    tiles.push(tile);
+                                }
+                                Ok(Err(e)) => failure = failure.or(Some(e)),
+                                Err(_) => {
+                                    failure =
+                                        failure.or(Some(RuntimeError::ChannelClosed { stage: s }));
+                                }
+                            }
+                        }
+                        if let Some(e) = failure {
+                            let _ = tx_out.send(Err(e));
+                            continue;
+                        }
+                        // Stitch and forward (handles strips and grids).
+                        match Tensor::stitch_tiles(&tiles) {
+                            Ok(out) => {
+                                {
+                                    let mut st = stage_stats.lock();
+                                    st[s].tasks += 1;
+                                    st[s].busy_secs += busy_from.elapsed().as_secs_f64();
+                                }
+                                if tx_out.send(Ok((task, out))).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                let _ = tx_out.send(Err(e.into()));
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Feed all inputs into stage 0 and drop our sender so the
+            // pipeline drains when done.
+            let feeder = senders[0].clone();
+            drop(senders);
+            scope.spawn(move || {
+                for (task, input) in inputs.into_iter().enumerate() {
+                    if feeder.send(Ok((task, input))).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Collect outputs in task order (FIFO stages preserve order).
+            let sink = receivers[stage_count].clone();
+            drop(receivers);
+            let mut outputs = Vec::with_capacity(total);
+            let mut timings = Vec::with_capacity(total);
+            for _ in 0..total {
+                match sink.recv() {
+                    Ok(Ok((task, out))) => {
+                        debug_assert_eq!(task, outputs.len());
+                        timings.push(TaskTiming {
+                            task,
+                            completed_at: start.elapsed().as_secs_f64(),
+                        });
+                        outputs.push(out);
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => return Err(RuntimeError::ChannelClosed { stage: stage_count }),
+                }
+            }
+            Ok(RunReport {
+                outputs,
+                timings,
+                stage_stats: stats.lock().clone(),
+                elapsed: start.elapsed(),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+    use pico_partition::{
+        Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Planner,
+    };
+
+    fn setup() -> (Model, Cluster, CostParams) {
+        (
+            zoo::mnist_toy(),
+            Cluster::pi_cluster(4, 1.0),
+            CostParams::wifi_50mbps(),
+        )
+    }
+
+    fn outputs_match_reference(plan: &Plan, model: &Model, tasks: usize) {
+        let engine = Engine::with_seed(model, 9);
+        let runtime = PipelineRuntime::new(model, plan, &engine);
+        let inputs: Vec<Tensor> = (0..tasks)
+            .map(|i| Tensor::random(model.input_shape(), 100 + i as u64))
+            .collect();
+        let report = runtime.run(inputs.clone()).unwrap();
+        assert_eq!(report.outputs.len(), tasks);
+        for (i, input) in inputs.iter().enumerate() {
+            let reference = engine.infer(input).unwrap();
+            assert_eq!(report.outputs[i], reference, "task {i} diverged");
+        }
+        // Completions are ordered.
+        assert!(report
+            .timings
+            .windows(2)
+            .all(|w| w[0].completed_at <= w[1].completed_at));
+    }
+
+    #[test]
+    fn pico_pipeline_outputs_match_single_device() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        outputs_match_reference(&plan, &m, 4);
+    }
+
+    #[test]
+    fn every_scheme_executes_correctly() {
+        let (m, c, p) = setup();
+        for plan in [
+            LayerWise.plan(&m, &c, &p).unwrap(),
+            EarlyFused::new().plan(&m, &c, &p).unwrap(),
+            OptimalFused.plan(&m, &c, &p).unwrap(),
+        ] {
+            outputs_match_reference(&plan, &m, 2);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_plan_executes_correctly() {
+        let m = zoo::mnist_toy();
+        let c = Cluster::paper_heterogeneous_6();
+        let p = CostParams::wifi_50mbps();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        outputs_match_reference(&plan, &m, 3);
+    }
+
+    #[test]
+    fn graph_model_executes_correctly() {
+        // Residual blocks through the real pipeline.
+        let m = pico_model::Model::new(
+            "graphlet",
+            pico_model::Shape::new(4, 24, 24),
+            vec![
+                pico_model::Layer::conv("stem", pico_model::ConvSpec::square(4, 8, 3, 1, 1)).into(),
+                pico_model::Unit::Block(pico_model::Block::residual(
+                    "res",
+                    vec![
+                        pico_model::Layer::conv("a", pico_model::ConvSpec::square(8, 8, 3, 1, 1)),
+                        pico_model::Layer::conv("b", pico_model::ConvSpec::square(8, 8, 3, 1, 1)),
+                    ],
+                    vec![],
+                )),
+            ],
+        )
+        .unwrap();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let p = CostParams::wifi_50mbps();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        outputs_match_reference(&plan, &m, 2);
+    }
+
+    #[test]
+    fn failed_device_surfaces_error() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let victim = plan.stages[0].assignments[0].device;
+        let engine = Engine::with_seed(&m, 1);
+        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_failed_device(victim);
+        let err = runtime
+            .run(vec![Tensor::random(m.input_shape(), 1)])
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::DeviceFailed { device, .. } if device == victim),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn bad_input_rejected_before_spawning() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let engine = Engine::with_seed(&m, 1);
+        let runtime = PipelineRuntime::new(&m, &plan, &engine);
+        let bad = Tensor::random(pico_model::Shape::new(3, 8, 8), 0);
+        assert!(matches!(
+            runtime.run(vec![bad]),
+            Err(RuntimeError::BadInput { task: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_list_is_fine() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let engine = Engine::with_seed(&m, 1);
+        let report = PipelineRuntime::new(&m, &plan, &engine)
+            .run(vec![])
+            .unwrap();
+        assert!(report.outputs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole model")]
+    fn truncated_plan_panics() {
+        let (m, c, p) = setup();
+        let mut plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        plan.stages.pop();
+        if plan.stages.is_empty() {
+            panic!("plan must cover the whole model"); // degenerate case
+        }
+        let engine = Engine::with_seed(&m, 1);
+        let _ = PipelineRuntime::new(&m, &plan, &engine);
+    }
+
+    #[test]
+    fn throttled_pipeline_still_correct_and_ordered() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let engine = Engine::with_seed(&m, 2);
+        // A very small scale keeps the test fast while exercising the
+        // sleep path.
+        let throttle = Throttle::new(c.clone(), p, 1e-7);
+        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_throttle(throttle);
+        let inputs: Vec<Tensor> = (0..3).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = runtime.run(inputs.clone()).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(report.outputs[i], engine.infer(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn pipeline_overlaps_stage_sleeps() {
+        // Stage overlap is observable even on a single-core host: with
+        // a throttle whose sleeps dominate compute, N tasks through a
+        // 2-stage pipeline take ~(N+1) * stage_time, not the sequential
+        // 2N * stage_time.
+        let m = pico_model::Model::new(
+            "small",
+            pico_model::Shape::new(4, 12, 12),
+            vec![
+                pico_model::Layer::conv("a", pico_model::ConvSpec::square(4, 4, 3, 1, 1)).into(),
+                pico_model::Layer::conv("b", pico_model::ConvSpec::square(4, 4, 3, 1, 1)).into(),
+            ],
+        )
+        .unwrap();
+        let c = Cluster::pi_cluster(2, 1.0);
+        // Effectively free network: the throttle should sleep for
+        // compute only, and both stages sleep equally long.
+        let p = CostParams::new(1e15);
+        let h = m.output_shape().height;
+        // Hand-built 2-stage pipeline, one device each.
+        let plan = Plan::new(
+            pico_partition::Scheme::Pico,
+            pico_partition::ExecutionMode::Pipelined,
+            vec![
+                pico_partition::Stage::new(
+                    Segment::new(0, 1),
+                    vec![pico_partition::Assignment::new(0, Rows::full(h))],
+                ),
+                pico_partition::Stage::new(
+                    Segment::new(1, 2),
+                    vec![pico_partition::Assignment::new(1, Rows::full(h))],
+                ),
+            ],
+        );
+        let engine = Engine::with_seed(&m, 2);
+        // Scale so each stage sleeps ~40 ms (compute is microseconds).
+        let stage_flops = m.segment_flops(Segment::new(0, 1), Rows::full(h));
+        let device_time = c.device(0).unwrap().compute_time(stage_flops);
+        let scale = 0.04 / device_time;
+        let throttle = Throttle::new(c.clone(), p, scale);
+        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_throttle(throttle);
+        let n = 6;
+        let inputs: Vec<Tensor> = (0..n).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = runtime.run(inputs).unwrap();
+        let elapsed = report.elapsed.as_secs_f64();
+        // Sequential floor would be ~2 * n * 0.04 = 0.48 s; pipelined is
+        // ~(n + 1) * 0.04 = 0.28 s. Assert we beat the sequential floor
+        // with margin for scheduling noise.
+        assert!(
+            elapsed < 0.40,
+            "elapsed {elapsed}s suggests no stage overlap"
+        );
+        assert!(elapsed > 0.20, "elapsed {elapsed}s is impossibly fast");
+    }
+}
+
+#[cfg(test)]
+mod stage_stat_tests {
+    use super::*;
+    use pico_model::zoo;
+    use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+
+    #[test]
+    fn stage_stats_count_every_task() {
+        let m = zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = PicoPlanner
+            .plan(&m, &c, &CostParams::wifi_50mbps())
+            .unwrap();
+        let engine = Engine::with_seed(&m, 3);
+        let n: usize = 5;
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::random(m.input_shape(), i as u64))
+            .collect();
+        let report = PipelineRuntime::new(&m, &plan, &engine)
+            .run(inputs)
+            .unwrap();
+        assert_eq!(report.stage_stats.len(), plan.stage_count());
+        for st in &report.stage_stats {
+            assert_eq!(st.tasks, n, "stage {}", st.stage);
+            assert!(st.busy_secs > 0.0);
+        }
+        assert!(report.bottleneck_stage().is_some());
+    }
+
+    #[test]
+    fn throttled_bottleneck_matches_cost_model() {
+        // With a dominant throttle, the measured bottleneck stage is the
+        // cost model's max-cost stage.
+        let m = zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let plan = PicoPlanner.plan(&m, &c, &params).unwrap();
+        if plan.stage_count() < 2 {
+            return;
+        }
+        let cm = params.cost_model(&m);
+        let metrics = cm.evaluate(&plan, &c);
+        let analytic_bottleneck = metrics
+            .stage_costs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total().partial_cmp(&b.1.total()).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let engine = Engine::with_seed(&m, 3);
+        // Scale chosen so sleeps (~tens of ms) dominate real compute.
+        let throttle = Throttle::new(c.clone(), params, 1.0);
+        let inputs: Vec<Tensor> = (0..4).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = PipelineRuntime::new(&m, &plan, &engine)
+            .with_throttle(throttle)
+            .run(inputs)
+            .unwrap();
+        assert_eq!(report.bottleneck_stage(), Some(analytic_bottleneck));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based end-to-end checks: arbitrary small models through
+//! arbitrary planners on real threads must reproduce single-device
+//! inference bit-exactly.
+
+use pico_model::{ConvSpec, Layer, Model, PoolSpec, Shape};
+use pico_partition::{
+    Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner, Planner,
+};
+use pico_runtime::PipelineRuntime;
+use pico_tensor::{Engine, Tensor};
+use proptest::prelude::*;
+
+/// Small random conv/pool chains over a 12x12 input (thread-spawn cost
+/// dominates, so keep the tensors tiny).
+fn arb_model() -> impl Strategy<Value = Model> {
+    let layer = prop_oneof![
+        (1usize..=3, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
+        Just((2, 2, 0, false)),
+    ];
+    proptest::collection::vec(layer, 1..5).prop_map(|specs| {
+        let input = Shape::new(2, 12, 12);
+        let mut units: Vec<pico_model::Unit> = Vec::new();
+        let mut shape = input;
+        for (i, (k, s, p, conv)) in specs.into_iter().enumerate() {
+            let layer = if conv {
+                Layer::conv(
+                    format!("c{i}"),
+                    ConvSpec::square(shape.channels, 3, k, s, p),
+                )
+            } else {
+                Layer::pool(format!("p{i}"), PoolSpec::max(k, s))
+            };
+            if let Ok(next) = layer.output_shape(shape) {
+                if next.height >= 2 && next.width >= 2 {
+                    shape = next;
+                    units.push(layer.into());
+                }
+            }
+        }
+        if units.is_empty() {
+            units.push(Layer::conv("fb", ConvSpec::square(2, 3, 3, 1, 1)).into());
+        }
+        Model::new("prop", input, units).expect("chain is consistent")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every planner's plan executes bit-exactly on threads, for random
+    /// models and cluster sizes.
+    #[test]
+    fn random_plans_execute_bit_exactly(
+        model in arb_model(),
+        devices in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let cluster = Cluster::pi_cluster(devices, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let engine = Engine::with_seed(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(1));
+        let reference = engine.infer(&input).expect("monolithic inference works");
+
+        let planners: Vec<Box<dyn Planner>> = vec![
+            Box::new(LayerWise::new()),
+            Box::new(EarlyFused::new()),
+            Box::new(OptimalFused::new()),
+            Box::new(PicoPlanner::new()),
+            Box::new(GridFused::new()),
+        ];
+        for planner in planners {
+            let plan = planner.plan(&model, &cluster, &params).expect("planner succeeds");
+            plan.validate(&model, &cluster).expect("plan valid");
+            let report = PipelineRuntime::new(&model, &plan, &engine)
+                .run(vec![input.clone()])
+                .expect("pipeline runs");
+            prop_assert_eq!(&report.outputs[0], &reference, "{} diverged", planner.name());
+        }
+    }
+}

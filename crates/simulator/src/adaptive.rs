@@ -1,0 +1,283 @@
+use pico_partition::{Plan, PlanMetrics};
+
+use crate::{mdone, Arrivals, SimReport, Simulation, WorkloadEstimator};
+
+/// One scheme switch made by the adaptive scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerDecision {
+    /// Simulated time of the switch.
+    pub time: f64,
+    /// Index of the plan chosen (into the candidate list).
+    pub plan_index: usize,
+    /// The workload estimate that drove the choice.
+    pub lambda: f64,
+}
+
+/// APICO's adaptive parallel-scheme switching (Sec. IV-C): estimate the
+/// workload λ with an EWMA ([`WorkloadEstimator`], Eq. 15), predict each
+/// candidate scheme's average inference latency with Theorem 2
+/// ([`mdone::avg_latency`]), and run whichever is lowest. Under light
+/// load that is a one-stage fused scheme (all devices on one task);
+/// under heavy load, the PICO pipeline.
+///
+/// Switches happen only when the current pipeline has drained — a
+/// running stage set is never reconfigured mid-task.
+#[derive(Debug, Clone)]
+pub struct AdaptiveScheduler {
+    candidates: Vec<(Plan, PlanMetrics)>,
+    estimator: WorkloadEstimator,
+}
+
+impl AdaptiveScheduler {
+    /// Creates a scheduler over candidate plans. Metrics are evaluated
+    /// with `sim`'s cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty.
+    pub fn new(sim: &Simulation<'_>, plans: Vec<Plan>, window: f64, beta: f64) -> Self {
+        assert!(!plans.is_empty(), "need at least one candidate plan");
+        let cm = sim.params().cost_model(sim.model());
+        let candidates = plans
+            .into_iter()
+            .map(|p| {
+                let m = cm.evaluate(&p, sim.cluster());
+                (p, m)
+            })
+            .collect();
+        AdaptiveScheduler {
+            candidates,
+            estimator: WorkloadEstimator::new(window, beta),
+        }
+    }
+
+    /// The candidate plans and their analytic metrics.
+    pub fn candidates(&self) -> impl Iterator<Item = (&Plan, &PlanMetrics)> {
+        self.candidates.iter().map(|(p, m)| (p, m))
+    }
+
+    /// Index of the candidate with the lowest Theorem 2 latency at
+    /// workload `lambda`. Ties and universally-unstable workloads fall
+    /// back to the lowest-period candidate.
+    pub fn choose(&self, lambda: f64) -> usize {
+        let mut best = 0;
+        let mut best_lat = f64::INFINITY;
+        for (i, (_, m)) in self.candidates.iter().enumerate() {
+            let lat = mdone::avg_latency(m.period, m.latency, lambda);
+            if lat < best_lat {
+                best_lat = lat;
+                best = i;
+            }
+        }
+        if best_lat.is_infinite() {
+            // Every scheme is saturated: take the highest-throughput one.
+            let mut idx = 0;
+            let mut p = f64::INFINITY;
+            for (i, (_, m)) in self.candidates.iter().enumerate() {
+                if m.period < p {
+                    p = m.period;
+                    idx = i;
+                }
+            }
+            return idx;
+        }
+        best
+    }
+
+    /// Runs the adaptive policy over an open-loop arrival stream,
+    /// returning the combined report and the switch history (always
+    /// starting with the initial choice at time 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is closed-loop (adaptive switching responds
+    /// to workload, which a saturation stream does not have).
+    pub fn run(
+        &mut self,
+        sim: &Simulation<'_>,
+        arrivals: &Arrivals,
+    ) -> (SimReport, Vec<SchedulerDecision>) {
+        let times = arrivals
+            .times()
+            .expect("adaptive scheduling requires an open-loop arrival stream");
+        let stations: Vec<_> = self
+            .candidates
+            .iter()
+            .map(|(p, _)| sim.stations(p))
+            .collect();
+        let redundancy: Vec<std::collections::BTreeMap<usize, f64>> = self
+            .candidates
+            .iter()
+            .map(|(p, _)| sim.redundancy_by_device(p))
+            .collect();
+
+        let mut busy: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        let mut red_weighted: std::collections::BTreeMap<usize, f64> =
+            std::collections::BTreeMap::new();
+        for d in sim.cluster().devices() {
+            busy.insert(d.id, 0.0);
+            red_weighted.insert(d.id, 0.0);
+        }
+
+        let lambda0 = self.estimator.estimate_at(0.0);
+        let mut current = self.choose(lambda0);
+        let mut decisions = vec![SchedulerDecision {
+            time: 0.0,
+            plan_index: current,
+            lambda: 0.0,
+        }];
+        let mut free = vec![0.0f64; stations[current].len()];
+        let mut latencies = Vec::new();
+        let mut last_completion: f64 = 0.0;
+
+        for a in times {
+            let lambda = self.estimator.observe_arrival(a);
+            let desired = self.choose(lambda);
+            if desired != current {
+                // Drain-then-switch: in-flight tasks finish under the old
+                // configuration before the new stage set starts.
+                let drain = free.iter().fold(a, |acc, f| acc.max(*f));
+                current = desired;
+                free = vec![drain; stations[current].len()];
+                decisions.push(SchedulerDecision {
+                    time: a,
+                    plan_index: current,
+                    lambda,
+                });
+            }
+            let mut t = a;
+            for (s, station) in stations[current].iter().enumerate() {
+                let start = t.max(free[s]);
+                let done = start + station.service;
+                free[s] = done;
+                t = done;
+                for (d, dt) in &station.busy_per_task {
+                    *busy.get_mut(d).expect("device pre-registered") += dt;
+                    let r = redundancy[current].get(d).copied().unwrap_or(0.0);
+                    *red_weighted.get_mut(d).expect("device pre-registered") += dt * r;
+                }
+            }
+            latencies.push(t - a);
+            last_completion = last_completion.max(t);
+        }
+
+        let raw: Vec<(usize, f64, f64)> = busy
+            .into_iter()
+            .map(|(d, b)| {
+                let r = if b > 0.0 { red_weighted[&d] / b } else { 0.0 };
+                (d, b, r)
+            })
+            .collect();
+        (
+            SimReport::from_raw(&latencies, last_completion, &raw),
+            decisions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+    use pico_partition::{Cluster, CostParams, OptimalFused, PicoPlanner, Planner};
+
+    fn setup() -> (pico_model::Model, Cluster, CostParams) {
+        (
+            zoo::vgg16().features(),
+            Cluster::pi_cluster(8, 1.0),
+            CostParams::wifi_50mbps(),
+        )
+    }
+
+    fn scheduler<'a>(sim: &Simulation<'a>) -> AdaptiveScheduler {
+        let pico = PicoPlanner
+            .plan(sim.model(), sim.cluster(), &sim.params())
+            .unwrap();
+        let ofl = OptimalFused
+            .plan(sim.model(), sim.cluster(), &sim.params())
+            .unwrap();
+        AdaptiveScheduler::new(sim, vec![pico, ofl], 5.0, 0.4)
+    }
+
+    #[test]
+    fn chooses_one_stage_at_light_load_pipeline_at_heavy() {
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        let sched = scheduler(&sim);
+        let metrics: Vec<&PlanMetrics> = sched.candidates().map(|(_, m)| m).collect();
+        let (pico_m, ofl_m) = (metrics[0], metrics[1]);
+        // Sanity: OFL traverses faster, PICO cycles faster.
+        assert!(ofl_m.latency < pico_m.latency);
+        assert!(pico_m.period < ofl_m.period);
+        // Light load -> index 1 (OFL), heavy load -> index 0 (PICO).
+        assert_eq!(sched.choose(0.01 / ofl_m.period), 1);
+        assert_eq!(sched.choose(0.95 / ofl_m.period), 0);
+    }
+
+    #[test]
+    fn saturated_workload_falls_back_to_best_throughput() {
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        let sched = scheduler(&sim);
+        let pico_period = sched.candidates().next().unwrap().1.period;
+        // Beyond every scheme's capacity.
+        assert_eq!(sched.choose(10.0 / pico_period), 0);
+    }
+
+    #[test]
+    fn adaptive_switches_when_load_ramps() {
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        let mut sched = scheduler(&sim);
+        let ofl_period = sched.candidates().nth(1).unwrap().1.period;
+        // 60 s of light load then 60 s of 1.3x OFL capacity.
+        let mut times = Vec::new();
+        let light_gap = ofl_period * 20.0;
+        let mut t = 0.0;
+        while t < 60.0 * ofl_period {
+            times.push(t);
+            t += light_gap;
+        }
+        let heavy_gap = ofl_period / 1.3;
+        while t < 400.0 * ofl_period {
+            times.push(t);
+            t += heavy_gap;
+        }
+        let (report, decisions) = sched.run(&sim, &Arrivals::trace(times));
+        assert!(report.completed > 0);
+        // It must have switched at least once (light -> OFL at start or
+        // after, heavy -> PICO later).
+        let used: std::collections::HashSet<usize> =
+            decisions.iter().map(|d| d.plan_index).collect();
+        assert!(used.len() >= 2, "decisions: {decisions:?}");
+        // Final regime is the pipeline (index 0).
+        assert_eq!(decisions.last().unwrap().plan_index, 0);
+    }
+
+    #[test]
+    fn adaptive_never_worse_than_worst_static_choice() {
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        let mut sched = scheduler(&sim);
+        let ofl = OptimalFused.plan(&m, &c, &p).unwrap();
+        let ofl_metrics = p.cost_model(&m).evaluate(&ofl, &c);
+        let lambda = 1.2 / ofl_metrics.period;
+        let arrivals = Arrivals::poisson(lambda, 500.0 * ofl_metrics.period, 3);
+        let (adaptive, _) = sched.run(&sim, &arrivals);
+        let static_ofl = sim.run(&ofl, &arrivals);
+        assert!(
+            adaptive.avg_latency < static_ofl.avg_latency,
+            "adaptive {} static-ofl {}",
+            adaptive.avg_latency,
+            static_ofl.avg_latency
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop")]
+    fn closed_loop_rejected() {
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        scheduler(&sim).run(&sim, &Arrivals::closed_loop(5));
+    }
+}

@@ -1,0 +1,386 @@
+use pico_model::Model;
+use pico_partition::{redundancy, Cluster, CostParams, ExecutionMode, Plan};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{Arrivals, SimReport};
+
+/// One service station of the queueing network: a pipeline stage (or a
+/// whole sequential plan collapsed into one station).
+#[derive(Debug, Clone)]
+pub(crate) struct Station {
+    /// Deterministic service time per task (Eq. 9 stage cost).
+    pub service: f64,
+    /// Per-task device compute times `(device_id, seconds)`.
+    pub busy_per_task: Vec<(usize, f64)>,
+}
+
+/// Deterministic queueing simulation of plans over arrival streams.
+///
+/// Service times come from the paper's cost model; stages serve tasks
+/// FIFO one at a time. Because service is deterministic and routing is a
+/// fixed chain, per-stage "next free" clocks reproduce the exact
+/// discrete-event trajectory without an event heap.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    model: &'a Model,
+    cluster: &'a Cluster,
+    params: CostParams,
+    /// Optional straggler model: per-(task, stage) service times are
+    /// multiplied by `1 + Exp(1) * jitter` (mean factor `1 + jitter`).
+    jitter: Option<(f64, u64)>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation environment.
+    pub fn new(model: &'a Model, cluster: &'a Cluster, params: &CostParams) -> Self {
+        Simulation {
+            model,
+            cluster,
+            params: *params,
+            jitter: None,
+        }
+    }
+
+    /// Enables straggler jitter: each (task, stage) service time is
+    /// stretched by an independent `1 + Exp(1) * jitter` factor —
+    /// deterministic cost models never capture the OS hiccups and WiFi
+    /// retransmits real Pis suffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or not finite.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        assert!(jitter.is_finite() && jitter >= 0.0, "jitter must be >= 0");
+        self.jitter = Some((jitter, seed));
+        self
+    }
+
+    /// The model under simulation.
+    pub fn model(&self) -> &'a Model {
+        self.model
+    }
+
+    /// The cluster under simulation.
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// The environment parameters.
+    pub fn params(&self) -> CostParams {
+        self.params
+    }
+
+    /// Collapses a plan into service stations.
+    ///
+    /// * Pipelined plans: one station per stage (disjoint devices run
+    ///   concurrently).
+    /// * Sequential plans: a single station whose service time is the
+    ///   whole traversal — the cluster serves one task at a time.
+    pub(crate) fn stations(&self, plan: &Plan) -> Vec<Station> {
+        let cm = self.params.cost_model(self.model);
+        let per_stage: Vec<Station> = plan
+            .stages
+            .iter()
+            .map(|stage| {
+                let cost = cm.stage_cost(stage, self.cluster);
+                let busy = stage
+                    .assignments
+                    .iter()
+                    .filter(|a| !a.is_empty())
+                    .map(|a| {
+                        let d = self
+                            .cluster
+                            .device(a.device)
+                            .expect("plan validated against this cluster");
+                        (a.device, cm.comp_time_of(d, stage.segment, a))
+                    })
+                    .collect();
+                Station {
+                    service: cost.total(),
+                    busy_per_task: busy,
+                }
+            })
+            .collect();
+        match plan.mode {
+            ExecutionMode::Pipelined => per_stage,
+            ExecutionMode::Sequential => {
+                let service = per_stage.iter().map(|s| s.service).sum();
+                let mut busy: std::collections::BTreeMap<usize, f64> =
+                    std::collections::BTreeMap::new();
+                for s in &per_stage {
+                    for (d, t) in &s.busy_per_task {
+                        *busy.entry(*d).or_insert(0.0) += t;
+                    }
+                }
+                vec![Station {
+                    service,
+                    busy_per_task: busy.into_iter().collect(),
+                }]
+            }
+        }
+    }
+
+    /// Per-device redundancy ratios of a plan, by device id.
+    pub(crate) fn redundancy_by_device(
+        &self,
+        plan: &Plan,
+    ) -> std::collections::BTreeMap<usize, f64> {
+        redundancy::plan_work(self.model, plan)
+            .into_iter()
+            .map(|w| (w.device, w.redundancy_ratio()))
+            .collect()
+    }
+
+    /// Runs `plan` over `arrivals` and reports latency, throughput,
+    /// utilization, and redundancy.
+    ///
+    /// Closed-loop streams admit each task the moment the first station
+    /// frees up (saturation); open-loop streams queue tasks at their
+    /// arrival times.
+    pub fn run(&self, plan: &Plan, arrivals: &Arrivals) -> SimReport {
+        let stations = self.stations(plan);
+        let mut free = vec![0.0f64; stations.len()];
+        let mut busy: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for d in self.cluster.devices() {
+            busy.insert(d.id, 0.0);
+        }
+        let mut latencies = Vec::new();
+        let mut last_completion: f64 = 0.0;
+        let mut rng = self
+            .jitter
+            .map(|(j, seed)| (j, StdRng::seed_from_u64(seed)));
+
+        let mut admit = |arrival: f64,
+                         free: &mut Vec<f64>,
+                         busy: &mut std::collections::BTreeMap<usize, f64>|
+         -> f64 {
+            let mut t = arrival;
+            for (s, station) in stations.iter().enumerate() {
+                let stretch = match &mut rng {
+                    Some((j, r)) => {
+                        let u: f64 = r.gen_range(f64::EPSILON..1.0);
+                        1.0 + (-u.ln()) * *j
+                    }
+                    None => 1.0,
+                };
+                let start = t.max(free[s]);
+                let done = start + station.service * stretch;
+                free[s] = done;
+                t = done;
+                for (d, dt) in &station.busy_per_task {
+                    *busy.get_mut(d).expect("device pre-registered") += dt * stretch;
+                }
+            }
+            t
+        };
+
+        match arrivals.times() {
+            Some(times) => {
+                for a in times {
+                    let done = admit(a, &mut free, &mut busy);
+                    latencies.push(done - a);
+                    last_completion = last_completion.max(done);
+                }
+            }
+            None => {
+                let count = match arrivals {
+                    Arrivals::ClosedLoop { count } => *count,
+                    _ => unreachable!("only closed-loop streams lack times"),
+                };
+                for _ in 0..count {
+                    let a = free[0];
+                    let done = admit(a, &mut free, &mut busy);
+                    latencies.push(done - a);
+                    last_completion = last_completion.max(done);
+                }
+            }
+        }
+
+        let red = self.redundancy_by_device(plan);
+        let raw: Vec<(usize, f64, f64)> = busy
+            .into_iter()
+            .map(|(d, b)| (d, b, red.get(&d).copied().unwrap_or(0.0)))
+            .collect();
+        SimReport::from_raw(&latencies, last_completion, &raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+    use pico_partition::{CostParams, EarlyFused, OptimalFused, PicoPlanner, Planner};
+
+    fn setup() -> (Model, Cluster, CostParams) {
+        (
+            zoo::vgg16().features(),
+            Cluster::pi_cluster(8, 1.0),
+            CostParams::wifi_50mbps(),
+        )
+    }
+
+    #[test]
+    fn closed_loop_throughput_matches_period() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let sim = Simulation::new(&m, &c, &p);
+        let report = sim.run(&plan, &Arrivals::closed_loop(200));
+        // Steady-state throughput converges to 1/period (pipeline fill
+        // is amortized over 200 tasks).
+        let expected = 1.0 / metrics.period;
+        assert!(
+            (report.throughput - expected).abs() / expected < 0.05,
+            "sim {} analytic {expected}",
+            report.throughput
+        );
+    }
+
+    #[test]
+    fn sequential_plan_is_single_server() {
+        let (m, c, p) = setup();
+        let plan = OptimalFused.plan(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let sim = Simulation::new(&m, &c, &p);
+        let report = sim.run(&plan, &Arrivals::closed_loop(50));
+        assert!((report.throughput - 1.0 / metrics.latency).abs() * metrics.latency < 0.05);
+        // With no queueing gaps every task's latency is the service time.
+        assert!((report.avg_latency - metrics.latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_load_latency_is_service_time() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let sim = Simulation::new(&m, &c, &p);
+        // Arrivals far apart: no waiting.
+        let gap = metrics.latency * 10.0;
+        let trace = Arrivals::trace((0..20).map(|i| i as f64 * gap).collect());
+        let report = sim.run(&plan, &trace);
+        assert!((report.avg_latency - metrics.latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_grows_queue() {
+        let (m, c, p) = setup();
+        let plan = OptimalFused.plan(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let sim = Simulation::new(&m, &c, &p);
+        // 2x the sustainable rate: waiting time grows linearly.
+        let rate = 2.0 / metrics.period;
+        let trace = Arrivals::trace((0..100).map(|i| i as f64 / rate).collect());
+        let report = sim.run(&plan, &trace);
+        assert!(report.max_latency > 20.0 * metrics.latency);
+        assert!(report.avg_latency > report.p50_latency * 0.5);
+    }
+
+    #[test]
+    fn poisson_latency_tracks_mdone() {
+        let (m, c, p) = setup();
+        let plan = OptimalFused.plan(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let sim = Simulation::new(&m, &c, &p);
+        let lambda = 0.5 / metrics.period;
+        let report = sim.run(
+            &plan,
+            &Arrivals::poisson(lambda, 4000.0 * metrics.period, 42),
+        );
+        // Theorem 2's prediction counts one extra service period; both
+        // values must be within ~20% for a one-stage scheme at ρ=0.5.
+        let analytic = crate::mdone::avg_latency(metrics.period, metrics.latency, lambda);
+        let lower = metrics.latency; // service alone
+        assert!(report.avg_latency > lower);
+        assert!(
+            report.avg_latency < analytic * 1.2,
+            "sim {} analytic {analytic}",
+            report.avg_latency
+        );
+    }
+
+    #[test]
+    fn pico_keeps_latency_stable_under_load_where_ofl_blows_up() {
+        // The Fig. 10/11 story.
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        let pico = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let ofl = OptimalFused.plan(&m, &c, &p).unwrap();
+        let ofl_metrics = p.cost_model(&m).evaluate(&ofl, &c);
+        // Load = 120% of OFL's capacity, sustainable for PICO.
+        let lambda = 1.2 / ofl_metrics.period;
+        let horizon = 600.0 * ofl_metrics.period;
+        let arrivals = Arrivals::poisson(lambda, horizon, 7);
+        let r_pico = sim.run(&pico, &arrivals);
+        let r_ofl = sim.run(&ofl, &arrivals);
+        assert!(
+            r_pico.avg_latency < r_ofl.avg_latency / 2.0,
+            "pico {} ofl {}",
+            r_pico.avg_latency,
+            r_ofl.avg_latency
+        );
+    }
+
+    #[test]
+    fn utilization_bounded_and_busy_positive() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let sim = Simulation::new(&m, &c, &p);
+        let report = sim.run(&plan, &Arrivals::closed_loop(100));
+        assert_eq!(report.device_stats.len(), 8);
+        for d in &report.device_stats {
+            assert!((0.0..=1.0).contains(&d.utilization));
+            assert!((0.0..=1.0).contains(&d.redundancy));
+        }
+        assert!(report.avg_utilization() > 0.3);
+    }
+
+    #[test]
+    fn jitter_raises_latency_and_preserves_completions() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let arrivals = Arrivals::poisson(0.5 / metrics.period, 300.0 * metrics.period, 4);
+        let clean = Simulation::new(&m, &c, &p).run(&plan, &arrivals);
+        let noisy = Simulation::new(&m, &c, &p)
+            .with_jitter(0.3, 9)
+            .run(&plan, &arrivals);
+        assert_eq!(clean.completed, noisy.completed);
+        assert!(
+            noisy.avg_latency > clean.avg_latency,
+            "noisy {} clean {}",
+            noisy.avg_latency,
+            clean.avg_latency
+        );
+        // Mean stretch 1.3: average latency should grow by a bounded
+        // factor, not explode (the load stays below capacity).
+        assert!(noisy.avg_latency < clean.avg_latency * 4.0);
+    }
+
+    #[test]
+    fn zero_jitter_equals_deterministic() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let arrivals = Arrivals::closed_loop(40);
+        let a = Simulation::new(&m, &c, &p).run(&plan, &arrivals);
+        let b = Simulation::new(&m, &c, &p)
+            .with_jitter(0.0, 1)
+            .run(&plan, &arrivals);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn efl_has_higher_redundancy_than_pico() {
+        let (m, c, p) = setup();
+        let sim = Simulation::new(&m, &c, &p);
+        let efl = EarlyFused::new().plan(&m, &c, &p).unwrap();
+        let pico = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let r_efl = sim.run(&efl, &Arrivals::closed_loop(50));
+        let r_pico = sim.run(&pico, &Arrivals::closed_loop(50));
+        assert!(
+            r_efl.avg_redundancy() > r_pico.avg_redundancy(),
+            "efl {} pico {}",
+            r_efl.avg_redundancy(),
+            r_pico.avg_redundancy()
+        );
+    }
+}

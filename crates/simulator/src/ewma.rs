@@ -1,0 +1,166 @@
+/// The Eq. 15 exponentially-weighted moving-average estimator:
+/// `λ_t = β·λ̂ + (1 − β)·λ_{t−1}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    beta: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an estimator with smoothing factor `beta` (the impact of
+    /// the newest measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `(0, 1]`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Ewma { beta, value: None }
+    }
+
+    /// Feeds a new measurement `λ̂` and returns the updated estimate.
+    pub fn update(&mut self, measured: f64) -> f64 {
+        let next = match self.value {
+            // The first measurement seeds the estimate.
+            None => measured,
+            Some(prev) => self.beta * measured + (1.0 - self.beta) * prev,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current estimate (`None` before the first measurement).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Estimates the cluster workload λ from observed task arrivals, the way
+/// the paper does: count arrivals per measurement window, then smooth
+/// with [`Ewma`] ("it is hard for the edge cluster to capture the
+/// realtime workload directly, thus we use a moving average method").
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEstimator {
+    window: f64,
+    ewma: Ewma,
+    window_start: f64,
+    window_count: usize,
+}
+
+impl WorkloadEstimator {
+    /// Creates an estimator with the given measurement `window`
+    /// (seconds) and smoothing factor `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not strictly positive or `beta` is outside
+    /// `(0, 1]`.
+    pub fn new(window: f64, beta: f64) -> Self {
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
+        WorkloadEstimator {
+            window,
+            ewma: Ewma::new(beta),
+            window_start: 0.0,
+            window_count: 0,
+        }
+    }
+
+    /// Records a task arrival at absolute time `t` (non-decreasing
+    /// across calls), closing and smoothing any windows that have
+    /// elapsed. Returns the current λ estimate.
+    pub fn observe_arrival(&mut self, t: f64) -> f64 {
+        self.roll_to(t);
+        self.window_count += 1;
+        self.ewma
+            .value()
+            .unwrap_or(self.window_count as f64 / self.window)
+    }
+
+    /// Advances time to `t` without an arrival (closing elapsed
+    /// windows) and returns the current λ estimate.
+    pub fn estimate_at(&mut self, t: f64) -> f64 {
+        self.roll_to(t);
+        self.ewma.value().unwrap_or(0.0)
+    }
+
+    fn roll_to(&mut self, t: f64) {
+        while t >= self.window_start + self.window {
+            let measured = self.window_count as f64 / self.window;
+            self.ewma.update(measured);
+            self.window_start += self.window;
+            self.window_count = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_seeds() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+    }
+
+    #[test]
+    fn update_follows_eq15() {
+        let mut e = Ewma::new(0.25);
+        e.update(8.0);
+        let v = e.update(4.0);
+        assert!((v - (0.25 * 4.0 + 0.75 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_one_tracks_instantly() {
+        let mut e = Ewma::new(1.0);
+        e.update(5.0);
+        assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_rejected() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn estimator_converges_to_steady_rate() {
+        let mut est = WorkloadEstimator::new(1.0, 0.5);
+        // 4 arrivals per second for 20 seconds.
+        let mut lambda = 0.0;
+        for i in 0..80 {
+            lambda = est.observe_arrival(i as f64 * 0.25);
+        }
+        assert!((lambda - 4.0).abs() < 0.8, "estimate {lambda}");
+    }
+
+    #[test]
+    fn estimator_decays_when_idle() {
+        let mut est = WorkloadEstimator::new(1.0, 0.5);
+        for i in 0..40 {
+            est.observe_arrival(i as f64 * 0.25);
+        }
+        let busy = est.estimate_at(10.0);
+        let idle = est.estimate_at(30.0);
+        assert!(idle < busy / 4.0, "busy {busy} idle {idle}");
+    }
+
+    #[test]
+    fn estimator_reacts_to_load_change() {
+        let mut est = WorkloadEstimator::new(1.0, 0.5);
+        for i in 0..20 {
+            est.observe_arrival(i as f64); // 1/s
+        }
+        let low = est.estimate_at(20.0);
+        for i in 0..100 {
+            est.observe_arrival(20.0 + i as f64 * 0.1); // 10/s
+        }
+        let high = est.estimate_at(30.0);
+        assert!(high > low * 3.0, "low {low} high {high}");
+    }
+}

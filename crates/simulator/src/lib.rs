@@ -1,0 +1,56 @@
+//! Discrete-event simulation of PICO plans on an edge cluster.
+//!
+//! The paper's testbed experiments (Figs. 8–11, Table I) run real
+//! hardware; this crate is the simulation substitute: it executes a
+//! [`Plan`](pico_partition::Plan) over a task arrival stream using the
+//! paper's own cost model for stage service times, and reports the same
+//! quantities the paper measures — average inference latency (waiting +
+//! processing), throughput, per-device utilization and redundancy.
+//!
+//! Components:
+//!
+//! * [`Arrivals`] — Poisson task streams (Sec. V-A "tasks arrive
+//!   following a Poisson distribution"), closed-loop saturation streams
+//!   (max-throughput measurement), and explicit traces;
+//! * [`Simulation`] — deterministic pipeline/queue simulation;
+//! * [`mdone`] — the Theorem 2 analytic M/D/1 latency;
+//! * [`Ewma`] / [`WorkloadEstimator`] — the Eq. 15 workload tracker;
+//! * [`AdaptiveScheduler`] — APICO's scheme switching (Sec. IV-C);
+//! * [`workload`] — phase/burst/diurnal arrival generators for the
+//!   "dynamic workload" scenarios that motivate APICO.
+//!
+//! # Example
+//!
+//! ```
+//! use pico_model::zoo;
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//! use pico_sim::{Arrivals, Simulation};
+//!
+//! let model = zoo::vgg16().features();
+//! let cluster = Cluster::pi_cluster(8, 1.0);
+//! let params = CostParams::wifi_50mbps();
+//! let plan = PicoPlanner::default().plan(&model, &cluster, &params)?;
+//!
+//! let sim = Simulation::new(&model, &cluster, &params);
+//! let report = sim.run(&plan, &Arrivals::closed_loop(100));
+//! assert_eq!(report.completed, 100);
+//! assert!(report.throughput > 0.0);
+//! # Ok::<(), pico_partition::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod arrival;
+mod des;
+mod ewma;
+pub mod mdone;
+mod metrics;
+pub mod workload;
+
+pub use adaptive::{AdaptiveScheduler, SchedulerDecision};
+pub use arrival::Arrivals;
+pub use des::Simulation;
+pub use ewma::{Ewma, WorkloadEstimator};
+pub use metrics::{DeviceStat, SimReport};

@@ -1,0 +1,109 @@
+//! The Theorem 2 M/D/1 queueing estimate.
+//!
+//! "If there are λ inference tasks arriving per unit time following the
+//! Poisson distribution, and the parallel scheme has a period `p` and
+//! executing latency `t`, the average inference latency for each task is
+//! `p(2 − pλ) / (2(1 − pλ)) + t`."
+//!
+//! APICO uses this closed form to pick the scheme with the lowest
+//! predicted latency at the current workload without running anything.
+
+/// Average inference latency predicted by Theorem 2.
+///
+/// Returns `f64::INFINITY` when the queue is unstable (`p * λ >= 1`, the
+/// arrival rate exceeds the scheme's throughput).
+///
+/// # Panics
+///
+/// Panics if any argument is negative or non-finite.
+pub fn avg_latency(period: f64, latency: f64, lambda: f64) -> f64 {
+    assert!(
+        period.is_finite() && period >= 0.0,
+        "period must be non-negative"
+    );
+    assert!(
+        latency.is_finite() && latency >= 0.0,
+        "latency must be non-negative"
+    );
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative"
+    );
+    let rho = period * lambda;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    period * (2.0 - rho) / (2.0 * (1.0 - rho)) + latency
+}
+
+/// Utilization `ρ = p·λ` of the bottleneck stage.
+pub fn utilization(period: f64, lambda: f64) -> f64 {
+    period * lambda
+}
+
+/// Highest arrival rate a scheme with `period` can sustain (`1 / p`).
+///
+/// # Panics
+///
+/// Panics if `period` is not strictly positive.
+pub fn max_stable_rate(period: f64) -> f64 {
+    assert!(
+        period > 0.0 && period.is_finite(),
+        "period must be positive"
+    );
+    1.0 / period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_is_service_plus_period() {
+        // λ = 0: the formula reduces to p + t (one idle period of the
+        // bottleneck plus the pipeline traversal).
+        assert_eq!(avg_latency(0.5, 2.0, 0.0), 0.5 + 2.0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let lats: Vec<f64> = [0.1, 0.5, 1.0, 1.5, 1.9]
+            .iter()
+            .map(|l| avg_latency(0.5, 2.0, *l))
+            .collect();
+        assert!(lats.windows(2).all(|w| w[0] < w[1]), "{lats:?}");
+    }
+
+    #[test]
+    fn saturation_is_infinite() {
+        assert_eq!(avg_latency(0.5, 2.0, 2.0), f64::INFINITY);
+        assert_eq!(avg_latency(0.5, 2.0, 5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn one_stage_scheme_uses_p_equals_t() {
+        // "As for those one-stage schemes p is equal to t."
+        let t = 1.2;
+        let low = avg_latency(t, t, 0.1);
+        assert!(low > t);
+    }
+
+    #[test]
+    fn pipeline_wins_under_high_load() {
+        // Pipeline: small period, larger latency. One-stage: p = t.
+        let pipeline = |l| avg_latency(0.4, 2.2, l);
+        let one_stage = |l| avg_latency(1.0, 1.0, l);
+        // Light load: one-stage can win (lower pipeline traversal).
+        assert!(one_stage(0.05) < pipeline(0.05));
+        // Heavy load: only the pipeline stays stable.
+        assert!(pipeline(0.95) < one_stage(0.95));
+        assert_eq!(one_stage(1.2), f64::INFINITY);
+        assert!(pipeline(1.2).is_finite());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(utilization(0.5, 1.0), 0.5);
+        assert_eq!(max_stable_rate(0.25), 4.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the queueing simulation: conservation laws
+//! that must hold for any plan and arrival stream.
+
+use pico_model::zoo;
+use pico_partition::{Cluster, CostParams, EarlyFused, OptimalFused, PicoPlanner, Planner};
+use pico_sim::{mdone, Arrivals, Simulation};
+use proptest::prelude::*;
+
+fn setup() -> (pico_model::Model, Cluster, CostParams) {
+    (
+        zoo::toy(6),
+        Cluster::paper_heterogeneous_6(),
+        CostParams::wifi_50mbps(),
+    )
+}
+
+fn planners() -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(EarlyFused::new()),
+        Box::new(OptimalFused::new()),
+        Box::new(PicoPlanner::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-task latency is bounded below by the plan's service latency,
+    /// and the simulation completes every arrival.
+    #[test]
+    fn latency_never_below_service_time(rate_scale in 0.1f64..2.0, seed in 0u64..1000) {
+        let (model, cluster, params) = setup();
+        let sim = Simulation::new(&model, &cluster, &params);
+        for planner in planners() {
+            let plan = planner.plan(&model, &cluster, &params).expect("plans");
+            let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
+            let lambda = rate_scale / metrics.period;
+            let arrivals = Arrivals::poisson(lambda, 60.0 * metrics.period, seed);
+            let n = arrivals.times().map(|t| t.len()).unwrap_or(0);
+            prop_assume!(n > 0);
+            let report = sim.run(&plan, &arrivals);
+            prop_assert_eq!(report.completed, n);
+            // avg >= service latency; every latency >= service latency.
+            prop_assert!(report.avg_latency >= metrics.latency - 1e-9,
+                "{}: avg {} < service {}", planner.name(), report.avg_latency, metrics.latency);
+            prop_assert!(report.p50_latency <= report.p95_latency + 1e-12);
+            prop_assert!(report.p95_latency <= report.max_latency + 1e-12);
+        }
+    }
+
+    /// Throughput never exceeds the analytic capacity `1 / period`.
+    #[test]
+    fn throughput_bounded_by_capacity(count in 2usize..200) {
+        let (model, cluster, params) = setup();
+        let sim = Simulation::new(&model, &cluster, &params);
+        for planner in planners() {
+            let plan = planner.plan(&model, &cluster, &params).expect("plans");
+            let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
+            let report = sim.run(&plan, &Arrivals::closed_loop(count));
+            prop_assert!(report.throughput <= 1.0 / metrics.period + 1e-9,
+                "{}: {} > {}", planner.name(), report.throughput, 1.0 / metrics.period);
+        }
+    }
+
+    /// Stability dichotomy: below capacity the queue stays bounded
+    /// (max latency within a constant of the mean); above capacity the
+    /// backlog grows with the horizon.
+    #[test]
+    fn stability_dichotomy(seed in 0u64..100) {
+        let (model, cluster, params) = setup();
+        let sim = Simulation::new(&model, &cluster, &params);
+        let plan = OptimalFused::new().plan(&model, &cluster, &params).expect("plans");
+        let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
+
+        let stable = Arrivals::poisson(0.5 / metrics.period, 400.0 * metrics.period, seed);
+        let r_stable = sim.run(&plan, &stable);
+        prop_assert!(r_stable.max_latency < 30.0 * metrics.latency,
+            "stable queue blew up: {}", r_stable.max_latency);
+
+        let unstable = Arrivals::poisson(2.0 / metrics.period, 400.0 * metrics.period, seed);
+        let r_unstable = sim.run(&plan, &unstable);
+        prop_assert!(r_unstable.max_latency > r_stable.max_latency,
+            "overload did not hurt: {} vs {}", r_unstable.max_latency, r_stable.max_latency);
+    }
+
+    /// The M/D/1 closed form (Theorem 2) tracks the simulated mean for
+    /// one-stage schemes within a constant factor at moderate load.
+    #[test]
+    fn mdone_tracks_simulation(load in 0.2f64..0.8) {
+        let (model, cluster, params) = setup();
+        let sim = Simulation::new(&model, &cluster, &params);
+        let plan = EarlyFused::new().plan(&model, &cluster, &params).expect("plans");
+        let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
+        let lambda = load / metrics.period;
+        let arrivals = Arrivals::poisson(lambda, 3000.0 * metrics.period, 7);
+        let report = sim.run(&plan, &arrivals);
+        let analytic = mdone::avg_latency(metrics.period, metrics.latency, lambda);
+        // Theorem 2 over-counts one service period; allow [0.5, 1.2].
+        let ratio = report.avg_latency / analytic;
+        prop_assert!((0.5..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Device busy time equals completed tasks times per-task compute.
+    #[test]
+    fn busy_time_conservation(count in 1usize..100) {
+        let (model, cluster, params) = setup();
+        let sim = Simulation::new(&model, &cluster, &params);
+        let plan = PicoPlanner::new().plan(&model, &cluster, &params).expect("plans");
+        let cm = params.cost_model(&model);
+        let report = sim.run(&plan, &Arrivals::closed_loop(count));
+        for stage in &plan.stages {
+            for a in stage.assignments.iter().filter(|a| !a.rows.is_empty()) {
+                let device = cluster.device(a.device).expect("device exists");
+                let per_task = cm.assignment_comp_time(device, stage.segment, a.rows);
+                let stat = report
+                    .device_stats
+                    .iter()
+                    .find(|d| d.device == a.device)
+                    .expect("device reported");
+                prop_assert!((stat.busy - per_task * count as f64).abs() < 1e-6 * stat.busy.max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,605 @@
+use pico_model::{Block, LayerKind, Merge, Model, Region2, Rows, Segment, Shape, Unit};
+
+use crate::ops;
+use crate::{LayerWeights, NetworkWeights, Tensor, TensorError, UnitWeights};
+
+/// Executes a model (or any contiguous segment / row region of it) with
+/// concrete weights — the per-device compute step of the Fig. 6
+/// stage workflow.
+///
+/// Monolithic inference ([`Engine::infer`]) is implemented as a region
+/// inference over the full output, so partitioned and monolithic
+/// execution share every line of arithmetic; stitching per-device
+/// outputs reproduces the single-device result bit-exactly.
+#[derive(Debug, Clone)]
+pub struct Engine<'m> {
+    model: &'m Model,
+    weights: NetworkWeights,
+}
+
+impl<'m> Engine<'m> {
+    /// Creates an engine from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WeightMismatch`] when the weights do not
+    /// cover the model's units.
+    pub fn new(model: &'m Model, weights: NetworkWeights) -> Result<Self, TensorError> {
+        if weights.len() != model.len() {
+            return Err(TensorError::WeightMismatch {
+                detail: format!(
+                    "weights cover {} units, model has {}",
+                    weights.len(),
+                    model.len()
+                ),
+            });
+        }
+        Ok(Engine { model, weights })
+    }
+
+    /// Creates an engine with synthetic seeded weights.
+    pub fn with_seed(model: &'m Model, seed: u64) -> Self {
+        Engine {
+            model,
+            weights: NetworkWeights::generate(model, seed),
+        }
+    }
+
+    /// The model this engine executes.
+    pub fn model(&self) -> &'m Model {
+        self.model
+    }
+
+    /// The engine's weights.
+    pub fn weights(&self) -> &NetworkWeights {
+        &self.weights
+    }
+
+    /// Whole-model inference on a full input map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the first incompatible layer.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let seg = self.model.full_segment();
+        let h = self.model.output_shape().height;
+        self.infer_region(seg, Rows::full(h), input)
+    }
+
+    /// Full-height inference of one segment from its full input map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the first incompatible layer.
+    pub fn infer_segment(&self, seg: Segment, input: &Tensor) -> Result<Tensor, TensorError> {
+        let h = self.model.unit_output_shape(seg.end - 1).height;
+        self.infer_region(seg, Rows::full(h), input)
+    }
+
+    /// Computes global output rows `out_rows` of segment `seg` from an
+    /// input tile (full-width strip partitioning, the paper's scheme).
+    ///
+    /// The tile may be the full segment input or any row slice of it
+    /// that covers the receptive field
+    /// ([`Model::segment_input_rows`]); tiles remember their global
+    /// offset, so scatter → compute → gather works with plain
+    /// [`Tensor::slice_rows`] / [`Tensor::stitch_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MissingHalo`] when the tile lacks required
+    /// rows and [`TensorError::ShapeMismatch`] on channel/width
+    /// disagreement.
+    pub fn infer_region(
+        &self,
+        seg: Segment,
+        out_rows: Rows,
+        input: &Tensor,
+    ) -> Result<Tensor, TensorError> {
+        self.model
+            .check_segment(seg)
+            .map_err(|_| TensorError::WeightMismatch {
+                detail: format!("segment {seg} out of bounds"),
+            })?;
+        let out_shape = self.model.unit_output_shape(seg.end - 1);
+        self.infer_region2(
+            seg,
+            Region2::new(out_rows, Rows::full(out_shape.width)),
+            input,
+        )
+    }
+
+    /// Computes a rectangular global output region of segment `seg`
+    /// from an input tile — 2-D grid partitioning (DeepThings-style),
+    /// of which row strips are the `cols = full` special case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MissingHalo`] when the tile lacks required
+    /// rows/columns and [`TensorError::ShapeMismatch`] on channel
+    /// disagreement.
+    pub fn infer_region2(
+        &self,
+        seg: Segment,
+        out: Region2,
+        input: &Tensor,
+    ) -> Result<Tensor, TensorError> {
+        self.model
+            .check_segment(seg)
+            .map_err(|_| TensorError::WeightMismatch {
+                detail: format!("segment {seg} out of bounds"),
+            })?;
+        let in_shape = self.model.unit_input_shape(seg.start);
+        if input.shape().channels != in_shape.channels {
+            return Err(TensorError::ShapeMismatch {
+                op: format!("segment {seg}"),
+                expected: in_shape,
+                found: input.shape(),
+            });
+        }
+        let out_shape = self.model.unit_output_shape(seg.end - 1);
+        let out = out.clamp_to(out_shape.height, out_shape.width);
+        let trace = self.model.segment_region_trace(seg, out);
+        let mut cur = input.clone();
+        for (k, i) in seg.iter().enumerate() {
+            cur = self.unit_region(i, &cur, trace[k])?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs one unit over region `out` of its global output map.
+    fn unit_region(
+        &self,
+        index: usize,
+        input: &Tensor,
+        out: Region2,
+    ) -> Result<Tensor, TensorError> {
+        let in_shape = self.model.unit_input_shape(index);
+        match (self.model.unit(index), self.weights.unit(index)) {
+            (Unit::Layer(l), UnitWeights::Layer(w)) => {
+                layer_region(&l.kind, input, in_shape, w, out)
+            }
+            (Unit::Block(b), UnitWeights::Block(pw)) => block_region(b, pw, input, in_shape, out),
+            _ => Err(TensorError::WeightMismatch {
+                detail: format!("unit {index} weights do not match its kind"),
+            }),
+        }
+    }
+}
+
+/// Dispatches one layer's region computation. Convolutions and FC layers
+/// apply a fused ReLU; pooling does not.
+fn layer_region(
+    kind: &LayerKind,
+    input: &Tensor,
+    in_shape: Shape,
+    weights: &LayerWeights,
+    out: Region2,
+) -> Result<Tensor, TensorError> {
+    match kind {
+        LayerKind::Conv(spec) => ops::conv_region(input, in_shape, spec, weights, out, true),
+        LayerKind::Pool(spec) => ops::pool_region(input, in_shape, spec, out),
+        LayerKind::Fc(fc) => ops::fc_full(input, fc.in_features, fc.out_features, weights, true),
+    }
+}
+
+/// Runs a block over region `out`: each path back-propagates the region
+/// requirement through its own layers, computes forward from the shared
+/// input tile, and the path outputs merge (add or concat).
+fn block_region(
+    block: &Block,
+    path_weights: &[Vec<LayerWeights>],
+    input: &Tensor,
+    in_shape: Shape,
+    out: Region2,
+) -> Result<Tensor, TensorError> {
+    let mut outputs = Vec::with_capacity(block.paths.len());
+    for (path, weights) in block.paths.iter().zip(path_weights) {
+        if path.is_empty() {
+            // Identity shortcut: the block input region itself.
+            outputs.push(input.slice_region(out)?);
+            continue;
+        }
+        // Forward shapes along the path (global dims).
+        let mut shapes = Vec::with_capacity(path.len() + 1);
+        shapes.push(in_shape);
+        for layer in path {
+            let prev = *shapes.last().expect("shapes starts non-empty");
+            shapes.push(
+                layer
+                    .output_shape(prev)
+                    .map_err(|e| TensorError::WeightMismatch {
+                        detail: format!("path layer rejected validated shape: {e}"),
+                    })?,
+            );
+        }
+        // Backward region requirements.
+        let mut regions = vec![Region2::new(Rows::empty(), Rows::empty()); path.len()];
+        let mut need = out.clamp_to(shapes[path.len()].height, shapes[path.len()].width);
+        for l in (0..path.len()).rev() {
+            regions[l] = need;
+            need = path[l].input_region(need, shapes[l]);
+        }
+        // Forward computation.
+        let mut cur = input.clone();
+        for (l, layer) in path.iter().enumerate() {
+            cur = layer_region(&layer.kind, &cur, shapes[l], &weights[l], regions[l])?;
+        }
+        outputs.push(cur);
+    }
+    match block.merge {
+        Merge::Add => ops::add(&outputs),
+        Merge::Concat => ops::concat_channels(&outputs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::{zoo, ConvSpec, Layer, PoolSpec};
+
+    /// A small conv/pool chain for fast exact-equality tests.
+    fn tiny_chain() -> Model {
+        Model::new(
+            "tiny",
+            Shape::new(2, 16, 16),
+            vec![
+                Layer::conv("c1", ConvSpec::square(2, 4, 3, 1, 1)).into(),
+                Layer::conv("c2", ConvSpec::square(4, 4, 3, 1, 1)).into(),
+                Layer::pool("p1", PoolSpec::max(2, 2)).into(),
+                Layer::conv("c3", ConvSpec::square(4, 8, 3, 1, 1)).into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A graph model: residual + strided residual + inception-ish concat.
+    fn tiny_graph() -> Model {
+        Model::new(
+            "tiny-graph",
+            Shape::new(4, 16, 16),
+            vec![
+                Unit::Block(Block::residual(
+                    "res1",
+                    vec![
+                        Layer::conv("r1a", ConvSpec::square(4, 4, 3, 1, 1)),
+                        Layer::conv("r1b", ConvSpec::square(4, 4, 3, 1, 1)),
+                    ],
+                    vec![],
+                )),
+                Unit::Block(Block::residual(
+                    "res2",
+                    vec![
+                        Layer::conv("r2a", ConvSpec::square(4, 8, 3, 2, 1)),
+                        Layer::conv("r2b", ConvSpec::square(8, 8, 3, 1, 1)),
+                    ],
+                    vec![Layer::conv("r2p", ConvSpec::square(4, 8, 1, 2, 0))],
+                )),
+                Unit::Block(Block::new(
+                    "mix",
+                    vec![
+                        vec![Layer::conv("m1", ConvSpec::pointwise(8, 4))],
+                        vec![
+                            Layer::conv("m2a", ConvSpec::pointwise(8, 4)),
+                            Layer::conv("m2b", ConvSpec::square(4, 4, 3, 1, 1)),
+                        ],
+                        vec![
+                            Layer::pool(
+                                "m3p",
+                                PoolSpec {
+                                    kind: pico_model::PoolKind::Avg,
+                                    kernel: (3, 3),
+                                    stride: (1, 1),
+                                    padding: (1, 1),
+                                },
+                            ),
+                            Layer::conv("m3c", ConvSpec::pointwise(8, 4)),
+                        ],
+                    ],
+                    Merge::Concat,
+                )),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_split_matches(model: &Model, parts: usize) {
+        let engine = Engine::with_seed(model, 11);
+        let input = Tensor::random(model.input_shape(), 22);
+        let full = engine.infer(&input).unwrap();
+        let seg = model.full_segment();
+        let h = model.output_shape().height;
+        let tiles: Vec<Tensor> = pico_model::rows_split_even(Rows::full(h), parts)
+            .into_iter()
+            .map(|r| {
+                // Ship only the receptive-field tile, like a real device.
+                let need = model.segment_input_rows(seg, r);
+                let tile = input.slice_rows(need).unwrap();
+                engine.infer_region(seg, r, &tile).unwrap()
+            })
+            .collect();
+        let stitched = Tensor::stitch_rows(&tiles).unwrap();
+        assert_eq!(stitched, full, "{} split into {parts}", model.name());
+    }
+
+    #[test]
+    fn chain_split_matches_monolithic() {
+        let m = tiny_chain();
+        for parts in [2, 3, 5] {
+            assert_split_matches(&m, parts);
+        }
+    }
+
+    #[test]
+    fn graph_split_matches_monolithic() {
+        let m = tiny_graph();
+        for parts in [2, 4] {
+            assert_split_matches(&m, parts);
+        }
+    }
+
+    #[test]
+    fn mnist_toy_split_matches_monolithic() {
+        assert_split_matches(&zoo::mnist_toy(), 3);
+    }
+
+    #[test]
+    fn depthwise_separable_split_matches_monolithic() {
+        // A MobileNet-style dw+pw stack through the halo machinery.
+        let m = Model::new(
+            "mobile-ish",
+            Shape::new(4, 16, 16),
+            vec![
+                Layer::conv("dw1", ConvSpec::depthwise(4, 3, 1, 1)).into(),
+                Layer::conv("pw1", ConvSpec::pointwise(4, 8)).into(),
+                Layer::conv("dw2", ConvSpec::depthwise(8, 3, 2, 1)).into(),
+                Layer::conv("pw2", ConvSpec::pointwise(8, 8)).into(),
+            ],
+        )
+        .unwrap();
+        for parts in [2, 3] {
+            assert_split_matches(&m, parts);
+        }
+    }
+
+    #[test]
+    fn grid_split_matches_monolithic() {
+        // 2-D grid tiles (DeepThings-style) stitched back equal the
+        // monolithic result, for chain and graph models.
+        for m in [tiny_chain(), tiny_graph()] {
+            let engine = Engine::with_seed(&m, 13);
+            let input = Tensor::random(m.input_shape(), 31);
+            let full = engine.infer(&input).unwrap();
+            let seg = m.full_segment();
+            let out = m.output_shape();
+            for (gr, gc) in [(2, 2), (1, 3), (3, 2)] {
+                let tiles: Vec<Tensor> = pico_model::grid_split_even(out.height, out.width, gr, gc)
+                    .into_iter()
+                    .map(|region| {
+                        let need = m.segment_input_region(seg, region);
+                        let tile = input.slice_region(need).unwrap();
+                        engine.infer_region2(seg, region, &tile).unwrap()
+                    })
+                    .collect();
+                let stitched = Tensor::stitch_grid(&tiles, gc).unwrap();
+                assert_eq!(stitched, full, "{} grid {gr}x{gc}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_region_missing_col_halo_errors() {
+        let m = tiny_chain();
+        let engine = Engine::with_seed(&m, 1);
+        let input = Tensor::random(m.input_shape(), 2);
+        let seg = m.full_segment();
+        // A tile with enough rows but not enough columns.
+        let tile = input
+            .slice_region(Region2::new(Rows::full(16), Rows::new(8, 16)))
+            .unwrap();
+        // Output columns 2..4 need input columns well below the tile's
+        // left edge at 8.
+        let out = Region2::new(Rows::new(4, 8), Rows::new(2, 4));
+        assert!(matches!(
+            engine.infer_region2(seg, out, &tile),
+            Err(TensorError::MissingHalo { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_chaining_matches_whole() {
+        // Running [0, 2) then [2, 4) equals running [0, 4).
+        let m = tiny_chain();
+        let engine = Engine::with_seed(&m, 1);
+        let input = Tensor::random(m.input_shape(), 2);
+        let mid = engine.infer_segment(Segment::new(0, 2), &input).unwrap();
+        let out = engine.infer_segment(Segment::new(2, 4), &mid).unwrap();
+        assert_eq!(out, engine.infer(&input).unwrap());
+    }
+
+    #[test]
+    fn region_with_insufficient_tile_errors() {
+        let m = tiny_chain();
+        let engine = Engine::with_seed(&m, 1);
+        let input = Tensor::random(m.input_shape(), 2);
+        let seg = m.full_segment();
+        // Bottom half output needs more than the bottom half input.
+        let tile = input.slice_rows(Rows::new(8, 16)).unwrap();
+        assert!(matches!(
+            engine.infer_region(seg, Rows::new(4, 8), &tile),
+            Err(TensorError::MissingHalo { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_channels_rejected() {
+        let m = tiny_chain();
+        let engine = Engine::with_seed(&m, 1);
+        let input = Tensor::random(Shape::new(3, 16, 16), 2);
+        assert!(matches!(
+            engine.infer(&input),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_count_mismatch_rejected() {
+        let m = tiny_chain();
+        let other = zoo::toy(2);
+        let w = NetworkWeights::generate(&other, 0);
+        assert!(matches!(
+            Engine::new(&m, w),
+            Err(TensorError::WeightMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fc_model_infers_end_to_end() {
+        let m = Model::new(
+            "fc-tail",
+            Shape::new(1, 8, 8),
+            vec![
+                Layer::conv("c", ConvSpec::square(1, 2, 3, 1, 1)).into(),
+                Layer::pool("p", PoolSpec::max(2, 2)).into(),
+                Layer::fc("fc", 2 * 4 * 4, 10).into(),
+            ],
+        )
+        .unwrap();
+        let engine = Engine::with_seed(&m, 3);
+        let out = engine.infer(&Tensor::random(m.input_shape(), 4)).unwrap();
+        assert_eq!(out.shape(), Shape::new(10, 1, 1));
+    }
+
+    #[test]
+    fn deterministic_outputs() {
+        let m = tiny_chain();
+        let a = Engine::with_seed(&m, 5)
+            .infer(&Tensor::random(m.input_shape(), 6))
+            .unwrap();
+        let b = Engine::with_seed(&m, 5)
+            .infer(&Tensor::random(m.input_shape(), 6))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activations_stay_bounded() {
+        // He-scaled weights keep magnitudes sane through the chain.
+        let m = tiny_chain();
+        let out = Engine::with_seed(&m, 7)
+            .infer(&Tensor::random(m.input_shape(), 8))
+            .unwrap();
+        assert!(out.data().iter().all(|v| v.is_finite() && v.abs() < 1e4));
+    }
+}
+
+#[cfg(test)]
+mod nonsquare_tests {
+    use super::*;
+    use pico_model::{grid_split_even, ConvSpec, Layer, PoolSpec};
+
+    /// Inception-style asymmetric kernels through split/stitch: the
+    /// horizontal halo differs from the vertical one, which is exactly
+    /// what the per-axis receptive arithmetic must get right.
+    fn factorized_model() -> Model {
+        Model::new(
+            "factorized",
+            Shape::new(3, 17, 17),
+            vec![
+                Layer::conv(
+                    "c1x7",
+                    ConvSpec {
+                        in_channels: 3,
+                        out_channels: 4,
+                        kernel: (1, 7),
+                        stride: (1, 1),
+                        padding: (0, 3),
+                        groups: 1,
+                    },
+                )
+                .into(),
+                Layer::conv(
+                    "c7x1",
+                    ConvSpec {
+                        in_channels: 4,
+                        out_channels: 4,
+                        kernel: (7, 1),
+                        stride: (1, 1),
+                        padding: (3, 0),
+                        groups: 1,
+                    },
+                )
+                .into(),
+                Layer::pool("p", PoolSpec::max(2, 2)).into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nonsquare_kernels_split_exactly_in_rows() {
+        let m = factorized_model();
+        let engine = Engine::with_seed(&m, 21);
+        let input = Tensor::random(m.input_shape(), 22);
+        let full = engine.infer(&input).unwrap();
+        let seg = m.full_segment();
+        let h = m.output_shape().height;
+        let tiles: Vec<Tensor> = pico_model::rows_split_even(Rows::full(h), 3)
+            .into_iter()
+            .map(|r| {
+                let need = m.segment_input_rows(seg, r);
+                engine
+                    .infer_region(seg, r, &input.slice_rows(need).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(Tensor::stitch_rows(&tiles).unwrap(), full);
+    }
+
+    #[test]
+    fn nonsquare_kernels_split_exactly_in_grids() {
+        let m = factorized_model();
+        let engine = Engine::with_seed(&m, 23);
+        let input = Tensor::random(m.input_shape(), 24);
+        let full = engine.infer(&input).unwrap();
+        let seg = m.full_segment();
+        let out = m.output_shape();
+        let tiles: Vec<Tensor> = grid_split_even(out.height, out.width, 2, 2)
+            .into_iter()
+            .map(|region| {
+                let need = m.segment_input_region(seg, region);
+                engine
+                    .infer_region2(seg, region, &input.slice_region(need).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(Tensor::stitch_grid(&tiles, 2).unwrap(), full);
+    }
+
+    #[test]
+    fn depthwise_grid_split_exact() {
+        let m = Model::new(
+            "dw-grid",
+            Shape::new(4, 14, 14),
+            vec![
+                Layer::conv("dw", ConvSpec::depthwise(4, 3, 1, 1)).into(),
+                Layer::conv("pw", ConvSpec::pointwise(4, 6)).into(),
+            ],
+        )
+        .unwrap();
+        let engine = Engine::with_seed(&m, 31);
+        let input = Tensor::random(m.input_shape(), 32);
+        let full = engine.infer(&input).unwrap();
+        let seg = m.full_segment();
+        let tiles: Vec<Tensor> = grid_split_even(14, 14, 2, 2)
+            .into_iter()
+            .map(|region| {
+                let need = m.segment_input_region(seg, region);
+                engine
+                    .infer_region2(seg, region, &input.slice_region(need).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(Tensor::stitch_grid(&tiles, 2).unwrap(), full);
+    }
+}

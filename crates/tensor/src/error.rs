@@ -1,0 +1,105 @@
+use pico_model::{Rows, Shape};
+
+/// Errors raised by tensor operations and the inference engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Raw data length does not match the declared shape.
+    DataLength {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements provided.
+        found: usize,
+    },
+    /// A row slice falls outside the tensor.
+    RowsOutOfRange {
+        /// Requested rows.
+        rows: Rows,
+        /// Rows the tensor covers.
+        available: Rows,
+    },
+    /// Tiles cannot be stitched (gap, overlap, or shape disagreement).
+    StitchMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An operation received no tensors.
+    Empty,
+    /// An input tensor's shape does not match what a layer expects.
+    ShapeMismatch {
+        /// The layer or op that rejected the input.
+        op: String,
+        /// Expected shape.
+        expected: Shape,
+        /// Shape received.
+        found: Shape,
+    },
+    /// A region inference call needs input rows the provided tile does
+    /// not cover.
+    MissingHalo {
+        /// Rows required by the receptive field.
+        required: Rows,
+        /// Rows the tile covers.
+        available: Rows,
+    },
+    /// The model structure is inconsistent with its weights (internal
+    /// error — weights are generated from the same model).
+    WeightMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::DataLength { expected, found } => {
+                write!(
+                    f,
+                    "data length {found} does not match shape ({expected} elements)"
+                )
+            }
+            TensorError::RowsOutOfRange { rows, available } => {
+                write!(f, "rows {rows} outside available rows {available}")
+            }
+            TensorError::StitchMismatch { detail } => write!(f, "cannot stitch tiles: {detail}"),
+            TensorError::Empty => write!(f, "no tensors provided"),
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                found,
+            } => write!(f, "`{op}` expects input {expected}, got {found}"),
+            TensorError::MissingHalo {
+                required,
+                available,
+            } => write!(
+                f,
+                "tile covers rows {available} but receptive field needs {required}"
+            ),
+            TensorError::WeightMismatch { detail } => {
+                write!(f, "weights inconsistent with model: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn display_mentions_rows() {
+        let e = TensorError::MissingHalo {
+            required: Rows::new(0, 5),
+            available: Rows::new(2, 5),
+        };
+        assert!(e.to_string().contains("[0, 5)"));
+    }
+}

@@ -1,0 +1,49 @@
+//! A minimal CHW `f32` inference engine for PICO.
+//!
+//! The paper executes CNNs with LibTorch + NNPACK; this crate is the
+//! from-scratch substitute: direct convolution, pooling, and
+//! fully-connected kernels, plus the **halo-aware region execution**
+//! that cooperative inference needs — a device can compute any row range
+//! of a segment's output from the matching input tile, and stitching the
+//! per-device outputs back together reproduces the monolithic result
+//! *bit-exactly* (element loops run in the same order either way).
+//!
+//! Weights are synthetic (seeded random): partitioning never touches
+//! accuracy, so only layer shapes matter for the reproduction, but real
+//! numerics let the test suite prove the split/stitch machinery correct.
+//!
+//! # Example
+//!
+//! ```
+//! use pico_model::{zoo, Rows};
+//! use pico_tensor::{Engine, Tensor};
+//!
+//! let model = zoo::mnist_toy();
+//! let engine = Engine::with_seed(&model, 7);
+//! let input = Tensor::random(model.input_shape(), 42);
+//!
+//! // Whole-model inference...
+//! let full = engine.infer(&input)?;
+//!
+//! // ...equals stitched region-wise inference.
+//! let seg = model.full_segment();
+//! let h = model.output_shape().height;
+//! let top = engine.infer_region(seg, Rows::new(0, h / 2), &input)?;
+//! let bottom = engine.infer_region(seg, Rows::new(h / 2, h), &input)?;
+//! assert_eq!(Tensor::stitch_rows(&[top, bottom])?, full);
+//! # Ok::<(), pico_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod ops;
+mod tensor;
+mod weights;
+
+pub use engine::Engine;
+pub use error::TensorError;
+pub use tensor::Tensor;
+pub use weights::{LayerWeights, NetworkWeights, UnitWeights};

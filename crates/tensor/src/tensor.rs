@@ -1,0 +1,583 @@
+use pico_model::{Region2, Rows, Shape};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::TensorError;
+
+/// A dense CHW `f32` tensor (one sample; no batch dimension).
+///
+/// Feature maps are indexed `(channel, row, column)`; PICO partitions
+/// along rows, so [`Tensor::slice_rows`] / [`Tensor::stitch_rows`] are
+/// the primitive split/stitch operations of the paper's Fig. 6 workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    /// The first global row this tensor represents (0 for whole maps;
+    /// the tile offset for row slices).
+    row0: usize,
+    /// The first global column this tensor represents (0 for whole maps
+    /// and row strips; the tile offset for grid tiles).
+    col0: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            row0: 0,
+            col0: 0,
+            data: vec![0.0; shape.elements()],
+        }
+    }
+
+    /// Creates a tensor from raw CHW data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when `data.len()` does not
+    /// match `shape.elements()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.elements() {
+            return Err(TensorError::DataLength {
+                expected: shape.elements(),
+                found: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            row0: 0,
+            col0: 0,
+            data,
+        })
+    }
+
+    /// Creates a deterministic pseudo-random tensor (uniform in
+    /// `[-1, 1]`) — synthetic sensor input for tests and examples.
+    pub fn random(shape: Shape, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor {
+            shape,
+            row0: 0,
+            col0: 0,
+            data: (0..shape.elements())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The global row index of this tensor's first row (non-zero for
+    /// row tiles).
+    pub fn row0(&self) -> usize {
+        self.row0
+    }
+
+    /// Tags this tensor as starting at global row `row0` (used by
+    /// kernels producing partial output maps).
+    pub(crate) fn set_row0(&mut self, row0: usize) {
+        self.row0 = row0;
+    }
+
+    /// The global column index of this tensor's first column (non-zero
+    /// for grid tiles).
+    pub fn col0(&self) -> usize {
+        self.col0
+    }
+
+    /// Tags this tensor as starting at global column `col0`.
+    pub(crate) fn set_col0(&mut self, col0: usize) {
+        self.col0 = col0;
+    }
+
+    /// Global columns covered by this tensor.
+    pub fn cols(&self) -> Rows {
+        Rows::new(self.col0, self.col0 + self.shape.width)
+    }
+
+    /// The global rectangular region this tensor covers.
+    pub fn region(&self) -> Region2 {
+        Region2::new(self.rows(), self.cols())
+    }
+
+    /// Global rows covered by this tensor.
+    pub fn rows(&self) -> Rows {
+        Rows::new(self.row0, self.row0 + self.shape.height)
+    }
+
+    /// Read access to the raw CHW data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw CHW data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at (channel, **local** row, column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn at(&self, c: usize, r: usize, col: usize) -> f32 {
+        debug_assert!(c < self.shape.channels && r < self.shape.height && col < self.shape.width);
+        self.data[(c * self.shape.height + r) * self.shape.width + col]
+    }
+
+    /// Sets the element at (channel, **local** row, column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, c: usize, r: usize, col: usize, v: f32) {
+        debug_assert!(c < self.shape.channels && r < self.shape.height && col < self.shape.width);
+        self.data[(c * self.shape.height + r) * self.shape.width + col] = v;
+    }
+
+    /// Element at (channel, **global** row, column), where the global
+    /// row is relative to the full feature map this tile was cut from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global row is outside this tile.
+    #[inline]
+    pub fn at_global(&self, c: usize, global_row: usize, global_col: usize) -> f32 {
+        debug_assert!(
+            global_row >= self.row0 && global_row < self.row0 + self.shape.height,
+            "global row {global_row} outside tile rows {:?}",
+            self.rows()
+        );
+        debug_assert!(
+            global_col >= self.col0 && global_col < self.col0 + self.shape.width,
+            "global col {global_col} outside tile cols {:?}",
+            self.cols()
+        );
+        self.at(c, global_row - self.row0, global_col - self.col0)
+    }
+
+    /// Extracts global rows `rows` as a new tile that remembers its
+    /// offset (the scatter half of split/stitch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RowsOutOfRange`] when `rows` is not fully
+    /// inside this tensor.
+    pub fn slice_rows(&self, rows: Rows) -> Result<Tensor, TensorError> {
+        self.slice_region(Region2::new(rows, self.cols()))
+    }
+
+    /// Extracts the global region `region` as a new tile that remembers
+    /// both offsets (grid scatter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RowsOutOfRange`] when `region` is not
+    /// fully inside this tensor.
+    pub fn slice_region(&self, region: Region2) -> Result<Tensor, TensorError> {
+        if !self.region().contains(region) {
+            return Err(TensorError::RowsOutOfRange {
+                rows: if self.rows().contains(region.rows) {
+                    region.cols
+                } else {
+                    region.rows
+                },
+                available: if self.rows().contains(region.rows) {
+                    self.cols()
+                } else {
+                    self.rows()
+                },
+            });
+        }
+        let c = self.shape.channels;
+        let (h, w) = (region.rows.len(), region.cols.len());
+        let mut data = Vec::with_capacity(c * h * w);
+        for ch in 0..c {
+            for r in region.rows.iter() {
+                let local_r = r - self.row0;
+                let local_c = region.cols.start - self.col0;
+                let base = (ch * self.shape.height + local_r) * self.shape.width + local_c;
+                data.extend_from_slice(&self.data[base..base + w]);
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new(c, h, w),
+            row0: region.rows.start,
+            col0: region.cols.start,
+            data,
+        })
+    }
+
+    /// Concatenates row tiles back into one contiguous map (the gather
+    /// half of split/stitch). Tiles must be contiguous in row order and
+    /// agree on channels/width; empty tiles are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StitchMismatch`] on gaps, overlaps, or
+    /// shape disagreement, and [`TensorError::Empty`] for no tiles.
+    pub fn stitch_rows(tiles: &[Tensor]) -> Result<Tensor, TensorError> {
+        let parts: Vec<&Tensor> = tiles.iter().filter(|t| t.shape.height > 0).collect();
+        let first = parts.first().ok_or(TensorError::Empty)?;
+        let (c, w) = (first.shape.channels, first.shape.width);
+        let mut cursor = first.row0;
+        let mut total_h = 0usize;
+        for t in &parts {
+            if t.col0 != first.col0 {
+                return Err(TensorError::StitchMismatch {
+                    detail: format!("tile col offset {} disagrees with {}", t.col0, first.col0),
+                });
+            }
+            if t.shape.channels != c || t.shape.width != w {
+                return Err(TensorError::StitchMismatch {
+                    detail: format!("tile shape {} disagrees with {}x_x{w}", t.shape, c),
+                });
+            }
+            if t.row0 != cursor {
+                return Err(TensorError::StitchMismatch {
+                    detail: format!("tile starts at row {} but cover reached {cursor}", t.row0),
+                });
+            }
+            cursor += t.shape.height;
+            total_h += t.shape.height;
+        }
+        let shape = Shape::new(c, total_h, w);
+        let mut out = Tensor::zeros(shape);
+        out.row0 = first.row0;
+        out.col0 = first.col0;
+        for ch in 0..c {
+            let mut offset = 0usize;
+            for t in &parts {
+                let src = &t.data[ch * t.shape.height * w..(ch + 1) * t.shape.height * w];
+                let dst_base = (ch * total_h + offset) * w;
+                out.data[dst_base..dst_base + src.len()].copy_from_slice(src);
+                offset += t.shape.height;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Concatenates column tiles (same rows, contiguous columns) into
+    /// one band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StitchMismatch`] on gaps, overlaps, or
+    /// row disagreement, and [`TensorError::Empty`] for no tiles.
+    pub fn stitch_cols(tiles: &[Tensor]) -> Result<Tensor, TensorError> {
+        let parts: Vec<&Tensor> = tiles.iter().filter(|t| t.shape.width > 0).collect();
+        let first = parts.first().ok_or(TensorError::Empty)?;
+        let (c, h) = (first.shape.channels, first.shape.height);
+        let mut cursor = first.col0;
+        let mut total_w = 0usize;
+        for t in &parts {
+            if t.shape.channels != c || t.shape.height != h || t.row0 != first.row0 {
+                return Err(TensorError::StitchMismatch {
+                    detail: format!(
+                        "tile {} @r{} disagrees with {}x{h}x_ @r{}",
+                        t.shape, t.row0, c, first.row0
+                    ),
+                });
+            }
+            if t.col0 != cursor {
+                return Err(TensorError::StitchMismatch {
+                    detail: format!("tile starts at col {} but cover reached {cursor}", t.col0),
+                });
+            }
+            cursor += t.shape.width;
+            total_w += t.shape.width;
+        }
+        let mut out = Tensor::zeros(Shape::new(c, h, total_w));
+        out.row0 = first.row0;
+        out.col0 = first.col0;
+        for ch in 0..c {
+            for r in 0..h {
+                let mut offset = 0usize;
+                for t in &parts {
+                    let w = t.shape.width;
+                    let src = &t.data[(ch * h + r) * w..(ch * h + r + 1) * w];
+                    let dst = (ch * h + r) * total_w + offset;
+                    out.data[dst..dst + w].copy_from_slice(src);
+                    offset += w;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reassembles a row-major grid of tiles (`grid_cols` tiles per row
+    /// band) into one map: each band is stitched along columns, then the
+    /// bands along rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StitchMismatch`] when the tiles do not
+    /// tile a rectangle, and [`TensorError::Empty`] for no tiles.
+    pub fn stitch_grid(tiles: &[Tensor], grid_cols: usize) -> Result<Tensor, TensorError> {
+        if tiles.is_empty() || grid_cols == 0 {
+            return Err(TensorError::Empty);
+        }
+        if !tiles.len().is_multiple_of(grid_cols) {
+            return Err(TensorError::StitchMismatch {
+                detail: format!("{} tiles do not form rows of {grid_cols}", tiles.len()),
+            });
+        }
+        let bands: Vec<Tensor> = tiles
+            .chunks(grid_cols)
+            .map(Tensor::stitch_cols)
+            .collect::<Result<_, _>>()?;
+        Tensor::stitch_rows(&bands)
+    }
+
+    /// Reassembles arbitrary rectangular tiles into one map: tiles are
+    /// sorted by (row, col) offset, grouped into row bands, each band
+    /// stitched along columns, then the bands along rows. Works for row
+    /// strips (each its own band) and regular grids alike.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StitchMismatch`] when the tiles do not
+    /// tile a rectangle, and [`TensorError::Empty`] for no tiles.
+    pub fn stitch_tiles(tiles: &[Tensor]) -> Result<Tensor, TensorError> {
+        let mut parts: Vec<&Tensor> = tiles
+            .iter()
+            .filter(|t| t.shape.height > 0 && t.shape.width > 0)
+            .collect();
+        if parts.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        parts.sort_by_key(|t| (t.row0, t.col0));
+        let mut bands: Vec<Tensor> = Vec::new();
+        let mut band: Vec<Tensor> = Vec::new();
+        let mut band_row = parts[0].row0;
+        for t in parts {
+            if t.row0 != band_row && !band.is_empty() {
+                bands.push(Tensor::stitch_cols(&band)?);
+                band.clear();
+                band_row = t.row0;
+            }
+            band.push(t.clone());
+        }
+        if !band.is_empty() {
+            bands.push(Tensor::stitch_cols(&band)?);
+        }
+        Tensor::stitch_rows(&bands)
+    }
+
+    /// Flattens to a CHW-ordered vector (consumes the tensor).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(c: usize, h: usize, w: usize) -> Tensor {
+        let shape = Shape::new(c, h, w);
+        Tensor::from_vec(shape, (0..shape.elements()).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(matches!(
+            Tensor::from_vec(Shape::new(1, 2, 2), vec![0.0; 3]),
+            Err(TensorError::DataLength {
+                expected: 4,
+                found: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn indexing_is_chw() {
+        let t = seq_tensor(2, 3, 4);
+        assert_eq!(t.at(0, 0, 0), 0.0);
+        assert_eq!(t.at(0, 1, 2), 6.0);
+        assert_eq!(t.at(1, 0, 0), 12.0);
+    }
+
+    #[test]
+    fn slice_rows_keeps_offset() {
+        let t = seq_tensor(2, 6, 3);
+        let s = t.slice_rows(Rows::new(2, 5)).unwrap();
+        assert_eq!(s.shape(), Shape::new(2, 3, 3));
+        assert_eq!(s.row0(), 2);
+        assert_eq!(s.at(0, 0, 0), t.at(0, 2, 0));
+        assert_eq!(s.at_global(0, 2, 0), t.at(0, 2, 0));
+        assert_eq!(s.at(1, 2, 2), t.at(1, 4, 2));
+    }
+
+    #[test]
+    fn slice_rows_rejects_out_of_range() {
+        let t = seq_tensor(1, 4, 2);
+        assert!(t.slice_rows(Rows::new(2, 6)).is_err());
+    }
+
+    #[test]
+    fn slice_of_slice_uses_global_rows() {
+        let t = seq_tensor(1, 10, 2);
+        let a = t.slice_rows(Rows::new(3, 9)).unwrap();
+        let b = a.slice_rows(Rows::new(5, 7)).unwrap();
+        assert_eq!(b.row0(), 5);
+        assert_eq!(b.at(0, 0, 1), t.at(0, 5, 1));
+    }
+
+    #[test]
+    fn stitch_roundtrips_split() {
+        let t = seq_tensor(3, 8, 5);
+        let parts: Vec<Tensor> = [Rows::new(0, 3), Rows::new(3, 4), Rows::new(4, 8)]
+            .iter()
+            .map(|r| t.slice_rows(*r).unwrap())
+            .collect();
+        assert_eq!(Tensor::stitch_rows(&parts).unwrap(), t);
+    }
+
+    #[test]
+    fn stitch_rejects_gap() {
+        let t = seq_tensor(1, 8, 2);
+        let parts = vec![
+            t.slice_rows(Rows::new(0, 3)).unwrap(),
+            t.slice_rows(Rows::new(4, 8)).unwrap(),
+        ];
+        assert!(matches!(
+            Tensor::stitch_rows(&parts),
+            Err(TensorError::StitchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stitch_rejects_channel_mismatch() {
+        let a = seq_tensor(1, 2, 2);
+        let b = seq_tensor(2, 2, 2);
+        assert!(Tensor::stitch_rows(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn stitch_skips_empty_tiles() {
+        let t = seq_tensor(1, 4, 2);
+        let parts = vec![
+            t.slice_rows(Rows::new(0, 2)).unwrap(),
+            t.slice_rows(Rows::new(2, 2)).unwrap(),
+            t.slice_rows(Rows::new(2, 4)).unwrap(),
+        ];
+        assert_eq!(Tensor::stitch_rows(&parts).unwrap(), t);
+    }
+
+    #[test]
+    fn stitch_empty_list_errors() {
+        assert!(matches!(Tensor::stitch_rows(&[]), Err(TensorError::Empty)));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(Shape::new(2, 3, 3), 9);
+        let b = Tensor::random(Shape::new(2, 3, 3), 9);
+        let c = Tensor::random(Shape::new(2, 3, 3), 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn slice_region_keeps_both_offsets() {
+        let t = seq_tensor(2, 6, 5);
+        let r = t
+            .slice_region(Region2::new(Rows::new(1, 4), Rows::new(2, 5)))
+            .unwrap();
+        assert_eq!(r.shape(), Shape::new(2, 3, 3));
+        assert_eq!((r.row0(), r.col0()), (1, 2));
+        assert_eq!(r.at(0, 0, 0), t.at(0, 1, 2));
+        assert_eq!(r.at_global(1, 3, 4), t.at(1, 3, 4));
+    }
+
+    #[test]
+    fn slice_region_rejects_out_of_bounds_cols() {
+        let t = seq_tensor(1, 4, 4);
+        assert!(t
+            .slice_region(Region2::new(Rows::new(0, 2), Rows::new(2, 6)))
+            .is_err());
+    }
+
+    #[test]
+    fn grid_roundtrips_through_stitch_grid() {
+        let t = seq_tensor(3, 9, 8);
+        let regions = pico_model::grid_split_even(9, 8, 3, 2);
+        let tiles: Vec<Tensor> = regions
+            .iter()
+            .map(|r| t.slice_region(*r).unwrap())
+            .collect();
+        let back = Tensor::stitch_grid(&tiles, 2).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn stitch_cols_rejects_row_mismatch() {
+        let t = seq_tensor(1, 6, 6);
+        let a = t
+            .slice_region(Region2::new(Rows::new(0, 3), Rows::new(0, 3)))
+            .unwrap();
+        let b = t
+            .slice_region(Region2::new(Rows::new(3, 6), Rows::new(3, 6)))
+            .unwrap();
+        assert!(Tensor::stitch_cols(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn stitch_grid_rejects_ragged_input() {
+        let t = seq_tensor(1, 4, 4);
+        let a = t.slice_rows(Rows::new(0, 2)).unwrap();
+        let b = t.slice_rows(Rows::new(2, 4)).unwrap();
+        let c = t.slice_rows(Rows::new(2, 4)).unwrap();
+        assert!(matches!(
+            Tensor::stitch_grid(&[a, b, c], 2),
+            Err(TensorError::StitchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stitch_tiles_handles_strips_and_grids_and_shuffles() {
+        let t = seq_tensor(2, 12, 9);
+        // Grid, deliberately out of order.
+        let mut tiles: Vec<Tensor> = pico_model::grid_split_even(12, 9, 3, 3)
+            .into_iter()
+            .map(|r| t.slice_region(r).unwrap())
+            .collect();
+        tiles.reverse();
+        tiles.swap(1, 5);
+        assert_eq!(Tensor::stitch_tiles(&tiles).unwrap(), t);
+        // Strips.
+        let strips: Vec<Tensor> = pico_model::rows_split_even(Rows::full(12), 4)
+            .into_iter()
+            .map(|r| t.slice_rows(r).unwrap())
+            .collect();
+        assert_eq!(Tensor::stitch_tiles(&strips).unwrap(), t);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_identical() {
+        let a = seq_tensor(2, 2, 2);
+        assert_eq!(a.max_abs_diff(&a.clone()), 0.0);
+    }
+}

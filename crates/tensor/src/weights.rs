@@ -1,0 +1,174 @@
+use pico_model::{LayerKind, Model, Unit};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Weights of one layer: a flat kernel plus per-output bias.
+///
+/// * Convolution: kernel laid out `[out_ch][in_ch][kh][kw]`.
+/// * Fully-connected: kernel laid out `[out][in]`.
+/// * Pooling: empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// Flat kernel values.
+    pub kernel: Vec<f32>,
+    /// Per-output-channel (or per-output-feature) bias.
+    pub bias: Vec<f32>,
+}
+
+impl LayerWeights {
+    /// The empty weights of a parameterless layer.
+    pub fn none() -> Self {
+        LayerWeights {
+            kernel: Vec::new(),
+            bias: Vec::new(),
+        }
+    }
+}
+
+/// Weights of one planning unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitWeights {
+    /// A single layer's weights.
+    Layer(LayerWeights),
+    /// Per-path, per-layer weights of a block.
+    Block(Vec<Vec<LayerWeights>>),
+}
+
+/// Synthetic weights for an entire model.
+///
+/// Generated with a seeded RNG and He-style scaling
+/// (`U(-s, s)` with `s = sqrt(3 / fan_in)`) so activations stay bounded
+/// through deep networks. Partitioning does not alter accuracy, so
+/// random weights are sufficient for every experiment in the paper;
+/// determinism (same seed, same weights) is what the correctness tests
+/// rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkWeights {
+    units: Vec<UnitWeights>,
+}
+
+impl NetworkWeights {
+    /// Generates weights for `model` from `seed`.
+    pub fn generate(model: &Model, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let units = model
+            .units()
+            .iter()
+            .map(|u| match u {
+                Unit::Layer(l) => UnitWeights::Layer(layer_weights(&l.kind, &mut rng)),
+                Unit::Block(b) => UnitWeights::Block(
+                    b.paths
+                        .iter()
+                        .map(|p| p.iter().map(|l| layer_weights(&l.kind, &mut rng)).collect())
+                        .collect(),
+                ),
+            })
+            .collect();
+        NetworkWeights { units }
+    }
+
+    /// Weights of unit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn unit(&self, index: usize) -> &UnitWeights {
+        &self.units[index]
+    }
+
+    /// Number of units covered.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether there are no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+}
+
+fn layer_weights(kind: &LayerKind, rng: &mut StdRng) -> LayerWeights {
+    match kind {
+        LayerKind::Conv(c) => {
+            let fan_in = (c.kernel.0 * c.kernel.1 * c.in_per_group()) as f32;
+            let s = (3.0 / fan_in).sqrt();
+            let n = c.out_channels * c.in_per_group() * c.kernel.0 * c.kernel.1;
+            LayerWeights {
+                kernel: (0..n).map(|_| rng.gen_range(-s..s)).collect(),
+                bias: (0..c.out_channels)
+                    .map(|_| rng.gen_range(-0.01..0.01))
+                    .collect(),
+            }
+        }
+        LayerKind::Fc(fc) => {
+            let s = (3.0 / fc.in_features as f32).sqrt();
+            LayerWeights {
+                kernel: (0..fc.in_features * fc.out_features)
+                    .map(|_| rng.gen_range(-s..s))
+                    .collect(),
+                bias: (0..fc.out_features)
+                    .map(|_| rng.gen_range(-0.01..0.01))
+                    .collect(),
+            }
+        }
+        LayerKind::Pool(_) => LayerWeights::none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = zoo::mnist_toy();
+        assert_eq!(
+            NetworkWeights::generate(&m, 1),
+            NetworkWeights::generate(&m, 1)
+        );
+        assert_ne!(
+            NetworkWeights::generate(&m, 1),
+            NetworkWeights::generate(&m, 2)
+        );
+    }
+
+    #[test]
+    fn kernel_sizes_match_layers() {
+        let m = zoo::toy(2);
+        let w = NetworkWeights::generate(&m, 0);
+        match w.unit(0) {
+            UnitWeights::Layer(lw) => {
+                assert_eq!(lw.kernel.len(), 16 * 3 * 3 * 3);
+                assert_eq!(lw.bias.len(), 16);
+            }
+            other => panic!("expected layer weights, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_weights_follow_paths() {
+        let m = zoo::resnet34();
+        let w = NetworkWeights::generate(&m, 0);
+        // Unit 2 is the first residual block: main path (2 convs) +
+        // identity shortcut (0 layers).
+        match w.unit(2) {
+            UnitWeights::Block(paths) => {
+                assert_eq!(paths.len(), 2);
+                assert_eq!(paths[0].len(), 2);
+                assert_eq!(paths[1].len(), 0);
+            }
+            other => panic!("expected block weights, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_layers_have_no_weights() {
+        let m = zoo::mnist_toy();
+        let w = NetworkWeights::generate(&m, 0);
+        // Unit 3 is pool1 in mnist_toy.
+        match w.unit(3) {
+            UnitWeights::Layer(lw) => assert!(lw.kernel.is_empty() && lw.bias.is_empty()),
+            other => panic!("expected layer weights, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based correctness of the engine: arbitrary partitions of
+//! arbitrary small models must stitch back to the monolithic result
+//! bit-exactly, in 1-D and 2-D.
+
+use pico_model::{
+    grid_split_even, rows_split_weighted, zoo, ConvSpec, Layer, Model, PoolSpec, Rows, Segment,
+    Shape,
+};
+use pico_tensor::{Engine, Tensor};
+use proptest::prelude::*;
+
+/// Small random conv/pool chains over a 20x20 input (fast in debug).
+fn arb_model() -> impl Strategy<Value = Model> {
+    let layer = prop_oneof![
+        (1usize..=3, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
+        Just((2, 2, 0, false)),
+    ];
+    proptest::collection::vec(layer, 1..5).prop_map(|specs| {
+        let input = Shape::new(2, 20, 20);
+        let mut units: Vec<pico_model::Unit> = Vec::new();
+        let mut shape = input;
+        for (i, (k, s, p, conv)) in specs.into_iter().enumerate() {
+            let layer = if conv {
+                Layer::conv(
+                    format!("c{i}"),
+                    ConvSpec::square(shape.channels, 3, k, s, p),
+                )
+            } else {
+                Layer::pool(format!("p{i}"), PoolSpec::max(k, s))
+            };
+            if let Ok(next) = layer.output_shape(shape) {
+                if next.height >= 2 && next.width >= 2 {
+                    shape = next;
+                    units.push(layer.into());
+                }
+            }
+        }
+        if units.is_empty() {
+            units.push(Layer::conv("fb", ConvSpec::square(2, 3, 3, 1, 1)).into());
+        }
+        Model::new("prop", input, units).expect("chain is consistent")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Weighted row splits stitch back to the monolithic result exactly.
+    #[test]
+    fn weighted_row_split_is_exact(
+        model in arb_model(),
+        weights in proptest::collection::vec(0.1f64..4.0, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let engine = Engine::with_seed(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(1));
+        let full = engine.infer(&input).expect("monolithic inference works");
+        let seg = model.full_segment();
+        let h = model.output_shape().height;
+        let tiles: Vec<Tensor> = rows_split_weighted(Rows::full(h), &weights)
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| {
+                let need = model.segment_input_rows(seg, r);
+                let tile = input.slice_rows(need).expect("halo available");
+                engine.infer_region(seg, r, &tile).expect("region inference works")
+            })
+            .collect();
+        let stitched = Tensor::stitch_rows(&tiles).expect("tiles stitch");
+        prop_assert_eq!(stitched, full);
+    }
+
+    /// Arbitrary grids stitch back exactly too.
+    #[test]
+    fn grid_split_is_exact(
+        model in arb_model(),
+        gr in 1usize..4,
+        gc in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let engine = Engine::with_seed(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(2));
+        let full = engine.infer(&input).expect("monolithic inference works");
+        let out = model.output_shape();
+        let seg = model.full_segment();
+        let tiles: Vec<Tensor> = grid_split_even(out.height, out.width, gr, gc)
+            .into_iter()
+            .map(|region| {
+                let need = model.segment_input_region(seg, region);
+                let tile = input.slice_region(need).expect("halo available");
+                engine.infer_region2(seg, region, &tile).expect("region inference works")
+            })
+            .collect();
+        let stitched = Tensor::stitch_grid(&tiles, gc).expect("tiles stitch");
+        prop_assert_eq!(stitched, full);
+    }
+
+    /// Splitting at an arbitrary segment boundary and chaining equals
+    /// whole-model inference (pipeline correctness at any cut).
+    #[test]
+    fn any_cut_point_chains_exactly(model in arb_model(), cut_seed in 0usize..100, seed in 0u64..1000) {
+        prop_assume!(model.len() >= 2);
+        let cut = 1 + cut_seed % (model.len() - 1);
+        let engine = Engine::with_seed(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(3));
+        let mid = engine.infer_segment(Segment::new(0, cut), &input).expect("head runs");
+        let out = engine.infer_segment(Segment::new(cut, model.len()), &mid).expect("tail runs");
+        prop_assert_eq!(out, engine.infer(&input).expect("monolithic works"));
+    }
+}
+
+#[test]
+fn resnet_like_grid_inference_is_exact() {
+    // Deterministic graph-model check (blocks + grids), once.
+    let model = Model::new(
+        "resnetish",
+        Shape::new(3, 24, 24),
+        vec![
+            Layer::conv("stem", ConvSpec::square(3, 4, 3, 1, 1)).into(),
+            pico_model::Unit::Block(pico_model::Block::residual(
+                "res",
+                vec![
+                    Layer::conv("a", ConvSpec::square(4, 4, 3, 1, 1)),
+                    Layer::conv("b", ConvSpec::square(4, 4, 3, 1, 1)),
+                ],
+                vec![],
+            )),
+        ],
+    )
+    .unwrap();
+    let engine = Engine::with_seed(&model, 5);
+    let input = Tensor::random(model.input_shape(), 6);
+    let full = engine.infer(&input).unwrap();
+    let seg = model.full_segment();
+    let tiles: Vec<Tensor> = grid_split_even(24, 24, 2, 2)
+        .into_iter()
+        .map(|region| {
+            let need = model.segment_input_region(seg, region);
+            let tile = input.slice_region(need).unwrap();
+            engine.infer_region2(seg, region, &tile).unwrap()
+        })
+        .collect();
+    assert_eq!(Tensor::stitch_grid(&tiles, 2).unwrap(), full);
+}
+
+#[test]
+fn zoo_toy_models_split_exactly() {
+    for model in [zoo::toy(3), zoo::mnist_toy()] {
+        let engine = Engine::with_seed(&model, 8);
+        let input = Tensor::random(model.input_shape(), 9);
+        let full = engine.infer(&input).unwrap();
+        let seg = model.full_segment();
+        let h = model.output_shape().height;
+        let tiles: Vec<Tensor> = pico_model::rows_split_even(Rows::full(h), 3)
+            .into_iter()
+            .map(|r| {
+                let need = model.segment_input_rows(seg, r);
+                engine
+                    .infer_region(seg, r, &input.slice_rows(need).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            Tensor::stitch_rows(&tiles).unwrap(),
+            full,
+            "{}",
+            model.name()
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: plan VGG16 on the paper's 8-Pi testbed and compare every
+//! parallelization scheme analytically and under simulation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pico::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's setup: VGG16's conv/pool feature extractor on eight
+    // Raspberry-Pi-class devices (1 CPU core @ 1 GHz) behind a 50 Mbps
+    // WiFi access point.
+    let model = zoo::vgg16().features();
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    let pico = Pico::new(model, cluster);
+
+    println!(
+        "model: {} ({} units, {:.2} GFLOPs/inference)",
+        pico.model().name(),
+        pico.model().len(),
+        pico.model().total_flops() / 1e9
+    );
+    println!("cluster: 8x Raspberry Pi @ 1 GHz, 50 Mbps WiFi\n");
+
+    // Plan with the paper's PICO pipeline and print the stage layout.
+    let plan = pico.plan()?;
+    println!("{}", pico.describe(&plan));
+
+    // Compare all four schemes the paper evaluates.
+    println!("scheme  stages  period(s)  latency(s)  throughput(tasks/min)");
+    for plan in pico.plan_all() {
+        let m = pico.predict(&plan);
+        println!(
+            "{:<7} {:>6}  {:>9.3}  {:>10.3}  {:>21.1}",
+            plan.scheme.to_string(),
+            plan.stage_count(),
+            m.period,
+            m.latency,
+            60.0 * m.throughput(),
+        );
+    }
+
+    // Saturate the cluster and measure real (simulated) throughput.
+    println!("\nclosed-loop simulation, 120 tasks:");
+    for plan in pico.plan_all() {
+        let r = pico.simulate(&plan, &Arrivals::closed_loop(120));
+        println!(
+            "{:<7} throughput {:>6.2} tasks/min | avg utilization {:>5.1}% | redundancy {:>4.1}%",
+            plan.scheme.to_string(),
+            60.0 * r.throughput,
+            100.0 * r.avg_utilization(),
+            100.0 * r.avg_redundancy(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Smart-home camera scenario (the paper's motivating workload): a
+//! cluster of idle household devices runs YOLOv2 object detection on
+//! camera frames. The frame rate is low while occupants are away and
+//! spikes when they return home; APICO switches schemes to track it.
+//!
+//! Run with: `cargo run --release --example smart_camera`
+
+use pico::prelude::*;
+use pico::sim::workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::yolov2();
+    let cluster = Cluster::paper_heterogeneous();
+    let pico = Pico::new(model, cluster);
+
+    let ofl = pico.plan_with(&OptimalFused::new())?;
+    let ofl_metrics = pico.predict(&ofl);
+    let capacity = 1.0 / ofl_metrics.period; // one-stage capacity (tasks/s)
+
+    println!("YOLOv2 on the heterogeneous 8-device home cluster");
+    println!("one-stage (OFL) capacity: {:.3} frames/s\n", capacity);
+
+    // A day in four phases: night (5%), morning (60%), away (20%),
+    // evening rush (130% of one-stage capacity).
+    let phases: [(&str, f64, f64); 4] = [
+        ("night", 0.05, 2000.0),
+        ("morning", 0.60, 2000.0),
+        ("away", 0.20, 2000.0),
+        ("evening", 1.30, 4000.0),
+    ];
+
+    let segments: Vec<(f64, f64)> = phases
+        .iter()
+        .map(|(_, load, duration)| (load * capacity, *duration))
+        .collect();
+    let arrivals = workload::phases(&segments, 1);
+
+    // Static schemes for reference.
+    println!("static schemes over the full day:");
+    for plan in [
+        pico.plan_with(&EarlyFused::new())?,
+        ofl.clone(),
+        pico.plan()?,
+    ] {
+        let r = pico.simulate(&plan, &arrivals);
+        println!(
+            "  {:<5} avg latency {:>8.2}s | p95 {:>8.2}s | completed {}",
+            plan.scheme.to_string(),
+            r.avg_latency,
+            r.p95_latency,
+            r.completed,
+        );
+    }
+
+    // APICO: adaptive switching with a 60 s estimation window.
+    let (report, decisions) = pico.run_adaptive(&arrivals, 60.0, 0.4)?;
+    println!(
+        "  APICO avg latency {:>8.2}s | p95 {:>8.2}s | completed {}",
+        report.avg_latency, report.p95_latency, report.completed
+    );
+
+    println!("\nAPICO switch timeline (plan 0 = PICO pipeline, 1 = OFL):");
+    for d in &decisions {
+        let phase = phases
+            .iter()
+            .scan(0.0, |acc, (name, _, dur)| {
+                *acc += dur;
+                Some((*acc, *name))
+            })
+            .find(|(end, _)| d.time < *end)
+            .map(|(_, name)| name)
+            .unwrap_or("end");
+        println!(
+            "  t={:>8.1}s  -> plan {} (estimated load {:.3} frames/s, phase: {})",
+            d.time, d.plan_index, d.lambda, phase
+        );
+    }
+    Ok(())
+}

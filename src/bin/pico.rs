@@ -1,0 +1,361 @@
+//! The `pico` command-line tool: plan, predict, simulate, and compare
+//! cooperative-inference deployments from the shell.
+//!
+//! ```console
+//! $ pico plan --model vgg16 --devices 8 --ghz 1.0
+//! $ pico compare --model yolov2 --cluster paper
+//! $ pico simulate --model vgg16 --devices 8 --load 1.2
+//! $ pico memory --model vgg16 --cluster paper
+//! ```
+
+use std::process::ExitCode;
+
+use pico::model::Model;
+use pico::partition::memory::{plan_memory, single_device_memory};
+use pico::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: pico <command> [options]
+
+commands:
+  plan       plan a deployment and print the stage layout
+  compare    predict every scheme (LW/EFL/OFL/GRID/PICO) side by side
+  simulate   run a Poisson workload through the queueing simulator
+  memory     per-device memory footprint of the PICO plan
+  frontier   the period/latency Pareto frontier (T_lim sweep)
+  model      per-layer summary of the model (shapes, params, FLOPs)
+
+options:
+  --model <vgg16|yolov2|resnet34|inception_v3|mobilenet_v1|mnist_toy>
+  --cluster <paper|paper6>   the paper's heterogeneous mixes, or:
+  --devices <n> --ghz <f>    a homogeneous cluster (default 8 x 1.0)
+  --bandwidth <mbps>         shared link bandwidth (default 50)
+  --t-lim <seconds>          pipeline latency limit (PICO plans)
+  --scheme <lw|efl|ofl|grid|pico>  planner for `plan` (default pico)
+  --load <fraction>          `simulate`: arrival rate as a fraction of
+                             EFL capacity (default 1.0)
+  --minutes <m>              `simulate`: virtual duration (default 10)";
+
+/// Tiny hand-rolled `--key value` parser (no CLI dependency).
+struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{key}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            pairs.push((name.to_owned(), value.clone()));
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number `{v}`")),
+        }
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: bad integer `{v}`")),
+        }
+    }
+}
+
+fn model_by_name(name: &str) -> Result<Model, String> {
+    Ok(match name {
+        "vgg16" => zoo::vgg16().features(),
+        "yolov2" => zoo::yolov2(),
+        "resnet34" => zoo::resnet34().features(),
+        "inception_v3" => zoo::inception_v3().features(),
+        "mobilenet_v1" => zoo::mobilenet_v1().features(),
+        "mnist_toy" => zoo::mnist_toy(),
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+fn cluster_from(opts: &Opts) -> Result<Cluster, String> {
+    match opts.get("cluster") {
+        Some("paper") => Ok(Cluster::paper_heterogeneous()),
+        Some("paper6") => Ok(Cluster::paper_heterogeneous_6()),
+        Some(other) => Err(format!("unknown cluster `{other}`")),
+        None => {
+            let devices = opts.get_usize("devices", 8)?;
+            let ghz = opts.get_f64("ghz", 1.0)?;
+            if devices == 0 || ghz <= 0.0 {
+                return Err("need --devices >= 1 and --ghz > 0".to_owned());
+            }
+            Ok(Cluster::pi_cluster(devices, ghz))
+        }
+    }
+}
+
+fn deployment_from(opts: &Opts) -> Result<Pico, String> {
+    let model = model_by_name(opts.get("model").unwrap_or("vgg16"))?;
+    let cluster = cluster_from(opts)?;
+    let mut params = CostParams::new(opts.get_f64("bandwidth", 50.0)? * 1e6);
+    if let Some(t) = opts.get("t-lim") {
+        let secs: f64 = t
+            .parse()
+            .map_err(|_| format!("--t-lim: bad number `{t}`"))?;
+        params = params.with_t_lim(secs);
+    }
+    Ok(Pico::new(model, cluster).with_params(params))
+}
+
+fn planner_by_name(name: &str) -> Result<Box<dyn Planner>, String> {
+    Ok(match name {
+        "lw" => Box::new(LayerWise::new()),
+        "efl" => Box::new(EarlyFused::new()),
+        "ofl" => Box::new(OptimalFused::new()),
+        "grid" => Box::new(GridFused::new()),
+        "pico" => Box::new(PicoPlanner::new()),
+        other => return Err(format!("unknown scheme `{other}`")),
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".to_owned());
+    };
+    let opts = Opts::parse(rest)?;
+    let pico = deployment_from(&opts)?;
+
+    match command.as_str() {
+        "plan" => {
+            let planner = planner_by_name(opts.get("scheme").unwrap_or("pico"))?;
+            let plan = pico.plan_with(&planner).map_err(|e| e.to_string())?;
+            print!("{}", pico.describe(&plan));
+            Ok(())
+        }
+        "compare" => {
+            println!("scheme  stages  period(s)  latency(s)  tasks/min");
+            for name in ["lw", "efl", "ofl", "grid", "pico"] {
+                let planner = planner_by_name(name)?;
+                match pico.plan_with(&planner) {
+                    Ok(plan) => {
+                        let m = pico.predict(&plan);
+                        println!(
+                            "{:<7} {:>6}  {:>9.3}  {:>10.3}  {:>9.1}",
+                            plan.scheme.to_string(),
+                            plan.stage_count(),
+                            m.period,
+                            m.latency,
+                            60.0 * m.throughput()
+                        );
+                    }
+                    Err(e) => println!("{name:<7} failed: {e}"),
+                }
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let load = opts.get_f64("load", 1.0)?;
+            let minutes = opts.get_f64("minutes", 10.0)?;
+            let efl = pico
+                .plan_with(&EarlyFused::new())
+                .map_err(|e| e.to_string())?;
+            let capacity = 1.0 / pico.predict(&efl).period;
+            let arrivals = Arrivals::poisson(load * capacity, minutes * 60.0, 42);
+            println!(
+                "load = {load} x EFL capacity ({:.3} tasks/s) over {minutes} min",
+                capacity
+            );
+            println!("scheme  completed  avg_lat(s)  p95_lat(s)  util");
+            for name in ["efl", "ofl", "grid", "pico"] {
+                let planner = planner_by_name(name)?;
+                if let Ok(plan) = pico.plan_with(&planner) {
+                    let r = pico.simulate(&plan, &arrivals);
+                    println!(
+                        "{:<7} {:>9}  {:>10.2}  {:>10.2}  {:>4.0}%",
+                        plan.scheme.to_string(),
+                        r.completed,
+                        r.avg_latency,
+                        r.p95_latency,
+                        100.0 * r.avg_utilization()
+                    );
+                }
+            }
+            let (r, decisions) = pico
+                .run_adaptive(&arrivals, 30.0, 0.4)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{:<7} {:>9}  {:>10.2}  {:>10.2}  {:>4.0}%  ({} switches)",
+                "APICO",
+                r.completed,
+                r.avg_latency,
+                r.p95_latency,
+                100.0 * r.avg_utilization(),
+                decisions.len().saturating_sub(1)
+            );
+            Ok(())
+        }
+        "model" => {
+            print!("{}", pico::model::summary::to_table(pico.model()));
+            Ok(())
+        }
+        "frontier" => {
+            let steps = opts.get_usize("steps", 10)?;
+            println!("t_lim(s)  period(s)  latency(s)  stages");
+            for p in pico.frontier(steps) {
+                let lim = p
+                    .t_lim
+                    .map(|t| format!("{t:.3}"))
+                    .unwrap_or_else(|| "none".to_owned());
+                println!(
+                    "{lim:>8}  {:>9.3}  {:>10.3}  {:>6}",
+                    p.period,
+                    p.latency,
+                    p.plan.stage_count()
+                );
+            }
+            Ok(())
+        }
+        "memory" => {
+            let plan = pico.plan().map_err(|e| e.to_string())?;
+            let base = single_device_memory(pico.model());
+            println!(
+                "single device: {:.1} MB weights + {:.1} MB activations",
+                base.weights_bytes as f64 / 1e6,
+                base.peak_activation_bytes as f64 / 1e6
+            );
+            println!("device  weights(MB)  peak_act(MB)  total(MB)");
+            for d in plan_memory(pico.model(), &plan) {
+                println!(
+                    "d{:<5} {:>12.1}  {:>12.1}  {:>9.1}",
+                    d.device,
+                    d.weights_bytes as f64 / 1e6,
+                    d.peak_activation_bytes as f64 / 1e6,
+                    d.total_bytes() as f64 / 1e6
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plan_and_compare_run() {
+        run(&sv(&["plan", "--model", "mnist_toy", "--devices", "3"])).unwrap();
+        run(&sv(&["compare", "--model", "mnist_toy", "--devices", "3"])).unwrap();
+        run(&sv(&[
+            "memory",
+            "--model",
+            "mnist_toy",
+            "--cluster",
+            "paper6",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_runs_briefly() {
+        run(&sv(&[
+            "simulate",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--load",
+            "0.8",
+            "--minutes",
+            "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&sv(&["plan", "--model", "nope"])).is_err());
+        assert!(run(&sv(&["frobnicate"])).is_err());
+        assert!(run(&sv(&["plan", "--devices"])).is_err());
+        assert!(run(&sv(&["plan", "positional"])).is_err());
+        assert!(run(&sv(&["plan", "--ghz", "abc"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn frontier_command_runs() {
+        run(&sv(&[
+            "frontier",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--steps",
+            "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn model_summary_runs() {
+        run(&sv(&["model", "--model", "mobilenet_v1"])).unwrap();
+    }
+
+    #[test]
+    fn t_lim_and_scheme_options() {
+        run(&sv(&[
+            "plan",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--scheme",
+            "grid",
+        ]))
+        .unwrap();
+        // A very tight limit is a planning error, surfaced cleanly.
+        assert!(run(&sv(&[
+            "plan",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--t-lim",
+            "0.000001",
+        ]))
+        .is_err());
+    }
+}

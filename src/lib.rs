@@ -1,0 +1,61 @@
+//! # PICO — Pipelined Cooperative CNN Inference for IoT Edge Clusters
+//!
+//! A from-scratch Rust reproduction of *"Towards Efficient Inference:
+//! Adaptively Cooperate in Heterogeneous IoT Edge Cluster"* (ICDCS
+//! 2021): split a CNN into pipeline stages across a cluster of weak,
+//! heterogeneous edge devices, partition feature maps with overlapping
+//! halos inside each stage, and adaptively switch between pipelined and
+//! fused one-stage execution as the workload changes.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Crate | Re-exported as | Provides |
+//! |---|---|---|
+//! | `pico-model` | [`model`] | CNN layer graphs, model zoo, FLOPs/receptive-field analysis |
+//! | `pico-tensor` | [`tensor`] | CHW f32 engine with bit-exact halo split/stitch |
+//! | `pico-partition` | [`partition`] | cost model + LW/EFL/OFL/PICO/BFS planners |
+//! | `pico-sim` | [`sim`] | arrival streams, queueing simulation, M/D/1, APICO |
+//! | `pico-runtime` | [`runtime`] | threaded Fig.-6 pipeline executor |
+//! | `pico-core` | [`core`] | the [`Pico`] one-stop facade |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pico::prelude::*;
+//!
+//! // VGG16's feature extractor on eight 1 GHz Raspberry-Pi-class
+//! // devices behind a 50 Mbps WiFi AP — the paper's testbed.
+//! let pico = Pico::new(zoo::vgg16().features(), Cluster::pi_cluster(8, 1.0));
+//!
+//! let plan = pico.plan()?;                       // PICO pipeline
+//! let metrics = pico.predict(&plan);             // Eqs. 10/11
+//! let report = pico.simulate(&plan, &Arrivals::closed_loop(50));
+//! assert!(report.throughput > 0.0);
+//! assert!(metrics.period <= metrics.latency);
+//! # Ok::<(), pico::partition::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pico_core as core;
+pub use pico_model as model;
+pub use pico_partition as partition;
+pub use pico_runtime as runtime;
+pub use pico_sim as sim;
+pub use pico_tensor as tensor;
+
+pub use pico_core::Pico;
+
+/// Everything most programs need, one `use` away.
+pub mod prelude {
+    pub use pico_core::Pico;
+    pub use pico_model::{zoo, Model, Rows, Segment, Shape};
+    pub use pico_partition::{
+        BfsOptimal, Cluster, CostParams, Device, EarlyFused, GridFused, LayerWise, OptimalFused,
+        PicoPlanner, Plan, Planner, Scheme,
+    };
+    pub use pico_runtime::{PipelineRuntime, Throttle};
+    pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
+    pub use pico_tensor::{Engine, Tensor};
+}

@@ -1,0 +1,146 @@
+//! End-to-end assertions of the paper's headline claims on the
+//! simulated testbed (shape reproduction, not absolute numbers).
+
+use pico::prelude::*;
+
+/// Paper abstract: "the average inference latency can be reduced by
+/// 1.7 ~ 6.5x under different workloads".
+#[test]
+fn latency_reduction_band_under_heavy_workload() {
+    let model = zoo::vgg16().features();
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    let deployment = Pico::new(model.clone(), cluster.clone());
+
+    let efl = deployment.plan_with(&EarlyFused::new()).unwrap();
+    let pico_plan = deployment.plan().unwrap();
+    let capacity = 1.0 / deployment.predict(&efl).period;
+
+    for load in [1.2, 1.5] {
+        let arrivals = Arrivals::poisson(load * capacity, 600.0, 5);
+        let r_efl = deployment.simulate(&efl, &arrivals);
+        let r_pico = deployment.simulate(&pico_plan, &arrivals);
+        let ratio = r_efl.avg_latency / r_pico.avg_latency;
+        assert!(
+            ratio > 1.7,
+            "load {load}: latency reduction {ratio:.2}x below the paper's band"
+        );
+    }
+}
+
+/// Paper abstract: "the throughput can be improved by 1.8 ~ 6.2x under
+/// various network settings".
+#[test]
+fn throughput_improvement_band_across_bandwidths() {
+    let model = zoo::vgg16().features();
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    for mbps in [20.0, 50.0, 100.0] {
+        let params = CostParams::new(mbps * 1e6);
+        let deployment = Pico::new(model.clone(), cluster.clone()).with_params(params);
+        let efl = deployment.plan_with(&EarlyFused::new()).unwrap();
+        let pico_plan = deployment.plan().unwrap();
+        let gain = deployment.predict(&efl).period / deployment.predict(&pico_plan).period;
+        assert!(
+            (1.5..10.0).contains(&gain),
+            "{mbps} Mbps: throughput gain {gain:.2}x outside a plausible band"
+        );
+    }
+}
+
+/// Sec. IV-C: under light load the one-stage scheme has lower average
+/// latency; under heavy load the pipeline wins — the crossover that
+/// motivates APICO.
+#[test]
+fn light_heavy_crossover_exists() {
+    let model = zoo::vgg16().features();
+    let deployment = Pico::new(model, Cluster::pi_cluster(8, 1.0));
+    let ofl = deployment.plan_with(&OptimalFused::new()).unwrap();
+    let pico_plan = deployment.plan().unwrap();
+    let ofl_capacity = 1.0 / deployment.predict(&ofl).period;
+
+    let light = Arrivals::poisson(0.05 * ofl_capacity, 2000.0, 1);
+    let heavy = Arrivals::poisson(1.30 * ofl_capacity, 2000.0, 2);
+
+    let light_ofl = deployment.simulate(&ofl, &light).avg_latency;
+    let light_pico = deployment.simulate(&pico_plan, &light).avg_latency;
+    assert!(
+        light_ofl < light_pico,
+        "light: ofl {light_ofl} pico {light_pico}"
+    );
+
+    let heavy_ofl = deployment.simulate(&ofl, &heavy).avg_latency;
+    let heavy_pico = deployment.simulate(&pico_plan, &heavy).avg_latency;
+    assert!(
+        heavy_pico < heavy_ofl,
+        "heavy: pico {heavy_pico} ofl {heavy_ofl}"
+    );
+}
+
+/// APICO tracks the better static scheme across a workload ramp.
+#[test]
+fn apico_tracks_best_static_scheme() {
+    let model = zoo::vgg16().features();
+    let deployment = Pico::new(model, Cluster::pi_cluster(8, 1.0));
+    let ofl = deployment.plan_with(&OptimalFused::new()).unwrap();
+    let pico_plan = deployment.plan().unwrap();
+    let capacity = 1.0 / deployment.predict(&ofl).period;
+
+    for load in [0.3, 1.3] {
+        let arrivals = Arrivals::poisson(load * capacity, 3000.0, 9);
+        let (adaptive, decisions) = deployment.run_adaptive(&arrivals, 60.0, 0.4).unwrap();
+        let best_static = deployment
+            .simulate(&ofl, &arrivals)
+            .avg_latency
+            .min(deployment.simulate(&pico_plan, &arrivals).avg_latency);
+        assert!(
+            adaptive.avg_latency <= best_static * 1.25,
+            "load {load}: APICO {} vs best static {best_static}",
+            adaptive.avg_latency
+        );
+        assert!(!decisions.is_empty());
+    }
+}
+
+/// Theorem 1's construction: with identical 1x1 layers (zero halo) and a
+/// free network, PICO's homogeneous DP approaches ideal linear scaling.
+#[test]
+fn np_hardness_construction_scales_linearly() {
+    let model = zoo::identical_1x1(8);
+    let params = CostParams::new(1e15); // effectively free network
+    for devices in [2usize, 4, 8] {
+        let cluster = Cluster::pi_cluster(devices, 1.0);
+        let plan = PicoPlanner::new().plan(&model, &cluster, &params).unwrap();
+        let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
+        let single = Cluster::pi_cluster(1, 1.0);
+        let solo = PicoPlanner::new().plan(&model, &single, &params).unwrap();
+        let solo_metrics = params.cost_model(&model).evaluate(&solo, &single);
+        let speedup = solo_metrics.period / metrics.period;
+        assert!(
+            speedup > devices as f64 * 0.75,
+            "{devices} devices: speedup {speedup:.2}"
+        );
+    }
+}
+
+/// The latency constraint (Eq. 1) is enforced end to end.
+#[test]
+fn latency_constraint_respected_through_facade() {
+    let model = zoo::vgg16().features();
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    let free = Pico::new(model.clone(), cluster.clone());
+    let unconstrained = free.predict(&free.plan().unwrap());
+
+    // A bound between the single-stage latency and the unconstrained
+    // pipeline latency forces a shallower pipeline.
+    let params = CostParams::wifi_50mbps();
+    let single_stage = params
+        .cost_model(&model)
+        .even_stage_cost(model.full_segment(), &cluster, 8)
+        .total();
+    let t_lim = single_stage.max(unconstrained.latency * 0.6);
+    let constrained =
+        Pico::new(model, cluster).with_params(CostParams::wifi_50mbps().with_t_lim(t_lim));
+    let plan = constrained.plan().unwrap();
+    let metrics = constrained.predict(&plan);
+    assert!(metrics.latency <= t_lim + 1e-9);
+    assert!(metrics.period >= unconstrained.period - 1e-9);
+}
