@@ -1,0 +1,450 @@
+//! `pico-audit`: a multi-pass static analyzer over the plan IR
+//! (`Plan` × `Model` × `Cluster`).
+//!
+//! Where [`Plan::validate`](pico_partition::Plan::validate) answers
+//! "is this plan executable?" with the first error it finds, the
+//! [`Auditor`] answers "what is *everything* wrong, suspicious, or
+//! merely notable about this plan?" — as a complete list of
+//! [`Diagnostic`]s, each with a stable code (`PA001`…), a
+//! [`Severity`], and a location (stage / device / layer).
+//!
+//! Passes, in three tiers:
+//!
+//! * **Error (`PA0xx`)** — the structural invariants `Plan::validate`
+//!   enforces, shared verbatim through
+//!   [`pico_partition::diag::structural_diagnostics`] so the two can
+//!   never disagree: contiguous segments, exact row/tile cover, device
+//!   disjointness under pipelining, known devices.
+//! * **Warning (`PA1xx`)** — the plan executes but wastes resources:
+//!   per-device memory-budget overruns (via `pico_partition::memory`),
+//!   degenerate shares that are mostly halo, plan-wide redundancy above
+//!   a threshold (Eq. 4), claimed period/latency disagreeing with the
+//!   cost model's recomputation (Eqs. 5–11), and pathological grid tile
+//!   aspect ratios.
+//! * **Info (`PA2xx`)** — idle devices and empty assignments.
+//!
+//! Warning/Info passes run only when the plan is structurally clean —
+//! the cost, memory, and redundancy analyses all assume well-formed
+//! geometry and known devices.
+//!
+//! The full code registry with suggested fixes lives in DESIGN.md
+//! ("Plan diagnostics registry"); `cargo xtask lint` keeps the two in
+//! sync.
+//!
+//! # Example
+//!
+//! ```
+//! use pico_audit::Auditor;
+//! use pico_model::zoo;
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//!
+//! let model = zoo::vgg16().features();
+//! let cluster = Cluster::pi_cluster(8, 1.0);
+//! let params = CostParams::wifi_50mbps();
+//! let plan = PicoPlanner::new().plan(&model, &cluster, &params)?;
+//! let report = Auditor::new(&model, &cluster).with_params(params).audit(&plan);
+//! assert!(report.is_executable()); // zero Error-level diagnostics
+//! # Ok::<(), pico_partition::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use pico_model::Model;
+use pico_partition::diag::structural_diagnostics;
+use pico_partition::{memory, redundancy, Cluster, CostParams, Plan};
+
+pub use pico_partition::diag::{Code, Diagnostic, Severity};
+
+/// Thresholds and optional claims the Warning/Info passes check
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditConfig {
+    /// Per-device resident-byte budget (weights + peak activations).
+    /// `None` disables the PA101 pass.
+    pub memory_budget_bytes: Option<usize>,
+    /// Plan-wide redundancy ratio (Eq. 4) above which PA103 fires.
+    pub redundancy_threshold: f64,
+    /// Per-device, per-stage redundancy ratio above which a share is
+    /// considered degenerate (PA102): more halo than useful work.
+    pub degenerate_share_ratio: f64,
+    /// Grid tile height/width ratio (either way) above which PA105
+    /// fires.
+    pub aspect_ratio_limit: f64,
+    /// Period the plan is claimed to achieve (e.g. from a frontier
+    /// sweep); checked against the cost model by PA104 when set.
+    pub claimed_period: Option<f64>,
+    /// Latency the plan is claimed to achieve; checked by PA104.
+    pub claimed_latency: Option<f64>,
+    /// Relative tolerance for the PA104 claimed-vs-recomputed check.
+    pub rel_tol: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            memory_budget_bytes: None,
+            redundancy_threshold: 0.5,
+            degenerate_share_ratio: 0.5,
+            aspect_ratio_limit: 8.0,
+            claimed_period: None,
+            claimed_latency: None,
+            rel_tol: 1e-6,
+        }
+    }
+}
+
+impl AuditConfig {
+    /// Sets the per-device memory budget in bytes (enables PA101).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the plan-wide redundancy threshold for PA103.
+    pub fn with_redundancy_threshold(mut self, ratio: f64) -> Self {
+        self.redundancy_threshold = ratio;
+        self
+    }
+
+    /// Sets the claimed (period, latency) pair checked by PA104.
+    pub fn with_claimed_metrics(mut self, period: f64, latency: f64) -> Self {
+        self.claimed_period = Some(period);
+        self.claimed_latency = Some(latency);
+        self
+    }
+}
+
+/// The analyzer: holds the model, cluster, cost parameters, and
+/// thresholds; [`Auditor::audit`] runs every pass over a plan.
+#[derive(Debug, Clone)]
+pub struct Auditor<'a> {
+    model: &'a Model,
+    cluster: &'a Cluster,
+    params: CostParams,
+    config: AuditConfig,
+}
+
+impl<'a> Auditor<'a> {
+    /// Creates an auditor with default cost parameters (the paper's
+    /// 50 Mbps WiFi) and default thresholds.
+    pub fn new(model: &'a Model, cluster: &'a Cluster) -> Self {
+        Auditor {
+            model,
+            cluster,
+            params: CostParams::default(),
+            config: AuditConfig::default(),
+        }
+    }
+
+    /// Uses these cost parameters for the PA104 recomputation.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Uses these thresholds and claims.
+    pub fn with_config(mut self, config: AuditConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs every pass over `plan` and returns the complete report.
+    ///
+    /// Structural (Error) passes always run; analysis (Warning/Info)
+    /// passes run only when no structural error was found, because
+    /// they assume well-formed geometry and known devices.
+    pub fn audit(&self, plan: &Plan) -> AuditReport {
+        let mut diagnostics = structural_diagnostics(plan, self.model, self.cluster);
+        if diagnostics.is_empty() {
+            self.memory_pass(plan, &mut diagnostics);
+            self.degenerate_share_pass(plan, &mut diagnostics);
+            self.redundancy_pass(plan, &mut diagnostics);
+            self.cost_consistency_pass(plan, &mut diagnostics);
+            self.aspect_ratio_pass(plan, &mut diagnostics);
+            self.idle_device_pass(plan, &mut diagnostics);
+            self.empty_assignment_pass(plan, &mut diagnostics);
+        }
+        AuditReport { diagnostics }
+    }
+
+    /// PA101: per-device footprint (weights + peak activations) against
+    /// the configured budget.
+    fn memory_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        let Some(budget) = self.config.memory_budget_bytes else {
+            return;
+        };
+        for dm in memory::plan_memory(self.model, plan) {
+            if dm.total_bytes() > budget {
+                out.push(
+                    Diagnostic::new(
+                        Code::MemoryOverrun,
+                        format!(
+                            "device {} needs {:.1} MB ({:.1} MB weights + {:.1} MB activations), budget is {:.1} MB",
+                            dm.device,
+                            dm.total_bytes() as f64 / 1e6,
+                            dm.weights_bytes as f64 / 1e6,
+                            dm.peak_activation_bytes as f64 / 1e6,
+                            budget as f64 / 1e6
+                        ),
+                    )
+                    .at_device(dm.device),
+                );
+            }
+        }
+    }
+
+    /// PA102: shares whose work is mostly recomputed by neighbours — a
+    /// strip shorter than its halo does nothing but duplicate.
+    fn degenerate_share_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        for (idx, stage) in plan.stages.iter().enumerate() {
+            if stage.worker_count() < 2 {
+                continue;
+            }
+            for w in redundancy::stage_work(self.model, stage) {
+                if w.redundancy_ratio() >= self.config.degenerate_share_ratio {
+                    out.push(
+                        Diagnostic::new(
+                            Code::DegenerateShare,
+                            format!(
+                                "device {}'s share in stage {idx} is {:.0}% redundant (threshold {:.0}%): mostly halo recompute",
+                                w.device,
+                                100.0 * w.redundancy_ratio(),
+                                100.0 * self.config.degenerate_share_ratio
+                            ),
+                        )
+                        .at_stage(idx)
+                        .at_device(w.device),
+                    );
+                }
+            }
+        }
+    }
+
+    /// PA103: plan-wide redundancy ratio (Eq. 4) above the threshold.
+    fn redundancy_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        let work = redundancy::plan_work(self.model, plan);
+        let ratio = redundancy::redundancy_ratio(&work);
+        if ratio > self.config.redundancy_threshold {
+            out.push(Diagnostic::new(
+                Code::ExcessRedundancy,
+                format!(
+                    "{:.0}% of all computed FLOPs are duplicated halo work (threshold {:.0}%)",
+                    100.0 * ratio,
+                    100.0 * self.config.redundancy_threshold
+                ),
+            ));
+        }
+    }
+
+    /// PA104: claimed period/latency vs the cost model's recomputation.
+    fn cost_consistency_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        if self.config.claimed_period.is_none() && self.config.claimed_latency.is_none() {
+            return;
+        }
+        let metrics = self
+            .params
+            .cost_model(self.model)
+            .evaluate(plan, self.cluster);
+        let checks = [
+            ("period", self.config.claimed_period, metrics.period),
+            ("latency", self.config.claimed_latency, metrics.latency),
+        ];
+        for (what, claimed, actual) in checks {
+            let Some(claimed) = claimed else { continue };
+            let scale = claimed.abs().max(actual.abs()).max(f64::MIN_POSITIVE);
+            if (claimed - actual).abs() / scale > self.config.rel_tol {
+                out.push(Diagnostic::new(
+                    Code::CostMismatch,
+                    format!(
+                        "claimed {what} {claimed:.6}s but the cost model computes {actual:.6}s"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// PA105: grid tiles far from square duplicate more halo than the
+    /// best factorization would.
+    fn aspect_ratio_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        for (idx, stage) in plan.stages.iter().enumerate() {
+            for a in stage.assignments.iter().filter(|a| !a.is_empty()) {
+                let Some(cols) = a.cols else { continue };
+                let (h, w) = (a.rows.len() as f64, cols.len() as f64);
+                let aspect = (h / w).max(w / h);
+                if aspect > self.config.aspect_ratio_limit {
+                    out.push(
+                        Diagnostic::new(
+                            Code::GridAspect,
+                            format!(
+                                "device {}'s tile in stage {idx} is {}x{} (aspect {aspect:.1}, limit {:.1})",
+                                a.device,
+                                a.rows.len(),
+                                cols.len(),
+                                self.config.aspect_ratio_limit
+                            ),
+                        )
+                        .at_stage(idx)
+                        .at_device(a.device),
+                    );
+                }
+            }
+        }
+    }
+
+    /// PA201: cluster devices that never work under this plan.
+    fn idle_device_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        let used = plan.used_devices();
+        for d in self.cluster.devices() {
+            if !used.contains(&d.id) {
+                out.push(
+                    Diagnostic::new(
+                        Code::IdleDevice,
+                        format!("device {} ({}) does no work in this plan", d.id, d.name),
+                    )
+                    .at_device(d.id),
+                );
+            }
+        }
+    }
+
+    /// PA202: zero-area assignments clutter plans and confuse readers.
+    fn empty_assignment_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        for (idx, stage) in plan.stages.iter().enumerate() {
+            for a in stage.assignments.iter().filter(|a| a.is_empty()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::EmptyAssignment,
+                        format!(
+                            "stage {idx} carries an empty assignment for device {}",
+                            a.device
+                        ),
+                    )
+                    .at_stage(idx)
+                    .at_device(a.device),
+                );
+            }
+        }
+    }
+}
+
+/// The complete result of one audit: every diagnostic from every pass,
+/// Errors first (in the order `Plan::validate` would have found them),
+/// then Warnings, then Infos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// All diagnostics emitted.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// Error-level diagnostics (structural defects).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.by_severity(Severity::Error)
+    }
+
+    /// Warning-level diagnostics (efficiency hazards).
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.by_severity(Severity::Warning)
+    }
+
+    /// Info-level diagnostics.
+    pub fn infos(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.by_severity(Severity::Info)
+    }
+
+    fn by_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == s)
+    }
+
+    /// Whether the plan is structurally valid (no Error diagnostics) —
+    /// exactly when `Plan::validate` returns `Ok`.
+    pub fn is_executable(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Whether the audit found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any diagnostic carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// `(errors, warnings, infos)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.errors().count(),
+            self.warnings().count(),
+            self.infos().count(),
+        )
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (e, w, i) = self.counts();
+        writeln!(f, "{e} error(s), {w} warning(s), {i} info(s)")?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+    use pico_model::Rows;
+    use pico_partition::{Assignment, ExecutionMode, PicoPlanner, Planner, Scheme, Stage};
+
+    #[test]
+    fn pico_plan_is_executable_and_report_renders() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let plan = PicoPlanner::new().plan(&m, &c, &params).unwrap();
+        let report = Auditor::new(&m, &c).with_params(params).audit(&plan);
+        assert!(report.is_executable());
+        let text = report.to_string();
+        assert!(text.contains("0 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn structural_errors_suppress_analysis_passes() {
+        // A broken plan on an oversized cluster: the idle-device pass
+        // must NOT run (analysis assumes structural validity).
+        let m = zoo::toy(2);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![Stage::new(
+                pico_model::Segment::new(0, 1),
+                vec![Assignment::new(0, Rows::full(h))],
+            )],
+        );
+        let report = Auditor::new(&m, &c).audit(&plan);
+        assert!(!report.is_executable());
+        assert!(!report.has_code(Code::IdleDevice));
+    }
+
+    #[test]
+    fn claimed_metrics_within_tolerance_are_clean() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let params = CostParams::default();
+        let plan = PicoPlanner::new().plan(&m, &c, &params).unwrap();
+        let metrics = params.cost_model(&m).evaluate(&plan, &c);
+        let config = AuditConfig::default().with_claimed_metrics(metrics.period, metrics.latency);
+        let report = Auditor::new(&m, &c)
+            .with_params(params)
+            .with_config(config)
+            .audit(&plan);
+        assert!(!report.has_code(Code::CostMismatch), "{report}");
+    }
+}

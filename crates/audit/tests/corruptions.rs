@@ -1,0 +1,469 @@
+//! Every diagnostic code is exercised by corrupting a known-good plan
+//! and asserting the *exact* code and severity the auditor emits.
+
+use pico_audit::{AuditConfig, AuditReport, Auditor, Code, Severity};
+use pico_model::{zoo, Model, Region2, Rows, Segment};
+use pico_partition::{
+    Assignment, Cluster, CostParams, ExecutionMode, GridFused, PicoPlanner, Plan, Planner, Scheme,
+    Stage,
+};
+use proptest::prelude::*;
+
+/// A known-good two-stage pipelined strip plan on `toy(4)` over four
+/// devices: units 0..2 split across devices 0/1, units 2..4 across 2/3.
+fn base_model() -> Model {
+    zoo::toy(4)
+}
+
+fn base_cluster() -> Cluster {
+    Cluster::pi_cluster(4, 1.0)
+}
+
+fn base_plan(m: &Model) -> Plan {
+    let h0 = m.unit_output_shape(1).height;
+    let h1 = m.unit_output_shape(3).height;
+    Plan::new(
+        Scheme::Pico,
+        ExecutionMode::Pipelined,
+        vec![
+            Stage::new(
+                Segment::new(0, 2),
+                vec![
+                    Assignment::new(0, Rows::new(0, h0 / 2)),
+                    Assignment::new(1, Rows::new(h0 / 2, h0)),
+                ],
+            ),
+            Stage::new(
+                Segment::new(2, 4),
+                vec![
+                    Assignment::new(2, Rows::new(0, h1 / 2)),
+                    Assignment::new(3, Rows::new(h1 / 2, h1)),
+                ],
+            ),
+        ],
+    )
+}
+
+fn audit(m: &Model, c: &Cluster, plan: &Plan) -> AuditReport {
+    Auditor::new(m, c).audit(plan)
+}
+
+fn audit_with(m: &Model, c: &Cluster, plan: &Plan, config: AuditConfig) -> AuditReport {
+    Auditor::new(m, c).with_config(config).audit(plan)
+}
+
+/// The one code of `severity` this report must contain.
+fn assert_code(report: &AuditReport, code: Code, severity: Severity) {
+    assert!(report.has_code(code), "expected {code}, got: {report}");
+    for d in &report.diagnostics {
+        if d.code == code {
+            assert_eq!(d.severity, severity, "{d}");
+        }
+    }
+}
+
+#[test]
+fn base_plan_is_error_free() {
+    let m = base_model();
+    let c = base_cluster();
+    let report = audit(&m, &c, &base_plan(&m));
+    assert!(report.is_executable(), "{report}");
+}
+
+#[test]
+fn pa001_empty_plan() {
+    let m = base_model();
+    let c = base_cluster();
+    let plan = Plan::new(Scheme::Pico, ExecutionMode::Pipelined, vec![]);
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::EmptyPlan, Severity::Error);
+    assert_eq!(report.diagnostics.len(), 1);
+}
+
+#[test]
+fn pa002_gap_between_stages() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[1].segment = Segment::new(3, 4);
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::NonContiguousStages, Severity::Error);
+}
+
+#[test]
+fn pa003_truncated_coverage() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages.pop();
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::IncompleteCoverage, Severity::Error);
+}
+
+#[test]
+fn pa004_stage_with_no_workers() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    for a in &mut plan.stages[1].assignments {
+        a.rows = Rows::empty();
+    }
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::EmptyStage, Severity::Error);
+}
+
+#[test]
+fn pa005_unknown_device() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[0].assignments[0].device = 99;
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::UnknownDevice, Severity::Error);
+}
+
+#[test]
+fn pa006_device_duplicated_across_stages() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[1].assignments[0].device = 0;
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::DeviceReuse, Severity::Error);
+}
+
+#[test]
+fn pa006_device_duplicated_within_stage() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[0].assignments[1].device = 0;
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::DeviceReuse, Severity::Error);
+}
+
+#[test]
+fn pa007_shuffled_shares() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[0].assignments.swap(0, 1);
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::BadStripCover, Severity::Error);
+}
+
+#[test]
+fn pa007_share_shrunk_leaves_gap() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    let r = plan.stages[0].assignments[0].rows;
+    plan.stages[0].assignments[0].rows = Rows::new(r.start, r.end - 1);
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::BadStripCover, Severity::Error);
+}
+
+/// A known-good 2x2 grid plan over four devices (grid stage + solo
+/// tail), used by the tile-corruption tests.
+fn grid_plan(m: &Model, c: &Cluster) -> Plan {
+    GridFused::new()
+        .with_grid(2, 2)
+        .with_fused_units(3)
+        .plan(m, c, &CostParams::default())
+        .expect("grid plan on 4 devices")
+}
+
+#[test]
+fn pa008_dropped_tile() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = grid_plan(&m, &c);
+    plan.stages[0].assignments.remove(3);
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::BadTileCover, Severity::Error);
+}
+
+#[test]
+fn pa008_overlapping_tiles() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = grid_plan(&m, &c);
+    // Stretch tile 0 over tile 1's columns: same covered area twice.
+    let t1 = plan.stages[0].assignments[1];
+    plan.stages[0].assignments[0].cols = t1.cols;
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::BadTileCover, Severity::Error);
+}
+
+#[test]
+fn pa009_segment_past_model_end() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[1].segment = Segment::new(2, m.len() + 1);
+    let report = audit(&m, &c, &plan);
+    assert_code(&report, Code::SegmentOutOfBounds, Severity::Error);
+    assert_code(&report, Code::IncompleteCoverage, Severity::Error);
+}
+
+#[test]
+fn pa101_memory_budget_overrun() {
+    let m = base_model();
+    let c = base_cluster();
+    let plan = base_plan(&m);
+    let report = audit_with(&m, &c, &plan, AuditConfig::default().with_memory_budget(1));
+    assert!(report.is_executable());
+    assert_code(&report, Code::MemoryOverrun, Severity::Warning);
+    // Every worker overruns a one-byte budget.
+    assert_eq!(
+        report
+            .warnings()
+            .filter(|d| d.code == Code::MemoryOverrun)
+            .count(),
+        4
+    );
+}
+
+#[test]
+fn pa102_share_shrunk_below_its_halo() {
+    // Device 0 keeps one output row of a six-conv fused segment: the
+    // receptive field back-propagates to seven input rows, so nearly
+    // half of device 0's intermediate work is recomputed by device 1.
+    let m = zoo::toy(6);
+    let c = base_cluster();
+    let h = m.output_shape().height;
+    let plan = Plan::new(
+        Scheme::Pico,
+        ExecutionMode::Pipelined,
+        vec![Stage::new(
+            m.full_segment(),
+            vec![
+                Assignment::new(0, Rows::new(0, 1)),
+                Assignment::new(1, Rows::new(1, h)),
+            ],
+        )],
+    );
+    let config = AuditConfig {
+        degenerate_share_ratio: 0.3,
+        ..AuditConfig::default()
+    };
+    let report = audit_with(&m, &c, &plan, config);
+    assert!(report.is_executable());
+    assert_code(&report, Code::DegenerateShare, Severity::Warning);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::DegenerateShare)
+        .unwrap();
+    assert_eq!(d.device, Some(0));
+    assert_eq!(d.stage, Some(0));
+}
+
+#[test]
+fn pa103_plan_redundancy_above_threshold() {
+    let m = base_model();
+    let c = base_cluster();
+    let plan = base_plan(&m);
+    // Two-worker fused conv stages always duplicate some halo rows, so
+    // a zero threshold must fire.
+    let report = audit_with(
+        &m,
+        &c,
+        &plan,
+        AuditConfig::default().with_redundancy_threshold(0.0),
+    );
+    assert_code(&report, Code::ExcessRedundancy, Severity::Warning);
+}
+
+#[test]
+fn pa104_wrong_claimed_metrics() {
+    let m = base_model();
+    let c = base_cluster();
+    let params = CostParams::default();
+    let plan = PicoPlanner::new().plan(&m, &c, &params).unwrap();
+    let metrics = params.cost_model(&m).evaluate(&plan, &c);
+    let report = Auditor::new(&m, &c)
+        .with_params(params)
+        .with_config(
+            AuditConfig::default()
+                .with_claimed_metrics(metrics.period * 2.0, metrics.latency * 2.0),
+        )
+        .audit(&plan);
+    assert_code(&report, Code::CostMismatch, Severity::Warning);
+    assert_eq!(
+        report
+            .warnings()
+            .filter(|d| d.code == Code::CostMismatch)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn pa105_pathological_tile_aspect() {
+    let m = base_model();
+    let c = base_cluster();
+    let h = m.output_shape().height;
+    let w = m.output_shape().width;
+    // One 1-row full-width sliver tile plus the rest: covers exactly,
+    // but the sliver's aspect ratio is w:1.
+    let plan = Plan::new(
+        Scheme::GridFused,
+        ExecutionMode::Sequential,
+        vec![Stage::new(
+            Segment::new(0, m.len()),
+            vec![
+                Assignment::tile(0, Region2::new(Rows::new(0, 1), Rows::new(0, w))),
+                Assignment::tile(1, Region2::new(Rows::new(1, h), Rows::new(0, w))),
+            ],
+        )],
+    );
+    let report = audit(&m, &c, &plan);
+    assert!(report.is_executable(), "{report}");
+    assert_code(&report, Code::GridAspect, Severity::Warning);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::GridAspect)
+        .unwrap();
+    assert_eq!(d.device, Some(0));
+}
+
+#[test]
+fn pa201_idle_device() {
+    let m = base_model();
+    let c = Cluster::pi_cluster(5, 1.0);
+    let plan = base_plan(&m); // uses devices 0..4 of 5
+    let report = audit(&m, &c, &plan);
+    assert!(report.is_executable());
+    assert_code(&report, Code::IdleDevice, Severity::Info);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::IdleDevice)
+        .unwrap();
+    assert_eq!(d.device, Some(4));
+}
+
+#[test]
+fn pa202_empty_assignment() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = base_plan(&m);
+    plan.stages[0]
+        .assignments
+        .push(Assignment::new(3, Rows::empty()));
+    let report = audit(&m, &c, &plan);
+    assert!(report.is_executable());
+    assert_code(&report, Code::EmptyAssignment, Severity::Info);
+}
+
+/// Randomized corruption: whichever mutation is drawn, the auditor must
+/// flag the plan with the exact expected code at Error severity, and
+/// `Plan::validate` must agree that the plan is invalid.
+#[derive(Debug, Clone, Copy)]
+enum Corruption {
+    Gap,
+    Truncate,
+    UnknownDevice,
+    DuplicateDevice,
+    ShuffleShares,
+    ShrinkShare,
+}
+
+impl Corruption {
+    fn expected_code(&self) -> Code {
+        match self {
+            Corruption::Gap => Code::NonContiguousStages,
+            Corruption::Truncate => Code::IncompleteCoverage,
+            Corruption::UnknownDevice => Code::UnknownDevice,
+            Corruption::DuplicateDevice => Code::DeviceReuse,
+            Corruption::ShuffleShares | Corruption::ShrinkShare => Code::BadStripCover,
+        }
+    }
+
+    fn apply(&self, plan: &mut Plan) {
+        match self {
+            Corruption::Gap => {
+                let seg = plan.stages[1].segment;
+                plan.stages[1].segment = Segment::new(seg.start + 1, seg.end);
+            }
+            Corruption::Truncate => {
+                plan.stages.pop();
+            }
+            Corruption::UnknownDevice => plan.stages[0].assignments[0].device = 1000,
+            Corruption::DuplicateDevice => {
+                plan.stages[1].assignments[1].device = plan.stages[0].assignments[0].device;
+            }
+            Corruption::ShuffleShares => plan.stages[1].assignments.swap(0, 1),
+            Corruption::ShrinkShare => {
+                let r = plan.stages[1].assignments[1].rows;
+                plan.stages[1].assignments[1].rows = Rows::new(r.start + 1, r.end);
+            }
+        }
+    }
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        Just(Corruption::Gap),
+        Just(Corruption::Truncate),
+        Just(Corruption::UnknownDevice),
+        Just(Corruption::DuplicateDevice),
+        Just(Corruption::ShuffleShares),
+        Just(Corruption::ShrinkShare),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_corruption_is_caught_with_its_exact_code(
+        corruption in arb_corruption(),
+        layers in 3usize..6,
+    ) {
+        let m = zoo::toy(layers);
+        let c = base_cluster();
+        // Re-derive the two-stage base plan for this depth. The second
+        // stage always has >= 2 units so the Gap corruption can shift
+        // its start without emptying the segment.
+        let split = layers / 2;
+        let h0 = m.unit_output_shape(split - 1).height;
+        let h1 = m.unit_output_shape(layers - 1).height;
+        let mut plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![
+                Stage::new(
+                    Segment::new(0, split),
+                    vec![
+                        Assignment::new(0, Rows::new(0, h0 / 2)),
+                        Assignment::new(1, Rows::new(h0 / 2, h0)),
+                    ],
+                ),
+                Stage::new(
+                    Segment::new(split, layers),
+                    vec![
+                        Assignment::new(2, Rows::new(0, h1 / 2)),
+                        Assignment::new(3, Rows::new(h1 / 2, h1)),
+                    ],
+                ),
+            ],
+        );
+        prop_assert!(plan.validate(&m, &c).is_ok());
+
+        corruption.apply(&mut plan);
+        let report = Auditor::new(&m, &c).audit(&plan);
+        prop_assert!(!report.is_executable(), "{report}");
+        prop_assert!(
+            report.has_code(corruption.expected_code()),
+            "{corruption:?} expected {}, got: {report}",
+            corruption.expected_code()
+        );
+        prop_assert!(plan.validate(&m, &c).is_err());
+        // validate()'s single error is always the auditor's first finding.
+        let first = &report.diagnostics[0];
+        prop_assert_eq!(first.severity, Severity::Error);
+    }
+}

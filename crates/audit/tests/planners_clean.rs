@@ -1,0 +1,77 @@
+//! Acceptance gate: every shipped planner produces zero Error-level
+//! diagnostics on the model zoo. Warnings are allowed (redundancy is a
+//! fact of fused-layer life); structural defects are not.
+
+use pico_audit::Auditor;
+use pico_model::{zoo, Model};
+use pico_partition::{
+    BfsOptimal, Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner,
+    Planner,
+};
+
+fn planners() -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(LayerWise::new()),
+        Box::new(EarlyFused::new()),
+        Box::new(OptimalFused::new()),
+        Box::new(PicoPlanner::new()),
+        Box::new(GridFused::new()),
+    ]
+}
+
+fn assert_error_free(model: &Model, cluster: &Cluster, planner: &dyn Planner) {
+    let params = CostParams::wifi_50mbps();
+    let plan = match planner.plan(model, cluster, &params) {
+        Ok(plan) => plan,
+        // A planner may decline a (model, cluster) pair (e.g. a grid
+        // needing more devices); declining is not a diagnostic.
+        Err(_) => return,
+    };
+    let report = Auditor::new(model, cluster)
+        .with_params(params)
+        .audit(&plan);
+    assert!(
+        report.is_executable(),
+        "{} on {}: {report}",
+        planner.name(),
+        model.name()
+    );
+}
+
+#[test]
+fn all_planners_are_error_free_on_the_zoo() {
+    let models = [
+        zoo::vgg16().features(),
+        zoo::yolov2(),
+        zoo::resnet34().features(),
+        zoo::mobilenet_v1().features(),
+        zoo::mnist_toy(),
+    ];
+    let clusters = [Cluster::pi_cluster(8, 1.0), Cluster::paper_heterogeneous()];
+    for model in &models {
+        for cluster in &clusters {
+            for planner in planners() {
+                assert_error_free(model, cluster, planner.as_ref());
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_optimal_is_error_free_on_the_toy_model() {
+    // The exhaustive search is only tractable on toy instances
+    // (Table II), so it gets its own small gate.
+    let model = zoo::toy(4);
+    let cluster = Cluster::pi_cluster(3, 1.0);
+    assert_error_free(&model, &cluster, &BfsOptimal::new());
+}
+
+#[test]
+fn layer_wise_full_models_are_error_free() {
+    // LW is the only planner that handles FC tails; audit it on the
+    // un-truncated models too.
+    let cluster = Cluster::paper_heterogeneous_6();
+    for model in [zoo::vgg16(), zoo::alexnet()] {
+        assert_error_free(&model, &cluster, &LayerWise::new());
+    }
+}

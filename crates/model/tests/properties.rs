@@ -14,7 +14,7 @@ use proptest::prelude::*;
 fn arb_chain() -> impl Strategy<Value = Model> {
     let layer = prop_oneof![
         (1usize..=5, 1usize..=2, 0usize..=2).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
-        (2usize..=3, 1usize..=2).prop_map(|(k, s)| (k, s, 0, false)),
+        (2usize..=3, 1usize..=2).prop_map(|(k, s)| (k, s, 0usize, false)),
     ];
     proptest::collection::vec(layer, 1..6).prop_map(|specs| {
         let input = Shape::new(3, 64, 64);

@@ -308,7 +308,8 @@ mod tests {
         let c = Cluster::pi_cluster(3, 1.0);
         let params = CostParams::wifi_50mbps();
         let out = BfsOptimal::new().search(&m, &c, &params).unwrap();
-        out.plan.validate(&m, &c).unwrap();
+        let diags = crate::diag::structural_diagnostics(&out.plan, &m, &c);
+        assert!(diags.is_empty(), "{diags:?}");
         assert!(!out.timed_out);
         assert!(out.evaluated > 0);
     }

@@ -1,0 +1,664 @@
+//! Structural plan diagnostics: the single source of truth behind
+//! [`Plan::validate`](crate::Plan::validate) and the `pico-audit`
+//! analyzer.
+//!
+//! [`structural_diagnostics`] runs every Error-level pass to completion
+//! and returns *all* findings, each tagged with a stable code (`PA001`…),
+//! a [`Severity`], and a location. [`Plan::validate`](crate::Plan::validate)
+//! is a thin wrapper that surfaces the first finding as a
+//! [`PlanError`] — the two can therefore never disagree about what a
+//! structurally valid plan is.
+//!
+//! Warning/Info analysis passes (memory budgets, redundancy, cost-model
+//! consistency, …) live in the `pico-audit` crate; only their codes are
+//! declared here so the registry is complete in one place.
+
+use pico_model::{Model, Region2};
+
+use crate::{Cluster, ExecutionMode, Plan, PlanError};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only; the plan is correct and efficient enough to ship.
+    Info,
+    /// The plan executes correctly but wastes resources or looks
+    /// suspicious; worth a look before deploying.
+    Warning,
+    /// The plan is structurally invalid and must not be executed.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. `PA0xx` are structural errors (subsuming
+/// every [`PlanError`] that [`Plan::validate`](crate::Plan::validate)
+/// can raise), `PA1xx` are efficiency warnings, `PA2xx` are
+/// informational. The full registry with suggested fixes lives in
+/// DESIGN.md ("Plan diagnostics registry").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// PA001: the plan has no stages.
+    EmptyPlan,
+    /// PA002: stage segments do not tile the model contiguously.
+    NonContiguousStages,
+    /// PA003: stages stop before (or run past) the end of the model.
+    IncompleteCoverage,
+    /// PA004: a stage has no device with a non-empty share.
+    EmptyStage,
+    /// PA005: an assignment references a device not in the cluster.
+    UnknownDevice,
+    /// PA006: a device serves two stages of a pipelined plan, or appears
+    /// twice within one stage.
+    DeviceReuse,
+    /// PA007: a strip stage's row shares do not partition the output.
+    BadStripCover,
+    /// PA008: a grid stage's tiles overlap or miss output cells.
+    BadTileCover,
+    /// PA009: a stage's segment reaches past the model's last unit.
+    SegmentOutOfBounds,
+    /// PA101: a device's weight + activation footprint exceeds the
+    /// configured memory budget.
+    MemoryOverrun,
+    /// PA102: a share is shorter than its halo — most of the device's
+    /// work is recomputed by its neighbours.
+    DegenerateShare,
+    /// PA103: the plan's overall redundancy ratio (Eq. 4) exceeds the
+    /// configured threshold.
+    ExcessRedundancy,
+    /// PA104: the plan's claimed period/latency disagree with the cost
+    /// model's recomputation (Eqs. 5–11).
+    CostMismatch,
+    /// PA105: a grid tile's aspect ratio is pathologically far from
+    /// square, inflating its halo.
+    GridAspect,
+    /// PA201: a cluster device does no work anywhere in the plan.
+    IdleDevice,
+    /// PA202: a stage carries an empty (zero-area) assignment.
+    EmptyAssignment,
+}
+
+impl Code {
+    /// Every registered code, in registry order.
+    pub const ALL: [Code; 16] = [
+        Code::EmptyPlan,
+        Code::NonContiguousStages,
+        Code::IncompleteCoverage,
+        Code::EmptyStage,
+        Code::UnknownDevice,
+        Code::DeviceReuse,
+        Code::BadStripCover,
+        Code::BadTileCover,
+        Code::SegmentOutOfBounds,
+        Code::MemoryOverrun,
+        Code::DegenerateShare,
+        Code::ExcessRedundancy,
+        Code::CostMismatch,
+        Code::GridAspect,
+        Code::IdleDevice,
+        Code::EmptyAssignment,
+    ];
+
+    /// The stable identifier, e.g. `"PA001"`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Code::EmptyPlan => "PA001",
+            Code::NonContiguousStages => "PA002",
+            Code::IncompleteCoverage => "PA003",
+            Code::EmptyStage => "PA004",
+            Code::UnknownDevice => "PA005",
+            Code::DeviceReuse => "PA006",
+            Code::BadStripCover => "PA007",
+            Code::BadTileCover => "PA008",
+            Code::SegmentOutOfBounds => "PA009",
+            Code::MemoryOverrun => "PA101",
+            Code::DegenerateShare => "PA102",
+            Code::ExcessRedundancy => "PA103",
+            Code::CostMismatch => "PA104",
+            Code::GridAspect => "PA105",
+            Code::IdleDevice => "PA201",
+            Code::EmptyAssignment => "PA202",
+        }
+    }
+
+    /// The severity this code is always reported at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::EmptyPlan
+            | Code::NonContiguousStages
+            | Code::IncompleteCoverage
+            | Code::EmptyStage
+            | Code::UnknownDevice
+            | Code::DeviceReuse
+            | Code::BadStripCover
+            | Code::BadTileCover
+            | Code::SegmentOutOfBounds => Severity::Error,
+            Code::MemoryOverrun
+            | Code::DegenerateShare
+            | Code::ExcessRedundancy
+            | Code::CostMismatch
+            | Code::GridAspect => Severity::Warning,
+            Code::IdleDevice | Code::EmptyAssignment => Severity::Info,
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::EmptyPlan => "plan has no stages",
+            Code::NonContiguousStages => "stage segments do not tile the model contiguously",
+            Code::IncompleteCoverage => "stages do not cover the model exactly",
+            Code::EmptyStage => "stage has no worker with a non-empty share",
+            Code::UnknownDevice => "assignment references a device not in the cluster",
+            Code::DeviceReuse => "device reused across pipelined stages or within a stage",
+            Code::BadStripCover => "strip shares do not partition the stage output rows",
+            Code::BadTileCover => "grid tiles overlap or miss output cells",
+            Code::SegmentOutOfBounds => "stage segment reaches past the model",
+            Code::MemoryOverrun => "device footprint exceeds the memory budget",
+            Code::DegenerateShare => "share is mostly halo (pure redundant compute)",
+            Code::ExcessRedundancy => "plan-wide redundancy ratio above threshold",
+            Code::CostMismatch => "claimed period/latency disagree with the cost model",
+            Code::GridAspect => "grid tile far from square, inflating its halo",
+            Code::IdleDevice => "cluster device does no work in the plan",
+            Code::EmptyAssignment => "stage carries an empty assignment",
+        }
+    }
+
+    /// Suggested fix, mirrored in the DESIGN.md registry.
+    pub fn suggestion(&self) -> &'static str {
+        match self {
+            Code::EmptyPlan => "add at least one stage covering the model",
+            Code::NonContiguousStages => "make each stage start where the previous one ended",
+            Code::IncompleteCoverage => "extend or trim stages so they cover every unit exactly",
+            Code::EmptyStage => "assign at least one non-empty share, or drop the stage",
+            Code::UnknownDevice => "plan against the cluster the plan will run on",
+            Code::DeviceReuse => "give pipelined stages disjoint device subsets",
+            Code::BadStripCover => "make shares contiguous, disjoint, and exactly covering",
+            Code::BadTileCover => "tile the output rectangle exactly with disjoint tiles",
+            Code::SegmentOutOfBounds => "clamp stage segments to the model's unit count",
+            Code::MemoryOverrun => "shrink the device's share or raise the budget",
+            Code::DegenerateShare => "merge the share into a neighbour or rebalance rows",
+            Code::ExcessRedundancy => "use fewer workers per stage, split depth-wise, or grid",
+            Code::CostMismatch => "recompute metrics with the current cost parameters",
+            Code::GridAspect => "pick a squarer grid factorization",
+            Code::IdleDevice => "spread work onto the device or remove it from the cluster",
+            Code::EmptyAssignment => "drop zero-area assignments when emitting the plan",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding of the analyzer: a coded, located, human-readable fact
+/// about a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Offending stage index, when the finding is stage-local.
+    pub stage: Option<usize>,
+    /// Offending device id, when the finding is device-local.
+    pub device: Option<usize>,
+    /// Offending model unit index, when the finding is layer-local.
+    pub unit: Option<usize>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for a code with the severity the code
+    /// mandates.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            stage: None,
+            device: None,
+            unit: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a stage location.
+    pub fn at_stage(mut self, stage: usize) -> Self {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Attaches a device location.
+    pub fn at_device(mut self, device: usize) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Attaches a model-unit location.
+    pub fn at_unit(mut self, unit: usize) -> Self {
+        self.unit = Some(unit);
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code, self.severity)?;
+        let mut locs = Vec::new();
+        if let Some(s) = self.stage {
+            locs.push(format!("stage {s}"));
+        }
+        if let Some(d) = self.device {
+            locs.push(format!("device {d}"));
+        }
+        if let Some(u) = self.unit {
+            locs.push(format!("unit {u}"));
+        }
+        if !locs.is_empty() {
+            write!(f, " [{}]", locs.join(", "))?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A structural finding paired with the legacy error it maps to, so
+/// `Plan::validate` can keep returning exact [`PlanError`] variants.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StructuralFinding {
+    pub(crate) diagnostic: Diagnostic,
+    pub(crate) error: PlanError,
+}
+
+fn finding(code: Code, error: PlanError) -> StructuralFinding {
+    let mut d = Diagnostic::new(code, error.to_string());
+    match &error {
+        PlanError::EmptyStage { stage }
+        | PlanError::BadRowCover { stage, .. }
+        | PlanError::DeviceReuse { stage, .. } => d = d.at_stage(*stage),
+        PlanError::UnknownDevice { device } => d = d.at_device(*device),
+        _ => {}
+    }
+    if let PlanError::DeviceReuse { device, .. } = &error {
+        d = d.at_device(*device);
+    }
+    StructuralFinding {
+        diagnostic: d,
+        error,
+    }
+}
+
+/// Runs every structural (Error-level) pass to completion.
+///
+/// The first finding, when any, is exactly the error the seed's
+/// single-shot validator reported, preserving `Plan::validate`'s
+/// observable behaviour while letting callers see the complete list.
+pub(crate) fn structural_findings(
+    plan: &Plan,
+    model: &Model,
+    cluster: &Cluster,
+) -> Vec<StructuralFinding> {
+    let mut out = Vec::new();
+    if plan.stages.is_empty() {
+        out.push(finding(Code::EmptyPlan, PlanError::EmptyPlan));
+        return out;
+    }
+
+    // Pass 1: contiguous tiling of the model's unit range.
+    let mut cursor = 0usize;
+    for stage in &plan.stages {
+        if stage.segment.start != cursor {
+            out.push(finding(
+                Code::NonContiguousStages,
+                PlanError::NonContiguousStages {
+                    expected_start: cursor,
+                    found_start: stage.segment.start,
+                },
+            ));
+        }
+        // Advancing to this stage's end resynchronizes after a gap, so
+        // one gap yields one diagnostic instead of cascading into every
+        // later stage.
+        cursor = stage.segment.end;
+    }
+    if cursor != model.len() {
+        out.push(finding(
+            Code::IncompleteCoverage,
+            PlanError::IncompleteCoverage {
+                covered: cursor,
+                expected: model.len(),
+            },
+        ));
+    }
+
+    // Pass 2: per-stage device and geometry checks.
+    let mut seen = std::collections::HashSet::new();
+    for (idx, stage) in plan.stages.iter().enumerate() {
+        if stage.worker_count() == 0 {
+            out.push(finding(
+                Code::EmptyStage,
+                PlanError::EmptyStage { stage: idx },
+            ));
+        }
+        for a in &stage.assignments {
+            if cluster.device(a.device).is_none() {
+                out.push(finding(
+                    Code::UnknownDevice,
+                    PlanError::UnknownDevice { device: a.device },
+                ));
+            }
+            if a.is_empty() {
+                continue;
+            }
+            if plan.mode == ExecutionMode::Pipelined && !seen.insert(a.device) {
+                out.push(finding(
+                    Code::DeviceReuse,
+                    PlanError::DeviceReuse {
+                        device: a.device,
+                        stage: idx,
+                    },
+                ));
+            }
+        }
+        if stage.segment.end > model.len() {
+            // Geometry needs the stage's output shape, which does not
+            // exist for an out-of-range segment. PA003 above already
+            // flags the plan; this pins down the offending stage.
+            out.push(
+                finding(
+                    Code::SegmentOutOfBounds,
+                    PlanError::UnsupportedModel {
+                        detail: format!(
+                            "stage {idx} segment {} reaches past the model's {} units",
+                            stage.segment,
+                            model.len()
+                        ),
+                    },
+                )
+                .located(|d| d.at_stage(idx).at_unit(stage.segment.start)),
+            );
+        } else {
+            geometry_findings(plan, model, idx, &mut out);
+        }
+        // A stage must not repeat a device within itself either
+        // (sequential plans reuse devices across stages only).
+        let mut ids: Vec<usize> = stage.device_ids().collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        if ids.len() != before {
+            out.push(finding(
+                Code::DeviceReuse,
+                PlanError::DeviceReuse {
+                    device: ids[0],
+                    stage: idx,
+                },
+            ));
+        }
+    }
+    out
+}
+
+impl StructuralFinding {
+    fn located(mut self, f: impl FnOnce(Diagnostic) -> Diagnostic) -> Self {
+        self.diagnostic = f(self.diagnostic);
+        self
+    }
+}
+
+/// Row/tile cover checks for one in-bounds stage.
+fn geometry_findings(plan: &Plan, model: &Model, idx: usize, out: &mut Vec<StructuralFinding>) {
+    let stage = &plan.stages[idx];
+    let out_shape = model.unit_output_shape(stage.segment.end - 1);
+    let out_h = out_shape.height;
+    if stage.is_grid() {
+        // Grid stages: tiles must be pairwise disjoint and cover the
+        // output rectangle exactly (area check + disjoint check is
+        // sufficient for axis-aligned rectangles).
+        let regions: Vec<Region2> = stage
+            .assignments
+            .iter()
+            .filter(|a| !a.is_empty())
+            .map(|a| a.region(out_shape.width))
+            .collect();
+        let total: usize = regions.iter().map(Region2::area).sum();
+        let expected = out_h * out_shape.width;
+        if total != expected {
+            out.push(finding(
+                Code::BadTileCover,
+                PlanError::BadRowCover {
+                    stage: idx,
+                    detail: format!("tiles cover {total} cells of {expected}"),
+                },
+            ));
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                let overlap = a.rows.overlap(b.rows) * a.cols.overlap(b.cols);
+                if overlap > 0 {
+                    out.push(finding(
+                        Code::BadTileCover,
+                        PlanError::BadRowCover {
+                            stage: idx,
+                            detail: format!("tiles {a} and {b} overlap"),
+                        },
+                    ));
+                }
+            }
+        }
+    } else {
+        // Strip stages: shares in row order, disjoint, covering
+        // 0..out_h.
+        let mut row_cursor = 0usize;
+        let mut broken = false;
+        for a in &stage.assignments {
+            if a.rows.is_empty() {
+                continue;
+            }
+            if a.rows.start != row_cursor {
+                out.push(
+                    finding(
+                        Code::BadStripCover,
+                        PlanError::BadRowCover {
+                            stage: idx,
+                            detail: format!(
+                                "share {} begins at row {} but cover reached {row_cursor}",
+                                a.device, a.rows.start
+                            ),
+                        },
+                    )
+                    .located(|d| d.at_device(a.device)),
+                );
+                broken = true;
+            }
+            row_cursor = a.rows.end;
+        }
+        if row_cursor != out_h && !broken {
+            out.push(finding(
+                Code::BadStripCover,
+                PlanError::BadRowCover {
+                    stage: idx,
+                    detail: format!("cover ends at row {row_cursor}, output has {out_h} rows"),
+                },
+            ));
+        }
+    }
+}
+
+/// Runs all structural (Error-level) passes to completion and returns
+/// every finding as a [`Diagnostic`].
+///
+/// An empty result means the plan is structurally valid —
+/// [`Plan::validate`](crate::Plan::validate) would return `Ok(())` —
+/// and it is safe to run analysis passes (cost, memory, redundancy)
+/// that assume well-formed geometry.
+pub fn structural_diagnostics(plan: &Plan, model: &Model, cluster: &Cluster) -> Vec<Diagnostic> {
+    structural_findings(plan, model, cluster)
+        .into_iter()
+        .map(|f| f.diagnostic)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Scheme, Stage};
+    use pico_model::{rows_split_even, zoo, Rows, Segment};
+
+    fn simple_plan(model: &Model, cluster: &Cluster) -> Plan {
+        let h = model.output_shape().height;
+        let shares = rows_split_even(Rows::full(h), cluster.len());
+        let assignments = cluster
+            .devices()
+            .iter()
+            .zip(shares)
+            .map(|(d, r)| Assignment::new(d.id, r))
+            .collect();
+        Plan::new(
+            Scheme::EarlyFused,
+            ExecutionMode::Sequential,
+            vec![Stage::new(model.full_segment(), assignments)],
+        )
+    }
+
+    #[test]
+    fn clean_plan_has_no_findings() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(4, 1.0);
+        assert!(structural_diagnostics(&simple_plan(&m, &c), &m, &c).is_empty());
+    }
+
+    #[test]
+    fn every_code_has_unique_id_and_fixed_severity() {
+        let mut ids: Vec<&str> = Code::ALL.iter().map(Code::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Code::ALL.len());
+        for c in Code::ALL {
+            assert!(c.id().starts_with("PA"));
+            assert!(!c.summary().is_empty() && !c.suggestion().is_empty());
+        }
+    }
+
+    #[test]
+    fn multiple_defects_are_all_reported() {
+        // A gap between stages AND a reused device AND an unknown device:
+        // the seed validator stopped at the gap; the scan finds all.
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![
+                Stage::new(Segment::new(0, 2), vec![Assignment::new(0, Rows::full(h))]),
+                Stage::new(
+                    Segment::new(3, 4),
+                    vec![
+                        Assignment::new(0, Rows::new(0, h)),
+                        Assignment::new(42, Rows::empty()),
+                    ],
+                ),
+            ],
+        );
+        let diags = structural_diagnostics(&plan, &m, &c);
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::NonContiguousStages));
+        assert!(codes.contains(&Code::DeviceReuse));
+        assert!(codes.contains(&Code::UnknownDevice));
+        // First finding is what validate() reports.
+        assert_eq!(codes[0], Code::NonContiguousStages);
+        assert!(matches!(
+            plan.validate(&m, &c),
+            Err(PlanError::NonContiguousStages { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_segment_is_pinned_without_panicking() {
+        let m = zoo::toy(2);
+        let c = Cluster::pi_cluster(1, 1.0);
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![Stage::new(
+                Segment::new(0, m.len() + 1),
+                vec![Assignment::new(0, Rows::full(h))],
+            )],
+        );
+        let diags = structural_diagnostics(&plan, &m, &c);
+        assert_eq!(diags[0].code, Code::IncompleteCoverage);
+        assert!(diags.iter().any(|d| d.code == Code::SegmentOutOfBounds));
+    }
+
+    #[test]
+    fn diagnostics_render_code_severity_and_location() {
+        let m = zoo::toy(2);
+        let c = Cluster::pi_cluster(1, 1.0);
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![Stage::new(
+                m.full_segment(),
+                vec![Assignment::new(42, Rows::full(h))],
+            )],
+        );
+        let diags = structural_diagnostics(&plan, &m, &c);
+        let line = diags[0].to_string();
+        assert!(line.starts_with("PA005 error"), "{line}");
+        assert!(line.contains("device 42"), "{line}");
+    }
+
+    #[test]
+    fn one_gap_does_not_cascade() {
+        // Stages 1..n are contiguous among themselves after a single
+        // gap; only one PA002 should be reported.
+        let m = zoo::toy(6);
+        let c = Cluster::pi_cluster(3, 1.0);
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![
+                Stage::new(
+                    Segment::new(0, 2),
+                    vec![Assignment::new(
+                        0,
+                        Rows::full(m.unit_output_shape(1).height),
+                    )],
+                ),
+                Stage::new(
+                    Segment::new(3, 5),
+                    vec![Assignment::new(
+                        1,
+                        Rows::full(m.unit_output_shape(4).height),
+                    )],
+                ),
+                Stage::new(
+                    Segment::new(5, 6),
+                    vec![Assignment::new(
+                        2,
+                        Rows::full(m.unit_output_shape(5).height),
+                    )],
+                ),
+            ],
+        );
+        let diags = structural_diagnostics(&plan, &m, &c);
+        let gaps = diags
+            .iter()
+            .filter(|d| d.code == Code::NonContiguousStages)
+            .count();
+        assert_eq!(gaps, 1, "{diags:?}");
+    }
+}

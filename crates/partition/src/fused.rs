@@ -232,7 +232,8 @@ mod tests {
         assert_eq!(plan.stage_count(), 2);
         assert!(plan.stages[0].worker_count() == 8);
         assert_eq!(plan.stages[1].worker_count(), 1);
-        plan.validate(&m, &c).unwrap();
+        let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

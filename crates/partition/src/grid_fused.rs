@@ -147,7 +147,8 @@ mod tests {
         let plan = GridFused::new()
             .plan(&m, &c, &CostParams::default())
             .unwrap();
-        plan.validate(&m, &c).unwrap();
+        let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
+        assert!(diags.is_empty(), "{diags:?}");
         assert!(plan.stages[0].is_grid() || plan.stages[0].worker_count() == 8);
         assert_eq!(plan.scheme, Scheme::GridFused);
     }

@@ -72,7 +72,8 @@ mod tests {
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
         assert_eq!(plan.stage_count(), 6);
-        plan.validate(&m, &c).unwrap();
+        let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

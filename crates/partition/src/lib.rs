@@ -39,6 +39,7 @@ mod bfs;
 pub mod block_parallel;
 mod cost;
 mod device;
+pub mod diag;
 mod error;
 mod fused;
 pub mod grid;
@@ -54,6 +55,7 @@ pub mod redundancy;
 pub use bfs::BfsOptimal;
 pub use cost::{CostModel, CostParams, PlanMetrics, StageCost};
 pub use device::{Cluster, Device, FLOPS_PER_CYCLE};
+pub use diag::{structural_diagnostics, Code, Diagnostic, Severity};
 pub use error::PlanError;
 pub use fused::{EarlyFused, OptimalFused};
 pub use grid_fused::GridFused;

@@ -154,7 +154,8 @@ mod tests {
         let model = zoo::vgg16().features();
         let cluster = Cluster::paper_heterogeneous();
         for p in frontier(&model, &cluster, &CostParams::wifi_50mbps(), 8) {
-            p.plan.validate(&model, &cluster).unwrap();
+            let diags = crate::diag::structural_diagnostics(&p.plan, &model, &cluster);
+            assert!(diags.is_empty(), "{diags:?}");
             if let Some(t) = p.t_lim {
                 assert!(
                     p.latency <= t + 1e-9,

@@ -359,7 +359,8 @@ mod tests {
 
     fn plan_for(model: &Model, cluster: &Cluster, params: &CostParams) -> Plan {
         let plan = PicoPlanner.plan(model, cluster, params).unwrap();
-        plan.validate(model, cluster).unwrap();
+        let diags = crate::diag::structural_diagnostics(&plan, model, cluster);
+        assert!(diags.is_empty(), "{diags:?}");
         plan
     }
 

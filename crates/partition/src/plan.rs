@@ -183,119 +183,19 @@ impl Plan {
     ///
     /// # Errors
     ///
-    /// Returns the first [`PlanError`] found.
+    /// Returns the first [`PlanError`] found. This is a thin wrapper
+    /// over [`crate::diag::structural_diagnostics`] — the same passes,
+    /// run to completion there, truncated to the first finding here —
+    /// so the boolean validator and the diagnostics engine can never
+    /// disagree.
     pub fn validate(&self, model: &Model, cluster: &Cluster) -> Result<(), PlanError> {
-        if self.stages.is_empty() {
-            return Err(PlanError::EmptyPlan);
+        match crate::diag::structural_findings(self, model, cluster)
+            .into_iter()
+            .next()
+        {
+            Some(f) => Err(f.error),
+            None => Ok(()),
         }
-        // Contiguous coverage.
-        let mut cursor = 0usize;
-        for stage in &self.stages {
-            if stage.segment.start != cursor {
-                return Err(PlanError::NonContiguousStages {
-                    expected_start: cursor,
-                    found_start: stage.segment.start,
-                });
-            }
-            cursor = stage.segment.end;
-        }
-        if cursor != model.len() {
-            return Err(PlanError::IncompleteCoverage {
-                covered: cursor,
-                expected: model.len(),
-            });
-        }
-
-        let mut seen = std::collections::HashSet::new();
-        for (idx, stage) in self.stages.iter().enumerate() {
-            if stage.worker_count() == 0 {
-                return Err(PlanError::EmptyStage { stage: idx });
-            }
-            let out_shape = model.unit_output_shape(stage.segment.end - 1);
-            let out_h = out_shape.height;
-            for a in &stage.assignments {
-                if cluster.device(a.device).is_none() {
-                    return Err(PlanError::UnknownDevice { device: a.device });
-                }
-                if a.is_empty() {
-                    continue;
-                }
-                if self.mode == ExecutionMode::Pipelined && !seen.insert(a.device) {
-                    return Err(PlanError::DeviceReuse {
-                        device: a.device,
-                        stage: idx,
-                    });
-                }
-            }
-            if stage.is_grid() {
-                // Grid stages: tiles must be pairwise disjoint and cover
-                // the output rectangle exactly (area check + disjoint
-                // check is sufficient for axis-aligned rectangles).
-                let regions: Vec<Region2> = stage
-                    .assignments
-                    .iter()
-                    .filter(|a| !a.is_empty())
-                    .map(|a| a.region(out_shape.width))
-                    .collect();
-                let total: usize = regions.iter().map(Region2::area).sum();
-                let expected = out_h * out_shape.width;
-                if total != expected {
-                    return Err(PlanError::BadRowCover {
-                        stage: idx,
-                        detail: format!("tiles cover {total} cells of {expected}"),
-                    });
-                }
-                for (i, a) in regions.iter().enumerate() {
-                    for b in &regions[i + 1..] {
-                        let overlap = a.rows.overlap(b.rows) * a.cols.overlap(b.cols);
-                        if overlap > 0 {
-                            return Err(PlanError::BadRowCover {
-                                stage: idx,
-                                detail: format!("tiles {a} and {b} overlap"),
-                            });
-                        }
-                    }
-                }
-            } else {
-                // Strip stages: shares in row order, disjoint, covering
-                // 0..out_h.
-                let mut row_cursor = 0usize;
-                for a in &stage.assignments {
-                    if a.rows.is_empty() {
-                        continue;
-                    }
-                    if a.rows.start != row_cursor {
-                        return Err(PlanError::BadRowCover {
-                            stage: idx,
-                            detail: format!(
-                                "share {} begins at row {} but cover reached {row_cursor}",
-                                a.device, a.rows.start
-                            ),
-                        });
-                    }
-                    row_cursor = a.rows.end;
-                }
-                if row_cursor != out_h {
-                    return Err(PlanError::BadRowCover {
-                        stage: idx,
-                        detail: format!("cover ends at row {row_cursor}, output has {out_h} rows"),
-                    });
-                }
-            }
-            // A stage must not repeat a device within itself either
-            // (sequential plans reuse devices across stages only).
-            let mut ids: Vec<usize> = stage.device_ids().collect();
-            ids.sort_unstable();
-            let before = ids.len();
-            ids.dedup();
-            if ids.len() != before {
-                return Err(PlanError::DeviceReuse {
-                    device: ids[0],
-                    stage: idx,
-                });
-            }
-        }
-        Ok(())
     }
 }
 

@@ -4,8 +4,8 @@
 
 use pico_model::{zoo, ConvSpec, Layer, Model, PoolSpec, Shape};
 use pico_partition::{
-    BfsOptimal, Cluster, CostParams, Device, EarlyFused, LayerWise, OptimalFused, PicoPlanner,
-    Planner,
+    structural_diagnostics, BfsOptimal, Cluster, CostParams, Device, EarlyFused, LayerWise,
+    OptimalFused, PicoPlanner, Planner,
 };
 use proptest::prelude::*;
 
@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = Model> {
     let layer = prop_oneof![
         (1usize..=4, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
-        (2usize..=2, 2usize..=2).prop_map(|(k, s)| (k, s, 0, false)),
+        (2usize..=2, 2usize..=2).prop_map(|(k, s)| (k, s, 0usize, false)),
     ];
     proptest::collection::vec(layer, 1..8).prop_map(|specs| {
         let input = Shape::new(3, 48, 48);
@@ -79,6 +79,11 @@ proptest! {
         let cm = params.cost_model(&model);
         for planner in planners() {
             let plan = planner.plan(&model, &cluster, &params).expect("planner succeeds");
+            // Stricter than `validate`: the complete structural scan
+            // must come back empty, and its emptiness must agree with
+            // the validate wrapper built on top of it.
+            let diags = structural_diagnostics(&plan, &model, &cluster);
+            prop_assert!(diags.is_empty(), "{}: {:?}", planner.name(), diags);
             prop_assert!(plan.validate(&model, &cluster).is_ok(), "{} invalid", planner.name());
             let metrics = cm.evaluate(&plan, &cluster);
             prop_assert!(metrics.period.is_finite() && metrics.period > 0.0);

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = Model> {
     let layer = prop_oneof![
         (1usize..=3, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
-        Just((2, 2, 0, false)),
+        Just((2usize, 2usize, 0usize, false)),
     ];
     proptest::collection::vec(layer, 1..5).prop_map(|specs| {
         let input = Shape::new(2, 12, 12);
@@ -70,7 +70,8 @@ proptest! {
         ];
         for planner in planners {
             let plan = planner.plan(&model, &cluster, &params).expect("planner succeeds");
-            plan.validate(&model, &cluster).expect("plan valid");
+            let diags = pico_partition::structural_diagnostics(&plan, &model, &cluster);
+            prop_assert!(diags.is_empty(), "{}: {:?}", planner.name(), diags);
             let report = PipelineRuntime::new(&model, &plan, &engine)
                 .run(vec![input.clone()])
                 .expect("pipeline runs");

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = Model> {
     let layer = prop_oneof![
         (1usize..=3, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
-        Just((2, 2, 0, false)),
+        Just((2usize, 2usize, 0usize, false)),
     ];
     proptest::collection::vec(layer, 1..5).prop_map(|specs| {
         let input = Shape::new(2, 20, 20);

@@ -1,0 +1,428 @@
+//! Workspace automation, following the cargo-xtask pattern: run with
+//! `cargo xtask <task>` (aliased in `.cargo/config.toml`).
+//!
+//! The only task so far is `lint`: repo-specific source-level static
+//! analysis that stock clippy cannot express:
+//!
+//! 1. **no-panic-serving-path** — no `.unwrap()` / `.expect(` in
+//!    non-test code of `pico-runtime` and `pico-core` (the serving
+//!    path propagates `Result`s; panics belong in tests only);
+//! 2. **no-lossy-casts-in-cost** — the cost model
+//!    (`crates/partition/src/cost.rs`) may only cast *to* `f64`
+//!    (int → f64 is the one sanctioned widening); any other `as` cast
+//!    between numeric primitives silently truncates;
+//! 3. **lint-headers** — every crate root keeps
+//!    `#![forbid(unsafe_code)]` and a `missing_docs` lint
+//!    (`warn` or `deny`);
+//! 4. **diagnostics-registry** — every `PA###` diagnostic code
+//!    mentioned anywhere in the sources is documented in DESIGN.md's
+//!    "Plan diagnostics registry".
+//!
+//! Exit code 0 when clean, 1 with a findings listing otherwise.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n\nusage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root: this file lives in `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// One lint finding.
+struct Violation {
+    rule: &'static str,
+    file: PathBuf,
+    line: usize,
+    detail: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+
+    lint_no_panics(&root, &mut violations);
+    lint_cost_casts(&root, &mut violations);
+    lint_headers(&root, &mut violations);
+    lint_registry(&root, &mut violations);
+
+    if violations.is_empty() {
+        println!("xtask lint: clean (4 rules, 0 findings)");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            let path = v.file.strip_prefix(&root).unwrap_or(&v.file);
+            eprintln!("[{}] {}:{}: {}", v.rule, path.display(), v.line, v.detail);
+        }
+        eprintln!("xtask lint: {} finding(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Collects `.rs` files under `dir`, recursively.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+/// Strips `//` comments and the contents of ordinary string literals
+/// from one line, so lint patterns never match inside either. Escapes
+/// inside strings are handled; raw strings and block comments are rare
+/// enough in this workspace to ignore.
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Net brace depth change of a (comment/string-stripped) line.
+fn brace_delta(code: &str) -> i64 {
+    code.chars().fold(0, |acc, c| match c {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Iterates the non-test lines of a source file: lines inside
+/// `#[cfg(test)]`-gated items (modules, functions, uses) are skipped.
+fn non_test_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut test_block_depth: i64 = 0;
+    let mut in_test_block = false;
+    for (i, raw) in source.lines().enumerate() {
+        let code = strip_comments_and_strings(raw);
+        let trimmed = code.trim();
+        if in_test_block {
+            test_block_depth += brace_delta(&code);
+            if test_block_depth <= 0 {
+                in_test_block = false;
+            }
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with('#') {
+                // Another attribute between #[cfg(test)] and the item.
+            } else {
+                pending_cfg_test = false;
+                let delta = brace_delta(&code);
+                if delta > 0 {
+                    in_test_block = true;
+                    test_block_depth = delta;
+                }
+                // Item without a block (e.g. a gated `use`): only that
+                // line is skipped.
+            }
+            continue;
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        out.push((i + 1, code));
+    }
+    out
+}
+
+/// Rule 1: no `.unwrap()` / `.expect(` in the serving path.
+fn lint_no_panics(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    for dir in ["crates/runtime/src", "crates/core/src"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        for (line, code) in non_test_lines(&source) {
+            for pattern in [".unwrap()", ".expect("] {
+                if code.contains(pattern) {
+                    violations.push(Violation {
+                        rule: "no-panic-serving-path",
+                        file: file.clone(),
+                        line,
+                        detail: format!("`{pattern}` in non-test serving-path code"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+const LOSSY_CAST_TARGETS: [&str; 14] = [
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "f32",
+    "char",
+];
+
+/// Rule 2: in the cost model, `as` may only widen to `f64`.
+fn lint_cost_casts(root: &Path, violations: &mut Vec<Violation>) {
+    let file = root.join("crates/partition/src/cost.rs");
+    let Ok(source) = std::fs::read_to_string(&file) else {
+        violations.push(Violation {
+            rule: "no-lossy-casts-in-cost",
+            file,
+            line: 0,
+            detail: "crates/partition/src/cost.rs is missing".to_owned(),
+        });
+        return;
+    };
+    for (i, raw) in source.lines().enumerate() {
+        let code = strip_comments_and_strings(raw);
+        let mut rest = code.as_str();
+        while let Some(pos) = rest.find(" as ") {
+            let after = &rest[pos + 4..];
+            let target: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if LOSSY_CAST_TARGETS.contains(&target.as_str()) {
+                violations.push(Violation {
+                    rule: "no-lossy-casts-in-cost",
+                    file: file.clone(),
+                    line: i + 1,
+                    detail: format!("lossy `as {target}` cast (only `as f64` is allowed here)"),
+                });
+            }
+            rest = after;
+        }
+    }
+}
+
+/// Rule 3: every crate root keeps its lint headers.
+fn lint_headers(root: &Path, violations: &mut Vec<Violation>) {
+    let mut roots = vec![root.join("src/lib.rs")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let lib = dir.join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            } else {
+                // Binary-only crates (like this one) carry the
+                // unsafe-code header on their main.rs instead.
+                let main = dir.join("src/main.rs");
+                if main.is_file() {
+                    let ok = std::fs::read_to_string(&main)
+                        .is_ok_and(|s| s.contains("#![forbid(unsafe_code)]"));
+                    if !ok {
+                        violations.push(Violation {
+                            rule: "lint-headers",
+                            file: main,
+                            line: 1,
+                            detail: "missing `#![forbid(unsafe_code)]`".to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for lib in roots {
+        let Ok(source) = std::fs::read_to_string(&lib) else {
+            violations.push(Violation {
+                rule: "lint-headers",
+                file: lib,
+                line: 0,
+                detail: "crate root missing".to_owned(),
+            });
+            continue;
+        };
+        if !source.contains("#![forbid(unsafe_code)]") {
+            violations.push(Violation {
+                rule: "lint-headers",
+                file: lib.clone(),
+                line: 1,
+                detail: "missing `#![forbid(unsafe_code)]`".to_owned(),
+            });
+        }
+        if !source.contains("#![warn(missing_docs)]") && !source.contains("#![deny(missing_docs)]")
+        {
+            violations.push(Violation {
+                rule: "lint-headers",
+                file: lib,
+                line: 1,
+                detail: "missing `#![warn(missing_docs)]` / `#![deny(missing_docs)]`".to_owned(),
+            });
+        }
+    }
+}
+
+/// Extracts every `PA###` token from a string.
+fn pa_codes(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 5 <= bytes.len() {
+        if bytes[i] == b'P'
+            && bytes[i + 1] == b'A'
+            && bytes[i + 2].is_ascii_digit()
+            && bytes[i + 3].is_ascii_digit()
+            && bytes[i + 4].is_ascii_digit()
+            && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+            && (i + 5 == bytes.len() || !bytes[i + 5].is_ascii_alphanumeric())
+        {
+            out.push(text[i..i + 5].to_owned());
+            i += 5;
+        } else {
+            i += 1;
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Rule 4: every diagnostic code used in the sources appears in the
+/// DESIGN.md registry.
+fn lint_registry(root: &Path, violations: &mut Vec<Violation>) {
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    let documented = pa_codes(&design);
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    for file in files {
+        // This linter's own source mentions no real codes.
+        if file.ends_with("crates/xtask/src/main.rs") {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        for code in pa_codes(&source) {
+            if !documented.contains(&code) {
+                let line = source
+                    .lines()
+                    .position(|l| l.contains(&code))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                let mut detail = String::new();
+                let _ = write!(
+                    detail,
+                    "diagnostic code {code} is not documented in DESIGN.md's registry"
+                );
+                violations.push(Violation {
+                    rule: "diagnostics-registry",
+                    file: file.clone(),
+                    line,
+                    detail,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_but_keeps_code() {
+        assert_eq!(
+            strip_comments_and_strings("let x = 1; // .unwrap()"),
+            "let x = 1; "
+        );
+        assert_eq!(
+            strip_comments_and_strings(r#"let s = "a as u8 // x";"#),
+            r#"let s = "";"#
+        );
+    }
+
+    #[test]
+    fn non_test_lines_skip_gated_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
+        let lines = non_test_lines(src);
+        let text: Vec<&str> = lines.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(text.iter().any(|l| l.contains("fn a")));
+        assert!(text.iter().any(|l| l.contains("fn c")));
+        assert!(!text.iter().any(|l| l.contains("unwrap")));
+    }
+
+    #[test]
+    fn non_test_lines_skip_gated_use_only() {
+        let src = "#[cfg(test)]\nuse foo::Bar;\nfn a() {}\n";
+        let lines = non_test_lines(src);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].1.contains("fn a"));
+    }
+
+    #[test]
+    fn pa_code_extraction_requires_word_boundaries() {
+        assert_eq!(pa_codes("PA001 and PA102."), vec!["PA001", "PA102"]);
+        assert!(pa_codes("SPA001 PA0012 OPA123x").is_empty());
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        // The committed tree must satisfy its own lints; this is the
+        // same check CI runs via `cargo xtask lint`.
+        let root = workspace_root();
+        let mut violations = Vec::new();
+        lint_no_panics(&root, &mut violations);
+        lint_cost_casts(&root, &mut violations);
+        lint_headers(&root, &mut violations);
+        lint_registry(&root, &mut violations);
+        let rendered: Vec<String> = violations
+            .iter()
+            .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))
+            .collect();
+        assert!(rendered.is_empty(), "{rendered:#?}");
+    }
+}

@@ -32,6 +32,7 @@ usage: pico <command> [options]
 
 commands:
   plan       plan a deployment and print the stage layout
+  audit      multi-pass plan diagnostics (PA*** codes) per scheme
   compare    predict every scheme (LW/EFL/OFL/GRID/PICO) side by side
   simulate   run a Poisson workload through the queueing simulator
   memory     per-device memory footprint of the PICO plan
@@ -45,6 +46,9 @@ options:
   --bandwidth <mbps>         shared link bandwidth (default 50)
   --t-lim <seconds>          pipeline latency limit (PICO plans)
   --scheme <lw|efl|ofl|grid|pico>  planner for `plan` (default pico)
+                             `audit`: audit one scheme (default: all)
+  --memory-budget <MB>       `audit`: warn when a device exceeds this
+  --redundancy-limit <f>     `audit`: warn above this redundancy ratio
   --load <fraction>          `simulate`: arrival rate as a fraction of
                              EFL capacity (default 1.0)
   --minutes <m>              `simulate`: virtual duration (default 10)";
@@ -159,6 +163,45 @@ fn run(args: &[String]) -> Result<(), String> {
             let plan = pico.plan_with(&planner).map_err(|e| e.to_string())?;
             print!("{}", pico.describe(&plan));
             Ok(())
+        }
+        "audit" => {
+            let mut config = AuditConfig::default();
+            if let Some(mb) = opts.get("memory-budget") {
+                let mb: f64 = mb
+                    .parse()
+                    .map_err(|_| format!("--memory-budget: bad number `{mb}`"))?;
+                config = config.with_memory_budget((mb * 1e6).max(0.0) as usize);
+            }
+            if let Some(r) = opts.get("redundancy-limit") {
+                let ratio: f64 = r
+                    .parse()
+                    .map_err(|_| format!("--redundancy-limit: bad number `{r}`"))?;
+                config = config.with_redundancy_threshold(ratio);
+            }
+            let schemes: Vec<&str> = match opts.get("scheme") {
+                Some(s) => vec![s],
+                None => vec!["lw", "efl", "ofl", "grid", "pico"],
+            };
+            let mut errors = 0;
+            for name in schemes {
+                let planner = planner_by_name(name)?;
+                match pico.plan_with(&planner) {
+                    Ok(plan) => {
+                        let report = Auditor::new(pico.model(), pico.cluster())
+                            .with_params(pico.params())
+                            .with_config(config.clone())
+                            .audit(&plan);
+                        errors += report.errors().count();
+                        println!("{name}: {report}");
+                    }
+                    Err(e) => println!("{name}: did not plan ({e})"),
+                }
+            }
+            if errors > 0 {
+                Err(format!("{errors} error-level diagnostic(s)"))
+            } else {
+                Ok(())
+            }
         }
         "compare" => {
             println!("scheme  stages  period(s)  latency(s)  tasks/min");
@@ -287,6 +330,35 @@ mod tests {
             "paper6",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn audit_runs_clean_on_every_scheme() {
+        run(&sv(&["audit", "--model", "mnist_toy", "--devices", "4"])).unwrap();
+        run(&sv(&[
+            "audit",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--scheme",
+            "pico",
+            "--memory-budget",
+            "512",
+            "--redundancy-limit",
+            "0.9",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "audit",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--memory-budget",
+            "abc",
+        ]))
+        .is_err());
     }
 
     #[test]

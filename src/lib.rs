@@ -15,6 +15,7 @@
 //! | `pico-tensor` | [`tensor`] | CHW f32 engine with bit-exact halo split/stitch |
 //! | `pico-partition` | [`partition`] | cost model + LW/EFL/OFL/PICO/BFS planners |
 //! | `pico-sim` | [`sim`] | arrival streams, queueing simulation, M/D/1, APICO |
+//! | `pico-audit` | [`audit`] | multi-pass plan diagnostics engine (`pico audit`) |
 //! | `pico-runtime` | [`runtime`] | threaded Fig.-6 pipeline executor |
 //! | `pico-core` | [`core`] | the [`Pico`] one-stop facade |
 //!
@@ -38,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pico_audit as audit;
 pub use pico_core as core;
 pub use pico_model as model;
 pub use pico_partition as partition;
@@ -49,11 +51,12 @@ pub use pico_core::Pico;
 
 /// Everything most programs need, one `use` away.
 pub mod prelude {
+    pub use pico_audit::{AuditConfig, AuditReport, Auditor};
     pub use pico_core::Pico;
     pub use pico_model::{zoo, Model, Rows, Segment, Shape};
     pub use pico_partition::{
-        BfsOptimal, Cluster, CostParams, Device, EarlyFused, GridFused, LayerWise, OptimalFused,
-        PicoPlanner, Plan, Planner, Scheme,
+        BfsOptimal, Cluster, Code, CostParams, Device, Diagnostic, EarlyFused, GridFused,
+        LayerWise, OptimalFused, PicoPlanner, Plan, Planner, Scheme, Severity,
     };
     pub use pico_runtime::{PipelineRuntime, Throttle};
     pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
