@@ -41,7 +41,7 @@
 //! let model = zoo::vgg16().features();
 //! let cluster = Cluster::pi_cluster(8, 1.0);
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::new().plan(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::new().plan_simple(&model, &cluster, &params)?;
 //! let report = Auditor::new(&model, &cluster).with_params(params).audit(&plan);
 //! assert!(report.is_executable()); // zero Error-level diagnostics
 //! # Ok::<(), pico_partition::PlanError>(())
@@ -78,6 +78,12 @@ pub struct AuditConfig {
     pub claimed_latency: Option<f64>,
     /// Relative tolerance for the PA104 claimed-vs-recomputed check.
     pub rel_tol: f64,
+    /// Measured per-stage busy seconds (ascending stage index), e.g.
+    /// from a runtime `RunReport`'s `stage_stats` or a telemetry trace
+    /// summary's per-stage `stage_busy` totals. When set and the
+    /// measured bottleneck stage differs from the cost model's, PA106
+    /// fires.
+    pub observed_stage_busy: Option<Vec<f64>>,
 }
 
 impl Default for AuditConfig {
@@ -90,6 +96,7 @@ impl Default for AuditConfig {
             claimed_period: None,
             claimed_latency: None,
             rel_tol: 1e-6,
+            observed_stage_busy: None,
         }
     }
 }
@@ -111,6 +118,14 @@ impl AuditConfig {
     pub fn with_claimed_metrics(mut self, period: f64, latency: f64) -> Self {
         self.claimed_period = Some(period);
         self.claimed_latency = Some(latency);
+        self
+    }
+
+    /// Sets measured per-stage busy seconds (enables PA106): feed it a
+    /// run's `stage_stats` busy values or a trace summary's per-stage
+    /// `stage_busy` totals.
+    pub fn with_observed_stage_busy(mut self, busy: Vec<f64>) -> Self {
+        self.observed_stage_busy = Some(busy);
         self
     }
 }
@@ -161,6 +176,7 @@ impl<'a> Auditor<'a> {
             self.degenerate_share_pass(plan, &mut diagnostics);
             self.redundancy_pass(plan, &mut diagnostics);
             self.cost_consistency_pass(plan, &mut diagnostics);
+            self.bottleneck_pass(plan, &mut diagnostics);
             self.aspect_ratio_pass(plan, &mut diagnostics);
             self.idle_device_pass(plan, &mut diagnostics);
             self.empty_assignment_pass(plan, &mut diagnostics);
@@ -260,6 +276,46 @@ impl<'a> Auditor<'a> {
                         "claimed {what} {claimed:.6}s but the cost model computes {actual:.6}s"
                     ),
                 ));
+            }
+        }
+    }
+
+    /// PA106: the measured bottleneck stage (from a run or trace)
+    /// differs from the stage the cost model says should dominate — the
+    /// plan was optimized against a model that does not match reality.
+    fn bottleneck_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        let Some(observed) = &self.config.observed_stage_busy else {
+            return;
+        };
+        if observed.len() != plan.stage_count() || plan.stage_count() < 2 {
+            return;
+        }
+        let argmax = |it: &mut dyn Iterator<Item = f64>| {
+            it.enumerate()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(i, _)| i)
+        };
+        let measured = argmax(&mut observed.iter().copied());
+        let cm = self.params.cost_model(self.model);
+        let analytic = argmax(
+            &mut plan
+                .stages
+                .iter()
+                .map(|s| cm.stage_cost(s, self.cluster).total()),
+        );
+        if let (Some(m), Some(a)) = (measured, analytic) {
+            if m != a {
+                out.push(
+                    Diagnostic::new(
+                        Code::BottleneckMismatch,
+                        format!(
+                            "measured bottleneck is stage {m} ({:.4}s busy) but the cost model \
+                             predicts stage {a}: the plan optimizes the wrong stage",
+                            observed[m]
+                        ),
+                    )
+                    .at_stage(m),
+                );
             }
         }
     }
@@ -406,7 +462,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = PicoPlanner::new().plan(&m, &c, &params).unwrap();
+        let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
         let report = Auditor::new(&m, &c).with_params(params).audit(&plan);
         assert!(report.is_executable());
         let text = report.to_string();
@@ -434,11 +490,50 @@ mod tests {
     }
 
     #[test]
+    fn bottleneck_mismatch_fires_only_on_disagreement() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let params = CostParams::wifi_50mbps();
+        let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        if plan.stage_count() < 2 {
+            return;
+        }
+        let cm = params.cost_model(&m);
+        let costs: Vec<f64> = plan
+            .stages
+            .iter()
+            .map(|s| cm.stage_cost(s, &c).total())
+            .collect();
+        // Agreement: feeding back the analytic costs stays clean.
+        let agree = Auditor::new(&m, &c)
+            .with_params(params)
+            .with_config(AuditConfig::default().with_observed_stage_busy(costs.clone()))
+            .audit(&plan);
+        assert!(!agree.has_code(Code::BottleneckMismatch), "{agree}");
+        // Disagreement: a measurement dominated by a different stage.
+        let analytic_max = costs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let mut skewed = costs;
+        let other = (analytic_max + 1) % skewed.len();
+        skewed[other] = skewed[analytic_max] * 10.0;
+        let disagree = Auditor::new(&m, &c)
+            .with_params(params)
+            .with_config(AuditConfig::default().with_observed_stage_busy(skewed))
+            .audit(&plan);
+        assert!(disagree.has_code(Code::BottleneckMismatch), "{disagree}");
+        assert!(disagree.is_executable());
+    }
+
+    #[test]
     fn claimed_metrics_within_tolerance_are_clean() {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
         let params = CostParams::default();
-        let plan = PicoPlanner::new().plan(&m, &c, &params).unwrap();
+        let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
         let metrics = params.cost_model(&m).evaluate(&plan, &c);
         let config = AuditConfig::default().with_claimed_metrics(metrics.period, metrics.latency);
         let report = Auditor::new(&m, &c)

@@ -21,7 +21,7 @@ fn planners() -> Vec<Box<dyn Planner>> {
 
 fn assert_error_free(model: &Model, cluster: &Cluster, planner: &dyn Planner) {
     let params = CostParams::wifi_50mbps();
-    let plan = match planner.plan(model, cluster, &params) {
+    let plan = match planner.plan_simple(model, cluster, &params) {
         Ok(plan) => plan,
         // A planner may decline a (model, cluster) pair (e.g. a grid
         // needing more devices); declining is not a diagnostic.

@@ -16,7 +16,11 @@ fn bench_pico_planner(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{layers}L_{devices}D")),
             &(model, cluster),
             |b, (model, cluster)| {
-                b.iter(|| PicoPlanner::new().plan(model, cluster, &params).unwrap())
+                b.iter(|| {
+                    PicoPlanner::new()
+                        .plan_simple(model, cluster, &params)
+                        .unwrap()
+                })
             },
         );
     }
@@ -26,7 +30,13 @@ fn bench_pico_planner(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(model.name().to_owned()),
             &model,
-            |b, model| b.iter(|| PicoPlanner::new().plan(model, &cluster, &params).unwrap()),
+            |b, model| {
+                b.iter(|| {
+                    PicoPlanner::new()
+                        .plan_simple(model, &cluster, &params)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

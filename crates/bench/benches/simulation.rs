@@ -10,7 +10,9 @@ fn bench_simulation(c: &mut Criterion) {
     let model = zoo::vgg16().features();
     let cluster = Cluster::pi_cluster(8, 1.0);
     let params = CostParams::wifi_50mbps();
-    let plan = PicoPlanner::new().plan(&model, &cluster, &params).unwrap();
+    let plan = PicoPlanner::new()
+        .plan_simple(&model, &cluster, &params)
+        .unwrap();
     let sim = Simulation::new(&model, &cluster, &params);
 
     c.bench_function("closed_loop_1000_tasks", |b| {
@@ -26,7 +28,9 @@ fn bench_cost_model(c: &mut Criterion) {
     let model = zoo::yolov2();
     let cluster = Cluster::paper_heterogeneous();
     let params = CostParams::wifi_50mbps();
-    let plan = PicoPlanner::new().plan(&model, &cluster, &params).unwrap();
+    let plan = PicoPlanner::new()
+        .plan_simple(&model, &cluster, &params)
+        .unwrap();
     let cm = params.cost_model(&model);
 
     c.bench_function("evaluate_yolov2_plan", |b| {

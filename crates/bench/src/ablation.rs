@@ -112,7 +112,7 @@ pub fn balancing() -> Vec<BalancingRow> {
     .into_iter()
     .map(|(label, model)| {
         let plan = PicoPlanner::new()
-            .plan(&model, &cluster, &params)
+            .plan_simple(&model, &cluster, &params)
             .expect("plans");
         let cm = params.cost_model(&model);
         let period = |p: &Plan| cm.evaluate(p, &cluster).period;
@@ -147,7 +147,7 @@ pub fn bandwidth_sweep() -> Vec<BandwidthRow> {
     for mbps in [5.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
         let params = CostParams::new(mbps * 1e6);
         for (scheme, planner) in crate::paper_planners() {
-            let Ok(plan) = planner.plan(&model, &cluster, &params) else {
+            let Ok(plan) = planner.plan_simple(&model, &cluster, &params) else {
                 continue;
             };
             let period = params.cost_model(&model).evaluate(&plan, &cluster).period;
@@ -181,7 +181,7 @@ pub fn tlim_sweep() -> Vec<TlimRow> {
     let cm = free.cost_model(&model);
     let base = cm.evaluate(
         &PicoPlanner::new()
-            .plan(&model, &cluster, &free)
+            .plan_simple(&model, &cluster, &free)
             .expect("plans"),
         &cluster,
     );
@@ -189,7 +189,7 @@ pub fn tlim_sweep() -> Vec<TlimRow> {
         .into_iter()
         .map(|fraction| {
             let params = free.with_t_lim(base.latency * fraction);
-            match PicoPlanner::new().plan(&model, &cluster, &params) {
+            match PicoPlanner::new().plan_simple(&model, &cluster, &params) {
                 Ok(plan) => {
                     let m = cm.evaluate(&plan, &cluster);
                     TlimRow {
@@ -236,7 +236,7 @@ pub fn memory_by_scheme() -> Vec<MemoryRow> {
     crate::paper_planners()
         .into_iter()
         .filter_map(|(scheme, planner)| {
-            let plan = planner.plan(&model, &cluster, &params).ok()?;
+            let plan = planner.plan_simple(&model, &cluster, &params).ok()?;
             let max_device_bytes = plan_memory(&model, &plan)
                 .iter()
                 .map(|d| d.total_bytes())

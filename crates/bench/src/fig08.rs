@@ -31,7 +31,7 @@ pub fn run_for(model: &Model) -> Vec<CapacityRow> {
         for devices in DEVICE_COUNTS {
             let c = cluster(devices, ghz);
             for (scheme, planner) in paper_planners() {
-                let Ok(plan) = planner.plan(model, &c, &params) else {
+                let Ok(plan) = planner.plan_simple(model, &c, &params) else {
                     continue;
                 };
                 let metrics = params.cost_model(model).evaluate(&plan, &c);

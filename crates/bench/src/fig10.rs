@@ -35,10 +35,10 @@ pub fn run_for(model: &Model) -> Vec<LatencyRow> {
         let cluster = Cluster::pi_cluster(8, ghz);
         let pico = Pico::new(model.clone(), cluster.clone());
         let efl = EarlyFused::new()
-            .plan(model, &cluster, &params)
+            .plan_simple(model, &cluster, &params)
             .expect("EFL plans");
         let ofl = OptimalFused::new()
-            .plan(model, &cluster, &params)
+            .plan_simple(model, &cluster, &params)
             .expect("OFL plans");
         let pipeline = pico.plan().expect("PICO plans");
         let capacity = 1.0 / pico.predict(&efl).period;

@@ -45,7 +45,7 @@ pub fn run() -> Vec<SpeedupRow> {
 fn period_of(model: &Model, devices: usize, ghz: f64, params: &CostParams) -> f64 {
     let c = cluster(devices, ghz);
     let plan = PicoPlanner::new()
-        .plan(model, &c, params)
+        .plan_simple(model, &c, params)
         .expect("PICO plans");
     params.cost_model(model).evaluate(&plan, &c).period
 }

@@ -38,7 +38,7 @@ pub fn run() -> Vec<Fig13Row> {
     ] {
         let t0 = std::time::Instant::now();
         let plan = planner
-            .plan(&model, &cluster, &params)
+            .plan_simple(&model, &cluster, &params)
             .expect("toy model plans");
         let plan_time = t0.elapsed();
         let metrics = cm.evaluate(&plan, &cluster);

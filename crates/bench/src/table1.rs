@@ -33,7 +33,7 @@ pub fn run_for(model: &Model) -> Vec<Table1Row> {
     paper_planners()
         .into_iter()
         .filter_map(|(scheme, planner)| {
-            let plan = planner.plan(model, &cluster, &params).ok()?;
+            let plan = planner.plan_simple(model, &cluster, &params).ok()?;
             let report = sim.run(&plan, &Arrivals::closed_loop(100));
             Some(Table1Row {
                 model: model.name().to_owned(),

@@ -60,7 +60,7 @@ pub fn run_with_budget(budget: Duration) -> Vec<Table2Row> {
 
             let t0 = Instant::now();
             let _ = PicoPlanner::new()
-                .plan(&model, &cluster, &params)
+                .plan_simple(&model, &cluster, &params)
                 .expect("PICO plans");
             let pico = t0.elapsed();
 

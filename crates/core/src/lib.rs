@@ -29,10 +29,11 @@
 use pico_model::Model;
 use pico_partition::{
     BfsOptimal, Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Plan,
-    PlanError, PlanMetrics, Planner, Scheme,
+    PlanError, PlanMetrics, PlanRequest, Planner, Scheme,
 };
 use pico_runtime::{PipelineRuntime, RunReport, RuntimeError, Throttle};
 use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simulation};
+use pico_telemetry::Recorder;
 use pico_tensor::{Engine, Tensor};
 
 /// One-stop entry point: a model deployed on a cluster under given
@@ -42,6 +43,7 @@ pub struct Pico {
     model: Model,
     cluster: Cluster,
     params: CostParams,
+    recorder: Recorder,
 }
 
 impl Pico {
@@ -52,6 +54,7 @@ impl Pico {
             model,
             cluster,
             params: CostParams::wifi_50mbps(),
+            recorder: Recorder::noop(),
         }
     }
 
@@ -59,6 +62,19 @@ impl Pico {
     pub fn with_params(mut self, params: CostParams) -> Self {
         self.params = params;
         self
+    }
+
+    /// Attaches a telemetry recorder: every plan, simulation, and
+    /// execution made through this deployment emits structured events
+    /// into it. The default is [`Recorder::noop`], which costs nothing.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The deployed model.
@@ -92,7 +108,9 @@ impl Pico {
     ///
     /// Propagates the planner's error.
     pub fn plan_with<P: Planner>(&self, planner: &P) -> Result<Plan, PlanError> {
-        planner.plan(&self.model, &self.cluster, &self.params)
+        let req = PlanRequest::new(&self.model, &self.cluster, &self.params)
+            .with_recorder(self.recorder.clone());
+        planner.plan(&req)
     }
 
     /// Plans with every strategy the paper compares (LW, EFL, OFL,
@@ -121,7 +139,9 @@ impl Pico {
 
     /// Simulates a plan over an arrival stream.
     pub fn simulate(&self, plan: &Plan, arrivals: &Arrivals) -> SimReport {
-        Simulation::new(&self.model, &self.cluster, &self.params).run(plan, arrivals)
+        Simulation::new(&self.model, &self.cluster, &self.params)
+            .with_recorder(self.recorder.clone())
+            .run(plan, arrivals)
     }
 
     /// Runs APICO: the adaptive scheduler picking between the PICO
@@ -139,7 +159,8 @@ impl Pico {
     ) -> Result<(SimReport, Vec<SchedulerDecision>), PlanError> {
         let pico = self.plan()?;
         let ofl = self.plan_with(&OptimalFused::new())?;
-        let sim = Simulation::new(&self.model, &self.cluster, &self.params);
+        let sim = Simulation::new(&self.model, &self.cluster, &self.params)
+            .with_recorder(self.recorder.clone());
         let mut sched = AdaptiveScheduler::new(&sim, vec![pico, ofl], window, beta);
         Ok(sched.run(&sim, arrivals))
     }
@@ -159,7 +180,10 @@ impl Pico {
         seed: u64,
     ) -> Result<RunReport, RuntimeError> {
         let engine = Engine::with_seed(&self.model, seed);
-        PipelineRuntime::new(&self.model, plan, &engine).run(inputs)
+        PipelineRuntime::builder(&self.model, plan, &engine)
+            .recorder(self.recorder.clone())
+            .build()
+            .run(inputs)
     }
 
     /// Executes a plan with cost-model-proportional throttling, making
@@ -177,8 +201,10 @@ impl Pico {
     ) -> Result<RunReport, RuntimeError> {
         let engine = Engine::with_seed(&self.model, seed);
         let throttle = Throttle::new(self.cluster.clone(), self.params, scale);
-        PipelineRuntime::new(&self.model, plan, &engine)
-            .with_throttle(throttle)
+        PipelineRuntime::builder(&self.model, plan, &engine)
+            .recorder(self.recorder.clone())
+            .throttle(throttle)
+            .build()
             .run(inputs)
     }
 
@@ -197,7 +223,10 @@ impl Pico {
         seed: u64,
     ) -> Result<RunReport, RuntimeError> {
         let engine = Engine::with_seed(&self.model, seed);
-        let report = PipelineRuntime::new(&self.model, plan, &engine).run(inputs.clone())?;
+        let report = PipelineRuntime::builder(&self.model, plan, &engine)
+            .recorder(self.recorder.clone())
+            .build()
+            .run(inputs.clone())?;
         for (i, input) in inputs.iter().enumerate() {
             let reference = engine.infer(input)?;
             if report.outputs[i] != reference {
@@ -279,19 +308,20 @@ impl Pico {
                 });
             };
             let plan = PicoPlanner
-                .plan(&self.model, &cluster, &self.params)
+                .plan_simple(&self.model, &cluster, &self.params)
                 .map_err(|e| RuntimeError::DeviceFailed {
                     device: *excluded.last().unwrap_or(&0),
                     task: 0,
                     cause: format!("re-planning failed: {e}"),
                 })?;
-            let mut runtime = PipelineRuntime::new(&self.model, &plan, &engine);
+            let mut builder = PipelineRuntime::builder(&self.model, &plan, &engine)
+                .recorder(self.recorder.clone());
             for f in inject_failures {
                 if !excluded.contains(f) {
-                    runtime = runtime.with_failed_device(*f);
+                    builder = builder.failed_device(*f);
                 }
             }
-            match runtime.run(inputs.clone()) {
+            match builder.build().run(inputs.clone()) {
                 Ok(report) => return Ok((report, plan, excluded)),
                 Err(RuntimeError::DeviceFailed { device, .. }) => {
                     excluded.push(device);
@@ -422,6 +452,22 @@ mod tests {
         let inputs = vec![Tensor::random(pico.model().input_shape(), 2)];
         let (_, plan, _) = pico.execute_with_recovery(inputs, 5, &[2], &[]).unwrap();
         assert!(!plan.used_devices().contains(&2));
+    }
+
+    #[test]
+    fn recorder_observes_plan_and_execution() {
+        let rec = Recorder::in_memory();
+        let pico =
+            Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(3, 1.0)).with_recorder(rec.clone());
+        let plan = pico.plan().unwrap();
+        let inputs = vec![Tensor::random(pico.model().input_shape(), 8)];
+        pico.execute(&plan, inputs, 8).unwrap();
+        let events = rec.snapshot();
+        use pico_telemetry::names;
+        assert!(events.iter().any(|e| e.name == names::PLAN));
+        assert!(events.iter().any(|e| e.name == names::STAGE_BUSY));
+        assert!(events.iter().any(|e| e.name == names::COMPUTE));
+        assert!(events.iter().any(|e| e.name == names::TASKS_COMPLETED));
     }
 
     #[test]

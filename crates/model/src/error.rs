@@ -1,5 +1,9 @@
 /// Errors raised while constructing or analysing a model.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ModelError {
     /// A layer or block received an incompatible input shape.
     ShapeMismatch {

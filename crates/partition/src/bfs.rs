@@ -2,10 +2,11 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use pico_model::{Model, Rows, Segment};
+use pico_telemetry::names;
 
 use crate::{
-    balance_rows, Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner, Scheme,
-    Stage,
+    balance_rows, Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, PlanRequest,
+    Planner, Scheme, Stage,
 };
 
 /// Exhaustive search for the optimal pipeline — the paper's BFS baseline
@@ -119,13 +120,13 @@ impl Planner for BfsOptimal {
         "BFS"
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        params: &CostParams,
-    ) -> Result<Plan, PlanError> {
-        self.search(model, cluster, params).map(|o| o.plan)
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
+        let params = req.params();
+        self.search(model, cluster, params)
+            .and_then(|o| req.admit(o.plan))
     }
 }
 
@@ -326,7 +327,7 @@ mod tests {
             let c = Cluster::new(c.devices()[..devices].to_vec());
             let cm = params.cost_model(&m);
             let bfs = BfsOptimal::new().search(&m, &c, &params).unwrap();
-            let pico = PicoPlanner.plan(&m, &c, &params).unwrap();
+            let pico = PicoPlanner.plan_simple(&m, &c, &params).unwrap();
             let pico_period = cm.evaluate(&pico, &c).period;
             assert!(
                 bfs.period <= pico_period * 1.0001,

@@ -80,6 +80,9 @@ pub enum Code {
     /// PA105: a grid tile's aspect ratio is pathologically far from
     /// square, inflating its halo.
     GridAspect,
+    /// PA106: the bottleneck stage measured from a telemetry trace is
+    /// not the stage the cost model claims sets the period.
+    BottleneckMismatch,
     /// PA201: a cluster device does no work anywhere in the plan.
     IdleDevice,
     /// PA202: a stage carries an empty (zero-area) assignment.
@@ -88,7 +91,7 @@ pub enum Code {
 
 impl Code {
     /// Every registered code, in registry order.
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 17] = [
         Code::EmptyPlan,
         Code::NonContiguousStages,
         Code::IncompleteCoverage,
@@ -103,6 +106,7 @@ impl Code {
         Code::ExcessRedundancy,
         Code::CostMismatch,
         Code::GridAspect,
+        Code::BottleneckMismatch,
         Code::IdleDevice,
         Code::EmptyAssignment,
     ];
@@ -124,6 +128,7 @@ impl Code {
             Code::ExcessRedundancy => "PA103",
             Code::CostMismatch => "PA104",
             Code::GridAspect => "PA105",
+            Code::BottleneckMismatch => "PA106",
             Code::IdleDevice => "PA201",
             Code::EmptyAssignment => "PA202",
         }
@@ -145,7 +150,8 @@ impl Code {
             | Code::DegenerateShare
             | Code::ExcessRedundancy
             | Code::CostMismatch
-            | Code::GridAspect => Severity::Warning,
+            | Code::GridAspect
+            | Code::BottleneckMismatch => Severity::Warning,
             Code::IdleDevice | Code::EmptyAssignment => Severity::Info,
         }
     }
@@ -167,6 +173,7 @@ impl Code {
             Code::ExcessRedundancy => "plan-wide redundancy ratio above threshold",
             Code::CostMismatch => "claimed period/latency disagree with the cost model",
             Code::GridAspect => "grid tile far from square, inflating its halo",
+            Code::BottleneckMismatch => "measured bottleneck stage differs from the plan's claim",
             Code::IdleDevice => "cluster device does no work in the plan",
             Code::EmptyAssignment => "stage carries an empty assignment",
         }
@@ -189,6 +196,7 @@ impl Code {
             Code::ExcessRedundancy => "use fewer workers per stage, split depth-wise, or grid",
             Code::CostMismatch => "recompute metrics with the current cost parameters",
             Code::GridAspect => "pick a squarer grid factorization",
+            Code::BottleneckMismatch => "re-profile the cluster or re-plan with measured costs",
             Code::IdleDevice => "spread work onto the device or remove it from the cluster",
             Code::EmptyAssignment => "drop zero-area assignments when emitting the plan",
         }

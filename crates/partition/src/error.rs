@@ -1,5 +1,10 @@
 /// Errors raised while constructing or validating plans.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, which
+/// is what lets new failure modes (like the memory budget) land
+/// without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PlanError {
     /// The plan has no stages.
     EmptyPlan,
@@ -55,6 +60,14 @@ pub enum PlanError {
         /// Human-readable description.
         detail: String,
     },
+    /// The plan needs more resident bytes on some device than the
+    /// request's memory budget allows.
+    MemoryBudgetExceeded {
+        /// The per-device budget in bytes.
+        budget: usize,
+        /// Bytes the worst-loaded device would need.
+        required: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -94,6 +107,10 @@ impl std::fmt::Display for PlanError {
             PlanError::UnsupportedModel { detail } => {
                 write!(f, "model not supported by this planner: {detail}")
             }
+            PlanError::MemoryBudgetExceeded { budget, required } => write!(
+                f,
+                "plan needs {required} resident bytes on its worst device, budget is {budget}"
+            ),
         }
     }
 }

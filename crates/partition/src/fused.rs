@@ -1,7 +1,8 @@
 use pico_model::{rows_split_weighted, Model, Rows, Segment};
+use pico_telemetry::names;
 
 use crate::{
-    Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner, Scheme, Stage,
+    Assignment, Cluster, ExecutionMode, Plan, PlanError, PlanRequest, Planner, Scheme, Stage,
 };
 
 /// Builds the capacity-weighted all-device stage for `seg`.
@@ -89,19 +90,17 @@ impl Planner for EarlyFused {
         "EFL"
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        _params: &CostParams,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
         let k = self.prefix(model);
         let fastest = cluster.ids_by_capacity_desc()[0];
         let mut stages = vec![weighted_stage(model, cluster, Segment::new(0, k))];
         if k < model.len() {
             stages.push(solo_stage(model, Segment::new(k, model.len()), fastest));
         }
-        Ok(Plan::new(
+        req.admit(Plan::new(
             Scheme::EarlyFused,
             ExecutionMode::Sequential,
             stages,
@@ -136,12 +135,11 @@ impl Planner for OptimalFused {
         "OFL"
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        params: &CostParams,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
+        let params = req.params();
         let cm = params.cost_model(model);
         let l = model.len();
         let fastest = cluster.ids_by_capacity_desc()[0];
@@ -212,14 +210,14 @@ impl Planner for OptimalFused {
                 });
             }
         }
-        Ok(plan)
+        req.admit(plan)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LayerWise;
+    use crate::{CostParams, LayerWise};
     use pico_model::zoo;
 
     #[test]
@@ -227,7 +225,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = EarlyFused::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         assert_eq!(plan.stage_count(), 2);
         assert!(plan.stages[0].worker_count() == 8);
@@ -241,7 +239,7 @@ mod tests {
         let m = zoo::toy(8);
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = EarlyFused::with_fused_units(3)
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         assert_eq!(plan.stages[0].segment, Segment::new(0, 3));
         plan.validate(&m, &c).unwrap();
@@ -252,7 +250,7 @@ mod tests {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
         let plan = EarlyFused::with_fused_units(99)
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         assert_eq!(plan.stage_count(), 1);
         plan.validate(&m, &c).unwrap();
@@ -266,9 +264,9 @@ mod tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&m);
-        let ofl = cm.evaluate(&OptimalFused.plan(&m, &c, &params).unwrap(), &c);
-        let efl = cm.evaluate(&EarlyFused::new().plan(&m, &c, &params).unwrap(), &c);
-        let lw = cm.evaluate(&LayerWise.plan(&m, &c, &params).unwrap(), &c);
+        let ofl = cm.evaluate(&OptimalFused.plan_simple(&m, &c, &params).unwrap(), &c);
+        let efl = cm.evaluate(&EarlyFused::new().plan_simple(&m, &c, &params).unwrap(), &c);
+        let lw = cm.evaluate(&LayerWise.plan_simple(&m, &c, &params).unwrap(), &c);
         assert!(
             ofl.latency <= efl.latency * 1.0001,
             "{} vs {}",
@@ -282,7 +280,9 @@ mod tests {
     fn ofl_single_device_is_one_solo_stage() {
         let m = zoo::toy(6);
         let c = Cluster::pi_cluster(1, 1.0);
-        let plan = OptimalFused.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = OptimalFused
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         plan.validate(&m, &c).unwrap();
         // A single device minimizes transfers by fusing everything into
         // one segment (one input in, one output out).
@@ -295,7 +295,7 @@ mod tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps().with_t_lim(1e-9);
         assert!(matches!(
-            OptimalFused.plan(&m, &c, &params),
+            OptimalFused.plan_simple(&m, &c, &params),
             Err(PlanError::LatencyInfeasible { .. })
         ));
     }
@@ -304,7 +304,9 @@ mod tests {
     fn ofl_handles_fc_tails() {
         let m = zoo::vgg16(); // includes FC layers
         let c = Cluster::pi_cluster(4, 1.0);
-        let plan = OptimalFused.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = OptimalFused
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         plan.validate(&m, &c).unwrap();
     }
 
@@ -314,9 +316,11 @@ mod tests {
         let c = Cluster::pi_cluster(2, 1.0);
         for plan in [
             EarlyFused::new()
-                .plan(&m, &c, &CostParams::default())
+                .plan_simple(&m, &c, &CostParams::default())
                 .unwrap(),
-            OptimalFused.plan(&m, &c, &CostParams::default()).unwrap(),
+            OptimalFused
+                .plan_simple(&m, &c, &CostParams::default())
+                .unwrap(),
         ] {
             assert_eq!(plan.mode, ExecutionMode::Sequential);
         }

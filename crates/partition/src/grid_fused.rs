@@ -1,8 +1,9 @@
 use pico_model::{grid_split_even, Model, Rows, Segment};
+use pico_telemetry::names;
 
 use crate::{
-    grid::best_grid, Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner,
-    Scheme, Stage,
+    grid::best_grid, Assignment, ExecutionMode, Plan, PlanError, PlanRequest, Planner, Scheme,
+    Stage,
 };
 
 /// DeepThings' actual scheme, as an extension beyond the paper's
@@ -79,12 +80,10 @@ impl Planner for GridFused {
         "GRID"
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        _params: &CostParams,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
         let k = self.prefix(model);
         let out = model.unit_output_shape(k - 1);
         let (gr, gc) = match self.grid {
@@ -126,7 +125,7 @@ impl Planner for GridFused {
                 vec![Assignment::new(ids[0], Rows::full(tail_h))],
             ));
         }
-        Ok(Plan::new(
+        req.admit(Plan::new(
             Scheme::GridFused,
             ExecutionMode::Sequential,
             stages,
@@ -137,7 +136,7 @@ impl Planner for GridFused {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::EarlyFused;
+    use crate::{Cluster, CostParams, EarlyFused};
     use pico_model::zoo;
 
     #[test]
@@ -145,7 +144,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = GridFused::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
         assert!(diags.is_empty(), "{diags:?}");
@@ -159,7 +158,7 @@ mod tests {
         let c = Cluster::pi_cluster(2, 1.0);
         let err = GridFused::new()
             .with_grid(2, 2)
-            .plan(&m, &c, &CostParams::default());
+            .plan_simple(&m, &c, &CostParams::default());
         assert!(matches!(err, Err(PlanError::UnsupportedModel { .. })));
     }
 
@@ -170,7 +169,7 @@ mod tests {
         let plan = GridFused::new()
             .with_grid(2, 3)
             .with_fused_units(6)
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         plan.validate(&m, &c).unwrap();
         assert_eq!(plan.stages[0].worker_count(), 6);
@@ -185,11 +184,11 @@ mod tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&m);
-        let efl = EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let efl = EarlyFused::new().plan_simple(&m, &c, &params).unwrap();
         let k = efl.stages[0].segment.end;
         let grid = GridFused::new()
             .with_fused_units(k)
-            .plan(&m, &c, &params)
+            .plan_simple(&m, &c, &params)
             .unwrap();
         let efl_comp = cm.stage_cost(&efl.stages[0], &c).comp;
         let grid_comp = cm.stage_cost(&grid.stages[0], &c).comp;
@@ -206,7 +205,7 @@ mod tests {
         let plan = GridFused::new()
             .with_grid(4, 1)
             .with_fused_units(4)
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         assert!(!plan.stages[0].is_grid());
         plan.validate(&m, &c).unwrap();
@@ -217,7 +216,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::paper_heterogeneous();
         let plan = GridFused::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         plan.validate(&m, &c).unwrap();
         let first = plan.stages[0].assignments[0].device;
@@ -228,7 +227,7 @@ mod tests {
 #[cfg(test)]
 mod block_grid_tests {
     use super::*;
-    use crate::Planner;
+    use crate::{Cluster, CostParams, Planner};
     use pico_model::zoo;
 
     #[test]
@@ -238,7 +237,7 @@ mod block_grid_tests {
         let m = zoo::resnet34().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = GridFused::new().plan(&m, &c, &params).unwrap();
+        let plan = GridFused::new().plan_simple(&m, &c, &params).unwrap();
         plan.validate(&m, &c).unwrap();
         let metrics = params.cost_model(&m).evaluate(&plan, &c);
         assert!(metrics.period.is_finite() && metrics.period > 0.0);
@@ -252,11 +251,13 @@ mod block_grid_tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let efl = crate::EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let efl = crate::EarlyFused::new()
+            .plan_simple(&m, &c, &params)
+            .unwrap();
         let k = efl.stages[0].segment.end;
         let grid = GridFused::new()
             .with_fused_units(k)
-            .plan(&m, &c, &params)
+            .plan_simple(&m, &c, &params)
             .unwrap();
         let fused_max = |p: &crate::Plan| {
             let stage = &p.stages[0];
@@ -283,11 +284,13 @@ mod block_grid_tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let efl = crate::EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let efl = crate::EarlyFused::new()
+            .plan_simple(&m, &c, &params)
+            .unwrap();
         let k = efl.stages[0].segment.end;
         let grid = GridFused::new()
             .with_fused_units(k)
-            .plan(&m, &c, &params)
+            .plan_simple(&m, &c, &params)
             .unwrap();
         let ratio = |p: &crate::Plan| {
             let work = crate::redundancy::stage_work(&m, &p.stages[0]);

@@ -1,8 +1,7 @@
-use pico_model::{rows_split_weighted, Model, Rows, Segment};
+use pico_model::{rows_split_weighted, Rows, Segment};
+use pico_telemetry::names;
 
-use crate::{
-    Assignment, Cluster, CostParams, ExecutionMode, Plan, PlanError, Planner, Scheme, Stage,
-};
+use crate::{Assignment, ExecutionMode, Plan, PlanError, PlanRequest, Planner, Scheme, Stage};
 
 /// The layer-wise (LW) baseline, after MoDNN: every layer is scattered
 /// across the whole cluster and gathered back before the next layer.
@@ -27,12 +26,10 @@ impl Planner for LayerWise {
         "LW"
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        _params: &CostParams,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
         let weights: Vec<f64> = cluster.devices().iter().map(|d| d.capacity).collect();
         let fastest = cluster.ids_by_capacity_desc()[0];
         let mut stages = Vec::with_capacity(model.len());
@@ -53,7 +50,7 @@ impl Planner for LayerWise {
             };
             stages.push(Stage::new(seg, assignments));
         }
-        Ok(Plan::new(
+        req.admit(Plan::new(
             Scheme::LayerWise,
             ExecutionMode::Sequential,
             stages,
@@ -64,13 +61,16 @@ impl Planner for LayerWise {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Cluster, CostParams};
     use pico_model::zoo;
 
     #[test]
     fn one_stage_per_unit() {
         let m = zoo::toy(6);
         let c = Cluster::pi_cluster(4, 1.0);
-        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = LayerWise
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         assert_eq!(plan.stage_count(), 6);
         let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
         assert!(diags.is_empty(), "{diags:?}");
@@ -80,7 +80,9 @@ mod tests {
     fn heterogeneous_shares_follow_capacity() {
         let m = zoo::toy(1);
         let c = Cluster::paper_heterogeneous();
-        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = LayerWise
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         let st = &plan.stages[0];
         // 1.2 GHz devices get ~2x the rows of 600 MHz devices.
         let fast = st.assignments[0].rows.len() as f64;
@@ -93,7 +95,9 @@ mod tests {
     fn fc_layers_run_on_fastest_device() {
         let m = zoo::vgg16();
         let c = Cluster::paper_heterogeneous();
-        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = LayerWise
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         let last = plan.stages.last().unwrap();
         assert_eq!(last.worker_count(), 1);
         assert_eq!(last.assignments[0].device, c.ids_by_capacity_desc()[0]);
@@ -104,7 +108,9 @@ mod tests {
     fn sequential_mode() {
         let m = zoo::toy(3);
         let c = Cluster::pi_cluster(2, 1.0);
-        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = LayerWise
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         assert_eq!(plan.mode, ExecutionMode::Sequential);
         assert_eq!(plan.scheme, Scheme::LayerWise);
     }
@@ -113,7 +119,9 @@ mod tests {
     fn works_on_graph_models() {
         let m = zoo::resnet34().features();
         let c = Cluster::pi_cluster(4, 1.0);
-        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = LayerWise
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         plan.validate(&m, &c).unwrap();
     }
 }

@@ -26,7 +26,7 @@
 //! let model = zoo::vgg16().features();
 //! let cluster = Cluster::pi_cluster(8, 1.0); // 8 Raspberry Pis @ 1 GHz
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::default().plan(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::default().plan_simple(&model, &cluster, &params)?;
 //! let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
 //! assert!(metrics.period <= metrics.latency);
 //! # Ok::<(), pico_partition::PlanError>(())
@@ -51,6 +51,7 @@ mod pico;
 mod plan;
 mod planner;
 pub mod redundancy;
+mod request;
 
 pub use bfs::BfsOptimal;
 pub use cost::{CostModel, CostParams, PlanMetrics, StageCost};
@@ -63,3 +64,4 @@ pub use layer_wise::LayerWise;
 pub use pico::{balance_rows, PicoPlanner};
 pub use plan::{Assignment, ExecutionMode, Plan, Scheme, Stage};
 pub use planner::Planner;
+pub use request::PlanRequest;

@@ -49,7 +49,7 @@ impl DeviceMemory {
 ///
 /// let model = zoo::vgg16().features();
 /// let cluster = Cluster::pi_cluster(8, 1.0);
-/// let plan = PicoPlanner::new().plan(&model, &cluster, &CostParams::default())?;
+/// let plan = PicoPlanner::new().plan_simple(&model, &cluster, &CostParams::default())?;
 /// let worst = plan_memory(&model, &plan)
 ///     .iter()
 ///     .map(|d| d.total_bytes())
@@ -153,7 +153,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         let mem = plan_memory(&m, &plan);
         let max_dev = mem.iter().map(|d| d.weights_bytes).max().unwrap();
@@ -166,7 +166,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         let base = single_device_memory(&m).peak_activation_bytes;
         for d in plan_memory(&m, &plan) {
@@ -185,7 +185,9 @@ mod tests {
         // the weights — the memory cost of that scheme.
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
-        let plan = LayerWise.plan(&m, &c, &CostParams::default()).unwrap();
+        let plan = LayerWise
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
         for d in plan_memory(&m, &plan) {
             assert_eq!(d.weights_bytes, m.parameters() * 4);
         }
@@ -196,7 +198,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = EarlyFused::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         let mem = plan_memory(&m, &plan);
         let tail_device = plan.stages[1].assignments[0].device;
@@ -211,7 +213,7 @@ mod tests {
         let m = zoo::toy(2);
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         let mem = plan_memory(&m, &plan);
         assert_eq!(mem.len(), plan.used_devices().len());
@@ -222,7 +224,7 @@ mod tests {
         let m = zoo::resnet34().features();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner::new()
-            .plan(&m, &c, &CostParams::default())
+            .plan_simple(&m, &c, &CostParams::default())
             .unwrap();
         for d in plan_memory(&m, &plan) {
             assert!(d.peak_activation_bytes > 0);

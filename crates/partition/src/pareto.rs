@@ -64,7 +64,7 @@ pub fn frontier(
     let planner = PicoPlanner::new();
 
     let unconstrained = planner
-        .plan(model, cluster, &base_params)
+        .plan_simple(model, cluster, &base_params)
         .expect("unconstrained planning always succeeds");
     let top = cm.evaluate(&unconstrained, cluster);
 
@@ -83,7 +83,7 @@ pub fn frontier(
             continue;
         }
         let constrained = base_params.with_t_lim(t_lim);
-        if let Ok(plan) = planner.plan(model, cluster, &constrained) {
+        if let Ok(plan) = planner.plan_simple(model, cluster, &constrained) {
             let m = cm.evaluate(&plan, cluster);
             points.push(FrontierPoint {
                 t_lim: Some(t_lim),

@@ -1,8 +1,10 @@
 use pico_model::{Model, Rows, Segment};
+use pico_telemetry::names;
 
 use crate::CostModel;
 use crate::{
-    Assignment, Cluster, CostParams, Device, ExecutionMode, Plan, PlanError, Planner, Scheme, Stage,
+    Assignment, Cluster, Device, ExecutionMode, Plan, PlanError, PlanRequest, Planner, Scheme,
+    Stage,
 };
 
 /// The paper's pipelined cooperation planner (Sec. IV):
@@ -30,7 +32,7 @@ use crate::{
 ///
 /// let model = zoo::mnist_toy();
 /// let cluster = Cluster::paper_heterogeneous_6();
-/// let plan = PicoPlanner::new().plan(&model, &cluster, &CostParams::wifi_50mbps())?;
+/// let plan = PicoPlanner::new().plan_simple(&model, &cluster, &CostParams::wifi_50mbps())?;
 /// plan.validate(&model, &cluster)?;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -334,12 +336,11 @@ impl Planner for PicoPlanner {
         "PICO"
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        params: &CostParams,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
+        let params = req.params();
         let cm = params.cost_model(model);
         let avg = cluster.averaged();
         let homo = homogeneous_dp(&cm, &avg, params.t_lim)?;
@@ -347,18 +348,18 @@ impl Planner for PicoPlanner {
         let stages = adjust_stages(model, cluster, &homo);
         let plan = Plan::new(Scheme::Pico, ExecutionMode::Pipelined, stages);
         debug_assert!(plan.validate(model, cluster).is_ok());
-        Ok(plan)
+        req.admit(plan)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EarlyFused, OptimalFused};
+    use crate::{CostParams, EarlyFused, OptimalFused};
     use pico_model::zoo;
 
     fn plan_for(model: &Model, cluster: &Cluster, params: &CostParams) -> Plan {
-        let plan = PicoPlanner.plan(model, cluster, params).unwrap();
+        let plan = PicoPlanner.plan_simple(model, cluster, params).unwrap();
         let diags = crate::diag::structural_diagnostics(&plan, model, cluster);
         assert!(diags.is_empty(), "{diags:?}");
         plan
@@ -381,8 +382,8 @@ mod tests {
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&m);
         let pico = cm.evaluate(&plan_for(&m, &c, &params), &c);
-        let efl = cm.evaluate(&EarlyFused::new().plan(&m, &c, &params).unwrap(), &c);
-        let ofl = cm.evaluate(&OptimalFused.plan(&m, &c, &params).unwrap(), &c);
+        let efl = cm.evaluate(&EarlyFused::new().plan_simple(&m, &c, &params).unwrap(), &c);
+        let ofl = cm.evaluate(&OptimalFused.plan_simple(&m, &c, &params).unwrap(), &c);
         assert!(
             pico.period < efl.period,
             "pico {} efl {}",
@@ -460,13 +461,13 @@ mod tests {
 
         // A generous limit must be met.
         let loose = unconstrained.with_t_lim(base.latency * 2.0);
-        let plan = PicoPlanner.plan(&m, &c, &loose).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &loose).unwrap();
         assert!(cm.evaluate(&plan, &c).latency <= base.latency * 2.0);
 
         // An impossible limit errors out.
         let tight = unconstrained.with_t_lim(1e-9);
         assert!(matches!(
-            PicoPlanner.plan(&m, &c, &tight),
+            PicoPlanner.plan_simple(&m, &c, &tight),
             Err(PlanError::LatencyInfeasible { .. })
         ));
     }

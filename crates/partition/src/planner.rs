@@ -1,29 +1,41 @@
 use pico_model::Model;
 
-use crate::{Cluster, CostParams, Plan, PlanError};
+use crate::{Cluster, CostParams, Plan, PlanError, PlanRequest};
 
-/// A parallelization strategy: turns (model, cluster, environment) into
-/// an executable [`Plan`].
+/// A parallelization strategy: turns a [`PlanRequest`] (model, cluster,
+/// environment, extras) into an executable [`Plan`].
 ///
 /// All implementations in this crate return plans that pass
-/// [`Plan::validate`] against the same model and cluster.
+/// [`Plan::validate`] against the request's model and cluster, open a
+/// `plan` telemetry span when the request carries a recorder, and
+/// enforce the request's memory budget via [`PlanRequest::admit`].
 pub trait Planner {
     /// Short display name of the strategy (`"LW"`, `"PICO"`, ...).
     fn name(&self) -> &'static str;
 
-    /// Computes a plan.
+    /// Computes a plan for `req`.
     ///
     /// # Errors
     ///
-    /// Returns [`PlanError::LatencyInfeasible`] when `params.t_lim` is
-    /// set and no plan meets it, or [`PlanError::UnsupportedModel`] when
-    /// the model cannot be expressed by this strategy.
-    fn plan(
+    /// Returns [`PlanError::LatencyInfeasible`] when the request's
+    /// `params.t_lim` is set and no plan meets it,
+    /// [`PlanError::UnsupportedModel`] when the model cannot be
+    /// expressed by this strategy, or
+    /// [`PlanError::MemoryBudgetExceeded`] when the request caps
+    /// per-device memory below what the plan needs.
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError>;
+
+    /// Convenience for the common case: plans from the three mandatory
+    /// inputs with no extras. Equivalent to
+    /// `self.plan(&PlanRequest::new(model, cluster, params))`.
+    fn plan_simple(
         &self,
         model: &Model,
         cluster: &Cluster,
         params: &CostParams,
-    ) -> Result<Plan, PlanError>;
+    ) -> Result<Plan, PlanError> {
+        self.plan(&PlanRequest::new(model, cluster, params))
+    }
 }
 
 impl<T: Planner + ?Sized> Planner for &T {
@@ -31,13 +43,8 @@ impl<T: Planner + ?Sized> Planner for &T {
         (**self).name()
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        params: &CostParams,
-    ) -> Result<Plan, PlanError> {
-        (**self).plan(model, cluster, params)
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        (**self).plan(req)
     }
 }
 
@@ -46,12 +53,7 @@ impl<T: Planner + ?Sized> Planner for Box<T> {
         (**self).name()
     }
 
-    fn plan(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        params: &CostParams,
-    ) -> Result<Plan, PlanError> {
-        (**self).plan(model, cluster, params)
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        (**self).plan(req)
     }
 }

@@ -301,8 +301,10 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let lw = crate::LayerWise.plan(&m, &c, &params).unwrap();
-        let efl = crate::EarlyFused::new().plan(&m, &c, &params).unwrap();
+        let lw = crate::LayerWise.plan_simple(&m, &c, &params).unwrap();
+        let efl = crate::EarlyFused::new()
+            .plan_simple(&m, &c, &params)
+            .unwrap();
         let lw_ratio = redundancy_ratio(&plan_work(&m, &lw));
         let efl_ratio = redundancy_ratio(&plan_work(&m, &efl));
         assert!(lw_ratio < efl_ratio, "lw {lw_ratio} efl {efl_ratio}");

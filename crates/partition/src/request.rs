@@ -1,0 +1,174 @@
+//! The planning request context.
+//!
+//! [`PlanRequest`] bundles everything a [`Planner`](crate::Planner)
+//! needs — model, cluster, cost parameters, and the optional extras
+//! (device memory budget, telemetry recorder) — behind one builder, so
+//! adding a field stops being a breaking change to every implementor
+//! and call site.
+
+use pico_model::Model;
+use pico_telemetry::Recorder;
+
+use crate::memory::plan_memory;
+use crate::{Cluster, CostParams, Plan, PlanError};
+
+/// Everything a planner is given. Construct with
+/// [`PlanRequest::new`] and chain `with_*` setters for the optional
+/// parts:
+///
+/// ```
+/// use pico_model::zoo;
+/// use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
+///
+/// let model = zoo::vgg16().features();
+/// let cluster = Cluster::pi_cluster(8, 1.0);
+/// let params = CostParams::wifi_50mbps();
+/// let req = PlanRequest::new(&model, &cluster, &params)
+///     .with_memory_budget(256 << 20); // each Pi has 256 MiB to spare
+/// let plan = PicoPlanner::default().plan(&req)?;
+/// # Ok::<(), pico_partition::PlanError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanRequest<'a> {
+    model: &'a Model,
+    cluster: &'a Cluster,
+    params: &'a CostParams,
+    memory_budget: Option<usize>,
+    recorder: Recorder,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// A request with the three mandatory inputs; extras default off.
+    pub fn new(model: &'a Model, cluster: &'a Cluster, params: &'a CostParams) -> Self {
+        PlanRequest {
+            model,
+            cluster,
+            params,
+            memory_budget: None,
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Caps the resident bytes (weights + peak activations) of every
+    /// device; planners reject plans that exceed it with
+    /// [`PlanError::MemoryBudgetExceeded`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Records planner telemetry (a `plan` span per attempt) through
+    /// `recorder`.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The model to partition.
+    pub fn model(&self) -> &'a Model {
+        self.model
+    }
+
+    /// The device cluster.
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// Cost-model parameters (bandwidth, latency limit, ...).
+    pub fn params(&self) -> &'a CostParams {
+        self.params
+    }
+
+    /// Per-device memory budget in bytes, if one was set.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// The telemetry recorder (disabled unless one was supplied).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Final admission check every planner runs on its candidate:
+    /// enforces the memory budget (when set) against the plan's
+    /// worst-loaded device.
+    pub fn admit(&self, plan: Plan) -> Result<Plan, PlanError> {
+        if let Some(budget) = self.memory_budget {
+            let worst = plan_memory(self.model, &plan)
+                .iter()
+                .map(|d| d.total_bytes())
+                .max()
+                .unwrap_or(0);
+            if worst > budget {
+                return Err(PlanError::MemoryBudgetExceeded {
+                    budget,
+                    required: worst,
+                });
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PicoPlanner, Planner};
+    use pico_model::zoo;
+    use pico_telemetry::{names, EventKind};
+
+    #[test]
+    fn builder_carries_the_extras() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let p = CostParams::default();
+        let req = PlanRequest::new(&m, &c, &p);
+        assert!(req.memory_budget().is_none());
+        assert!(!req.recorder().is_enabled());
+        let req = req
+            .with_memory_budget(1 << 30)
+            .with_recorder(Recorder::in_memory());
+        assert_eq!(req.memory_budget(), Some(1 << 30));
+        assert!(req.recorder().is_enabled());
+    }
+
+    #[test]
+    fn generous_budget_admits_tight_budget_rejects() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let p = CostParams::default();
+        let planner = PicoPlanner::new();
+
+        let req = PlanRequest::new(&m, &c, &p).with_memory_budget(1 << 34);
+        assert!(planner.plan(&req).is_ok());
+
+        let req = PlanRequest::new(&m, &c, &p).with_memory_budget(1024);
+        match planner.plan(&req) {
+            Err(PlanError::MemoryBudgetExceeded { budget, required }) => {
+                assert_eq!(budget, 1024);
+                assert!(required > budget);
+            }
+            other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planning_emits_one_plan_span() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let p = CostParams::default();
+        let rec = Recorder::in_memory();
+        let req = PlanRequest::new(&m, &c, &p).with_recorder(rec.clone());
+        PicoPlanner::new().plan(&req).unwrap();
+        let events = rec.snapshot();
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin && e.name == names::PLAN)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == names::PLAN)
+            .count();
+        assert_eq!((begins, ends), (1, 1));
+    }
+}

@@ -1,0 +1,144 @@
+use std::collections::HashSet;
+
+use pico_model::Model;
+use pico_partition::Plan;
+use pico_telemetry::Recorder;
+use pico_tensor::Engine;
+
+use crate::{PipelineRuntime, Throttle};
+
+/// Configures a [`PipelineRuntime`] with named setters instead of the
+/// old positional `with_*` chain.
+///
+/// ```
+/// use pico_partition::{CostParams, Cluster, PicoPlanner, Planner};
+/// use pico_runtime::PipelineRuntime;
+/// use pico_telemetry::Recorder;
+/// use pico_tensor::Engine;
+///
+/// let model = pico_model::zoo::mnist_toy();
+/// let cluster = Cluster::pi_cluster(4, 1.0);
+/// let plan = PicoPlanner
+///     .plan_simple(&model, &cluster, &CostParams::wifi_50mbps())
+///     .unwrap();
+/// let engine = Engine::with_seed(&model, 7);
+/// let runtime = PipelineRuntime::builder(&model, &plan, &engine)
+///     .recorder(Recorder::in_memory())
+///     .channel_capacity(4)
+///     .build();
+/// # let _ = runtime;
+/// ```
+#[derive(Debug)]
+pub struct RuntimeBuilder<'a> {
+    model: &'a Model,
+    plan: &'a Plan,
+    engine: &'a Engine<'a>,
+    throttle: Option<Throttle>,
+    failed: HashSet<usize>,
+    recorder: Recorder,
+    channel_capacity: Option<usize>,
+}
+
+impl<'a> RuntimeBuilder<'a> {
+    pub(crate) fn new(model: &'a Model, plan: &'a Plan, engine: &'a Engine<'a>) -> Self {
+        RuntimeBuilder {
+            model,
+            plan,
+            engine,
+            throttle: None,
+            failed: HashSet::new(),
+            recorder: Recorder::noop(),
+            channel_capacity: None,
+        }
+    }
+
+    /// Telemetry sink for the run. Defaults to [`Recorder::noop`],
+    /// which keeps the hot loop free of clock reads, locks, and
+    /// allocations.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Sleeps each worker to its cost-model duration, so wall-clock
+    /// behaviour follows the analytic model (Sec. III).
+    pub fn throttle(mut self, throttle: Throttle) -> Self {
+        self.throttle = Some(throttle);
+        self
+    }
+
+    /// Bounds every inter-stage queue to `capacity` in-flight tasks
+    /// (backpressure). The default is unbounded, matching the paper's
+    /// infinite-queue assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-capacity rendezvous queue
+    /// would deadlock the scatter-then-gather coordinators.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be at least 1");
+        self.channel_capacity = Some(capacity);
+        self
+    }
+
+    /// Marks a device as failed (its worker errors instead of
+    /// computing) — failure injection for tests and chaos experiments.
+    /// May be called repeatedly to fail several devices.
+    pub fn failed_device(mut self, device: usize) -> Self {
+        self.failed.insert(device);
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's stages do not tile the model contiguously
+    /// (run [`Plan::validate`] first when the plan comes from outside
+    /// this workspace).
+    pub fn build(self) -> PipelineRuntime<'a> {
+        PipelineRuntime::validate_plan_shape(self.model, self.plan);
+        PipelineRuntime {
+            model: self.model,
+            plan: self.plan,
+            engine: self.engine,
+            throttle: self.throttle,
+            failed: self.failed,
+            recorder: self.recorder,
+            channel_capacity: self.channel_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+
+    #[test]
+    fn builder_defaults_are_noop() {
+        let m = pico_model::zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = PicoPlanner
+            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .unwrap();
+        let engine = Engine::with_seed(&m, 1);
+        let rt = PipelineRuntime::builder(&m, &plan, &engine).build();
+        assert!(!rt.recorder.is_enabled());
+        assert!(rt.throttle.is_none());
+        assert!(rt.failed.is_empty());
+        assert!(rt.channel_capacity.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let m = pico_model::zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = PicoPlanner
+            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .unwrap();
+        let engine = Engine::with_seed(&m, 1);
+        let _ = PipelineRuntime::builder(&m, &plan, &engine).channel_capacity(0);
+    }
+}

@@ -1,7 +1,11 @@
 use pico_tensor::TensorError;
 
 /// Errors surfaced by the pipeline runtime.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// A device worker failed while computing a task.
     DeviceFailed {

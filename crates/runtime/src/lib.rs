@@ -20,6 +20,12 @@
 //! * **Failure injection** — devices can be marked failed; the error
 //!   surfaces from [`PipelineRuntime::run`] instead of hanging the
 //!   pipeline.
+//! * **Observability** — attach a [`pico_telemetry::Recorder`] via
+//!   [`PipelineRuntime::builder`] and every scatter/compute/stitch step
+//!   emits spans; [`RunReport::stage_stats`] is a derived view over
+//!   those same timestamps, so trace and report can never disagree.
+//!   With the default no-op recorder the serving path performs no
+//!   telemetry clock reads, locks, or allocations.
 //!
 //! # Example
 //!
@@ -32,7 +38,7 @@
 //! let model = zoo::mnist_toy();
 //! let cluster = Cluster::pi_cluster(4, 1.0);
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::default().plan(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::default().plan_simple(&model, &cluster, &params)?;
 //!
 //! let engine = Engine::with_seed(&model, 1);
 //! let runtime = PipelineRuntime::new(&model, &plan, &engine);
@@ -45,10 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod error;
 mod runtime;
 mod throttle;
 
+pub use builder::RuntimeBuilder;
 pub use error::RuntimeError;
 pub use runtime::{PipelineRuntime, RunReport, StageStat, TaskTiming};
 pub use throttle::Throttle;

@@ -1,17 +1,15 @@
 use std::collections::HashSet;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 #[cfg(test)]
 use pico_model::Rows;
 use pico_model::{Model, Region2, Segment};
 use pico_partition::Plan;
+use pico_telemetry::{names, Ctx, Recorder};
 use pico_tensor::{Engine, Tensor};
 
-use crate::{RuntimeError, Throttle};
+use crate::{RuntimeBuilder, RuntimeError, Throttle};
 
 /// Completion record for one task.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +41,13 @@ pub struct RunReport {
     /// Per-task completion times.
     pub timings: Vec<TaskTiming>,
     /// Per-stage busy accounting (ascending stage index).
+    ///
+    /// This is a *derived view* over the run's telemetry: each entry
+    /// sums exactly the `(begin, end)` timestamp pairs that the stage's
+    /// coordinator records as `stage_busy` spans, in the same order —
+    /// so a trace recorded alongside the run reconciles with these
+    /// numbers to the last bit (a property test in the workspace root
+    /// asserts `==`, not approximate equality).
     pub stage_stats: Vec<StageStat>,
     /// Total wall-clock time.
     pub elapsed: Duration,
@@ -54,12 +59,29 @@ impl RunReport {
     pub fn bottleneck_stage(&self) -> Option<usize> {
         self.stage_stats
             .iter()
-            .max_by(|a, b| {
-                a.busy_secs
-                    .partial_cmp(&b.busy_secs)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| a.busy_secs.total_cmp(&b.busy_secs))
             .map(|s| s.stage)
+    }
+
+    /// Completed tasks per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.timings.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean busy seconds per task of the bottleneck stage — the
+    /// measured pipeline period (Sec. III: period = max stage time).
+    /// `None` when no stage processed a task.
+    pub fn measured_period(&self) -> Option<f64> {
+        self.stage_stats
+            .iter()
+            .filter(|s| s.tasks > 0)
+            .map(|s| s.busy_secs / s.tasks as f64)
+            .max_by(f64::total_cmp)
     }
 }
 
@@ -76,24 +98,39 @@ struct WorkerSpec {
     out_region: Region2,
     /// Input region (of the stage's input map) this worker needs.
     in_region: Region2,
-    /// FLOPs per task (for throttling).
+    /// FLOPs per task (for throttling and telemetry).
     flops: f64,
-    /// Bytes moved per task (for throttling).
+    /// Bytes moved per task (for throttling and telemetry).
     comm_bytes: usize,
+}
+
+/// Per-stage communication volumes, precomputed for telemetry.
+#[derive(Debug, Clone, Copy)]
+struct StageComm {
+    /// Bytes scattered to workers per task (sum of input tiles).
+    scatter_bytes: u64,
+    /// Of those, bytes beyond the exact input map — halo redundancy.
+    halo_bytes: u64,
+    /// Bytes of the stitched output map per task.
+    output_bytes: u64,
 }
 
 /// The Fig. 6 stage workflow as real threads (see the crate docs).
 #[derive(Debug)]
 pub struct PipelineRuntime<'a> {
-    model: &'a Model,
-    plan: &'a Plan,
-    engine: &'a Engine<'a>,
-    throttle: Option<Throttle>,
-    failed: HashSet<usize>,
+    pub(crate) model: &'a Model,
+    pub(crate) plan: &'a Plan,
+    pub(crate) engine: &'a Engine<'a>,
+    pub(crate) throttle: Option<Throttle>,
+    pub(crate) failed: HashSet<usize>,
+    pub(crate) recorder: Recorder,
+    pub(crate) channel_capacity: Option<usize>,
 }
 
 impl<'a> PipelineRuntime<'a> {
-    /// Creates a runtime for a plan.
+    /// Creates a runtime for a plan with default extras (no throttle,
+    /// no telemetry, unbounded queues). Use
+    /// [`builder`](PipelineRuntime::builder) to configure those.
     ///
     /// # Panics
     ///
@@ -101,6 +138,17 @@ impl<'a> PipelineRuntime<'a> {
     /// (run [`Plan::validate`] first when the plan comes from outside
     /// this workspace).
     pub fn new(model: &'a Model, plan: &'a Plan, engine: &'a Engine<'a>) -> Self {
+        Self::builder(model, plan, engine).build()
+    }
+
+    /// Starts a [`RuntimeBuilder`]: named setters for the optional
+    /// extras (telemetry recorder, throttle, queue capacity, failure
+    /// injection) instead of positional arguments.
+    pub fn builder(model: &'a Model, plan: &'a Plan, engine: &'a Engine<'a>) -> RuntimeBuilder<'a> {
+        RuntimeBuilder::new(model, plan, engine)
+    }
+
+    pub(crate) fn validate_plan_shape(model: &Model, plan: &Plan) {
         let mut cursor = 0;
         for stage in &plan.stages {
             assert_eq!(
@@ -110,16 +158,10 @@ impl<'a> PipelineRuntime<'a> {
             cursor = stage.segment.end;
         }
         assert_eq!(cursor, model.len(), "plan must cover the whole model");
-        PipelineRuntime {
-            model,
-            plan,
-            engine,
-            throttle: None,
-            failed: HashSet::new(),
-        }
     }
 
     /// Adds cost-model-proportional compute/transfer throttling.
+    #[deprecated(note = "use PipelineRuntime::builder(..).throttle(..)")]
     pub fn with_throttle(mut self, throttle: Throttle) -> Self {
         self.throttle = Some(throttle);
         self
@@ -127,6 +169,7 @@ impl<'a> PipelineRuntime<'a> {
 
     /// Marks a device as failed: its worker errors instead of computing
     /// (failure-injection for tests and chaos experiments).
+    #[deprecated(note = "use PipelineRuntime::builder(..).failed_device(..)")]
     pub fn with_failed_device(mut self, device: usize) -> Self {
         self.failed.insert(device);
         self
@@ -163,6 +206,30 @@ impl<'a> PipelineRuntime<'a> {
             .collect()
     }
 
+    /// Per-stage communication volumes for telemetry.
+    fn stage_comm(&self, specs: &[Vec<WorkerSpec>]) -> Vec<StageComm> {
+        self.plan
+            .stages
+            .iter()
+            .zip(specs)
+            .map(|(stage, workers)| {
+                let in_shape = self.model.unit_input_shape(stage.segment.start);
+                let out_shape = self.model.unit_output_shape(stage.segment.end - 1);
+                let scatter: usize = workers
+                    .iter()
+                    .map(|w| w.in_region.bytes(in_shape.channels))
+                    .sum();
+                let exact = Region2::full(in_shape.height, in_shape.width).bytes(in_shape.channels);
+                StageComm {
+                    scatter_bytes: scatter as u64,
+                    halo_bytes: scatter.saturating_sub(exact) as u64,
+                    output_bytes: Region2::full(out_shape.height, out_shape.width)
+                        .bytes(out_shape.channels) as u64,
+                }
+            })
+            .collect()
+    }
+
     /// Pushes `inputs` through the pipeline and waits for all outputs.
     ///
     /// # Errors
@@ -181,30 +248,35 @@ impl<'a> PipelineRuntime<'a> {
             }
         }
         let specs = self.worker_specs();
+        let comm = self.stage_comm(&specs);
         let stage_count = self.plan.stages.len();
+        let rec = &self.recorder;
+        // One flag checked per task; the disabled path must not read
+        // clocks, allocate, or lock for telemetry.
+        let enabled = rec.is_enabled();
         let start = Instant::now();
         let total = inputs.len();
 
-        let stats: Arc<Mutex<Vec<StageStat>>> = Arc::new(Mutex::new(
-            (0..stage_count)
-                .map(|s| StageStat {
-                    stage: s,
-                    tasks: 0,
-                    busy_secs: 0.0,
-                })
-                .collect(),
-        ));
-
         std::thread::scope(|scope| {
             // Inter-stage queues: entry i feeds stage i; the last feeds
-            // the collector.
+            // the collector. Unbounded by default (the paper's infinite
+            // queue assumption); `channel_capacity` bounds them for
+            // backpressure experiments.
+            let make_queue = || match self.channel_capacity {
+                Some(cap) => bounded::<StageMsg>(cap),
+                None => unbounded::<StageMsg>(),
+            };
             let mut senders: Vec<Sender<StageMsg>> = Vec::with_capacity(stage_count + 1);
             let mut receivers: Vec<Receiver<StageMsg>> = Vec::with_capacity(stage_count + 1);
             for _ in 0..=stage_count {
-                let (tx, rx) = unbounded::<StageMsg>();
+                let (tx, rx) = make_queue();
                 senders.push(tx);
                 receivers.push(rx);
             }
+
+            // Coordinators hand their stats back through join handles —
+            // no shared mutex on the serving path.
+            let mut coord_handles = Vec::with_capacity(stage_count);
 
             for (s, workers) in specs.iter().enumerate() {
                 // Scatter/gather channels for this stage's workers.
@@ -219,9 +291,15 @@ impl<'a> PipelineRuntime<'a> {
                     let engine = self.engine;
                     let throttle = self.throttle.clone();
                     let failed = self.failed.contains(&spec.device);
+                    let rec = rec.clone();
                     scope.spawn(move || {
                         while let Ok((task, tile)) = wrx.recv() {
                             let t0 = Instant::now();
+                            let begin_ts = if enabled {
+                                start.elapsed().as_secs_f64()
+                            } else {
+                                0.0
+                            };
                             let result = if failed {
                                 Err(RuntimeError::DeviceFailed {
                                     device: spec.device,
@@ -242,6 +320,16 @@ impl<'a> PipelineRuntime<'a> {
                                     std::thread::sleep(target - spent);
                                 }
                             }
+                            if enabled {
+                                rec.span_at(
+                                    names::COMPUTE,
+                                    Ctx::stage(s).on_device(spec.device).for_task(task),
+                                    begin_ts,
+                                    start.elapsed().as_secs_f64(),
+                                    spec.flops,
+                                    spec.comm_bytes as u64,
+                                );
+                            }
                             if dtx.send(result).is_err() {
                                 break;
                             }
@@ -253,8 +341,11 @@ impl<'a> PipelineRuntime<'a> {
                 let rx_in = receivers[s].clone();
                 let tx_out = senders[s + 1].clone();
                 let in_regions: Vec<Region2> = workers.iter().map(|w| w.in_region).collect();
-                let stage_stats = Arc::clone(&stats);
-                scope.spawn(move || {
+                let stage_comm = comm[s];
+                let rec = rec.clone();
+                coord_handles.push(scope.spawn(move || {
+                    let mut tasks_done = 0usize;
+                    let mut busy_secs = 0.0f64;
                     'tasks: while let Ok(msg) = rx_in.recv() {
                         let (task, fmap) = match msg {
                             Ok(pair) => pair,
@@ -263,7 +354,10 @@ impl<'a> PipelineRuntime<'a> {
                                 continue;
                             }
                         };
-                        let busy_from = Instant::now();
+                        // The same begin/end pair feeds busy_secs AND
+                        // the stage_busy span: RunReport.stage_stats is
+                        // a derived view of the trace by construction.
+                        let begin = start.elapsed().as_secs_f64();
                         // Scatter input tiles to every worker. Sending
                         // is interleaved with gathering below through the
                         // bounded(1) channels, but with one in-flight
@@ -280,6 +374,27 @@ impl<'a> PipelineRuntime<'a> {
                             if wtx.send((task, tile)).is_err() {
                                 let _ = tx_out.send(Err(RuntimeError::ChannelClosed { stage: s }));
                                 continue 'tasks;
+                            }
+                        }
+                        if enabled {
+                            let ctx = Ctx::stage(s).for_task(task);
+                            rec.span_at(
+                                names::SCATTER,
+                                ctx,
+                                begin,
+                                start.elapsed().as_secs_f64(),
+                                0.0,
+                                stage_comm.scatter_bytes,
+                            );
+                            if stage_comm.halo_bytes > 0 {
+                                rec.record(
+                                    pico_telemetry::Event::instant(
+                                        start.elapsed().as_secs_f64(),
+                                        names::HALO_EXCHANGE,
+                                        ctx,
+                                    )
+                                    .with_bytes(stage_comm.halo_bytes),
+                                );
                             }
                         }
                         // Gather per-worker outputs, in worker order.
@@ -303,12 +418,33 @@ impl<'a> PipelineRuntime<'a> {
                             continue;
                         }
                         // Stitch and forward (handles strips and grids).
+                        let stitch_from = if enabled {
+                            start.elapsed().as_secs_f64()
+                        } else {
+                            0.0
+                        };
                         match Tensor::stitch_tiles(&tiles) {
                             Ok(out) => {
-                                {
-                                    let mut st = stage_stats.lock();
-                                    st[s].tasks += 1;
-                                    st[s].busy_secs += busy_from.elapsed().as_secs_f64();
+                                let end = start.elapsed().as_secs_f64();
+                                tasks_done += 1;
+                                busy_secs += end - begin;
+                                if enabled {
+                                    let ctx = Ctx::stage(s).for_task(task);
+                                    rec.span_at(
+                                        names::STITCH,
+                                        ctx,
+                                        stitch_from,
+                                        end,
+                                        0.0,
+                                        stage_comm.output_bytes,
+                                    );
+                                    rec.span_at(names::STAGE_BUSY, ctx, begin, end, 0.0, 0);
+                                    rec.count_at(
+                                        names::BYTES_MOVED,
+                                        Ctx::stage(s),
+                                        end,
+                                        (stage_comm.scatter_bytes + stage_comm.output_bytes) as f64,
+                                    );
                                 }
                                 if tx_out.send(Ok((task, out))).is_err() {
                                     break;
@@ -319,7 +455,12 @@ impl<'a> PipelineRuntime<'a> {
                             }
                         }
                     }
-                });
+                    StageStat {
+                        stage: s,
+                        tasks: tasks_done,
+                        busy_secs,
+                    }
+                }));
             }
 
             // Feed all inputs into stage 0 and drop our sender so the
@@ -343,20 +484,32 @@ impl<'a> PipelineRuntime<'a> {
                 match sink.recv() {
                     Ok(Ok((task, out))) => {
                         debug_assert_eq!(task, outputs.len());
-                        timings.push(TaskTiming {
-                            task,
-                            completed_at: start.elapsed().as_secs_f64(),
-                        });
+                        let completed_at = start.elapsed().as_secs_f64();
+                        if enabled {
+                            rec.count_at(names::TASKS_COMPLETED, Ctx::default(), completed_at, 1.0);
+                        }
+                        timings.push(TaskTiming { task, completed_at });
                         outputs.push(out);
                     }
                     Ok(Err(e)) => return Err(e),
                     Err(_) => return Err(RuntimeError::ChannelClosed { stage: stage_count }),
                 }
             }
+            drop(sink);
+            // All tasks are through, so the channel-close cascade has
+            // started; coordinators exit as their inputs drain and hand
+            // back the per-stage accounting.
+            let mut stage_stats = Vec::with_capacity(coord_handles.len());
+            for (s, h) in coord_handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(stat) => stage_stats.push(stat),
+                    Err(_) => return Err(RuntimeError::ChannelClosed { stage: s }),
+                }
+            }
             Ok(RunReport {
                 outputs,
                 timings,
-                stage_stats: stats.lock().clone(),
+                stage_stats,
                 elapsed: start.elapsed(),
             })
         })
@@ -401,7 +554,7 @@ mod tests {
     #[test]
     fn pico_pipeline_outputs_match_single_device() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         outputs_match_reference(&plan, &m, 4);
     }
 
@@ -409,9 +562,9 @@ mod tests {
     fn every_scheme_executes_correctly() {
         let (m, c, p) = setup();
         for plan in [
-            LayerWise.plan(&m, &c, &p).unwrap(),
-            EarlyFused::new().plan(&m, &c, &p).unwrap(),
-            OptimalFused.plan(&m, &c, &p).unwrap(),
+            LayerWise.plan_simple(&m, &c, &p).unwrap(),
+            EarlyFused::new().plan_simple(&m, &c, &p).unwrap(),
+            OptimalFused.plan_simple(&m, &c, &p).unwrap(),
         ] {
             outputs_match_reference(&plan, &m, 2);
         }
@@ -422,7 +575,7 @@ mod tests {
         let m = zoo::mnist_toy();
         let c = Cluster::paper_heterogeneous_6();
         let p = CostParams::wifi_50mbps();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         outputs_match_reference(&plan, &m, 3);
     }
 
@@ -447,17 +600,19 @@ mod tests {
         .unwrap();
         let c = Cluster::pi_cluster(4, 1.0);
         let p = CostParams::wifi_50mbps();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         outputs_match_reference(&plan, &m, 2);
     }
 
     #[test]
     fn failed_device_surfaces_error() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let victim = plan.stages[0].assignments[0].device;
         let engine = Engine::with_seed(&m, 1);
-        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_failed_device(victim);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .failed_device(victim)
+            .build();
         let err = runtime
             .run(vec![Tensor::random(m.input_shape(), 1)])
             .unwrap_err();
@@ -470,7 +625,7 @@ mod tests {
     #[test]
     fn bad_input_rejected_before_spawning() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let engine = Engine::with_seed(&m, 1);
         let runtime = PipelineRuntime::new(&m, &plan, &engine);
         let bad = Tensor::random(pico_model::Shape::new(3, 8, 8), 0);
@@ -483,19 +638,21 @@ mod tests {
     #[test]
     fn empty_input_list_is_fine() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let engine = Engine::with_seed(&m, 1);
         let report = PipelineRuntime::new(&m, &plan, &engine)
             .run(vec![])
             .unwrap();
         assert!(report.outputs.is_empty());
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.measured_period(), None);
     }
 
     #[test]
     #[should_panic(expected = "cover the whole model")]
     fn truncated_plan_panics() {
         let (m, c, p) = setup();
-        let mut plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let mut plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         plan.stages.pop();
         if plan.stages.is_empty() {
             panic!("plan must cover the whole model"); // degenerate case
@@ -507,13 +664,44 @@ mod tests {
     #[test]
     fn throttled_pipeline_still_correct_and_ordered() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let engine = Engine::with_seed(&m, 2);
         // A very small scale keeps the test fast while exercising the
         // sleep path.
         let throttle = Throttle::new(c.clone(), p, 1e-7);
-        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_throttle(throttle);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .throttle(throttle)
+            .build();
         let inputs: Vec<Tensor> = (0..3).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = runtime.run(inputs.clone()).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(report.outputs[i], engine.infer(input).unwrap());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_extras_still_work() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let engine = Engine::with_seed(&m, 2);
+        let throttle = Throttle::new(c.clone(), p, 1e-9);
+        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_throttle(throttle);
+        let report = runtime
+            .run(vec![Tensor::random(m.input_shape(), 5)])
+            .unwrap();
+        assert_eq!(report.outputs.len(), 1);
+    }
+
+    #[test]
+    fn bounded_queues_still_drain_the_pipeline() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let engine = Engine::with_seed(&m, 7);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .channel_capacity(1)
+            .build();
+        let inputs: Vec<Tensor> = (0..5).map(|i| Tensor::random(m.input_shape(), i)).collect();
         let report = runtime.run(inputs.clone()).unwrap();
         for (i, input) in inputs.iter().enumerate() {
             assert_eq!(report.outputs[i], engine.infer(input).unwrap());
@@ -561,7 +749,9 @@ mod tests {
         let device_time = c.device(0).unwrap().compute_time(stage_flops);
         let scale = 0.04 / device_time;
         let throttle = Throttle::new(c.clone(), p, scale);
-        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_throttle(throttle);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .throttle(throttle)
+            .build();
         let n = 6;
         let inputs: Vec<Tensor> = (0..n).map(|i| Tensor::random(m.input_shape(), i)).collect();
         let report = runtime.run(inputs).unwrap();
@@ -582,13 +772,14 @@ mod stage_stat_tests {
     use super::*;
     use pico_model::zoo;
     use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+    use pico_telemetry::TraceSummary;
 
     #[test]
     fn stage_stats_count_every_task() {
         let m = zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner
-            .plan(&m, &c, &CostParams::wifi_50mbps())
+            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
             .unwrap();
         let engine = Engine::with_seed(&m, 3);
         let n: usize = 5;
@@ -604,6 +795,39 @@ mod stage_stat_tests {
             assert!(st.busy_secs > 0.0);
         }
         assert!(report.bottleneck_stage().is_some());
+        assert!(report.throughput() > 0.0);
+        assert!(report.measured_period().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn recorded_spans_reconcile_exactly_with_stage_stats() {
+        // The contract behind "stage_stats is a derived view": each
+        // stage's busy_secs equals the sum of its stage_busy span
+        // durations — exactly, not approximately, because both come
+        // from the same timestamp pairs in the same order.
+        let m = zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = PicoPlanner
+            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .unwrap();
+        let engine = Engine::with_seed(&m, 4);
+        let rec = Recorder::in_memory();
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .recorder(rec.clone())
+            .build();
+        let inputs: Vec<Tensor> = (0..4).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = runtime.run(inputs).unwrap();
+
+        let summary = TraceSummary::from_events(&rec.snapshot());
+        let derived = summary.stage_busy();
+        assert_eq!(derived.len(), report.stage_stats.len());
+        for (stat, (stage, busy)) in report.stage_stats.iter().zip(derived) {
+            assert_eq!(stat.stage as u32, stage);
+            assert_eq!(stat.busy_secs, busy, "stage {stage} diverged");
+        }
+        assert_eq!(summary.tasks_completed, 4.0);
+        // Worker compute spans carry flops/bytes payloads.
+        assert!(summary.stages.iter().any(|s| s.flops > 0.0));
     }
 
     #[test]
@@ -613,7 +837,7 @@ mod stage_stat_tests {
         let m = zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = PicoPlanner.plan(&m, &c, &params).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &params).unwrap();
         if plan.stage_count() < 2 {
             return;
         }
@@ -630,8 +854,9 @@ mod stage_stat_tests {
         // Scale chosen so sleeps (~tens of ms) dominate real compute.
         let throttle = Throttle::new(c.clone(), params, 1.0);
         let inputs: Vec<Tensor> = (0..4).map(|i| Tensor::random(m.input_shape(), i)).collect();
-        let report = PipelineRuntime::new(&m, &plan, &engine)
-            .with_throttle(throttle)
+        let report = PipelineRuntime::builder(&m, &plan, &engine)
+            .throttle(throttle)
+            .build()
             .run(inputs)
             .unwrap();
         assert_eq!(report.bottleneck_stage(), Some(analytic_bottleneck));

@@ -1,4 +1,5 @@
 use pico_partition::{Plan, PlanMetrics};
+use pico_telemetry::{names, Ctx, Event};
 
 use crate::{mdone, Arrivals, SimReport, Simulation, WorkloadEstimator};
 
@@ -119,6 +120,8 @@ impl AdaptiveScheduler {
             red_weighted.insert(d.id, 0.0);
         }
 
+        let rec = sim.recorder();
+        let enabled = rec.is_enabled();
         let lambda0 = self.estimator.estimate_at(0.0);
         let mut current = self.choose(lambda0);
         let mut decisions = vec![SchedulerDecision {
@@ -126,13 +129,23 @@ impl AdaptiveScheduler {
             plan_index: current,
             lambda: 0.0,
         }];
+        if enabled {
+            // ctx.stage carries the chosen candidate index; value the λ
+            // estimate that drove the choice.
+            rec.record(
+                Event::instant(0.0, names::PLAN_SWITCH, Ctx::stage(current)).with_value(0.0),
+            );
+        }
         let mut free = vec![0.0f64; stations[current].len()];
         let mut latencies = Vec::new();
         let mut last_completion: f64 = 0.0;
 
-        for a in times {
+        for (task, a) in times.into_iter().enumerate() {
             let lambda = self.estimator.observe_arrival(a);
             let desired = self.choose(lambda);
+            if enabled {
+                rec.observe_at(names::LAMBDA_ESTIMATE, Ctx::default(), a, lambda);
+            }
             if desired != current {
                 // Drain-then-switch: in-flight tasks finish under the old
                 // configuration before the new stage set starts.
@@ -144,7 +157,14 @@ impl AdaptiveScheduler {
                     plan_index: current,
                     lambda,
                 });
+                if enabled {
+                    rec.record(
+                        Event::instant(a, names::PLAN_SWITCH, Ctx::stage(current))
+                            .with_value(lambda),
+                    );
+                }
             }
+            let service_total: f64 = stations[current].iter().map(|s| s.service).sum();
             let mut t = a;
             for (s, station) in stations[current].iter().enumerate() {
                 let start = t.max(free[s]);
@@ -156,6 +176,27 @@ impl AdaptiveScheduler {
                     let r = redundancy[current].get(d).copied().unwrap_or(0.0);
                     *red_weighted.get_mut(d).expect("device pre-registered") += dt * r;
                 }
+            }
+            if enabled {
+                // Theorem 2's predicted waiting time vs what this task
+                // actually waited — side-by-side in the trace so the
+                // M/D/1 approximation's error is inspectable.
+                let m = &self.candidates[current].1;
+                let predicted = mdone::avg_latency(m.period, m.latency, lambda) - m.latency;
+                if predicted.is_finite() {
+                    rec.observe_at(
+                        names::QUEUE_DELAY_PREDICTED,
+                        Ctx::default().for_task(task),
+                        a,
+                        predicted,
+                    );
+                }
+                rec.observe_at(
+                    names::QUEUE_DELAY_OBSERVED,
+                    Ctx::default().for_task(task),
+                    t,
+                    (t - a) - service_total,
+                );
             }
             latencies.push(t - a);
             last_completion = last_completion.max(t);
@@ -191,10 +232,10 @@ mod tests {
 
     fn scheduler<'a>(sim: &Simulation<'a>) -> AdaptiveScheduler {
         let pico = PicoPlanner
-            .plan(sim.model(), sim.cluster(), &sim.params())
+            .plan_simple(sim.model(), sim.cluster(), &sim.params())
             .unwrap();
         let ofl = OptimalFused
-            .plan(sim.model(), sim.cluster(), &sim.params())
+            .plan_simple(sim.model(), sim.cluster(), &sim.params())
             .unwrap();
         AdaptiveScheduler::new(sim, vec![pico, ofl], 5.0, 0.4)
     }
@@ -259,7 +300,7 @@ mod tests {
         let (m, c, p) = setup();
         let sim = Simulation::new(&m, &c, &p);
         let mut sched = scheduler(&sim);
-        let ofl = OptimalFused.plan(&m, &c, &p).unwrap();
+        let ofl = OptimalFused.plan_simple(&m, &c, &p).unwrap();
         let ofl_metrics = p.cost_model(&m).evaluate(&ofl, &c);
         let lambda = 1.2 / ofl_metrics.period;
         let arrivals = Arrivals::poisson(lambda, 500.0 * ofl_metrics.period, 3);
@@ -271,6 +312,58 @@ mod tests {
             adaptive.avg_latency,
             static_ofl.avg_latency
         );
+    }
+
+    #[test]
+    fn recorder_captures_switches_and_queue_predictions() {
+        let (m, c, p) = setup();
+        let rec = pico_telemetry::Recorder::in_memory();
+        let sim = Simulation::new(&m, &c, &p).with_recorder(rec.clone());
+        let mut sched = scheduler(&sim);
+        let ofl_period = sched.candidates().nth(1).unwrap().1.period;
+        let mut times = Vec::new();
+        let mut t = 0.0;
+        while t < 60.0 * ofl_period {
+            times.push(t);
+            t += ofl_period * 20.0;
+        }
+        while t < 400.0 * ofl_period {
+            times.push(t);
+            t += ofl_period / 1.3;
+        }
+        let n = times.len();
+        let (_, decisions) = sched.run(&sim, &Arrivals::trace(times));
+        let events = rec.snapshot();
+        let switches = events
+            .iter()
+            .filter(|e| e.name == pico_telemetry::names::PLAN_SWITCH)
+            .count();
+        assert_eq!(switches, decisions.len());
+        // Every switch instant carries the chosen candidate index.
+        for (ev, d) in events
+            .iter()
+            .filter(|e| e.name == pico_telemetry::names::PLAN_SWITCH)
+            .zip(&decisions)
+        {
+            assert_eq!(ev.ctx.stage.get(), Some(d.plan_index as u32));
+            assert_eq!(ev.value, d.lambda);
+        }
+        let lambdas = events
+            .iter()
+            .filter(|e| e.name == pico_telemetry::names::LAMBDA_ESTIMATE)
+            .count();
+        assert_eq!(lambdas, n);
+        let observed = events
+            .iter()
+            .filter(|e| e.name == pico_telemetry::names::QUEUE_DELAY_OBSERVED)
+            .count();
+        assert_eq!(observed, n);
+        // Predictions exist for stable regimes (most of the stream).
+        let predicted = events
+            .iter()
+            .filter(|e| e.name == pico_telemetry::names::QUEUE_DELAY_PREDICTED)
+            .count();
+        assert!(predicted > 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use pico_model::Model;
 use pico_partition::{redundancy, Cluster, CostParams, ExecutionMode, Plan};
+use pico_telemetry::{names, Ctx, Recorder};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::{Arrivals, SimReport};
@@ -28,6 +29,9 @@ pub struct Simulation<'a> {
     /// Optional straggler model: per-(task, stage) service times are
     /// multiplied by `1 + Exp(1) * jitter` (mean factor `1 + jitter`).
     jitter: Option<(f64, u64)>,
+    /// Telemetry sink; event timestamps are **virtual** (simulation)
+    /// time, not wall clock.
+    recorder: Recorder,
 }
 
 impl<'a> Simulation<'a> {
@@ -38,6 +42,7 @@ impl<'a> Simulation<'a> {
             cluster,
             params: *params,
             jitter: None,
+            recorder: Recorder::noop(),
         }
     }
 
@@ -55,6 +60,16 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Attaches a telemetry recorder. Every station visit emits a
+    /// `sim_service` span and every completed task a
+    /// `queue_delay_observed` sample — all stamped in **virtual**
+    /// simulation seconds, so traces line up with the queueing analysis
+    /// rather than the host's wall clock.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The model under simulation.
     pub fn model(&self) -> &'a Model {
         self.model
@@ -68,6 +83,12 @@ impl<'a> Simulation<'a> {
     /// The environment parameters.
     pub fn params(&self) -> CostParams {
         self.params
+    }
+
+    /// The attached telemetry recorder (no-op unless set via
+    /// [`with_recorder`](Simulation::with_recorder)).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Collapses a plan into service stations.
@@ -149,12 +170,16 @@ impl<'a> Simulation<'a> {
         let mut rng = self
             .jitter
             .map(|(j, seed)| (j, StdRng::seed_from_u64(seed)));
+        let rec = &self.recorder;
+        let enabled = rec.is_enabled();
 
-        let mut admit = |arrival: f64,
+        let mut admit = |task: usize,
+                         arrival: f64,
                          free: &mut Vec<f64>,
                          busy: &mut std::collections::BTreeMap<usize, f64>|
          -> f64 {
             let mut t = arrival;
+            let mut waited = 0.0;
             for (s, station) in stations.iter().enumerate() {
                 let stretch = match &mut rng {
                     Some((j, r)) => {
@@ -164,20 +189,39 @@ impl<'a> Simulation<'a> {
                     None => 1.0,
                 };
                 let start = t.max(free[s]);
+                waited += start - t;
                 let done = start + station.service * stretch;
+                if enabled {
+                    rec.span_at(
+                        names::SIM_SERVICE,
+                        Ctx::stage(s).for_task(task),
+                        start,
+                        done,
+                        station.service * stretch,
+                        0,
+                    );
+                }
                 free[s] = done;
                 t = done;
                 for (d, dt) in &station.busy_per_task {
                     *busy.get_mut(d).expect("device pre-registered") += dt * stretch;
                 }
             }
+            if enabled {
+                rec.observe_at(
+                    names::QUEUE_DELAY_OBSERVED,
+                    Ctx::default().for_task(task),
+                    t,
+                    waited,
+                );
+            }
             t
         };
 
         match arrivals.times() {
             Some(times) => {
-                for a in times {
-                    let done = admit(a, &mut free, &mut busy);
+                for (task, a) in times.into_iter().enumerate() {
+                    let done = admit(task, a, &mut free, &mut busy);
                     latencies.push(done - a);
                     last_completion = last_completion.max(done);
                 }
@@ -187,9 +231,9 @@ impl<'a> Simulation<'a> {
                     Arrivals::ClosedLoop { count } => *count,
                     _ => unreachable!("only closed-loop streams lack times"),
                 };
-                for _ in 0..count {
+                for task in 0..count {
                     let a = free[0];
-                    let done = admit(a, &mut free, &mut busy);
+                    let done = admit(task, a, &mut free, &mut busy);
                     latencies.push(done - a);
                     last_completion = last_completion.max(done);
                 }
@@ -222,7 +266,7 @@ mod tests {
     #[test]
     fn closed_loop_throughput_matches_period() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         let report = sim.run(&plan, &Arrivals::closed_loop(200));
@@ -239,7 +283,7 @@ mod tests {
     #[test]
     fn sequential_plan_is_single_server() {
         let (m, c, p) = setup();
-        let plan = OptimalFused.plan(&m, &c, &p).unwrap();
+        let plan = OptimalFused.plan_simple(&m, &c, &p).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         let report = sim.run(&plan, &Arrivals::closed_loop(50));
@@ -251,7 +295,7 @@ mod tests {
     #[test]
     fn light_load_latency_is_service_time() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         // Arrivals far apart: no waiting.
@@ -264,7 +308,7 @@ mod tests {
     #[test]
     fn overload_grows_queue() {
         let (m, c, p) = setup();
-        let plan = OptimalFused.plan(&m, &c, &p).unwrap();
+        let plan = OptimalFused.plan_simple(&m, &c, &p).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         // 2x the sustainable rate: waiting time grows linearly.
@@ -278,7 +322,7 @@ mod tests {
     #[test]
     fn poisson_latency_tracks_mdone() {
         let (m, c, p) = setup();
-        let plan = OptimalFused.plan(&m, &c, &p).unwrap();
+        let plan = OptimalFused.plan_simple(&m, &c, &p).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         let lambda = 0.5 / metrics.period;
@@ -303,8 +347,8 @@ mod tests {
         // The Fig. 10/11 story.
         let (m, c, p) = setup();
         let sim = Simulation::new(&m, &c, &p);
-        let pico = PicoPlanner.plan(&m, &c, &p).unwrap();
-        let ofl = OptimalFused.plan(&m, &c, &p).unwrap();
+        let pico = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let ofl = OptimalFused.plan_simple(&m, &c, &p).unwrap();
         let ofl_metrics = p.cost_model(&m).evaluate(&ofl, &c);
         // Load = 120% of OFL's capacity, sustainable for PICO.
         let lambda = 1.2 / ofl_metrics.period;
@@ -323,7 +367,7 @@ mod tests {
     #[test]
     fn utilization_bounded_and_busy_positive() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let sim = Simulation::new(&m, &c, &p);
         let report = sim.run(&plan, &Arrivals::closed_loop(100));
         assert_eq!(report.device_stats.len(), 8);
@@ -337,7 +381,7 @@ mod tests {
     #[test]
     fn jitter_raises_latency_and_preserves_completions() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let arrivals = Arrivals::poisson(0.5 / metrics.period, 300.0 * metrics.period, 4);
         let clean = Simulation::new(&m, &c, &p).run(&plan, &arrivals);
@@ -359,7 +403,7 @@ mod tests {
     #[test]
     fn zero_jitter_equals_deterministic() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let arrivals = Arrivals::closed_loop(40);
         let a = Simulation::new(&m, &c, &p).run(&plan, &arrivals);
         let b = Simulation::new(&m, &c, &p)
@@ -369,11 +413,39 @@ mod tests {
     }
 
     #[test]
+    fn recorder_captures_virtual_time_services() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let rec = Recorder::in_memory();
+        let sim = Simulation::new(&m, &c, &p).with_recorder(rec.clone());
+        let n = 10;
+        let report = sim.run(&plan, &Arrivals::closed_loop(n));
+        let events = rec.snapshot();
+        // One begin + one end per (task, station) visit.
+        let services = events
+            .iter()
+            .filter(|e| e.name == names::SIM_SERVICE)
+            .count();
+        assert_eq!(services, 2 * n * plan.stage_count());
+        // One waiting-time sample per completed task, stamped in
+        // virtual time (non-negative, bounded by the makespan).
+        let waits: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::QUEUE_DELAY_OBSERVED)
+            .collect();
+        assert_eq!(waits.len(), n);
+        let makespan = report.completed as f64 / report.throughput;
+        assert!(waits
+            .iter()
+            .all(|e| e.value >= 0.0 && e.ts <= makespan * 1.01));
+    }
+
+    #[test]
     fn efl_has_higher_redundancy_than_pico() {
         let (m, c, p) = setup();
         let sim = Simulation::new(&m, &c, &p);
-        let efl = EarlyFused::new().plan(&m, &c, &p).unwrap();
-        let pico = PicoPlanner.plan(&m, &c, &p).unwrap();
+        let efl = EarlyFused::new().plan_simple(&m, &c, &p).unwrap();
+        let pico = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
         let r_efl = sim.run(&efl, &Arrivals::closed_loop(50));
         let r_pico = sim.run(&pico, &Arrivals::closed_loop(50));
         assert!(

@@ -29,7 +29,7 @@
 //! let model = zoo::vgg16().features();
 //! let cluster = Cluster::pi_cluster(8, 1.0);
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::default().plan(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::default().plan_simple(&model, &cluster, &params)?;
 //!
 //! let sim = Simulation::new(&model, &cluster, &params);
 //! let report = sim.run(&plan, &Arrivals::closed_loop(100));

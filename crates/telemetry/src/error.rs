@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors from telemetry export, parsing, and sinks.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TelemetryError {
+    /// The JSONL sink could not be written.
+    Io(std::io::Error),
+    /// A trace document failed to parse; the payload says where.
+    Parse {
+        /// Byte offset the parser stopped at.
+        offset: usize,
+        /// What was wrong there.
+        reason: String,
+    },
+    /// A parsed trace document is structurally not a Chrome trace
+    /// (missing `traceEvents`, bad phase, unordered ts, ...).
+    InvalidTrace(String),
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Io(e) => write!(f, "telemetry sink I/O error: {e}"),
+            TelemetryError::Parse { offset, reason } => {
+                write!(f, "trace JSON parse error at byte {offset}: {reason}")
+            }
+            TelemetryError::InvalidTrace(reason) => {
+                write!(f, "not a valid Chrome trace: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TelemetryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(e: std::io::Error) -> Self {
+        TelemetryError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_location() {
+        let e = TelemetryError::Parse {
+            offset: 12,
+            reason: "expected ':'".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(TelemetryError::InvalidTrace("no traceEvents".into())
+            .to_string()
+            .contains("no traceEvents"));
+    }
+}

@@ -1,0 +1,199 @@
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A span opened at `ts`.
+    SpanBegin,
+    /// The matching span closed at `ts`.
+    SpanEnd,
+    /// A point-in-time marker.
+    Instant,
+    /// A counter incremented by `value`.
+    Counter,
+    /// One histogram sample of `value`.
+    Sample,
+}
+
+impl EventKind {
+    /// Stable lowercase label, used by the JSONL sink.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+            EventKind::Sample => "sample",
+        }
+    }
+}
+
+/// A compact optional index. `Option<u32>` has no niche, so three of
+/// them would double [`Ctx`]'s size; `Id` reserves `u32::MAX` as the
+/// "absent" sentinel and stays 4 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Id(u32);
+
+impl Id {
+    /// The absent id.
+    pub const NONE: Id = Id(u32::MAX);
+
+    /// Wraps an index (clamped just below the sentinel).
+    pub fn some(index: usize) -> Id {
+        Id((index as u32).min(u32::MAX - 1))
+    }
+
+    /// The index, or `None` when absent.
+    pub fn get(self) -> Option<u32> {
+        (self.0 != u32::MAX).then_some(self.0)
+    }
+}
+
+impl Default for Id {
+    fn default() -> Self {
+        Id::NONE
+    }
+}
+
+/// Where an event happened: the pipeline coordinates the paper's
+/// analysis is phrased in. All fields are optional — a planner span has
+/// none, a worker compute span has all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ctx {
+    /// Pipeline stage index (or candidate-plan index for scheduler
+    /// events).
+    pub stage: Id,
+    /// Device id.
+    pub device: Id,
+    /// Task index (submission order).
+    pub task: Id,
+}
+
+impl Ctx {
+    /// A context locating a stage.
+    pub fn stage(stage: usize) -> Self {
+        Ctx {
+            stage: Id::some(stage),
+            ..Ctx::default()
+        }
+    }
+
+    /// Adds a device id.
+    pub fn on_device(mut self, device: usize) -> Self {
+        self.device = Id::some(device);
+        self
+    }
+
+    /// Adds a task index.
+    pub fn for_task(mut self, task: usize) -> Self {
+        self.task = Id::some(task);
+        self
+    }
+}
+
+/// One structured telemetry record.
+///
+/// `Event` is `Copy` — building one never allocates, which is what lets
+/// the recorder make hard zero-cost promises on the `Noop` path. Names
+/// are `&'static str` drawn from the [`names`](crate::names) registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Seconds since the recorder's epoch (wall clock) or since the
+    /// simulation start (virtual time) — producers pick, consumers only
+    /// need differences and ordering.
+    pub ts: f64,
+    /// Registered name (see [`names`](crate::names)).
+    pub name: &'static str,
+    /// What this record is.
+    pub kind: EventKind,
+    /// Stage/device/task location.
+    pub ctx: Ctx,
+    /// Payload: counter delta, histogram sample, or span FLOPs.
+    pub value: f64,
+    /// Bytes moved, for communication-carrying spans; 0 otherwise.
+    pub bytes: u64,
+}
+
+impl Event {
+    /// A span-begin event.
+    pub fn span_begin(ts: f64, name: &'static str, ctx: Ctx) -> Self {
+        Event {
+            ts,
+            name,
+            kind: EventKind::SpanBegin,
+            ctx,
+            value: 0.0,
+            bytes: 0,
+        }
+    }
+
+    /// A span-end event.
+    pub fn span_end(ts: f64, name: &'static str, ctx: Ctx) -> Self {
+        Event {
+            ts,
+            name,
+            kind: EventKind::SpanEnd,
+            ctx,
+            value: 0.0,
+            bytes: 0,
+        }
+    }
+
+    /// An instant event.
+    pub fn instant(ts: f64, name: &'static str, ctx: Ctx) -> Self {
+        Event {
+            ts,
+            name,
+            kind: EventKind::Instant,
+            ctx,
+            value: 0.0,
+            bytes: 0,
+        }
+    }
+
+    /// Attaches a FLOPs/value payload.
+    pub fn with_value(mut self, value: f64) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Attaches a bytes-moved payload.
+    pub fn with_bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_copy_and_small() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Event>();
+        // One cache line: the recorder passes these by value on every
+        // hot-path call.
+        assert!(std::mem::size_of::<Event>() <= 64);
+    }
+
+    #[test]
+    fn ctx_builders_compose() {
+        let c = Ctx::stage(2).on_device(7).for_task(31);
+        assert_eq!(c.stage.get(), Some(2));
+        assert_eq!(c.device.get(), Some(7));
+        assert_eq!(c.task.get(), Some(31));
+        assert_eq!(Ctx::default().stage.get(), None);
+        assert_eq!(Id::NONE.get(), None);
+        // The sentinel itself is never a valid index.
+        assert_eq!(Id::some(u32::MAX as usize).get(), Some(u32::MAX - 1));
+    }
+
+    #[test]
+    fn payload_builders() {
+        let e = Event::span_begin(1.5, "x", Ctx::default())
+            .with_value(2.0)
+            .with_bytes(10);
+        assert_eq!(e.value, 2.0);
+        assert_eq!(e.bytes, 10);
+        assert_eq!(e.kind.label(), "span_begin");
+    }
+}

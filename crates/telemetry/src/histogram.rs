@@ -1,0 +1,158 @@
+/// A fixed log-bucket histogram for latency-like samples (seconds).
+///
+/// Buckets double from 1 µs to ~8.4 s (24 buckets) with an overflow
+/// bucket above; that is enough resolution to tell a 2 ms stage from a
+/// 3 ms one while keeping the struct flat and copyable into summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; Histogram::BUCKETS + 1],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    const BUCKETS: usize = 24;
+    const BASE: f64 = 1e-6;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; Histogram::BUCKETS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket(value: f64) -> usize {
+        if value <= Histogram::BASE {
+            return 0;
+        }
+        let idx = (value / Histogram::BASE).log2().ceil() as usize;
+        idx.min(Histogram::BUCKETS)
+    }
+
+    /// Upper bound of bucket `i` in seconds (`INFINITY` for overflow).
+    pub fn bucket_bound(i: usize) -> f64 {
+        if i >= Histogram::BUCKETS {
+            f64::INFINITY
+        } else {
+            Histogram::BASE * (1u64 << i) as f64
+        }
+    }
+
+    /// Adds one sample. Non-finite samples are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[Histogram::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (0.0..=1.0) — an
+    /// estimate bounded by bucket resolution, clamped to the observed
+    /// max so coarse upper buckets don't over-report.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn tracks_exact_moments_and_bucketed_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0.001, 0.002, 0.004, 0.1] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 0.107).abs() < 1e-12);
+        assert_eq!(h.min(), 0.001);
+        assert_eq!(h.max(), 0.1);
+        // Median falls in the bucket containing 0.002.
+        let p50 = h.quantile(0.5);
+        assert!((0.002..=0.004).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), 0.1);
+    }
+
+    #[test]
+    fn overflow_bucket_clamps_to_max() {
+        let mut h = Histogram::new();
+        h.observe(1000.0);
+        assert_eq!(h.quantile(0.99), 1000.0);
+    }
+}

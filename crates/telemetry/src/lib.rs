@@ -1,0 +1,66 @@
+//! `pico-telemetry`: structured tracing and metrics for the PICO
+//! pipeline runtime.
+//!
+//! The paper's whole argument rests on *measured* per-stage timing —
+//! pipeline period = max stage time (Sec. III), and APICO's switcher
+//! reacts to observed workload (Eq. 15) — so every layer of this
+//! workspace records what it does through one cheap handle:
+//!
+//! * [`Recorder`] — an enum-dispatch handle (`Noop` | `InMemory` |
+//!   `Jsonl`) cloned into worker threads. The `Noop` variant performs
+//!   no allocation and takes no lock; disabled telemetry costs one
+//!   branch per call site.
+//! * [`Event`] — a `Copy` record: span begin/end, instant, counter
+//!   increment, or histogram sample, each tagged with an optional
+//!   stage × device × task [`Ctx`] and `flops`/`bytes` payload.
+//! * [`names`] — the one registry every span/counter name comes from;
+//!   `cargo xtask lint` rejects ad-hoc string literals at call sites.
+//! * [`trace`] — export to Chrome trace-event JSON (load the file in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), plus a
+//!   dependency-free parser/validator for round-tripping.
+//! * [`summary`] — a plain-text per-stage timeline ([`TraceSummary`])
+//!   derived from recorded events; the runtime's
+//!   `RunReport::stage_stats` reconciles with it exactly (asserted by
+//!   proptest, not by eye).
+//! * [`Histogram`] — fixed log-bucket latency histograms for queue
+//!   delays and span durations.
+//!
+//! # Example
+//!
+//! ```
+//! use pico_telemetry::{names, Ctx, Recorder};
+//!
+//! let rec = Recorder::in_memory();
+//! {
+//!     let _span = rec.span(names::PLAN);
+//!     // ... plan ...
+//! }
+//! rec.count(names::TASKS_COMPLETED, 1.0);
+//! let events = rec.snapshot();
+//! assert_eq!(events.len(), 3); // span begin + end, one counter
+//! let json = pico_telemetry::trace::chrome_trace(&events);
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//!
+//! // The zero-cost path: a disabled recorder records nothing.
+//! let off = Recorder::noop();
+//! off.instant(names::PLAN_SWITCH, Ctx::default());
+//! assert!(!off.is_enabled());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod error;
+mod event;
+mod histogram;
+pub mod json;
+pub mod names;
+mod recorder;
+pub mod summary;
+pub mod trace;
+
+pub use error::TelemetryError;
+pub use event::{Ctx, Event, EventKind, Id};
+pub use histogram::Histogram;
+pub use recorder::{Recorder, SpanGuard};
+pub use summary::TraceSummary;

@@ -1,0 +1,88 @@
+//! The span/counter name registry: every telemetry name in the
+//! workspace is a `const` here, and `cargo xtask lint` (rule
+//! `telemetry-name-registry`) rejects ad-hoc string literals at
+//! recorder call sites, so traces from any crate always aggregate
+//! under the same keys.
+
+/// Per-stage scatter: the coordinator slices the input map and sends
+/// tiles to workers. `ctx`: stage, task; `bytes`: tile bytes sent.
+pub const SCATTER: &str = "scatter";
+
+/// One worker's inference over its share. `ctx`: stage, device, task;
+/// `value`: FLOPs; `bytes`: input + output tile bytes.
+pub const COMPUTE: &str = "compute";
+
+/// Redundant halo rows shipped to overlapping workers of a stage
+/// (instant, per task). `bytes`: halo bytes beyond the exact cover.
+pub const HALO_EXCHANGE: &str = "halo_exchange";
+
+/// Per-stage stitch: gathered tiles assembled into the output map.
+/// `ctx`: stage, task.
+pub const STITCH: &str = "stitch";
+
+/// A stage's whole busy window for one task (scatter through stitch).
+/// `RunReport::stage_stats` is the per-stage sum of these spans.
+pub const STAGE_BUSY: &str = "stage_busy";
+
+/// A planner computing a plan (span). No ctx.
+pub const PLAN: &str = "plan";
+
+/// The adaptive scheduler switched candidate plans (instant).
+/// `ctx.stage`: the chosen candidate index; `value`: the λ estimate
+/// that drove the choice.
+pub const PLAN_SWITCH: &str = "plan_switch";
+
+/// One Eq. 15 EWMA workload estimate (sample). `value`: λ in tasks/s.
+pub const LAMBDA_ESTIMATE: &str = "lambda_estimate";
+
+/// Theorem 2 (M/D/1) predicted queueing delay for the scheme in charge
+/// at an arrival (sample). `value`: seconds of predicted wait.
+pub const QUEUE_DELAY_PREDICTED: &str = "queue_delay_predicted";
+
+/// Realized wait between a task's arrival and its first stage starting
+/// (sample). `value`: seconds.
+pub const QUEUE_DELAY_OBSERVED: &str = "queue_delay_observed";
+
+/// A simulated stage serving a task (span, virtual time). `ctx`:
+/// stage, task.
+pub const SIM_SERVICE: &str = "sim_service";
+
+/// Tasks completed (counter).
+pub const TASKS_COMPLETED: &str = "tasks_completed";
+
+/// Bytes moved between devices (counter).
+pub const BYTES_MOVED: &str = "bytes_moved";
+
+/// Every registered name, in registry order.
+pub const ALL: [&str; 13] = [
+    SCATTER,
+    COMPUTE,
+    HALO_EXCHANGE,
+    STITCH,
+    STAGE_BUSY,
+    PLAN,
+    PLAN_SWITCH,
+    LAMBDA_ESTIMATE,
+    QUEUE_DELAY_PREDICTED,
+    QUEUE_DELAY_OBSERVED,
+    SIM_SERVICE,
+    TASKS_COMPLETED,
+    BYTES_MOVED,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate registered name {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{name} is not snake_case"
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::error::TelemetryError;
+use crate::event::{Ctx, Event, EventKind};
+
+/// A cheap, clonable handle every instrumented layer records through.
+///
+/// The handle is an enum over sinks, so dispatch is one branch — no
+/// vtable, no generic parameter infecting `Runtime`/`Planner`
+/// signatures:
+///
+/// * [`Recorder::noop`] — drops everything. No allocation, no lock,
+///   no clock read; this is the default everywhere and the reason
+///   telemetry can stay compiled into the hot path.
+/// * [`Recorder::in_memory`] — appends to a shared buffer for
+///   [`snapshot`](Recorder::snapshot), Chrome-trace export, and the
+///   summary view.
+/// * [`Recorder::jsonl`] — streams each event as one JSON line to a
+///   file, for runs too long to buffer.
+///
+/// Timestamps are seconds since the recorder's construction
+/// ([`now`](Recorder::now)). Producers with their own clock — the
+/// runtime's shared run-start `Instant`, the simulator's virtual time —
+/// use the `*_at` variants and pass explicit timestamps; that is what
+/// lets `RunReport::stage_stats` and the recorded spans agree exactly.
+#[derive(Clone, Debug, Default)]
+pub enum Recorder {
+    /// Discards every event.
+    #[default]
+    Noop,
+    /// Buffers events in memory.
+    InMemory(Arc<MemSink>),
+    /// Streams events as JSON lines.
+    Jsonl(Arc<JsonlSink>),
+}
+
+/// Shared state of an in-memory recorder.
+#[derive(Debug)]
+pub struct MemSink {
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+/// Shared state of a JSONL-streaming recorder.
+#[derive(Debug)]
+pub struct JsonlSink {
+    epoch: Instant,
+    out: Mutex<BufWriter<File>>,
+}
+
+impl Recorder {
+    /// A disabled recorder: every call is a branch and a return.
+    pub fn noop() -> Self {
+        Recorder::Noop
+    }
+
+    /// A recorder buffering events for later export.
+    pub fn in_memory() -> Self {
+        Recorder::InMemory(Arc::new(MemSink {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// A recorder streaming one JSON object per event to `path`.
+    pub fn jsonl(path: impl AsRef<Path>) -> Result<Self, TelemetryError> {
+        let file = File::create(path)?;
+        Ok(Recorder::Jsonl(Arc::new(JsonlSink {
+            epoch: Instant::now(),
+            out: Mutex::new(BufWriter::new(file)),
+        })))
+    }
+
+    /// Whether events are kept. Callers building an expensive payload
+    /// should guard on this; plain `record` calls don't need to.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, Recorder::Noop)
+    }
+
+    /// Seconds since this recorder was constructed (0.0 when disabled —
+    /// a `Noop` recorder never reads the clock).
+    pub fn now(&self) -> f64 {
+        match self {
+            Recorder::Noop => 0.0,
+            Recorder::InMemory(m) => m.epoch.elapsed().as_secs_f64(),
+            Recorder::Jsonl(j) => j.epoch.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Records one event. The `Noop` arm returns before touching the
+    /// event, so building it with `Copy` constructors stays free.
+    pub fn record(&self, event: Event) {
+        match self {
+            Recorder::Noop => {}
+            Recorder::InMemory(m) => m.events.lock().expect("telemetry buffer").push(event),
+            Recorder::Jsonl(j) => {
+                let mut out = j.out.lock().expect("telemetry sink");
+                // A full disk mid-run shouldn't panic the pipeline;
+                // drop the line and let `flush` surface the error.
+                let _ = write_jsonl_line(&mut *out, &event);
+            }
+        }
+    }
+
+    /// Opens a span named `name` with no location; it closes (and the
+    /// pair is recorded) when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_with(name, Ctx::default())
+    }
+
+    /// Opens a located span; closes when the guard drops.
+    pub fn span_with(&self, name: &'static str, ctx: Ctx) -> SpanGuard<'_> {
+        let begin = self.now();
+        self.record(Event::span_begin(begin, name, ctx));
+        SpanGuard {
+            rec: self,
+            name,
+            ctx,
+        }
+    }
+
+    /// Records a complete span from explicit timestamps, with its
+    /// FLOPs/bytes payload on the begin event. This is the runtime's
+    /// workhorse: it measures with its own clock, uses the same numbers
+    /// for `StageStat`, and hands them here verbatim.
+    pub fn span_at(
+        &self,
+        name: &'static str,
+        ctx: Ctx,
+        begin: f64,
+        end: f64,
+        value: f64,
+        bytes: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(
+            Event::span_begin(begin, name, ctx)
+                .with_value(value)
+                .with_bytes(bytes),
+        );
+        self.record(Event::span_end(end, name, ctx));
+    }
+
+    /// Records a point-in-time marker at [`now`](Recorder::now).
+    pub fn instant(&self, name: &'static str, ctx: Ctx) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now();
+        self.record(Event::instant(ts, name, ctx));
+    }
+
+    /// Records a point-in-time marker at an explicit timestamp, with a
+    /// value payload.
+    pub fn instant_at(&self, name: &'static str, ctx: Ctx, ts: f64, value: f64) {
+        self.record(Event::instant(ts, name, ctx).with_value(value));
+    }
+
+    /// Increments a counter by `delta` at [`now`](Recorder::now).
+    pub fn count(&self, name: &'static str, delta: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now();
+        self.count_at(name, Ctx::default(), ts, delta);
+    }
+
+    /// Increments a counter at an explicit timestamp.
+    pub fn count_at(&self, name: &'static str, ctx: Ctx, ts: f64, delta: f64) {
+        self.record(Event {
+            ts,
+            name,
+            kind: EventKind::Counter,
+            ctx,
+            value: delta,
+            bytes: 0,
+        });
+    }
+
+    /// Records one histogram sample at [`now`](Recorder::now).
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now();
+        self.observe_at(name, Ctx::default(), ts, value);
+    }
+
+    /// Records one histogram sample at an explicit timestamp.
+    pub fn observe_at(&self, name: &'static str, ctx: Ctx, ts: f64, value: f64) {
+        self.record(Event {
+            ts,
+            name,
+            kind: EventKind::Sample,
+            ctx,
+            value,
+            bytes: 0,
+        });
+    }
+
+    /// A copy of everything recorded so far. Empty for `Noop` and for
+    /// the streaming JSONL sink (whose events are already on disk).
+    pub fn snapshot(&self) -> Vec<Event> {
+        match self {
+            Recorder::InMemory(m) => m.events.lock().expect("telemetry buffer").clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flushes a streaming sink; a no-op for the others.
+    pub fn flush(&self) -> Result<(), TelemetryError> {
+        if let Recorder::Jsonl(j) = self {
+            j.out.lock().expect("telemetry sink").flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Closes its span when dropped. Returned by [`Recorder::span`] and
+/// [`Recorder::span_with`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    rec: &'a Recorder,
+    name: &'static str,
+    ctx: Ctx,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.rec.now();
+        self.rec.record(Event::span_end(end, self.name, self.ctx));
+    }
+}
+
+fn write_jsonl_line(out: &mut impl Write, e: &Event) -> std::io::Result<()> {
+    write!(
+        out,
+        "{{\"ts\":{},\"name\":\"{}\",\"kind\":\"{}\"",
+        crate::json::fmt_f64(e.ts),
+        e.name,
+        e.kind.label()
+    )?;
+    if let Some(stage) = e.ctx.stage.get() {
+        write!(out, ",\"stage\":{stage}")?;
+    }
+    if let Some(device) = e.ctx.device.get() {
+        write!(out, ",\"device\":{device}")?;
+    }
+    if let Some(task) = e.ctx.task.get() {
+        write!(out, ",\"task\":{task}")?;
+    }
+    if e.value != 0.0 {
+        write!(out, ",\"value\":{}", crate::json::fmt_f64(e.value))?;
+    }
+    if e.bytes != 0 {
+        write!(out, ",\"bytes\":{}", e.bytes)?;
+    }
+    writeln!(out, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn noop_records_nothing_and_reads_no_clock() {
+        let rec = Recorder::noop();
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.now(), 0.0);
+        rec.record(Event::instant(1.0, names::PLAN, Ctx::default()));
+        rec.count(names::TASKS_COMPLETED, 1.0);
+        {
+            let _g = rec.span(names::PLAN);
+        }
+        assert!(rec.snapshot().is_empty());
+        assert!(rec.flush().is_ok());
+    }
+
+    #[test]
+    fn in_memory_keeps_ordered_events() {
+        let rec = Recorder::in_memory();
+        {
+            let _g = rec.span_with(names::COMPUTE, Ctx::stage(0).on_device(1).for_task(2));
+        }
+        rec.span_at(names::SCATTER, Ctx::stage(1), 0.5, 0.75, 3.0, 128);
+        rec.observe(names::LAMBDA_ESTIMATE, 9.5);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].kind, EventKind::SpanBegin);
+        assert_eq!(events[1].kind, EventKind::SpanEnd);
+        assert!(events[1].ts >= events[0].ts);
+        assert_eq!(events[2].value, 3.0);
+        assert_eq!(events[2].bytes, 128);
+        assert_eq!(events[3].ts, 0.75);
+        assert_eq!(events[4].kind, EventKind::Sample);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let rec = Recorder::in_memory();
+        let other = rec.clone();
+        other.count_at(names::TASKS_COMPLETED, Ctx::default(), 1.0, 1.0);
+        assert_eq!(rec.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_streams_one_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("pico-telemetry-test-{}.jsonl", std::process::id()));
+        let rec = Recorder::jsonl(&path).expect("create sink");
+        assert!(rec.is_enabled());
+        rec.span_at(
+            names::COMPUTE,
+            Ctx::stage(0).on_device(3).for_task(7),
+            1.0,
+            2.5,
+            10.0,
+            64,
+        );
+        rec.flush().expect("flush");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"compute\""));
+        assert!(lines[0].contains("\"kind\":\"span_begin\""));
+        assert!(lines[0].contains("\"device\":3"));
+        assert!(lines[0].contains("\"bytes\":64"));
+        assert!(lines[1].contains("\"kind\":\"span_end\""));
+        assert!(lines[1].contains("\"ts\":2.5"));
+        // JSONL streams to disk; nothing is buffered for snapshot.
+        assert!(rec.snapshot().is_empty());
+    }
+}

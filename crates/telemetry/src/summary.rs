@@ -1,0 +1,344 @@
+//! Plain-text per-stage timeline summaries.
+//!
+//! [`TraceSummary`] aggregates a recorded event stream (or a trace file
+//! read back through [`crate::trace::parse_chrome_trace`]) into the numbers
+//! the paper's analysis is phrased in: per-stage busy time, the
+//! bottleneck stage that sets the pipeline period, bytes moved, and
+//! sample statistics for the adaptive scheduler's estimates.
+//!
+//! Per-stage busy time sums `stage_busy` span durations in begin-time
+//! order — the same addends in the same order the runtime uses for
+//! `RunReport::stage_stats`, so the two agree to the last bit (a
+//! property test in the workspace root asserts exact equality).
+
+use std::fmt;
+
+use crate::event::{Event, EventKind};
+use crate::histogram::Histogram;
+use crate::names;
+use crate::trace::{pair_spans, ParsedTrace, TraceSpan};
+
+/// Aggregates for one pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageSummary {
+    /// Stage index.
+    pub stage: u32,
+    /// Number of `stage_busy` spans (tasks the stage served).
+    pub tasks: u64,
+    /// Total busy seconds, summed in span begin order.
+    pub busy: f64,
+    /// Seconds inside `compute` spans.
+    pub compute: f64,
+    /// Seconds inside `scatter` spans.
+    pub scatter: f64,
+    /// Seconds inside `stitch` spans.
+    pub stitch: f64,
+    /// FLOPs summed over this stage's spans.
+    pub flops: f64,
+    /// Bytes moved, summed over this stage's spans.
+    pub bytes: u64,
+}
+
+impl StageSummary {
+    /// Mean busy seconds per task (0.0 when no tasks ran).
+    pub fn busy_per_task(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.busy / self.tasks as f64
+        }
+    }
+}
+
+/// A per-stage timeline view over recorded telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Per-stage aggregates, sorted by stage index.
+    pub stages: Vec<StageSummary>,
+    /// Seconds spent planning (`plan` spans).
+    pub plan_time: f64,
+    /// Wall window covered by spans: latest end − earliest begin.
+    pub window: f64,
+    /// Final `tasks_completed` counter value.
+    pub tasks_completed: f64,
+    /// Histogram per sample name, first-seen order.
+    pub samples: Vec<(String, Histogram)>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from a live recorder snapshot.
+    pub fn from_events(events: &[Event]) -> Self {
+        let spans = pair_spans(events);
+        let samples: Vec<(&str, f64)> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Sample)
+            .map(|e| (e.name, e.value))
+            .collect();
+        let tasks_completed = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Counter && e.name == names::TASKS_COMPLETED)
+            .map(|e| e.value)
+            .sum();
+        Self::build(&spans, &samples, tasks_completed)
+    }
+
+    /// Builds a summary from a parsed Chrome trace file.
+    pub fn from_trace(trace: &ParsedTrace) -> Self {
+        let samples: Vec<(&str, f64)> = trace
+            .samples
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let tasks_completed = trace
+            .counter_totals
+            .iter()
+            .find(|(n, _)| n == names::TASKS_COMPLETED)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        Self::build(&trace.spans, &samples, tasks_completed)
+    }
+
+    fn build(spans: &[TraceSpan], samples: &[(&str, f64)], tasks_completed: f64) -> Self {
+        let mut summary = TraceSummary {
+            tasks_completed,
+            ..TraceSummary::default()
+        };
+        let mut earliest = f64::INFINITY;
+        let mut latest = f64::NEG_INFINITY;
+        for span in spans {
+            earliest = earliest.min(span.begin);
+            latest = latest.max(span.begin + span.dur);
+            if span.name == names::PLAN {
+                summary.plan_time += span.dur;
+                continue;
+            }
+            let Some(stage) = span.stage else { continue };
+            let entry = match summary.stages.iter_mut().find(|s| s.stage == stage) {
+                Some(entry) => entry,
+                None => {
+                    summary.stages.push(StageSummary {
+                        stage,
+                        ..StageSummary::default()
+                    });
+                    summary.stages.last_mut().unwrap()
+                }
+            };
+            entry.flops += span.value;
+            entry.bytes += span.bytes;
+            match span.name.as_str() {
+                names::STAGE_BUSY => {
+                    entry.tasks += 1;
+                    entry.busy += span.dur;
+                }
+                names::COMPUTE => entry.compute += span.dur,
+                names::SCATTER => entry.scatter += span.dur,
+                names::STITCH => entry.stitch += span.dur,
+                _ => {}
+            }
+        }
+        summary.stages.sort_by_key(|s| s.stage);
+        if latest > earliest {
+            summary.window = latest - earliest;
+        }
+        for (name, value) in samples {
+            let hist = match summary.samples.iter_mut().find(|(n, _)| n == name) {
+                Some((_, hist)) => hist,
+                None => {
+                    summary.samples.push((name.to_string(), Histogram::new()));
+                    &mut summary.samples.last_mut().unwrap().1
+                }
+            };
+            hist.observe(*value);
+        }
+        summary
+    }
+
+    /// Total busy seconds per stage, indexed by stage — the derived
+    /// view `RunReport::stage_stats` must reconcile with.
+    pub fn stage_busy(&self) -> Vec<(u32, f64)> {
+        self.stages.iter().map(|s| (s.stage, s.busy)).collect()
+    }
+
+    /// The stage with the largest total busy time — the measured
+    /// bottleneck that sets the pipeline period.
+    pub fn bottleneck_stage(&self) -> Option<u32> {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.busy.total_cmp(&b.busy))
+            .map(|s| s.stage)
+    }
+
+    /// Mean busy seconds per task of the bottleneck stage — the
+    /// measured pipeline period (Sec. III: period = max stage time).
+    pub fn measured_period(&self) -> Option<f64> {
+        self.stages
+            .iter()
+            .map(StageSummary::busy_per_task)
+            .max_by(f64::total_cmp)
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace summary: {} stage(s), {} task(s), window {:.6} s",
+            self.stages.len(),
+            self.tasks_completed,
+            self.window
+        )?;
+        if self.plan_time > 0.0 {
+            writeln!(f, "planning: {:.6} s", self.plan_time)?;
+        }
+        if !self.stages.is_empty() {
+            writeln!(
+                f,
+                "{:>5} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12}  load",
+                "stage", "tasks", "busy(s)", "compute(s)", "scatter(s)", "stitch(s)", "bytes"
+            )?;
+            let max_busy = self
+                .stages
+                .iter()
+                .map(|s| s.busy)
+                .max_by(f64::total_cmp)
+                .unwrap_or(0.0);
+            for s in &self.stages {
+                let width = if max_busy > 0.0 {
+                    ((s.busy / max_busy) * 20.0).round() as usize
+                } else {
+                    0
+                };
+                writeln!(
+                    f,
+                    "{:>5} {:>6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>12}  {}",
+                    s.stage,
+                    s.tasks,
+                    s.busy,
+                    s.compute,
+                    s.scatter,
+                    s.stitch,
+                    s.bytes,
+                    "#".repeat(width)
+                )?;
+            }
+            if let (Some(stage), Some(period)) = (self.bottleneck_stage(), self.measured_period()) {
+                writeln!(
+                    f,
+                    "bottleneck: stage {stage} (measured period {period:.6} s/task)"
+                )?;
+            }
+        }
+        for (name, hist) in &self.samples {
+            writeln!(
+                f,
+                "sample {name}: n={} mean={:.6} min={:.6} max={:.6} p95~{:.6}",
+                hist.count(),
+                hist.mean(),
+                hist.min(),
+                hist.max(),
+                hist.quantile(0.95)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Ctx;
+    use crate::recorder::Recorder;
+    use crate::trace::{chrome_trace, parse_chrome_trace};
+
+    fn record_two_stage_run(rec: &Recorder) {
+        for task in 0..3 {
+            let t0 = task as f64 * 0.010;
+            rec.span_at(
+                names::STAGE_BUSY,
+                Ctx::stage(0).for_task(task),
+                t0,
+                t0 + 0.004,
+                0.0,
+                0,
+            );
+            rec.span_at(
+                names::COMPUTE,
+                Ctx::stage(0).on_device(0).for_task(task),
+                t0 + 0.001,
+                t0 + 0.003,
+                1e6,
+                256,
+            );
+            rec.span_at(
+                names::STAGE_BUSY,
+                Ctx::stage(1).for_task(task),
+                t0 + 0.004,
+                t0 + 0.010,
+                0.0,
+                0,
+            );
+            rec.count_at(names::TASKS_COMPLETED, Ctx::default(), t0 + 0.010, 1.0);
+        }
+        rec.observe_at(names::LAMBDA_ESTIMATE, Ctx::default(), 0.030, 100.0);
+    }
+
+    #[test]
+    fn summarizes_stage_busy_and_bottleneck() {
+        let rec = Recorder::in_memory();
+        record_two_stage_run(&rec);
+        let summary = TraceSummary::from_events(&rec.snapshot());
+        assert_eq!(summary.stages.len(), 2);
+        assert_eq!(summary.tasks_completed, 3.0);
+        let busy = summary.stage_busy();
+        assert!((busy[0].1 - 0.012).abs() < 1e-12);
+        assert!((busy[1].1 - 0.018).abs() < 1e-12);
+        assert_eq!(summary.bottleneck_stage(), Some(1));
+        assert!((summary.measured_period().unwrap() - 0.006).abs() < 1e-12);
+        assert_eq!(summary.stages[0].flops, 3e6);
+        assert_eq!(summary.stages[0].bytes, 768);
+        assert!((summary.stages[0].compute - 0.006).abs() < 1e-12);
+        assert!((summary.window - 0.030).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_and_live_summaries_agree() {
+        let rec = Recorder::in_memory();
+        record_two_stage_run(&rec);
+        let events = rec.snapshot();
+        let live = TraceSummary::from_events(&events);
+        let parsed = parse_chrome_trace(&chrome_trace(&events)).expect("round trip");
+        let from_file = TraceSummary::from_trace(&parsed);
+        assert_eq!(live.stage_busy().len(), from_file.stage_busy().len());
+        for ((s_live, b_live), (s_file, b_file)) in
+            live.stage_busy().into_iter().zip(from_file.stage_busy())
+        {
+            assert_eq!(s_live, s_file);
+            // File timestamps pass through µs conversion; allow only
+            // that rounding, nothing structural.
+            assert!((b_live - b_file).abs() < 1e-9, "{b_live} vs {b_file}");
+        }
+        assert_eq!(live.tasks_completed, from_file.tasks_completed);
+        assert_eq!(live.bottleneck_stage(), from_file.bottleneck_stage());
+        assert_eq!(live.samples.len(), from_file.samples.len());
+    }
+
+    #[test]
+    fn display_renders_a_timeline() {
+        let rec = Recorder::in_memory();
+        record_two_stage_run(&rec);
+        let text = TraceSummary::from_events(&rec.snapshot()).to_string();
+        assert!(text.contains("trace summary: 2 stage(s)"));
+        assert!(text.contains("bottleneck: stage 1"));
+        assert!(text.contains("sample lambda_estimate"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn empty_summary_is_quiet() {
+        let summary = TraceSummary::from_events(&[]);
+        assert!(summary.stages.is_empty());
+        assert_eq!(summary.bottleneck_stage(), None);
+        assert_eq!(summary.measured_period(), None);
+        assert_eq!(summary.window, 0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Chrome trace-event export and round-tripping.
+//!
+//! [`chrome_trace`] serializes recorded events into the trace-event
+//! JSON format that `chrome://tracing` and Perfetto load directly:
+//! spans become `"X"` complete events, counters `"C"` events carrying a
+//! running total, instants and samples `"i"` events. Output is
+//! deterministic — fields in a fixed order, events sorted by timestamp
+//! — so golden tests can compare strings. [`parse_chrome_trace`] reads
+//! the same format back (strictly: unknown phases, unsorted timestamps,
+//! or malformed events are errors), which is what `pico trace
+//! validate`/`summarize` run on files from disk.
+
+use std::collections::HashMap;
+
+use crate::error::TelemetryError;
+use crate::event::{Event, EventKind};
+use crate::json::{self, Value};
+
+/// One completed span, as recovered from an event stream or a trace
+/// file. Times are in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Span name.
+    pub name: String,
+    /// Stage index, if the span was located.
+    pub stage: Option<u32>,
+    /// Device id, if the span was located.
+    pub device: Option<u32>,
+    /// Task index, if the span was located.
+    pub task: Option<u32>,
+    /// Begin timestamp, seconds.
+    pub begin: f64,
+    /// Duration, seconds.
+    pub dur: f64,
+    /// FLOPs (or other value payload) attached at begin.
+    pub value: f64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// A trace read back from Chrome trace JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedTrace {
+    /// Completed spans.
+    pub spans: Vec<TraceSpan>,
+    /// `(name, value)` pairs from instant events carrying a value
+    /// payload (histogram samples export this way).
+    pub samples: Vec<(String, f64)>,
+    /// Final running total per counter name, first-seen order.
+    pub counter_totals: Vec<(String, f64)>,
+    /// Number of counter events.
+    pub counters: usize,
+    /// Number of instant events (with or without a value).
+    pub instants: usize,
+}
+
+impl ParsedTrace {
+    /// Total number of events parsed.
+    pub fn len(&self) -> usize {
+        self.spans.len() + self.counters + self.instants
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Pairs span begin/end events into completed [`TraceSpan`]s.
+///
+/// Pairing key is `(name, ctx)`; nested reopenings match LIFO. Ends
+/// without a begin and begins without an end are dropped — the runtime
+/// emits balanced pairs, so anything unbalanced means a truncated
+/// stream, and partial spans have no meaningful duration.
+pub fn pair_spans(events: &[Event]) -> Vec<TraceSpan> {
+    type Key = (&'static str, crate::Id, crate::Id, crate::Id);
+    let mut open: HashMap<Key, Vec<&Event>> = HashMap::new();
+    let mut spans = Vec::new();
+    for e in events {
+        let key = (e.name, e.ctx.stage, e.ctx.device, e.ctx.task);
+        match e.kind {
+            EventKind::SpanBegin => open.entry(key).or_default().push(e),
+            EventKind::SpanEnd => {
+                if let Some(begin) = open.get_mut(&key).and_then(|stack| stack.pop()) {
+                    spans.push(TraceSpan {
+                        name: e.name.to_string(),
+                        stage: e.ctx.stage.get(),
+                        device: e.ctx.device.get(),
+                        task: e.ctx.task.get(),
+                        begin: begin.ts,
+                        dur: e.ts - begin.ts,
+                        value: begin.value,
+                        bytes: begin.bytes,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans.sort_by(|a, b| a.begin.total_cmp(&b.begin));
+    spans
+}
+
+/// Serializes events to Chrome trace-event JSON.
+///
+/// Deterministic: events are sorted by timestamp (stable — recorded
+/// order breaks ties), every object writes its fields in the same
+/// order, and floats use one formatting routine. Timestamps convert
+/// from seconds to the format's microseconds.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut records: Vec<(f64, String)> = Vec::new();
+    let mut totals: HashMap<&'static str, f64> = HashMap::new();
+    for span in pair_spans(events) {
+        let mut args = String::new();
+        push_arg_u32(&mut args, "stage", span.stage);
+        push_arg_u32(&mut args, "device", span.device);
+        push_arg_u32(&mut args, "task", span.task);
+        if span.value != 0.0 {
+            push_arg_raw(&mut args, "flops", &json::fmt_f64(span.value));
+        }
+        if span.bytes != 0 {
+            push_arg_raw(&mut args, "bytes", &span.bytes.to_string());
+        }
+        let tid = span.device.or(span.stage).unwrap_or(0);
+        records.push((
+            span.begin,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+                json::escape(&span.name),
+                json::fmt_f64(span.begin * 1e6),
+                json::fmt_f64(span.dur.max(0.0) * 1e6),
+                tid,
+                args
+            ),
+        ));
+    }
+    for e in events {
+        match e.kind {
+            EventKind::Counter => {
+                let total = totals.entry(e.name).or_insert(0.0);
+                *total += e.value;
+                records.push((
+                    e.ts,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{}}}}}",
+                        json::escape(e.name),
+                        json::fmt_f64(e.ts * 1e6),
+                        json::fmt_f64(*total)
+                    ),
+                ));
+            }
+            EventKind::Instant | EventKind::Sample => {
+                let tid = e.ctx.device.get().or(e.ctx.stage.get()).unwrap_or(0);
+                let mut args = String::new();
+                push_arg_u32(&mut args, "stage", e.ctx.stage.get());
+                push_arg_u32(&mut args, "device", e.ctx.device.get());
+                push_arg_u32(&mut args, "task", e.ctx.task.get());
+                if e.value != 0.0 || e.kind == EventKind::Sample {
+                    push_arg_raw(&mut args, "value", &json::fmt_f64(e.value));
+                }
+                records.push((
+                    e.ts,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"g\",\"args\":{{{}}}}}",
+                        json::escape(e.name),
+                        json::fmt_f64(e.ts * 1e6),
+                        tid,
+                        args
+                    ),
+                ));
+            }
+            EventKind::SpanBegin | EventKind::SpanEnd => {}
+        }
+    }
+    records.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, (_, rec)) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(rec);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn push_arg_u32(args: &mut String, key: &str, v: Option<u32>) {
+    if let Some(v) = v {
+        push_arg_raw(args, key, &v.to_string());
+    }
+}
+
+fn push_arg_raw(args: &mut String, key: &str, raw: &str) {
+    if !args.is_empty() {
+        args.push(',');
+    }
+    args.push_str(&format!("\"{key}\":{raw}"));
+}
+
+/// Parses and validates Chrome trace-event JSON produced by
+/// [`chrome_trace`] (or compatible tools).
+///
+/// Strict on structure: the document must be an object with a
+/// `traceEvents` array; every event needs a string `name`, a phase in
+/// `{"X","C","i"}`, and a finite non-negative `ts`; `"X"` events need a
+/// finite non-negative `dur`; and timestamps must be non-decreasing.
+pub fn parse_chrome_trace(text: &str) -> Result<ParsedTrace, TelemetryError> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| bad("missing traceEvents array"))?;
+    let mut trace = ParsedTrace::default();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad(&format!("event {i}: missing string name")))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad(&format!("event {i}: missing phase")))?;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| bad(&format!("event {i}: missing or negative ts")))?;
+        if ts < last_ts {
+            return Err(bad(&format!("event {i}: ts not sorted ascending")));
+        }
+        last_ts = ts;
+        let arg_f64 = |key: &str| {
+            e.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(Value::as_f64)
+        };
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .filter(|d| d.is_finite() && *d >= 0.0)
+                    .ok_or_else(|| bad(&format!("event {i}: X event without valid dur")))?;
+                trace.spans.push(TraceSpan {
+                    name: name.to_string(),
+                    stage: arg_f64("stage").map(|v| v as u32),
+                    device: arg_f64("device").map(|v| v as u32),
+                    task: arg_f64("task").map(|v| v as u32),
+                    begin: ts / 1e6,
+                    dur: dur / 1e6,
+                    value: arg_f64("flops").unwrap_or(0.0),
+                    bytes: arg_f64("bytes").unwrap_or(0.0) as u64,
+                });
+            }
+            "C" => {
+                trace.counters += 1;
+                // Counter events carry a running total; the last one
+                // seen for a name is its final value.
+                if let Some(total) = arg_f64("value") {
+                    match trace.counter_totals.iter_mut().find(|(n, _)| n == name) {
+                        Some(entry) => entry.1 = total,
+                        None => trace.counter_totals.push((name.to_string(), total)),
+                    }
+                }
+            }
+            "i" => {
+                trace.instants += 1;
+                if let Some(v) = arg_f64("value") {
+                    trace.samples.push((name.to_string(), v));
+                }
+            }
+            other => {
+                return Err(bad(&format!("event {i}: unsupported phase {other:?}")));
+            }
+        }
+    }
+    Ok(trace)
+}
+
+fn bad(reason: &str) -> TelemetryError {
+    TelemetryError::InvalidTrace(reason.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Ctx;
+    use crate::names;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::span_begin(0.0, names::STAGE_BUSY, Ctx::stage(0).for_task(0)),
+            Event::span_begin(
+                0.001,
+                names::COMPUTE,
+                Ctx::stage(0).on_device(1).for_task(0),
+            )
+            .with_value(2e6)
+            .with_bytes(4096),
+            Event::span_end(
+                0.003,
+                names::COMPUTE,
+                Ctx::stage(0).on_device(1).for_task(0),
+            ),
+            Event::span_end(0.004, names::STAGE_BUSY, Ctx::stage(0).for_task(0)),
+            Event {
+                ts: 0.004,
+                name: names::TASKS_COMPLETED,
+                kind: EventKind::Counter,
+                ctx: Ctx::default(),
+                value: 1.0,
+                bytes: 0,
+            },
+            Event {
+                ts: 0.005,
+                name: names::LAMBDA_ESTIMATE,
+                kind: EventKind::Sample,
+                ctx: Ctx::default(),
+                value: 12.5,
+                bytes: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn golden_chrome_trace() {
+        // Byte-for-byte golden: field order, µs conversion, sorting,
+        // and trailing structure are all contractual — Perfetto loads
+        // this exact shape and downstream diffs depend on stability.
+        let expected = concat!(
+            "{\"traceEvents\":[\n",
+            "{\"name\":\"stage_busy\",\"ph\":\"X\",\"ts\":0,\"dur\":4000,\"pid\":0,\"tid\":0,",
+            "\"args\":{\"stage\":0,\"task\":0}},\n",
+            "{\"name\":\"compute\",\"ph\":\"X\",\"ts\":1000,\"dur\":2000,\"pid\":0,\"tid\":1,",
+            "\"args\":{\"stage\":0,\"device\":1,\"task\":0,\"flops\":2000000,\"bytes\":4096}},\n",
+            "{\"name\":\"tasks_completed\",\"ph\":\"C\",\"ts\":4000,\"pid\":0,",
+            "\"args\":{\"value\":1}},\n",
+            "{\"name\":\"lambda_estimate\",\"ph\":\"i\",\"ts\":5000,\"pid\":0,\"tid\":0,",
+            "\"s\":\"g\",\"args\":{\"value\":12.5}}\n",
+            "],\"displayTimeUnit\":\"ms\"}\n",
+        );
+        assert_eq!(chrome_trace(&sample_events()), expected);
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let json = chrome_trace(&sample_events());
+        let trace = parse_chrome_trace(&json).expect("valid trace");
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.counters, 1);
+        assert_eq!(trace.instants, 1);
+        assert_eq!(trace.samples, vec![("lambda_estimate".to_string(), 12.5)]);
+        assert_eq!(
+            trace.counter_totals,
+            vec![("tasks_completed".to_string(), 1.0)]
+        );
+        let compute = trace
+            .spans
+            .iter()
+            .find(|s| s.name == names::COMPUTE)
+            .unwrap();
+        assert_eq!(compute.device, Some(1));
+        assert!((compute.begin - 0.001).abs() < 1e-12);
+        assert!((compute.dur - 0.002).abs() < 1e-12);
+        assert_eq!(compute.value, 2e6);
+        assert_eq!(compute.bytes, 4096);
+    }
+
+    #[test]
+    fn pairing_is_lifo_and_drops_unbalanced() {
+        let ctx = Ctx::stage(0);
+        let events = vec![
+            Event::span_begin(0.0, names::PLAN, ctx),
+            Event::span_begin(1.0, names::PLAN, ctx),
+            Event::span_end(2.0, names::PLAN, ctx),
+            // Outer PLAN never ends; a lone end with no begin:
+            Event::span_end(3.0, names::SCATTER, ctx),
+        ];
+        let spans = pair_spans(&events);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].begin, 1.0);
+        assert_eq!(spans[0].dur, 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_structural_problems() {
+        for (doc, why) in [
+            ("[]", "not an object"),
+            ("{}", "no traceEvents"),
+            (r#"{"traceEvents":[{"ph":"X","ts":0,"dur":1}]}"#, "no name"),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"B","ts":0}]}"#,
+                "bad phase",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"X","ts":0}]}"#,
+                "no dur",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"i","ts":5},{"name":"b","ph":"i","ts":1}]}"#,
+                "unsorted ts",
+            ),
+        ] {
+            assert!(
+                matches!(
+                    parse_chrome_trace(doc),
+                    Err(TelemetryError::InvalidTrace(_))
+                ),
+                "{why}: {doc}"
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The zero-cost promise, checked at the allocator: driving the full
+//! recorder surface through a `Noop` recorder must not allocate.
+//!
+//! The runtime clones a recorder into every worker thread and calls it
+//! per task; if the disabled path ever allocated, "telemetry is free
+//! when off" would be false and it could not stay compiled into the
+//! serving loop unconditionally.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pico_telemetry::{names, Ctx, Event, Recorder};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn noop_recorder_does_not_allocate() {
+    let rec = Recorder::noop();
+    let cloned = rec.clone();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for task in 0..1000 {
+        let ctx = Ctx::stage(0).on_device(1).for_task(task);
+        cloned.record(Event::span_begin(0.0, names::COMPUTE, ctx).with_value(1e9));
+        cloned.record(Event::span_end(1.0, names::COMPUTE, ctx));
+        cloned.span_at(
+            names::STAGE_BUSY,
+            Ctx::stage(0).for_task(task),
+            0.0,
+            1.0,
+            0.0,
+            64,
+        );
+        cloned.instant(names::PLAN_SWITCH, ctx);
+        cloned.instant_at(names::HALO_EXCHANGE, ctx, 0.5, 2.0);
+        cloned.count(names::TASKS_COMPLETED, 1.0);
+        cloned.count_at(names::BYTES_MOVED, ctx, 0.5, 128.0);
+        cloned.observe(names::QUEUE_DELAY_OBSERVED, 0.25);
+        cloned.observe_at(names::LAMBDA_ESTIMATE, ctx, 0.5, 12.0);
+        {
+            let _guard = cloned.span_with(names::SCATTER, ctx);
+        }
+        assert!(!cloned.is_enabled());
+        assert_eq!(cloned.now(), 0.0);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(after - before, 0, "Noop recorder allocated on the hot path");
+
+    // snapshot() hands back an owned (empty) Vec, which std guarantees
+    // allocation-free; exercise it last so the guarantee is also
+    // covered without muddying the loop above.
+    let snap_before = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(rec.snapshot().is_empty());
+    assert_eq!(ALLOCATIONS.load(Ordering::SeqCst) - snap_before, 0);
+}

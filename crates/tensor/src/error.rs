@@ -1,7 +1,11 @@
 use pico_model::{Rows, Shape};
 
 /// Errors raised by tensor operations and the inference engine.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TensorError {
     /// Raw data length does not match the declared shape.
     DataLength {

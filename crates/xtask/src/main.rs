@@ -16,7 +16,13 @@
 //!    (`warn` or `deny`);
 //! 4. **diagnostics-registry** — every `PA###` diagnostic code
 //!    mentioned anywhere in the sources is documented in DESIGN.md's
-//!    "Plan diagnostics registry".
+//!    "Plan diagnostics registry";
+//! 5. **telemetry-name-registry** — span/counter/histogram names
+//!    passed to `Recorder` methods (and `Event` constructors) outside
+//!    `pico-telemetry` itself must be `pico_telemetry::names::*`
+//!    consts, never ad-hoc string literals, so the name registry stays
+//!    the single source of truth and the trace summary's exact-match
+//!    grouping cannot silently miss a misspelled name.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -67,9 +73,10 @@ fn lint() -> ExitCode {
     lint_cost_casts(&root, &mut violations);
     lint_headers(&root, &mut violations);
     lint_registry(&root, &mut violations);
+    lint_telemetry_names(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (4 rules, 0 findings)");
+        println!("xtask lint: clean (5 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -369,6 +376,117 @@ fn lint_registry(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Recorder methods whose *first* argument is an event name.
+const RECORDER_NAME_METHODS: [&str; 9] = [
+    ".span(",
+    ".span_with(",
+    ".span_at(",
+    ".instant(",
+    ".instant_at(",
+    ".count(",
+    ".count_at(",
+    ".observe(",
+    ".observe_at(",
+];
+
+/// `Event` constructors that take a name (second argument, after the
+/// timestamp).
+const EVENT_NAME_CALLS: [&str; 3] = ["Event::span_begin(", "Event::span_end(", "Event::instant("];
+
+/// Byte offsets of every occurrence of `needle` in `haystack`.
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = haystack[start..].find(needle) {
+        out.push(start + p);
+        start += p + needle.len();
+    }
+    out
+}
+
+/// First non-whitespace character at or after `(idx, col)` in the
+/// line stream, looking at most three lines ahead (rustfmt puts a
+/// wrapped first argument on the very next line).
+fn first_arg_char(lines: &[(usize, String)], idx: usize, col: usize) -> Option<char> {
+    for (n, (_, code)) in lines.iter().enumerate().skip(idx).take(4) {
+        let from = if n == idx { col } else { 0 };
+        if let Some(c) = code
+            .get(from..)
+            .and_then(|s| s.chars().find(|c| !c.is_whitespace()))
+        {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Rule-5 findings for one (already test-stripped) source: `(line,
+/// offending token)` pairs where a recorder method or `Event`
+/// constructor is handed a string literal instead of a `names::` const.
+fn telemetry_name_findings(lines: &[(usize, String)]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, (line, code)) in lines.iter().enumerate() {
+        for token in RECORDER_NAME_METHODS {
+            for pos in find_all(code, token) {
+                if first_arg_char(lines, idx, pos + token.len()) == Some('"') {
+                    out.push((*line, token.trim_start_matches('.').to_owned()));
+                }
+            }
+        }
+        for token in EVENT_NAME_CALLS {
+            for pos in find_all(code, token) {
+                // The name is the second argument; scan the argument
+                // window (this line + up to three continuations, cut at
+                // the first close paren) for any string literal.
+                let mut window = code[pos + token.len()..].to_owned();
+                for (_, next) in lines.iter().skip(idx + 1).take(3) {
+                    window.push(' ');
+                    window.push_str(next);
+                }
+                let window = window.split(')').next().unwrap_or("");
+                if window.contains('"') {
+                    out.push((*line, token.to_owned()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule 5: telemetry names outside the telemetry crate come from the
+/// `pico_telemetry::names` registry, never ad-hoc string literals.
+fn lint_telemetry_names(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        // The telemetry crate defines the API (its internals forward a
+        // `name` parameter); the linter's own source spells the
+        // patterns it searches for.
+        if rel.starts_with("crates/telemetry/") || rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let lines = non_test_lines(&source);
+        for (line, token) in telemetry_name_findings(&lines) {
+            violations.push(Violation {
+                rule: "telemetry-name-registry",
+                file: file.clone(),
+                line,
+                detail: format!(
+                    "`{token}...)` called with a string literal; \
+                     use a `pico_telemetry::names` const"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +528,37 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_name_literals_are_flagged() {
+        let src = "\
+fn instrument(rec: &Recorder) {
+    rec.span_at(names::COMPUTE, Ctx::default(), 0.0, 1.0, 0.0, 0);
+    rec.count_at(\"ad_hoc\", Ctx::default(), 0.0, 1.0);
+    rec.observe_at(
+        \"wrapped_literal\",
+        Ctx::default(),
+        0.0,
+        1.0,
+    );
+    rec.record(Event::instant(0.0, \"bad_name\", Ctx::default()));
+    rec.record(Event::instant(0.0, names::PLAN, Ctx::default()));
+    let n = xs.iter().count();
+}
+#[cfg(test)]
+mod tests {
+    fn gated() { rec.count(\"test_only\", 1.0); }
+}
+";
+        let lines = non_test_lines(src);
+        let found = telemetry_name_findings(&lines);
+        let tokens: Vec<&str> = found.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            tokens,
+            vec!["count_at(", "observe_at(", "Event::instant("],
+            "{found:?}"
+        );
+    }
+
+    #[test]
     fn the_workspace_is_lint_clean() {
         // The committed tree must satisfy its own lints; this is the
         // same check CI runs via `cargo xtask lint`.
@@ -419,6 +568,7 @@ mod tests {
         lint_cost_casts(&root, &mut violations);
         lint_headers(&root, &mut violations);
         lint_registry(&root, &mut violations);
+        lint_telemetry_names(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

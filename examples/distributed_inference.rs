@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Failure injection: kill one device and watch the error surface.
     let victim = plan.stages[0].assignments[0].device;
     let engine = Engine::with_seed(pico.model(), 42);
-    let faulty = PipelineRuntime::new(pico.model(), &plan, &engine).with_failed_device(victim);
+    let faulty = PipelineRuntime::builder(pico.model(), &plan, &engine)
+        .failed_device(victim)
+        .build();
     match faulty.run(vec![Tensor::random(pico.model().input_shape(), 7)]) {
         Err(e) => println!("\nwith device {victim} failed: error surfaced as expected: {e}"),
         Ok(_) => println!("\nunexpected success with a failed device"),

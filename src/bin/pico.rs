@@ -29,12 +29,15 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage: pico <command> [options]
+       pico trace <summarize|validate> <file.json>
 
 commands:
   plan       plan a deployment and print the stage layout
   audit      multi-pass plan diagnostics (PA*** codes) per scheme
   compare    predict every scheme (LW/EFL/OFL/GRID/PICO) side by side
   simulate   run a Poisson workload through the queueing simulator
+  run        execute a plan on the threaded runtime (optionally traced)
+  trace      summarize or validate a Chrome trace written by `run`
   memory     per-device memory footprint of the PICO plan
   frontier   the period/latency Pareto frontier (T_lim sweep)
   model      per-layer summary of the model (shapes, params, FLOPs)
@@ -45,13 +48,18 @@ options:
   --devices <n> --ghz <f>    a homogeneous cluster (default 8 x 1.0)
   --bandwidth <mbps>         shared link bandwidth (default 50)
   --t-lim <seconds>          pipeline latency limit (PICO plans)
-  --scheme <lw|efl|ofl|grid|pico>  planner for `plan` (default pico)
+  --scheme <lw|efl|ofl|grid|pico>  planner for `plan`/`run` (default pico)
                              `audit`: audit one scheme (default: all)
   --memory-budget <MB>       `audit`: warn when a device exceeds this
   --redundancy-limit <f>     `audit`: warn above this redundancy ratio
   --load <fraction>          `simulate`: arrival rate as a fraction of
                              EFL capacity (default 1.0)
-  --minutes <m>              `simulate`: virtual duration (default 10)";
+  --minutes <m>              `simulate`: virtual duration (default 10)
+  --tasks <n>                `run`: tasks to push through (default 4)
+  --seed <n>                 `run`: synthetic weight/input seed
+  --throttle-scale <f>       `run`: stretch stages to cost-model
+                             proportions (scaled by <f>)
+  --trace <file.json>        `run`: write a Chrome trace-event file";
 
 /// Tiny hand-rolled `--key value` parser (no CLI dependency).
 struct Opts {
@@ -150,10 +158,41 @@ fn planner_by_name(name: &str) -> Result<Box<dyn Planner>, String> {
     })
 }
 
+/// `pico trace <summarize|validate> <file.json>` — offline inspection
+/// of Chrome trace-event files written by `pico run --trace`.
+fn trace_command(rest: &[String]) -> Result<(), String> {
+    let [sub, path] = rest else {
+        return Err("usage: pico trace <summarize|validate> <file.json>".to_owned());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed =
+        pico::telemetry::trace::parse_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    match sub.as_str() {
+        "validate" => {
+            println!(
+                "{path}: valid Chrome trace ({} span(s), {} counter sample(s), {} instant(s))",
+                parsed.spans.len(),
+                parsed.counters,
+                parsed.instants
+            );
+            Ok(())
+        }
+        "summarize" => {
+            print!("{}", TraceSummary::from_trace(&parsed));
+            Ok(())
+        }
+        other => Err(format!("unknown trace subcommand `{other}`")),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("no command given".to_owned());
     };
+    if command == "trace" {
+        // `trace` takes positional operands, not --key value pairs.
+        return trace_command(rest);
+    }
     let opts = Opts::parse(rest)?;
     let pico = deployment_from(&opts)?;
 
@@ -263,6 +302,60 @@ fn run(args: &[String]) -> Result<(), String> {
                 100.0 * r.avg_utilization(),
                 decisions.len().saturating_sub(1)
             );
+            Ok(())
+        }
+        "run" => {
+            let tasks = opts.get_usize("tasks", 4)?;
+            let seed = opts.get_usize("seed", 7)? as u64;
+            let planner = planner_by_name(opts.get("scheme").unwrap_or("pico"))?;
+            let rec = Recorder::in_memory();
+            let pico = pico.with_recorder(rec.clone());
+            let plan = pico.plan_with(&planner).map_err(|e| e.to_string())?;
+            let inputs: Vec<Tensor> = (0..tasks)
+                .map(|i| Tensor::random(pico.model().input_shape(), seed ^ (i as u64)))
+                .collect();
+            let report = match opts.get("throttle-scale") {
+                Some(s) => {
+                    let scale: f64 = s
+                        .parse()
+                        .map_err(|_| format!("--throttle-scale: bad number `{s}`"))?;
+                    pico.execute_throttled(&plan, inputs, seed, scale)
+                }
+                None => pico.execute(&plan, inputs, seed),
+            }
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{} plan, {} task(s) in {:.3}s: {:.2} tasks/s",
+                plan.scheme,
+                report.outputs.len(),
+                report.elapsed.as_secs_f64(),
+                report.throughput()
+            );
+            if let (Some(period), Some(stage)) =
+                (report.measured_period(), report.bottleneck_stage())
+            {
+                println!("measured period {period:.4}s, bottleneck stage {stage}");
+            }
+            let events = rec.snapshot();
+            print!("{}", TraceSummary::from_events(&events));
+            // PA106: does the measured bottleneck agree with the plan's
+            // cost-model claim?
+            let observed: Vec<f64> = report.stage_stats.iter().map(|s| s.busy_secs).collect();
+            let audit = Auditor::new(pico.model(), pico.cluster())
+                .with_params(pico.params())
+                .with_config(AuditConfig::default().with_observed_stage_busy(observed))
+                .audit(&plan);
+            for d in audit
+                .warnings()
+                .filter(|d| d.code == Code::BottleneckMismatch)
+            {
+                println!("warning: {d}");
+            }
+            if let Some(path) = opts.get("trace") {
+                std::fs::write(path, pico::telemetry::trace::chrome_trace(&events))
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                println!("wrote {} event(s) to {path}", events.len());
+            }
             Ok(())
         }
         "model" => {
@@ -404,6 +497,69 @@ mod tests {
     #[test]
     fn model_summary_runs() {
         run(&sv(&["model", "--model", "mobilenet_v1"])).unwrap();
+    }
+
+    #[test]
+    fn run_writes_a_trace_the_trace_command_accepts() {
+        let path = std::env::temp_dir().join(format!("pico-cli-trace-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_owned();
+        run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "3",
+            "--tasks",
+            "2",
+            "--trace",
+            &path,
+        ]))
+        .unwrap();
+        run(&sv(&["trace", "validate", &path])).unwrap();
+        run(&sv(&["trace", "summarize", &path])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_supports_throttle_and_scheme() {
+        run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "3",
+            "--tasks",
+            "2",
+            "--scheme",
+            "efl",
+            "--throttle-scale",
+            "0.0001",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "3",
+            "--throttle-scale",
+            "abc",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_command_rejects_bad_invocations() {
+        assert!(run(&sv(&["trace"])).is_err());
+        assert!(run(&sv(&["trace", "summarize"])).is_err());
+        assert!(run(&sv(&["trace", "validate", "/nonexistent/pico.json"])).is_err());
+        let path = std::env::temp_dir().join(format!("pico-cli-bad-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_owned();
+        std::fs::write(&path, "not a trace").unwrap();
+        assert!(run(&sv(&["trace", "validate", &path])).is_err());
+        std::fs::write(&path, "{\"traceEvents\":[]}").unwrap();
+        assert!(run(&sv(&["trace", "frobnicate", &path])).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `pico-sim` | [`sim`] | arrival streams, queueing simulation, M/D/1, APICO |
 //! | `pico-audit` | [`audit`] | multi-pass plan diagnostics engine (`pico audit`) |
 //! | `pico-runtime` | [`runtime`] | threaded Fig.-6 pipeline executor |
+//! | `pico-telemetry` | [`telemetry`] | structured spans/counters/histograms, Chrome traces |
 //! | `pico-core` | [`core`] | the [`Pico`] one-stop facade |
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@ pub use pico_model as model;
 pub use pico_partition as partition;
 pub use pico_runtime as runtime;
 pub use pico_sim as sim;
+pub use pico_telemetry as telemetry;
 pub use pico_tensor as tensor;
 
 pub use pico_core::Pico;
@@ -56,9 +58,10 @@ pub mod prelude {
     pub use pico_model::{zoo, Model, Rows, Segment, Shape};
     pub use pico_partition::{
         BfsOptimal, Cluster, Code, CostParams, Device, Diagnostic, EarlyFused, GridFused,
-        LayerWise, OptimalFused, PicoPlanner, Plan, Planner, Scheme, Severity,
+        LayerWise, OptimalFused, PicoPlanner, Plan, PlanRequest, Planner, Scheme, Severity,
     };
-    pub use pico_runtime::{PipelineRuntime, Throttle};
+    pub use pico_runtime::{PipelineRuntime, RunReport, RuntimeBuilder, Throttle};
     pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
+    pub use pico_telemetry::{names, Ctx, Event, EventKind, Recorder, TraceSummary};
     pub use pico_tensor::{Engine, Tensor};
 }

@@ -28,7 +28,7 @@ fn every_planner_executes_bit_exactly_on_homogeneous_cluster() {
         let input = Tensor::random(model.input_shape(), 9);
         let reference = engine.infer(&input).unwrap();
         for planner in planners() {
-            let plan = planner.plan(&model, &cluster, &params).unwrap();
+            let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
             plan.validate(&model, &cluster).unwrap();
             let runtime = PipelineRuntime::new(&model, &plan, &engine);
             let report = runtime.run(vec![input.clone()]).unwrap();
@@ -54,7 +54,7 @@ fn every_planner_executes_bit_exactly_on_heterogeneous_cluster() {
         .collect();
     let references: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x).unwrap()).collect();
     for planner in planners() {
-        let plan = planner.plan(&model, &cluster, &params).unwrap();
+        let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
         plan.validate(&model, &cluster).unwrap();
         let report = PipelineRuntime::new(&model, &plan, &engine)
             .run(inputs.clone())
@@ -78,7 +78,7 @@ fn simulated_throughput_matches_analytic_for_every_scheme() {
         .filter(|p| p.name() != "BFS")
         .collect::<Vec<_>>()
     {
-        let plan = planner.plan(&model, &cluster, &params).unwrap();
+        let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
         let metrics = cm.evaluate(&plan, &cluster);
         let report = sim.run(&plan, &Arrivals::closed_loop(300));
         let expected = 1.0 / metrics.period;
@@ -101,7 +101,7 @@ fn grid_plan_executes_bit_exactly_through_runtime() {
     let params = CostParams::wifi_50mbps();
     let plan = GridFused::new()
         .with_grid(2, 3)
-        .plan(&model, &cluster, &params)
+        .plan_simple(&model, &cluster, &params)
         .unwrap();
     plan.validate(&model, &cluster).unwrap();
     assert!(plan.stages[0].is_grid());
@@ -123,8 +123,8 @@ fn plans_are_deterministic() {
     let cluster = Cluster::paper_heterogeneous();
     let params = CostParams::wifi_50mbps();
     for planner in planners().into_iter().filter(|p| p.name() != "BFS") {
-        let a = planner.plan(&model, &cluster, &params).unwrap();
-        let b = planner.plan(&model, &cluster, &params).unwrap();
+        let a = planner.plan_simple(&model, &cluster, &params).unwrap();
+        let b = planner.plan_simple(&model, &cluster, &params).unwrap();
         assert_eq!(a, b, "{} is nondeterministic", planner.name());
     }
 }

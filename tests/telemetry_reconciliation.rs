@@ -1,0 +1,60 @@
+//! Cross-crate telemetry law: `RunReport::stage_stats` is a *derived
+//! view* over the recorder's `stage_busy` spans. The runtime hands the
+//! exact same timestamps to both, so for any model, cluster, and task
+//! count the span-derived per-stage busy time must equal the report's
+//! to the last bit — not approximately.
+
+use pico::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn stage_stats_reconcile_exactly_with_recorded_spans(
+        model_sel in 0usize..4,
+        devices in 1usize..5,
+        tasks in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let model = if model_sel == 0 {
+            zoo::mnist_toy()
+        } else {
+            zoo::toy(model_sel + 2)
+        };
+        let rec = Recorder::in_memory();
+        let pico = Pico::new(model, Cluster::pi_cluster(devices, 1.0))
+            .with_recorder(rec.clone());
+        let plan = pico.plan().expect("toy models always plan");
+        let inputs: Vec<Tensor> = (0..tasks)
+            .map(|i| Tensor::random(pico.model().input_shape(), seed ^ i as u64))
+            .collect();
+        let report = pico.execute(&plan, inputs, seed).expect("pipeline runs");
+
+        let summary = TraceSummary::from_events(&rec.snapshot());
+
+        // Every stage that did work is present in the trace, and its
+        // span-summed busy time is bit-identical to the report's.
+        let by_span = summary.stage_busy();
+        prop_assert_eq!(by_span.len(), report.stage_stats.len());
+        for stat in &report.stage_stats {
+            let busy = by_span
+                .iter()
+                .find(|(s, _)| *s as usize == stat.stage)
+                .map(|(_, b)| *b);
+            prop_assert_eq!(
+                Some(stat.busy_secs),
+                busy,
+                "stage {} busy diverged from its spans",
+                stat.stage
+            );
+        }
+
+        // Derived aggregates agree exactly too: same inputs, same
+        // arithmetic, no tolerance needed.
+        prop_assert_eq!(summary.measured_period(), report.measured_period());
+        prop_assert_eq!(summary.tasks_completed, tasks as f64);
+        let total_tasks: usize = report.stage_stats.iter().map(|s| s.tasks).sum();
+        prop_assert_eq!(total_tasks, tasks * plan.stage_count());
+    }
+}
