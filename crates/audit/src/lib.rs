@@ -84,6 +84,10 @@ pub struct AuditConfig {
     /// measured bottleneck stage differs from the cost model's, PA106
     /// fires.
     pub observed_stage_busy: Option<Vec<f64>>,
+    /// Devices declared failed/excluded (e.g. the exclusion list a
+    /// degraded `PlanRequest` was built with). Any assignment to one of
+    /// them raises PA203.
+    pub excluded_devices: Vec<usize>,
 }
 
 impl Default for AuditConfig {
@@ -97,6 +101,7 @@ impl Default for AuditConfig {
             claimed_latency: None,
             rel_tol: 1e-6,
             observed_stage_busy: None,
+            excluded_devices: Vec::new(),
         }
     }
 }
@@ -126,6 +131,13 @@ impl AuditConfig {
     /// `stage_busy` totals.
     pub fn with_observed_stage_busy(mut self, busy: Vec<f64>) -> Self {
         self.observed_stage_busy = Some(busy);
+        self
+    }
+
+    /// Declares devices failed/excluded (enables PA203): a degraded
+    /// plan assigning work to any of them is flagged.
+    pub fn with_excluded_devices(mut self, devices: &[usize]) -> Self {
+        self.excluded_devices = devices.to_vec();
         self
     }
 }
@@ -180,6 +192,7 @@ impl<'a> Auditor<'a> {
             self.aspect_ratio_pass(plan, &mut diagnostics);
             self.idle_device_pass(plan, &mut diagnostics);
             self.empty_assignment_pass(plan, &mut diagnostics);
+            self.excluded_device_pass(plan, &mut diagnostics);
         }
         AuditReport { diagnostics }
     }
@@ -364,6 +377,32 @@ impl<'a> Auditor<'a> {
         }
     }
 
+    /// PA203: degraded plans must not route work onto devices the
+    /// request excluded as failed.
+    fn excluded_device_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
+        if self.config.excluded_devices.is_empty() {
+            return;
+        }
+        for (idx, stage) in plan.stages.iter().enumerate() {
+            for a in stage.assignments.iter().filter(|a| !a.is_empty()) {
+                if self.config.excluded_devices.contains(&a.device) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::ExcludedDeviceUsed,
+                            format!(
+                                "stage {idx} assigns rows to device {}, which the request \
+                                 excluded as failed",
+                                a.device
+                            ),
+                        )
+                        .at_stage(idx)
+                        .at_device(a.device),
+                    );
+                }
+            }
+        }
+    }
+
     /// PA202: zero-area assignments clutter plans and confuse readers.
     fn empty_assignment_pass(&self, plan: &Plan, out: &mut Vec<Diagnostic>) {
         for (idx, stage) in plan.stages.iter().enumerate() {
@@ -526,6 +565,43 @@ mod tests {
             .audit(&plan);
         assert!(disagree.has_code(Code::BottleneckMismatch), "{disagree}");
         assert!(disagree.is_executable());
+    }
+
+    #[test]
+    fn excluded_device_pass_flags_only_real_violations() {
+        use pico_partition::PlanRequest;
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let params = CostParams::default();
+        let failed = [1usize];
+
+        // A properly degraded plan routes around the failure: no PA203.
+        let req = PlanRequest::new(&m, &c, &params)
+            .with_excluded_devices(&failed)
+            .unwrap();
+        let degraded = PicoPlanner::new().plan(&req).unwrap();
+        let config = AuditConfig::default().with_excluded_devices(&failed);
+        let clean = Auditor::new(&m, &c)
+            .with_params(params)
+            .with_config(config.clone())
+            .audit(&degraded);
+        assert!(clean.is_executable(), "{clean}");
+        assert!(!clean.has_code(Code::ExcludedDeviceUsed), "{clean}");
+
+        // A plan that still uses the failed device is flagged at Info.
+        let stale = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        let uses_failed = stale
+            .stages
+            .iter()
+            .any(|s| s.assignments.iter().any(|a| a.device == 1 && !a.is_empty()));
+        if uses_failed {
+            let flagged = Auditor::new(&m, &c)
+                .with_params(params)
+                .with_config(config)
+                .audit(&stale);
+            assert!(flagged.has_code(Code::ExcludedDeviceUsed), "{flagged}");
+            assert!(flagged.is_executable(), "PA203 is Info, not Error");
+        }
     }
 
     #[test]

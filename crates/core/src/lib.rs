@@ -31,7 +31,9 @@ use pico_partition::{
     BfsOptimal, Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Plan,
     PlanError, PlanMetrics, PlanRequest, Planner, Scheme,
 };
-use pico_runtime::{PipelineRuntime, RunReport, RuntimeError, Throttle};
+use pico_runtime::{
+    FailureSchedule, PipelineRuntime, RecoveryPolicy, RunReport, RuntimeError, Throttle,
+};
 use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simulation};
 use pico_telemetry::Recorder;
 use pico_tensor::{Engine, Tensor};
@@ -326,9 +328,58 @@ impl Pico {
                 Err(RuntimeError::DeviceFailed { device, .. }) => {
                     excluded.push(device);
                 }
+                // A multi-device outage excludes every casualty in one
+                // round instead of burning a re-plan per device.
+                Err(RuntimeError::Multiple { errors })
+                    if errors
+                        .iter()
+                        .all(|e| matches!(e, RuntimeError::DeviceFailed { .. })) =>
+                {
+                    for e in &errors {
+                        if let RuntimeError::DeviceFailed { device, .. } = e {
+                            if !excluded.contains(device) {
+                                excluded.push(*device);
+                            }
+                        }
+                    }
+                }
                 Err(other) => return Err(other),
             }
         }
+    }
+
+    /// Executes a plan with **in-run** fault tolerance: the scripted
+    /// `schedule` injects device failures mid-stream, and a
+    /// [`RecoveryPolicy`] detects them, retries the dead worker's shard
+    /// on survivors of the same stage, and re-plans the pipeline over
+    /// the surviving cluster when a stage loses every worker — without
+    /// restarting the tasks already completed (contrast with
+    /// [`Pico::execute_with_recovery`], which re-runs the whole batch).
+    ///
+    /// The report carries [`RunReport::failures`] (every device declared
+    /// dead, with the task it died on) and [`RunReport::degraded_plan`]
+    /// (the re-planned pipeline, if one was installed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RecoveryFailed`] when re-planning over
+    /// the survivors is impossible (e.g. the cluster is exhausted), or
+    /// any non-failure runtime error as-is.
+    pub fn execute_resilient(
+        &self,
+        plan: &Plan,
+        inputs: Vec<Tensor>,
+        seed: u64,
+        schedule: FailureSchedule,
+    ) -> Result<RunReport, RuntimeError> {
+        let engine = Engine::with_seed(&self.model, seed);
+        let policy = RecoveryPolicy::new(self.cluster.clone(), self.params);
+        PipelineRuntime::builder(&self.model, plan, &engine)
+            .recorder(self.recorder.clone())
+            .failure_schedule(schedule)
+            .recovery(policy)
+            .build()
+            .run(inputs)
     }
 
     /// Traces the period/latency Pareto frontier (Eq. 1's trade-off)
@@ -444,6 +495,23 @@ mod tests {
             .execute_with_recovery(inputs, 1, &[], &[0, 1])
             .unwrap_err();
         assert!(matches!(err, RuntimeError::DeviceFailed { .. }));
+    }
+
+    #[test]
+    fn resilient_execution_survives_mid_stream_failure() {
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(4, 1.0));
+        let plan = pico.plan().unwrap();
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::random(pico.model().input_shape(), 60 + i))
+            .collect();
+        let reference = pico.execute(&plan, inputs.clone(), 13).unwrap();
+        // Kill a stage-0 device after it served the first task.
+        let victim = plan.stages[0].assignments[0].device;
+        let report = pico
+            .execute_resilient(&plan, inputs, 13, FailureSchedule::new().fail(victim, 1))
+            .unwrap();
+        assert_eq!(report.outputs, reference.outputs);
+        assert!(report.failures.iter().any(|f| f.device == victim));
     }
 
     #[test]

@@ -87,11 +87,14 @@ pub enum Code {
     IdleDevice,
     /// PA202: a stage carries an empty (zero-area) assignment.
     EmptyAssignment,
+    /// PA203: a plan assigns work to a device the audit was told is
+    /// failed/excluded — a degraded plan must route around it.
+    ExcludedDeviceUsed,
 }
 
 impl Code {
     /// Every registered code, in registry order.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 18] = [
         Code::EmptyPlan,
         Code::NonContiguousStages,
         Code::IncompleteCoverage,
@@ -109,6 +112,7 @@ impl Code {
         Code::BottleneckMismatch,
         Code::IdleDevice,
         Code::EmptyAssignment,
+        Code::ExcludedDeviceUsed,
     ];
 
     /// The stable identifier, e.g. `"PA001"`.
@@ -131,6 +135,7 @@ impl Code {
             Code::BottleneckMismatch => "PA106",
             Code::IdleDevice => "PA201",
             Code::EmptyAssignment => "PA202",
+            Code::ExcludedDeviceUsed => "PA203",
         }
     }
 
@@ -152,7 +157,7 @@ impl Code {
             | Code::CostMismatch
             | Code::GridAspect
             | Code::BottleneckMismatch => Severity::Warning,
-            Code::IdleDevice | Code::EmptyAssignment => Severity::Info,
+            Code::IdleDevice | Code::EmptyAssignment | Code::ExcludedDeviceUsed => Severity::Info,
         }
     }
 
@@ -176,6 +181,7 @@ impl Code {
             Code::BottleneckMismatch => "measured bottleneck stage differs from the plan's claim",
             Code::IdleDevice => "cluster device does no work in the plan",
             Code::EmptyAssignment => "stage carries an empty assignment",
+            Code::ExcludedDeviceUsed => "plan assigns work to an excluded (failed) device",
         }
     }
 
@@ -199,6 +205,7 @@ impl Code {
             Code::BottleneckMismatch => "re-profile the cluster or re-plan with measured costs",
             Code::IdleDevice => "spread work onto the device or remove it from the cluster",
             Code::EmptyAssignment => "drop zero-area assignments when emitting the plan",
+            Code::ExcludedDeviceUsed => "re-plan with the failed devices excluded from the request",
         }
     }
 }

@@ -68,6 +68,11 @@ pub enum PlanError {
         /// Bytes the worst-loaded device would need.
         required: usize,
     },
+    /// Excluding failed devices left no devices to plan over.
+    ClusterExhausted {
+        /// Devices the request excluded.
+        excluded: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -110,6 +115,10 @@ impl std::fmt::Display for PlanError {
             PlanError::MemoryBudgetExceeded { budget, required } => write!(
                 f,
                 "plan needs {required} resident bytes on its worst device, budget is {budget}"
+            ),
+            PlanError::ClusterExhausted { excluded } => write!(
+                f,
+                "excluding failed devices {excluded:?} leaves an empty cluster"
             ),
         }
     }

@@ -35,6 +35,10 @@ pub struct PlanRequest<'a> {
     params: &'a CostParams,
     memory_budget: Option<usize>,
     recorder: Recorder,
+    excluded: Vec<usize>,
+    /// `cluster` minus `excluded`; kept owned so [`Self::cluster`] can
+    /// hand out one coherent view either way.
+    reduced: Option<Cluster>,
 }
 
 impl<'a> PlanRequest<'a> {
@@ -46,6 +50,8 @@ impl<'a> PlanRequest<'a> {
             params,
             memory_budget: None,
             recorder: Recorder::noop(),
+            excluded: Vec::new(),
+            reduced: None,
         }
     }
 
@@ -64,14 +70,43 @@ impl<'a> PlanRequest<'a> {
         self
     }
 
+    /// Excludes failed devices from planning: [`Self::cluster`] then
+    /// returns the surviving subset, so every planner transparently
+    /// produces a degraded plan. Errors with
+    /// [`PlanError::ClusterExhausted`] when nothing survives. Ids not
+    /// present in the cluster are ignored; repeat calls accumulate.
+    pub fn with_excluded_devices(mut self, failed: &[usize]) -> Result<Self, PlanError> {
+        for id in failed {
+            if !self.excluded.contains(id) {
+                self.excluded.push(*id);
+            }
+        }
+        self.excluded.sort_unstable();
+        match self.cluster.without(&self.excluded) {
+            Some(reduced) => {
+                self.reduced = Some(reduced);
+                Ok(self)
+            }
+            None => Err(PlanError::ClusterExhausted {
+                excluded: self.excluded,
+            }),
+        }
+    }
+
     /// The model to partition.
     pub fn model(&self) -> &'a Model {
         self.model
     }
 
-    /// The device cluster.
-    pub fn cluster(&self) -> &'a Cluster {
-        self.cluster
+    /// The device cluster planners must plan over: the full cluster,
+    /// or the surviving subset when devices were excluded.
+    pub fn cluster(&self) -> &Cluster {
+        self.reduced.as_ref().unwrap_or(self.cluster)
+    }
+
+    /// Device ids excluded from planning, ascending (empty when none).
+    pub fn excluded_devices(&self) -> &[usize] {
+        &self.excluded
     }
 
     /// Cost-model parameters (bandwidth, latency limit, ...).
@@ -149,6 +184,37 @@ mod tests {
                 assert!(required > budget);
             }
             other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusion_filters_the_cluster_and_plans_degraded() {
+        let m = zoo::toy(6);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let p = CostParams::default();
+        let req = PlanRequest::new(&m, &c, &p)
+            .with_excluded_devices(&[1, 3])
+            .expect("two devices survive");
+        assert_eq!(req.excluded_devices(), &[1, 3]);
+        assert_eq!(req.cluster().len(), 2);
+        let plan = PicoPlanner::new().plan(&req).expect("degraded plan");
+        for stage in &plan.stages {
+            for a in &stage.assignments {
+                assert!(a.device != 1 && a.device != 3, "excluded device used");
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_everything_is_a_typed_error() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let p = CostParams::default();
+        match PlanRequest::new(&m, &c, &p).with_excluded_devices(&[0, 1]) {
+            Err(PlanError::ClusterExhausted { excluded }) => {
+                assert_eq!(excluded, vec![0, 1]);
+            }
+            other => panic!("expected ClusterExhausted, got {other:?}"),
         }
     }
 

@@ -1,10 +1,9 @@
-use std::collections::HashSet;
-
 use pico_model::Model;
 use pico_partition::Plan;
 use pico_telemetry::Recorder;
 use pico_tensor::Engine;
 
+use crate::fault::{FailureSchedule, RecoveryPolicy};
 use crate::{PipelineRuntime, Throttle};
 
 /// Configures a [`PipelineRuntime`] with named setters instead of the
@@ -34,7 +33,8 @@ pub struct RuntimeBuilder<'a> {
     plan: &'a Plan,
     engine: &'a Engine<'a>,
     throttle: Option<Throttle>,
-    failed: HashSet<usize>,
+    schedule: FailureSchedule,
+    recovery: Option<RecoveryPolicy>,
     recorder: Recorder,
     channel_capacity: Option<usize>,
 }
@@ -46,7 +46,8 @@ impl<'a> RuntimeBuilder<'a> {
             plan,
             engine,
             throttle: None,
-            failed: HashSet::new(),
+            schedule: FailureSchedule::new(),
+            recovery: None,
             recorder: Recorder::noop(),
             channel_capacity: None,
         }
@@ -81,11 +82,34 @@ impl<'a> RuntimeBuilder<'a> {
         self
     }
 
-    /// Marks a device as failed (its worker errors instead of
-    /// computing) — failure injection for tests and chaos experiments.
-    /// May be called repeatedly to fail several devices.
+    /// Marks a device as failed from the first task on (its worker
+    /// errors instead of computing) — failure injection for tests and
+    /// chaos experiments. May be called repeatedly to fail several
+    /// devices; shorthand for a [`FailureSchedule`] entry at task 0.
     pub fn failed_device(mut self, device: usize) -> Self {
-        self.failed.insert(device);
+        self.schedule = self.schedule.fail(device, 0);
+        self
+    }
+
+    /// Installs a deterministic failure script: each entry makes a
+    /// device fail (or stall, then fail) from a given task index on.
+    /// Entries accumulate with any prior
+    /// [`failed_device`](Self::failed_device) calls.
+    pub fn failure_schedule(mut self, schedule: FailureSchedule) -> Self {
+        for f in schedule.entries() {
+            self.schedule = match f.stall {
+                Some(stall) => self.schedule.fail_with_stall(f.device, f.from_task, stall),
+                None => self.schedule.fail(f.device, f.from_task),
+            };
+        }
+        self
+    }
+
+    /// Installs a [`RecoveryPolicy`]: device failures are detected and
+    /// retried on surviving workers, and a stage that loses every
+    /// worker triggers a degraded re-plan instead of failing the run.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -103,7 +127,8 @@ impl<'a> RuntimeBuilder<'a> {
             plan: self.plan,
             engine: self.engine,
             throttle: self.throttle,
-            failed: self.failed,
+            schedule: self.schedule,
+            recovery: self.recovery,
             recorder: self.recorder,
             channel_capacity: self.channel_capacity,
         }
@@ -126,8 +151,27 @@ mod tests {
         let rt = PipelineRuntime::builder(&m, &plan, &engine).build();
         assert!(!rt.recorder.is_enabled());
         assert!(rt.throttle.is_none());
-        assert!(rt.failed.is_empty());
+        assert!(rt.schedule.is_empty());
+        assert!(rt.recovery.is_none());
         assert!(rt.channel_capacity.is_none());
+    }
+
+    #[test]
+    fn failure_schedule_accumulates_with_failed_device() {
+        let m = pico_model::zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = PicoPlanner
+            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .unwrap();
+        let engine = Engine::with_seed(&m, 1);
+        let rt = PipelineRuntime::builder(&m, &plan, &engine)
+            .failed_device(2)
+            .failure_schedule(FailureSchedule::new().fail(3, 5))
+            .build();
+        assert_eq!(rt.schedule.entries().len(), 2);
+        assert!(rt.schedule.injected(2, 0).is_some());
+        assert!(rt.schedule.injected(3, 4).is_none());
+        assert!(rt.schedule.injected(3, 5).is_some());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use pico_partition::PlanError;
 use pico_tensor::TensorError;
 
 /// Errors surfaced by the pipeline runtime.
@@ -30,6 +31,30 @@ pub enum RuntimeError {
         /// Human-readable description.
         detail: String,
     },
+    /// Several workers failed on the same task. The gather loop keeps
+    /// every error it sees (not just the first), so a multi-device
+    /// outage surfaces all of its casualties.
+    Multiple {
+        /// The individual failures, in worker order.
+        errors: Vec<RuntimeError>,
+    },
+    /// A stage lost every worker at `task`: nothing is left to retry
+    /// onto. With a recovery policy this triggers degraded re-planning
+    /// instead of surfacing.
+    StageLost {
+        /// The stage with no surviving workers.
+        stage: usize,
+        /// First task the stage could not serve.
+        task: usize,
+    },
+    /// Degraded re-planning failed: the planner could not produce a
+    /// plan over the surviving cluster.
+    RecoveryFailed {
+        /// Devices excluded as dead, ascending.
+        excluded: Vec<usize>,
+        /// Why the re-plan failed (e.g. the cluster was exhausted).
+        source: PlanError,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -47,6 +72,23 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::BadInput { task, detail } => {
                 write!(f, "bad input for task {task}: {detail}")
             }
+            RuntimeError::Multiple { errors } => {
+                write!(f, "{} workers failed: ", errors.len())?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            RuntimeError::StageLost { stage, task } => {
+                write!(f, "stage {stage} lost all of its workers at task {task}")
+            }
+            RuntimeError::RecoveryFailed { excluded, source } => write!(
+                f,
+                "re-planning without failed devices {excluded:?} failed: {source}"
+            ),
         }
     }
 }
@@ -55,6 +97,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Tensor(e) => Some(e),
+            RuntimeError::RecoveryFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -81,5 +124,41 @@ mod tests {
     fn tensor_error_chains_source() {
         let e: RuntimeError = TensorError::Empty.into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn multiple_lists_every_casualty() {
+        let e = RuntimeError::Multiple {
+            errors: vec![
+                RuntimeError::DeviceFailed {
+                    device: 1,
+                    task: 0,
+                    cause: "x".into(),
+                },
+                RuntimeError::DeviceFailed {
+                    device: 3,
+                    task: 0,
+                    cause: "y".into(),
+                },
+            ],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 workers failed"), "got {msg}");
+        assert!(
+            msg.contains("device 1") && msg.contains("device 3"),
+            "got {msg}"
+        );
+    }
+
+    #[test]
+    fn recovery_failed_chains_the_plan_error() {
+        let e = RuntimeError::RecoveryFailed {
+            excluded: vec![0, 2],
+            source: PlanError::ClusterExhausted {
+                excluded: vec![0, 2],
+            },
+        };
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("[0, 2]"));
     }
 }

@@ -17,9 +17,17 @@
 //!   simulator's job (`pico-sim`), not this crate's. An optional
 //!   [`Throttle`] stretches per-device compute to cost-model
 //!   proportions, which makes relative speedups observable on a laptop.
-//! * **Failure injection** — devices can be marked failed; the error
-//!   surfaces from [`PipelineRuntime::run`] instead of hanging the
-//!   pipeline.
+//! * **Failure injection** — a deterministic [`FailureSchedule`]
+//!   scripts which devices fail (or stall) from which task on; without
+//!   a recovery policy the error surfaces from [`PipelineRuntime::run`]
+//!   instead of hanging the pipeline, and simultaneous failures are all
+//!   reported ([`RuntimeError::Multiple`]).
+//! * **Degraded-mode execution** — with a [`RecoveryPolicy`], failures
+//!   are detected (explicit worker errors or response timeouts), the
+//!   dead worker's shard is retried on a surviving device of the same
+//!   stage, and a stage that loses every worker triggers a re-plan over
+//!   the surviving cluster; the run resumes and the report carries
+//!   [`RunReport::failures`] and [`RunReport::degraded_plan`].
 //! * **Observability** — attach a [`pico_telemetry::Recorder`] via
 //!   [`PipelineRuntime::builder`] and every scatter/compute/stitch step
 //!   emits spans; [`RunReport::stage_stats`] is a derived view over
@@ -53,10 +61,12 @@
 
 mod builder;
 mod error;
+mod fault;
 mod runtime;
 mod throttle;
 
 pub use builder::RuntimeBuilder;
 pub use error::RuntimeError;
+pub use fault::{FailureRecord, FailureSchedule, InjectedFailure, RecoveryPolicy};
 pub use runtime::{PipelineRuntime, RunReport, StageStat, TaskTiming};
 pub use throttle::Throttle;

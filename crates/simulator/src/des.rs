@@ -1,5 +1,5 @@
-use pico_model::Model;
-use pico_partition::{redundancy, Cluster, CostParams, ExecutionMode, Plan};
+use pico_model::{Model, Rows};
+use pico_partition::{redundancy, Assignment, Cluster, CostParams, ExecutionMode, Plan, Stage};
 use pico_telemetry::{names, Ctx, Recorder};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -29,6 +29,9 @@ pub struct Simulation<'a> {
     /// Optional straggler model: per-(task, stage) service times are
     /// multiplied by `1 + Exp(1) * jitter` (mean factor `1 + jitter`).
     jitter: Option<(f64, u64)>,
+    /// Scripted failures `(device, from_task)`: the device is gone for
+    /// every task whose index is `>= from_task`.
+    failures: Vec<(usize, usize)>,
     /// Telemetry sink; event timestamps are **virtual** (simulation)
     /// time, not wall clock.
     recorder: Recorder,
@@ -42,8 +45,22 @@ impl<'a> Simulation<'a> {
             cluster,
             params: *params,
             jitter: None,
+            failures: Vec::new(),
             recorder: Recorder::noop(),
         }
+    }
+
+    /// Scripts device failures into the simulation: each `(device,
+    /// from_task)` entry removes the device for every task whose index
+    /// is `>= from_task`. Surviving devices of an affected stage absorb
+    /// its rows (redistributed evenly, the cost model pricing the
+    /// degraded stage); a stage with no survivor drops every remaining
+    /// task it is offered. Each failure emits a `device_failed` instant
+    /// stamped in virtual time, so simulated failover traces line up
+    /// with the runtime's.
+    pub fn with_failures(mut self, failures: &[(usize, usize)]) -> Self {
+        self.failures.extend_from_slice(failures);
+        self
     }
 
     /// Enables straggler jitter: each (task, stage) service time is
@@ -152,14 +169,97 @@ impl<'a> Simulation<'a> {
             .collect()
     }
 
+    /// Rebuilds the plan's stations with `failed` devices removed: a
+    /// stage's surviving devices split its whole row span evenly (the
+    /// simulated analogue of the runtime retrying a dead worker's shard
+    /// on survivors; grid column splits collapse to row strips). `None`
+    /// marks a station whose stage has no survivor left.
+    fn degraded_stations(&self, plan: &Plan, failed: &[usize]) -> Vec<Option<Station>> {
+        let stages: Vec<Option<Stage>> = plan
+            .stages
+            .iter()
+            .map(|stage| {
+                let survivors: Vec<&Assignment> = stage
+                    .assignments
+                    .iter()
+                    .filter(|a| !a.is_empty() && !failed.contains(&a.device))
+                    .collect();
+                if survivors.is_empty() {
+                    return None;
+                }
+                let live = stage.assignments.iter().filter(|a| !a.is_empty());
+                let lo = live.clone().map(|a| a.rows.start).min().unwrap_or(0);
+                let hi = live.map(|a| a.rows.end).max().unwrap_or(0);
+                let total = hi - lo;
+                let n = survivors.len();
+                let mut cursor = lo;
+                let redistributed = survivors
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        let take = total / n + usize::from(i < total % n);
+                        let rows = Rows::new(cursor, cursor + take);
+                        cursor += take;
+                        Assignment::new(a.device, rows)
+                    })
+                    .collect();
+                Some(Stage::new(stage.segment, redistributed))
+            })
+            .collect();
+        if stages.iter().all(|s| s.is_some()) {
+            let degraded = Plan::new(
+                plan.scheme,
+                plan.mode,
+                stages.into_iter().flatten().collect(),
+            );
+            return self.stations(&degraded).into_iter().map(Some).collect();
+        }
+        match plan.mode {
+            // One collapsed station: losing any stage loses the chain.
+            ExecutionMode::Sequential => vec![None],
+            ExecutionMode::Pipelined => {
+                let cm = self.params.cost_model(self.model);
+                stages
+                    .into_iter()
+                    .map(|opt| {
+                        opt.map(|stage| {
+                            let cost = cm.stage_cost(&stage, self.cluster);
+                            let busy = stage
+                                .assignments
+                                .iter()
+                                .filter(|a| !a.is_empty())
+                                .map(|a| {
+                                    let d = self
+                                        .cluster
+                                        .device(a.device)
+                                        .expect("plan validated against this cluster");
+                                    (a.device, cm.comp_time_of(d, stage.segment, a))
+                                })
+                                .collect();
+                            Station {
+                                service: cost.total(),
+                                busy_per_task: busy,
+                            }
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
     /// Runs `plan` over `arrivals` and reports latency, throughput,
     /// utilization, and redundancy.
     ///
     /// Closed-loop streams admit each task the moment the first station
     /// frees up (saturation); open-loop streams queue tasks at their
-    /// arrival times.
+    /// arrival times. With [`with_failures`](Simulation::with_failures),
+    /// stations degrade as their devices die; a task offered to a
+    /// stage with no survivor is dropped (it never completes, and
+    /// [`SimReport::completed`] falls short of the offered count).
     pub fn run(&self, plan: &Plan, arrivals: &Arrivals) -> SimReport {
-        let stations = self.stations(plan);
+        let mut stations: Vec<Option<Station>> =
+            self.stations(plan).into_iter().map(Some).collect();
+        let mut failed_now: Vec<usize> = Vec::new();
         let mut free = vec![0.0f64; stations.len()];
         let mut busy: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for d in self.cluster.devices() {
@@ -173,14 +273,47 @@ impl<'a> Simulation<'a> {
         let rec = &self.recorder;
         let enabled = rec.is_enabled();
 
+        // Applies every scripted failure whose from_task has been
+        // reached, emitting device_failed instants in virtual time and
+        // rebuilding the degraded stations.
+        let update_regime = |task: usize,
+                             now: f64,
+                             stations: &mut Vec<Option<Station>>,
+                             failed_now: &mut Vec<usize>| {
+            let newly: Vec<usize> = self
+                .failures
+                .iter()
+                .filter(|(d, from)| task >= *from && !failed_now.contains(d))
+                .map(|(d, _)| *d)
+                .collect();
+            if newly.is_empty() {
+                return;
+            }
+            for d in newly {
+                if enabled {
+                    rec.instant_at(
+                        names::DEVICE_FAILED,
+                        Ctx::default().on_device(d).for_task(task),
+                        now,
+                        0.0,
+                    );
+                }
+                failed_now.push(d);
+            }
+            failed_now.sort_unstable();
+            *stations = self.degraded_stations(plan, failed_now);
+        };
+
         let mut admit = |task: usize,
                          arrival: f64,
+                         stations: &[Option<Station>],
                          free: &mut Vec<f64>,
                          busy: &mut std::collections::BTreeMap<usize, f64>|
-         -> f64 {
+         -> Option<f64> {
             let mut t = arrival;
             let mut waited = 0.0;
-            for (s, station) in stations.iter().enumerate() {
+            for (s, slot) in stations.iter().enumerate() {
+                let station = slot.as_ref()?;
                 let stretch = match &mut rng {
                     Some((j, r)) => {
                         let u: f64 = r.gen_range(f64::EPSILON..1.0);
@@ -215,15 +348,17 @@ impl<'a> Simulation<'a> {
                     waited,
                 );
             }
-            t
+            Some(t)
         };
 
         match arrivals.times() {
             Some(times) => {
                 for (task, a) in times.into_iter().enumerate() {
-                    let done = admit(task, a, &mut free, &mut busy);
-                    latencies.push(done - a);
-                    last_completion = last_completion.max(done);
+                    update_regime(task, a, &mut stations, &mut failed_now);
+                    if let Some(done) = admit(task, a, &stations, &mut free, &mut busy) {
+                        latencies.push(done - a);
+                        last_completion = last_completion.max(done);
+                    }
                 }
             }
             None => {
@@ -233,9 +368,11 @@ impl<'a> Simulation<'a> {
                 };
                 for task in 0..count {
                     let a = free[0];
-                    let done = admit(task, a, &mut free, &mut busy);
-                    latencies.push(done - a);
-                    last_completion = last_completion.max(done);
+                    update_regime(task, a, &mut stations, &mut failed_now);
+                    if let Some(done) = admit(task, a, &stations, &mut free, &mut busy) {
+                        latencies.push(done - a);
+                        last_completion = last_completion.max(done);
+                    }
                 }
             }
         }
@@ -438,6 +575,94 @@ mod tests {
         assert!(waits
             .iter()
             .all(|e| e.value >= 0.0 && e.ts <= makespan * 1.01));
+    }
+
+    /// A device from a stage that has at least one other live device,
+    /// so failing it degrades the stage instead of losing it.
+    fn victim_in_shared_stage(plan: &Plan) -> usize {
+        plan.stages
+            .iter()
+            .find_map(|st| {
+                let live: Vec<_> = st.assignments.iter().filter(|a| !a.is_empty()).collect();
+                (live.len() >= 2).then(|| live[0].device)
+            })
+            .expect("pico plan has a multi-device stage")
+    }
+
+    #[test]
+    fn failed_device_lowers_throughput_but_keeps_completions() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let victim = victim_in_shared_stage(&plan);
+        let clean = Simulation::new(&m, &c, &p).run(&plan, &Arrivals::closed_loop(100));
+        let degraded = Simulation::new(&m, &c, &p)
+            .with_failures(&[(victim, 0)])
+            .run(&plan, &Arrivals::closed_loop(100));
+        // Survivors absorb the dead device's rows: nothing is dropped,
+        // but the degraded stage is slower so throughput falls.
+        assert_eq!(degraded.completed, clean.completed);
+        assert!(
+            degraded.throughput < clean.throughput,
+            "degraded {} clean {}",
+            degraded.throughput,
+            clean.throughput
+        );
+    }
+
+    #[test]
+    fn stage_with_no_survivor_drops_remaining_tasks() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        // Kill every stage-0 device from task 5 on: tasks 0..5 complete,
+        // everything after is offered to a stage with no survivor.
+        let outage: Vec<(usize, usize)> = plan.stages[0]
+            .assignments
+            .iter()
+            .filter(|a| !a.is_empty())
+            .map(|a| (a.device, 5))
+            .collect();
+        let report = Simulation::new(&m, &c, &p)
+            .with_failures(&outage)
+            .run(&plan, &Arrivals::closed_loop(20));
+        assert_eq!(report.completed, 5);
+    }
+
+    #[test]
+    fn failure_emits_virtual_time_instant() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let metrics = p.cost_model(&m).evaluate(&plan, &c);
+        let victim = victim_in_shared_stage(&plan);
+        let rec = Recorder::in_memory();
+        let gap = metrics.latency * 10.0;
+        let trace = Arrivals::trace((0..6).map(|i| i as f64 * gap).collect());
+        Simulation::new(&m, &c, &p)
+            .with_failures(&[(victim, 3)])
+            .with_recorder(rec.clone())
+            .run(&plan, &trace);
+        let events = rec.snapshot();
+        let fails: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::DEVICE_FAILED)
+            .collect();
+        assert_eq!(fails.len(), 1, "one failure, one instant");
+        assert_eq!(fails[0].ctx.device.get(), Some(victim as u32));
+        assert_eq!(fails[0].ctx.task.get(), Some(3));
+        // Stamped at the affected task's arrival, in virtual seconds.
+        assert!((fails[0].ts - 3.0 * gap).abs() < 1e-9, "ts {}", fails[0].ts);
+    }
+
+    #[test]
+    fn degraded_simulation_is_deterministic() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let victim = victim_in_shared_stage(&plan);
+        let run = || {
+            Simulation::new(&m, &c, &p)
+                .with_failures(&[(victim, 2)])
+                .run(&plan, &Arrivals::closed_loop(40))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -53,8 +53,22 @@ pub const TASKS_COMPLETED: &str = "tasks_completed";
 /// Bytes moved between devices (counter).
 pub const BYTES_MOVED: &str = "bytes_moved";
 
+/// A worker device was classified dead (instant): it returned an
+/// explicit error or missed the per-task response timeout. `ctx`:
+/// stage, device, task (the task that exposed the failure).
+pub const DEVICE_FAILED: &str = "device_failed";
+
+/// A dead worker's shard was re-routed to a surviving device of the
+/// same stage (instant). `ctx`: stage, device (the survivor), task.
+pub const TASK_RETRIED: &str = "task_retried";
+
+/// A stage lost all redundancy and the coordinator installed a
+/// degraded plan excluding the failed devices (instant). `ctx.task`:
+/// first task executed under the new plan.
+pub const PLAN_DEGRADED: &str = "plan_degraded";
+
 /// Every registered name, in registry order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 16] = [
     SCATTER,
     COMPUTE,
     HALO_EXCHANGE,
@@ -68,6 +82,9 @@ pub const ALL: [&str; 13] = [
     SIM_SERVICE,
     TASKS_COMPLETED,
     BYTES_MOVED,
+    DEVICE_FAILED,
+    TASK_RETRIED,
+    PLAN_DEGRADED,
 ];
 
 #[cfg(test)]

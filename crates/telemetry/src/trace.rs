@@ -52,6 +52,10 @@ pub struct ParsedTrace {
     pub counters: usize,
     /// Number of instant events (with or without a value).
     pub instants: usize,
+    /// `(name, ts seconds)` for every instant event, in stream order —
+    /// lets failover tests assert event ordering (`device_failed`
+    /// before `plan_degraded`) from a re-parsed trace.
+    pub instant_events: Vec<(String, f64)>,
 }
 
 impl ParsedTrace {
@@ -267,6 +271,7 @@ pub fn parse_chrome_trace(text: &str) -> Result<ParsedTrace, TelemetryError> {
             }
             "i" => {
                 trace.instants += 1;
+                trace.instant_events.push((name.to_string(), ts / 1e6));
                 if let Some(v) = arg_f64("value") {
                     trace.samples.push((name.to_string(), v));
                 }
@@ -352,6 +357,9 @@ mod tests {
         assert_eq!(trace.counters, 1);
         assert_eq!(trace.instants, 1);
         assert_eq!(trace.samples, vec![("lambda_estimate".to_string(), 12.5)]);
+        assert_eq!(trace.instant_events.len(), 1);
+        assert_eq!(trace.instant_events[0].0, names::LAMBDA_ESTIMATE);
+        assert!((trace.instant_events[0].1 - 0.005).abs() < 1e-12);
         assert_eq!(
             trace.counter_totals,
             vec![("tasks_completed".to_string(), 1.0)]

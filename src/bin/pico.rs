@@ -59,6 +59,10 @@ options:
   --seed <n>                 `run`: synthetic weight/input seed
   --throttle-scale <f>       `run`: stretch stages to cost-model
                              proportions (scaled by <f>)
+  --fail-device <id>@<task>  `run`: inject a failure — device <id> dies
+                             from task <task> on; repeatable. Failures
+                             are retried on survivors and the pipeline
+                             re-planned when a stage loses every device
   --trace <file.json>        `run`: write a Chrome trace-event file";
 
 /// Tiny hand-rolled `--key value` parser (no CLI dependency).
@@ -89,6 +93,14 @@ impl Opts {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every occurrence of a repeatable option, in order.
+    fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.pairs
+            .iter()
+            .filter(move |(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.get(name) {
             None => Ok(default),
@@ -104,6 +116,19 @@ impl Opts {
                 .map_err(|_| format!("--{name}: bad integer `{v}`")),
         }
     }
+}
+
+/// Parses a `--fail-device` spec: `<id>@<task>`, or a bare `<id>`
+/// meaning "dead from the first task on".
+fn parse_failure(spec: &str) -> Result<(usize, usize), String> {
+    let (dev, task) = spec.split_once('@').unwrap_or((spec, "0"));
+    let device = dev
+        .parse()
+        .map_err(|_| format!("--fail-device: bad device id in `{spec}`"))?;
+    let from_task = task
+        .parse()
+        .map_err(|_| format!("--fail-device: bad task index in `{spec}`"))?;
+    Ok((device, from_task))
 }
 
 fn model_by_name(name: &str) -> Result<Model, String> {
@@ -314,16 +339,38 @@ fn run(args: &[String]) -> Result<(), String> {
             let inputs: Vec<Tensor> = (0..tasks)
                 .map(|i| Tensor::random(pico.model().input_shape(), seed ^ (i as u64)))
                 .collect();
-            let report = match opts.get("throttle-scale") {
-                Some(s) => {
+            let mut schedule = FailureSchedule::new();
+            for spec in opts.get_all("fail-device") {
+                let (device, from_task) = parse_failure(spec)?;
+                schedule = schedule.fail(device, from_task);
+            }
+            let report = match (opts.get("throttle-scale"), schedule.is_empty()) {
+                (Some(_), false) => {
+                    return Err("--fail-device cannot be combined with --throttle-scale".to_owned())
+                }
+                (Some(s), true) => {
                     let scale: f64 = s
                         .parse()
                         .map_err(|_| format!("--throttle-scale: bad number `{s}`"))?;
                     pico.execute_throttled(&plan, inputs, seed, scale)
                 }
-                None => pico.execute(&plan, inputs, seed),
+                (None, false) => pico.execute_resilient(&plan, inputs, seed, schedule),
+                (None, true) => pico.execute(&plan, inputs, seed),
             }
             .map_err(|e| e.to_string())?;
+            for f in &report.failures {
+                println!(
+                    "device {} failed at stage {} task {}: {}",
+                    f.device, f.stage, f.task, f.cause
+                );
+            }
+            if let Some(degraded) = &report.degraded_plan {
+                let excluded: Vec<usize> = report.failures.iter().map(|f| f.device).collect();
+                println!(
+                    "re-planned without {excluded:?}: degraded plan has {} stage(s)",
+                    degraded.stage_count()
+                );
+            }
             println!(
                 "{} plan, {} task(s) in {:.3}s: {:.2} tasks/s",
                 plan.scheme,
@@ -546,6 +593,49 @@ mod tests {
             "abc",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn run_fail_device_injects_and_recovers() {
+        // Mid-stream failure: retried on survivors / re-planned.
+        run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--tasks",
+            "3",
+            "--fail-device",
+            "1@1",
+        ]))
+        .unwrap();
+        // Bare id: dead from the first task on.
+        run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--tasks",
+            "2",
+            "--fail-device",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn fail_device_rejects_bad_specs() {
+        let base = ["run", "--model", "mnist_toy", "--devices", "4"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            sv(&v)
+        };
+        assert!(run(&with(&["--fail-device", "x@1"])).is_err());
+        assert!(run(&with(&["--fail-device", "1@y"])).is_err());
+        assert!(run(&with(&["--fail-device", "1", "--throttle-scale", "0.001"])).is_err());
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub mod prelude {
         BfsOptimal, Cluster, Code, CostParams, Device, Diagnostic, EarlyFused, GridFused,
         LayerWise, OptimalFused, PicoPlanner, Plan, PlanRequest, Planner, Scheme, Severity,
     };
-    pub use pico_runtime::{PipelineRuntime, RunReport, RuntimeBuilder, Throttle};
+    pub use pico_runtime::{
+        FailureRecord, FailureSchedule, InjectedFailure, PipelineRuntime, RecoveryPolicy,
+        RunReport, RuntimeBuilder, RuntimeError, Throttle,
+    };
     pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
     pub use pico_telemetry::{names, Ctx, Event, EventKind, Recorder, TraceSummary};
     pub use pico_tensor::{Engine, Tensor};

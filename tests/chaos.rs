@@ -1,0 +1,194 @@
+//! Deterministic chaos harness: scripted device failures pushed through
+//! the *threaded* runtime, across a matrix of weight seeds and failure
+//! schedules. Every completed task must be bit-exact against clean
+//! single-device inference, the outage must be recorded in the report,
+//! and throttled throughput must degrade no worse than the cost model
+//! predicts for the degraded plan.
+
+use pico::model::{ConvSpec, Layer};
+use pico::partition::{Assignment, ExecutionMode, Stage};
+use pico::prelude::*;
+
+fn setup() -> (Model, Cluster, CostParams) {
+    (
+        zoo::mnist_toy(),
+        Cluster::pi_cluster(4, 1.0),
+        CostParams::wifi_50mbps(),
+    )
+}
+
+/// Three qualitatively different outages, aimed at devices the plan
+/// actually uses: an early-stage death, a late-stage death, and a
+/// two-device cascade.
+fn schedules(plan: &Plan) -> Vec<FailureSchedule> {
+    let first = plan
+        .stages
+        .first()
+        .expect("non-empty plan")
+        .assignments
+        .iter()
+        .find(|a| !a.is_empty())
+        .expect("non-empty stage")
+        .device;
+    let last = plan
+        .stages
+        .last()
+        .expect("non-empty plan")
+        .assignments
+        .iter()
+        .rev()
+        .find(|a| !a.is_empty())
+        .expect("non-empty stage")
+        .device;
+    vec![
+        FailureSchedule::new().fail(first, 1),
+        FailureSchedule::new().fail(last, 2),
+        FailureSchedule::new().fail(first, 1).fail(last, 3),
+    ]
+}
+
+#[test]
+fn chaos_matrix_is_bit_exact_across_seeds_and_schedules() {
+    let (m, c, p) = setup();
+    let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+    let n = 5;
+    for seed in [11u64, 22, 33] {
+        let engine = Engine::with_seed(&m, seed);
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::random(m.input_shape(), seed ^ (i as u64)))
+            .collect();
+        let references: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x).unwrap()).collect();
+        for (si, schedule) in schedules(&plan).into_iter().enumerate() {
+            let scripted: Vec<usize> = schedule.entries().iter().map(|f| f.device).collect();
+            let report = PipelineRuntime::builder(&m, &plan, &engine)
+                .failure_schedule(schedule)
+                .recovery(RecoveryPolicy::new(c.clone(), p))
+                .build()
+                .run(inputs.clone())
+                .unwrap_or_else(|e| panic!("seed {seed} schedule {si}: {e}"));
+            assert_eq!(
+                report.outputs.len(),
+                n,
+                "seed {seed} schedule {si}: tasks lost"
+            );
+            for (i, reference) in references.iter().enumerate() {
+                assert_eq!(
+                    &report.outputs[i], reference,
+                    "seed {seed} schedule {si}: task {i} diverged from clean inference"
+                );
+            }
+            assert!(
+                !report.failures.is_empty(),
+                "seed {seed} schedule {si}: outage went unrecorded"
+            );
+            for f in &report.failures {
+                assert!(
+                    scripted.contains(&f.device),
+                    "seed {seed} schedule {si}: unscripted device {} reported dead",
+                    f.device
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    // Same seed + same schedule: identical outputs and identical
+    // failure records, run after run.
+    let (m, c, p) = setup();
+    let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+    let engine = Engine::with_seed(&m, 5);
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::random(m.input_shape(), 90 + i))
+        .collect();
+    let victim = plan.stages[0].assignments[0].device;
+    let run = || {
+        PipelineRuntime::builder(&m, &plan, &engine)
+            .failure_schedule(FailureSchedule::new().fail(victim, 1))
+            .recovery(RecoveryPolicy::new(c.clone(), p))
+            .build()
+            .run(inputs.clone())
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.outputs, b.outputs);
+    let key = |r: &RunReport| -> Vec<(usize, usize, usize)> {
+        r.failures
+            .iter()
+            .map(|f| (f.device, f.stage, f.task))
+            .collect()
+    };
+    assert_eq!(key(&a), key(&b));
+}
+
+#[test]
+fn degraded_throughput_tracks_the_cost_model_prediction() {
+    // Two equal conv stages on two devices, throttled so each stage
+    // sleeps ~30 ms (compute is microseconds). Killing device 0 up
+    // front forces the whole stream onto a degraded single-device plan,
+    // so the clean/degraded elapsed ratio should track the cost model's
+    // period ratio within the acceptance band.
+    let m = Model::new(
+        "chaos-small",
+        Shape::new(4, 12, 12),
+        vec![
+            Layer::conv("a", ConvSpec::square(4, 4, 3, 1, 1)).into(),
+            Layer::conv("b", ConvSpec::square(4, 4, 3, 1, 1)).into(),
+        ],
+    )
+    .unwrap();
+    let c = Cluster::pi_cluster(2, 1.0);
+    // Effectively free network: periods are pure compute.
+    let p = CostParams::new(1e15);
+    let h = m.output_shape().height;
+    let plan = Plan::new(
+        Scheme::Pico,
+        ExecutionMode::Pipelined,
+        vec![
+            Stage::new(Segment::new(0, 1), vec![Assignment::new(0, Rows::full(h))]),
+            Stage::new(Segment::new(1, 2), vec![Assignment::new(1, Rows::full(h))]),
+        ],
+    );
+    let engine = Engine::with_seed(&m, 3);
+    let stage_flops = m.segment_flops(Segment::new(0, 1), Rows::full(h));
+    let device_time = c.device(0).unwrap().compute_time(stage_flops);
+    let scale = 0.03 / device_time;
+    let n = 10;
+    let inputs: Vec<Tensor> = (0..n).map(|i| Tensor::random(m.input_shape(), i)).collect();
+
+    let clean = PipelineRuntime::builder(&m, &plan, &engine)
+        .throttle(Throttle::new(c.clone(), p, scale))
+        .build()
+        .run(inputs.clone())
+        .unwrap();
+    let degraded = PipelineRuntime::builder(&m, &plan, &engine)
+        .throttle(Throttle::new(c.clone(), p, scale))
+        .failure_schedule(FailureSchedule::new().fail(0, 0))
+        .recovery(RecoveryPolicy::new(c.clone(), p))
+        .build()
+        .run(inputs.clone())
+        .unwrap();
+
+    // Both runs complete every task bit-exactly.
+    for (i, input) in inputs.iter().enumerate() {
+        let reference = engine.infer(input).unwrap();
+        assert_eq!(clean.outputs[i], reference);
+        assert_eq!(degraded.outputs[i], reference, "task {i} diverged");
+    }
+    assert!(degraded.failures.iter().any(|f| f.device == 0));
+    let degraded_plan = degraded.degraded_plan.as_ref().expect("re-plan installed");
+
+    let cm = p.cost_model(&m);
+    let predicted = cm.evaluate(degraded_plan, &c).period / cm.evaluate(&plan, &c).period;
+    let measured = degraded.elapsed.as_secs_f64() / clean.elapsed.as_secs_f64();
+    assert!(
+        measured < predicted * 1.2,
+        "degraded run {measured:.2}x slower, cost model predicted {predicted:.2}x"
+    );
+    assert!(
+        measured > predicted * 0.6,
+        "degraded run only {measured:.2}x slower than clean — prediction {predicted:.2}x \
+         suggests the failure was not actually degrading"
+    );
+}

@@ -1,0 +1,115 @@
+//! Property: degraded re-planning never panics. For an arbitrary small
+//! model, cluster, and non-empty failed-device subset, excluding the
+//! failed devices either yields a plan that audits clean (zero
+//! error-level diagnostics, no excluded device used) or a typed
+//! [`PlanError`] — never a crash.
+
+use pico::model::{ConvSpec, Layer, PoolSpec};
+use pico::partition::PlanError;
+use pico::prelude::*;
+use proptest::prelude::*;
+
+/// Random small conv/pool chains (kernels >= strides, shapes kept
+/// valid) — same recipe as the partition property tests.
+fn arb_model() -> impl Strategy<Value = Model> {
+    let layer = prop_oneof![
+        (1usize..=4, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| (k.max(s), s, p, true)),
+        (2usize..=2, 2usize..=2).prop_map(|(k, s)| (k, s, 0usize, false)),
+    ];
+    proptest::collection::vec(layer, 1..6).prop_map(|specs| {
+        let input = Shape::new(3, 32, 32);
+        let mut units: Vec<pico::model::Unit> = Vec::new();
+        let mut shape = input;
+        for (i, (k, s, p, conv)) in specs.into_iter().enumerate() {
+            let layer = if conv {
+                Layer::conv(
+                    format!("c{i}"),
+                    ConvSpec::square(shape.channels, 6, k, s, p),
+                )
+            } else {
+                Layer::pool(format!("p{i}"), PoolSpec::max(k, s))
+            };
+            if let Ok(next) = layer.output_shape(shape) {
+                if next.height >= 2 && next.width >= 2 {
+                    shape = next;
+                    units.push(layer.into());
+                }
+            }
+        }
+        if units.is_empty() {
+            units.push(Layer::conv("fallback", ConvSpec::square(3, 6, 3, 1, 1)).into());
+        }
+        Model::new("prop", input, units).expect("chain is consistent")
+    })
+}
+
+fn planners() -> Vec<Box<dyn Planner>> {
+    vec![Box::new(PicoPlanner::new()), Box::new(OptimalFused::new())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn degraded_replanning_audits_clean_or_fails_typed(
+        model in arb_model(),
+        freqs in proptest::collection::vec(0.4f64..2.0, 2..6),
+        picks in proptest::collection::vec(0usize..64, 1..6),
+        mbps in 5.0f64..200.0,
+    ) {
+        let cluster = Cluster::new(
+            freqs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| Device::from_frequency(i, *f))
+                .collect(),
+        );
+        let n = cluster.devices().len();
+        // A non-empty, deduplicated failed subset — possibly all of n.
+        let failed: Vec<usize> = {
+            let set: std::collections::BTreeSet<usize> =
+                picks.iter().map(|p| p % n).collect();
+            set.into_iter().collect()
+        };
+        let params = CostParams::new(mbps * 1e6);
+        let request = PlanRequest::new(&model, &cluster, &params)
+            .with_excluded_devices(&failed);
+        if failed.len() == n {
+            // Excluding every device is a typed error, not a panic.
+            prop_assert!(
+                matches!(&request, Err(PlanError::ClusterExhausted { .. })),
+                "exhausting the cluster must be ClusterExhausted"
+            );
+        }
+        prop_assume!(failed.len() < n);
+        let request = request.expect("a survivor remains, exclusion is accepted");
+        for planner in planners() {
+            // A typed planning failure over the survivors is a
+            // legitimate outcome; the property only forbids panics and
+            // bad plans.
+            let Ok(plan) = planner.plan(&request) else { continue };
+            for device in plan.used_devices() {
+                prop_assert!(
+                    !failed.contains(&device),
+                    "{}: degraded plan uses excluded device {device}",
+                    planner.name()
+                );
+            }
+            let report = Auditor::new(&model, &cluster)
+                .with_params(params)
+                .with_config(AuditConfig::default().with_excluded_devices(&failed))
+                .audit(&plan);
+            let errors: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+            prop_assert!(
+                errors.is_empty(),
+                "{}: degraded plan has error diagnostics: {errors:?}",
+                planner.name()
+            );
+            prop_assert!(
+                !report.has_code(Code::ExcludedDeviceUsed),
+                "{}: PA203 fired on a freshly re-planned pipeline",
+                planner.name()
+            );
+        }
+    }
+}
