@@ -25,6 +25,12 @@
 //! [`ablation`] adds studies beyond the paper: share balancing vs even
 //! splits, bandwidth sweeps, the `T_lim` trade-off, strip-vs-grid
 //! partitioning, and per-scheme memory footprints.
+//!
+//! Micro-benchmarks live in [`harness`] (the dependency-free
+//! measurement protocol), [`suites`] (the `kernels` / `planner` / `e2e`
+//! suites behind `pico bench`), and [`report`] (machine-readable JSON
+//! with a strict reader). See `DESIGN.md` §13 for why gates compare
+//! ratios, never wall-clock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +44,9 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod harness;
+pub mod report;
+pub mod suites;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,245 @@
+//! The three offline bench suites behind `pico bench`: compute
+//! kernels, planners, and end-to-end inference.
+//!
+//! Every suite is deterministic in *structure* — same case names, same
+//! order, same protocol fields on every rerun — so reports can be
+//! diffed and gated on ratios between records. The kernel suite runs
+//! each case under **both** [`EngineBackend`]s; the
+//! `conv3x3_c64/reference` vs `conv3x3_c64/im2col` pair is the CI
+//! speedup gate.
+
+use pico_model::{zoo, ConvSpec, Layer, Model, PoolSpec, Region2, Rows, Shape};
+use pico_partition::{Cluster, CostParams};
+use pico_tensor::{Engine, EngineBackend, Scratch, Tensor};
+
+use crate::harness::{bench, BenchConfig, BenchRecord};
+use crate::report::BenchReport;
+
+/// The kernel case the CI speedup gate compares across backends.
+pub const GATE_CASE: &str = "conv3x3_c64";
+
+/// The nominal device capacity (cycles/s) calibration fits against — a
+/// 1 GHz core, the middle of the paper's Pi frequency range.
+pub const CALIBRATION_CAPACITY: f64 = 1e9;
+
+/// One single-layer model per kernel shape the reproduction leans on.
+///
+/// Input maps are 16×16 — big enough that the GEMM's register tiling
+/// engages (n = 256 pixels), small enough that `--iters 3` smoke runs
+/// stay fast.
+fn kernel_cases() -> Vec<(&'static str, Model)> {
+    let conv = |name, spec| {
+        let m = Model::new(
+            name,
+            conv_input(&spec),
+            vec![Layer::conv(name, spec).into()],
+        )
+        .expect("static bench case is well-formed");
+        (name, m)
+    };
+    vec![
+        // The gate case: a dense 3×3 convolution at 64 channels, the
+        // bread-and-butter layer of VGG-class models.
+        conv(GATE_CASE, ConvSpec::square(64, 64, 3, 1, 1)),
+        conv("conv3x3_c16", ConvSpec::square(16, 16, 3, 1, 1)),
+        conv("conv1x1_c64", ConvSpec::pointwise(64, 64)),
+        conv("conv3x3_s2_c32", ConvSpec::square(32, 32, 3, 2, 1)),
+        conv("dw3x3_c32", ConvSpec::depthwise(32, 3, 1, 1)),
+        (
+            "pool2x2_c32",
+            Model::new(
+                "pool2x2_c32",
+                Shape::new(32, 16, 16),
+                vec![Layer::pool("pool2x2_c32", PoolSpec::max(2, 2)).into()],
+            )
+            .expect("static bench case is well-formed"),
+        ),
+        (
+            "fc_2048x256",
+            Model::new(
+                "fc_2048x256",
+                Shape::new(32, 8, 8),
+                vec![Layer::fc("fc_2048x256", 32 * 8 * 8, 256).into()],
+            )
+            .expect("static bench case is well-formed"),
+        ),
+    ]
+}
+
+fn conv_input(spec: &ConvSpec) -> Shape {
+    Shape::new(spec.in_channels, 16, 16)
+}
+
+/// Measures one engine's full-map inference of `model` under `cfg`,
+/// recycling the output buffer so the fast backend is timed at its
+/// zero-allocation steady state.
+fn bench_model(
+    suite: &str,
+    name: &str,
+    cfg: BenchConfig,
+    model: &Model,
+    backend: EngineBackend,
+) -> BenchRecord {
+    let engine = Engine::with_seed(model, 11).with_backend(backend);
+    let input = Tensor::random(model.input_shape(), 17);
+    let seg = model.full_segment();
+    let out = model.output_shape();
+    let region = Region2::full(out.height, out.width);
+    let mut scratch = Scratch::new();
+    bench(suite, name, cfg, model.total_flops(), || {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("bench case infers");
+        scratch.give(t.into_vec());
+    })
+}
+
+/// The kernel suite: every case in [`kernel_cases`] under both
+/// backends, named `<case>/<backend>`.
+pub fn kernels(cfg: BenchConfig) -> BenchReport {
+    let mut report = BenchReport::new("kernels");
+    for (case, model) in kernel_cases() {
+        for backend in EngineBackend::ALL {
+            let name = format!("{case}/{backend}");
+            report
+                .records
+                .push(bench_model("kernels", &name, cfg, &model, backend));
+        }
+    }
+    report
+}
+
+/// Reference-over-fast median ratio for `case` (how many times faster
+/// the `Im2colGemm` backend ran it).
+pub fn backend_speedup(report: &BenchReport, case: &str) -> Option<f64> {
+    report.ratio(
+        &format!("{case}/{}", EngineBackend::Reference),
+        &format!("{case}/{}", EngineBackend::Im2colGemm),
+    )
+}
+
+/// The planner suite: each paper planner planning VGG16 and the toy
+/// model on an 8-device Pi cluster (`plan_<model>/<planner>`, `flops`
+/// 0 — planning does no tensor arithmetic).
+pub fn planner(cfg: BenchConfig) -> BenchReport {
+    let mut report = BenchReport::new("planner");
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    let params = CostParams::wifi_50mbps();
+    for (model_name, model) in [("toy8", zoo::toy(8)), ("vgg16", zoo::vgg16().features())] {
+        for (scheme, planner) in crate::paper_planners() {
+            let name = format!("plan_{model_name}/{scheme:?}");
+            report.records.push(bench("planner", &name, cfg, 0.0, || {
+                planner
+                    .plan_simple(&model, &cluster, &params)
+                    .expect("paper planner plans its own benchmark");
+            }));
+        }
+    }
+    report
+}
+
+/// The end-to-end suite: whole-model inference of the MNIST-sized toy
+/// under both backends, plus a 4-way split → compute → stitch pass
+/// exercising the halo path the runtime takes.
+pub fn e2e(cfg: BenchConfig) -> BenchReport {
+    let mut report = BenchReport::new("e2e");
+    let model = zoo::mnist_toy();
+    for backend in EngineBackend::ALL {
+        let name = format!("mnist_toy/{backend}");
+        report
+            .records
+            .push(bench_model("e2e", &name, cfg, &model, backend));
+    }
+    let engine = Engine::with_seed(&model, 11);
+    let input = Tensor::random(model.input_shape(), 17);
+    let seg = model.full_segment();
+    let h = model.output_shape().height;
+    let shares = pico_model::rows_split_even(Rows::full(h), 4);
+    let mut scratch = Scratch::new();
+    report.records.push(bench(
+        "e2e",
+        "mnist_toy_split4/im2col",
+        cfg,
+        model.total_flops(),
+        || {
+            let tiles: Vec<Tensor> = shares
+                .iter()
+                .map(|&r| {
+                    let need = model.segment_input_rows(seg, r);
+                    let tile = input.slice_rows(need).expect("share is in range");
+                    engine
+                        .infer_region(seg, r, &tile)
+                        .expect("bench case infers")
+                })
+                .collect();
+            let stitched = Tensor::stitch_rows(&tiles).expect("tiles stitch");
+            for t in tiles {
+                scratch.give(t.into_vec());
+            }
+            scratch.give(stitched.into_vec());
+        },
+    ));
+    report
+}
+
+/// Runs the kernel suite and fits [`CostParams::calibrated`] from its
+/// fast-backend convolution records, returning the fitted parameters
+/// alongside the `(flops, seconds)` samples used.
+///
+/// This is how `alpha_scale` values quoted in `EXPERIMENTS.md` are
+/// produced: measure, fit, plan with the result.
+pub fn calibration(report: &BenchReport) -> (CostParams, Vec<(f64, f64)>) {
+    let samples: Vec<(f64, f64)> = report
+        .records
+        .iter()
+        .filter(|r| r.flops > 0.0 && r.name.ends_with("/im2col") && r.name.starts_with("conv"))
+        .map(|r| (r.flops, r.median_ns as f64 * 1e-9))
+        .collect();
+    (
+        CostParams::wifi_50mbps().calibrated(CALIBRATION_CAPACITY, &samples),
+        samples,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_suite_covers_every_case_under_both_backends() {
+        let report = kernels(BenchConfig::new(0, 1, 1));
+        assert_eq!(report.suite, "kernels");
+        assert_eq!(report.records.len(), kernel_cases().len() * 2);
+        for (case, _) in kernel_cases() {
+            for b in EngineBackend::ALL {
+                assert!(
+                    report.record(&format!("{case}/{b}")).is_some(),
+                    "missing {case}/{b}"
+                );
+            }
+        }
+        assert!(backend_speedup(&report, GATE_CASE).is_some());
+    }
+
+    #[test]
+    fn suite_structure_is_deterministic_across_reruns() {
+        let cfg = BenchConfig::new(0, 1, 1);
+        assert_eq!(kernels(cfg).shape(), kernels(cfg).shape());
+        assert_eq!(e2e(cfg).shape(), e2e(cfg).shape());
+    }
+
+    #[test]
+    fn planner_suite_times_all_paper_planners() {
+        let report = planner(BenchConfig::new(0, 1, 1));
+        assert_eq!(report.records.len(), 2 * crate::paper_planners().len());
+        assert!(report.records.iter().all(|r| r.flops == 0.0));
+    }
+
+    #[test]
+    fn calibration_fits_positive_coefficient_from_conv_records() {
+        let report = kernels(BenchConfig::new(1, 2, 3));
+        let (params, samples) = calibration(&report);
+        assert!(!samples.is_empty());
+        assert!(params.alpha_scale > 0.0 && params.alpha_scale.is_finite());
+    }
+}

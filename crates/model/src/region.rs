@@ -252,15 +252,28 @@ impl Model {
     ///
     /// Panics if `seg` is out of bounds.
     pub fn segment_region_trace(&self, seg: Segment, out: Region2) -> Vec<Region2> {
+        let mut trace = Vec::new();
+        self.segment_region_trace_into(seg, out, &mut trace);
+        trace
+    }
+
+    /// [`Model::segment_region_trace`] into a caller-provided buffer
+    /// (cleared first), so per-task hot paths can reuse its capacity
+    /// instead of allocating a fresh trace every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of bounds.
+    pub fn segment_region_trace_into(&self, seg: Segment, out: Region2, trace: &mut Vec<Region2>) {
         self.check_segment(seg).expect("segment out of bounds");
         let out_shape = self.unit_output_shape(seg.end - 1);
-        let mut trace = vec![Region2::new(Rows::empty(), Rows::empty()); seg.len()];
+        trace.clear();
+        trace.resize(seg.len(), Region2::new(Rows::empty(), Rows::empty()));
         let mut region = out.clamp_to(out_shape.height, out_shape.width);
         for (k, i) in seg.iter().enumerate().rev() {
             trace[k] = region;
             region = self.unit(i).input_region(region, self.unit_input_shape(i));
         }
-        trace
     }
 
     /// 2-D analogue of [`Model::segment_flops`]: FLOPs a device spends

@@ -12,6 +12,14 @@ pub struct CostParams {
     pub bandwidth_bps: f64,
     /// Latency constraint `T_lim` in seconds (`None` = unconstrained).
     pub t_lim: Option<f64>,
+    /// Multiplier on every predicted compute time (Eq. 5 becomes
+    /// `t = alpha_scale · α · θ / ϑ`). `1.0` keeps the nominal
+    /// one-FLOP-per-cycle assumption; [`CostParams::calibrated`]
+    /// re-fits it from measured per-layer kernel times so planner
+    /// periods track the deployed compute backend. Scaling is uniform,
+    /// so share balancing and stage ordering are unaffected — only
+    /// absolute period/latency predictions move.
+    pub alpha_scale: f64,
 }
 
 impl CostParams {
@@ -28,6 +36,7 @@ impl CostParams {
         CostParams {
             bandwidth_bps,
             t_lim: None,
+            alpha_scale: 1.0,
         }
     }
 
@@ -40,6 +49,35 @@ impl CostParams {
     pub fn with_t_lim(mut self, t_lim: f64) -> Self {
         assert!(t_lim.is_finite() && t_lim > 0.0, "t_lim must be positive");
         self.t_lim = Some(t_lim);
+        self
+    }
+
+    /// Re-fits the compute coefficient from measured per-layer kernel
+    /// times: a least-squares fit through the origin of
+    /// `seconds = alpha_scale · flops / capacity` over `samples` of
+    /// `(flops, seconds)` pairs measured on a device of nominal
+    /// `capacity` cycles/s (`pico bench planner` prints such a fit for
+    /// the active backend).
+    ///
+    /// Samples with non-positive or non-finite entries are ignored;
+    /// with no usable sample the parameters are returned unchanged.
+    pub fn calibrated(mut self, capacity: f64, samples: &[(f64, f64)]) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive and finite"
+        );
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(flops, secs) in samples {
+            if flops.is_finite() && secs.is_finite() && flops > 0.0 && secs > 0.0 {
+                let x = flops / capacity;
+                num += x * secs;
+                den += x * x;
+            }
+        }
+        if den > 0.0 {
+            self.alpha_scale = num / den;
+        }
         self
     }
 
@@ -118,9 +156,10 @@ impl<'m> CostModel<'m> {
     }
 
     /// Eq. 5: time for `device` to compute output rows `rows` of
-    /// segment `seg` (including halo redundancy).
+    /// segment `seg` (including halo redundancy), scaled by the
+    /// calibrated compute coefficient.
     pub fn assignment_comp_time(&self, device: &Device, seg: Segment, rows: Rows) -> f64 {
-        device.compute_time(self.model.segment_flops(seg, rows))
+        self.params.alpha_scale * device.compute_time(self.model.segment_flops(seg, rows))
     }
 
     /// Eq. 7: time to ship one device's input tile in and output tile
@@ -149,7 +188,7 @@ impl<'m> CostModel<'m> {
 
     /// Eq. 5 for a rectangular tile (grid partitioning).
     pub fn region_comp_time(&self, device: &Device, seg: Segment, region: Region2) -> f64 {
-        device.compute_time(self.model.segment_region_flops(seg, region))
+        self.params.alpha_scale * device.compute_time(self.model.segment_region_flops(seg, region))
     }
 
     /// Bytes moved for a rectangular tile: input region + output region.
@@ -425,5 +464,72 @@ mod tests {
     fn t_lim_builder() {
         let p = CostParams::wifi_50mbps().with_t_lim(2.5);
         assert_eq!(p.t_lim, Some(2.5));
+    }
+
+    #[test]
+    fn calibrated_recovers_an_exact_coefficient() {
+        // Samples generated with alpha_scale = 0.25 at 1 GHz fit back
+        // to exactly 0.25.
+        let cap = 1e9;
+        let truth = 0.25;
+        let samples: Vec<(f64, f64)> = [1e8, 5e8, 2e9]
+            .iter()
+            .map(|&f| (f, truth * f / cap))
+            .collect();
+        let p = CostParams::wifi_50mbps().calibrated(cap, &samples);
+        assert!((p.alpha_scale - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrated_ignores_degenerate_samples() {
+        let p = CostParams::wifi_50mbps().calibrated(1e9, &[(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0)]);
+        assert_eq!(p.alpha_scale, 1.0);
+        let q = CostParams::wifi_50mbps().calibrated(1e9, &[]);
+        assert_eq!(q.alpha_scale, 1.0);
+    }
+
+    #[test]
+    fn alpha_scale_scales_comp_but_not_comm() {
+        let (m, c, p) = toy_setup();
+        let mut fast = p;
+        fast.alpha_scale = 0.5;
+        let seg = m.full_segment();
+        let rows = Rows::full(m.output_shape().height);
+        let d = c.device(0).unwrap();
+        let base = p.cost_model(&m);
+        let scaled = fast.cost_model(&m);
+        assert!(
+            (scaled.assignment_comp_time(d, seg, rows)
+                - 0.5 * base.assignment_comp_time(d, seg, rows))
+            .abs()
+                < 1e-15
+        );
+        assert_eq!(
+            scaled.assignment_comm_time(seg, rows),
+            base.assignment_comm_time(seg, rows)
+        );
+    }
+
+    #[test]
+    fn alpha_scale_moves_plan_periods_uniformly() {
+        let (m, c, p) = toy_setup();
+        let h = m.output_shape().height;
+        let plan = Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![
+                Stage::new(Segment::new(0, 2), vec![Assignment::new(0, Rows::full(h))]),
+                Stage::new(Segment::new(2, 4), vec![Assignment::new(1, Rows::full(h))]),
+            ],
+        );
+        let base = p.cost_model(&m).evaluate(&plan, &c);
+        let mut half = p;
+        half.alpha_scale = 0.5;
+        let scaled = half.cost_model(&m).evaluate(&plan, &c);
+        for (a, b) in base.stage_costs.iter().zip(&scaled.stage_costs) {
+            assert!((b.comp - 0.5 * a.comp).abs() < 1e-15);
+            assert_eq!(a.comm, b.comm);
+        }
+        assert!(scaled.period < base.period);
     }
 }

@@ -59,7 +59,12 @@ pub fn frontier(
     steps: usize,
 ) -> Vec<FrontierPoint> {
     assert!(steps > 0, "need at least one step");
-    let base_params = CostParams::new(params.bandwidth_bps);
+    // Same environment minus the latency limit; the calibrated compute
+    // coefficient must survive the rebuild.
+    let base_params = CostParams {
+        t_lim: None,
+        ..*params
+    };
     let cm = base_params.cost_model(model);
     let planner = PicoPlanner::new();
 

@@ -6,7 +6,7 @@ use pico_model::Rows;
 use pico_model::{Model, Region2, Segment};
 use pico_partition::{Plan, PlanRequest};
 use pico_telemetry::{names, Ctx, Recorder};
-use pico_tensor::{Engine, Tensor};
+use pico_tensor::{Engine, Scratch, Tensor};
 
 use crate::fault::{FailureRecord, FailureSchedule, RecoveryPolicy, RetryKnobs};
 use crate::{RuntimeBuilder, RuntimeError, Throttle};
@@ -785,6 +785,10 @@ impl<'a> PipelineRuntime<'a> {
                     let schedule = self.schedule.clone();
                     let rec = rec.clone();
                     scope.spawn(move || {
+                        // One scratch pool per worker thread: the fast
+                        // backend reuses its im2col and output buffers
+                        // across the whole task stream.
+                        let mut scratch = Scratch::new();
                         while let Ok(WorkUnit { task, shard, tile }) = wrx.recv() {
                             let spec = &stage_specs[shard];
                             let t0 = Instant::now();
@@ -805,9 +809,17 @@ impl<'a> PipelineRuntime<'a> {
                                     })
                                 }
                                 None => engine
-                                    .infer_region2(spec.seg, spec.out_region, &tile)
+                                    .infer_region2_with(
+                                        &mut scratch,
+                                        spec.seg,
+                                        spec.out_region,
+                                        &tile,
+                                    )
                                     .map_err(RuntimeError::from),
                             };
+                            // The input tile's buffer feeds the next
+                            // task's intermediates.
+                            scratch.give(tile.into_vec());
                             if let Some(th) = &throttle {
                                 let target = th.compute_duration(device, spec.flops)
                                     + th.transfer_duration(spec.comm_bytes);

@@ -41,7 +41,9 @@ impl Throttle {
     /// `flops` floating-point operations.
     pub fn compute_duration(&self, device: usize, flops: f64) -> Duration {
         match self.cluster.device(device) {
-            Some(d) => Duration::from_secs_f64(d.compute_time(flops) * self.scale),
+            Some(d) => Duration::from_secs_f64(
+                d.compute_time(flops) * self.params.alpha_scale * self.scale,
+            ),
             None => Duration::ZERO,
         }
     }

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod alloc_counter;
 mod error;
 mod event;
 mod histogram;

@@ -6,40 +6,16 @@
 //! when off" would be false and it could not stay compiled into the
 //! serving loop unconditionally.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use pico_telemetry::{names, Ctx, Event, Recorder};
 
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+pico_telemetry::install_counting_allocator!();
 
 #[test]
 fn noop_recorder_does_not_allocate() {
     let rec = Recorder::noop();
     let cloned = rec.clone();
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = allocation_count();
     for task in 0..1000 {
         let ctx = Ctx::stage(0).on_device(1).for_task(task);
         cloned.record(Event::span_begin(0.0, names::COMPUTE, ctx).with_value(1e9));
@@ -64,14 +40,14 @@ fn noop_recorder_does_not_allocate() {
         assert!(!cloned.is_enabled());
         assert_eq!(cloned.now(), 0.0);
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = allocation_count();
 
     assert_eq!(after - before, 0, "Noop recorder allocated on the hot path");
 
     // snapshot() hands back an owned (empty) Vec, which std guarantees
     // allocation-free; exercise it last so the guarantee is also
     // covered without muddying the loop above.
-    let snap_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let snap_before = allocation_count();
     assert!(rec.snapshot().is_empty());
-    assert_eq!(ALLOCATIONS.load(Ordering::SeqCst) - snap_before, 0);
+    assert_eq!(allocation_count() - snap_before, 0);
 }

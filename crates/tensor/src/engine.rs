@@ -1,7 +1,37 @@
 use pico_model::{Block, LayerKind, Merge, Model, Region2, Rows, Segment, Shape, Unit};
 
 use crate::ops;
+use crate::scratch::{self, Scratch};
 use crate::{LayerWeights, NetworkWeights, Tensor, TensorError, UnitWeights};
+
+/// Selects the compute kernels an [`Engine`] runs.
+///
+/// Both backends produce identical tensors for every layer, region, and
+/// error case — `Reference` is the bit-exactness oracle, `Im2colGemm`
+/// the production path (the differential suite in
+/// `tests/backend_equivalence.rs` holds them together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineBackend {
+    /// The naive direct loops in `ops.rs`, kept verbatim as the oracle.
+    Reference,
+    /// im2col lowering + cache-blocked GEMM with scratch-buffer reuse.
+    #[default]
+    Im2colGemm,
+}
+
+impl EngineBackend {
+    /// Both backends, for differential test matrices.
+    pub const ALL: [EngineBackend; 2] = [EngineBackend::Reference, EngineBackend::Im2colGemm];
+}
+
+impl std::fmt::Display for EngineBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineBackend::Reference => write!(f, "reference"),
+            EngineBackend::Im2colGemm => write!(f, "im2col"),
+        }
+    }
+}
 
 /// Executes a model (or any contiguous segment / row region of it) with
 /// concrete weights — the per-device compute step of the Fig. 6
@@ -10,15 +40,20 @@ use crate::{LayerWeights, NetworkWeights, Tensor, TensorError, UnitWeights};
 /// Monolithic inference ([`Engine::infer`]) is implemented as a region
 /// inference over the full output, so partitioned and monolithic
 /// execution share every line of arithmetic; stitching per-device
-/// outputs reproduces the single-device result bit-exactly.
+/// outputs reproduces the single-device result bit-exactly. This holds
+/// under either [`EngineBackend`]; the fast default additionally reuses
+/// caller-provided [`Scratch`] buffers
+/// ([`Engine::infer_region2_with`]).
 #[derive(Debug, Clone)]
 pub struct Engine<'m> {
     model: &'m Model,
     weights: NetworkWeights,
+    backend: EngineBackend,
 }
 
 impl<'m> Engine<'m> {
-    /// Creates an engine from explicit weights.
+    /// Creates an engine from explicit weights, with the default
+    /// (`Im2colGemm`) backend.
     ///
     /// # Errors
     ///
@@ -34,15 +69,32 @@ impl<'m> Engine<'m> {
                 ),
             });
         }
-        Ok(Engine { model, weights })
+        Ok(Engine {
+            model,
+            weights,
+            backend: EngineBackend::default(),
+        })
     }
 
-    /// Creates an engine with synthetic seeded weights.
+    /// Creates an engine with synthetic seeded weights and the default
+    /// (`Im2colGemm`) backend.
     pub fn with_seed(model: &'m Model, seed: u64) -> Self {
         Engine {
             model,
             weights: NetworkWeights::generate(model, seed),
+            backend: EngineBackend::default(),
         }
+    }
+
+    /// Returns this engine with its compute backend switched.
+    pub fn with_backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compute backend this engine dispatches to.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
     }
 
     /// The model this engine executes.
@@ -124,6 +176,33 @@ impl<'m> Engine<'m> {
         out: Region2,
         input: &Tensor,
     ) -> Result<Tensor, TensorError> {
+        // `Scratch::new` is allocation-free; one-shot callers pay only
+        // the buffers this single call grows.
+        self.infer_region2_with(&mut Scratch::new(), seg, out, input)
+    }
+
+    /// [`Engine::infer_region2`] with a caller-owned [`Scratch`] pool.
+    ///
+    /// Workers that keep one `Scratch` per thread across their task
+    /// stream reach a steady state where the `Im2colGemm` backend
+    /// allocates nothing but the returned tensor's buffer — and callers
+    /// that hand even that back via [`Scratch::give`] allocate nothing
+    /// at all (asserted by the counting-allocator regression test; see
+    /// `tests/alloc_regression.rs`). Graph-structured blocks still
+    /// allocate small per-path bookkeeping; the zero-allocation
+    /// guarantee covers plain-layer chains. The `Reference` backend
+    /// ignores the pool's recycled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Engine::infer_region2`].
+    pub fn infer_region2_with(
+        &self,
+        scratch: &mut Scratch,
+        seg: Segment,
+        out: Region2,
+        input: &Tensor,
+    ) -> Result<Tensor, TensorError> {
         self.model
             .check_segment(seg)
             .map_err(|_| TensorError::WeightMismatch {
@@ -139,17 +218,45 @@ impl<'m> Engine<'m> {
         }
         let out_shape = self.model.unit_output_shape(seg.end - 1);
         let out = out.clamp_to(out_shape.height, out_shape.width);
-        let trace = self.model.segment_region_trace(seg, out);
-        let mut cur = input.clone();
+        // The trace buffer is moved out of the pool for the call so the
+        // pool stays borrowable; its capacity is reused across tasks.
+        let mut trace = scratch.take_trace();
+        self.model.segment_region_trace_into(seg, out, &mut trace);
+        // Thread each layer's output into the next and recycle the
+        // spent buffer: after one warmup task the pool serves every
+        // intermediate without touching the allocator.
+        let mut cur: Option<Tensor> = None;
+        let mut result = Ok(());
         for (k, i) in seg.iter().enumerate() {
-            cur = self.unit_region(i, &cur, trace[k])?;
+            let next = match &cur {
+                Some(t) => self.unit_region(scratch, i, t, trace[k]),
+                None => self.unit_region(scratch, i, input, trace[k]),
+            };
+            let next = match next {
+                Ok(t) => t,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            if let Some(spent) = cur.take() {
+                scratch.give(spent.into_vec());
+            }
+            cur = Some(next);
         }
-        Ok(cur)
+        scratch.give_trace(trace);
+        result?;
+        match cur {
+            Some(t) => Ok(t),
+            // Segments are non-empty (`check_segment`), but stay total.
+            None => Ok(input.clone()),
+        }
     }
 
     /// Runs one unit over region `out` of its global output map.
     fn unit_region(
         &self,
+        scratch: &mut Scratch,
         index: usize,
         input: &Tensor,
         out: Region2,
@@ -157,9 +264,11 @@ impl<'m> Engine<'m> {
         let in_shape = self.model.unit_input_shape(index);
         match (self.model.unit(index), self.weights.unit(index)) {
             (Unit::Layer(l), UnitWeights::Layer(w)) => {
-                layer_region(&l.kind, input, in_shape, w, out)
+                layer_region(self.backend, scratch, &l.kind, input, in_shape, w, out)
             }
-            (Unit::Block(b), UnitWeights::Block(pw)) => block_region(b, pw, input, in_shape, out),
+            (Unit::Block(b), UnitWeights::Block(pw)) => {
+                block_region(self.backend, scratch, b, pw, input, in_shape, out)
+            }
             _ => Err(TensorError::WeightMismatch {
                 detail: format!("unit {index} weights do not match its kind"),
             }),
@@ -167,19 +276,41 @@ impl<'m> Engine<'m> {
     }
 }
 
-/// Dispatches one layer's region computation. Convolutions and FC layers
-/// apply a fused ReLU; pooling does not.
+/// Dispatches one layer's region computation to the selected backend.
+/// Convolutions and FC layers apply a fused ReLU; pooling does not.
 fn layer_region(
+    backend: EngineBackend,
+    scratch: &mut Scratch,
     kind: &LayerKind,
     input: &Tensor,
     in_shape: Shape,
     weights: &LayerWeights,
     out: Region2,
 ) -> Result<Tensor, TensorError> {
-    match kind {
-        LayerKind::Conv(spec) => ops::conv_region(input, in_shape, spec, weights, out, true),
-        LayerKind::Pool(spec) => ops::pool_region(input, in_shape, spec, out),
-        LayerKind::Fc(fc) => ops::fc_full(input, fc.in_features, fc.out_features, weights, true),
+    match (kind, backend) {
+        (LayerKind::Conv(spec), EngineBackend::Reference) => {
+            ops::conv_region(input, in_shape, spec, weights, out, true)
+        }
+        (LayerKind::Conv(spec), EngineBackend::Im2colGemm) => {
+            scratch::conv_region(input, in_shape, spec, weights, out, true, scratch)
+        }
+        (LayerKind::Pool(spec), EngineBackend::Reference) => {
+            ops::pool_region(input, in_shape, spec, out)
+        }
+        (LayerKind::Pool(spec), EngineBackend::Im2colGemm) => {
+            scratch::pool_region(input, in_shape, spec, out, scratch)
+        }
+        (LayerKind::Fc(fc), EngineBackend::Reference) => {
+            ops::fc_full(input, fc.in_features, fc.out_features, weights, true)
+        }
+        (LayerKind::Fc(fc), EngineBackend::Im2colGemm) => scratch::fc_full(
+            input,
+            fc.in_features,
+            fc.out_features,
+            weights,
+            true,
+            scratch,
+        ),
     }
 }
 
@@ -187,6 +318,8 @@ fn layer_region(
 /// requirement through its own layers, computes forward from the shared
 /// input tile, and the path outputs merge (add or concat).
 fn block_region(
+    backend: EngineBackend,
+    scratch: &mut Scratch,
     block: &Block,
     path_weights: &[Vec<LayerWeights>],
     input: &Tensor,
@@ -220,17 +353,46 @@ fn block_region(
             regions[l] = need;
             need = path[l].input_region(need, shapes[l]);
         }
-        // Forward computation.
-        let mut cur = input.clone();
+        // Forward computation, recycling spent path intermediates.
+        let mut cur: Option<Tensor> = None;
         for (l, layer) in path.iter().enumerate() {
-            cur = layer_region(&layer.kind, &cur, shapes[l], &weights[l], regions[l])?;
+            let next = match &cur {
+                Some(t) => layer_region(
+                    backend,
+                    scratch,
+                    &layer.kind,
+                    t,
+                    shapes[l],
+                    &weights[l],
+                    regions[l],
+                )?,
+                None => layer_region(
+                    backend,
+                    scratch,
+                    &layer.kind,
+                    input,
+                    shapes[l],
+                    &weights[l],
+                    regions[l],
+                )?,
+            };
+            if let Some(spent) = cur.take() {
+                scratch.give(spent.into_vec());
+            }
+            cur = Some(next);
         }
-        outputs.push(cur);
+        if let Some(t) = cur {
+            outputs.push(t);
+        }
     }
-    match block.merge {
+    let merged = match block.merge {
         Merge::Add => ops::add(&outputs),
         Merge::Concat => ops::concat_channels(&outputs),
+    };
+    for t in outputs {
+        scratch.give(t.into_vec());
     }
+    merged
 }
 
 #[cfg(test)]

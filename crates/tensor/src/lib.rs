@@ -12,6 +12,12 @@
 //! accuracy, so only layer shapes matter for the reproduction, but real
 //! numerics let the test suite prove the split/stitch machinery correct.
 //!
+//! Two compute backends share the engine ([`EngineBackend`]): the naive
+//! direct loops (`Reference`, the bit-exactness oracle) and an im2col +
+//! cache-blocked-GEMM path (`Im2colGemm`, the default) that reuses
+//! [`Scratch`] buffers for allocation-free steady-state serving. Both
+//! produce identical tensors element for element.
+//!
 //! # Example
 //!
 //! ```
@@ -39,11 +45,14 @@
 
 mod engine;
 mod error;
+mod gemm;
 mod ops;
+mod scratch;
 mod tensor;
 mod weights;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineBackend};
 pub use error::TensorError;
+pub use scratch::Scratch;
 pub use tensor::Tensor;
 pub use weights::{LayerWeights, NetworkWeights, UnitWeights};

@@ -13,7 +13,7 @@ use pico_model::{ConvSpec, PoolKind, PoolSpec, Region2, Shape};
 use crate::{LayerWeights, Tensor, TensorError};
 
 /// Checks the tile covers the region a receptive field needs.
-fn require_region(tile: &Tensor, required: Region2) -> Result<(), TensorError> {
+pub(crate) fn require_region(tile: &Tensor, required: Region2) -> Result<(), TensorError> {
     if tile.region().contains(required) {
         Ok(())
     } else {
@@ -26,7 +26,7 @@ fn require_region(tile: &Tensor, required: Region2) -> Result<(), TensorError> {
 
 /// The input region a (kernel, stride, padding) op needs for output
 /// region `out`, clamped to the global input map.
-fn receptive(
+pub(crate) fn receptive(
     out: Region2,
     kernel: (usize, usize),
     stride: (usize, usize),
@@ -105,15 +105,12 @@ pub(crate) fn conv_region(
             }
         }
     }
-    let mut t = Tensor::zeros(Shape::new(
-        spec.out_channels,
-        out.rows.len(),
-        out.cols.len(),
-    ));
-    t.data_mut().copy_from_slice(&data);
-    t.set_row0(out.rows.start);
-    t.set_col0(out.cols.start);
-    Ok(t)
+    Tensor::from_parts(
+        Shape::new(spec.out_channels, out.rows.len(), out.cols.len()),
+        out.rows.start,
+        out.cols.start,
+        data,
+    )
 }
 
 /// Pooling over output region `out` of the global output map.
@@ -182,11 +179,12 @@ pub(crate) fn pool_region(
             }
         }
     }
-    let mut t = Tensor::zeros(Shape::new(c, out.rows.len(), out.cols.len()));
-    t.data_mut().copy_from_slice(&data);
-    t.set_row0(out.rows.start);
-    t.set_col0(out.cols.start);
-    Ok(t)
+    Tensor::from_parts(
+        Shape::new(c, out.rows.len(), out.cols.len()),
+        out.rows.start,
+        out.cols.start,
+        data,
+    )
 }
 
 /// Fully-connected layer (+ ReLU) on the flattened input. Requires the
@@ -215,9 +213,7 @@ pub(crate) fn fc_full(
         }
         data.push(if relu { acc.max(0.0) } else { acc });
     }
-    let mut out = Tensor::zeros(Shape::new(out_features, 1, 1));
-    out.data_mut().copy_from_slice(&data);
-    Ok(out)
+    Tensor::from_parts(Shape::new(out_features, 1, 1), 0, 0, data)
 }
 
 /// Element-wise addition of tiles covering identical global regions.
@@ -261,11 +257,12 @@ pub(crate) fn concat_channels(tiles: &[Tensor]) -> Result<Tensor, TensorError> {
     for t in tiles {
         data.extend_from_slice(t.data());
     }
-    let mut out = Tensor::zeros(Shape::new(channels, h, w));
-    out.data_mut().copy_from_slice(&data);
-    out.set_row0(region.rows.start);
-    out.set_col0(region.cols.start);
-    Ok(out)
+    Tensor::from_parts(
+        Shape::new(channels, h, w),
+        region.rows.start,
+        region.cols.start,
+        data,
+    )
 }
 
 #[cfg(test)]

@@ -52,6 +52,34 @@ impl Tensor {
         })
     }
 
+    /// Creates a tensor from raw CHW data plus its global offsets —
+    /// the kernel-output constructor (the filled buffer becomes the
+    /// tensor with no intermediate copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when `data.len()` does not
+    /// match `shape.elements()`.
+    pub(crate) fn from_parts(
+        shape: Shape,
+        row0: usize,
+        col0: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if data.len() != shape.elements() {
+            return Err(TensorError::DataLength {
+                expected: shape.elements(),
+                found: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            row0,
+            col0,
+            data,
+        })
+    }
+
     /// Creates a deterministic pseudo-random tensor (uniform in
     /// `[-1, 1]`) — synthetic sensor input for tests and examples.
     pub fn random(shape: Shape, seed: u64) -> Self {
@@ -77,21 +105,10 @@ impl Tensor {
         self.row0
     }
 
-    /// Tags this tensor as starting at global row `row0` (used by
-    /// kernels producing partial output maps).
-    pub(crate) fn set_row0(&mut self, row0: usize) {
-        self.row0 = row0;
-    }
-
     /// The global column index of this tensor's first column (non-zero
     /// for grid tiles).
     pub fn col0(&self) -> usize {
         self.col0
-    }
-
-    /// Tags this tensor as starting at global column `col0`.
-    pub(crate) fn set_col0(&mut self, col0: usize) {
-        self.col0 = col0;
     }
 
     /// Global columns covered by this tensor.

@@ -1,0 +1,85 @@
+//! Steady-state allocation regression test for the fast backend.
+//!
+//! A worker that keeps one [`Scratch`] across its task stream and hands
+//! result buffers back via [`Scratch::give`] must reach a state where
+//! an inference task performs **zero** heap allocations: the patch
+//! matrix, the output buffers, and the per-call region trace are all
+//! pooled. This test counts every `alloc`/`realloc` in the process via
+//! the shared counting-allocator harness and asserts the delta is
+//! exactly zero — any new allocation on the hot path (like the region
+//! trace this test originally caught) fails it.
+//!
+//! The guarantee covers plain-layer chains; graph-structured blocks
+//! keep small per-path bookkeeping and are out of scope here. This
+//! test lives in its own binary so no other test's allocations pollute
+//! the counter.
+
+use pico_model::{ConvSpec, Layer, Model, PoolSpec, Region2, Shape};
+use pico_tensor::{Engine, EngineBackend, Scratch, Tensor};
+
+pico_telemetry::install_counting_allocator!();
+
+fn chain() -> Model {
+    Model::new(
+        "alloc-chain",
+        Shape::new(8, 16, 16),
+        vec![
+            Layer::conv("c1", ConvSpec::square(8, 16, 3, 1, 1)).into(),
+            Layer::pool("p1", PoolSpec::max(2, 2)).into(),
+            Layer::conv("c2", ConvSpec::square(16, 16, 3, 1, 1)).into(),
+        ],
+    )
+    .expect("chain is consistent")
+}
+
+#[test]
+fn steady_state_inference_performs_zero_allocations() {
+    let model = chain();
+    let engine = Engine::with_seed(&model, 42).with_backend(EngineBackend::Im2colGemm);
+    let seg = model.full_segment();
+    let out = model.output_shape();
+    let region = Region2::full(out.height, out.width);
+    let input = Tensor::random(model.input_shape(), 7);
+
+    let mut scratch = Scratch::new();
+    // Warm the pool: the first few tasks grow the patch matrix, the
+    // output buffers, and the region trace to their steady-state sizes.
+    for _ in 0..4 {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("inference works");
+        scratch.give(t.into_vec());
+    }
+
+    let before = allocation_count();
+    for _ in 0..16 {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("inference works");
+        scratch.give(t.into_vec());
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state fast-backend inference allocated {delta} times"
+    );
+}
+
+#[test]
+fn reference_backend_allocates_per_layer_as_documented() {
+    // The naive oracle is *expected* to allocate (one fresh output
+    // buffer per layer); this pins the contrast so a future "optimize
+    // the reference" change that breaks the oracle's simplicity shows
+    // up in review.
+    let model = chain();
+    let engine = Engine::with_seed(&model, 42).with_backend(EngineBackend::Reference);
+    let input = Tensor::random(model.input_shape(), 7);
+    let _ = engine.infer(&input).expect("inference works");
+
+    let before = allocation_count();
+    let _ = engine.infer(&input).expect("inference works");
+    assert!(
+        allocation_count() - before >= model.len(),
+        "reference backend should allocate at least one buffer per layer"
+    );
+}

@@ -1,0 +1,328 @@
+//! The differential kernel-oracle suite: the `Im2colGemm` backend must
+//! be **bit-identical** to the naive `Reference` loops on every layer
+//! kind, region shape, and error case proptest can throw at it —
+//! grouped/depthwise convolutions, stride/padding edge cases, full
+//! maps, row strips, grid tiles, and halo-short failures.
+//!
+//! Equality is `Tensor == Tensor` (exact f32 bit patterns via the
+//! derived `Vec<f32>` comparison), not approximate: the GEMM preserves
+//! each output element's addition chain, so there is nothing to
+//! tolerate.
+
+use pico_model::{
+    grid_split_even, rows_split_even, ConvSpec, Layer, Model, PoolKind, PoolSpec, Rows, Shape,
+};
+use pico_tensor::{Engine, EngineBackend, Scratch, Tensor, TensorError};
+use proptest::prelude::*;
+
+/// One generated layer before shape validation.
+#[derive(Debug, Clone, Copy)]
+enum Pick {
+    Conv {
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: usize,
+        /// 0 = dense, 1 = two groups (if divisible), 2 = depthwise.
+        grouping: u8,
+        /// Output channels per group.
+        out_per_group: usize,
+    },
+    Pool {
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        avg: bool,
+    },
+}
+
+fn arb_pick() -> impl Strategy<Value = Pick> {
+    prop_oneof![
+        3 => (1usize..=3, 1usize..=3, 1usize..=2, 0usize..=2, 0u8..=2, 1usize..=3).prop_map(
+            |(kh, kw, stride, padding, grouping, out_per_group)| Pick::Conv {
+                kh,
+                kw,
+                stride,
+                padding,
+                grouping,
+                out_per_group,
+            }
+        ),
+        1 => (2usize..=3, 1usize..=2, 0usize..=1, any::<bool>()).prop_map(
+            |(kernel, stride, padding, avg)| Pick::Pool {
+                kernel,
+                stride,
+                padding,
+                avg,
+            }
+        ),
+    ]
+}
+
+/// Random conv/pool chains over a 12x12 input, including grouped and
+/// depthwise convolutions and padded average pooling. Invalid picks
+/// (shape collapse, padding >= kernel) are skipped, keeping every
+/// generated model runnable.
+fn arb_model() -> impl Strategy<Value = Model> {
+    proptest::collection::vec(arb_pick(), 1..5).prop_map(|picks| {
+        let input = Shape::new(4, 12, 12);
+        let mut units: Vec<pico_model::Unit> = Vec::new();
+        let mut shape = input;
+        for (i, pick) in picks.into_iter().enumerate() {
+            let layer = match pick {
+                Pick::Conv {
+                    kh,
+                    kw,
+                    stride,
+                    padding,
+                    grouping,
+                    out_per_group,
+                } => {
+                    let groups = match grouping {
+                        0 => 1,
+                        1 if shape.channels.is_multiple_of(2) => 2,
+                        1 => 1,
+                        _ => shape.channels,
+                    };
+                    if padding >= kh.min(kw) {
+                        continue;
+                    }
+                    Layer::conv(
+                        format!("c{i}"),
+                        ConvSpec {
+                            in_channels: shape.channels,
+                            out_channels: groups * out_per_group,
+                            kernel: (kh, kw),
+                            stride: (stride, stride),
+                            padding: (padding, padding),
+                            groups,
+                        },
+                    )
+                }
+                Pick::Pool {
+                    kernel,
+                    stride,
+                    padding,
+                    avg,
+                } => {
+                    if padding >= kernel {
+                        continue;
+                    }
+                    Layer::pool(
+                        format!("p{i}"),
+                        PoolSpec {
+                            kind: if avg { PoolKind::Avg } else { PoolKind::Max },
+                            kernel: (kernel, kernel),
+                            stride: (stride, stride),
+                            padding: (padding, padding),
+                        },
+                    )
+                }
+            };
+            if let Ok(next) = layer.output_shape(shape) {
+                if next.height >= 2 && next.width >= 2 {
+                    shape = next;
+                    units.push(layer.into());
+                }
+            }
+        }
+        if units.is_empty() {
+            units.push(Layer::conv("fb", ConvSpec::square(4, 3, 3, 1, 1)).into());
+        }
+        Model::new("diff", input, units).expect("chain is consistent")
+    })
+}
+
+/// Engines over identical seeded weights, one per backend.
+fn engine_pair(model: &Model, seed: u64) -> (Engine<'_>, Engine<'_>) {
+    (
+        Engine::with_seed(model, seed).with_backend(EngineBackend::Reference),
+        Engine::with_seed(model, seed).with_backend(EngineBackend::Im2colGemm),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-map inference is bit-identical between backends.
+    #[test]
+    fn full_maps_are_bit_identical(model in arb_model(), seed in 0u64..1000) {
+        let (reference, fast) = engine_pair(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(1));
+        let want = reference.infer(&input).expect("reference inference works");
+        let got = fast.infer(&input).expect("fast inference works");
+        prop_assert_eq!(got, want);
+    }
+
+    /// Every row strip of every even split matches the oracle, with one
+    /// dirty scratch pool reused across strips (recycled buffers must
+    /// be fully overwritten, never leak stale values).
+    #[test]
+    fn row_strips_are_bit_identical(
+        model in arb_model(),
+        parts in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (reference, fast) = engine_pair(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(2));
+        let seg = model.full_segment();
+        let h = model.output_shape().height;
+        let mut scratch = Scratch::new();
+        for rows in rows_split_even(Rows::full(h), parts) {
+            if rows.is_empty() {
+                continue;
+            }
+            let need = model.segment_input_rows(seg, rows);
+            let tile = input.slice_rows(need).expect("halo available");
+            let want = reference
+                .infer_region(seg, rows, &tile)
+                .expect("reference region works");
+            let got = fast
+                .infer_region2_with(
+                    &mut scratch,
+                    seg,
+                    pico_model::Region2::new(rows, Rows::full(model.output_shape().width)),
+                    &tile,
+                )
+                .expect("fast region works");
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Every grid tile of every even 2-D split matches the oracle.
+    #[test]
+    fn grid_tiles_are_bit_identical(
+        model in arb_model(),
+        gr in 1usize..3,
+        gc in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (reference, fast) = engine_pair(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(3));
+        let out = model.output_shape();
+        let seg = model.full_segment();
+        for region in grid_split_even(out.height, out.width, gr, gc) {
+            let need = model.segment_input_region(seg, region);
+            let tile = input.slice_region(need).expect("halo available");
+            let want = reference
+                .infer_region2(seg, region, &tile)
+                .expect("reference region works");
+            let got = fast
+                .infer_region2(seg, region, &tile)
+                .expect("fast region works");
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// A halo-short tile fails with the *same* error on both backends —
+    /// variant and fields, not just "some error".
+    #[test]
+    fn halo_short_tiles_fail_identically(model in arb_model(), seed in 0u64..1000) {
+        let (reference, fast) = engine_pair(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(4));
+        let seg = model.full_segment();
+        let h = model.output_shape().height;
+        let in_h = model.input_shape().height;
+        prop_assume!(h >= 2);
+        // The bottom half's receptive field; a tile starting one row
+        // below it is short exactly when the field reaches row 0's side.
+        let rows = Rows::new(h / 2, h);
+        let need = model.segment_input_rows(seg, rows);
+        prop_assume!(need.start + 1 < in_h);
+        let tile = input
+            .slice_rows(Rows::new(need.start + 1, in_h))
+            .expect("slice is in range");
+        let want = reference.infer_region(seg, rows, &tile);
+        let got = fast.infer_region(seg, rows, &tile);
+        prop_assert!(want.is_err(), "tile was genuinely short");
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn fc_and_relu_tails_match_exactly() {
+    // Deterministic conv -> pool -> fc chain: the GEMV path and its
+    // fused ReLU against the reference dot products.
+    let model = Model::new(
+        "fc-tail",
+        Shape::new(3, 12, 12),
+        vec![
+            Layer::conv("c", ConvSpec::square(3, 8, 3, 1, 1)).into(),
+            Layer::pool("p", PoolSpec::max(2, 2)).into(),
+            Layer::fc("fc", 8 * 6 * 6, 32).into(),
+        ],
+    )
+    .unwrap();
+    for seed in 0..8 {
+        let (reference, fast) = engine_pair(&model, seed);
+        let input = Tensor::random(model.input_shape(), seed ^ 0x5a);
+        assert_eq!(
+            fast.infer(&input).unwrap(),
+            reference.infer(&input).unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn wrong_channel_inputs_fail_identically() {
+    let model = Model::new(
+        "chan",
+        Shape::new(4, 8, 8),
+        vec![Layer::conv("c", ConvSpec::square(4, 4, 3, 1, 1)).into()],
+    )
+    .unwrap();
+    let (reference, fast) = engine_pair(&model, 3);
+    let bad = Tensor::random(Shape::new(3, 8, 8), 4);
+    let want = reference.infer(&bad);
+    let got = fast.infer(&bad);
+    assert!(matches!(want, Err(TensorError::ShapeMismatch { .. })));
+    assert_eq!(got, want);
+}
+
+#[test]
+fn mixed_stride_padding_edge_cases_match() {
+    // Hand-picked shapes that stress partial register tiles: output
+    // widths 1, 7, 8, 9 around the NR=8 pixel tile, odd heights, and a
+    // stride-2 asymmetric kernel.
+    let cases = vec![
+        ("w1", ConvSpec::square(2, 4, 3, 1, 0), Shape::new(2, 3, 3)),
+        ("w7", ConvSpec::square(2, 5, 3, 1, 1), Shape::new(2, 7, 7)),
+        ("w8", ConvSpec::square(3, 4, 3, 1, 1), Shape::new(3, 8, 8)),
+        ("w9", ConvSpec::square(3, 4, 3, 1, 1), Shape::new(3, 9, 9)),
+        (
+            "asym",
+            ConvSpec {
+                in_channels: 2,
+                out_channels: 6,
+                kernel: (1, 7),
+                stride: (1, 1),
+                padding: (0, 3),
+                groups: 1,
+            },
+            Shape::new(2, 9, 9),
+        ),
+        (
+            "s2",
+            ConvSpec {
+                in_channels: 4,
+                out_channels: 4,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (1, 1),
+                groups: 2,
+            },
+            Shape::new(4, 11, 11),
+        ),
+    ];
+    for (name, spec, input_shape) in cases {
+        let model = Model::new(name, input_shape, vec![Layer::conv(name, spec).into()]).unwrap();
+        let (reference, fast) = engine_pair(&model, 9);
+        let input = Tensor::random(input_shape, 10);
+        assert_eq!(
+            fast.infer(&input).unwrap(),
+            reference.infer(&input).unwrap(),
+            "{name}"
+        );
+    }
+}

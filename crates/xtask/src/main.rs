@@ -22,7 +22,12 @@
 //!    `pico-telemetry` itself must be `pico_telemetry::names::*`
 //!    consts, never ad-hoc string literals, so the name registry stays
 //!    the single source of truth and the trace summary's exact-match
-//!    grouping cannot silently miss a misspelled name.
+//!    grouping cannot silently miss a misspelled name;
+//! 6. **kernel-hot-path** — the GEMM micro-kernels
+//!    (`crates/tensor/src/gemm.rs`) contain no `.unwrap()` /
+//!    `.expect(` and no allocation calls in non-test code: every
+//!    buffer is caller-provided (normally from a `Scratch` pool), so
+//!    the steady-state zero-allocation guarantee cannot silently rot.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -74,9 +79,10 @@ fn lint() -> ExitCode {
     lint_headers(&root, &mut violations);
     lint_registry(&root, &mut violations);
     lint_telemetry_names(&root, &mut violations);
+    lint_kernel_hot_path(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (5 rules, 0 findings)");
+        println!("xtask lint: clean (6 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -487,6 +493,56 @@ fn lint_telemetry_names(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Tokens that heap-allocate; none may appear in kernel hot-path code.
+const ALLOCATION_TOKENS: [&str; 9] = [
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    ".to_vec(",
+    ".collect(",
+    ".to_owned(",
+    ".to_string(",
+    "String::",
+    "Box::new",
+];
+
+/// Rule 6: the GEMM micro-kernels stay panic-free and allocation-free
+/// outside tests.
+fn lint_kernel_hot_path(root: &Path, violations: &mut Vec<Violation>) {
+    let file = root.join("crates/tensor/src/gemm.rs");
+    let Ok(source) = std::fs::read_to_string(&file) else {
+        violations.push(Violation {
+            rule: "kernel-hot-path",
+            file,
+            line: 0,
+            detail: "crates/tensor/src/gemm.rs is missing".to_owned(),
+        });
+        return;
+    };
+    for (line, code) in non_test_lines(&source) {
+        for pattern in [".unwrap()", ".expect("] {
+            if code.contains(pattern) {
+                violations.push(Violation {
+                    rule: "kernel-hot-path",
+                    file: file.clone(),
+                    line,
+                    detail: format!("`{pattern}` in non-test kernel code"),
+                });
+            }
+        }
+        for token in ALLOCATION_TOKENS {
+            if code.contains(token) {
+                violations.push(Violation {
+                    rule: "kernel-hot-path",
+                    file: file.clone(),
+                    line,
+                    detail: format!("`{token}` allocates; kernel buffers must be caller-provided"),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +625,7 @@ mod tests {
         lint_headers(&root, &mut violations);
         lint_registry(&root, &mut violations);
         lint_telemetry_names(&root, &mut violations);
+        lint_kernel_hot_path(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage: pico <command> [options]
        pico trace <summarize|validate> <file.json>
+       pico bench <kernels|planner|e2e> [options]
 
 commands:
   plan       plan a deployment and print the stage layout
@@ -38,6 +39,8 @@ commands:
   simulate   run a Poisson workload through the queueing simulator
   run        execute a plan on the threaded runtime (optionally traced)
   trace      summarize or validate a Chrome trace written by `run`
+  bench      offline micro-benchmarks (compute kernels under both
+             backends, planner wall-time + calibration fit, end-to-end)
   memory     per-device memory footprint of the PICO plan
   frontier   the period/latency Pareto frontier (T_lim sweep)
   model      per-layer summary of the model (shapes, params, FLOPs)
@@ -63,7 +66,13 @@ options:
                              from task <task> on; repeatable. Failures
                              are retried on survivors and the pipeline
                              re-planned when a stage loses every device
-  --trace <file.json>        `run`: write a Chrome trace-event file";
+  --trace <file.json>        `run`: write a Chrome trace-event file
+  --warmup/--iters/--runs <n> `bench`: measurement protocol overrides
+  --json <file>              `bench`: also write the machine-readable
+                             report (round-tripped through the strict
+                             parser before the command succeeds)
+  --gate-ratio <x>           `bench kernels`: fail unless im2col beats
+                             the reference conv3x3/64ch case by >= x";
 
 /// Tiny hand-rolled `--key value` parser (no CLI dependency).
 struct Opts {
@@ -183,6 +192,100 @@ fn planner_by_name(name: &str) -> Result<Box<dyn Planner>, String> {
     })
 }
 
+/// `pico bench <kernels|planner|e2e>` — the offline micro-benchmark
+/// suites, printed as a table and optionally written as strict JSON.
+fn bench_command(rest: &[String]) -> Result<(), String> {
+    use pico::bench::harness::BenchConfig;
+    use pico::bench::report::BenchReport;
+    use pico::bench::suites;
+
+    let Some((suite, flags)) = rest.split_first() else {
+        return Err("usage: pico bench <kernels|planner|e2e> [options]".to_owned());
+    };
+    let opts = Opts::parse(flags)?;
+    let defaults = BenchConfig::default();
+    let warmup = opts.get_usize("warmup", defaults.warmup)?;
+    let iters = opts.get_usize("iters", defaults.iters)?;
+    let runs = opts.get_usize("runs", defaults.runs)?;
+    if iters == 0 || runs == 0 {
+        return Err("need --iters >= 1 and --runs >= 1".to_owned());
+    }
+    let cfg = BenchConfig::new(warmup, iters, runs);
+
+    let report = match suite.as_str() {
+        "kernels" => suites::kernels(cfg),
+        "planner" => suites::planner(cfg),
+        "e2e" => suites::e2e(cfg),
+        other => return Err(format!("unknown bench suite `{other}`")),
+    };
+
+    println!(
+        "suite {} (warmup {}, iters {}, runs {}; compare ratios, not wall-clock)",
+        report.suite, cfg.warmup, cfg.iters, cfg.runs
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "case", "median(ns)", "min(ns)", "GFLOP/s"
+    );
+    for r in &report.records {
+        println!(
+            "{:<28} {:>12} {:>12} {:>8.2}",
+            r.name,
+            r.median_ns,
+            r.min_ns,
+            r.gflops()
+        );
+    }
+
+    if suite == "kernels" {
+        let ratio = suites::backend_speedup(&report, suites::GATE_CASE)
+            .ok_or_else(|| "gate case missing from kernel report".to_owned())?;
+        println!(
+            "speedup {}: {ratio:.2}x im2col over reference",
+            suites::GATE_CASE
+        );
+        if let Some(gate) = opts.get("gate-ratio") {
+            let gate: f64 = gate
+                .parse()
+                .map_err(|_| format!("--gate-ratio: bad number `{gate}`"))?;
+            if ratio < gate {
+                return Err(format!(
+                    "speedup gate failed: {ratio:.2}x < required {gate:.2}x on {}",
+                    suites::GATE_CASE
+                ));
+            }
+        }
+    } else if opts.get("gate-ratio").is_some() {
+        return Err("--gate-ratio applies to `bench kernels` only".to_owned());
+    }
+
+    if suite == "planner" {
+        // The fit `CostParams::calibrated` would adopt from this
+        // machine's fast-backend conv kernels (see EXPERIMENTS.md).
+        let (params, samples) = suites::calibration(&suites::kernels(cfg));
+        println!(
+            "calibration fit over {} conv samples at {:.1} GHz nominal: alpha_scale = {:.4}",
+            samples.len(),
+            suites::CALIBRATION_CAPACITY / 1e9,
+            params.alpha_scale
+        );
+    }
+
+    if let Some(path) = opts.get("json") {
+        let text = report.to_json();
+        // The document is the interface: prove it parses strictly and
+        // round-trips before calling the run a success.
+        let parsed =
+            BenchReport::from_json(&text).map_err(|e| format!("--json self-check: {e}"))?;
+        if parsed != report {
+            return Err("--json self-check: round-trip mismatch".to_owned());
+        }
+        std::fs::write(path, &text).map_err(|e| format!("--json {path}: {e}"))?;
+        println!("wrote {} record(s) to {path}", report.records.len());
+    }
+    Ok(())
+}
+
 /// `pico trace <summarize|validate> <file.json>` — offline inspection
 /// of Chrome trace-event files written by `pico run --trace`.
 fn trace_command(rest: &[String]) -> Result<(), String> {
@@ -217,6 +320,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "trace" {
         // `trace` takes positional operands, not --key value pairs.
         return trace_command(rest);
+    }
+    if command == "bench" {
+        // `bench` takes a positional suite name before its flags.
+        return bench_command(rest);
     }
     let opts = Opts::parse(rest)?;
     let pico = deployment_from(&opts)?;
@@ -636,6 +743,86 @@ mod tests {
         assert!(run(&with(&["--fail-device", "x@1"])).is_err());
         assert!(run(&with(&["--fail-device", "1@y"])).is_err());
         assert!(run(&with(&["--fail-device", "1", "--throttle-scale", "0.001"])).is_err());
+    }
+
+    #[test]
+    fn bench_kernels_writes_a_valid_report_and_gates_on_ratio() {
+        let path = std::env::temp_dir().join(format!("pico-cli-bench-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_owned();
+        run(&sv(&[
+            "bench",
+            "kernels",
+            "--warmup",
+            "0",
+            "--iters",
+            "1",
+            "--runs",
+            "1",
+            "--json",
+            &path,
+            "--gate-ratio",
+            "0.0001",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = pico::bench::report::BenchReport::from_json(&text).unwrap();
+        assert_eq!(report.suite, "kernels");
+        assert!(report
+            .record(&format!("{}/im2col", pico::bench::suites::GATE_CASE))
+            .is_some());
+        std::fs::remove_file(&path).ok();
+        // An impossible gate fails cleanly.
+        assert!(run(&sv(&[
+            "bench",
+            "kernels",
+            "--warmup",
+            "0",
+            "--iters",
+            "1",
+            "--runs",
+            "1",
+            "--gate-ratio",
+            "1e12",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn bench_e2e_runs_and_bad_invocations_error() {
+        run(&sv(&[
+            "bench", "e2e", "--warmup", "0", "--iters", "1", "--runs", "1",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&["bench"])).is_err());
+        assert!(run(&sv(&["bench", "frobnicate"])).is_err());
+        assert!(run(&sv(&["bench", "kernels", "--iters", "0"])).is_err());
+        assert!(run(&sv(&["bench", "kernels", "--iters", "abc"])).is_err());
+        assert!(run(&sv(&[
+            "bench",
+            "kernels",
+            "--gate-ratio",
+            "abc",
+            "--iters",
+            "1",
+            "--warmup",
+            "0",
+            "--runs",
+            "1"
+        ]))
+        .is_err());
+        assert!(run(&sv(&[
+            "bench",
+            "e2e",
+            "--gate-ratio",
+            "3",
+            "--iters",
+            "1",
+            "--warmup",
+            "0",
+            "--runs",
+            "1",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `pico-runtime` | [`runtime`] | threaded Fig.-6 pipeline executor |
 //! | `pico-telemetry` | [`telemetry`] | structured spans/counters/histograms, Chrome traces |
 //! | `pico-core` | [`core`] | the [`Pico`] one-stop facade |
+//! | `pico-bench` | [`bench`] | paper figures/tables + the `pico bench` micro-benchmark suites |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use pico_audit as audit;
+pub use pico_bench as bench;
 pub use pico_core as core;
 pub use pico_model as model;
 pub use pico_partition as partition;
@@ -66,5 +68,5 @@ pub mod prelude {
     };
     pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
     pub use pico_telemetry::{names, Ctx, Event, EventKind, Recorder, TraceSummary};
-    pub use pico_tensor::{Engine, Tensor};
+    pub use pico_tensor::{Engine, EngineBackend, Scratch, Tensor};
 }

@@ -1,7 +1,9 @@
 //! Deterministic chaos harness: scripted device failures pushed through
-//! the *threaded* runtime, across a matrix of weight seeds and failure
-//! schedules. Every completed task must be bit-exact against clean
-//! single-device inference, the outage must be recorded in the report,
+//! the *threaded* runtime, across a matrix of weight seeds, failure
+//! schedules, and compute backends (the degraded re-planned stream runs
+//! under both the reference loops and the im2col/GEMM fast path). Every
+//! completed task must be bit-exact against clean single-device
+//! inference, the outage must be recorded in the report,
 //! and throttled throughput must degrade no worse than the cost model
 //! predicts for the degraded plan.
 
@@ -53,40 +55,44 @@ fn chaos_matrix_is_bit_exact_across_seeds_and_schedules() {
     let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
     let n = 5;
     for seed in [11u64, 22, 33] {
-        let engine = Engine::with_seed(&m, seed);
         let inputs: Vec<Tensor> = (0..n)
             .map(|i| Tensor::random(m.input_shape(), seed ^ (i as u64)))
             .collect();
-        let references: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x).unwrap()).collect();
-        for (si, schedule) in schedules(&plan).into_iter().enumerate() {
-            let scripted: Vec<usize> = schedule.entries().iter().map(|f| f.device).collect();
-            let report = PipelineRuntime::builder(&m, &plan, &engine)
-                .failure_schedule(schedule)
-                .recovery(RecoveryPolicy::new(c.clone(), p))
-                .build()
-                .run(inputs.clone())
-                .unwrap_or_else(|e| panic!("seed {seed} schedule {si}: {e}"));
-            assert_eq!(
-                report.outputs.len(),
-                n,
-                "seed {seed} schedule {si}: tasks lost"
-            );
-            for (i, reference) in references.iter().enumerate() {
+        let oracle = Engine::with_seed(&m, seed).with_backend(EngineBackend::Reference);
+        let references: Vec<Tensor> = inputs.iter().map(|x| oracle.infer(x).unwrap()).collect();
+        for backend in EngineBackend::ALL {
+            let engine = Engine::with_seed(&m, seed).with_backend(backend);
+            for (si, schedule) in schedules(&plan).into_iter().enumerate() {
+                let scripted: Vec<usize> = schedule.entries().iter().map(|f| f.device).collect();
+                let report = PipelineRuntime::builder(&m, &plan, &engine)
+                    .failure_schedule(schedule)
+                    .recovery(RecoveryPolicy::new(c.clone(), p))
+                    .build()
+                    .run(inputs.clone())
+                    .unwrap_or_else(|e| panic!("seed {seed} schedule {si} {backend}: {e}"));
                 assert_eq!(
-                    &report.outputs[i], reference,
-                    "seed {seed} schedule {si}: task {i} diverged from clean inference"
+                    report.outputs.len(),
+                    n,
+                    "seed {seed} schedule {si} {backend}: tasks lost"
                 );
-            }
-            assert!(
-                !report.failures.is_empty(),
-                "seed {seed} schedule {si}: outage went unrecorded"
-            );
-            for f in &report.failures {
+                for (i, reference) in references.iter().enumerate() {
+                    assert_eq!(
+                        &report.outputs[i], reference,
+                        "seed {seed} schedule {si} {backend}: task {i} diverged from clean \
+                         inference"
+                    );
+                }
                 assert!(
-                    scripted.contains(&f.device),
-                    "seed {seed} schedule {si}: unscripted device {} reported dead",
-                    f.device
+                    !report.failures.is_empty(),
+                    "seed {seed} schedule {si} {backend}: outage went unrecorded"
                 );
+                for f in &report.failures {
+                    assert!(
+                        scripted.contains(&f.device),
+                        "seed {seed} schedule {si} {backend}: unscripted device {} reported dead",
+                        f.device
+                    );
+                }
             }
         }
     }

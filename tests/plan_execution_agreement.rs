@@ -1,6 +1,8 @@
 //! Cross-crate integration: plans from every planner must survive
 //! validation, simulation, and *real* threaded execution with
-//! bit-identical outputs — the full plan → simulate → execute loop.
+//! bit-identical outputs — the full plan → simulate → execute loop,
+//! exercised under every [`EngineBackend`] against the naive-loop
+//! oracle.
 
 use pico::prelude::*;
 
@@ -24,21 +26,27 @@ fn every_planner_executes_bit_exactly_on_homogeneous_cluster() {
     let cluster = Cluster::pi_cluster(4, 1.0);
     let params = CostParams::wifi_50mbps();
     for model in models_under_test() {
-        let engine = Engine::with_seed(&model, 123);
         let input = Tensor::random(model.input_shape(), 9);
-        let reference = engine.infer(&input).unwrap();
-        for planner in planners() {
-            let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
-            plan.validate(&model, &cluster).unwrap();
-            let runtime = PipelineRuntime::new(&model, &plan, &engine);
-            let report = runtime.run(vec![input.clone()]).unwrap();
-            assert_eq!(
-                report.outputs[0],
-                reference,
-                "{} diverged on {}",
-                planner.name(),
-                model.name()
-            );
+        // One oracle for both backends: the naive reference loops.
+        let reference = Engine::with_seed(&model, 123)
+            .with_backend(EngineBackend::Reference)
+            .infer(&input)
+            .unwrap();
+        for backend in EngineBackend::ALL {
+            let engine = Engine::with_seed(&model, 123).with_backend(backend);
+            for planner in planners() {
+                let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
+                plan.validate(&model, &cluster).unwrap();
+                let runtime = PipelineRuntime::new(&model, &plan, &engine);
+                let report = runtime.run(vec![input.clone()]).unwrap();
+                assert_eq!(
+                    report.outputs[0],
+                    reference,
+                    "{} diverged on {} with {backend} backend",
+                    planner.name(),
+                    model.name()
+                );
+            }
         }
     }
 }
@@ -48,19 +56,27 @@ fn every_planner_executes_bit_exactly_on_heterogeneous_cluster() {
     let cluster = Cluster::paper_heterogeneous_6();
     let params = CostParams::wifi_50mbps();
     let model = zoo::mnist_toy();
-    let engine = Engine::with_seed(&model, 7);
     let inputs: Vec<Tensor> = (0..3)
         .map(|i| Tensor::random(model.input_shape(), 50 + i))
         .collect();
-    let references: Vec<Tensor> = inputs.iter().map(|x| engine.infer(x).unwrap()).collect();
-    for planner in planners() {
-        let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
-        plan.validate(&model, &cluster).unwrap();
-        let report = PipelineRuntime::new(&model, &plan, &engine)
-            .run(inputs.clone())
-            .unwrap();
-        for (i, r) in references.iter().enumerate() {
-            assert_eq!(&report.outputs[i], r, "{} task {i}", planner.name());
+    let oracle = Engine::with_seed(&model, 7).with_backend(EngineBackend::Reference);
+    let references: Vec<Tensor> = inputs.iter().map(|x| oracle.infer(x).unwrap()).collect();
+    for backend in EngineBackend::ALL {
+        let engine = Engine::with_seed(&model, 7).with_backend(backend);
+        for planner in planners() {
+            let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
+            plan.validate(&model, &cluster).unwrap();
+            let report = PipelineRuntime::new(&model, &plan, &engine)
+                .run(inputs.clone())
+                .unwrap();
+            for (i, r) in references.iter().enumerate() {
+                assert_eq!(
+                    &report.outputs[i],
+                    r,
+                    "{} task {i} with {backend} backend",
+                    planner.name()
+                );
+            }
         }
     }
 }
@@ -105,15 +121,21 @@ fn grid_plan_executes_bit_exactly_through_runtime() {
         .unwrap();
     plan.validate(&model, &cluster).unwrap();
     assert!(plan.stages[0].is_grid());
-    let engine = Engine::with_seed(&model, 17);
     let inputs: Vec<Tensor> = (0..3)
         .map(|i| Tensor::random(model.input_shape(), 200 + i))
         .collect();
-    let report = PipelineRuntime::new(&model, &plan, &engine)
-        .run(inputs.clone())
-        .unwrap();
-    for (i, input) in inputs.iter().enumerate() {
-        assert_eq!(report.outputs[i], engine.infer(input).unwrap(), "task {i}");
+    for backend in EngineBackend::ALL {
+        let engine = Engine::with_seed(&model, 17).with_backend(backend);
+        let report = PipelineRuntime::new(&model, &plan, &engine)
+            .run(inputs.clone())
+            .unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                report.outputs[i],
+                engine.infer(input).unwrap(),
+                "task {i} with {backend} backend"
+            );
+        }
     }
 }
 
