@@ -1,0 +1,215 @@
+//! Symbolic dataflow over the plan IR: halo-exchange consistency and
+//! certified per-device memory (PA301, PA302).
+//!
+//! The structural passes prove a plan's *shape* is sound; this pass
+//! proves its *dataflow* is. A small fixed-point framework
+//! ([`Dataflow`]) propagates the demanded output region backwards
+//! through the stage chain (the model's receptive-field arithmetic,
+//! Eq. 3); each stage must then (a) keep every worker region inside its
+//! output rectangle and (b) cover the demanded region exactly with its
+//! workers' disjoint outputs. The area check the structural PA008 pass
+//! performs cannot see a tile that drifted out of bounds while another
+//! shrank to compensate — the clipped-coverage check here can.
+//!
+//! The same symbolic regions yield a *certified* per-device resident
+//! bound (weights + activation peak + im2col scratch peak) via
+//! [`pico_partition::symbolic::certified_plan_memory`]; exceeding the
+//! deep budget is PA302, an Error where the estimate-based PA101 is
+//! only a Warning.
+
+use pico_model::{Model, Region2};
+use pico_partition::diag::{Code, Diagnostic};
+use pico_partition::{symbolic, Plan};
+
+/// A minimal fixed-point dataflow solver over a fixed node set.
+///
+/// Facts live in a vector indexed by node; [`Dataflow::solve`]
+/// repeatedly recomputes the fact of each node on the worklist from
+/// the current fact vector and re-enqueues a node's dependents when
+/// its fact changes, until quiescence. For the (acyclic) stage chain
+/// this converges in one sweep, but the solver is deliberately
+/// general: it terminates for any monotone flow on a finite lattice.
+#[derive(Debug, Clone)]
+pub struct Dataflow<F> {
+    facts: Vec<F>,
+    /// `dependents[n]` = nodes whose fact reads node `n`'s fact.
+    dependents: Vec<Vec<usize>>,
+}
+
+impl<F: Clone + PartialEq> Dataflow<F> {
+    /// Creates a solver from initial facts and the dependency edges
+    /// (`dependents[n]` lists the nodes to revisit when `n` changes).
+    pub fn new(init: Vec<F>, dependents: Vec<Vec<usize>>) -> Self {
+        assert_eq!(init.len(), dependents.len(), "one dependent list per node");
+        Dataflow {
+            facts: init,
+            dependents,
+        }
+    }
+
+    /// Runs `flow(node, facts)` to a fixed point and returns the facts.
+    pub fn solve(mut self, mut flow: impl FnMut(usize, &[F]) -> F) -> Vec<F> {
+        let n = self.facts.len();
+        let mut queued = vec![true; n];
+        let mut worklist: std::collections::VecDeque<usize> = (0..n).collect();
+        // Any monotone flow on a finite lattice converges well before
+        // this; the cap turns a non-monotone flow bug into a panic
+        // instead of a hang.
+        let mut budget = n.saturating_mul(n).saturating_add(64);
+        while let Some(node) = worklist.pop_front() {
+            queued[node] = false;
+            assert!(
+                budget > 0,
+                "dataflow failed to converge: non-monotone flow?"
+            );
+            budget -= 1;
+            let next = flow(node, &self.facts);
+            if next != self.facts[node] {
+                self.facts[node] = next;
+                for &d in &self.dependents[node] {
+                    if !queued[d] {
+                        queued[d] = true;
+                        worklist.push_back(d);
+                    }
+                }
+            }
+        }
+        self.facts
+    }
+}
+
+/// PA301: halo-exchange consistency via backward region propagation.
+pub(crate) fn dataflow_pass(model: &Model, plan: &Plan, out: &mut Vec<Diagnostic>) {
+    let regions = symbolic::stage_regions(model, plan);
+    if regions.is_empty() {
+        return;
+    }
+    let n = regions.len();
+
+    // Every worker's output region must stay inside its stage's output
+    // rectangle — the paper's halo exchange only ever ships rows that
+    // exist.
+    for sr in &regions {
+        let rect = sr.output_rect();
+        for w in &sr.workers {
+            if !rect.contains(w.output) {
+                out.push(
+                    Diagnostic::new(
+                        Code::HaloMismatch,
+                        format!(
+                            "device {}'s region {} escapes stage {}'s {}x{} output",
+                            w.device, w.output, sr.stage, sr.out_height, sr.out_width
+                        ),
+                    )
+                    .at_stage(sr.stage)
+                    .at_device(w.device),
+                );
+            }
+        }
+    }
+
+    // Backward demand: the consumer needs the whole model output; each
+    // earlier stage must produce whatever the next stage's segment
+    // reads of it. `dependents[s] = {s-1}`: when stage s's demand
+    // changes, stage s-1 must be recomputed.
+    let last_rect = regions[n - 1].output_rect();
+    let dependents: Vec<Vec<usize>> = (0..n)
+        .map(|s| if s > 0 { vec![s - 1] } else { Vec::new() })
+        .collect();
+    let init = vec![Region2::full(0, 0); n];
+    let demands = Dataflow::new(init, dependents).solve(|s, facts| {
+        if s == n - 1 {
+            last_rect
+        } else {
+            let next = &regions[s + 1];
+            let seg = plan.stages[next.stage].segment;
+            model.segment_input_region(seg, facts[s + 1])
+        }
+    });
+
+    // Coverage: the workers' disjoint outputs, clipped to the demanded
+    // region, must tile it exactly. A tile that escaped the rectangle
+    // loses area when clipped, so the sum falls short even though the
+    // structural area check balanced.
+    for (sr, demand) in regions.iter().zip(&demands) {
+        if demand.is_empty() {
+            continue;
+        }
+        let covered: usize = sr
+            .workers
+            .iter()
+            .map(|w| w.output.rows.overlap(demand.rows) * w.output.cols.overlap(demand.cols))
+            .sum();
+        if covered < demand.area() {
+            out.push(
+                Diagnostic::new(
+                    Code::HaloMismatch,
+                    format!(
+                        "stage {} workers cover {covered} of {} demanded cells: the \
+                         downstream halo demand {demand} is unsatisfiable",
+                        sr.stage,
+                        demand.area()
+                    ),
+                )
+                .at_stage(sr.stage),
+            );
+        }
+    }
+}
+
+/// PA302: certified per-device resident bound vs the deep budget.
+pub(crate) fn certified_memory_pass(
+    model: &Model,
+    plan: &Plan,
+    budget: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    for cm in symbolic::certified_plan_memory(model, plan) {
+        if cm.total_bytes() > budget {
+            out.push(
+                Diagnostic::new(
+                    Code::ScratchOverrun,
+                    format!(
+                        "device {}'s certified bound is {:.1} MB ({:.1} MB weights + {:.1} MB \
+                         activations + {:.1} MB im2col scratch), deep budget is {:.1} MB",
+                        cm.device,
+                        cm.total_bytes() as f64 / 1e6,
+                        cm.weights_bytes as f64 / 1e6,
+                        cm.peak_activation_bytes as f64 / 1e6,
+                        cm.scratch_bytes as f64 / 1e6,
+                        budget as f64 / 1e6
+                    ),
+                )
+                .at_device(cm.device),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_reaches_the_chain_fixpoint_in_any_order() {
+        // max-propagation down a chain: fact[i] = max(fact[i], fact[i-1]).
+        let deps: Vec<Vec<usize>> = (0..5)
+            .map(|i| if i < 4 { vec![i + 1] } else { vec![] })
+            .collect();
+        let facts = Dataflow::new(vec![3u32, 0, 7, 0, 0], deps).solve(|i, f| {
+            if i == 0 {
+                f[0]
+            } else {
+                f[i].max(f[i - 1])
+            }
+        });
+        assert_eq!(facts, vec![3, 3, 7, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn solver_rejects_oscillation() {
+        let _ = Dataflow::new(vec![0u32, 0], vec![vec![1], vec![0]])
+            .solve(|i, f| f[1 - i].wrapping_add(1));
+    }
+}

@@ -1,0 +1,205 @@
+//! Machine-readable audit reports: strict JSON via
+//! [`pico_telemetry::json`], with a lossless parse-back so the CLI can
+//! self-check what it wrote (the `pico bench --json` discipline).
+//!
+//! The document shape is stable and deterministic — reports are
+//! normalized before serialization, so two audits of the same plan
+//! produce byte-identical files:
+//!
+//! ```json
+//! {"audits":[{"name":"pico","errors":0,"warnings":1,"infos":2,
+//!   "diagnostics":[{"code":"PA101","severity":"warning","stage":null,
+//!                   "device":3,"unit":null,"message":"..."}]}]}
+//! ```
+
+use pico_partition::diag::{Code, Diagnostic};
+use pico_telemetry::json::{escape, fmt_f64, parse, Value};
+
+use crate::AuditReport;
+
+/// Serializes named audit reports (e.g. one per scheme, plus switch
+/// pairs) as one strict-JSON document.
+pub fn reports_to_json(entries: &[(String, AuditReport)]) -> String {
+    let mut out = String::from("{\"audits\":[");
+    for (i, (name, report)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (e, w, inf) = report.counts();
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
+            escape(name),
+            fmt_f64(e as f64),
+            fmt_f64(w as f64),
+            fmt_f64(inf as f64)
+        ));
+        for (j, d) in report.diagnostics.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&diagnostic_to_json(d));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn diagnostic_to_json(d: &Diagnostic) -> String {
+    let opt = |v: Option<usize>| match v {
+        Some(n) => fmt_f64(n as f64),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"stage\":{},\"device\":{},\"unit\":{},\"message\":\"{}\"}}",
+        d.code.id(),
+        d.severity,
+        opt(d.stage),
+        opt(d.device),
+        opt(d.unit),
+        escape(&d.message)
+    )
+}
+
+/// Parses a document produced by [`reports_to_json`] back into named
+/// reports.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: malformed
+/// JSON, a missing field, or an unknown diagnostic code.
+pub fn reports_from_json(text: &str) -> Result<Vec<(String, AuditReport)>, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let audits = doc
+        .get("audits")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"audits\" array")?;
+    let mut out = Vec::with_capacity(audits.len());
+    for entry in audits {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("audit entry missing \"name\"")?
+            .to_string();
+        let diags = entry
+            .get("diagnostics")
+            .and_then(Value::as_arr)
+            .ok_or("audit entry missing \"diagnostics\"")?;
+        let mut diagnostics = Vec::with_capacity(diags.len());
+        for d in diags {
+            diagnostics.push(diagnostic_from_json(d)?);
+        }
+        let report = AuditReport { diagnostics };
+        let counts = report.counts();
+        let claimed = |key: &str| -> Result<usize, String> {
+            entry
+                .get(key)
+                .and_then(Value::as_f64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("audit entry missing \"{key}\""))
+        };
+        if (claimed("errors")?, claimed("warnings")?, claimed("infos")?) != counts {
+            return Err(format!(
+                "audit \"{name}\" count fields disagree with its diagnostics"
+            ));
+        }
+        out.push((name, report));
+    }
+    Ok(out)
+}
+
+fn diagnostic_from_json(v: &Value) -> Result<Diagnostic, String> {
+    let code_id = v
+        .get("code")
+        .and_then(Value::as_str)
+        .ok_or("diagnostic missing \"code\"")?;
+    let code = Code::from_id(code_id).ok_or_else(|| format!("unknown code {code_id:?}"))?;
+    let severity = v
+        .get("severity")
+        .and_then(Value::as_str)
+        .ok_or("diagnostic missing \"severity\"")?;
+    if severity != code.severity().to_string() {
+        return Err(format!(
+            "diagnostic {code_id} claims severity {severity:?}, registry says {}",
+            code.severity()
+        ));
+    }
+    let message = v
+        .get("message")
+        .and_then(Value::as_str)
+        .ok_or("diagnostic missing \"message\"")?
+        .to_string();
+    let opt = |key: &str| -> Result<Option<usize>, String> {
+        match v.get(key) {
+            Some(Value::Null) => Ok(None),
+            Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as usize)),
+            Some(_) => Err(format!(
+                "diagnostic field \"{key}\" must be null or an index"
+            )),
+            None => Err(format!("diagnostic missing \"{key}\"")),
+        }
+    };
+    let mut d = Diagnostic::new(code, message);
+    d.stage = opt("stage")?;
+    d.device = opt("device")?;
+    d.unit = opt("unit")?;
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, AuditReport)> {
+        let d1 =
+            Diagnostic::new(Code::MemoryOverrun, "needs 12.0 MB, budget is 8.0 MB").at_device(3);
+        let d2 = Diagnostic::new(Code::IdleDevice, "device 7 (\"pi-7\") does no work").at_device(7);
+        let d3 = Diagnostic::new(Code::QueueUnstable, "band reaches λ*")
+            .at_stage(1)
+            .at_device(2);
+        vec![
+            (
+                "pico".to_string(),
+                AuditReport {
+                    diagnostics: vec![d3, d1],
+                },
+            ),
+            (
+                "ofl".to_string(),
+                AuditReport {
+                    diagnostics: vec![d2],
+                },
+            ),
+            (
+                "empty".to_string(),
+                AuditReport {
+                    diagnostics: vec![],
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn reports_round_trip_losslessly() {
+        let entries = sample();
+        let text = reports_to_json(&entries);
+        let back = reports_from_json(&text).unwrap();
+        assert_eq!(entries, back);
+        // And the re-serialization is byte-identical.
+        assert_eq!(text, reports_to_json(&back));
+    }
+
+    #[test]
+    fn corrupted_documents_are_rejected() {
+        let text = reports_to_json(&sample());
+        let unknown = format!("PA{}", 999);
+        for bad in [
+            text.replace("PA303", &unknown),
+            text.replace("\"errors\":1", "\"errors\":5"),
+            text.replace("\"severity\":\"error\"", "\"severity\":\"info\""),
+            text.replace("{\"audits\":[", "{\"audits\":"),
+        ] {
+            assert!(reports_from_json(&bad).is_err(), "{bad}");
+        }
+    }
+}

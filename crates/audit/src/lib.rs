@@ -22,10 +22,21 @@
 //!   cost model's recomputation (Eqs. 5–11), and pathological grid tile
 //!   aspect ratios.
 //! * **Info (`PA2xx`)** — idle devices and empty assignments.
+//! * **Deep (`PA3xx`)** — [`Auditor::audit_deep`] adds the static
+//!   verification passes of DESIGN.md §14: symbolic dataflow
+//!   ([`absint`]: halo consistency PA301, certified memory PA302),
+//!   queue stability (Theorem 2 over a workload band: PA303/PA304),
+//!   and — via [`Auditor::audit_switch_pair`] — switch safety over
+//!   pairs of plans (boundaries PA305, swap memory PA306, channel
+//!   deadlock PA307).
 //!
-//! Warning/Info passes run only when the plan is structurally clean —
-//! the cost, memory, and redundancy analyses all assume well-formed
-//! geometry and known devices.
+//! Warning/Info/deep passes run only when the plan is structurally
+//! clean — the cost, memory, redundancy, and region analyses all
+//! assume well-formed geometry and known devices.
+//!
+//! Reports are deterministic: diagnostics are sorted by (severity,
+//! code, stage, device, unit, message) and exact duplicates are
+//! removed, so two audits of the same plan render byte-identically.
 //!
 //! The full code registry with suggested fixes lives in DESIGN.md
 //! ("Plan diagnostics registry"); `cargo xtask lint` keeps the two in
@@ -54,7 +65,13 @@ use pico_model::Model;
 use pico_partition::diag::structural_diagnostics;
 use pico_partition::{memory, redundancy, Cluster, CostParams, Plan};
 
+pub mod absint;
+pub mod json;
+mod stability;
+mod switch;
+
 pub use pico_partition::diag::{Code, Diagnostic, Severity};
+pub use pico_sim::WorkloadBand;
 
 /// Thresholds and optional claims the Warning/Info passes check
 /// against.
@@ -88,6 +105,22 @@ pub struct AuditConfig {
     /// degraded `PlanRequest` was built with). Any assignment to one of
     /// them raises PA203.
     pub excluded_devices: Vec<usize>,
+    /// Workload band `[λ_lo, λ_hi]` the deployment must stay stable
+    /// over. `None` disables the deep PA303/PA304 stability pass.
+    pub workload_band: Option<WorkloadBand>,
+    /// Utilization ρ at `λ_hi` above which PA304 warns (still < 1).
+    pub saturation_margin: f64,
+    /// Per-device budget for the *certified* resident bound (weights +
+    /// activation peak + im2col scratch peak). `None` disables the deep
+    /// PA302 pass; the looser PA101 estimate keeps its own budget.
+    pub deep_memory_budget_bytes: Option<usize>,
+    /// Per-device budget for the combined footprint of a switch pair
+    /// during a warm swap. `None` disables PA306.
+    pub swap_budget_bytes: Option<usize>,
+    /// Inter-stage channel capacity the runtime will be built with.
+    /// `None` (unbounded, the default) makes the PA307 deadlock pass
+    /// vacuous — unbounded senders never block.
+    pub channel_capacity: Option<usize>,
 }
 
 impl Default for AuditConfig {
@@ -102,6 +135,11 @@ impl Default for AuditConfig {
             rel_tol: 1e-6,
             observed_stage_busy: None,
             excluded_devices: Vec::new(),
+            workload_band: None,
+            saturation_margin: 0.9,
+            deep_memory_budget_bytes: None,
+            swap_budget_bytes: None,
+            channel_capacity: None,
         }
     }
 }
@@ -138,6 +176,37 @@ impl AuditConfig {
     /// plan assigning work to any of them is flagged.
     pub fn with_excluded_devices(mut self, devices: &[usize]) -> Self {
         self.excluded_devices = devices.to_vec();
+        self
+    }
+
+    /// Sets the workload band for the deep PA303/PA304 stability pass.
+    pub fn with_workload_band(mut self, band: WorkloadBand) -> Self {
+        self.workload_band = Some(band);
+        self
+    }
+
+    /// Sets the ρ safety margin for PA304 (default 0.9).
+    pub fn with_saturation_margin(mut self, margin: f64) -> Self {
+        self.saturation_margin = margin;
+        self
+    }
+
+    /// Sets the certified-bound budget in bytes (enables deep PA302).
+    pub fn with_deep_memory_budget(mut self, bytes: usize) -> Self {
+        self.deep_memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the warm-swap combined budget in bytes (enables PA306).
+    pub fn with_swap_budget(mut self, bytes: usize) -> Self {
+        self.swap_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Declares the inter-stage channel capacity the runtime will use,
+    /// making the PA307 deadlock pass meaningful.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = Some(capacity);
         self
     }
 }
@@ -194,7 +263,56 @@ impl<'a> Auditor<'a> {
             self.empty_assignment_pass(plan, &mut diagnostics);
             self.excluded_device_pass(plan, &mut diagnostics);
         }
-        AuditReport { diagnostics }
+        AuditReport::normalized(diagnostics)
+    }
+
+    /// Runs [`audit`](Auditor::audit) plus the deep verification
+    /// passes (DESIGN.md §14): symbolic dataflow (PA301, and PA302
+    /// against the deep memory budget when configured) and — when a
+    /// workload band is configured — static Theorem 2 queue stability
+    /// (PA303/PA304). Deep passes, like the Warning/Info ones, run
+    /// only on structurally clean plans.
+    pub fn audit_deep(&self, plan: &Plan) -> AuditReport {
+        let base = self.audit(plan);
+        if !base.is_executable() {
+            return base;
+        }
+        let mut diagnostics = base.diagnostics;
+        absint::dataflow_pass(self.model, plan, &mut diagnostics);
+        if let Some(budget) = self.config.deep_memory_budget_bytes {
+            absint::certified_memory_pass(self.model, plan, budget, &mut diagnostics);
+        }
+        if let Some(band) = self.config.workload_band {
+            stability::stability_pass(
+                self.model,
+                self.cluster,
+                self.params,
+                band,
+                self.config.saturation_margin,
+                plan,
+                &mut diagnostics,
+            );
+        }
+        AuditReport::normalized(diagnostics)
+    }
+
+    /// Audits a *switch pair* (two plans APICO may warm-swap between):
+    /// boundary compatibility (PA305), combined warm-swap memory
+    /// against the swap budget when configured (PA306), and deadlock
+    /// freedom of the combined channel topology under the configured
+    /// channel capacity (PA307). Structural errors in either plan are
+    /// returned instead — pair analysis assumes both plans are sound.
+    pub fn audit_switch_pair(&self, a: &Plan, b: &Plan) -> AuditReport {
+        let mut diagnostics = structural_diagnostics(a, self.model, self.cluster);
+        diagnostics.extend(structural_diagnostics(b, self.model, self.cluster));
+        if diagnostics.is_empty() {
+            switch::boundary_pass(a, b, &mut diagnostics);
+            if let Some(budget) = self.config.swap_budget_bytes {
+                switch::swap_memory_pass(self.model, a, b, budget, &mut diagnostics);
+            }
+            switch::deadlock_pass(a, b, self.config.channel_capacity, &mut diagnostics);
+        }
+        AuditReport::normalized(diagnostics)
     }
 
     /// PA101: per-device footprint (weights + peak activations) against
@@ -423,9 +541,11 @@ impl<'a> Auditor<'a> {
     }
 }
 
-/// The complete result of one audit: every diagnostic from every pass,
-/// Errors first (in the order `Plan::validate` would have found them),
-/// then Warnings, then Infos.
+/// The complete result of one audit: every diagnostic from every pass
+/// in the canonical deterministic order — Errors first, then Warnings,
+/// then Infos, each tier sorted by (code, stage, device, unit,
+/// message) with exact duplicates removed. Two audits of the same plan
+/// therefore render byte-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuditReport {
     /// All diagnostics emitted.
@@ -433,6 +553,24 @@ pub struct AuditReport {
 }
 
 impl AuditReport {
+    /// Builds a report in the canonical order: stable-sorted by
+    /// descending severity then (code, stage, device, unit, message),
+    /// with exact duplicates (e.g. the same per-worker finding reached
+    /// through two passes) deduplicated.
+    pub fn normalized(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.id().cmp(b.code.id()))
+                .then_with(|| a.stage.cmp(&b.stage))
+                .then_with(|| a.device.cmp(&b.device))
+                .then_with(|| a.unit.cmp(&b.unit))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        diagnostics.dedup();
+        AuditReport { diagnostics }
+    }
+
     /// Error-level diagnostics (structural defects).
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
         self.by_severity(Severity::Error)

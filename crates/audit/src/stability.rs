@@ -1,0 +1,84 @@
+//! Static queue-stability certification: Theorem 2 without running the
+//! DES (PA303, PA304).
+//!
+//! The paper models each pipeline as an M/D/1 queue whose service time
+//! is the pipeline period `p` (the bottleneck station); the queue is
+//! stable iff `ρ = p·λ < 1`, with average latency diverging as λ
+//! approaches the critical rate `λ* = 1/p` (Theorem 2). APICO observes
+//! this at runtime through the EWMA estimator; this pass *proves* it
+//! for a whole workload band `[λ_lo, λ_hi]` before deployment, using
+//! the same station profiles the DES executes
+//! ([`Simulation::station_profiles`]) so the static verdict and the
+//! simulation can never disagree about service times. Because ρ is
+//! monotone in λ, certifying the top of the band certifies the band.
+
+use pico_model::Model;
+use pico_partition::diag::{Code, Diagnostic};
+use pico_partition::{Cluster, CostParams, Plan};
+use pico_sim::{mdone, Simulation, WorkloadBand};
+
+/// PA303/PA304: certify `ρ < 1` across the band or pinpoint the
+/// saturating station, its slowest device, and λ*.
+pub(crate) fn stability_pass(
+    model: &Model,
+    cluster: &Cluster,
+    params: CostParams,
+    band: WorkloadBand,
+    margin: f64,
+    plan: &Plan,
+    out: &mut Vec<Diagnostic>,
+) {
+    let sim = Simulation::new(model, cluster, &params);
+    let profiles = sim.station_profiles(plan);
+    let Some(bottleneck) = profiles
+        .iter()
+        .max_by(|a, b| a.service.total_cmp(&b.service))
+    else {
+        return;
+    };
+    let period = bottleneck.service;
+    if period <= 0.0 || !period.is_finite() {
+        return;
+    }
+    let lambda_star = mdone::max_stable_rate(period);
+    // The station's slowest device is the one whose queue grows first.
+    let device = bottleneck
+        .busy_per_task
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(d, _)| *d);
+    let rho_hi = mdone::utilization(period, band.hi);
+    if band.hi >= lambda_star {
+        let mut d = Diagnostic::new(
+            Code::QueueUnstable,
+            format!(
+                "workload band {band} reaches λ* = {lambda_star:.3} tasks/s: the bottleneck \
+                 station (period {period:.4}s{}) saturates at ρ = {rho_hi:.2}",
+                match bottleneck.stage {
+                    Some(s) => format!(", stage {s}"),
+                    None => ", sequential plan".to_string(),
+                }
+            ),
+        );
+        if let Some(s) = bottleneck.stage {
+            d = d.at_stage(s);
+        }
+        if let Some(dev) = device {
+            d = d.at_device(dev);
+        }
+        out.push(d);
+    } else if rho_hi >= margin {
+        let mut d = Diagnostic::new(
+            Code::NearSaturation,
+            format!(
+                "ρ = {rho_hi:.2} at λ_hi = {:.3} tasks/s exceeds the {margin:.2} safety margin \
+                 (λ* = {lambda_star:.3}): latency is on Theorem 2's steep flank",
+                band.hi
+            ),
+        );
+        if let Some(s) = bottleneck.stage {
+            d = d.at_stage(s);
+        }
+        out.push(d);
+    }
+}

@@ -1,0 +1,213 @@
+//! Switch-safety analysis over pairs of plans — APICO's switch set
+//! (PA305, PA306, PA307).
+//!
+//! APICO keeps several plans warm and swaps between them as the EWMA
+//! workload estimate crosses thresholds. A swap is only safe if the
+//! pair agrees statically on three contracts:
+//!
+//! * **Boundary compatibility** (PA305) — drain-then-switch hands the
+//!   stream over at stage boundaries, so one plan's interior cut set
+//!   must contain the other's (a sequential one-stage plan has no
+//!   interior cuts and is compatible with any pipeline — the paper's
+//!   canonical PICO ↔ OFL pair).
+//! * **Memory envelopes** (PA306) — during the swap both plans' weights
+//!   and buffers are resident; per shared device the *certified* bounds
+//!   (dataflow pass) must fit the swap budget together.
+//! * **Deadlock freedom** (PA307) — with bounded channels, a device
+//!   still draining plan A while producing for plan B can close a wait
+//!   cycle in the union of the two channel topologies; the combined
+//!   device wait-for graph must be acyclic.
+
+use pico_model::Model;
+use pico_partition::diag::{Code, Diagnostic};
+use pico_partition::{symbolic, Plan};
+use pico_runtime::{channel_topology, ChannelKind};
+
+/// PA305: nested interior cut sets.
+pub(crate) fn boundary_pass(a: &Plan, b: &Plan, out: &mut Vec<Diagnostic>) {
+    let cuts_a = symbolic::interior_cuts(a);
+    let cuts_b = symbolic::interior_cuts(b);
+    let subset = |x: &[usize], y: &[usize]| x.iter().all(|c| y.contains(c));
+    if !subset(&cuts_a, &cuts_b) && !subset(&cuts_b, &cuts_a) {
+        out.push(Diagnostic::new(
+            Code::SwitchBoundaryIncompatible,
+            format!(
+                "{} cuts at units {cuts_a:?} but {} cuts at {cuts_b:?}: neither set contains \
+                 the other, so a drained swap has no common handoff point",
+                a.scheme, b.scheme
+            ),
+        ));
+    }
+}
+
+/// PA306: combined certified footprint on shared devices vs the swap
+/// budget. Devices used by only one plan are the per-plan PA302 pass's
+/// business; the overlap is what a warm swap adds.
+pub(crate) fn swap_memory_pass(
+    model: &Model,
+    a: &Plan,
+    b: &Plan,
+    budget: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mem_b: std::collections::BTreeMap<usize, usize> = symbolic::certified_plan_memory(model, b)
+        .into_iter()
+        .map(|m| (m.device, m.total_bytes()))
+        .collect();
+    for m in symbolic::certified_plan_memory(model, a) {
+        let Some(&other) = mem_b.get(&m.device) else {
+            continue;
+        };
+        let combined = m.total_bytes() + other;
+        if combined > budget {
+            out.push(
+                Diagnostic::new(
+                    Code::SwapMemoryOverlap,
+                    format!(
+                        "device {} holds {:.1} MB for {} plus {:.1} MB for {} during the swap \
+                         ({:.1} MB combined), swap budget is {:.1} MB",
+                        m.device,
+                        m.total_bytes() as f64 / 1e6,
+                        a.scheme,
+                        other as f64 / 1e6,
+                        b.scheme,
+                        combined as f64 / 1e6,
+                        budget as f64 / 1e6
+                    ),
+                )
+                .at_device(m.device),
+            );
+        }
+    }
+}
+
+/// PA307: the union of the two plans' blocking inter-stage channel
+/// edges must not close a device wait-for cycle. Worker channels are
+/// coordinator-internal to one stage (scatter matched to gather) and
+/// cannot cross plans, so only inter-stage edges contribute.
+pub(crate) fn deadlock_pass(
+    a: &Plan,
+    b: &Plan,
+    capacity: Option<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut waits: std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> =
+        std::collections::BTreeMap::new();
+    for plan in [a, b] {
+        let topo = channel_topology(plan, capacity);
+        for edge in topo.blocking_edges() {
+            if edge.kind != ChannelKind::InterStage {
+                continue;
+            }
+            // A bounded queue's sender stalls until its receivers
+            // drain: sender waits-for receiver.
+            for &s in &edge.senders {
+                for &r in &edge.receivers {
+                    waits.entry(s).or_default().insert(r);
+                }
+            }
+        }
+    }
+    if let Some(cycle) = find_cycle(&waits) {
+        out.push(
+            Diagnostic::new(
+                Code::ChannelDeadlock,
+                format!(
+                    "bounded channels (capacity {}) close a wait-for cycle across the \
+                     {} ↔ {} switch pair: devices {cycle:?}",
+                    capacity.unwrap_or(0),
+                    a.scheme,
+                    b.scheme
+                ),
+            )
+            .at_device(cycle[0]),
+        );
+    }
+}
+
+/// Iterative three-color DFS; returns one cycle's devices when found.
+fn find_cycle(
+    waits: &std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>>,
+) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: std::collections::BTreeMap<usize, Color> =
+        waits.keys().map(|&k| (k, Color::White)).collect();
+    for (&n, targets) in waits {
+        for &t in targets {
+            color.entry(t).or_insert(Color::White);
+        }
+        color.entry(n).or_insert(Color::White);
+    }
+    let nodes: Vec<usize> = color.keys().copied().collect();
+    for &root in &nodes {
+        if color[&root] != Color::White {
+            continue;
+        }
+        // Stack of (node, iterator position) pairs emulating recursion.
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        color.insert(root, Color::Gray);
+        let succ = |n: usize| -> Vec<usize> {
+            waits
+                .get(&n)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        };
+        stack.push((root, succ(root), 0));
+        while let Some((node, targets, idx)) = stack.last().cloned() {
+            if idx >= targets.len() {
+                color.insert(node, Color::Black);
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().unwrap().2 += 1;
+            let t = targets[idx];
+            match color[&t] {
+                Color::Gray => {
+                    // Cycle: the gray path from t to the top of stack.
+                    let mut cycle: Vec<usize> = stack.iter().map(|(n, _, _)| *n).collect();
+                    if let Some(pos) = cycle.iter().position(|&n| n == t) {
+                        cycle.drain(..pos);
+                    }
+                    return Some(cycle);
+                }
+                Color::White => {
+                    color.insert(t, Color::Gray);
+                    stack.push((t, succ(t), 0));
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(
+        edges: &[(usize, usize)],
+    ) -> std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> {
+        let mut g: std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> =
+            std::collections::BTreeMap::new();
+        for &(a, b) in edges {
+            g.entry(a).or_default().insert(b);
+        }
+        g
+    }
+
+    #[test]
+    fn chains_are_acyclic_and_loops_are_found() {
+        assert!(find_cycle(&graph(&[(0, 1), (1, 2), (2, 3)])).is_none());
+        assert!(find_cycle(&graph(&[(0, 1), (1, 2), (0, 2)])).is_none());
+        let cycle = find_cycle(&graph(&[(0, 1), (1, 2), (2, 0)])).unwrap();
+        assert_eq!(cycle.len(), 3);
+        // Self-wait (a device feeding itself through a bounded queue).
+        assert!(find_cycle(&graph(&[(5, 5)])).is_some());
+    }
+}

@@ -1,0 +1,468 @@
+//! Every deep (PA3xx) diagnostic is exercised by corrupting a
+//! known-good plan or configuration and asserting the *exact* code and
+//! severity, the deterministic report order is byte-stable, and the
+//! static Theorem 2 utilization prediction is cross-validated against
+//! the discrete-event simulator on the model zoo.
+
+use pico_audit::{AuditConfig, AuditReport, Auditor, Code, Severity, WorkloadBand};
+use pico_model::{zoo, Model, Rows, Segment};
+use pico_partition::{
+    Assignment, Cluster, CostParams, ExecutionMode, GridFused, OptimalFused, PicoPlanner, Plan,
+    Planner, Scheme, Stage,
+};
+use pico_sim::{mdone, Arrivals, Simulation};
+use proptest::prelude::*;
+
+fn base_model() -> Model {
+    zoo::toy(4)
+}
+
+fn base_cluster() -> Cluster {
+    Cluster::pi_cluster(4, 1.0)
+}
+
+/// A known-good two-stage pipelined strip plan (cut at unit 2).
+fn base_plan(m: &Model) -> Plan {
+    let h0 = m.unit_output_shape(1).height;
+    let h1 = m.unit_output_shape(3).height;
+    Plan::new(
+        Scheme::Pico,
+        ExecutionMode::Pipelined,
+        vec![
+            Stage::new(
+                Segment::new(0, 2),
+                vec![
+                    Assignment::new(0, Rows::new(0, h0 / 2)),
+                    Assignment::new(1, Rows::new(h0 / 2, h0)),
+                ],
+            ),
+            Stage::new(
+                Segment::new(2, 4),
+                vec![
+                    Assignment::new(2, Rows::new(0, h1 / 2)),
+                    Assignment::new(3, Rows::new(h1 / 2, h1)),
+                ],
+            ),
+        ],
+    )
+}
+
+/// A known-good 2x2 grid plan (grid stage + solo tail).
+fn grid_plan(m: &Model, c: &Cluster) -> Plan {
+    GridFused::new()
+        .with_grid(2, 2)
+        .with_fused_units(3)
+        .plan_simple(m, c, &CostParams::default())
+        .expect("grid plan on 4 devices")
+}
+
+/// The critical rate λ* of a plan's bottleneck station — the quantity
+/// the PA303 pass certifies the band against.
+fn lambda_star(m: &Model, c: &Cluster, plan: &Plan) -> f64 {
+    let sim = Simulation::new(m, c, &CostParams::default());
+    let period = sim
+        .station_profiles(plan)
+        .iter()
+        .map(|s| s.service)
+        .fold(0.0, f64::max);
+    mdone::max_stable_rate(period)
+}
+
+fn deep_audit(m: &Model, c: &Cluster, plan: &Plan, config: AuditConfig) -> AuditReport {
+    Auditor::new(m, c).with_config(config).audit_deep(plan)
+}
+
+/// Every diagnostic carrying `code` must be at `severity`, and at
+/// least one must exist.
+fn assert_code(report: &AuditReport, code: Code, severity: Severity) {
+    assert!(report.has_code(code), "expected {code}, got: {report}");
+    for d in &report.diagnostics {
+        if d.code == code {
+            assert_eq!(d.severity, severity, "{d}");
+        }
+    }
+}
+
+#[test]
+fn clean_plans_pass_every_deep_pass() {
+    let m = base_model();
+    let c = base_cluster();
+    for plan in [base_plan(&m), grid_plan(&m, &c)] {
+        let ls = lambda_star(&m, &c, &plan);
+        let config = AuditConfig::default()
+            .with_workload_band(WorkloadBand::new(0.1 * ls, 0.8 * ls))
+            .with_deep_memory_budget(1 << 30);
+        let report = deep_audit(&m, &c, &plan, config);
+        assert!(report.is_executable(), "{report}");
+    }
+}
+
+#[test]
+fn pa301_escaped_tile_hides_from_the_structural_pass() {
+    let m = base_model();
+    let c = base_cluster();
+    let mut plan = grid_plan(&m, &c);
+    // Slide the bottom-right tile past the output rectangle's lower
+    // edge: the tile keeps its area and stays disjoint from its
+    // neighbours, so the structural area-sum check (PA008) still
+    // balances — only the symbolic dataflow pass can see that demanded
+    // cells went uncovered while the tile hangs out of bounds.
+    let a = &mut plan.stages[0].assignments[3];
+    let r = a.rows;
+    let shift = r.len();
+    a.rows = Rows::new(r.start + shift, r.end + shift);
+    let structural = Auditor::new(&m, &c).audit(&plan);
+    assert!(
+        structural.is_executable(),
+        "corruption must be invisible to the structural tier: {structural}"
+    );
+    let report = deep_audit(&m, &c, &plan, AuditConfig::default());
+    assert_code(&report, Code::HaloMismatch, Severity::Error);
+    // Both findings surface: the escape (at the device) and the
+    // coverage shortfall (at the stage).
+    let halo: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::HaloMismatch)
+        .collect();
+    assert!(halo.iter().any(|d| d.device.is_some()), "{report}");
+    assert!(halo.iter().all(|d| d.stage == Some(0)), "{report}");
+}
+
+#[test]
+fn pa302_certified_bound_over_tiny_budget() {
+    let m = base_model();
+    let c = base_cluster();
+    let plan = base_plan(&m);
+    let report = deep_audit(
+        &m,
+        &c,
+        &plan,
+        AuditConfig::default().with_deep_memory_budget(1),
+    );
+    assert_code(&report, Code::ScratchOverrun, Severity::Error);
+    // Every working device overruns a one-byte budget.
+    assert_eq!(
+        report
+            .errors()
+            .filter(|d| d.code == Code::ScratchOverrun)
+            .count(),
+        4,
+        "{report}"
+    );
+}
+
+#[test]
+fn pa303_band_reaching_lambda_star() {
+    let m = base_model();
+    let c = base_cluster();
+    let plan = base_plan(&m);
+    let ls = lambda_star(&m, &c, &plan);
+    let config = AuditConfig::default().with_workload_band(WorkloadBand::new(0.1 * ls, 2.0 * ls));
+    let report = deep_audit(&m, &c, &plan, config);
+    assert_code(&report, Code::QueueUnstable, Severity::Error);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::QueueUnstable)
+        .unwrap();
+    assert!(d.stage.is_some(), "pinpoints the saturating station: {d}");
+    assert!(d.device.is_some(), "pinpoints the saturating device: {d}");
+    assert!(d.message.contains("λ*"), "names the critical rate: {d}");
+}
+
+#[test]
+fn pa304_band_on_the_steep_flank() {
+    let m = base_model();
+    let c = base_cluster();
+    let plan = base_plan(&m);
+    let ls = lambda_star(&m, &c, &plan);
+    let config = AuditConfig::default()
+        .with_workload_band(WorkloadBand::new(0.1 * ls, 0.95 * ls))
+        .with_saturation_margin(0.9);
+    let report = deep_audit(&m, &c, &plan, config);
+    assert!(report.is_executable(), "{report}");
+    assert_code(&report, Code::NearSaturation, Severity::Warning);
+}
+
+/// A three-stage strip plan whose interior cuts {1, 3} cross the base
+/// plan's {2}: neither set contains the other.
+fn crossing_cut_plan(m: &Model) -> Plan {
+    let heights = [
+        m.unit_output_shape(0).height,
+        m.unit_output_shape(2).height,
+        m.unit_output_shape(3).height,
+    ];
+    Plan::new(
+        Scheme::Pico,
+        ExecutionMode::Pipelined,
+        vec![
+            Stage::new(
+                Segment::new(0, 1),
+                vec![Assignment::new(0, Rows::new(0, heights[0]))],
+            ),
+            Stage::new(
+                Segment::new(1, 3),
+                vec![Assignment::new(1, Rows::new(0, heights[1]))],
+            ),
+            Stage::new(
+                Segment::new(3, 4),
+                vec![Assignment::new(2, Rows::new(0, heights[2]))],
+            ),
+        ],
+    )
+}
+
+#[test]
+fn pa305_crossing_interior_cuts() {
+    let m = base_model();
+    let c = base_cluster();
+    let a = base_plan(&m);
+    let b = crossing_cut_plan(&m);
+    assert!(
+        b.validate(&m, &c).is_ok(),
+        "corrupt pair must be two valid plans"
+    );
+    let report = Auditor::new(&m, &c).audit_switch_pair(&a, &b);
+    assert_code(&report, Code::SwitchBoundaryIncompatible, Severity::Error);
+}
+
+#[test]
+fn sequential_plans_are_boundary_compatible_with_any_pipeline() {
+    // The paper's canonical APICO pair: the PICO pipeline and the fused
+    // one-stage OFL plan. OFL has no interior cuts, so the pair has a
+    // common handoff point by construction.
+    let m = base_model();
+    let c = base_cluster();
+    let params = CostParams::default();
+    let pico = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+    let ofl = OptimalFused::new().plan_simple(&m, &c, &params).unwrap();
+    let report = Auditor::new(&m, &c)
+        .with_params(params)
+        .audit_switch_pair(&pico, &ofl);
+    assert!(report.is_executable(), "{report}");
+}
+
+#[test]
+fn pa306_swap_footprint_over_tiny_budget() {
+    let m = base_model();
+    let c = base_cluster();
+    let params = CostParams::default();
+    let a = base_plan(&m);
+    let b = OptimalFused::new().plan_simple(&m, &c, &params).unwrap();
+    let shared: Vec<usize> = a
+        .used_devices()
+        .into_iter()
+        .filter(|d| b.used_devices().contains(d))
+        .collect();
+    assert!(!shared.is_empty(), "pair must share a device to overlap");
+    let report = Auditor::new(&m, &c)
+        .with_config(AuditConfig::default().with_swap_budget(1))
+        .audit_switch_pair(&a, &b);
+    assert_code(&report, Code::SwapMemoryOverlap, Severity::Error);
+    let flagged: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::SwapMemoryOverlap)
+        .filter_map(|d| d.device)
+        .collect();
+    assert_eq!(flagged, shared, "{report}");
+}
+
+/// Two single-worker two-stage pipelines with the device order
+/// reversed: under bounded channels their union wait-for graph is the
+/// cycle 0 -> 1 -> 0.
+fn reversed_device_pair(m: &Model) -> (Plan, Plan) {
+    let h0 = m.unit_output_shape(1).height;
+    let h1 = m.unit_output_shape(3).height;
+    let two_stage = |first: usize, second: usize| {
+        Plan::new(
+            Scheme::Pico,
+            ExecutionMode::Pipelined,
+            vec![
+                Stage::new(
+                    Segment::new(0, 2),
+                    vec![Assignment::new(first, Rows::new(0, h0))],
+                ),
+                Stage::new(
+                    Segment::new(2, 4),
+                    vec![Assignment::new(second, Rows::new(0, h1))],
+                ),
+            ],
+        )
+    };
+    (two_stage(0, 1), two_stage(1, 0))
+}
+
+#[test]
+fn pa307_bounded_reversed_pair_deadlocks_and_unbounded_does_not() {
+    let m = base_model();
+    let c = base_cluster();
+    let (a, b) = reversed_device_pair(&m);
+    assert!(a.validate(&m, &c).is_ok() && b.validate(&m, &c).is_ok());
+    let bounded = Auditor::new(&m, &c)
+        .with_config(AuditConfig::default().with_channel_capacity(1))
+        .audit_switch_pair(&a, &b);
+    assert_code(&bounded, Code::ChannelDeadlock, Severity::Error);
+    // Unbounded senders never block, so the same pair is clean.
+    let unbounded = Auditor::new(&m, &c).audit_switch_pair(&a, &b);
+    assert!(unbounded.is_executable(), "{unbounded}");
+    // And a same-order pair cannot close a cycle even when bounded.
+    let same_order = Auditor::new(&m, &c)
+        .with_config(AuditConfig::default().with_channel_capacity(1))
+        .audit_switch_pair(&a, &a.clone());
+    assert!(same_order.is_executable(), "{same_order}");
+}
+
+#[test]
+fn deep_reports_render_byte_identically() {
+    // Determinism regression: two independently constructed auditors
+    // over a finding-rich configuration must render (and serialize)
+    // byte-identical reports.
+    let m = base_model();
+    let c = base_cluster();
+    let plan = base_plan(&m);
+    let ls = lambda_star(&m, &c, &plan);
+    let config = AuditConfig::default()
+        .with_workload_band(WorkloadBand::new(0.1 * ls, 2.0 * ls))
+        .with_deep_memory_budget(1)
+        .with_memory_budget(1);
+    let one = deep_audit(&m, &c, &plan, config.clone());
+    let two = deep_audit(&m, &c, &plan, config);
+    assert!(!one.diagnostics.is_empty());
+    assert_eq!(one, two);
+    assert_eq!(one.to_string(), two.to_string());
+    let entries = vec![("toy".to_string(), one)];
+    let json = pico_audit::json::reports_to_json(&entries);
+    assert_eq!(json, pico_audit::json::reports_to_json(&entries));
+    assert_eq!(pico_audit::json::reports_from_json(&json).unwrap(), entries);
+}
+
+#[test]
+fn static_utilization_matches_the_des_within_five_percent() {
+    // Theorem 2 cross-validation: the closed-form per-device ρ the
+    // PA303 pass certifies must agree with what the discrete-event
+    // simulator actually measures at a stable rate.
+    let params = CostParams::wifi_50mbps();
+    let models = [zoo::vgg16().features(), zoo::mnist_toy()];
+    let clusters = [Cluster::pi_cluster(8, 1.0), Cluster::paper_heterogeneous()];
+    let planners: Vec<Box<dyn Planner>> =
+        vec![Box::new(PicoPlanner::new()), Box::new(OptimalFused::new())];
+    for m in &models {
+        for c in &clusters {
+            for planner in &planners {
+                let Ok(plan) = planner.plan_simple(m, c, &params) else {
+                    continue;
+                };
+                let sim = Simulation::new(m, c, &params);
+                let period = sim
+                    .station_profiles(&plan)
+                    .iter()
+                    .map(|s| s.service)
+                    .fold(0.0, f64::max);
+                let lambda = 0.5 * mdone::max_stable_rate(period);
+                // A long horizon so the post-arrival drain tail is
+                // negligible against total elapsed time.
+                let horizon = 4000.0 * period;
+                let report = sim.run(&plan, &Arrivals::poisson(lambda, horizon, 7));
+                let predicted = sim.predicted_device_utilization(&plan, lambda);
+                for stat in report.device_stats.iter().filter(|s| s.busy > 0.0) {
+                    let rho = predicted
+                        .iter()
+                        .find(|(d, _)| *d == stat.device)
+                        .map(|(_, r)| *r)
+                        .unwrap_or(0.0);
+                    assert!(
+                        (rho - stat.utilization).abs() <= 0.05,
+                        "{} on {}: device {} static rho {rho:.3} vs DES {:.3}",
+                        planner.name(),
+                        m.name(),
+                        stat.device,
+                        stat.utilization
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seeded deep corruptions: whichever is drawn, the deep audit must
+/// flag it with the exact PA3xx code at its registered severity — and
+/// the structural tier must still consider the plan executable (that
+/// blindness is what the deep tier exists to cover).
+#[derive(Debug, Clone, Copy)]
+enum DeepCorruption {
+    EscapedTile,
+    TinyCertifiedBudget,
+    SaturatedBand,
+    NearSaturatedBand,
+}
+
+impl DeepCorruption {
+    fn expected(&self) -> (Code, Severity) {
+        match self {
+            DeepCorruption::EscapedTile => (Code::HaloMismatch, Severity::Error),
+            DeepCorruption::TinyCertifiedBudget => (Code::ScratchOverrun, Severity::Error),
+            DeepCorruption::SaturatedBand => (Code::QueueUnstable, Severity::Error),
+            DeepCorruption::NearSaturatedBand => (Code::NearSaturation, Severity::Warning),
+        }
+    }
+}
+
+fn arb_deep_corruption() -> impl Strategy<Value = DeepCorruption> {
+    prop_oneof![
+        Just(DeepCorruption::EscapedTile),
+        Just(DeepCorruption::TinyCertifiedBudget),
+        Just(DeepCorruption::SaturatedBand),
+        Just(DeepCorruption::NearSaturatedBand),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_deep_corruption_is_caught_with_its_exact_code(
+        corruption in arb_deep_corruption(),
+        shift_scale in 1usize..4,
+        band_hi in 1.05f64..4.0,
+    ) {
+        let m = base_model();
+        let c = base_cluster();
+        let mut plan = grid_plan(&m, &c);
+        let mut config = AuditConfig::default();
+        match corruption {
+            DeepCorruption::EscapedTile => {
+                let a = &mut plan.stages[0].assignments[3];
+                let r = a.rows;
+                let shift = r.len() * shift_scale;
+                a.rows = Rows::new(r.start + shift, r.end + shift);
+            }
+            DeepCorruption::TinyCertifiedBudget => {
+                config = config.with_deep_memory_budget(shift_scale);
+            }
+            DeepCorruption::SaturatedBand => {
+                let ls = lambda_star(&m, &c, &plan);
+                config = config.with_workload_band(WorkloadBand::new(0.0, band_hi * ls));
+            }
+            DeepCorruption::NearSaturatedBand => {
+                let ls = lambda_star(&m, &c, &plan);
+                config = config
+                    .with_workload_band(WorkloadBand::new(0.0, 0.95 * ls))
+                    .with_saturation_margin(0.9);
+            }
+        }
+        let structural = Auditor::new(&m, &c).audit(&plan);
+        prop_assert!(structural.is_executable(), "{structural}");
+        let report = deep_audit(&m, &c, &plan, config);
+        let (code, severity) = corruption.expected();
+        prop_assert!(report.has_code(code), "expected {code}, got: {report}");
+        for d in report.diagnostics.iter().filter(|d| d.code == code) {
+            prop_assert_eq!(d.severity, severity);
+        }
+        // The canonical order puts the most severe finding first.
+        if severity == Severity::Error {
+            prop_assert_eq!(report.diagnostics[0].severity, Severity::Error);
+        }
+    }
+}

@@ -1,13 +1,15 @@
 //! Acceptance gate: every shipped planner produces zero Error-level
-//! diagnostics on the model zoo. Warnings are allowed (redundancy is a
-//! fact of fused-layer life); structural defects are not.
+//! diagnostics on the model zoo — under both the structural audit and
+//! the deep PA3xx verification passes. Warnings are allowed (redundancy
+//! is a fact of fused-layer life); structural defects are not.
 
-use pico_audit::Auditor;
+use pico_audit::{AuditConfig, Auditor, WorkloadBand};
 use pico_model::{zoo, Model};
 use pico_partition::{
     BfsOptimal, Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner,
     Planner,
 };
+use pico_sim::{mdone, Simulation};
 
 fn planners() -> Vec<Box<dyn Planner>> {
     vec![
@@ -33,6 +35,28 @@ fn assert_error_free(model: &Model, cluster: &Cluster, planner: &dyn Planner) {
     assert!(
         report.is_executable(),
         "{} on {}: {report}",
+        planner.name(),
+        model.name()
+    );
+    // The deep passes must certify the same clean plan: dataflow (halo
+    // demand satisfiable, regions in bounds) and Theorem 2 stability
+    // over a band comfortably inside the plan's own critical rate.
+    let sim = Simulation::new(model, cluster, &params);
+    let period = sim
+        .station_profiles(&plan)
+        .iter()
+        .map(|s| s.service)
+        .fold(0.0, f64::max);
+    let lambda_star = mdone::max_stable_rate(period);
+    let config = AuditConfig::default()
+        .with_workload_band(WorkloadBand::new(0.1 * lambda_star, 0.8 * lambda_star));
+    let deep = Auditor::new(model, cluster)
+        .with_params(params)
+        .with_config(config)
+        .audit_deep(&plan);
+    assert!(
+        deep.is_executable(),
+        "deep: {} on {}: {deep}",
         planner.name(),
         model.name()
     );

@@ -71,7 +71,7 @@ impl BfsOptimal {
         cluster: &Cluster,
         params: &CostParams,
     ) -> Result<BfsOutcome, PlanError> {
-        let start = Instant::now();
+        let start = pico_telemetry::clock::wall_now();
         let mut ctx = SearchCtx {
             model,
             cluster,
@@ -150,7 +150,7 @@ impl SearchCtx<'_> {
             return true;
         }
         if let Some(d) = self.deadline {
-            if self.evaluated.is_multiple_of(512) && Instant::now() > d {
+            if self.evaluated.is_multiple_of(512) && pico_telemetry::clock::wall_now() > d {
                 self.timed_out = true;
             }
         }

@@ -42,7 +42,9 @@ impl std::fmt::Display for Severity {
 /// Stable diagnostic codes. `PA0xx` are structural errors (subsuming
 /// every [`PlanError`] that [`Plan::validate`](crate::Plan::validate)
 /// can raise), `PA1xx` are efficiency warnings, `PA2xx` are
-/// informational. The full registry with suggested fixes lives in
+/// informational, and `PA3xx` are deep-verification findings (symbolic
+/// dataflow, queue stability, switch safety) emitted by `pico-audit`'s
+/// `--deep` passes. The full registry with suggested fixes lives in
 /// DESIGN.md ("Plan diagnostics registry").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
@@ -90,11 +92,36 @@ pub enum Code {
     /// PA203: a plan assigns work to a device the audit was told is
     /// failed/excluded — a degraded plan must route around it.
     ExcludedDeviceUsed,
+    /// PA301: symbolic dataflow found a worker region outside its
+    /// stage's output rectangle, or a halo demand the upstream stage
+    /// cannot satisfy.
+    HaloMismatch,
+    /// PA302: the *certified* per-device resident bound (weights +
+    /// activation peak + im2col scratch peak) exceeds the deep memory
+    /// budget.
+    ScratchOverrun,
+    /// PA303: Theorem 2 violated — within the audited workload band the
+    /// arrival rate reaches or passes the critical rate λ* = 1/period,
+    /// so some device's queue grows without bound.
+    QueueUnstable,
+    /// PA304: the bottleneck utilization ρ at the top of the workload
+    /// band is above the safety margin (but still < 1).
+    NearSaturation,
+    /// PA305: a switch pair's stage boundaries are incompatible —
+    /// neither plan's interior cut set contains the other's, so a
+    /// drained warm-swap has no common handoff points.
+    SwitchBoundaryIncompatible,
+    /// PA306: during a warm swap both plans are resident; their combined
+    /// footprint on some shared device exceeds the swap budget.
+    SwapMemoryOverlap,
+    /// PA307: the combined bounded-channel topology of a switch pair
+    /// contains a wait-for cycle — a drain-then-switch can deadlock.
+    ChannelDeadlock,
 }
 
 impl Code {
     /// Every registered code, in registry order.
-    pub const ALL: [Code; 18] = [
+    pub const ALL: [Code; 25] = [
         Code::EmptyPlan,
         Code::NonContiguousStages,
         Code::IncompleteCoverage,
@@ -113,6 +140,13 @@ impl Code {
         Code::IdleDevice,
         Code::EmptyAssignment,
         Code::ExcludedDeviceUsed,
+        Code::HaloMismatch,
+        Code::ScratchOverrun,
+        Code::QueueUnstable,
+        Code::NearSaturation,
+        Code::SwitchBoundaryIncompatible,
+        Code::SwapMemoryOverlap,
+        Code::ChannelDeadlock,
     ];
 
     /// The stable identifier, e.g. `"PA001"`.
@@ -136,7 +170,19 @@ impl Code {
             Code::IdleDevice => "PA201",
             Code::EmptyAssignment => "PA202",
             Code::ExcludedDeviceUsed => "PA203",
+            Code::HaloMismatch => "PA301",
+            Code::ScratchOverrun => "PA302",
+            Code::QueueUnstable => "PA303",
+            Code::NearSaturation => "PA304",
+            Code::SwitchBoundaryIncompatible => "PA305",
+            Code::SwapMemoryOverlap => "PA306",
+            Code::ChannelDeadlock => "PA307",
         }
+    }
+
+    /// Parses a stable identifier (`"PA001"`…) back into its code.
+    pub fn from_id(id: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.id() == id)
     }
 
     /// The severity this code is always reported at.
@@ -158,6 +204,13 @@ impl Code {
             | Code::GridAspect
             | Code::BottleneckMismatch => Severity::Warning,
             Code::IdleDevice | Code::EmptyAssignment | Code::ExcludedDeviceUsed => Severity::Info,
+            Code::HaloMismatch
+            | Code::ScratchOverrun
+            | Code::QueueUnstable
+            | Code::SwitchBoundaryIncompatible
+            | Code::SwapMemoryOverlap
+            | Code::ChannelDeadlock => Severity::Error,
+            Code::NearSaturation => Severity::Warning,
         }
     }
 
@@ -182,6 +235,13 @@ impl Code {
             Code::IdleDevice => "cluster device does no work in the plan",
             Code::EmptyAssignment => "stage carries an empty assignment",
             Code::ExcludedDeviceUsed => "plan assigns work to an excluded (failed) device",
+            Code::HaloMismatch => "worker region escapes its stage output or halo unsatisfiable",
+            Code::ScratchOverrun => "certified resident bound exceeds the deep memory budget",
+            Code::QueueUnstable => "workload band reaches the critical rate: some queue diverges",
+            Code::NearSaturation => "bottleneck utilization above the safety margin at peak load",
+            Code::SwitchBoundaryIncompatible => "switch pair has no nested stage-boundary cuts",
+            Code::SwapMemoryOverlap => "combined warm-swap footprint exceeds the swap budget",
+            Code::ChannelDeadlock => "combined bounded-channel topology has a wait-for cycle",
         }
     }
 
@@ -206,6 +266,13 @@ impl Code {
             Code::IdleDevice => "spread work onto the device or remove it from the cluster",
             Code::EmptyAssignment => "drop zero-area assignments when emitting the plan",
             Code::ExcludedDeviceUsed => "re-plan with the failed devices excluded from the request",
+            Code::HaloMismatch => "clip worker regions to the stage output and re-derive halos",
+            Code::ScratchOverrun => "shrink the device's share, fuse less, or raise the budget",
+            Code::QueueUnstable => "cap admission below lambda*, or re-plan for a shorter period",
+            Code::SwitchBoundaryIncompatible => "pick switch pairs with nested stage boundaries",
+            Code::SwapMemoryOverlap => "stage the swap device-by-device or raise the swap budget",
+            Code::ChannelDeadlock => "use unbounded channels or drain fully before switching",
+            Code::NearSaturation => "leave headroom: plan for a shorter period or shed load",
         }
     }
 }
@@ -563,6 +630,15 @@ mod tests {
             assert!(c.id().starts_with("PA"));
             assert!(!c.summary().is_empty() && !c.suggestion().is_empty());
         }
+    }
+
+    #[test]
+    fn ids_round_trip_through_from_id() {
+        for c in Code::ALL {
+            assert_eq!(Code::from_id(c.id()), Some(c));
+        }
+        assert_eq!(Code::from_id(&format!("PA{}", 999)), None);
+        assert_eq!(Code::from_id(""), None);
     }
 
     #[test]

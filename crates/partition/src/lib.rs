@@ -52,6 +52,7 @@ mod plan;
 mod planner;
 pub mod redundancy;
 mod request;
+pub mod symbolic;
 
 pub use bfs::BfsOptimal;
 pub use cost::{CostModel, CostParams, PlanMetrics, StageCost};

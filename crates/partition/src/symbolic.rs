@@ -1,0 +1,265 @@
+//! Symbolic region and memory accessors over the plan IR — the inputs
+//! to `pico-audit`'s deep verification passes (DESIGN.md §14).
+//!
+//! The structural passes in [`diag`](crate::diag) check plan *shape*
+//! (cover, disjointness, contiguity); the deep passes reason about the
+//! exact [`Region2`]s each worker materializes. This module derives
+//! those symbolically from the model's receptive-field arithmetic:
+//!
+//! * [`stage_regions`] — for every (stage, worker), the output region
+//!   the worker owns and the input region (halo included) it must
+//!   fetch from the upstream stage;
+//! * [`certified_plan_memory`] — a per-device resident *bound* that
+//!   extends [`memory::plan_memory`] with the im2col scratch peak, so
+//!   an over-budget finding is a certificate, not an estimate;
+//! * [`interior_cuts`] — the unit indices at which a pipelined plan
+//!   hands feature maps between stages, the handoff points a warm swap
+//!   must agree on.
+
+use pico_model::{LayerKind, Model, Region2, Segment, Unit, BYTES_PER_ELEMENT};
+
+use crate::{memory, ExecutionMode, Plan};
+
+/// One worker's symbolic footprint within a stage: the exact output
+/// region it owns and the input region (halo included) it must fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRegion {
+    /// Device id of the worker.
+    pub device: usize,
+    /// Output region the worker produces (rows × cols of the stage's
+    /// final unit output).
+    pub output: Region2,
+    /// Input region the worker reads, back-propagated through the
+    /// stage's segment (Eq. 3), clamped to the stage input rectangle.
+    pub input: Region2,
+}
+
+/// Symbolic geometry of one stage: its input/output rectangles and
+/// every worker's regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRegions {
+    /// Stage index within the plan.
+    pub stage: usize,
+    /// Height of the stage's output feature map.
+    pub out_height: usize,
+    /// Width of the stage's output feature map.
+    pub out_width: usize,
+    /// Height of the stage's input feature map.
+    pub in_height: usize,
+    /// Width of the stage's input feature map.
+    pub in_width: usize,
+    /// Per-worker regions, in assignment order, empty shares skipped.
+    pub workers: Vec<WorkerRegion>,
+}
+
+impl StageRegions {
+    /// The stage's full output rectangle.
+    pub fn output_rect(&self) -> Region2 {
+        Region2::full(self.out_height, self.out_width)
+    }
+
+    /// The stage's full input rectangle.
+    pub fn input_rect(&self) -> Region2 {
+        Region2::full(self.in_height, self.in_width)
+    }
+}
+
+/// Derives every stage's symbolic regions for a plan whose segments are
+/// in bounds (`stage.segment.end <= model.len()`); out-of-range stages
+/// are skipped — the structural PA009 pass owns those.
+pub fn stage_regions(model: &Model, plan: &Plan) -> Vec<StageRegions> {
+    let mut out = Vec::with_capacity(plan.stage_count());
+    for (idx, stage) in plan.stages.iter().enumerate() {
+        let seg = stage.segment;
+        if seg.end > model.len() {
+            continue;
+        }
+        let out_shape = model.unit_output_shape(seg.end - 1);
+        let in_shape = model.unit_input_shape(seg.start);
+        let workers = stage
+            .assignments
+            .iter()
+            .filter(|a| !a.is_empty())
+            .map(|a| {
+                let output = a.region(out_shape.width);
+                let input = model.segment_input_region(seg, output);
+                WorkerRegion {
+                    device: a.device,
+                    output,
+                    input,
+                }
+            })
+            .collect();
+        out.push(StageRegions {
+            stage: idx,
+            out_height: out_shape.height,
+            out_width: out_shape.width,
+            in_height: in_shape.height,
+            in_width: in_shape.width,
+            workers,
+        });
+    }
+    out
+}
+
+/// The unit indices at which a pipelined plan hands feature maps
+/// between stages (interior stage boundaries, model endpoints
+/// excluded). Sequential plans hand off nothing mid-task — each task
+/// runs the whole model before the next starts — so their cut set is
+/// empty, making a one-stage fused plan switch-compatible with any
+/// pipeline (APICO's canonical pair).
+pub fn interior_cuts(plan: &Plan) -> Vec<usize> {
+    if plan.mode == ExecutionMode::Sequential {
+        return Vec::new();
+    }
+    plan.stages
+        .iter()
+        .skip(1)
+        .map(|s| s.segment.start)
+        .collect()
+}
+
+/// A certified per-device resident-memory bound: everything
+/// [`memory::DeviceMemory`] counts plus the im2col scratch peak of the
+/// device's worst convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifiedMemory {
+    /// Device id.
+    pub device: usize,
+    /// Bytes of model parameters the device holds.
+    pub weights_bytes: usize,
+    /// Peak bytes of feature-map tiles resident at once.
+    pub peak_activation_bytes: usize,
+    /// Peak bytes of the im2col patch matrix across the device's units.
+    pub scratch_bytes: usize,
+}
+
+impl CertifiedMemory {
+    /// Total certified resident bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.weights_bytes + self.peak_activation_bytes + self.scratch_bytes
+    }
+}
+
+/// Computes each device's certified memory bound under `plan`:
+/// [`memory::plan_memory`]'s weights + activation peaks, plus the peak
+/// im2col scratch the GEMM backend would materialize for the device's
+/// share. Devices in ascending id order; idle devices omitted.
+pub fn certified_plan_memory(model: &Model, plan: &Plan) -> Vec<CertifiedMemory> {
+    let mut scratch: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for stage in &plan.stages {
+        let seg = stage.segment;
+        if seg.end > model.len() {
+            continue;
+        }
+        let out_width = model.unit_output_shape(seg.end - 1).width;
+        for a in stage.assignments.iter().filter(|a| !a.is_empty()) {
+            let peak = scratch_peak(model, seg, a.region(out_width));
+            let entry = scratch.entry(a.device).or_insert(0);
+            *entry = (*entry).max(peak);
+        }
+    }
+    memory::plan_memory(model, plan)
+        .into_iter()
+        .map(|dm| CertifiedMemory {
+            device: dm.device,
+            weights_bytes: dm.weights_bytes,
+            peak_activation_bytes: dm.peak_activation_bytes,
+            scratch_bytes: scratch.get(&dm.device).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Peak im2col scratch bytes while a device computes `region` of
+/// segment `seg`: the patch matrix for a conv is
+/// `out_area × k_h·k_w·(C_in/groups)` elements. Blocks are bounded
+/// conservatively by evaluating every inner conv at the block's input
+/// region (inner regions cannot exceed it for the zoo's stride ≥ 1
+/// layers), keeping the bound sound without per-path traces.
+fn scratch_peak(model: &Model, seg: Segment, region: Region2) -> usize {
+    let trace = model.segment_region_trace(seg, region);
+    let mut peak = 0usize;
+    for (k, i) in seg.iter().enumerate() {
+        let out_region = trace[k];
+        let in_shape = model.unit_input_shape(i);
+        match model.unit(i) {
+            Unit::Layer(l) => peak = peak.max(layer_scratch(&l.kind, out_region)),
+            Unit::Block(b) => {
+                let block_in = model.unit(i).input_region(out_region, in_shape);
+                for l in b.paths.iter().flatten() {
+                    peak = peak.max(layer_scratch(&l.kind, block_in));
+                }
+            }
+        }
+    }
+    peak
+}
+
+fn layer_scratch(kind: &LayerKind, out_region: Region2) -> usize {
+    match kind {
+        LayerKind::Conv(c) => {
+            out_region.area() * c.kernel.0 * c.kernel.1 * c.in_per_group() * BYTES_PER_ELEMENT
+        }
+        LayerKind::Pool(_) | LayerKind::Fc(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, CostParams, OptimalFused, PicoPlanner, Planner};
+    use pico_model::zoo;
+
+    #[test]
+    fn worker_regions_tile_each_stage_and_need_halos() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let plan = PicoPlanner::new()
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
+        let regions = stage_regions(&m, &plan);
+        assert_eq!(regions.len(), plan.stage_count());
+        for sr in &regions {
+            let total: usize = sr.workers.iter().map(|w| w.output.area()).sum();
+            assert_eq!(total, sr.output_rect().area(), "stage {}", sr.stage);
+            for w in &sr.workers {
+                assert!(sr.output_rect().contains(w.output));
+                assert!(sr.input_rect().contains(w.input));
+                // Reading at least as many input rows as output rows it
+                // produces (receptive fields only grow backwards).
+                assert!(w.input.area() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_bound_dominates_the_estimate() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let plan = PicoPlanner::new()
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
+        let est = memory::plan_memory(&m, &plan);
+        let cert = certified_plan_memory(&m, &plan);
+        assert_eq!(est.len(), cert.len());
+        for (e, b) in est.iter().zip(&cert) {
+            assert_eq!(e.device, b.device);
+            assert!(b.total_bytes() >= e.total_bytes());
+            // A conv model always needs some patch scratch.
+            assert!(b.scratch_bytes > 0, "device {}", b.device);
+        }
+    }
+
+    #[test]
+    fn sequential_plans_have_no_interior_cuts() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let params = CostParams::default();
+        let pico = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        let ofl = OptimalFused::new().plan_simple(&m, &c, &params).unwrap();
+        assert!(interior_cuts(&ofl).is_empty());
+        if pico.stage_count() > 1 {
+            assert_eq!(interior_cuts(&pico).len(), pico.stage_count() - 1);
+        }
+    }
+}

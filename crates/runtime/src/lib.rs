@@ -64,9 +64,11 @@ mod error;
 mod fault;
 mod runtime;
 mod throttle;
+pub mod topology;
 
 pub use builder::RuntimeBuilder;
 pub use error::RuntimeError;
 pub use fault::{FailureRecord, FailureSchedule, InjectedFailure, RecoveryPolicy};
 pub use runtime::{PipelineRuntime, RunReport, StageStat, TaskTiming};
 pub use throttle::Throttle;
+pub use topology::{channel_topology, ChannelEdge, ChannelKind, ChannelTopology};

@@ -630,7 +630,7 @@ impl<'a> PipelineRuntime<'a> {
                 });
             }
         }
-        let start = Instant::now();
+        let start = pico_telemetry::clock::wall_now();
         match &self.recovery {
             None => {
                 let a = self.attempt(self.plan, &inputs, 0, start, None, &[])?;
@@ -791,7 +791,7 @@ impl<'a> PipelineRuntime<'a> {
                         let mut scratch = Scratch::new();
                         while let Ok(WorkUnit { task, shard, tile }) = wrx.recv() {
                             let spec = &stage_specs[shard];
-                            let t0 = Instant::now();
+                            let t0 = pico_telemetry::clock::wall_now();
                             let begin_ts = if enabled {
                                 start.elapsed().as_secs_f64()
                             } else {

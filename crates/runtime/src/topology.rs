@@ -1,0 +1,153 @@
+//! Static description of the channel graph the runtime builds for a
+//! plan — the input to `pico-audit`'s switch-safety deadlock check.
+//!
+//! [`PipelineRuntime::run`](crate::PipelineRuntime::run) wires
+//! `stage_count + 1` inter-stage queues (source → stage 0 → … →
+//! collector) plus per-worker scatter/gather channels.
+//! [`channel_topology`] mirrors that wiring as data, so a static pass
+//! can reason about *who blocks on whom* without spawning a thread:
+//! with bounded capacity, a sender stalls until the edge's receivers
+//! drain; unbounded edges never block. One plan's topology is a chain
+//! (trivially deadlock-free); the interesting case is the *union* of
+//! two plans during a warm swap, where a device producing for plan A
+//! while still draining plan B can close a wait cycle.
+
+use pico_partition::Plan;
+
+/// What bounds an edge's buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// An inter-stage feature-map queue (`StageMsg`), bounded only when
+    /// the runtime is built with a channel capacity.
+    InterStage,
+    /// A coordinator↔worker scatter/gather channel, always bounded to
+    /// the stage's worker count.
+    Worker,
+}
+
+/// One channel edge of the runtime's wiring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelEdge {
+    /// Devices that send on this edge; empty for the task source.
+    pub senders: Vec<usize>,
+    /// Devices that receive from this edge; empty for the collector.
+    pub receivers: Vec<usize>,
+    /// `Some(cap)` when a full edge blocks its senders.
+    pub capacity: Option<usize>,
+    /// Which kind of channel this models.
+    pub kind: ChannelKind,
+}
+
+impl ChannelEdge {
+    /// Whether a sender can ever block on this edge.
+    pub fn is_blocking(&self) -> bool {
+        self.capacity.is_some()
+    }
+}
+
+/// The channel graph [`PipelineRuntime`](crate::PipelineRuntime) would
+/// build for a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelTopology {
+    /// Number of pipeline stages.
+    pub stages: usize,
+    /// Every channel edge, inter-stage queues first (source to
+    /// collector), then per-stage worker channels.
+    pub edges: Vec<ChannelEdge>,
+}
+
+impl ChannelTopology {
+    /// Edges on which a sender can block, i.e. the ones that matter
+    /// for deadlock analysis.
+    pub fn blocking_edges(&self) -> impl Iterator<Item = &ChannelEdge> {
+        self.edges.iter().filter(|e| e.is_blocking())
+    }
+}
+
+/// Describes the channel graph the runtime builds for `plan` with the
+/// given inter-stage `capacity` (`None` = unbounded, the default):
+/// `stage_count + 1` inter-stage queues where queue `i`'s senders are
+/// stage `i-1`'s devices (the source for `i == 0`) and its receivers
+/// stage `i`'s devices (the collector past the end), plus one
+/// worker-channel edge per stage bounded to its worker count — exactly
+/// the wiring of [`PipelineRuntime::run`](crate::PipelineRuntime::run).
+pub fn channel_topology(plan: &Plan, capacity: Option<usize>) -> ChannelTopology {
+    let devices_of = |s: usize| -> Vec<usize> {
+        plan.stages[s]
+            .assignments
+            .iter()
+            .filter(|a| !a.is_empty())
+            .map(|a| a.device)
+            .collect()
+    };
+    let n = plan.stages.len();
+    let mut edges = Vec::with_capacity(2 * n + 1);
+    for i in 0..=n {
+        edges.push(ChannelEdge {
+            senders: if i == 0 {
+                Vec::new()
+            } else {
+                devices_of(i - 1)
+            },
+            receivers: if i == n { Vec::new() } else { devices_of(i) },
+            capacity,
+            kind: ChannelKind::InterStage,
+        });
+    }
+    for s in 0..n {
+        let workers = devices_of(s);
+        let cap = workers.len().max(1);
+        edges.push(ChannelEdge {
+            senders: workers.clone(),
+            receivers: workers,
+            capacity: Some(cap),
+            kind: ChannelKind::Worker,
+        });
+    }
+    ChannelTopology { stages: n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+    use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+
+    #[test]
+    fn topology_mirrors_the_runtime_wiring() {
+        let m = zoo::vgg16().features();
+        let c = Cluster::pi_cluster(8, 1.0);
+        let plan = PicoPlanner::new()
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
+        let topo = channel_topology(&plan, None);
+        assert_eq!(topo.stages, plan.stage_count());
+        let inter: Vec<&ChannelEdge> = topo
+            .edges
+            .iter()
+            .filter(|e| e.kind == ChannelKind::InterStage)
+            .collect();
+        assert_eq!(inter.len(), plan.stage_count() + 1);
+        // Source feeds stage 0; collector drains the last stage.
+        assert!(inter[0].senders.is_empty());
+        assert!(inter.last().unwrap().receivers.is_empty());
+        // Unbounded inter-stage queues never block; worker channels do.
+        assert!(inter.iter().all(|e| !e.is_blocking()));
+        assert!(topo.blocking_edges().all(|e| e.kind == ChannelKind::Worker));
+    }
+
+    #[test]
+    fn bounded_capacity_makes_inter_stage_edges_blocking() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = PicoPlanner::new()
+            .plan_simple(&m, &c, &CostParams::default())
+            .unwrap();
+        let topo = channel_topology(&plan, Some(2));
+        assert!(topo
+            .edges
+            .iter()
+            .filter(|e| e.kind == ChannelKind::InterStage)
+            .all(|e| e.capacity == Some(2)));
+    }
+}

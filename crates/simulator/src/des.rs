@@ -15,6 +15,20 @@ pub(crate) struct Station {
     pub busy_per_task: Vec<(usize, f64)>,
 }
 
+/// A public snapshot of one service station: what the DES will charge
+/// per task, exposed so static analysis (the `pico-audit` deep passes)
+/// can reason about the same queueing network the simulator executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationProfile {
+    /// Originating stage for pipelined plans; `None` for the single
+    /// collapsed station of a sequential plan.
+    pub stage: Option<usize>,
+    /// Deterministic service time per task (Eq. 9 stage cost).
+    pub service: f64,
+    /// Per-task device compute times `(device_id, seconds)`.
+    pub busy_per_task: Vec<(usize, f64)>,
+}
+
 /// Deterministic queueing simulation of plans over arrival streams.
 ///
 /// Service times come from the paper's cost model; stages serve tasks
@@ -156,6 +170,50 @@ impl<'a> Simulation<'a> {
                 }]
             }
         }
+    }
+
+    /// The queueing-network view of a plan, as the DES will execute it:
+    /// one [`StationProfile`] per service station, in visit order. This
+    /// is the bridge static analysis uses — `pico-audit`'s
+    /// queue-stability pass certifies Theorem 2 against exactly the
+    /// service times the simulator would run.
+    pub fn station_profiles(&self, plan: &Plan) -> Vec<StationProfile> {
+        let pipelined = plan.mode == ExecutionMode::Pipelined;
+        self.stations(plan)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| StationProfile {
+                stage: if pipelined { Some(i) } else { None },
+                service: s.service,
+                busy_per_task: s.busy_per_task,
+            })
+            .collect()
+    }
+
+    /// Per-device compute seconds one task costs under `plan`, summed
+    /// across stations, ascending device id.
+    pub fn device_busy_per_task(&self, plan: &Plan) -> Vec<(usize, f64)> {
+        let mut by_device: std::collections::BTreeMap<usize, f64> =
+            std::collections::BTreeMap::new();
+        for s in self.stations(plan) {
+            for (d, t) in s.busy_per_task {
+                *by_device.entry(d).or_insert(0.0) += t;
+            }
+        }
+        by_device.into_iter().collect()
+    }
+
+    /// Statically predicted per-device utilization at arrival rate
+    /// `lambda` (tasks/s): `ρ_d = λ · b_d`, clamped to 1, where `b_d`
+    /// is [`device_busy_per_task`](Simulation::device_busy_per_task).
+    /// At a stable rate this is what [`run`](Simulation::run) converges
+    /// to over a long horizon — asserted within 5% by the deep-audit
+    /// cross-check tests.
+    pub fn predicted_device_utilization(&self, plan: &Plan, lambda: f64) -> Vec<(usize, f64)> {
+        self.device_busy_per_task(plan)
+            .into_iter()
+            .map(|(d, b)| (d, (lambda * b).min(1.0)))
+            .collect()
     }
 
     /// Per-device redundancy ratios of a plan, by device id.

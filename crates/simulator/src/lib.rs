@@ -43,6 +43,7 @@
 
 mod adaptive;
 mod arrival;
+mod band;
 mod des;
 mod ewma;
 pub mod mdone;
@@ -51,6 +52,7 @@ pub mod workload;
 
 pub use adaptive::{AdaptiveScheduler, SchedulerDecision};
 pub use arrival::Arrivals;
-pub use des::Simulation;
+pub use band::WorkloadBand;
+pub use des::{Simulation, StationProfile};
 pub use ewma::{Ewma, WorkloadEstimator};
 pub use metrics::{DeviceStat, SimReport};

@@ -1,0 +1,29 @@
+//! The one sanctioned wall-clock read.
+//!
+//! Virtual-time discipline: the DES, the planners, and every analysis
+//! pass must be deterministic functions of their inputs, so they must
+//! never read the wall clock directly — `cargo xtask lint` (rule 7)
+//! bans `Instant::now()` outside `pico-telemetry` and `pico-bench`.
+//! Code that legitimately needs a deadline or a throttle reference
+//! point (the runtime's pacing, the BFS search budget) takes it from
+//! here, keeping every wall-clock read greppable in one place.
+
+use std::time::Instant;
+
+/// Reads the wall clock. The only `Instant::now()` outside
+/// `pico-bench` the lint permits.
+pub fn wall_now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let a = wall_now();
+        let b = wall_now();
+        assert!(b >= a);
+    }
+}

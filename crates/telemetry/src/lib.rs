@@ -51,6 +51,7 @@
 #![deny(missing_docs)]
 
 mod alloc_counter;
+pub mod clock;
 mod error;
 mod event;
 mod histogram;

@@ -27,7 +27,12 @@
 //!    (`crates/tensor/src/gemm.rs`) contain no `.unwrap()` /
 //!    `.expect(` and no allocation calls in non-test code: every
 //!    buffer is caller-provided (normally from a `Scratch` pool), so
-//!    the steady-state zero-allocation guarantee cannot silently rot.
+//!    the steady-state zero-allocation guarantee cannot silently rot;
+//! 7. **wall-clock-discipline** — `Instant::now()` appears only inside
+//!    `pico-telemetry` (the `clock::wall_now` seam) and `pico-bench`
+//!    (the measurement harness); everything else must go through the
+//!    seam so timing stays mockable and the simulator's virtual time
+//!    cannot silently mix with wall time.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -80,9 +85,10 @@ fn lint() -> ExitCode {
     lint_registry(&root, &mut violations);
     lint_telemetry_names(&root, &mut violations);
     lint_kernel_hot_path(&root, &mut violations);
+    lint_wall_clock(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (6 rules, 0 findings)");
+        println!("xtask lint: clean (7 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -543,6 +549,42 @@ fn lint_kernel_hot_path(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 7: wall-clock reads go through `pico_telemetry::clock` (or the
+/// bench harness, which measures wall time by design); a bare
+/// `Instant::now()` anywhere else bypasses the one seam that keeps
+/// timing mockable.
+fn lint_wall_clock(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        if rel.starts_with("crates/telemetry/")
+            || rel.starts_with("crates/bench/")
+            || rel.starts_with("crates/xtask/")
+        {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        for (line, code) in non_test_lines(&source) {
+            if code.contains("Instant::now(") {
+                violations.push(Violation {
+                    rule: "wall-clock-discipline",
+                    file: file.clone(),
+                    line,
+                    detail: "wall-clock read outside pico-telemetry/pico-bench; \
+                             use `pico_telemetry::clock::wall_now()`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +668,7 @@ mod tests {
         lint_registry(&root, &mut violations);
         lint_telemetry_names(&root, &mut violations);
         lint_kernel_hot_path(&root, &mut violations);
+        lint_wall_clock(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

@@ -55,6 +55,21 @@ options:
                              `audit`: audit one scheme (default: all)
   --memory-budget <MB>       `audit`: warn when a device exceeds this
   --redundancy-limit <f>     `audit`: warn above this redundancy ratio
+  --deep                     `audit`: also run the PA3xx deep passes
+                             (symbolic dataflow, queue stability, and
+                             the pico<->ofl warm-swap pair)
+  --lambda <lo:hi[x]>        `audit --deep`: certify stability over the
+                             workload band [lo, hi] tasks/s; a trailing
+                             `x` reads the bounds as fractions of each
+                             plan's critical rate (e.g. 0.3:0.9x)
+  --deep-memory-budget <MB>  `audit --deep`: fail when a device's
+                             certified bound (weights + activations +
+                             im2col scratch) exceeds this
+  --swap-budget <MB>         `audit --deep`: per-device budget for both
+                             plans of the swap pair held together
+  --channel-capacity <n>     `audit --deep`: inter-stage channel bound
+                             assumed by the deadlock pass (default:
+                             unbounded, which cannot deadlock)
   --load <fraction>          `simulate`: arrival rate as a fraction of
                              EFL capacity (default 1.0)
   --minutes <m>              `simulate`: virtual duration (default 10)
@@ -68,9 +83,10 @@ options:
                              re-planned when a stage loses every device
   --trace <file.json>        `run`: write a Chrome trace-event file
   --warmup/--iters/--runs <n> `bench`: measurement protocol overrides
-  --json <file>              `bench`: also write the machine-readable
-                             report (round-tripped through the strict
-                             parser before the command succeeds)
+  --json <file>              `bench`/`audit`: also write the
+                             machine-readable report (round-tripped
+                             through the strict parser before the
+                             command succeeds)
   --gate-ratio <x>           `bench kernels`: fail unless im2col beats
                              the reference conv3x3/64ch case by >= x";
 
@@ -87,6 +103,11 @@ impl Opts {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{key}`"));
             };
+            // Boolean flags take no value.
+            if name == "deep" {
+                pairs.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("missing value for --{name}"))?;
@@ -125,6 +146,40 @@ impl Opts {
                 .map_err(|_| format!("--{name}: bad integer `{v}`")),
         }
     }
+}
+
+/// Parses a `--lambda` band spec: `<lo:hi>` in tasks/s, or `<lo:hi>x`
+/// with the bounds read as fractions of each plan's critical rate λ*.
+fn parse_lambda(spec: &str) -> Result<(f64, f64, bool), String> {
+    let (body, fractional) = match spec.strip_suffix('x') {
+        Some(b) => (b, true),
+        None => (spec, false),
+    };
+    let (lo, hi) = body
+        .split_once(':')
+        .ok_or_else(|| format!("--lambda: expected `<lo:hi[x]>`, got `{spec}`"))?;
+    let lo: f64 = lo
+        .parse()
+        .map_err(|_| format!("--lambda: bad number `{lo}`"))?;
+    let hi: f64 = hi
+        .parse()
+        .map_err(|_| format!("--lambda: bad number `{hi}`"))?;
+    if !lo.is_finite() || !hi.is_finite() || lo < 0.0 || hi < lo {
+        return Err(format!("--lambda: need 0 <= lo <= hi in `{spec}`"));
+    }
+    Ok((lo, hi, fractional))
+}
+
+/// The critical arrival rate λ* = 1/p of a plan's bottleneck station —
+/// the same profiles the deep stability pass certifies against.
+fn max_stable_rate_of(pico: &Pico, plan: &Plan) -> f64 {
+    let sim = Simulation::new(pico.model(), pico.cluster(), &pico.params());
+    let period = sim
+        .station_profiles(plan)
+        .iter()
+        .map(|s| s.service)
+        .fold(0.0, f64::max);
+    pico::sim::mdone::max_stable_rate(period)
 }
 
 /// Parses a `--fail-device` spec: `<id>@<task>`, or a bare `<id>`
@@ -349,24 +404,99 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| format!("--redundancy-limit: bad number `{r}`"))?;
                 config = config.with_redundancy_threshold(ratio);
             }
+            let deep = opts.get("deep").is_some();
+            let band = opts.get("lambda").map(parse_lambda).transpose()?;
+            if band.is_some() && !deep {
+                return Err("--lambda requires --deep".to_owned());
+            }
+            for flag in ["deep-memory-budget", "swap-budget", "channel-capacity"] {
+                if opts.get(flag).is_some() && !deep {
+                    return Err(format!("--{flag} requires --deep"));
+                }
+            }
+            if let Some(mb) = opts.get("deep-memory-budget") {
+                let mb: f64 = mb
+                    .parse()
+                    .map_err(|_| format!("--deep-memory-budget: bad number `{mb}`"))?;
+                config = config.with_deep_memory_budget((mb * 1e6).max(0.0) as usize);
+            }
+            if let Some(mb) = opts.get("swap-budget") {
+                let mb: f64 = mb
+                    .parse()
+                    .map_err(|_| format!("--swap-budget: bad number `{mb}`"))?;
+                config = config.with_swap_budget((mb * 1e6).max(0.0) as usize);
+            }
+            if let Some(cap) = opts.get("channel-capacity") {
+                let cap: usize = cap
+                    .parse()
+                    .map_err(|_| format!("--channel-capacity: bad integer `{cap}`"))?;
+                config = config.with_channel_capacity(cap);
+            }
             let schemes: Vec<&str> = match opts.get("scheme") {
                 Some(s) => vec![s],
                 None => vec!["lw", "efl", "ofl", "grid", "pico"],
             };
             let mut errors = 0;
+            let mut entries: Vec<(String, AuditReport)> = Vec::new();
+            let mut planned: Vec<(&str, Plan)> = Vec::new();
             for name in schemes {
                 let planner = planner_by_name(name)?;
                 match pico.plan_with(&planner) {
                     Ok(plan) => {
-                        let report = Auditor::new(pico.model(), pico.cluster())
+                        let mut cfg = config.clone();
+                        if let Some((lo, hi, fractional)) = band {
+                            let scale = if fractional {
+                                max_stable_rate_of(&pico, &plan)
+                            } else {
+                                1.0
+                            };
+                            cfg = cfg.with_workload_band(pico::audit::WorkloadBand::new(
+                                lo * scale,
+                                hi * scale,
+                            ));
+                        }
+                        let auditor = Auditor::new(pico.model(), pico.cluster())
                             .with_params(pico.params())
-                            .with_config(config.clone())
-                            .audit(&plan);
+                            .with_config(cfg);
+                        let report = if deep {
+                            auditor.audit_deep(&plan)
+                        } else {
+                            auditor.audit(&plan)
+                        };
                         errors += report.errors().count();
                         println!("{name}: {report}");
+                        entries.push((name.to_owned(), report));
+                        planned.push((name, plan));
                     }
                     Err(e) => println!("{name}: did not plan ({e})"),
                 }
+            }
+            // The paper's canonical APICO switch set is the PICO
+            // pipeline paired with the fused one-stage OFL plan; audit
+            // that pair's warm-swap safety whenever both planned.
+            if deep {
+                let by_name = |n: &str| planned.iter().find(|(name, _)| *name == n).map(|(_, p)| p);
+                if let (Some(a), Some(b)) = (by_name("pico"), by_name("ofl")) {
+                    let report = Auditor::new(pico.model(), pico.cluster())
+                        .with_params(pico.params())
+                        .with_config(config.clone())
+                        .audit_switch_pair(a, b);
+                    errors += report.errors().count();
+                    println!("pico+ofl (switch pair): {report}");
+                    entries.push(("pico+ofl".to_owned(), report));
+                }
+            }
+            if let Some(path) = opts.get("json") {
+                let text = pico::audit::json::reports_to_json(&entries);
+                // The document is the interface: prove it parses
+                // strictly and round-trips before calling it a success.
+                let parsed = pico::audit::json::reports_from_json(&text)
+                    .map_err(|e| format!("--json self-check: {e}"))?;
+                if parsed != entries {
+                    return Err("--json self-check: round-trip mismatch".to_owned());
+                }
+                std::fs::write(path, &text).map_err(|e| format!("--json {path}: {e}"))?;
+                println!("wrote {} audit(s) to {path}", entries.len());
             }
             if errors > 0 {
                 Err(format!("{errors} error-level diagnostic(s)"))
@@ -606,6 +736,68 @@ mod tests {
             "abc",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn deep_audit_runs_clean_and_writes_json() {
+        let path = std::env::temp_dir().join(format!("pico-cli-audit-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_owned();
+        // Absolute band, fractional band, and the JSON self-check.
+        run(&sv(&[
+            "audit",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--deep",
+            "--lambda",
+            "0.3:0.9x",
+            "--json",
+            &path,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let reports = pico::audit::json::reports_from_json(&text).unwrap();
+        // Five schemes plus the pico+ofl switch pair.
+        assert_eq!(reports.len(), 6);
+        assert!(reports.iter().any(|(name, _)| name == "pico+ofl"));
+        assert!(reports.iter().all(|(_, r)| r.is_executable()));
+        std::fs::remove_file(&path).ok();
+        run(&sv(&[
+            "audit",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--deep",
+            "--lambda",
+            "0.0:0.1",
+            "--channel-capacity",
+            "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn deep_audit_rejects_bad_flags_and_flags_saturating_bands() {
+        let base = ["audit", "--model", "mnist_toy", "--devices", "4"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            sv(&v)
+        };
+        assert!(
+            run(&with(&["--lambda", "0.3:0.9x"])).is_err(),
+            "needs --deep"
+        );
+        assert!(run(&with(&["--channel-capacity", "4"])).is_err());
+        assert!(run(&with(&["--deep", "--lambda", "nope"])).is_err());
+        assert!(run(&with(&["--deep", "--lambda", "2.0:1.0"])).is_err());
+        assert!(run(&with(&["--deep", "--lambda", "-1.0:0.5"])).is_err());
+        // A band reaching λ* is an error-level PA303 verdict.
+        assert!(run(&with(&["--deep", "--lambda", "0.5:2.0x"])).is_err());
+        // A tiny certified budget is an error-level PA302 verdict.
+        assert!(run(&with(&["--deep", "--deep-memory-budget", "0.001"])).is_err());
     }
 
     #[test]
