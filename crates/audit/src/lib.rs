@@ -47,12 +47,12 @@
 //! ```
 //! use pico_audit::Auditor;
 //! use pico_model::zoo;
-//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 //!
 //! let model = zoo::vgg16().features();
 //! let cluster = Cluster::pi_cluster(8, 1.0);
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::new().plan_simple(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params))?;
 //! let report = Auditor::new(&model, &cluster).with_params(params).audit(&plan);
 //! assert!(report.is_executable()); // zero Error-level diagnostics
 //! # Ok::<(), pico_partition::PlanError>(())
@@ -632,14 +632,18 @@ mod tests {
     use super::*;
     use pico_model::zoo;
     use pico_model::Rows;
-    use pico_partition::{Assignment, ExecutionMode, PicoPlanner, Planner, Scheme, Stage};
+    use pico_partition::{
+        Assignment, ExecutionMode, PicoPlanner, PlanRequest, Planner, Scheme, Stage,
+    };
 
     #[test]
     fn pico_plan_is_executable_and_report_renders() {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        let plan = PicoPlanner::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         let report = Auditor::new(&m, &c).with_params(params).audit(&plan);
         assert!(report.is_executable());
         let text = report.to_string();
@@ -671,7 +675,9 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        let plan = PicoPlanner::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         if plan.stage_count() < 2 {
             return;
         }
@@ -727,7 +733,9 @@ mod tests {
         assert!(!clean.has_code(Code::ExcludedDeviceUsed), "{clean}");
 
         // A plan that still uses the failed device is flagged at Info.
-        let stale = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        let stale = PicoPlanner::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         let uses_failed = stale
             .stages
             .iter()
@@ -747,7 +755,9 @@ mod tests {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
         let params = CostParams::default();
-        let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+        let plan = PicoPlanner::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         let metrics = params.cost_model(&m).evaluate(&plan, &c);
         let config = AuditConfig::default().with_claimed_metrics(metrics.period, metrics.latency);
         let report = Auditor::new(&m, &c)

@@ -4,8 +4,8 @@
 use pico_audit::{AuditConfig, AuditReport, Auditor, Code, Severity};
 use pico_model::{zoo, Model, Region2, Rows, Segment};
 use pico_partition::{
-    Assignment, Cluster, CostParams, ExecutionMode, GridFused, PicoPlanner, Plan, Planner, Scheme,
-    Stage,
+    Assignment, Cluster, CostParams, ExecutionMode, GridFused, PicoPlanner, Plan, PlanRequest,
+    Planner, Scheme, Stage,
 };
 use proptest::prelude::*;
 
@@ -169,7 +169,7 @@ fn grid_plan(m: &Model, c: &Cluster) -> Plan {
     GridFused::new()
         .with_grid(2, 2)
         .with_fused_units(3)
-        .plan_simple(m, c, &CostParams::default())
+        .plan(&PlanRequest::new(m, c, &CostParams::default()))
         .expect("grid plan on 4 devices")
 }
 
@@ -280,7 +280,9 @@ fn pa104_wrong_claimed_metrics() {
     let m = base_model();
     let c = base_cluster();
     let params = CostParams::default();
-    let plan = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
+    let plan = PicoPlanner::new()
+        .plan(&PlanRequest::new(&m, &c, &params))
+        .unwrap();
     let metrics = params.cost_model(&m).evaluate(&plan, &c);
     let report = Auditor::new(&m, &c)
         .with_params(params)

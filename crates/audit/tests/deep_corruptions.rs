@@ -8,7 +8,7 @@ use pico_audit::{AuditConfig, AuditReport, Auditor, Code, Severity, WorkloadBand
 use pico_model::{zoo, Model, Rows, Segment};
 use pico_partition::{
     Assignment, Cluster, CostParams, ExecutionMode, GridFused, OptimalFused, PicoPlanner, Plan,
-    Planner, Scheme, Stage,
+    PlanRequest, Planner, Scheme, Stage,
 };
 use pico_sim::{mdone, Arrivals, Simulation};
 use proptest::prelude::*;
@@ -52,7 +52,7 @@ fn grid_plan(m: &Model, c: &Cluster) -> Plan {
     GridFused::new()
         .with_grid(2, 2)
         .with_fused_units(3)
-        .plan_simple(m, c, &CostParams::default())
+        .plan(&PlanRequest::new(m, c, &CostParams::default()))
         .expect("grid plan on 4 devices")
 }
 
@@ -235,8 +235,12 @@ fn sequential_plans_are_boundary_compatible_with_any_pipeline() {
     let m = base_model();
     let c = base_cluster();
     let params = CostParams::default();
-    let pico = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
-    let ofl = OptimalFused::new().plan_simple(&m, &c, &params).unwrap();
+    let pico = PicoPlanner::new()
+        .plan(&PlanRequest::new(&m, &c, &params))
+        .unwrap();
+    let ofl = OptimalFused::new()
+        .plan(&PlanRequest::new(&m, &c, &params))
+        .unwrap();
     let report = Auditor::new(&m, &c)
         .with_params(params)
         .audit_switch_pair(&pico, &ofl);
@@ -249,7 +253,9 @@ fn pa306_swap_footprint_over_tiny_budget() {
     let c = base_cluster();
     let params = CostParams::default();
     let a = base_plan(&m);
-    let b = OptimalFused::new().plan_simple(&m, &c, &params).unwrap();
+    let b = OptimalFused::new()
+        .plan(&PlanRequest::new(&m, &c, &params))
+        .unwrap();
     let shared: Vec<usize> = a
         .used_devices()
         .into_iter()
@@ -351,7 +357,7 @@ fn static_utilization_matches_the_des_within_five_percent() {
     for m in &models {
         for c in &clusters {
             for planner in &planners {
-                let Ok(plan) = planner.plan_simple(m, c, &params) else {
+                let Ok(plan) = planner.plan(&PlanRequest::new(m, c, &params)) else {
                     continue;
                 };
                 let sim = Simulation::new(m, c, &params);

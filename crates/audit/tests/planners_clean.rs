@@ -7,7 +7,7 @@ use pico_audit::{AuditConfig, Auditor, WorkloadBand};
 use pico_model::{zoo, Model};
 use pico_partition::{
     BfsOptimal, Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner,
-    Planner,
+    PlanRequest, Planner,
 };
 use pico_sim::{mdone, Simulation};
 
@@ -23,7 +23,7 @@ fn planners() -> Vec<Box<dyn Planner>> {
 
 fn assert_error_free(model: &Model, cluster: &Cluster, planner: &dyn Planner) {
     let params = CostParams::wifi_50mbps();
-    let plan = match planner.plan_simple(model, cluster, &params) {
+    let plan = match planner.plan(&PlanRequest::new(model, cluster, &params)) {
         Ok(plan) => plan,
         // A planner may decline a (model, cluster) pair (e.g. a grid
         // needing more devices); declining is not a diagnostic.

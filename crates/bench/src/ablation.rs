@@ -5,7 +5,9 @@
 use pico_model::{rows_split_even, zoo, Rows};
 use pico_partition::grid::{grid_shapes_for, GridPoint};
 use pico_partition::memory::{plan_memory, single_device_memory};
-use pico_partition::{Assignment, Cluster, CostParams, PicoPlanner, Plan, Planner, Scheme, Stage};
+use pico_partition::{
+    Assignment, Cluster, CostParams, PicoPlanner, Plan, PlanRequest, Planner, Scheme, Stage,
+};
 
 /// Ablation 1 — decomposing Algorithm 2 on the heterogeneous Table I
 /// cluster: (a) capacity-sorted greedy device-to-stage assignment, and
@@ -112,7 +114,7 @@ pub fn balancing() -> Vec<BalancingRow> {
     .into_iter()
     .map(|(label, model)| {
         let plan = PicoPlanner::new()
-            .plan_simple(&model, &cluster, &params)
+            .plan(&PlanRequest::new(&model, &cluster, &params))
             .expect("plans");
         let cm = params.cost_model(&model);
         let period = |p: &Plan| cm.evaluate(p, &cluster).period;
@@ -147,7 +149,7 @@ pub fn bandwidth_sweep() -> Vec<BandwidthRow> {
     for mbps in [5.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
         let params = CostParams::new(mbps * 1e6);
         for (scheme, planner) in crate::paper_planners() {
-            let Ok(plan) = planner.plan_simple(&model, &cluster, &params) else {
+            let Ok(plan) = planner.plan(&PlanRequest::new(&model, &cluster, &params)) else {
                 continue;
             };
             let period = params.cost_model(&model).evaluate(&plan, &cluster).period;
@@ -181,7 +183,7 @@ pub fn tlim_sweep() -> Vec<TlimRow> {
     let cm = free.cost_model(&model);
     let base = cm.evaluate(
         &PicoPlanner::new()
-            .plan_simple(&model, &cluster, &free)
+            .plan(&PlanRequest::new(&model, &cluster, &free))
             .expect("plans"),
         &cluster,
     );
@@ -189,7 +191,7 @@ pub fn tlim_sweep() -> Vec<TlimRow> {
         .into_iter()
         .map(|fraction| {
             let params = free.with_t_lim(base.latency * fraction);
-            match PicoPlanner::new().plan_simple(&model, &cluster, &params) {
+            match PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params)) {
                 Ok(plan) => {
                     let m = cm.evaluate(&plan, &cluster);
                     TlimRow {
@@ -236,7 +238,9 @@ pub fn memory_by_scheme() -> Vec<MemoryRow> {
     crate::paper_planners()
         .into_iter()
         .filter_map(|(scheme, planner)| {
-            let plan = planner.plan_simple(&model, &cluster, &params).ok()?;
+            let plan = planner
+                .plan(&PlanRequest::new(&model, &cluster, &params))
+                .ok()?;
             let max_device_bytes = plan_memory(&model, &plan)
                 .iter()
                 .map(|d| d.total_bytes())

@@ -3,7 +3,7 @@
 //! plus completed tasks per minute at 8 devices.
 
 use pico_model::{zoo, Model};
-use pico_partition::Scheme;
+use pico_partition::{PlanRequest, Scheme};
 use pico_sim::{Arrivals, Simulation};
 
 use crate::{cluster, paper_planners, DEVICE_COUNTS, FREQS_GHZ};
@@ -31,7 +31,7 @@ pub fn run_for(model: &Model) -> Vec<CapacityRow> {
         for devices in DEVICE_COUNTS {
             let c = cluster(devices, ghz);
             for (scheme, planner) in paper_planners() {
-                let Ok(plan) = planner.plan_simple(model, &c, &params) else {
+                let Ok(plan) = planner.plan(&PlanRequest::new(model, &c, &params)) else {
                     continue;
                 };
                 let metrics = params.cost_model(model).evaluate(&plan, &c);

@@ -6,7 +6,7 @@
 
 use pico_core::Pico;
 use pico_model::{zoo, Model};
-use pico_partition::{Cluster, CostParams, EarlyFused, OptimalFused, Planner};
+use pico_partition::{Cluster, CostParams, EarlyFused, OptimalFused, PlanRequest, Planner};
 use pico_sim::{Arrivals, Simulation};
 
 use crate::FREQS_GHZ;
@@ -35,10 +35,10 @@ pub fn run_for(model: &Model) -> Vec<LatencyRow> {
         let cluster = Cluster::pi_cluster(8, ghz);
         let pico = Pico::new(model.clone(), cluster.clone());
         let efl = EarlyFused::new()
-            .plan_simple(model, &cluster, &params)
+            .plan(&PlanRequest::new(model, &cluster, &params))
             .expect("EFL plans");
         let ofl = OptimalFused::new()
-            .plan_simple(model, &cluster, &params)
+            .plan(&PlanRequest::new(model, &cluster, &params))
             .expect("OFL plans");
         let pipeline = pico.plan().expect("PICO plans");
         let capacity = 1.0 / pico.predict(&efl).period;

@@ -4,7 +4,7 @@
 //! (blocks treated as special layers, Sec. IV-B).
 
 use pico_model::{zoo, Model};
-use pico_partition::{CostParams, PicoPlanner, Planner};
+use pico_partition::{CostParams, PicoPlanner, PlanRequest, Planner};
 
 use crate::{cluster, DEVICE_COUNTS, FREQS_GHZ};
 
@@ -45,7 +45,7 @@ pub fn run() -> Vec<SpeedupRow> {
 fn period_of(model: &Model, devices: usize, ghz: f64, params: &CostParams) -> f64 {
     let c = cluster(devices, ghz);
     let plan = PicoPlanner::new()
-        .plan_simple(model, &c, params)
+        .plan(&PlanRequest::new(model, &c, params))
         .expect("PICO plans");
     params.cost_model(model).evaluate(&plan, &c).period
 }

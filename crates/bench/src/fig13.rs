@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use pico_model::zoo;
-use pico_partition::{BfsOptimal, Cluster, CostParams, PicoPlanner, Planner};
+use pico_partition::{BfsOptimal, Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 use pico_sim::{Arrivals, DeviceStat, Simulation};
 
 /// One planner's outcome on the Fig. 13 setup.
@@ -38,7 +38,7 @@ pub fn run() -> Vec<Fig13Row> {
     ] {
         let t0 = std::time::Instant::now();
         let plan = planner
-            .plan_simple(&model, &cluster, &params)
+            .plan(&PlanRequest::new(&model, &cluster, &params))
             .expect("toy model plans");
         let plan_time = t0.elapsed();
         let metrics = cm.evaluate(&plan, &cluster);

@@ -9,7 +9,7 @@
 //! speedup gate.
 
 use pico_model::{zoo, ConvSpec, Layer, Model, PoolSpec, Region2, Rows, Shape};
-use pico_partition::{Cluster, CostParams};
+use pico_partition::{Cluster, CostParams, PlanRequest};
 use pico_tensor::{Engine, EngineBackend, Scratch, Tensor};
 
 use crate::harness::{bench, BenchConfig, BenchRecord};
@@ -130,7 +130,7 @@ pub fn planner(cfg: BenchConfig) -> BenchReport {
             let name = format!("plan_{model_name}/{scheme:?}");
             report.records.push(bench("planner", &name, cfg, 0.0, || {
                 planner
-                    .plan_simple(&model, &cluster, &params)
+                    .plan(&PlanRequest::new(&model, &cluster, &params))
                     .expect("paper planner plans its own benchmark");
             }));
         }

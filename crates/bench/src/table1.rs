@@ -4,7 +4,7 @@
 //! (2x1.2 GHz + 2x800 MHz + 4x600 MHz), under LW / EFL / OFL / PICO.
 
 use pico_model::{zoo, Model};
-use pico_partition::{Cluster, CostParams, Scheme};
+use pico_partition::{Cluster, CostParams, PlanRequest, Scheme};
 use pico_sim::{Arrivals, DeviceStat, Simulation};
 
 use crate::paper_planners;
@@ -33,7 +33,9 @@ pub fn run_for(model: &Model) -> Vec<Table1Row> {
     paper_planners()
         .into_iter()
         .filter_map(|(scheme, planner)| {
-            let plan = planner.plan_simple(model, &cluster, &params).ok()?;
+            let plan = planner
+                .plan(&PlanRequest::new(model, &cluster, &params))
+                .ok()?;
             let report = sim.run(&plan, &Arrivals::closed_loop(100));
             Some(Table1Row {
                 model: model.name().to_owned(),

@@ -7,7 +7,7 @@
 use std::time::{Duration, Instant};
 
 use pico_model::zoo;
-use pico_partition::{BfsOptimal, Cluster, CostParams, Device, PicoPlanner, Planner};
+use pico_partition::{BfsOptimal, Cluster, CostParams, Device, PicoPlanner, PlanRequest, Planner};
 
 /// The paper's (layers, devices) grid.
 pub const GRID: [(usize, usize); 8] = [
@@ -60,7 +60,7 @@ pub fn run_with_budget(budget: Duration) -> Vec<Table2Row> {
 
             let t0 = Instant::now();
             let _ = PicoPlanner::new()
-                .plan_simple(&model, &cluster, &params)
+                .plan(&PlanRequest::new(&model, &cluster, &params))
                 .expect("PICO plans");
             let pico = t0.elapsed();
 

@@ -34,6 +34,7 @@ use pico_partition::{
 use pico_runtime::{
     FailureSchedule, PipelineRuntime, RecoveryPolicy, RunReport, RuntimeError, Throttle,
 };
+use pico_serve::{ServeError, ServeHandle, ServeRequest};
 use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simulation};
 use pico_telemetry::Recorder;
 use pico_tensor::{Engine, Tensor};
@@ -310,7 +311,7 @@ impl Pico {
                 });
             };
             let plan = PicoPlanner
-                .plan_simple(&self.model, &cluster, &self.params)
+                .plan(&PlanRequest::new(&self.model, &cluster, &self.params))
                 .map_err(|e| RuntimeError::DeviceFailed {
                     device: *excluded.last().unwrap_or(&0),
                     task: 0,
@@ -386,6 +387,32 @@ impl Pico {
     /// with `steps` latency-limit samples.
     pub fn frontier(&self, steps: usize) -> Vec<pico_partition::pareto::FrontierPoint> {
         pico_partition::pareto::frontier(&self.model, &self.cluster, &self.params, steps)
+    }
+
+    /// Starts a live multi-tenant serving front-end on this deployment,
+    /// initially running the PICO pipeline plan. Tasks are submitted
+    /// through the returned [`ServeHandle`]; plans can be warm-swapped
+    /// (audit-gated, drain-first) while it runs.
+    ///
+    /// The deployment's recorder (see [`Pico::with_recorder`]) receives
+    /// the serving telemetry; a recorder set on `request` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a malformed request config,
+    /// [`ServeError::Planning`] when the initial plan cannot be built.
+    pub fn serve(&self, request: &ServeRequest) -> Result<ServeHandle, ServeError> {
+        let plan = self.plan().map_err(|e| ServeError::Planning {
+            detail: e.to_string(),
+        })?;
+        let request = request.clone().with_recorder(self.recorder.clone());
+        ServeHandle::spawn(
+            self.model.clone(),
+            self.cluster.clone(),
+            self.params,
+            plan,
+            &request,
+        )
     }
 
     /// Convenience: the exhaustive-optimal planner for toy models.

@@ -327,7 +327,9 @@ mod tests {
             let c = Cluster::new(c.devices()[..devices].to_vec());
             let cm = params.cost_model(&m);
             let bfs = BfsOptimal::new().search(&m, &c, &params).unwrap();
-            let pico = PicoPlanner.plan_simple(&m, &c, &params).unwrap();
+            let pico = PicoPlanner
+                .plan(&PlanRequest::new(&m, &c, &params))
+                .unwrap();
             let pico_period = cm.evaluate(&pico, &c).period;
             assert!(
                 bfs.period <= pico_period * 1.0001,

@@ -117,11 +117,19 @@ pub enum Code {
     /// PA307: the combined bounded-channel topology of a switch pair
     /// contains a wait-for cycle — a drain-then-switch can deadlock.
     ChannelDeadlock,
+    /// PA401: a serving configuration is malformed — zero-sized queue
+    /// or batch bounds, inverted batch range, or a non-positive batch
+    /// delay/smoothing factor.
+    ServeConfigInvalid,
+    /// PA402: a tenant's in-flight budget can never bind because the
+    /// queue bound plus the maximum batch already caps admitted-but-
+    /// incomplete tasks below it — dead configuration.
+    ServeBudgetShadowed,
 }
 
 impl Code {
     /// Every registered code, in registry order.
-    pub const ALL: [Code; 25] = [
+    pub const ALL: [Code; 27] = [
         Code::EmptyPlan,
         Code::NonContiguousStages,
         Code::IncompleteCoverage,
@@ -147,6 +155,8 @@ impl Code {
         Code::SwitchBoundaryIncompatible,
         Code::SwapMemoryOverlap,
         Code::ChannelDeadlock,
+        Code::ServeConfigInvalid,
+        Code::ServeBudgetShadowed,
     ];
 
     /// The stable identifier, e.g. `"PA001"`.
@@ -177,6 +187,8 @@ impl Code {
             Code::SwitchBoundaryIncompatible => "PA305",
             Code::SwapMemoryOverlap => "PA306",
             Code::ChannelDeadlock => "PA307",
+            Code::ServeConfigInvalid => "PA401",
+            Code::ServeBudgetShadowed => "PA402",
         }
     }
 
@@ -209,8 +221,9 @@ impl Code {
             | Code::QueueUnstable
             | Code::SwitchBoundaryIncompatible
             | Code::SwapMemoryOverlap
-            | Code::ChannelDeadlock => Severity::Error,
-            Code::NearSaturation => Severity::Warning,
+            | Code::ChannelDeadlock
+            | Code::ServeConfigInvalid => Severity::Error,
+            Code::NearSaturation | Code::ServeBudgetShadowed => Severity::Warning,
         }
     }
 
@@ -242,6 +255,8 @@ impl Code {
             Code::SwitchBoundaryIncompatible => "switch pair has no nested stage-boundary cuts",
             Code::SwapMemoryOverlap => "combined warm-swap footprint exceeds the swap budget",
             Code::ChannelDeadlock => "combined bounded-channel topology has a wait-for cycle",
+            Code::ServeConfigInvalid => "serving configuration is malformed",
+            Code::ServeBudgetShadowed => "tenant in-flight budget can never bind",
         }
     }
 
@@ -273,6 +288,10 @@ impl Code {
             Code::SwapMemoryOverlap => "stage the swap device-by-device or raise the swap budget",
             Code::ChannelDeadlock => "use unbounded channels or drain fully before switching",
             Code::NearSaturation => "leave headroom: plan for a shorter period or shed load",
+            Code::ServeConfigInvalid => "fix the listed policy fields before serving",
+            Code::ServeBudgetShadowed => {
+                "lower the budget below queue_capacity + max_batch or drop it"
+            }
         }
     }
 }

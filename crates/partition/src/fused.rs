@@ -217,7 +217,7 @@ impl Planner for OptimalFused {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CostParams, LayerWise};
+    use crate::{CostParams, LayerWise, PlanRequest};
     use pico_model::zoo;
 
     #[test]
@@ -225,7 +225,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = EarlyFused::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         assert_eq!(plan.stage_count(), 2);
         assert!(plan.stages[0].worker_count() == 8);
@@ -239,7 +239,7 @@ mod tests {
         let m = zoo::toy(8);
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = EarlyFused::with_fused_units(3)
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         assert_eq!(plan.stages[0].segment, Segment::new(0, 3));
         plan.validate(&m, &c).unwrap();
@@ -250,7 +250,7 @@ mod tests {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
         let plan = EarlyFused::with_fused_units(99)
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         assert_eq!(plan.stage_count(), 1);
         plan.validate(&m, &c).unwrap();
@@ -264,9 +264,22 @@ mod tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&m);
-        let ofl = cm.evaluate(&OptimalFused.plan_simple(&m, &c, &params).unwrap(), &c);
-        let efl = cm.evaluate(&EarlyFused::new().plan_simple(&m, &c, &params).unwrap(), &c);
-        let lw = cm.evaluate(&LayerWise.plan_simple(&m, &c, &params).unwrap(), &c);
+        let ofl = cm.evaluate(
+            &OptimalFused
+                .plan(&PlanRequest::new(&m, &c, &params))
+                .unwrap(),
+            &c,
+        );
+        let efl = cm.evaluate(
+            &EarlyFused::new()
+                .plan(&PlanRequest::new(&m, &c, &params))
+                .unwrap(),
+            &c,
+        );
+        let lw = cm.evaluate(
+            &LayerWise.plan(&PlanRequest::new(&m, &c, &params)).unwrap(),
+            &c,
+        );
         assert!(
             ofl.latency <= efl.latency * 1.0001,
             "{} vs {}",
@@ -281,7 +294,7 @@ mod tests {
         let m = zoo::toy(6);
         let c = Cluster::pi_cluster(1, 1.0);
         let plan = OptimalFused
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         plan.validate(&m, &c).unwrap();
         // A single device minimizes transfers by fusing everything into
@@ -295,7 +308,7 @@ mod tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps().with_t_lim(1e-9);
         assert!(matches!(
-            OptimalFused.plan_simple(&m, &c, &params),
+            OptimalFused.plan(&PlanRequest::new(&m, &c, &params)),
             Err(PlanError::LatencyInfeasible { .. })
         ));
     }
@@ -305,7 +318,7 @@ mod tests {
         let m = zoo::vgg16(); // includes FC layers
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = OptimalFused
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         plan.validate(&m, &c).unwrap();
     }
@@ -316,10 +329,10 @@ mod tests {
         let c = Cluster::pi_cluster(2, 1.0);
         for plan in [
             EarlyFused::new()
-                .plan_simple(&m, &c, &CostParams::default())
+                .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
                 .unwrap(),
             OptimalFused
-                .plan_simple(&m, &c, &CostParams::default())
+                .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
                 .unwrap(),
         ] {
             assert_eq!(plan.mode, ExecutionMode::Sequential);

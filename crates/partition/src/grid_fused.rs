@@ -136,7 +136,7 @@ impl Planner for GridFused {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Cluster, CostParams, EarlyFused};
+    use crate::{Cluster, CostParams, EarlyFused, PlanRequest};
     use pico_model::zoo;
 
     #[test]
@@ -144,7 +144,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = GridFused::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
         assert!(diags.is_empty(), "{diags:?}");
@@ -156,9 +156,11 @@ mod tests {
     fn grid_needs_enough_devices() {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
-        let err = GridFused::new()
-            .with_grid(2, 2)
-            .plan_simple(&m, &c, &CostParams::default());
+        let err = GridFused::new().with_grid(2, 2).plan(&PlanRequest::new(
+            &m,
+            &c,
+            &CostParams::default(),
+        ));
         assert!(matches!(err, Err(PlanError::UnsupportedModel { .. })));
     }
 
@@ -169,7 +171,7 @@ mod tests {
         let plan = GridFused::new()
             .with_grid(2, 3)
             .with_fused_units(6)
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         plan.validate(&m, &c).unwrap();
         assert_eq!(plan.stages[0].worker_count(), 6);
@@ -184,11 +186,13 @@ mod tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&m);
-        let efl = EarlyFused::new().plan_simple(&m, &c, &params).unwrap();
+        let efl = EarlyFused::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         let k = efl.stages[0].segment.end;
         let grid = GridFused::new()
             .with_fused_units(k)
-            .plan_simple(&m, &c, &params)
+            .plan(&PlanRequest::new(&m, &c, &params))
             .unwrap();
         let efl_comp = cm.stage_cost(&efl.stages[0], &c).comp;
         let grid_comp = cm.stage_cost(&grid.stages[0], &c).comp;
@@ -205,7 +209,7 @@ mod tests {
         let plan = GridFused::new()
             .with_grid(4, 1)
             .with_fused_units(4)
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         assert!(!plan.stages[0].is_grid());
         plan.validate(&m, &c).unwrap();
@@ -216,7 +220,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::paper_heterogeneous();
         let plan = GridFused::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         plan.validate(&m, &c).unwrap();
         let first = plan.stages[0].assignments[0].device;
@@ -227,7 +231,7 @@ mod tests {
 #[cfg(test)]
 mod block_grid_tests {
     use super::*;
-    use crate::{Cluster, CostParams, Planner};
+    use crate::{Cluster, CostParams, PlanRequest, Planner};
     use pico_model::zoo;
 
     #[test]
@@ -237,7 +241,9 @@ mod block_grid_tests {
         let m = zoo::resnet34().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = GridFused::new().plan_simple(&m, &c, &params).unwrap();
+        let plan = GridFused::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         plan.validate(&m, &c).unwrap();
         let metrics = params.cost_model(&m).evaluate(&plan, &c);
         assert!(metrics.period.is_finite() && metrics.period > 0.0);
@@ -252,12 +258,12 @@ mod block_grid_tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
         let efl = crate::EarlyFused::new()
-            .plan_simple(&m, &c, &params)
+            .plan(&PlanRequest::new(&m, &c, &params))
             .unwrap();
         let k = efl.stages[0].segment.end;
         let grid = GridFused::new()
             .with_fused_units(k)
-            .plan_simple(&m, &c, &params)
+            .plan(&PlanRequest::new(&m, &c, &params))
             .unwrap();
         let fused_max = |p: &crate::Plan| {
             let stage = &p.stages[0];
@@ -285,12 +291,12 @@ mod block_grid_tests {
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
         let efl = crate::EarlyFused::new()
-            .plan_simple(&m, &c, &params)
+            .plan(&PlanRequest::new(&m, &c, &params))
             .unwrap();
         let k = efl.stages[0].segment.end;
         let grid = GridFused::new()
             .with_fused_units(k)
-            .plan_simple(&m, &c, &params)
+            .plan(&PlanRequest::new(&m, &c, &params))
             .unwrap();
         let ratio = |p: &crate::Plan| {
             let work = crate::redundancy::stage_work(&m, &p.stages[0]);

@@ -61,7 +61,7 @@ impl Planner for LayerWise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Cluster, CostParams};
+    use crate::{Cluster, CostParams, PlanRequest};
     use pico_model::zoo;
 
     #[test]
@@ -69,7 +69,7 @@ mod tests {
         let m = zoo::toy(6);
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = LayerWise
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         assert_eq!(plan.stage_count(), 6);
         let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
@@ -81,7 +81,7 @@ mod tests {
         let m = zoo::toy(1);
         let c = Cluster::paper_heterogeneous();
         let plan = LayerWise
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let st = &plan.stages[0];
         // 1.2 GHz devices get ~2x the rows of 600 MHz devices.
@@ -96,7 +96,7 @@ mod tests {
         let m = zoo::vgg16();
         let c = Cluster::paper_heterogeneous();
         let plan = LayerWise
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let last = plan.stages.last().unwrap();
         assert_eq!(last.worker_count(), 1);
@@ -109,7 +109,7 @@ mod tests {
         let m = zoo::toy(3);
         let c = Cluster::pi_cluster(2, 1.0);
         let plan = LayerWise
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         assert_eq!(plan.mode, ExecutionMode::Sequential);
         assert_eq!(plan.scheme, Scheme::LayerWise);
@@ -120,7 +120,7 @@ mod tests {
         let m = zoo::resnet34().features();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = LayerWise
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         plan.validate(&m, &c).unwrap();
     }

@@ -21,12 +21,12 @@
 //!
 //! ```
 //! use pico_model::zoo;
-//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 //!
 //! let model = zoo::vgg16().features();
 //! let cluster = Cluster::pi_cluster(8, 1.0); // 8 Raspberry Pis @ 1 GHz
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::default().plan_simple(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::default().plan(&PlanRequest::new(&model, &cluster, &params))?;
 //! let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
 //! assert!(metrics.period <= metrics.latency);
 //! # Ok::<(), pico_partition::PlanError>(())

@@ -45,11 +45,11 @@ impl DeviceMemory {
 /// ```
 /// use pico_model::zoo;
 /// use pico_partition::memory::{plan_memory, single_device_memory};
-/// use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+/// use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 ///
 /// let model = zoo::vgg16().features();
 /// let cluster = Cluster::pi_cluster(8, 1.0);
-/// let plan = PicoPlanner::new().plan_simple(&model, &cluster, &CostParams::default())?;
+/// let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &CostParams::default()))?;
 /// let worst = plan_memory(&model, &plan)
 ///     .iter()
 ///     .map(|d| d.total_bytes())
@@ -134,7 +134,7 @@ pub fn single_device_memory(model: &Model) -> DeviceMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Cluster, CostParams, EarlyFused, LayerWise, PicoPlanner, Planner};
+    use crate::{Cluster, CostParams, EarlyFused, LayerWise, PicoPlanner, PlanRequest, Planner};
     use pico_model::zoo;
 
     #[test]
@@ -153,7 +153,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let mem = plan_memory(&m, &plan);
         let max_dev = mem.iter().map(|d| d.weights_bytes).max().unwrap();
@@ -166,7 +166,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let base = single_device_memory(&m).peak_activation_bytes;
         for d in plan_memory(&m, &plan) {
@@ -186,7 +186,7 @@ mod tests {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(2, 1.0);
         let plan = LayerWise
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         for d in plan_memory(&m, &plan) {
             assert_eq!(d.weights_bytes, m.parameters() * 4);
@@ -198,7 +198,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = EarlyFused::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let mem = plan_memory(&m, &plan);
         let tail_device = plan.stages[1].assignments[0].device;
@@ -213,7 +213,7 @@ mod tests {
         let m = zoo::toy(2);
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let mem = plan_memory(&m, &plan);
         assert_eq!(mem.len(), plan.used_devices().len());
@@ -224,7 +224,7 @@ mod tests {
         let m = zoo::resnet34().features();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         for d in plan_memory(&m, &plan) {
             assert!(d.peak_activation_bytes > 0);

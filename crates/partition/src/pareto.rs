@@ -9,7 +9,7 @@
 use pico_model::Model;
 use serde::{Deserialize, Serialize};
 
-use crate::{Cluster, CostParams, PicoPlanner, Plan, Planner};
+use crate::{Cluster, CostParams, PicoPlanner, Plan, PlanRequest, Planner};
 
 /// One achievable operating point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,7 +36,7 @@ pub struct FrontierPoint {
 /// ```
 /// use pico_model::zoo;
 /// use pico_partition::pareto::frontier;
-/// use pico_partition::{Cluster, CostParams};
+/// use pico_partition::{Cluster, CostParams, PlanRequest};
 ///
 /// let model = zoo::vgg16().features();
 /// let cluster = Cluster::pi_cluster(8, 1.0);
@@ -69,7 +69,7 @@ pub fn frontier(
     let planner = PicoPlanner::new();
 
     let unconstrained = planner
-        .plan_simple(model, cluster, &base_params)
+        .plan(&PlanRequest::new(model, cluster, &base_params))
         .expect("unconstrained planning always succeeds");
     let top = cm.evaluate(&unconstrained, cluster);
 
@@ -88,7 +88,7 @@ pub fn frontier(
             continue;
         }
         let constrained = base_params.with_t_lim(t_lim);
-        if let Ok(plan) = planner.plan_simple(model, cluster, &constrained) {
+        if let Ok(plan) = planner.plan(&PlanRequest::new(model, cluster, &constrained)) {
             let m = cm.evaluate(&plan, cluster);
             points.push(FrontierPoint {
                 t_lim: Some(t_lim),

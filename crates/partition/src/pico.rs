@@ -28,11 +28,11 @@ use crate::{
 ///
 /// ```
 /// use pico_model::zoo;
-/// use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+/// use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 ///
 /// let model = zoo::mnist_toy();
 /// let cluster = Cluster::paper_heterogeneous_6();
-/// let plan = PicoPlanner::new().plan_simple(&model, &cluster, &CostParams::wifi_50mbps())?;
+/// let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &CostParams::wifi_50mbps()))?;
 /// plan.validate(&model, &cluster)?;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -212,7 +212,7 @@ fn homogeneous_dp(
 ///
 /// ```
 /// use pico_model::{zoo, Rows};
-/// use pico_partition::{balance_rows, Device};
+/// use pico_partition::{Device, PlanRequest, balance_rows};
 ///
 /// let model = zoo::toy(4);
 /// let fast = Device::from_frequency(0, 1.2);
@@ -355,11 +355,13 @@ impl Planner for PicoPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CostParams, EarlyFused, OptimalFused};
+    use crate::{CostParams, EarlyFused, OptimalFused, PlanRequest};
     use pico_model::zoo;
 
     fn plan_for(model: &Model, cluster: &Cluster, params: &CostParams) -> Plan {
-        let plan = PicoPlanner.plan_simple(model, cluster, params).unwrap();
+        let plan = PicoPlanner
+            .plan(&PlanRequest::new(model, cluster, params))
+            .unwrap();
         let diags = crate::diag::structural_diagnostics(&plan, model, cluster);
         assert!(diags.is_empty(), "{diags:?}");
         plan
@@ -382,8 +384,18 @@ mod tests {
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&m);
         let pico = cm.evaluate(&plan_for(&m, &c, &params), &c);
-        let efl = cm.evaluate(&EarlyFused::new().plan_simple(&m, &c, &params).unwrap(), &c);
-        let ofl = cm.evaluate(&OptimalFused.plan_simple(&m, &c, &params).unwrap(), &c);
+        let efl = cm.evaluate(
+            &EarlyFused::new()
+                .plan(&PlanRequest::new(&m, &c, &params))
+                .unwrap(),
+            &c,
+        );
+        let ofl = cm.evaluate(
+            &OptimalFused
+                .plan(&PlanRequest::new(&m, &c, &params))
+                .unwrap(),
+            &c,
+        );
         assert!(
             pico.period < efl.period,
             "pico {} efl {}",
@@ -461,13 +473,13 @@ mod tests {
 
         // A generous limit must be met.
         let loose = unconstrained.with_t_lim(base.latency * 2.0);
-        let plan = PicoPlanner.plan_simple(&m, &c, &loose).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &loose)).unwrap();
         assert!(cm.evaluate(&plan, &c).latency <= base.latency * 2.0);
 
         // An impossible limit errors out.
         let tight = unconstrained.with_t_lim(1e-9);
         assert!(matches!(
-            PicoPlanner.plan_simple(&m, &c, &tight),
+            PicoPlanner.plan(&PlanRequest::new(&m, &c, &tight)),
             Err(PlanError::LatencyInfeasible { .. })
         ));
     }

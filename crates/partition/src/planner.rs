@@ -1,6 +1,4 @@
-use pico_model::Model;
-
-use crate::{Cluster, CostParams, Plan, PlanError, PlanRequest};
+use crate::{Plan, PlanError, PlanRequest};
 
 /// A parallelization strategy: turns a [`PlanRequest`] (model, cluster,
 /// environment, extras) into an executable [`Plan`].
@@ -24,18 +22,6 @@ pub trait Planner {
     /// [`PlanError::MemoryBudgetExceeded`] when the request caps
     /// per-device memory below what the plan needs.
     fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError>;
-
-    /// Convenience for the common case: plans from the three mandatory
-    /// inputs with no extras. Equivalent to
-    /// `self.plan(&PlanRequest::new(model, cluster, params))`.
-    fn plan_simple(
-        &self,
-        model: &Model,
-        cluster: &Cluster,
-        params: &CostParams,
-    ) -> Result<Plan, PlanError> {
-        self.plan(&PlanRequest::new(model, cluster, params))
-    }
 }
 
 impl<T: Planner + ?Sized> Planner for &T {

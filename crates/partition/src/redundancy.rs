@@ -188,7 +188,7 @@ pub fn fused_layer_flops(model: &Model, fused_units: usize, devices: usize) -> F
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Assignment, Cluster, CostParams, ExecutionMode, Planner, Scheme};
+    use crate::{Assignment, Cluster, CostParams, ExecutionMode, PlanRequest, Planner, Scheme};
     use pico_model::zoo;
 
     #[test]
@@ -301,9 +301,11 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let params = CostParams::wifi_50mbps();
-        let lw = crate::LayerWise.plan_simple(&m, &c, &params).unwrap();
+        let lw = crate::LayerWise
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         let efl = crate::EarlyFused::new()
-            .plan_simple(&m, &c, &params)
+            .plan(&PlanRequest::new(&m, &c, &params))
             .unwrap();
         let lw_ratio = redundancy_ratio(&plan_work(&m, &lw));
         let efl_ratio = redundancy_ratio(&plan_work(&m, &efl));

@@ -207,7 +207,7 @@ fn layer_scratch(kind: &LayerKind, out_region: Region2) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Cluster, CostParams, OptimalFused, PicoPlanner, Planner};
+    use crate::{Cluster, CostParams, OptimalFused, PicoPlanner, PlanRequest, Planner};
     use pico_model::zoo;
 
     #[test]
@@ -215,7 +215,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let regions = stage_regions(&m, &plan);
         assert_eq!(regions.len(), plan.stage_count());
@@ -237,7 +237,7 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let est = memory::plan_memory(&m, &plan);
         let cert = certified_plan_memory(&m, &plan);
@@ -255,8 +255,12 @@ mod tests {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(4, 1.0);
         let params = CostParams::default();
-        let pico = PicoPlanner::new().plan_simple(&m, &c, &params).unwrap();
-        let ofl = OptimalFused::new().plan_simple(&m, &c, &params).unwrap();
+        let pico = PicoPlanner::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
+        let ofl = OptimalFused::new()
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         assert!(interior_cuts(&ofl).is_empty());
         if pico.stage_count() > 1 {
             assert_eq!(interior_cuts(&pico).len(), pico.stage_count() - 1);

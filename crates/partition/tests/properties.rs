@@ -5,7 +5,7 @@
 use pico_model::{zoo, ConvSpec, Layer, Model, PoolSpec, Shape};
 use pico_partition::{
     structural_diagnostics, BfsOptimal, Cluster, CostParams, Device, EarlyFused, LayerWise,
-    OptimalFused, PicoPlanner, Planner,
+    OptimalFused, PicoPlanner, PlanRequest, Planner,
 };
 use proptest::prelude::*;
 
@@ -78,7 +78,7 @@ proptest! {
         let params = CostParams::new(mbps * 1e6);
         let cm = params.cost_model(&model);
         for planner in planners() {
-            let plan = planner.plan_simple(&model, &cluster, &params).expect("planner succeeds");
+            let plan = planner.plan(&PlanRequest::new(&model, &cluster, &params)).expect("planner succeeds");
             // Stricter than `validate`: the complete structural scan
             // must come back empty, and its emptiness must agree with
             // the validate wrapper built on top of it.
@@ -100,7 +100,7 @@ proptest! {
     ) {
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&model);
-        let plan = PicoPlanner::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         let metrics = cm.evaluate(&plan, &cluster);
         // Single stage over the averaged cluster with every device.
         // The DP optimizes on the averaged cluster, then Algorithm 2
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn cost_model_scales_linearly(model in arb_model(), cluster in arb_cluster()) {
         let params = CostParams::new(50e6);
-        let plan = PicoPlanner::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         let m1 = params.cost_model(&model).evaluate(&plan, &cluster);
         let fast: Cluster = cluster
             .devices()
@@ -141,7 +141,7 @@ proptest! {
     fn redundancy_accounting_is_exact(model in arb_model(), cluster in arb_cluster()) {
         use pico_partition::redundancy::stage_work;
         let params = CostParams::wifi_50mbps();
-        let plan = PicoPlanner::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         for stage in &plan.stages {
             let work = stage_work(&model, stage);
             let computed: f64 = work.iter().map(|w| w.total_flops).sum();
@@ -184,7 +184,7 @@ proptest! {
         let params = CostParams::wifi_50mbps();
         let cm = params.cost_model(&model);
         let bfs = BfsOptimal::new().search(&model, &cluster, &params).expect("searches");
-        let pico = PicoPlanner::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let pico = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         let pico_period = cm.evaluate(&pico, &cluster).period;
         prop_assert!(bfs.period <= pico_period * 1.0001,
             "bfs {} pico {pico_period}", bfs.period);

@@ -10,7 +10,7 @@ use crate::{PipelineRuntime, Throttle};
 /// old positional `with_*` chain.
 ///
 /// ```
-/// use pico_partition::{CostParams, Cluster, PicoPlanner, Planner};
+/// use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 /// use pico_runtime::PipelineRuntime;
 /// use pico_telemetry::Recorder;
 /// use pico_tensor::Engine;
@@ -18,7 +18,7 @@ use crate::{PipelineRuntime, Throttle};
 /// let model = pico_model::zoo::mnist_toy();
 /// let cluster = Cluster::pi_cluster(4, 1.0);
 /// let plan = PicoPlanner
-///     .plan_simple(&model, &cluster, &CostParams::wifi_50mbps())
+///     .plan(&PlanRequest::new(&model, &cluster, &CostParams::wifi_50mbps()))
 ///     .unwrap();
 /// let engine = Engine::with_seed(&model, 7);
 /// let runtime = PipelineRuntime::builder(&model, &plan, &engine)
@@ -69,8 +69,10 @@ impl<'a> RuntimeBuilder<'a> {
     }
 
     /// Bounds every inter-stage queue to `capacity` in-flight tasks
-    /// (backpressure). The default is unbounded, matching the paper's
-    /// infinite-queue assumption.
+    /// (backpressure). The default is
+    /// [`DEFAULT_CHANNEL_CAPACITY`](crate::DEFAULT_CHANNEL_CAPACITY) —
+    /// deep enough to approximate the paper's infinite-queue
+    /// assumption, while keeping every queue bounded.
     ///
     /// # Panics
     ///
@@ -138,14 +140,14 @@ impl<'a> RuntimeBuilder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+    use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 
     #[test]
     fn builder_defaults_are_noop() {
         let m = pico_model::zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner
-            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::wifi_50mbps()))
             .unwrap();
         let engine = Engine::with_seed(&m, 1);
         let rt = PipelineRuntime::builder(&m, &plan, &engine).build();
@@ -161,7 +163,7 @@ mod tests {
         let m = pico_model::zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner
-            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::wifi_50mbps()))
             .unwrap();
         let engine = Engine::with_seed(&m, 1);
         let rt = PipelineRuntime::builder(&m, &plan, &engine)
@@ -180,7 +182,7 @@ mod tests {
         let m = pico_model::zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner
-            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::wifi_50mbps()))
             .unwrap();
         let engine = Engine::with_seed(&m, 1);
         let _ = PipelineRuntime::builder(&m, &plan, &engine).channel_capacity(0);

@@ -39,14 +39,14 @@
 //!
 //! ```
 //! use pico_model::zoo;
-//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 //! use pico_runtime::PipelineRuntime;
 //! use pico_tensor::{Engine, Tensor};
 //!
 //! let model = zoo::mnist_toy();
 //! let cluster = Cluster::pi_cluster(4, 1.0);
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::default().plan_simple(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::default().plan(&PlanRequest::new(&model, &cluster, &params))?;
 //!
 //! let engine = Engine::with_seed(&model, 1);
 //! let runtime = PipelineRuntime::new(&model, &plan, &engine);
@@ -69,6 +69,8 @@ pub mod topology;
 pub use builder::RuntimeBuilder;
 pub use error::RuntimeError;
 pub use fault::{FailureRecord, FailureSchedule, InjectedFailure, RecoveryPolicy};
-pub use runtime::{PipelineRuntime, RunReport, StageStat, TaskTiming};
+pub use runtime::{
+    ExecutionSession, PipelineRuntime, RunReport, StageStat, TaskTiming, DEFAULT_CHANNEL_CAPACITY,
+};
 pub use throttle::Throttle;
 pub use topology::{channel_topology, ChannelEdge, ChannelKind, ChannelTopology};

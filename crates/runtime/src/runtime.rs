@@ -1,6 +1,6 @@
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 #[cfg(test)]
 use pico_model::Rows;
 use pico_model::{Model, Region2, Segment};
@@ -74,14 +74,13 @@ impl RunReport {
             .map(|s| s.stage)
     }
 
-    /// Completed tasks per wall-clock second.
-    pub fn throughput(&self) -> f64 {
+    /// Completed tasks per wall-clock second, or `None` when the wall
+    /// duration is zero (trivially small streams on coarse clocks): a
+    /// rate over a zero-length window is undefined, and returning a
+    /// sentinel `0.0` invites division at call sites.
+    pub fn throughput(&self) -> Option<f64> {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.timings.len() as f64 / secs
-        } else {
-            0.0
-        }
+        (secs > 0.0).then(|| self.timings.len() as f64 / secs)
     }
 
     /// Mean busy seconds per task of the bottleneck stage — the
@@ -95,6 +94,15 @@ impl RunReport {
             .max_by(f64::total_cmp)
     }
 }
+
+/// Inter-stage queue depth used when
+/// [`RuntimeBuilder::channel_capacity`](crate::RuntimeBuilder::channel_capacity)
+/// is not set. Every queue in the runtime is bounded (an unbounded
+/// queue under a sustained overload is an out-of-memory kill deferred,
+/// not avoided — and `cargo xtask lint` rule 8 bans unbounded channels
+/// here); this default is deep enough that well-provisioned streams
+/// never feel the bound.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 64;
 
 /// A message flowing between stages: a task's feature map, or the error
 /// that killed it.
@@ -398,10 +406,20 @@ impl StageCoordinator {
 
     /// The serving loop: processes tasks from `rx_in` until the channel
     /// drains (or the stage is lost), forwarding stitched outputs — and
-    /// errors — to `tx_out`.
-    fn serve(mut self, rx_in: Receiver<StageMsg>, tx_out: Sender<StageMsg>) -> CoordOutcome {
-        let mut tasks_done = 0usize;
-        let mut busy_secs = 0.0f64;
+    /// errors — to `tx_out`. `seed_tasks`/`seed_busy` carry the running
+    /// totals across re-plan attempts; they must seed the accumulators
+    /// *before* serving so the additions happen in span begin order —
+    /// the exact order `TraceSummary::stage_busy` sums in — keeping the
+    /// reconciliation bit-exact (float addition is not associative).
+    fn serve(
+        mut self,
+        rx_in: Receiver<StageMsg>,
+        tx_out: Sender<StageMsg>,
+        seed_tasks: usize,
+        seed_busy: f64,
+    ) -> CoordOutcome {
+        let mut tasks_done = seed_tasks;
+        let mut busy_secs = seed_busy;
         while let Ok(msg) = rx_in.recv() {
             let (task, fmap) = match msg {
                 Ok(pair) => pair,
@@ -503,7 +521,7 @@ pub struct PipelineRuntime<'a> {
 
 impl<'a> PipelineRuntime<'a> {
     /// Creates a runtime for a plan with default extras (no throttle,
-    /// no telemetry, unbounded queues). Use
+    /// no telemetry, default-bounded queues). Use
     /// [`builder`](PipelineRuntime::builder) to configure those.
     ///
     /// # Panics
@@ -532,21 +550,6 @@ impl<'a> PipelineRuntime<'a> {
             cursor = stage.segment.end;
         }
         assert_eq!(cursor, model.len(), "plan must cover the whole model");
-    }
-
-    /// Adds cost-model-proportional compute/transfer throttling.
-    #[deprecated(note = "use PipelineRuntime::builder(..).throttle(..)")]
-    pub fn with_throttle(mut self, throttle: Throttle) -> Self {
-        self.throttle = Some(throttle);
-        self
-    }
-
-    /// Marks a device as failed: its worker errors instead of computing
-    /// (failure-injection for tests and chaos experiments).
-    #[deprecated(note = "use PipelineRuntime::builder(..).failed_device(..)")]
-    pub fn with_failed_device(mut self, device: usize) -> Self {
-        self.schedule = self.schedule.clone().fail(device, 0);
-        self
     }
 
     /// Precomputes every stage's worker shares for `plan`.
@@ -739,145 +742,20 @@ impl<'a> PipelineRuntime<'a> {
         let specs = self.worker_specs(plan);
         let comm = self.stage_comm(plan, &specs);
         let stage_count = plan.stages.len();
-        let rec = &self.recorder;
         // One flag checked per task; the disabled path must not read
         // clocks, allocate, or lock for telemetry.
-        let enabled = rec.is_enabled();
+        let enabled = self.recorder.is_enabled();
+        let rec = &self.recorder;
         let total = inputs.len();
 
         std::thread::scope(|scope| {
-            // Inter-stage queues: entry i feeds stage i; the last feeds
-            // the collector. Unbounded by default (the paper's infinite
-            // queue assumption); `channel_capacity` bounds them for
-            // backpressure experiments.
-            let make_queue = || match self.channel_capacity {
-                Some(cap) => bounded::<StageMsg>(cap),
-                None => unbounded::<StageMsg>(),
-            };
-            let mut senders: Vec<Sender<StageMsg>> = Vec::with_capacity(stage_count + 1);
-            let mut receivers: Vec<Receiver<StageMsg>> = Vec::with_capacity(stage_count + 1);
-            for _ in 0..=stage_count {
-                let (tx, rx) = make_queue();
-                senders.push(tx);
-                receivers.push(rx);
-            }
-
-            // Coordinators hand their stats back through join handles —
-            // no shared mutex on the serving path.
-            let mut coord_handles = Vec::with_capacity(stage_count);
-
-            for (s, workers) in specs.iter().enumerate() {
-                // Scatter/gather channels, sized to the worker count so
-                // one survivor can hold every rerouted shard of a task
-                // without blocking the coordinator.
-                let cap = workers.len().max(1);
-                let mut work_tx: Vec<Sender<WorkUnit>> = Vec::new();
-                let mut done_rx: Vec<Receiver<DoneMsg>> = Vec::new();
-                for spec in workers.iter() {
-                    let (wtx, wrx) = bounded::<WorkUnit>(cap);
-                    let (dtx, drx) = bounded::<DoneMsg>(cap);
-                    work_tx.push(wtx);
-                    done_rx.push(drx);
-                    let device = spec.device;
-                    let stage_specs: Vec<WorkerSpec> = workers.clone();
-                    let engine = self.engine;
-                    let throttle = self.throttle.clone();
-                    let schedule = self.schedule.clone();
-                    let rec = rec.clone();
-                    scope.spawn(move || {
-                        // One scratch pool per worker thread: the fast
-                        // backend reuses its im2col and output buffers
-                        // across the whole task stream.
-                        let mut scratch = Scratch::new();
-                        while let Ok(WorkUnit { task, shard, tile }) = wrx.recv() {
-                            let spec = &stage_specs[shard];
-                            let t0 = pico_telemetry::clock::wall_now();
-                            let begin_ts = if enabled {
-                                start.elapsed().as_secs_f64()
-                            } else {
-                                0.0
-                            };
-                            let result = match schedule.injected(device, task) {
-                                Some(fault) => {
-                                    if let Some(stall) = fault.stall {
-                                        std::thread::sleep(stall);
-                                    }
-                                    Err(RuntimeError::DeviceFailed {
-                                        device,
-                                        task,
-                                        cause: "injected failure".to_owned(),
-                                    })
-                                }
-                                None => engine
-                                    .infer_region2_with(
-                                        &mut scratch,
-                                        spec.seg,
-                                        spec.out_region,
-                                        &tile,
-                                    )
-                                    .map_err(RuntimeError::from),
-                            };
-                            // The input tile's buffer feeds the next
-                            // task's intermediates.
-                            scratch.give(tile.into_vec());
-                            if let Some(th) = &throttle {
-                                let target = th.compute_duration(device, spec.flops)
-                                    + th.transfer_duration(spec.comm_bytes);
-                                let spent = t0.elapsed();
-                                if target > spent {
-                                    std::thread::sleep(target - spent);
-                                }
-                            }
-                            if enabled {
-                                rec.span_at(
-                                    names::COMPUTE,
-                                    Ctx::stage(s).on_device(device).for_task(task),
-                                    begin_ts,
-                                    start.elapsed().as_secs_f64(),
-                                    spec.flops,
-                                    spec.comm_bytes as u64,
-                                );
-                            }
-                            if dtx.send((task, shard, result)).is_err() {
-                                break;
-                            }
-                        }
-                    });
-                }
-
-                let prior = prior_stats.iter().find(|st| st.stage == s);
-                let seed_tasks = prior.map_or(0, |st| st.tasks);
-                let seed_busy = prior.map_or(0.0, |st| st.busy_secs);
-                let coordinator = StageCoordinator {
-                    stage: s,
-                    work_tx,
-                    done_rx,
-                    in_regions: workers.iter().map(|w| w.in_region).collect(),
-                    devices: workers.iter().map(|w| w.device).collect(),
-                    comm: comm[s],
-                    rec: rec.clone(),
-                    enabled,
-                    start,
-                    knobs,
-                    dead: vec![false; workers.len()],
-                    failures: Vec::new(),
-                };
-                let rx_in = receivers[s].clone();
-                let tx_out = senders[s + 1].clone();
-                coord_handles.push(scope.spawn(move || {
-                    let mut outcome = coordinator.serve(rx_in, tx_out);
-                    outcome.stat.tasks += seed_tasks;
-                    outcome.stat.busy_secs += seed_busy;
-                    outcome
-                }));
-            }
+            let (feeder, sink, coord_handles) =
+                self.spawn_stages(scope, &specs, &comm, start, knobs, prior_stats);
 
             // Feed all inputs into stage 0 and drop our sender so the
             // pipeline drains when done. Inputs are cloned on the way
             // in: the originals stay with the supervisor, which may
             // need to replay the uncompleted tail after a re-plan.
-            let feeder = senders[0].clone();
-            drop(senders);
             scope.spawn(move || {
                 for (i, input) in inputs.iter().enumerate() {
                     if feeder.send(Ok((base + i, input.clone()))).is_err() {
@@ -887,8 +765,6 @@ impl<'a> PipelineRuntime<'a> {
             });
 
             // Collect outputs in task order (FIFO stages preserve order).
-            let sink = receivers[stage_count].clone();
-            drop(receivers);
             let mut outputs = Vec::with_capacity(total);
             let mut timings = Vec::with_capacity(total);
             let mut lost: Option<(usize, usize)> = None;
@@ -948,6 +824,329 @@ impl<'a> PipelineRuntime<'a> {
             })
         })
     }
+
+    /// Spawns every stage's workers and coordinator onto `scope`, wired
+    /// with bounded inter-stage queues. Returns the stage-0 feeder, the
+    /// final-stage sink, and the coordinator join handles; all other
+    /// channel endpoints are dropped here so the pipeline drains (and
+    /// the coordinators exit) as soon as both returned endpoints go.
+    fn spawn_stages<'env, 'scope>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        specs: &[Vec<WorkerSpec>],
+        comm: &[StageComm],
+        start: Instant,
+        knobs: Option<RetryKnobs>,
+        prior_stats: &[StageStat],
+    ) -> (
+        Sender<StageMsg>,
+        Receiver<StageMsg>,
+        Vec<std::thread::ScopedJoinHandle<'scope, CoordOutcome>>,
+    ) {
+        let stage_count = specs.len();
+        let rec = &self.recorder;
+        let enabled = rec.is_enabled();
+        // Inter-stage queues: entry i feeds stage i; the last feeds the
+        // collector. Always bounded: the default depth approximates the
+        // paper's infinite-queue assumption for well-provisioned
+        // streams, while `channel_capacity` tightens it for
+        // backpressure experiments.
+        let cap = self.channel_capacity.unwrap_or(DEFAULT_CHANNEL_CAPACITY);
+        let mut senders: Vec<Sender<StageMsg>> = Vec::with_capacity(stage_count + 1);
+        let mut receivers: Vec<Receiver<StageMsg>> = Vec::with_capacity(stage_count + 1);
+        for _ in 0..=stage_count {
+            let (tx, rx) = bounded::<StageMsg>(cap);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        // Coordinators hand their stats back through join handles —
+        // no shared mutex on the serving path.
+        let mut coord_handles = Vec::with_capacity(stage_count);
+
+        for (s, workers) in specs.iter().enumerate() {
+            // Scatter/gather channels, sized to the worker count so
+            // one survivor can hold every rerouted shard of a task
+            // without blocking the coordinator.
+            let cap = workers.len().max(1);
+            let mut work_tx: Vec<Sender<WorkUnit>> = Vec::new();
+            let mut done_rx: Vec<Receiver<DoneMsg>> = Vec::new();
+            for spec in workers.iter() {
+                let (wtx, wrx) = bounded::<WorkUnit>(cap);
+                let (dtx, drx) = bounded::<DoneMsg>(cap);
+                work_tx.push(wtx);
+                done_rx.push(drx);
+                let device = spec.device;
+                let stage_specs: Vec<WorkerSpec> = workers.clone();
+                let engine = self.engine;
+                let throttle = self.throttle.clone();
+                let schedule = self.schedule.clone();
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    // One scratch pool per worker thread: the fast
+                    // backend reuses its im2col and output buffers
+                    // across the whole task stream.
+                    let mut scratch = Scratch::new();
+                    while let Ok(WorkUnit { task, shard, tile }) = wrx.recv() {
+                        let spec = &stage_specs[shard];
+                        let t0 = pico_telemetry::clock::wall_now();
+                        let begin_ts = if enabled {
+                            start.elapsed().as_secs_f64()
+                        } else {
+                            0.0
+                        };
+                        let result = match schedule.injected(device, task) {
+                            Some(fault) => {
+                                if let Some(stall) = fault.stall {
+                                    std::thread::sleep(stall);
+                                }
+                                Err(RuntimeError::DeviceFailed {
+                                    device,
+                                    task,
+                                    cause: "injected failure".to_owned(),
+                                })
+                            }
+                            None => engine
+                                .infer_region2_with(&mut scratch, spec.seg, spec.out_region, &tile)
+                                .map_err(RuntimeError::from),
+                        };
+                        // The input tile's buffer feeds the next
+                        // task's intermediates.
+                        scratch.give(tile.into_vec());
+                        if let Some(th) = &throttle {
+                            let target = th.compute_duration(device, spec.flops)
+                                + th.transfer_duration(spec.comm_bytes);
+                            let spent = t0.elapsed();
+                            if target > spent {
+                                std::thread::sleep(target - spent);
+                            }
+                        }
+                        if enabled {
+                            rec.span_at(
+                                names::COMPUTE,
+                                Ctx::stage(s).on_device(device).for_task(task),
+                                begin_ts,
+                                start.elapsed().as_secs_f64(),
+                                spec.flops,
+                                spec.comm_bytes as u64,
+                            );
+                        }
+                        if dtx.send((task, shard, result)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            let prior = prior_stats.iter().find(|st| st.stage == s);
+            let seed_tasks = prior.map_or(0, |st| st.tasks);
+            let seed_busy = prior.map_or(0.0, |st| st.busy_secs);
+            let coordinator = StageCoordinator {
+                stage: s,
+                work_tx,
+                done_rx,
+                in_regions: workers.iter().map(|w| w.in_region).collect(),
+                devices: workers.iter().map(|w| w.device).collect(),
+                comm: comm[s],
+                rec: rec.clone(),
+                enabled,
+                start,
+                knobs,
+                dead: vec![false; workers.len()],
+                failures: Vec::new(),
+            };
+            let rx_in = receivers[s].clone();
+            let tx_out = senders[s + 1].clone();
+            coord_handles
+                .push(scope.spawn(move || coordinator.serve(rx_in, tx_out, seed_tasks, seed_busy)));
+        }
+
+        let feeder = senders[0].clone();
+        let sink = receivers[stage_count].clone();
+        drop(senders);
+        drop(receivers);
+        (feeder, sink, coord_handles)
+    }
+
+    /// Opens a submittable execution session over this runtime's plan:
+    /// the stage pipeline is spawned once and stays warm while `f`
+    /// pushes any number of [`ExecutionSession::submit`] batches
+    /// through it — the serving-layer alternative to the one-shot
+    /// [`run`](Self::run), which needs the whole stream up front.
+    ///
+    /// When `f` returns, the pipeline drains (every submitted task has
+    /// already been handed back by `submit`, so nothing is in flight)
+    /// and the session's [`RunReport`] carries the per-task timings and
+    /// per-stage accounting. `RunReport::outputs` is empty for session
+    /// reports: outputs were returned batch-by-batch to the caller.
+    ///
+    /// Sessions run without a recovery policy — a failed device
+    /// surfaces as an error from `submit` (failure injection via
+    /// [`RuntimeBuilder::failure_schedule`](crate::RuntimeBuilder::failure_schedule)
+    /// is honoured); degraded re-planning across submissions is the
+    /// serving layer's job, which can drain one session and open the
+    /// next under a new plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError`] returned by `f`, or a
+    /// [`RuntimeError::ChannelClosed`] if a stage coordinator
+    /// panicked.
+    pub fn session<R>(
+        &self,
+        f: impl FnOnce(&mut ExecutionSession) -> Result<R, RuntimeError>,
+    ) -> Result<(R, RunReport), RuntimeError> {
+        let start = pico_telemetry::clock::wall_now();
+        let specs = self.worker_specs(self.plan);
+        let comm = self.stage_comm(self.plan, &specs);
+        std::thread::scope(|scope| {
+            let (feeder, sink, coord_handles) =
+                self.spawn_stages(scope, &specs, &comm, start, None, &[]);
+            let mut session = ExecutionSession {
+                feeder,
+                sink,
+                expect_shape: self.model.input_shape(),
+                stage_count: self.plan.stages.len(),
+                next_task: 0,
+                timings: Vec::new(),
+                rec: self.recorder.clone(),
+                enabled: self.recorder.is_enabled(),
+                start,
+            };
+            let result = f(&mut session);
+            let ExecutionSession {
+                feeder,
+                sink,
+                timings,
+                ..
+            } = session;
+            // Closing both endpoints starts the channel-close cascade;
+            // coordinators exit as their inputs drain.
+            drop(feeder);
+            drop(sink);
+            let mut stage_stats = Vec::with_capacity(coord_handles.len());
+            let mut failures = Vec::new();
+            for (s, h) in coord_handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(outcome) => {
+                        stage_stats.push(outcome.stat);
+                        failures.extend(outcome.failures);
+                    }
+                    Err(_) => return Err(RuntimeError::ChannelClosed { stage: s }),
+                }
+            }
+            let value = result?;
+            Ok((
+                value,
+                RunReport {
+                    outputs: Vec::new(),
+                    timings,
+                    stage_stats,
+                    elapsed: start.elapsed(),
+                    failures,
+                    degraded_plan: None,
+                },
+            ))
+        })
+    }
+}
+
+/// A live pipeline accepting task batches, handed to the closure of
+/// [`PipelineRuntime::session`]. Stage threads stay warm between
+/// submissions, so a serving layer can trickle micro-batches through
+/// without paying a pipeline spawn per batch.
+pub struct ExecutionSession {
+    feeder: Sender<StageMsg>,
+    sink: Receiver<StageMsg>,
+    expect_shape: pico_model::Shape,
+    stage_count: usize,
+    next_task: usize,
+    timings: Vec<TaskTiming>,
+    rec: Recorder,
+    enabled: bool,
+    start: Instant,
+}
+
+impl ExecutionSession {
+    /// Pushes one batch through the pipeline and waits for all of its
+    /// outputs (in submission order). Feeding and collecting are
+    /// interleaved — once the stage-0 queue pushes back, an output is
+    /// drained before the next tile is offered — so a batch larger than
+    /// the bounded queues cannot deadlock the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadInput`] if a tensor does not match
+    /// the model's input shape (the batch is rejected before anything
+    /// is fed), or the first error the pipeline surfaces (failed
+    /// device, halo/shape mismatch, closed channel). After an error the
+    /// session is poisoned: completed outputs of the failed batch are
+    /// discarded and further submissions will keep erroring.
+    pub fn submit(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, RuntimeError> {
+        for (i, input) in inputs.iter().enumerate() {
+            if input.shape() != self.expect_shape {
+                return Err(RuntimeError::BadInput {
+                    task: self.next_task + i,
+                    detail: format!("expected {}, got {}", self.expect_shape, input.shape()),
+                });
+            }
+        }
+        let base = self.next_task;
+        self.next_task += inputs.len();
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut pending: Option<StageMsg> = None;
+        let mut sent = 0usize;
+        while outputs.len() < inputs.len() {
+            while sent < inputs.len() {
+                let msg = pending
+                    .take()
+                    .unwrap_or_else(|| Ok((base + sent, inputs[sent].clone())));
+                match self.feeder.try_send(msg) {
+                    Ok(()) => sent += 1,
+                    Err(TrySendError::Full(msg)) => {
+                        pending = Some(msg);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Err(RuntimeError::ChannelClosed { stage: 0 });
+                    }
+                }
+            }
+            match self.sink.recv() {
+                Ok(Ok((task, out))) => {
+                    debug_assert_eq!(task, base + outputs.len());
+                    let completed_at = self.start.elapsed().as_secs_f64();
+                    if self.enabled {
+                        self.rec.count_at(
+                            names::TASKS_COMPLETED,
+                            Ctx::default(),
+                            completed_at,
+                            1.0,
+                        );
+                    }
+                    self.timings.push(TaskTiming { task, completed_at });
+                    outputs.push(out);
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    return Err(RuntimeError::ChannelClosed {
+                        stage: self.stage_count,
+                    });
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Tasks submitted so far (the next task index).
+    pub fn submitted(&self) -> usize {
+        self.next_task
+    }
+
+    /// Tasks whose outputs have been handed back so far.
+    pub fn completed(&self) -> usize {
+        self.timings.len()
+    }
 }
 
 #[cfg(test)]
@@ -955,7 +1154,7 @@ mod tests {
     use super::*;
     use pico_model::zoo;
     use pico_partition::{
-        Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Planner,
+        Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, PlanRequest, Planner,
     };
 
     fn setup() -> (Model, Cluster, CostParams) {
@@ -988,7 +1187,7 @@ mod tests {
     #[test]
     fn pico_pipeline_outputs_match_single_device() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         outputs_match_reference(&plan, &m, 4);
     }
 
@@ -996,9 +1195,11 @@ mod tests {
     fn every_scheme_executes_correctly() {
         let (m, c, p) = setup();
         for plan in [
-            LayerWise.plan_simple(&m, &c, &p).unwrap(),
-            EarlyFused::new().plan_simple(&m, &c, &p).unwrap(),
-            OptimalFused.plan_simple(&m, &c, &p).unwrap(),
+            LayerWise.plan(&PlanRequest::new(&m, &c, &p)).unwrap(),
+            EarlyFused::new()
+                .plan(&PlanRequest::new(&m, &c, &p))
+                .unwrap(),
+            OptimalFused.plan(&PlanRequest::new(&m, &c, &p)).unwrap(),
         ] {
             outputs_match_reference(&plan, &m, 2);
         }
@@ -1009,7 +1210,7 @@ mod tests {
         let m = zoo::mnist_toy();
         let c = Cluster::paper_heterogeneous_6();
         let p = CostParams::wifi_50mbps();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         outputs_match_reference(&plan, &m, 3);
     }
 
@@ -1034,14 +1235,14 @@ mod tests {
         .unwrap();
         let c = Cluster::pi_cluster(4, 1.0);
         let p = CostParams::wifi_50mbps();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         outputs_match_reference(&plan, &m, 2);
     }
 
     #[test]
     fn failed_device_surfaces_error() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let victim = plan.stages[0].assignments[0].device;
         let engine = Engine::with_seed(&m, 1);
         let runtime = PipelineRuntime::builder(&m, &plan, &engine)
@@ -1272,7 +1473,7 @@ mod tests {
     #[test]
     fn bad_input_rejected_before_spawning() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let engine = Engine::with_seed(&m, 1);
         let runtime = PipelineRuntime::new(&m, &plan, &engine);
         let bad = Tensor::random(pico_model::Shape::new(3, 8, 8), 0);
@@ -1285,7 +1486,7 @@ mod tests {
     #[test]
     fn empty_input_list_is_fine() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let engine = Engine::with_seed(&m, 1);
         let report = PipelineRuntime::new(&m, &plan, &engine)
             .run(vec![])
@@ -1293,7 +1494,7 @@ mod tests {
         assert!(report.outputs.is_empty());
         assert!(report.failures.is_empty());
         assert!(report.degraded_plan.is_none());
-        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.throughput().unwrap_or(0.0), 0.0);
         assert_eq!(report.measured_period(), None);
     }
 
@@ -1301,7 +1502,7 @@ mod tests {
     #[should_panic(expected = "cover the whole model")]
     fn truncated_plan_panics() {
         let (m, c, p) = setup();
-        let mut plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let mut plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         plan.stages.pop();
         if plan.stages.is_empty() {
             panic!("plan must cover the whole model"); // degenerate case
@@ -1313,7 +1514,7 @@ mod tests {
     #[test]
     fn throttled_pipeline_still_correct_and_ordered() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let engine = Engine::with_seed(&m, 2);
         // A very small scale keeps the test fast while exercising the
         // sleep path.
@@ -1329,23 +1530,102 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_extras_still_work() {
+    fn throughput_is_none_when_wall_duration_is_zero() {
+        // Regression: a completed-but-instant report used to claim a
+        // throughput of 0.0 tasks/s — a lie that call sites divided by.
+        let report = RunReport {
+            outputs: Vec::new(),
+            timings: vec![TaskTiming {
+                task: 0,
+                completed_at: 0.0,
+            }],
+            stage_stats: Vec::new(),
+            elapsed: Duration::ZERO,
+            failures: Vec::new(),
+            degraded_plan: None,
+        };
+        assert_eq!(report.throughput(), None);
+        let nonzero = RunReport {
+            elapsed: Duration::from_millis(500),
+            ..report
+        };
+        assert_eq!(nonzero.throughput(), Some(2.0));
+    }
+
+    #[test]
+    fn session_batches_are_bit_exact_and_accounted() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
-        let engine = Engine::with_seed(&m, 2);
-        let throttle = Throttle::new(c.clone(), p, 1e-9);
-        let runtime = PipelineRuntime::new(&m, &plan, &engine).with_throttle(throttle);
-        let report = runtime
-            .run(vec![Tensor::random(m.input_shape(), 5)])
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
+        let engine = Engine::with_seed(&m, 11);
+        let runtime = PipelineRuntime::new(&m, &plan, &engine);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::random(m.input_shape(), 300 + i as u64))
+            .collect();
+        let (outputs, report) = runtime
+            .session(|sess| {
+                let mut all = sess.submit(&inputs[..2])?;
+                assert_eq!(sess.submitted(), 2);
+                assert_eq!(sess.completed(), 2);
+                all.extend(sess.submit(&inputs[2..4])?);
+                all.extend(sess.submit(&[])?);
+                all.extend(sess.submit(&inputs[4..])?);
+                Ok(all)
+            })
             .unwrap();
-        assert_eq!(report.outputs.len(), 1);
+        assert_eq!(outputs.len(), inputs.len());
+        for (input, out) in inputs.iter().zip(&outputs) {
+            assert_eq!(out, &engine.infer(input).unwrap());
+        }
+        // The session report accounts every task, with outputs already
+        // handed out batch-by-batch.
+        assert!(report.outputs.is_empty());
+        assert_eq!(report.timings.len(), inputs.len());
+        for st in &report.stage_stats {
+            assert_eq!(st.tasks, inputs.len(), "stage {}", st.stage);
+        }
+    }
+
+    #[test]
+    fn session_batch_larger_than_queue_capacity_drains() {
+        // submit() interleaves feeding and collecting, so a batch much
+        // deeper than the bounded inter-stage queues must not deadlock.
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
+        let engine = Engine::with_seed(&m, 13);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .channel_capacity(1)
+            .build();
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|i| Tensor::random(m.input_shape(), 700 + i as u64))
+            .collect();
+        let (outputs, _report) = runtime.session(|sess| sess.submit(&inputs)).unwrap();
+        for (input, out) in inputs.iter().zip(&outputs) {
+            assert_eq!(out, &engine.infer(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn session_surfaces_injected_failure_from_submit() {
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
+        let victim = plan.stages[0].assignments[0].device;
+        let engine = Engine::with_seed(&m, 1);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .failed_device(victim)
+            .build();
+        let err = runtime
+            .session(|sess| sess.submit(&[Tensor::random(m.input_shape(), 1)]))
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::DeviceFailed { device, .. } if device == victim),
+            "got {err}"
+        );
     }
 
     #[test]
     fn bounded_queues_still_drain_the_pipeline() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let engine = Engine::with_seed(&m, 7);
         let runtime = PipelineRuntime::builder(&m, &plan, &engine)
             .channel_capacity(1)
@@ -1420,7 +1700,7 @@ mod tests {
 mod stage_stat_tests {
     use super::*;
     use pico_model::zoo;
-    use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+    use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
     use pico_telemetry::TraceSummary;
 
     #[test]
@@ -1428,7 +1708,7 @@ mod stage_stat_tests {
         let m = zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner
-            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::wifi_50mbps()))
             .unwrap();
         let engine = Engine::with_seed(&m, 3);
         let n: usize = 5;
@@ -1444,7 +1724,7 @@ mod stage_stat_tests {
             assert!(st.busy_secs > 0.0);
         }
         assert!(report.bottleneck_stage().is_some());
-        assert!(report.throughput() > 0.0);
+        assert!(report.throughput().unwrap() > 0.0);
         assert!(report.measured_period().unwrap() > 0.0);
     }
 
@@ -1457,7 +1737,7 @@ mod stage_stat_tests {
         let m = zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner
-            .plan_simple(&m, &c, &CostParams::wifi_50mbps())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::wifi_50mbps()))
             .unwrap();
         let engine = Engine::with_seed(&m, 4);
         let rec = Recorder::in_memory();
@@ -1532,7 +1812,9 @@ mod stage_stat_tests {
         let m = zoo::mnist_toy();
         let c = Cluster::pi_cluster(4, 1.0);
         let params = CostParams::wifi_50mbps();
-        let plan = PicoPlanner.plan_simple(&m, &c, &params).unwrap();
+        let plan = PicoPlanner
+            .plan(&PlanRequest::new(&m, &c, &params))
+            .unwrap();
         if plan.stage_count() < 2 {
             return;
         }

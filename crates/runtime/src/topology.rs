@@ -111,14 +111,14 @@ pub fn channel_topology(plan: &Plan, capacity: Option<usize>) -> ChannelTopology
 mod tests {
     use super::*;
     use pico_model::zoo;
-    use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+    use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 
     #[test]
     fn topology_mirrors_the_runtime_wiring() {
         let m = zoo::vgg16().features();
         let c = Cluster::pi_cluster(8, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let topo = channel_topology(&plan, None);
         assert_eq!(topo.stages, plan.stage_count());
@@ -141,7 +141,7 @@ mod tests {
         let m = zoo::toy(4);
         let c = Cluster::pi_cluster(4, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&m, &c, &CostParams::default())
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
             .unwrap();
         let topo = channel_topology(&plan, Some(2));
         assert!(topo

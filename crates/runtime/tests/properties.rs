@@ -4,7 +4,8 @@
 
 use pico_model::{ConvSpec, Layer, Model, PoolSpec, Shape};
 use pico_partition::{
-    Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner, Planner,
+    Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner, PlanRequest,
+    Planner,
 };
 use pico_runtime::PipelineRuntime;
 use pico_tensor::{Engine, Tensor};
@@ -69,7 +70,7 @@ proptest! {
             Box::new(GridFused::new()),
         ];
         for planner in planners {
-            let plan = planner.plan_simple(&model, &cluster, &params).expect("planner succeeds");
+            let plan = planner.plan(&PlanRequest::new(&model, &cluster, &params)).expect("planner succeeds");
             let diags = pico_partition::structural_diagnostics(&plan, &model, &cluster);
             prop_assert!(diags.is_empty(), "{}: {:?}", planner.name(), diags);
             let report = PipelineRuntime::new(&model, &plan, &engine)

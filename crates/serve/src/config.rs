@@ -1,0 +1,152 @@
+use pico_audit::{AuditReport, Code, Diagnostic};
+use pico_sim::{BatchPolicy, TenantPolicy};
+
+use crate::ServeError;
+
+/// The whole serving configuration: one batching policy plus one
+/// admission policy per tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Adaptive micro-batching knobs shared by all tenants.
+    pub batch: BatchPolicy,
+    /// Per-tenant queue bounds and budgets; tenant ids are indices
+    /// into this vector.
+    pub tenants: Vec<TenantPolicy>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch: BatchPolicy::default(),
+            tenants: vec![TenantPolicy::default()],
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A single-tenant config with default policies.
+    pub fn single_tenant() -> Self {
+        ServeConfig::default()
+    }
+
+    /// A config with `n` tenants sharing the same default policy.
+    pub fn tenants(n: usize) -> Self {
+        ServeConfig {
+            batch: BatchPolicy::default(),
+            tenants: vec![TenantPolicy::default(); n],
+        }
+    }
+
+    /// Every way this config is malformed (empty when servable).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = self.batch.violations();
+        if self.tenants.is_empty() {
+            v.push("config declares no tenants".to_owned());
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            for msg in t.violations() {
+                v.push(format!("tenant {i}: {msg}"));
+            }
+        }
+        v
+    }
+
+    /// Sanity-audits the config: one PA401 error per violation, one
+    /// PA402 warning per tenant whose in-flight budget can never bind.
+    /// A clean config yields an empty report.
+    pub fn audit(&self) -> AuditReport {
+        let mut diagnostics: Vec<Diagnostic> = self
+            .violations()
+            .into_iter()
+            .map(|msg| Diagnostic::new(Code::ServeConfigInvalid, msg))
+            .collect();
+        if diagnostics.is_empty() {
+            for (i, t) in self.tenants.iter().enumerate() {
+                if t.budget_shadowed(self.batch.max_batch) {
+                    diagnostics.push(Diagnostic::new(
+                        Code::ServeBudgetShadowed,
+                        format!(
+                            "tenant {i}: in_flight_budget {} >= queue_capacity {} + max_batch {} \
+                             — the budget can never bind",
+                            t.in_flight_budget, t.queue_capacity, self.batch.max_batch
+                        ),
+                    ));
+                }
+            }
+        }
+        AuditReport::normalized(diagnostics)
+    }
+
+    /// Errors with [`ServeError::InvalidConfig`] unless the config is
+    /// servable.
+    pub fn validated(&self) -> Result<(), ServeError> {
+        let violations = self.violations();
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ServeError::InvalidConfig { violations })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_audit::Severity;
+
+    #[test]
+    fn binding_budget_audits_clean_and_default_is_servable() {
+        let tight = ServeConfig {
+            batch: BatchPolicy::default(),
+            tenants: vec![TenantPolicy {
+                queue_capacity: 16,
+                in_flight_budget: 20, // < 16 + max_batch(8): the budget can bind
+            }],
+        };
+        assert!(tight.audit().is_clean(), "{}", tight.audit());
+        assert!(ServeConfig::default().audit().is_executable());
+    }
+
+    #[test]
+    fn malformed_config_yields_pa401_errors() {
+        let bad = ServeConfig {
+            batch: BatchPolicy {
+                min_batch: 4,
+                max_batch: 2,
+                target_delay: 0.05,
+                beta: 0.3,
+            },
+            tenants: vec![TenantPolicy {
+                queue_capacity: 0,
+                in_flight_budget: 8,
+            }],
+        };
+        let report = bad.audit();
+        assert!(!report.is_executable());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::ServeConfigInvalid && d.severity == Severity::Error));
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(matches!(
+            bad.validated(),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn shadowed_budget_yields_pa402_warning() {
+        let shadowed = ServeConfig {
+            batch: BatchPolicy::default(), // max_batch 8
+            tenants: vec![TenantPolicy {
+                queue_capacity: 4,
+                in_flight_budget: 100,
+            }],
+        };
+        let report = shadowed.audit();
+        assert!(report.is_executable(), "warning must not block serving");
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, Code::ServeBudgetShadowed);
+        assert_eq!(report.diagnostics[0].severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,361 @@
+use std::collections::VecDeque;
+
+use pico_audit::Auditor;
+use pico_model::Model;
+use pico_partition::{Cluster, CostParams, Plan};
+use pico_runtime::PipelineRuntime;
+use pico_sim::{AdaptiveBatcher, AdmissionLedger, ServiceProfile, TenantServeStat};
+use pico_telemetry::{names, Ctx, Recorder};
+use pico_tensor::{Engine, Tensor};
+
+use crate::{ServeConfig, ServeError};
+
+/// One event of a serving trace, in virtual time.
+#[derive(Debug, Clone)]
+pub enum ServeEvent {
+    /// A tenant's task arrives at virtual time `t`.
+    Arrival {
+        /// Virtual arrival time in seconds.
+        t: f64,
+        /// Submitting tenant.
+        tenant: usize,
+        /// The task input.
+        input: Tensor,
+    },
+    /// A warm swap to `plan` is requested: the first batch that would
+    /// start at or after `t` instead drains the pipeline, the switch
+    /// pair is audited, and serving resumes under the new plan.
+    Swap {
+        /// Virtual request time in seconds.
+        t: f64,
+        /// The plan to swap to.
+        plan: Plan,
+    },
+}
+
+/// One served task in a [`ReplayOutcome`].
+#[derive(Debug, Clone)]
+pub struct CompletedTask {
+    /// Index of the task among the trace's arrivals (0-based).
+    pub seq: usize,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// The pipeline's output — bit-identical to single-device
+    /// inference on the same engine.
+    pub output: Tensor,
+    /// Virtual completion time of the task's batch.
+    pub finished_at: f64,
+}
+
+/// One rejected task in a [`ReplayOutcome`].
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Index of the task among the trace's arrivals (0-based).
+    pub seq: usize,
+    /// Offering tenant.
+    pub tenant: usize,
+    /// The typed admission error.
+    pub error: ServeError,
+}
+
+/// Everything a deterministic replay produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Served tasks in completion order.
+    pub completed: Vec<CompletedTask>,
+    /// Rejected tasks in arrival order.
+    pub rejections: Vec<Rejection>,
+    /// Size of every submitted micro-batch, in submission order.
+    pub batch_sizes: Vec<usize>,
+    /// Admission/completion counts per tenant.
+    pub per_tenant: Vec<TenantServeStat>,
+    /// Warm swaps performed.
+    pub swaps: u64,
+    /// Audit-error messages of refused swaps (serving continued on the
+    /// old plan).
+    pub swap_rejections: Vec<String>,
+    /// Serving epochs (plan generations, including the first).
+    pub epochs: u64,
+    /// Virtual time the last batch completed.
+    pub makespan: f64,
+}
+
+impl ReplayOutcome {
+    /// Mean submitted batch size (0 when no batch ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batch_sizes.is_empty() {
+            return 0.0;
+        }
+        self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+    }
+
+    /// Largest submitted batch (0 when no batch ran).
+    pub fn max_batch(&self) -> usize {
+        self.batch_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest submitted batch (0 when no batch ran).
+    pub fn min_batch(&self) -> usize {
+        self.batch_sizes.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Deterministic replay driver: feeds a scripted [`ServeEvent`] trace
+/// through the *real* pipeline (every batch executes on the threaded
+/// runtime) while admission, batching, and swap decisions run in
+/// virtual time — so two replays of the same trace make bit-identical
+/// decisions and produce bit-identical outputs.
+///
+/// Virtual time is priced by the plan's own cost model: a batch of `B`
+/// tasks occupies the server for `latency + (B − 1) · period` seconds
+/// ([`ServiceProfile::batch_time`]), mirroring `pico_sim::ServeSim`.
+pub struct Replayer<'a> {
+    model: &'a Model,
+    cluster: &'a Cluster,
+    params: &'a CostParams,
+    engine: &'a Engine<'a>,
+    config: ServeConfig,
+    recorder: Recorder,
+}
+
+impl<'a> Replayer<'a> {
+    /// Creates a replayer with a no-op recorder.
+    pub fn new(
+        model: &'a Model,
+        cluster: &'a Cluster,
+        params: &'a CostParams,
+        engine: &'a Engine<'a>,
+        config: ServeConfig,
+    ) -> Self {
+        Replayer {
+            model,
+            cluster,
+            params,
+            engine,
+            config,
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder; admission/batch/swap events are
+    /// recorded at their *virtual* timestamps.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Replays `events` (sorted by time) starting under `plan0`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a malformed config or an
+    /// unsorted/out-of-range trace, [`ServeError::Runtime`] if the
+    /// pipeline fails mid-replay.
+    pub fn run(&self, plan0: &Plan, events: &[ServeEvent]) -> Result<ReplayOutcome, ServeError> {
+        self.config.validated()?;
+        let tenants = self.config.tenants.len();
+        let mut arrivals: Vec<(f64, usize, &Tensor)> = Vec::new();
+        let mut swap_queue: VecDeque<(f64, &Plan)> = VecDeque::new();
+        let mut violations = Vec::new();
+        let mut last_t = f64::NEG_INFINITY;
+        for e in events {
+            let t = match e {
+                ServeEvent::Arrival { t, .. } | ServeEvent::Swap { t, .. } => *t,
+            };
+            if t < last_t {
+                violations.push(format!("trace is unsorted at t={t}"));
+            }
+            last_t = t;
+            match e {
+                ServeEvent::Arrival { t, tenant, input } => {
+                    if *tenant >= tenants {
+                        violations.push(format!("arrival for unknown tenant {tenant}"));
+                    }
+                    arrivals.push((*t, *tenant, input));
+                }
+                ServeEvent::Swap { t, plan } => swap_queue.push_back((*t, plan)),
+            }
+        }
+        if !violations.is_empty() {
+            return Err(ServeError::InvalidConfig { violations });
+        }
+
+        let auditor = Auditor::new(self.model, self.cluster).with_params(*self.params);
+        let cost = self.params.cost_model(self.model);
+        let rec = &self.recorder;
+
+        let mut ledger = AdmissionLedger::new(self.config.tenants.clone());
+        let mut batcher = AdaptiveBatcher::new(self.config.batch);
+        // Queues hold arrival indices; inputs are fetched from
+        // `arrivals` at batch-composition time.
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); tenants];
+        let mut rr = 0usize;
+        let mut ai = 0usize; // next arrival index
+        let mut free_at = 0.0f64;
+        let mut current: Plan = plan0.clone();
+        let mut outcome = ReplayOutcome {
+            completed: Vec::new(),
+            rejections: Vec::new(),
+            batch_sizes: Vec::new(),
+            per_tenant: Vec::new(),
+            swaps: 0,
+            swap_rejections: Vec::new(),
+            epochs: 0,
+            makespan: 0.0,
+        };
+
+        enum Exit {
+            Done,
+            Swap,
+        }
+
+        loop {
+            outcome.epochs += 1;
+            let epoch_index = outcome.epochs - 1;
+            let metrics = cost.evaluate(&current, self.cluster);
+            let profile = ServiceProfile {
+                latency: metrics.latency,
+                period: metrics.period,
+            };
+            let mut epoch_completed = 0u64;
+            let exit = {
+                let runtime = PipelineRuntime::builder(self.model, &current, self.engine)
+                    .recorder(rec.clone())
+                    .build();
+                let (exit, _report) = runtime.session(|sess| {
+                    let admit = |at: usize,
+                                 ledger: &mut AdmissionLedger,
+                                 batcher: &mut AdaptiveBatcher,
+                                 queues: &mut [VecDeque<usize>],
+                                 outcome: &mut ReplayOutcome| {
+                        let (t, tenant, _input) = arrivals[at];
+                        match ledger.offer(tenant) {
+                            Ok(depth) => {
+                                queues[tenant].push_back(at);
+                                batcher.observe_arrival(t);
+                                rec.instant_at(
+                                    names::TASK_ADMITTED,
+                                    Ctx::tenant(tenant).for_task(at),
+                                    t,
+                                    depth as f64,
+                                );
+                            }
+                            Err(reason) => {
+                                rec.instant_at(
+                                    names::TASK_REJECTED,
+                                    Ctx::tenant(tenant).for_task(at),
+                                    t,
+                                    ledger.queued(tenant) as f64,
+                                );
+                                outcome.rejections.push(Rejection {
+                                    seq: at,
+                                    tenant,
+                                    error: ServeError::from_reject(tenant, reason),
+                                });
+                            }
+                        }
+                    };
+                    loop {
+                        if ledger.total_queued() == 0 {
+                            if ai >= arrivals.len() {
+                                return Ok(Exit::Done);
+                            }
+                            let t = arrivals[ai].0;
+                            if free_at < t {
+                                free_at = t;
+                            }
+                            admit(ai, &mut ledger, &mut batcher, &mut queues, &mut outcome);
+                            ai += 1;
+                            continue;
+                        }
+                        let start = free_at;
+                        // Arrivals landing while the previous batch was
+                        // in service queue up (and may be rejected)
+                        // before the next batch forms.
+                        while ai < arrivals.len() && arrivals[ai].0 <= start {
+                            admit(ai, &mut ledger, &mut batcher, &mut queues, &mut outcome);
+                            ai += 1;
+                        }
+                        if let Some((at, _)) = swap_queue.front() {
+                            if start >= *at {
+                                return Ok(Exit::Swap);
+                            }
+                        }
+                        let want = batcher.target().min(ledger.total_queued());
+                        let mut picks = vec![0usize; tenants];
+                        let mut order: Vec<(usize, usize)> = Vec::with_capacity(want);
+                        while order.len() < want {
+                            let tenant = rr % tenants;
+                            rr += 1;
+                            if ledger.queued(tenant) > picks[tenant] {
+                                picks[tenant] += 1;
+                                let seq = queues[tenant][picks[tenant] - 1];
+                                order.push((tenant, seq));
+                            }
+                        }
+                        for (tenant, n) in picks.iter().enumerate() {
+                            for _ in 0..*n {
+                                queues[tenant].pop_front();
+                            }
+                            if *n > 0 {
+                                ledger.take(tenant, *n);
+                            }
+                        }
+                        rec.observe_at(names::BATCH_FORMED, Ctx::default(), start, want as f64);
+                        let inputs: Vec<Tensor> = order
+                            .iter()
+                            .map(|&(_, seq)| arrivals[seq].2.clone())
+                            .collect();
+                        let outputs = sess.submit(&inputs)?;
+                        let done_at = start + profile.batch_time(want);
+                        for ((tenant, seq), output) in order.into_iter().zip(outputs) {
+                            ledger.complete(tenant, 1);
+                            outcome.completed.push(CompletedTask {
+                                seq,
+                                tenant,
+                                output,
+                                finished_at: done_at,
+                            });
+                        }
+                        outcome.batch_sizes.push(want);
+                        epoch_completed += want as u64;
+                        free_at = done_at;
+                        outcome.makespan = done_at;
+                    }
+                })?;
+                exit
+            };
+            match exit {
+                Exit::Done => break,
+                Exit::Swap => {
+                    let Some((at, next)) = swap_queue.pop_front() else {
+                        break;
+                    };
+                    let report = auditor.audit_switch_pair(&current, next);
+                    if report.is_executable() {
+                        rec.instant_at(
+                            names::SWAP_DRAINED,
+                            Ctx::stage(usize::try_from(epoch_index).unwrap_or(usize::MAX)),
+                            free_at.max(at),
+                            epoch_completed as f64,
+                        );
+                        current = next.clone();
+                        outcome.swaps += 1;
+                    } else {
+                        outcome
+                            .swap_rejections
+                            .extend(report.errors().map(|d| d.message.clone()));
+                    }
+                }
+            }
+        }
+        outcome.per_tenant = (0..tenants)
+            .map(|t| TenantServeStat {
+                admitted: ledger.admitted(t),
+                rejected: ledger.rejected(t),
+                completed: ledger.completed(t),
+            })
+            .collect();
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,265 @@
+use pico_model::Model;
+use pico_partition::{Cluster, CostParams, OptimalFused, PicoPlanner, Plan, PlanRequest, Planner};
+use pico_sim::{BatchPolicy, TenantPolicy};
+use pico_tensor::Tensor;
+
+use crate::{ServeConfig, ServeError, ServeEvent};
+
+/// The built-in deterministic serving traces driven by
+/// `pico serve --replay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayScript {
+    /// Constant inter-arrival gap of 1.25× the plan latency — a
+    /// singleton batch costs one full pipeline traversal, so this is
+    /// the fastest sustainable un-batched pace; the batcher settles at
+    /// its minimum and nothing is rejected.
+    Steady,
+    /// Alternating quiet stretches (2× latency) and dense bursts
+    /// (0.15× period) — batch sizes visibly grow inside bursts, and
+    /// admission control rejects exactly at the queue bound.
+    Bursty,
+    /// Gaps ramp linearly from 3× the latency down to 0.2× the period
+    /// — the adaptive target climbs as the trace accelerates.
+    Ramp,
+}
+
+impl ReplayScript {
+    /// Every built-in script, in CLI-help order.
+    pub const ALL: [ReplayScript; 3] = [
+        ReplayScript::Steady,
+        ReplayScript::Bursty,
+        ReplayScript::Ramp,
+    ];
+
+    /// Parses a CLI argument (case-insensitive).
+    pub fn parse(s: &str) -> Option<ReplayScript> {
+        match s.to_ascii_lowercase().as_str() {
+            "steady" => Some(ReplayScript::Steady),
+            "bursty" => Some(ReplayScript::Bursty),
+            "ramp" => Some(ReplayScript::Ramp),
+            _ => None,
+        }
+    }
+
+    /// The script's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayScript::Steady => "steady",
+            ReplayScript::Bursty => "bursty",
+            ReplayScript::Ramp => "ramp",
+        }
+    }
+}
+
+/// Shape parameters for a scripted trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptSpec {
+    /// Number of task arrivals.
+    pub tasks: usize,
+    /// Number of tenants (arrivals round-robin across them).
+    pub tenants: usize,
+    /// Seed for the synthetic task inputs.
+    pub seed: u64,
+    /// When `Some(k)`, a warm-swap request (PICO → optimally fused) is
+    /// scheduled at the `k`-th arrival's timestamp.
+    pub swap_at: Option<usize>,
+}
+
+impl Default for ScriptSpec {
+    fn default() -> Self {
+        ScriptSpec {
+            tasks: 96,
+            tenants: 2,
+            seed: 7,
+            swap_at: None,
+        }
+    }
+}
+
+impl ScriptSpec {
+    /// The default spec with a mid-trace warm swap.
+    pub fn with_midtrace_swap(mut self) -> Self {
+        self.swap_at = Some(self.tasks / 2);
+        self
+    }
+}
+
+/// A fully-assembled replay: the starting plan, the serving config,
+/// and the event trace. Feed to [`crate::Replayer::run`].
+#[derive(Debug, Clone)]
+pub struct ReplayPlan {
+    /// The plan serving starts under (the PICO pipeline).
+    pub initial: Plan,
+    /// Batch + tenant policies sized for the script.
+    pub config: ServeConfig,
+    /// The time-sorted event trace.
+    pub events: Vec<ServeEvent>,
+}
+
+/// Builds a deterministic trace for `script`: arrival gaps are scaled
+/// by the initial plan's analytic period, so the same script exercises
+/// the same queueing regimes on any model/cluster pair. The optional
+/// swap targets the optimally fused plan — the paper's canonical
+/// audit-passing switch partner for the PICO pipeline.
+///
+/// # Errors
+///
+/// [`ServeError::Planning`] when either planner fails on the inputs.
+pub fn build_script(
+    model: &Model,
+    cluster: &Cluster,
+    params: &CostParams,
+    script: ReplayScript,
+    spec: &ScriptSpec,
+) -> Result<ReplayPlan, ServeError> {
+    let plan = |p: &dyn Planner| {
+        p.plan(&PlanRequest::new(model, cluster, params))
+            .map_err(|e| ServeError::Planning {
+                detail: e.to_string(),
+            })
+    };
+    let initial = plan(&PicoPlanner::new())?;
+    let fused = plan(&OptimalFused::new())?;
+    let metrics = params.cost_model(model).evaluate(&initial, cluster);
+    let (period, latency) = (metrics.period, metrics.latency);
+    let tenants = spec.tenants.max(1);
+
+    let config = ServeConfig {
+        batch: BatchPolicy {
+            min_batch: 1,
+            max_batch: 8,
+            target_delay: 2.0 * period,
+            beta: 0.4,
+        },
+        tenants: vec![
+            TenantPolicy {
+                queue_capacity: 8,
+                in_flight_budget: 12,
+            };
+            tenants
+        ],
+    };
+
+    // Quiet pacing scales with the plan *latency* (what a singleton
+    // batch costs end to end); burst pacing scales with the *period*
+    // (the marginal cost of one more task in a batch). That keeps the
+    // quiet regimes sustainable and the bursts genuinely overloading
+    // on any model/cluster pair.
+    let gap = |k: usize| -> f64 {
+        match script {
+            ReplayScript::Steady => 1.25 * latency,
+            ReplayScript::Bursty => {
+                // 32-task cycle: 8 quiet arrivals, then a 24-deep burst.
+                if k % 32 < 8 {
+                    2.0 * latency
+                } else {
+                    0.15 * period
+                }
+            }
+            ReplayScript::Ramp => {
+                let frac = k as f64 / spec.tasks.max(1) as f64;
+                (1.0 - frac) * 3.0 * latency + frac * 0.2 * period
+            }
+        }
+    };
+
+    let shape = model.input_shape();
+    let mut events = Vec::with_capacity(spec.tasks + 1);
+    let mut t = 0.0f64;
+    for k in 0..spec.tasks {
+        t += gap(k);
+        if spec.swap_at == Some(k) {
+            events.push(ServeEvent::Swap {
+                t,
+                plan: fused.clone(),
+            });
+        }
+        events.push(ServeEvent::Arrival {
+            t,
+            tenant: k % tenants,
+            input: Tensor::random(shape, spec.seed * 1000 + k as u64),
+        });
+    }
+    Ok(ReplayPlan {
+        initial,
+        config,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+
+    fn setup() -> (Model, Cluster, CostParams) {
+        (
+            zoo::toy(4),
+            Cluster::pi_cluster(4, 1.0),
+            CostParams::default(),
+        )
+    }
+
+    #[test]
+    fn scripts_are_sorted_and_sized() {
+        let (m, c, p) = setup();
+        for script in ReplayScript::ALL {
+            let spec = ScriptSpec::default().with_midtrace_swap();
+            let rp = build_script(&m, &c, &p, script, &spec).unwrap();
+            assert_eq!(rp.events.len(), spec.tasks + 1, "{}", script.name());
+            let mut last = f64::NEG_INFINITY;
+            let mut swaps = 0;
+            for e in &rp.events {
+                let t = match e {
+                    ServeEvent::Arrival { t, .. } | ServeEvent::Swap { t, .. } => *t,
+                };
+                assert!(t >= last, "{} trace must be sorted", script.name());
+                last = t;
+                if matches!(e, ServeEvent::Swap { .. }) {
+                    swaps += 1;
+                }
+            }
+            assert_eq!(swaps, 1);
+        }
+    }
+
+    #[test]
+    fn same_spec_builds_identical_traces() {
+        let (m, c, p) = setup();
+        let spec = ScriptSpec::default();
+        let a = build_script(&m, &c, &p, ReplayScript::Bursty, &spec).unwrap();
+        let b = build_script(&m, &c, &p, ReplayScript::Bursty, &spec).unwrap();
+        for (x, y) in a.events.iter().zip(&b.events) {
+            match (x, y) {
+                (
+                    ServeEvent::Arrival {
+                        t: t0,
+                        tenant: k0,
+                        input: i0,
+                    },
+                    ServeEvent::Arrival {
+                        t: t1,
+                        tenant: k1,
+                        input: i1,
+                    },
+                ) => {
+                    assert_eq!(t0, t1);
+                    assert_eq!(k0, k1);
+                    assert_eq!(i0.data(), i1.data());
+                }
+                (ServeEvent::Swap { t: t0, .. }, ServeEvent::Swap { t: t1, .. }) => {
+                    assert_eq!(t0, t1)
+                }
+                _ => panic!("event kinds diverge"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for script in ReplayScript::ALL {
+            assert_eq!(ReplayScript::parse(script.name()), Some(script));
+        }
+        assert_eq!(ReplayScript::parse("nope"), None);
+    }
+}

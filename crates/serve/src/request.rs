@@ -1,0 +1,102 @@
+use std::time::Duration;
+
+use pico_sim::{BatchPolicy, TenantPolicy};
+use pico_telemetry::Recorder;
+
+use crate::ServeConfig;
+
+/// Everything a serving front-end is given. Construct with
+/// [`ServeRequest::new`] and chain `with_*` setters — the same builder
+/// idiom as `pico_partition::PlanRequest`.
+///
+/// ```
+/// use pico_serve::ServeRequest;
+/// use pico_sim::{BatchPolicy, TenantPolicy};
+///
+/// let req = ServeRequest::new()
+///     .with_tenants(vec![TenantPolicy::default(); 2])
+///     .with_batch(BatchPolicy {
+///         max_batch: 4,
+///         ..BatchPolicy::default()
+///     })
+///     .with_engine_seed(7);
+/// assert_eq!(req.config().tenants.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    config: ServeConfig,
+    recorder: Recorder,
+    engine_seed: u64,
+    flush_interval: Duration,
+}
+
+impl Default for ServeRequest {
+    fn default() -> Self {
+        ServeRequest::new()
+    }
+}
+
+impl ServeRequest {
+    /// A single-tenant request with default policies, a no-op
+    /// recorder, and a 10 ms flush tick.
+    pub fn new() -> Self {
+        ServeRequest {
+            config: ServeConfig::default(),
+            recorder: Recorder::noop(),
+            engine_seed: 1,
+            flush_interval: Duration::from_millis(10),
+        }
+    }
+
+    /// Replaces the batching policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Replaces the tenant set; tenant ids are indices into `tenants`.
+    pub fn with_tenants(mut self, tenants: Vec<TenantPolicy>) -> Self {
+        self.config.tenants = tenants;
+        self
+    }
+
+    /// Attaches a telemetry recorder (admission, batching, and swap
+    /// events flow into it alongside the runtime's own spans).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Seed for the synthetic-weight engine the server thread builds.
+    pub fn with_engine_seed(mut self, seed: u64) -> Self {
+        self.engine_seed = seed;
+        self
+    }
+
+    /// How long the live server waits for new arrivals before flushing
+    /// a partial batch (bounds the queueing latency a task can pay).
+    pub fn with_flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = interval;
+        self
+    }
+
+    /// The assembled configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The engine seed.
+    pub fn engine_seed(&self) -> u64 {
+        self.engine_seed
+    }
+
+    /// The flush tick.
+    pub fn flush_interval(&self) -> Duration {
+        self.flush_interval
+    }
+}

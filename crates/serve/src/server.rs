@@ -1,0 +1,344 @@
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use pico_audit::Auditor;
+use pico_model::Model;
+use pico_partition::{Cluster, CostParams, Plan};
+use pico_runtime::{ExecutionSession, PipelineRuntime, RuntimeError};
+use pico_sim::TenantServeStat;
+use pico_telemetry::{clock, names, Ctx};
+use pico_tensor::{Engine, Tensor};
+
+use crate::state::{QueuedTask, ServeState};
+use crate::{ServeError, ServeRequest};
+
+/// Control messages from handles to the server thread. The channel is
+/// bounded (lint rule 8: no unbounded channels in the serving path);
+/// nudges are best-effort and may be dropped when one is already
+/// pending — the flush tick picks up the slack.
+enum Ctrl {
+    Nudge,
+    Swap(Plan, Sender<Result<(), ServeError>>),
+    Close,
+}
+
+enum EpochExit {
+    Close,
+    Swap(Plan, Sender<Result<(), ServeError>>),
+}
+
+/// Final accounting returned by [`ServeHandle::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Admission/completion counts per tenant (indexed by tenant id).
+    pub per_tenant: Vec<TenantServeStat>,
+    /// Batches submitted to the pipeline.
+    pub batches: u64,
+    /// Warm swaps performed.
+    pub swaps: u64,
+    /// Serving epochs (plan generations, including the first).
+    pub epochs: u64,
+}
+
+/// A claim on one submitted task's eventual output.
+pub struct ServeTicket {
+    rx: Receiver<Result<Tensor, ServeError>>,
+}
+
+impl ServeTicket {
+    /// Blocks until the task's batch completes and returns its output.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Runtime`] if the pipeline failed executing the
+    /// batch, [`ServeError::Closed`] if the front-end shut down before
+    /// the task was served.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)?
+    }
+}
+
+/// Handle to a live serving front-end: submit tasks, request warm
+/// swaps, and shut down gracefully. Admission control runs on the
+/// calling thread, so a full queue is a synchronous typed error —
+/// never a blocked caller.
+pub struct ServeHandle {
+    state: Arc<ServeState>,
+    ctrl: Sender<Ctrl>,
+    thread: Option<JoinHandle<Result<ServeOutcome, ServeError>>>,
+}
+
+impl ServeHandle {
+    /// Spawns a server thread owning `model`/`cluster` and serving
+    /// `plan` until shut down or warm-swapped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when the request's config has
+    /// violations (the PA401 conditions).
+    pub fn spawn(
+        model: Model,
+        cluster: Cluster,
+        params: CostParams,
+        plan: Plan,
+        request: &ServeRequest,
+    ) -> Result<ServeHandle, ServeError> {
+        request.config().validated()?;
+        let state = Arc::new(ServeState::new(
+            request.config(),
+            request.recorder().clone(),
+            clock::wall_now(),
+        ));
+        // Depth 2: one pending nudge plus room for a control message.
+        let (ctrl_tx, ctrl_rx) = bounded(2);
+        let thread_state = Arc::clone(&state);
+        let seed = request.engine_seed();
+        let tick = request.flush_interval();
+        let thread = std::thread::spawn(move || {
+            run_server(
+                model,
+                cluster,
+                params,
+                plan,
+                seed,
+                tick,
+                thread_state,
+                ctrl_rx,
+            )
+        });
+        Ok(ServeHandle {
+            state,
+            ctrl: ctrl_tx,
+            thread: Some(thread),
+        })
+    }
+
+    /// Offers one task for `tenant`. Admission is decided immediately:
+    /// a typed rejection ([`ServeError::QueueFull`] /
+    /// [`ServeError::TenantOverBudget`]) surfaces backpressure to the
+    /// caller; on admission the returned ticket resolves to the output
+    /// once the task's micro-batch completes.
+    pub fn submit(&self, tenant: usize, input: Tensor) -> Result<ServeTicket, ServeError> {
+        let rx = self.state.admit(tenant, input)?;
+        match self.ctrl.try_send(Ctrl::Nudge) {
+            Ok(()) | Err(TrySendError::Full(_)) => {}
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Closed),
+        }
+        Ok(ServeTicket { rx })
+    }
+
+    /// Requests a warm swap to `plan`: the server drains the current
+    /// pipeline (no admitted task is dropped), audits the switch pair
+    /// (PA305–PA307), and either swaps or keeps serving on the old
+    /// plan. Blocks until the verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SwapRejected`] with the audit errors, or
+    /// [`ServeError::Closed`] if the server is gone.
+    pub fn swap(&self, plan: Plan) -> Result<(), ServeError> {
+        let (tx, rx) = bounded(1);
+        self.ctrl
+            .send(Ctrl::Swap(plan, tx))
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Stops intake, drains every queued task through the pipeline,
+    /// and returns the final accounting.
+    pub fn shutdown(mut self) -> Result<ServeOutcome, ServeError> {
+        self.state.open.store(false, Ordering::Release);
+        let _ = self.ctrl.send(Ctrl::Close);
+        match self.thread.take() {
+            Some(handle) => handle.join().map_err(|_| ServeError::Closed)?,
+            None => Err(ServeError::Closed),
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if let Some(handle) = self.thread.take() {
+            self.state.open.store(false, Ordering::Release);
+            let _ = self.ctrl.send(Ctrl::Close);
+            let _ = handle.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_server(
+    model: Model,
+    cluster: Cluster,
+    params: CostParams,
+    plan0: Plan,
+    engine_seed: u64,
+    tick: Duration,
+    state: Arc<ServeState>,
+    ctrl: Receiver<Ctrl>,
+) -> Result<ServeOutcome, ServeError> {
+    let engine = Engine::with_seed(&model, engine_seed);
+    let auditor = Auditor::new(&model, &cluster).with_params(params);
+    let mut plan = plan0;
+    let mut epochs = 0u64;
+    let mut swaps = 0u64;
+    let mut batches = 0u64;
+    loop {
+        let epoch_index = epochs;
+        epochs += 1;
+        let mut epoch_completed = 0u64;
+        let runtime = PipelineRuntime::builder(&model, &plan, &engine)
+            .recorder(state.rec.clone())
+            .build();
+        let session = runtime.session(|sess| loop {
+            match ctrl.recv_timeout(tick) {
+                Ok(Ctrl::Swap(next, reply)) => {
+                    pump(sess, &state, &mut batches, &mut epoch_completed, true)?;
+                    return Ok(EpochExit::Swap(next, reply));
+                }
+                Ok(Ctrl::Close) | Err(RecvTimeoutError::Disconnected) => {
+                    pump(sess, &state, &mut batches, &mut epoch_completed, true)?;
+                    return Ok(EpochExit::Close);
+                }
+                Ok(Ctrl::Nudge) => {
+                    pump(sess, &state, &mut batches, &mut epoch_completed, false)?;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    pump(sess, &state, &mut batches, &mut epoch_completed, true)?;
+                }
+            }
+        });
+        let exit = match session {
+            Ok((exit, _report)) => exit,
+            Err(e) => {
+                state.open.store(false, Ordering::Release);
+                fail_queued(&state, &e);
+                return Err(e.into());
+            }
+        };
+        match exit {
+            EpochExit::Close => break,
+            EpochExit::Swap(next, reply) => {
+                let report = auditor.audit_switch_pair(&plan, &next);
+                if report.is_executable() {
+                    state.rec.instant_at(
+                        names::SWAP_DRAINED,
+                        Ctx::stage(usize::try_from(epoch_index).unwrap_or(usize::MAX)),
+                        state.now(),
+                        epoch_completed as f64,
+                    );
+                    plan = next;
+                    swaps += 1;
+                    let _ = reply.send(Ok(()));
+                } else {
+                    let errors = report.errors().map(|d| d.message.clone()).collect();
+                    let _ = reply.send(Err(ServeError::SwapRejected { errors }));
+                }
+            }
+        }
+    }
+    let ledger = state.ledger.lock();
+    let per_tenant = (0..ledger.tenants())
+        .map(|t| TenantServeStat {
+            admitted: ledger.admitted(t),
+            rejected: ledger.rejected(t),
+            completed: ledger.completed(t),
+        })
+        .collect();
+    Ok(ServeOutcome {
+        per_tenant,
+        batches,
+        swaps,
+        epochs,
+    })
+}
+
+/// Forms and submits micro-batches while they are warranted: always
+/// when `force` (flush tick, drain, shutdown), otherwise only once the
+/// backlog reaches the adaptive target.
+fn pump(
+    sess: &mut ExecutionSession,
+    state: &ServeState,
+    batches: &mut u64,
+    completed: &mut u64,
+    force: bool,
+) -> Result<(), RuntimeError> {
+    loop {
+        let target = state.batcher.lock().target().max(1);
+        let mut ledger = state.ledger.lock();
+        let total = ledger.total_queued();
+        if total == 0 || (!force && total < target) {
+            return Ok(());
+        }
+        let want = target.min(total);
+        // Round-robin composition across tenants, resuming where the
+        // previous batch left off so no tenant is starved.
+        let tenants = ledger.tenants();
+        let mut cursor = state.rr.load(Ordering::Relaxed);
+        let mut picks = vec![0usize; tenants];
+        let mut order = Vec::with_capacity(want);
+        while order.len() < want {
+            let t = cursor % tenants;
+            cursor += 1;
+            if ledger.queued(t) > picks[t] {
+                picks[t] += 1;
+                order.push(t);
+            }
+        }
+        state.rr.store(cursor, Ordering::Relaxed);
+        let mut tasks: Vec<(usize, QueuedTask)> = Vec::with_capacity(want);
+        for &t in &order {
+            ledger.take(t, 1);
+            let Some(task) = state.queues[t].lock().pop_front() else {
+                // Unreachable while admit holds the ledger lock across
+                // its queue push; recover by undoing the claim.
+                ledger.complete(t, 1);
+                continue;
+            };
+            tasks.push((t, task));
+        }
+        drop(ledger);
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let n = tasks.len() as u64;
+        let inputs: Vec<Tensor> = tasks.iter().map(|(_, qt)| qt.input.clone()).collect();
+        state.rec.observe_at(
+            names::BATCH_FORMED,
+            Ctx::default(),
+            state.now(),
+            inputs.len() as f64,
+        );
+        let outputs = match sess.submit(&inputs) {
+            Ok(outputs) => outputs,
+            Err(e) => {
+                for (_, qt) in tasks {
+                    let _ = qt.reply.try_send(Err(ServeError::Runtime(e.clone())));
+                }
+                return Err(e);
+            }
+        };
+        let mut ledger = state.ledger.lock();
+        for ((t, qt), out) in tasks.into_iter().zip(outputs) {
+            ledger.complete(t, 1);
+            let _ = qt.reply.try_send(Ok(out));
+        }
+        drop(ledger);
+        *batches += 1;
+        *completed += n;
+    }
+}
+
+/// Delivers a terminal error to every still-queued task after a
+/// pipeline failure, so no ticket hangs.
+fn fail_queued(state: &ServeState, e: &RuntimeError) {
+    for queue in &state.queues {
+        let mut queue = queue.lock();
+        while let Some(task) = queue.pop_front() {
+            let _ = task.reply.try_send(Err(ServeError::Runtime(e.clone())));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use pico_sim::{AdaptiveBatcher, AdmissionLedger};
+use pico_telemetry::{names, Ctx, Recorder};
+use pico_tensor::Tensor;
+
+use crate::{ServeConfig, ServeError};
+
+/// One admitted task waiting in a tenant queue: its input and the
+/// channel its output (or failure) is delivered on.
+pub(crate) struct QueuedTask {
+    pub(crate) input: Tensor,
+    pub(crate) reply: Sender<Result<Tensor, ServeError>>,
+}
+
+/// Intake state shared (via `Arc`) between every [`crate::ServeHandle`]
+/// clone and the server thread: admission happens on the *caller's*
+/// thread against this state, so backpressure is a synchronous typed
+/// error, never a blocked submit.
+pub struct ServeState {
+    pub(crate) ledger: Mutex<AdmissionLedger>,
+    pub(crate) batcher: Mutex<AdaptiveBatcher>,
+    pub(crate) queues: Vec<Mutex<VecDeque<QueuedTask>>>,
+    pub(crate) open: AtomicBool,
+    pub(crate) rr: AtomicUsize,
+    pub(crate) rec: Recorder,
+    pub(crate) started: Instant,
+}
+
+impl ServeState {
+    pub(crate) fn new(config: &ServeConfig, rec: Recorder, started: Instant) -> Self {
+        let queues = config
+            .tenants
+            .iter()
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        ServeState {
+            ledger: Mutex::new(AdmissionLedger::new(config.tenants.clone())),
+            batcher: Mutex::new(AdaptiveBatcher::new(config.batch)),
+            queues,
+            open: AtomicBool::new(true),
+            rr: AtomicUsize::new(0),
+            rec,
+            started,
+        }
+    }
+
+    /// Seconds since the front-end started — the telemetry timebase.
+    pub(crate) fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Admission on the caller's thread: typed rejection or a receiver
+    /// for the eventual output. The ledger lock covers the queue push,
+    /// so ledger counts and queue lengths can never disagree.
+    pub(crate) fn admit(
+        &self,
+        tenant: usize,
+        input: Tensor,
+    ) -> Result<Receiver<Result<Tensor, ServeError>>, ServeError> {
+        if !self.open.load(Ordering::Acquire) {
+            return Err(ServeError::Closed);
+        }
+        if tenant >= self.queues.len() {
+            return Err(ServeError::UnknownTenant {
+                tenant,
+                tenants: self.queues.len(),
+            });
+        }
+        let t = self.now();
+        let mut ledger = self.ledger.lock();
+        match ledger.offer(tenant) {
+            Ok(depth) => {
+                let (tx, rx) = bounded(1);
+                self.queues[tenant]
+                    .lock()
+                    .push_back(QueuedTask { input, reply: tx });
+                drop(ledger);
+                self.batcher.lock().observe_arrival(t);
+                self.rec
+                    .instant_at(names::TASK_ADMITTED, Ctx::tenant(tenant), t, depth as f64);
+                Ok(rx)
+            }
+            Err(reason) => {
+                let depth = ledger.queued(tenant);
+                drop(ledger);
+                self.rec
+                    .instant_at(names::TASK_REJECTED, Ctx::tenant(tenant), t, depth as f64);
+                Err(ServeError::from_reject(tenant, reason))
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Live-mode smoke tests: the threaded serving front-end against the
+//! real pipelined runtime.
+
+use pico_model::zoo;
+use pico_partition::{Cluster, CostParams, OptimalFused, PlanRequest, Planner};
+use pico_serve::{ServeError, ServeHandle, ServeRequest, TenantPolicy};
+use pico_tensor::{Engine, Tensor};
+
+fn setup() -> (pico_model::Model, Cluster, CostParams) {
+    (
+        zoo::toy(4),
+        Cluster::pi_cluster(4, 1.0),
+        CostParams::default(),
+    )
+}
+
+fn pico_plan(m: &pico_model::Model, c: &Cluster, p: &CostParams) -> pico_partition::Plan {
+    pico_partition::PicoPlanner::new()
+        .plan(&PlanRequest::new(m, c, p))
+        .unwrap()
+}
+
+#[test]
+fn live_outputs_match_single_device_inference() {
+    let (m, c, p) = setup();
+    let plan = pico_plan(&m, &c, &p);
+    let request = ServeRequest::new()
+        .with_tenants(vec![TenantPolicy::default(); 2])
+        .with_engine_seed(5);
+    let handle = ServeHandle::spawn(m.clone(), c, p, plan, &request).unwrap();
+
+    let inputs: Vec<Tensor> = (0..12)
+        .map(|k| Tensor::random(m.input_shape(), 100 + k))
+        .collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, input)| handle.submit(k % 2, input.clone()).unwrap())
+        .collect();
+
+    let reference = Engine::with_seed(&m, 5);
+    for (ticket, input) in tickets.into_iter().zip(&inputs) {
+        let out = ticket.wait().unwrap();
+        let expect = reference.infer(input).unwrap();
+        assert_eq!(out.data(), expect.data(), "served output must be bit-exact");
+    }
+
+    let outcome = handle.shutdown().unwrap();
+    assert_eq!(outcome.per_tenant.len(), 2);
+    for t in &outcome.per_tenant {
+        assert_eq!(t.admitted, 6);
+        assert_eq!(t.completed, 6);
+        assert_eq!(t.rejected, 0);
+    }
+    assert!(outcome.batches >= 1);
+    assert_eq!(outcome.swaps, 0);
+    assert_eq!(outcome.epochs, 1);
+}
+
+#[test]
+fn warm_swap_mid_service_drops_nothing() {
+    let (m, c, p) = setup();
+    let plan = pico_plan(&m, &c, &p);
+    let fused = OptimalFused::new()
+        .plan(&PlanRequest::new(&m, &c, &p))
+        .unwrap();
+    let request = ServeRequest::new().with_engine_seed(9);
+    let handle = ServeHandle::spawn(m.clone(), c, p, plan, &request).unwrap();
+
+    let reference = Engine::with_seed(&m, 9);
+    let before: Vec<_> = (0..4)
+        .map(|k| {
+            let input = Tensor::random(m.input_shape(), 200 + k);
+            (handle.submit(0, input.clone()).unwrap(), input)
+        })
+        .collect();
+    handle.swap(fused).unwrap();
+    let after: Vec<_> = (0..4)
+        .map(|k| {
+            let input = Tensor::random(m.input_shape(), 300 + k);
+            (handle.submit(0, input.clone()).unwrap(), input)
+        })
+        .collect();
+    for (ticket, input) in before.into_iter().chain(after) {
+        let out = ticket.wait().unwrap();
+        assert_eq!(out.data(), reference.infer(&input).unwrap().data());
+    }
+    let outcome = handle.shutdown().unwrap();
+    assert_eq!(outcome.swaps, 1);
+    assert_eq!(outcome.epochs, 2);
+    assert_eq!(outcome.per_tenant[0].admitted, 8);
+    assert_eq!(outcome.per_tenant[0].completed, 8);
+    assert_eq!(outcome.per_tenant[0].rejected, 0);
+}
+
+#[test]
+fn unknown_tenant_and_bad_config_are_typed_errors() {
+    let (m, c, p) = setup();
+    let plan = pico_plan(&m, &c, &p);
+
+    let bad = ServeRequest::new().with_tenants(vec![]);
+    match ServeHandle::spawn(m.clone(), c.clone(), p, plan.clone(), &bad) {
+        Err(ServeError::InvalidConfig { violations }) => assert!(!violations.is_empty()),
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        Ok(_) => panic!("expected InvalidConfig, got a handle"),
+    }
+
+    let handle = ServeHandle::spawn(m.clone(), c, p, plan, &ServeRequest::new()).unwrap();
+    match handle.submit(3, Tensor::random(m.input_shape(), 1)) {
+        Err(ServeError::UnknownTenant {
+            tenant: 3,
+            tenants: 1,
+        }) => {}
+        Err(other) => panic!("expected UnknownTenant, got {other:?}"),
+        Ok(_) => panic!("expected UnknownTenant, got a ticket"),
+    }
+    let outcome = handle.shutdown().unwrap();
+    assert_eq!(outcome.per_tenant[0].admitted, 0);
+}

@@ -220,7 +220,7 @@ impl AdaptiveScheduler {
 mod tests {
     use super::*;
     use pico_model::zoo;
-    use pico_partition::{Cluster, CostParams, OptimalFused, PicoPlanner, Planner};
+    use pico_partition::{Cluster, CostParams, OptimalFused, PicoPlanner, PlanRequest, Planner};
 
     fn setup() -> (pico_model::Model, Cluster, CostParams) {
         (
@@ -232,10 +232,10 @@ mod tests {
 
     fn scheduler<'a>(sim: &Simulation<'a>) -> AdaptiveScheduler {
         let pico = PicoPlanner
-            .plan_simple(sim.model(), sim.cluster(), &sim.params())
+            .plan(&PlanRequest::new(sim.model(), sim.cluster(), &sim.params()))
             .unwrap();
         let ofl = OptimalFused
-            .plan_simple(sim.model(), sim.cluster(), &sim.params())
+            .plan(&PlanRequest::new(sim.model(), sim.cluster(), &sim.params()))
             .unwrap();
         AdaptiveScheduler::new(sim, vec![pico, ofl], 5.0, 0.4)
     }
@@ -300,7 +300,7 @@ mod tests {
         let (m, c, p) = setup();
         let sim = Simulation::new(&m, &c, &p);
         let mut sched = scheduler(&sim);
-        let ofl = OptimalFused.plan_simple(&m, &c, &p).unwrap();
+        let ofl = OptimalFused.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let ofl_metrics = p.cost_model(&m).evaluate(&ofl, &c);
         let lambda = 1.2 / ofl_metrics.period;
         let arrivals = Arrivals::poisson(lambda, 500.0 * ofl_metrics.period, 3);

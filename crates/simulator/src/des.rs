@@ -448,7 +448,7 @@ impl<'a> Simulation<'a> {
 mod tests {
     use super::*;
     use pico_model::zoo;
-    use pico_partition::{CostParams, EarlyFused, OptimalFused, PicoPlanner, Planner};
+    use pico_partition::{CostParams, EarlyFused, OptimalFused, PicoPlanner, PlanRequest, Planner};
 
     fn setup() -> (Model, Cluster, CostParams) {
         (
@@ -461,7 +461,7 @@ mod tests {
     #[test]
     fn closed_loop_throughput_matches_period() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         let report = sim.run(&plan, &Arrivals::closed_loop(200));
@@ -478,7 +478,7 @@ mod tests {
     #[test]
     fn sequential_plan_is_single_server() {
         let (m, c, p) = setup();
-        let plan = OptimalFused.plan_simple(&m, &c, &p).unwrap();
+        let plan = OptimalFused.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         let report = sim.run(&plan, &Arrivals::closed_loop(50));
@@ -490,7 +490,7 @@ mod tests {
     #[test]
     fn light_load_latency_is_service_time() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         // Arrivals far apart: no waiting.
@@ -503,7 +503,7 @@ mod tests {
     #[test]
     fn overload_grows_queue() {
         let (m, c, p) = setup();
-        let plan = OptimalFused.plan_simple(&m, &c, &p).unwrap();
+        let plan = OptimalFused.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         // 2x the sustainable rate: waiting time grows linearly.
@@ -517,7 +517,7 @@ mod tests {
     #[test]
     fn poisson_latency_tracks_mdone() {
         let (m, c, p) = setup();
-        let plan = OptimalFused.plan_simple(&m, &c, &p).unwrap();
+        let plan = OptimalFused.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let sim = Simulation::new(&m, &c, &p);
         let lambda = 0.5 / metrics.period;
@@ -542,8 +542,8 @@ mod tests {
         // The Fig. 10/11 story.
         let (m, c, p) = setup();
         let sim = Simulation::new(&m, &c, &p);
-        let pico = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
-        let ofl = OptimalFused.plan_simple(&m, &c, &p).unwrap();
+        let pico = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
+        let ofl = OptimalFused.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let ofl_metrics = p.cost_model(&m).evaluate(&ofl, &c);
         // Load = 120% of OFL's capacity, sustainable for PICO.
         let lambda = 1.2 / ofl_metrics.period;
@@ -562,7 +562,7 @@ mod tests {
     #[test]
     fn utilization_bounded_and_busy_positive() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let sim = Simulation::new(&m, &c, &p);
         let report = sim.run(&plan, &Arrivals::closed_loop(100));
         assert_eq!(report.device_stats.len(), 8);
@@ -576,7 +576,7 @@ mod tests {
     #[test]
     fn jitter_raises_latency_and_preserves_completions() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let arrivals = Arrivals::poisson(0.5 / metrics.period, 300.0 * metrics.period, 4);
         let clean = Simulation::new(&m, &c, &p).run(&plan, &arrivals);
@@ -598,7 +598,7 @@ mod tests {
     #[test]
     fn zero_jitter_equals_deterministic() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let arrivals = Arrivals::closed_loop(40);
         let a = Simulation::new(&m, &c, &p).run(&plan, &arrivals);
         let b = Simulation::new(&m, &c, &p)
@@ -610,7 +610,7 @@ mod tests {
     #[test]
     fn recorder_captures_virtual_time_services() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let rec = Recorder::in_memory();
         let sim = Simulation::new(&m, &c, &p).with_recorder(rec.clone());
         let n = 10;
@@ -650,7 +650,7 @@ mod tests {
     #[test]
     fn failed_device_lowers_throughput_but_keeps_completions() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let victim = victim_in_shared_stage(&plan);
         let clean = Simulation::new(&m, &c, &p).run(&plan, &Arrivals::closed_loop(100));
         let degraded = Simulation::new(&m, &c, &p)
@@ -670,7 +670,7 @@ mod tests {
     #[test]
     fn stage_with_no_survivor_drops_remaining_tasks() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         // Kill every stage-0 device from task 5 on: tasks 0..5 complete,
         // everything after is offered to a stage with no survivor.
         let outage: Vec<(usize, usize)> = plan.stages[0]
@@ -688,7 +688,7 @@ mod tests {
     #[test]
     fn failure_emits_virtual_time_instant() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let metrics = p.cost_model(&m).evaluate(&plan, &c);
         let victim = victim_in_shared_stage(&plan);
         let rec = Recorder::in_memory();
@@ -713,7 +713,7 @@ mod tests {
     #[test]
     fn degraded_simulation_is_deterministic() {
         let (m, c, p) = setup();
-        let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let victim = victim_in_shared_stage(&plan);
         let run = || {
             Simulation::new(&m, &c, &p)
@@ -727,8 +727,10 @@ mod tests {
     fn efl_has_higher_redundancy_than_pico() {
         let (m, c, p) = setup();
         let sim = Simulation::new(&m, &c, &p);
-        let efl = EarlyFused::new().plan_simple(&m, &c, &p).unwrap();
-        let pico = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+        let efl = EarlyFused::new()
+            .plan(&PlanRequest::new(&m, &c, &p))
+            .unwrap();
+        let pico = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
         let r_efl = sim.run(&efl, &Arrivals::closed_loop(50));
         let r_pico = sim.run(&pico, &Arrivals::closed_loop(50));
         assert!(

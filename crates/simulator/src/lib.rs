@@ -17,19 +17,22 @@
 //! * [`Ewma`] / [`WorkloadEstimator`] — the Eq. 15 workload tracker;
 //! * [`AdaptiveScheduler`] — APICO's scheme switching (Sec. IV-C);
 //! * [`workload`] — phase/burst/diurnal arrival generators for the
-//!   "dynamic workload" scenarios that motivate APICO.
+//!   "dynamic workload" scenarios that motivate APICO;
+//! * [`serve_policy`] — admission control and adaptive micro-batching
+//!   shared with the `pico-serve` front-end, plus [`ServeSim`], its
+//!   deterministic batch-server mirror.
 //!
 //! # Example
 //!
 //! ```
 //! use pico_model::zoo;
-//! use pico_partition::{Cluster, CostParams, PicoPlanner, Planner};
+//! use pico_partition::{Cluster, CostParams, PicoPlanner, PlanRequest, Planner};
 //! use pico_sim::{Arrivals, Simulation};
 //!
 //! let model = zoo::vgg16().features();
 //! let cluster = Cluster::pi_cluster(8, 1.0);
 //! let params = CostParams::wifi_50mbps();
-//! let plan = PicoPlanner::default().plan_simple(&model, &cluster, &params)?;
+//! let plan = PicoPlanner::default().plan(&PlanRequest::new(&model, &cluster, &params))?;
 //!
 //! let sim = Simulation::new(&model, &cluster, &params);
 //! let report = sim.run(&plan, &Arrivals::closed_loop(100));
@@ -48,6 +51,7 @@ mod des;
 mod ewma;
 pub mod mdone;
 mod metrics;
+pub mod serve_policy;
 pub mod workload;
 
 pub use adaptive::{AdaptiveScheduler, SchedulerDecision};
@@ -56,3 +60,7 @@ pub use band::WorkloadBand;
 pub use des::{Simulation, StationProfile};
 pub use ewma::{Ewma, WorkloadEstimator};
 pub use metrics::{DeviceStat, SimReport};
+pub use serve_policy::{
+    AdaptiveBatcher, AdmissionLedger, BatchPolicy, RejectReason, ServeSim, ServeSimReport,
+    ServiceProfile, TenantPolicy, TenantServeStat,
+};

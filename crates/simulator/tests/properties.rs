@@ -2,7 +2,9 @@
 //! that must hold for any plan and arrival stream.
 
 use pico_model::zoo;
-use pico_partition::{Cluster, CostParams, EarlyFused, OptimalFused, PicoPlanner, Planner};
+use pico_partition::{
+    Cluster, CostParams, EarlyFused, OptimalFused, PicoPlanner, PlanRequest, Planner,
+};
 use pico_sim::{mdone, Arrivals, Simulation};
 use proptest::prelude::*;
 
@@ -32,7 +34,7 @@ proptest! {
         let (model, cluster, params) = setup();
         let sim = Simulation::new(&model, &cluster, &params);
         for planner in planners() {
-            let plan = planner.plan_simple(&model, &cluster, &params).expect("plans");
+            let plan = planner.plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
             let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
             let lambda = rate_scale / metrics.period;
             let arrivals = Arrivals::poisson(lambda, 60.0 * metrics.period, seed);
@@ -54,7 +56,7 @@ proptest! {
         let (model, cluster, params) = setup();
         let sim = Simulation::new(&model, &cluster, &params);
         for planner in planners() {
-            let plan = planner.plan_simple(&model, &cluster, &params).expect("plans");
+            let plan = planner.plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
             let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
             let report = sim.run(&plan, &Arrivals::closed_loop(count));
             prop_assert!(report.throughput <= 1.0 / metrics.period + 1e-9,
@@ -69,7 +71,7 @@ proptest! {
     fn stability_dichotomy(seed in 0u64..100) {
         let (model, cluster, params) = setup();
         let sim = Simulation::new(&model, &cluster, &params);
-        let plan = OptimalFused::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let plan = OptimalFused::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
 
         let stable = Arrivals::poisson(0.5 / metrics.period, 400.0 * metrics.period, seed);
@@ -89,7 +91,7 @@ proptest! {
     fn mdone_tracks_simulation(load in 0.2f64..0.8) {
         let (model, cluster, params) = setup();
         let sim = Simulation::new(&model, &cluster, &params);
-        let plan = EarlyFused::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let plan = EarlyFused::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
         let lambda = load / metrics.period;
         let arrivals = Arrivals::poisson(lambda, 3000.0 * metrics.period, 7);
@@ -105,7 +107,7 @@ proptest! {
     fn busy_time_conservation(count in 1usize..100) {
         let (model, cluster, params) = setup();
         let sim = Simulation::new(&model, &cluster, &params);
-        let plan = PicoPlanner::new().plan_simple(&model, &cluster, &params).expect("plans");
+        let plan = PicoPlanner::new().plan(&PlanRequest::new(&model, &cluster, &params)).expect("plans");
         let cm = params.cost_model(&model);
         let report = sim.run(&plan, &Arrivals::closed_loop(count));
         for stage in &plan.stages {

@@ -65,6 +65,8 @@ pub struct Ctx {
     pub device: Id,
     /// Task index (submission order).
     pub task: Id,
+    /// Serving-layer tenant index (absent for runtime/planner events).
+    pub tenant: Id,
 }
 
 impl Ctx {
@@ -85,6 +87,20 @@ impl Ctx {
     /// Adds a task index.
     pub fn for_task(mut self, task: usize) -> Self {
         self.task = Id::some(task);
+        self
+    }
+
+    /// A context locating a serving-layer tenant.
+    pub fn tenant(tenant: usize) -> Self {
+        Ctx {
+            tenant: Id::some(tenant),
+            ..Ctx::default()
+        }
+    }
+
+    /// Adds a tenant index.
+    pub fn for_tenant(mut self, tenant: usize) -> Self {
+        self.tenant = Id::some(tenant);
         self
     }
 }
@@ -181,6 +197,10 @@ mod tests {
         assert_eq!(c.stage.get(), Some(2));
         assert_eq!(c.device.get(), Some(7));
         assert_eq!(c.task.get(), Some(31));
+        assert_eq!(c.tenant.get(), None);
+        let t = Ctx::tenant(3).for_task(5);
+        assert_eq!(t.tenant.get(), Some(3));
+        assert_eq!(t.stage.get(), None);
         assert_eq!(Ctx::default().stage.get(), None);
         assert_eq!(Id::NONE.get(), None);
         // The sentinel itself is never a valid index.

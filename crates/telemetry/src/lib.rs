@@ -65,4 +65,4 @@ pub use error::TelemetryError;
 pub use event::{Ctx, Event, EventKind, Id};
 pub use histogram::Histogram;
 pub use recorder::{Recorder, SpanGuard};
-pub use summary::TraceSummary;
+pub use summary::{TenantSummary, TraceSummary};

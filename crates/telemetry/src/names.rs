@@ -67,8 +67,27 @@ pub const TASK_RETRIED: &str = "task_retried";
 /// first task executed under the new plan.
 pub const PLAN_DEGRADED: &str = "plan_degraded";
 
+/// The serving front-end admitted a task into a tenant queue
+/// (instant). `ctx`: tenant, task (the serve-layer sequence number);
+/// `value`: the tenant's queue depth after the admit.
+pub const TASK_ADMITTED: &str = "task_admitted";
+
+/// The serving front-end rejected a task with a typed error (instant).
+/// `ctx`: tenant; `value`: the tenant's queue depth at rejection.
+pub const TASK_REJECTED: &str = "task_rejected";
+
+/// The adaptive micro-batcher closed a batch (sample). `value`: batch
+/// size in tasks — summarized as a histogram, so a trace shows the
+/// size adapting to the arrival rate.
+pub const BATCH_FORMED: &str = "batch_formed";
+
+/// A warm swap finished draining the outgoing plan (instant).
+/// `ctx.stage`: the plan epoch being retired; `value`: tasks completed
+/// under the drained plan.
+pub const SWAP_DRAINED: &str = "swap_drained";
+
 /// Every registered name, in registry order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 20] = [
     SCATTER,
     COMPUTE,
     HALO_EXCHANGE,
@@ -85,6 +104,10 @@ pub const ALL: [&str; 16] = [
     DEVICE_FAILED,
     TASK_RETRIED,
     PLAN_DEGRADED,
+    TASK_ADMITTED,
+    TASK_REJECTED,
+    BATCH_FORMED,
+    SWAP_DRAINED,
 ];
 
 #[cfg(test)]

@@ -50,11 +50,28 @@ impl StageSummary {
     }
 }
 
+/// Admission-control aggregates for one serving-layer tenant, counted
+/// from `task_admitted` / `task_rejected` instants.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant index (the serving layer's registration order).
+    pub tenant: u32,
+    /// Tasks admitted into the tenant's queue.
+    pub admitted: u64,
+    /// Tasks rejected with a typed admission error.
+    pub rejected: u64,
+}
+
 /// A per-stage timeline view over recorded telemetry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
     /// Per-stage aggregates, sorted by stage index.
     pub stages: Vec<StageSummary>,
+    /// Per-tenant admission aggregates, sorted by tenant index (empty
+    /// for traces without a serving layer).
+    pub tenants: Vec<TenantSummary>,
+    /// Warm swaps drained (`swap_drained` instants).
+    pub swaps: u64,
     /// Seconds spent planning (`plan` spans).
     pub plan_time: f64,
     /// Wall window covered by spans: latest end − earliest begin.
@@ -74,12 +91,17 @@ impl TraceSummary {
             .filter(|e| e.kind == EventKind::Sample)
             .map(|e| (e.name, e.value))
             .collect();
+        let instants: Vec<(&str, Option<u32>)> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant)
+            .map(|e| (e.name, e.ctx.tenant.get()))
+            .collect();
         let tasks_completed = events
             .iter()
             .filter(|e| e.kind == EventKind::Counter && e.name == names::TASKS_COMPLETED)
             .map(|e| e.value)
             .sum();
-        Self::build(&spans, &samples, tasks_completed)
+        Self::build(&spans, &samples, &instants, tasks_completed)
     }
 
     /// Builds a summary from a parsed Chrome trace file.
@@ -89,16 +111,26 @@ impl TraceSummary {
             .iter()
             .map(|(n, v)| (n.as_str(), *v))
             .collect();
+        let instants: Vec<(&str, Option<u32>)> = trace
+            .instant_records
+            .iter()
+            .map(|r| (r.name.as_str(), r.tenant))
+            .collect();
         let tasks_completed = trace
             .counter_totals
             .iter()
             .find(|(n, _)| n == names::TASKS_COMPLETED)
             .map(|(_, v)| *v)
             .unwrap_or(0.0);
-        Self::build(&trace.spans, &samples, tasks_completed)
+        Self::build(&trace.spans, &samples, &instants, tasks_completed)
     }
 
-    fn build(spans: &[TraceSpan], samples: &[(&str, f64)], tasks_completed: f64) -> Self {
+    fn build(
+        spans: &[TraceSpan],
+        samples: &[(&str, f64)],
+        instants: &[(&str, Option<u32>)],
+        tasks_completed: f64,
+    ) -> Self {
         let mut summary = TraceSummary {
             tasks_completed,
             ..TraceSummary::default()
@@ -137,6 +169,31 @@ impl TraceSummary {
             }
         }
         summary.stages.sort_by_key(|s| s.stage);
+        for (name, tenant) in instants {
+            match *name {
+                n if n == names::SWAP_DRAINED => summary.swaps += 1,
+                n if n == names::TASK_ADMITTED || n == names::TASK_REJECTED => {
+                    let Some(tenant) = tenant else { continue };
+                    let entry = match summary.tenants.iter_mut().find(|t| t.tenant == *tenant) {
+                        Some(entry) => entry,
+                        None => {
+                            summary.tenants.push(TenantSummary {
+                                tenant: *tenant,
+                                ..TenantSummary::default()
+                            });
+                            summary.tenants.last_mut().unwrap()
+                        }
+                    };
+                    if n == names::TASK_ADMITTED {
+                        entry.admitted += 1;
+                    } else {
+                        entry.rejected += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        summary.tenants.sort_by_key(|t| t.tenant);
         if latest > earliest {
             summary.window = latest - earliest;
         }
@@ -227,6 +284,15 @@ impl fmt::Display for TraceSummary {
                     "bottleneck: stage {stage} (measured period {period:.6} s/task)"
                 )?;
             }
+        }
+        if !self.tenants.is_empty() {
+            writeln!(f, "{:>6} {:>9} {:>9}", "tenant", "admitted", "rejected")?;
+            for t in &self.tenants {
+                writeln!(f, "{:>6} {:>9} {:>9}", t.tenant, t.admitted, t.rejected)?;
+            }
+        }
+        if self.swaps > 0 {
+            writeln!(f, "warm swaps drained: {}", self.swaps)?;
         }
         for (name, hist) in &self.samples {
             writeln!(
@@ -331,6 +397,50 @@ mod tests {
         assert!(text.contains("bottleneck: stage 1"));
         assert!(text.contains("sample lambda_estimate"));
         assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn tenant_rows_and_swaps_from_serve_instants() {
+        let rec = Recorder::in_memory();
+        // Two tenants: tenant 0 admits 3 and loses 1 to admission
+        // control, tenant 1 admits 1. One warm swap drains, and the
+        // batcher closes batches of 1 and 3.
+        for (i, t) in [0usize, 0, 1, 0].iter().enumerate() {
+            rec.instant_at(
+                names::TASK_ADMITTED,
+                Ctx::tenant(*t).for_task(i),
+                i as f64 * 0.01,
+                1.0,
+            );
+        }
+        rec.instant_at(names::TASK_REJECTED, Ctx::tenant(0), 0.05, 4.0);
+        rec.observe_at(names::BATCH_FORMED, Ctx::default(), 0.06, 1.0);
+        rec.observe_at(names::BATCH_FORMED, Ctx::default(), 0.07, 3.0);
+        rec.instant_at(names::SWAP_DRAINED, Ctx::stage(0), 0.08, 4.0);
+        let events = rec.snapshot();
+        let live = TraceSummary::from_events(&events);
+        assert_eq!(live.swaps, 1);
+        assert_eq!(live.tenants.len(), 2);
+        assert_eq!(live.tenants[0].tenant, 0);
+        assert_eq!(live.tenants[0].admitted, 3);
+        assert_eq!(live.tenants[0].rejected, 1);
+        assert_eq!(live.tenants[1].admitted, 1);
+        assert_eq!(live.tenants[1].rejected, 0);
+        let batches = live
+            .samples
+            .iter()
+            .find(|(n, _)| n == names::BATCH_FORMED)
+            .map(|(_, h)| h)
+            .expect("batch_formed histogram");
+        assert!(batches.min() < batches.max(), "batch size adapted");
+        // The same rows survive a trip through the trace file format.
+        let parsed = parse_chrome_trace(&chrome_trace(&events)).expect("round trip");
+        let from_file = TraceSummary::from_trace(&parsed);
+        assert_eq!(from_file.tenants, live.tenants);
+        assert_eq!(from_file.swaps, 1);
+        let text = live.to_string();
+        assert!(text.contains("tenant"), "{text}");
+        assert!(text.contains("warm swaps drained: 1"), "{text}");
     }
 
     #[test]

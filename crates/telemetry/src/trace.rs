@@ -28,6 +28,8 @@ pub struct TraceSpan {
     pub device: Option<u32>,
     /// Task index, if the span was located.
     pub task: Option<u32>,
+    /// Serving-layer tenant index, if the span was located.
+    pub tenant: Option<u32>,
     /// Begin timestamp, seconds.
     pub begin: f64,
     /// Duration, seconds.
@@ -56,6 +58,30 @@ pub struct ParsedTrace {
     /// lets failover tests assert event ordering (`device_failed`
     /// before `plan_degraded`) from a re-parsed trace.
     pub instant_events: Vec<(String, f64)>,
+    /// Every instant event with its full location and payload — what
+    /// `instant_events` drops. Per-tenant serving summaries are built
+    /// from these.
+    pub instant_records: Vec<InstantRecord>,
+}
+
+/// One instant event as recovered from a trace file, location and
+/// payload included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRecord {
+    /// Instant name.
+    pub name: String,
+    /// Timestamp, seconds.
+    pub ts: f64,
+    /// Stage index, if located.
+    pub stage: Option<u32>,
+    /// Device id, if located.
+    pub device: Option<u32>,
+    /// Task index, if located.
+    pub task: Option<u32>,
+    /// Serving-layer tenant index, if located.
+    pub tenant: Option<u32>,
+    /// Value payload (0.0 when absent).
+    pub value: f64,
 }
 
 impl ParsedTrace {
@@ -77,11 +103,11 @@ impl ParsedTrace {
 /// emits balanced pairs, so anything unbalanced means a truncated
 /// stream, and partial spans have no meaningful duration.
 pub fn pair_spans(events: &[Event]) -> Vec<TraceSpan> {
-    type Key = (&'static str, crate::Id, crate::Id, crate::Id);
+    type Key = (&'static str, crate::Id, crate::Id, crate::Id, crate::Id);
     let mut open: HashMap<Key, Vec<&Event>> = HashMap::new();
     let mut spans = Vec::new();
     for e in events {
-        let key = (e.name, e.ctx.stage, e.ctx.device, e.ctx.task);
+        let key = (e.name, e.ctx.stage, e.ctx.device, e.ctx.task, e.ctx.tenant);
         match e.kind {
             EventKind::SpanBegin => open.entry(key).or_default().push(e),
             EventKind::SpanEnd => {
@@ -91,6 +117,7 @@ pub fn pair_spans(events: &[Event]) -> Vec<TraceSpan> {
                         stage: e.ctx.stage.get(),
                         device: e.ctx.device.get(),
                         task: e.ctx.task.get(),
+                        tenant: e.ctx.tenant.get(),
                         begin: begin.ts,
                         dur: e.ts - begin.ts,
                         value: begin.value,
@@ -119,6 +146,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
         push_arg_u32(&mut args, "stage", span.stage);
         push_arg_u32(&mut args, "device", span.device);
         push_arg_u32(&mut args, "task", span.task);
+        push_arg_u32(&mut args, "tenant", span.tenant);
         if span.value != 0.0 {
             push_arg_raw(&mut args, "flops", &json::fmt_f64(span.value));
         }
@@ -159,6 +187,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 push_arg_u32(&mut args, "stage", e.ctx.stage.get());
                 push_arg_u32(&mut args, "device", e.ctx.device.get());
                 push_arg_u32(&mut args, "task", e.ctx.task.get());
+                push_arg_u32(&mut args, "tenant", e.ctx.tenant.get());
                 if e.value != 0.0 || e.kind == EventKind::Sample {
                     push_arg_raw(&mut args, "value", &json::fmt_f64(e.value));
                 }
@@ -252,6 +281,7 @@ pub fn parse_chrome_trace(text: &str) -> Result<ParsedTrace, TelemetryError> {
                     stage: arg_f64("stage").map(|v| v as u32),
                     device: arg_f64("device").map(|v| v as u32),
                     task: arg_f64("task").map(|v| v as u32),
+                    tenant: arg_f64("tenant").map(|v| v as u32),
                     begin: ts / 1e6,
                     dur: dur / 1e6,
                     value: arg_f64("flops").unwrap_or(0.0),
@@ -272,6 +302,15 @@ pub fn parse_chrome_trace(text: &str) -> Result<ParsedTrace, TelemetryError> {
             "i" => {
                 trace.instants += 1;
                 trace.instant_events.push((name.to_string(), ts / 1e6));
+                trace.instant_records.push(InstantRecord {
+                    name: name.to_string(),
+                    ts: ts / 1e6,
+                    stage: arg_f64("stage").map(|v| v as u32),
+                    device: arg_f64("device").map(|v| v as u32),
+                    task: arg_f64("task").map(|v| v as u32),
+                    tenant: arg_f64("tenant").map(|v| v as u32),
+                    value: arg_f64("value").unwrap_or(0.0),
+                });
                 if let Some(v) = arg_f64("value") {
                     trace.samples.push((name.to_string(), v));
                 }

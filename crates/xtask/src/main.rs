@@ -32,7 +32,12 @@
 //!    `pico-telemetry` (the `clock::wall_now` seam) and `pico-bench`
 //!    (the measurement harness); everything else must go through the
 //!    seam so timing stays mockable and the simulator's virtual time
-//!    cannot silently mix with wall time.
+//!    cannot silently mix with wall time;
+//! 8. **bounded-channels-only** — no `unbounded(` / `mpsc::channel(`
+//!    in non-test code of `pico-runtime` and `pico-serve`: every
+//!    queue in the serving path is bounded so backpressure reaches
+//!    admission control as a typed rejection instead of unbounded
+//!    memory growth.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -86,9 +91,10 @@ fn lint() -> ExitCode {
     lint_telemetry_names(&root, &mut violations);
     lint_kernel_hot_path(&root, &mut violations);
     lint_wall_clock(&root, &mut violations);
+    lint_bounded_channels(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (7 rules, 0 findings)");
+        println!("xtask lint: clean (8 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -585,6 +591,36 @@ fn lint_wall_clock(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 8: only bounded channels in the serving path. An unbounded
+/// queue between intake and the pipeline would absorb overload
+/// silently; the design surfaces it as a typed admission rejection.
+fn lint_bounded_channels(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    for dir in ["crates/runtime/src", "crates/serve/src"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        for (line, code) in non_test_lines(&source) {
+            for pattern in ["unbounded(", "mpsc::channel("] {
+                if code.contains(pattern) {
+                    violations.push(Violation {
+                        rule: "bounded-channels-only",
+                        file: file.clone(),
+                        line,
+                        detail: format!(
+                            "`{pattern}` in the serving path; use `bounded(..)` so \
+                             backpressure surfaces at admission"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +705,7 @@ mod tests {
         lint_telemetry_names(&root, &mut violations);
         lint_kernel_hot_path(&root, &mut violations);
         lint_wall_clock(&root, &mut violations);
+        lint_bounded_channels(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

@@ -13,6 +13,7 @@ use std::process::ExitCode;
 use pico::model::Model;
 use pico::partition::memory::{plan_memory, single_device_memory};
 use pico::prelude::*;
+use pico::serve::{build_script, ReplayScript, ScriptSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +39,9 @@ commands:
   compare    predict every scheme (LW/EFL/OFL/GRID/PICO) side by side
   simulate   run a Poisson workload through the queueing simulator
   run        execute a plan on the threaded runtime (optionally traced)
+  serve      deterministically replay a scripted multi-tenant serving
+             trace through the runtime (admission control, adaptive
+             micro-batching, audit-gated mid-trace warm swap)
   trace      summarize or validate a Chrome trace written by `run`
   bench      offline micro-benchmarks (compute kernels under both
              backends, planner wall-time + calibration fit, end-to-end)
@@ -74,14 +78,20 @@ options:
                              EFL capacity (default 1.0)
   --minutes <m>              `simulate`: virtual duration (default 10)
   --tasks <n>                `run`: tasks to push through (default 4)
-  --seed <n>                 `run`: synthetic weight/input seed
+                             `serve`: trace arrivals (default 96)
+  --seed <n>                 `run`/`serve`: synthetic weight/input seed
+  --replay <steady|bursty|ramp>  `serve`: which scripted trace to replay
+  --tenants <n>              `serve`: tenant count (default 2)
+  --swap-at <k|none>         `serve`: schedule the PICO->OFL warm swap
+                             at arrival <k> (default: tasks/2)
   --throttle-scale <f>       `run`: stretch stages to cost-model
                              proportions (scaled by <f>)
   --fail-device <id>@<task>  `run`: inject a failure — device <id> dies
                              from task <task> on; repeatable. Failures
                              are retried on survivors and the pipeline
                              re-planned when a stage loses every device
-  --trace <file.json>        `run`: write a Chrome trace-event file
+  --trace <file.json>        `run`/`serve`: write a Chrome trace-event
+                             file
   --warmup/--iters/--runs <n> `bench`: measurement protocol overrides
   --json <file>              `bench`/`audit`: also write the
                              machine-readable report (round-tripped
@@ -609,11 +619,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             println!(
-                "{} plan, {} task(s) in {:.3}s: {:.2} tasks/s",
+                "{} plan, {} task(s) in {:.3}s: {} tasks/s",
                 plan.scheme,
                 report.outputs.len(),
                 report.elapsed.as_secs_f64(),
-                report.throughput()
+                report
+                    .throughput()
+                    .map_or_else(|| "n/a".to_owned(), |t| format!("{t:.2}"))
             );
             if let (Some(period), Some(stage)) =
                 (report.measured_period(), report.bottleneck_stage())
@@ -640,6 +652,100 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--trace {path}: {e}"))?;
                 println!("wrote {} event(s) to {path}", events.len());
             }
+            Ok(())
+        }
+        "serve" => {
+            let spec_name = opts
+                .get("replay")
+                .ok_or("serve requires --replay <steady|bursty|ramp>")?;
+            let script = ReplayScript::parse(spec_name)
+                .ok_or_else(|| format!("--replay: unknown script `{spec_name}`"))?;
+            let tasks = opts.get_usize("tasks", 96)?;
+            let seed = opts.get_usize("seed", 7)? as u64;
+            let tenants = opts.get_usize("tenants", 2)?;
+            let swap_at = match opts.get("swap-at") {
+                Some("none") => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("--swap-at: bad index `{v}`"))?,
+                ),
+                None => Some(tasks / 2),
+            };
+            let spec = ScriptSpec {
+                tasks,
+                tenants,
+                seed,
+                swap_at,
+            };
+            let rp = build_script(pico.model(), pico.cluster(), &pico.params(), script, &spec)
+                .map_err(|e| e.to_string())?;
+            let rec = Recorder::in_memory();
+            let engine = Engine::with_seed(pico.model(), seed);
+            let outcome = Replayer::new(
+                pico.model(),
+                pico.cluster(),
+                &pico.params(),
+                &engine,
+                rp.config,
+            )
+            .with_recorder(rec.clone())
+            .run(&rp.initial, &rp.events)
+            .map_err(|e| e.to_string())?;
+
+            println!(
+                "replayed `{}`: {} arrival(s), {} tenant(s), seed {seed}",
+                script.name(),
+                tasks,
+                tenants
+            );
+            println!("tenant  admitted  rejected  completed");
+            for (t, s) in outcome.per_tenant.iter().enumerate() {
+                println!(
+                    "t{t:<5} {:>9} {:>9} {:>10}",
+                    s.admitted, s.rejected, s.completed
+                );
+            }
+            println!(
+                "{} batch(es): size min {} / mean {:.2} / max {}",
+                outcome.batch_sizes.len(),
+                outcome.min_batch(),
+                outcome.mean_batch(),
+                outcome.max_batch()
+            );
+            println!(
+                "{} warm swap(s) across {} epoch(s); virtual makespan {:.3}s",
+                outcome.swaps, outcome.epochs, outcome.makespan
+            );
+            for msg in &outcome.swap_rejections {
+                println!("swap rejected by audit: {msg}");
+            }
+            for r in outcome.rejections.iter().take(5) {
+                println!("rejected task {} (tenant {}): {}", r.seq, r.tenant, r.error);
+            }
+            if outcome.rejections.len() > 5 {
+                println!("... and {} more rejection(s)", outcome.rejections.len() - 5);
+            }
+            let events = rec.snapshot();
+            print!("{}", TraceSummary::from_events(&events));
+            if let Some(path) = opts.get("trace") {
+                std::fs::write(path, pico::telemetry::trace::chrome_trace(&events))
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                println!("wrote {} event(s) to {path}", events.len());
+            }
+
+            // The serving contract: every arrival is either completed or
+            // rejected with a typed error — an admitted task can never
+            // silently vanish, warm swap or not.
+            let served = outcome.completed.len() as u64;
+            let admitted: u64 = outcome.per_tenant.iter().map(|s| s.admitted).sum();
+            let rejected = outcome.rejections.len() as u64;
+            if served != admitted || served + rejected != tasks as u64 {
+                return Err(format!(
+                    "dropped tasks: {admitted} admitted, {served} served, \
+                     {rejected} rejected of {tasks} arrivals"
+                ));
+            }
+            println!("zero drops: {served} served + {rejected} rejected = {tasks} arrivals");
             Ok(())
         }
         "model" => {
@@ -798,6 +904,51 @@ mod tests {
         assert!(run(&with(&["--deep", "--lambda", "0.5:2.0x"])).is_err());
         // A tiny certified budget is an error-level PA302 verdict.
         assert!(run(&with(&["--deep", "--deep-memory-budget", "0.001"])).is_err());
+    }
+
+    #[test]
+    fn serve_replays_with_zero_drops_and_rejects_bad_flags() {
+        run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--replay",
+            "bursty",
+            "--tasks",
+            "48",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--replay",
+            "steady",
+            "--tasks",
+            "16",
+            "--swap-at",
+            "none",
+        ]))
+        .unwrap();
+        assert!(
+            run(&sv(&["serve", "--model", "mnist_toy"])).is_err(),
+            "needs --replay"
+        );
+        assert!(run(&sv(&["serve", "--model", "mnist_toy", "--replay", "bogus"])).is_err());
+        assert!(run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--replay",
+            "ramp",
+            "--swap-at",
+            "x",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use pico_core as core;
 pub use pico_model as model;
 pub use pico_partition as partition;
 pub use pico_runtime as runtime;
+pub use pico_serve as serve;
 pub use pico_sim as sim;
 pub use pico_telemetry as telemetry;
 pub use pico_tensor as tensor;
@@ -65,6 +66,9 @@ pub mod prelude {
     pub use pico_runtime::{
         FailureRecord, FailureSchedule, InjectedFailure, PipelineRuntime, RecoveryPolicy,
         RunReport, RuntimeBuilder, RuntimeError, Throttle,
+    };
+    pub use pico_serve::{
+        BatchPolicy, Replayer, ServeConfig, ServeError, ServeHandle, ServeRequest, TenantPolicy,
     };
     pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
     pub use pico_telemetry::{names, Ctx, Event, EventKind, Recorder, TraceSummary};

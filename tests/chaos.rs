@@ -52,7 +52,7 @@ fn schedules(plan: &Plan) -> Vec<FailureSchedule> {
 #[test]
 fn chaos_matrix_is_bit_exact_across_seeds_and_schedules() {
     let (m, c, p) = setup();
-    let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+    let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
     let n = 5;
     for seed in [11u64, 22, 33] {
         let inputs: Vec<Tensor> = (0..n)
@@ -103,7 +103,7 @@ fn chaos_runs_are_deterministic() {
     // Same seed + same schedule: identical outputs and identical
     // failure records, run after run.
     let (m, c, p) = setup();
-    let plan = PicoPlanner.plan_simple(&m, &c, &p).unwrap();
+    let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
     let engine = Engine::with_seed(&m, 5);
     let inputs: Vec<Tensor> = (0..4)
         .map(|i| Tensor::random(m.input_shape(), 90 + i))

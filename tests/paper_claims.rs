@@ -109,12 +109,12 @@ fn np_hardness_construction_scales_linearly() {
     for devices in [2usize, 4, 8] {
         let cluster = Cluster::pi_cluster(devices, 1.0);
         let plan = PicoPlanner::new()
-            .plan_simple(&model, &cluster, &params)
+            .plan(&PlanRequest::new(&model, &cluster, &params))
             .unwrap();
         let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
         let single = Cluster::pi_cluster(1, 1.0);
         let solo = PicoPlanner::new()
-            .plan_simple(&model, &single, &params)
+            .plan(&PlanRequest::new(&model, &single, &params))
             .unwrap();
         let solo_metrics = params.cost_model(&model).evaluate(&solo, &single);
         let speedup = solo_metrics.period / metrics.period;

@@ -35,7 +35,9 @@ fn every_planner_executes_bit_exactly_on_homogeneous_cluster() {
         for backend in EngineBackend::ALL {
             let engine = Engine::with_seed(&model, 123).with_backend(backend);
             for planner in planners() {
-                let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
+                let plan = planner
+                    .plan(&PlanRequest::new(&model, &cluster, &params))
+                    .unwrap();
                 plan.validate(&model, &cluster).unwrap();
                 let runtime = PipelineRuntime::new(&model, &plan, &engine);
                 let report = runtime.run(vec![input.clone()]).unwrap();
@@ -64,7 +66,9 @@ fn every_planner_executes_bit_exactly_on_heterogeneous_cluster() {
     for backend in EngineBackend::ALL {
         let engine = Engine::with_seed(&model, 7).with_backend(backend);
         for planner in planners() {
-            let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
+            let plan = planner
+                .plan(&PlanRequest::new(&model, &cluster, &params))
+                .unwrap();
             plan.validate(&model, &cluster).unwrap();
             let report = PipelineRuntime::new(&model, &plan, &engine)
                 .run(inputs.clone())
@@ -94,7 +98,9 @@ fn simulated_throughput_matches_analytic_for_every_scheme() {
         .filter(|p| p.name() != "BFS")
         .collect::<Vec<_>>()
     {
-        let plan = planner.plan_simple(&model, &cluster, &params).unwrap();
+        let plan = planner
+            .plan(&PlanRequest::new(&model, &cluster, &params))
+            .unwrap();
         let metrics = cm.evaluate(&plan, &cluster);
         let report = sim.run(&plan, &Arrivals::closed_loop(300));
         let expected = 1.0 / metrics.period;
@@ -117,7 +123,7 @@ fn grid_plan_executes_bit_exactly_through_runtime() {
     let params = CostParams::wifi_50mbps();
     let plan = GridFused::new()
         .with_grid(2, 3)
-        .plan_simple(&model, &cluster, &params)
+        .plan(&PlanRequest::new(&model, &cluster, &params))
         .unwrap();
     plan.validate(&model, &cluster).unwrap();
     assert!(plan.stages[0].is_grid());
@@ -145,8 +151,12 @@ fn plans_are_deterministic() {
     let cluster = Cluster::paper_heterogeneous();
     let params = CostParams::wifi_50mbps();
     for planner in planners().into_iter().filter(|p| p.name() != "BFS") {
-        let a = planner.plan_simple(&model, &cluster, &params).unwrap();
-        let b = planner.plan_simple(&model, &cluster, &params).unwrap();
+        let a = planner
+            .plan(&PlanRequest::new(&model, &cluster, &params))
+            .unwrap();
+        let b = planner
+            .plan(&PlanRequest::new(&model, &cluster, &params))
+            .unwrap();
         assert_eq!(a, b, "{} is nondeterministic", planner.name());
     }
 }

@@ -1,0 +1,163 @@
+//! Deterministic serving matrix: every built-in replay script, across
+//! several weight seeds, pushed through the *threaded* runtime by the
+//! virtual-time replayer. The serving contract under test:
+//!
+//! 1. **Bit-exactness** — every served output equals clean
+//!    single-device inference on the same engine, batch composition
+//!    and warm swaps notwithstanding.
+//! 2. **Zero drops** — every arrival is either completed or rejected
+//!    with a typed error, even when the trace crosses a mid-trace
+//!    PICO → OFL warm swap (the audit-gated drain).
+//! 3. **Typed backpressure exactly at the bounds** — a rejection
+//!    happens only when the tenant's queue is at capacity (or budget),
+//!    never below it.
+//! 4. **Determinism** — two replays of the same script agree event for
+//!    event, batch for batch, byte for byte.
+
+use pico::prelude::*;
+use pico::serve::{build_script, ReplayScript, ScriptSpec};
+
+fn setup() -> (Model, Cluster, CostParams) {
+    (
+        zoo::mnist_toy(),
+        Cluster::pi_cluster(4, 1.0),
+        CostParams::wifi_50mbps(),
+    )
+}
+
+#[test]
+fn every_script_and_seed_serves_bit_exactly_with_zero_drops() {
+    let (m, c, p) = setup();
+    for script in ReplayScript::ALL {
+        for seed in [1u64, 7, 23] {
+            let spec = ScriptSpec {
+                tasks: 32,
+                tenants: 2,
+                seed,
+                swap_at: Some(16),
+            };
+            let rp = build_script(&m, &c, &p, script, &spec).unwrap();
+            let engine = Engine::with_seed(&m, seed);
+            let outcome = Replayer::new(&m, &c, &p, &engine, rp.config.clone())
+                .run(&rp.initial, &rp.events)
+                .unwrap();
+            let label = format!("{}/seed{seed}", script.name());
+
+            // Zero drops across the warm swap: the arrival count is
+            // fully accounted for, and every admitted task completed.
+            assert_eq!(outcome.swaps, 1, "{label}: the mid-trace swap must land");
+            assert_eq!(outcome.epochs, 2, "{label}");
+            assert!(outcome.swap_rejections.is_empty(), "{label}");
+            let admitted: u64 = outcome.per_tenant.iter().map(|t| t.admitted).sum();
+            let completed: u64 = outcome.per_tenant.iter().map(|t| t.completed).sum();
+            assert_eq!(completed, admitted, "{label}: admitted task dropped");
+            assert_eq!(
+                outcome.completed.len() + outcome.rejections.len(),
+                spec.tasks,
+                "{label}: arrivals unaccounted for"
+            );
+
+            // Bit-exactness: each completed task's output matches clean
+            // single-device inference on the task's own input.
+            let inputs: Vec<Tensor> = (0..spec.tasks)
+                .map(|k| Tensor::random(m.input_shape(), seed * 1000 + k as u64))
+                .collect();
+            for done in &outcome.completed {
+                let expect = engine.infer(&inputs[done.seq]).unwrap();
+                assert_eq!(
+                    done.output.data(),
+                    expect.data(),
+                    "{label}: task {} diverged",
+                    done.seq
+                );
+            }
+
+            // Every rejection is typed and cites the configured bound.
+            for r in &outcome.rejections {
+                match &r.error {
+                    pico::serve::ServeError::QueueFull { tenant, capacity } => {
+                        assert_eq!(*tenant, r.tenant, "{label}");
+                        assert_eq!(
+                            *capacity, rp.config.tenants[r.tenant].queue_capacity,
+                            "{label}"
+                        );
+                    }
+                    pico::serve::ServeError::TenantOverBudget { tenant, budget } => {
+                        assert_eq!(*tenant, r.tenant, "{label}");
+                        assert_eq!(
+                            *budget, rp.config.tenants[r.tenant].in_flight_budget,
+                            "{label}"
+                        );
+                    }
+                    other => panic!("{label}: untyped rejection {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn replays_are_deterministic() {
+    let (m, c, p) = setup();
+    let spec = ScriptSpec {
+        tasks: 48,
+        ..ScriptSpec::default()
+    }
+    .with_midtrace_swap();
+    let rp = build_script(&m, &c, &p, ReplayScript::Bursty, &spec).unwrap();
+    let engine = Engine::with_seed(&m, 11);
+    let run = || {
+        Replayer::new(&m, &c, &p, &engine, rp.config.clone())
+            .run(&rp.initial, &rp.events)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.batch_sizes, b.batch_sizes);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.completed.len(), b.completed.len());
+    for (x, y) in a.completed.iter().zip(&b.completed) {
+        assert_eq!(x.seq, y.seq);
+        assert_eq!(x.tenant, y.tenant);
+        assert_eq!(x.finished_at, y.finished_at);
+        assert_eq!(x.output.data(), y.output.data());
+    }
+    for (x, y) in a.rejections.iter().zip(&b.rejections) {
+        assert_eq!(x.seq, y.seq);
+        assert_eq!(x.error, y.error);
+    }
+}
+
+#[test]
+fn bursty_trace_adapts_batch_size_and_rejects_at_the_bound() {
+    let (m, c, p) = setup();
+    let spec = ScriptSpec {
+        tasks: 96,
+        tenants: 2,
+        seed: 7,
+        swap_at: None,
+    };
+    let rp = build_script(&m, &c, &p, ReplayScript::Bursty, &spec).unwrap();
+    let engine = Engine::with_seed(&m, 7);
+    let outcome = Replayer::new(&m, &c, &p, &engine, rp.config.clone())
+        .run(&rp.initial, &rp.events)
+        .unwrap();
+    // Quiet stretches serve singletons; bursts must visibly grow the
+    // adaptive micro-batch.
+    assert_eq!(outcome.min_batch(), 1, "quiet phase should serve singly");
+    assert!(
+        outcome.max_batch() >= 3,
+        "bursts should grow batches, got max {}",
+        outcome.max_batch()
+    );
+    // The steady script at the same arrival volume never needs to
+    // reject; the bursty one overruns the 8-deep queues by design.
+    let steady = build_script(&m, &c, &p, ReplayScript::Steady, &spec).unwrap();
+    let steady_out = Replayer::new(&m, &c, &p, &engine, steady.config.clone())
+        .run(&steady.initial, &steady.events)
+        .unwrap();
+    assert!(
+        steady_out.rejections.is_empty(),
+        "steady trace must admit everything"
+    );
+}
