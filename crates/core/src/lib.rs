@@ -26,6 +26,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
+use pico_fleet::FleetFrontier;
 use pico_model::Model;
 use pico_partition::{
     BfsOptimal, Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Plan,
@@ -35,6 +38,7 @@ use pico_runtime::{
     FailureSchedule, PipelineRuntime, RecoveryPolicy, RunReport, RuntimeError, Throttle,
 };
 use pico_serve::{ServeError, ServeHandle, ServeRequest};
+use pico_sim::ReplanPolicy;
 use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simulation};
 use pico_telemetry::Recorder;
 use pico_tensor::{Engine, Tensor};
@@ -415,6 +419,47 @@ impl Pico {
         )
     }
 
+    /// The deployment's Pareto plan frontier, fetched from (or built
+    /// into) the process-global fleet plan cache: every audit-validated
+    /// plan with its price, sustainable-λ band, and the precomputed
+    /// switch-audit matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Planning`] when no candidate plan survives the
+    /// deep audit for this deployment.
+    pub fn fleet_frontier(&self) -> Result<Arc<FleetFrontier>, ServeError> {
+        pico_serve::fleet_frontier(&self.model, &self.cluster, &self.params, &self.recorder)
+    }
+
+    /// Starts a live **self-re-planning** serving front-end: serving
+    /// begins on the fleet frontier's cheapest entry, and the
+    /// hysteresis kernel switches plans (audit-gated, drain-first) as
+    /// the admitted-arrival λ estimate drifts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a malformed request config or
+    /// policy, [`ServeError::Planning`] when the frontier cannot be
+    /// built.
+    pub fn serve_adaptive(
+        &self,
+        request: &ServeRequest,
+        policy: ReplanPolicy,
+    ) -> Result<ServeHandle, ServeError> {
+        let frontier = self.fleet_frontier()?;
+        let request = request
+            .clone()
+            .with_recorder(self.recorder.clone())
+            .with_adaptive(frontier, policy);
+        ServeHandle::spawn_adaptive(
+            self.model.clone(),
+            self.cluster.clone(),
+            self.params,
+            &request,
+        )
+    }
+
     /// Convenience: the exhaustive-optimal planner for toy models.
     pub fn bfs_planner() -> BfsOptimal {
         BfsOptimal::new()
@@ -563,6 +608,33 @@ mod tests {
         assert!(events.iter().any(|e| e.name == names::STAGE_BUSY));
         assert!(events.iter().any(|e| e.name == names::COMPUTE));
         assert!(events.iter().any(|e| e.name == names::TASKS_COMPLETED));
+    }
+
+    #[test]
+    fn fleet_frontier_is_cached_and_nonempty() {
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(4, 1.0));
+        let a = pico.fleet_frontier().unwrap();
+        let b = pico.fleet_frontier().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert!(!a.entries().is_empty());
+    }
+
+    #[test]
+    fn serve_adaptive_serves_without_drops() {
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(4, 1.0));
+        let handle = pico
+            .serve_adaptive(&ServeRequest::new(), ReplanPolicy::default())
+            .unwrap();
+        let input = Tensor::random(pico.model().input_shape(), 21);
+        let tickets: Vec<_> = (0..6)
+            .map(|_| handle.submit(0, input.clone()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let outcome = handle.shutdown().unwrap();
+        assert_eq!(outcome.per_tenant[0].completed, 6);
+        assert_eq!(outcome.per_tenant[0].rejected, 0);
     }
 
     #[test]

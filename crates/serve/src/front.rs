@@ -1,10 +1,14 @@
 use std::collections::VecDeque;
 
 use pico_audit::Auditor;
+use pico_fleet::FleetFrontier;
 use pico_model::Model;
 use pico_partition::{Cluster, CostParams, Plan};
 use pico_runtime::PipelineRuntime;
-use pico_sim::{AdaptiveBatcher, AdmissionLedger, ServiceProfile, TenantServeStat};
+use pico_sim::{
+    AdaptiveBatcher, AdmissionLedger, ReplanKernel, ReplanPolicy, ReplanVerdict, ServiceProfile,
+    SwitchRecord, TenantServeStat,
+};
 use pico_telemetry::{names, Ctx, Recorder};
 use pico_tensor::{Engine, Tensor};
 
@@ -357,5 +361,295 @@ impl<'a> Replayer<'a> {
             })
             .collect();
         Ok(outcome)
+    }
+
+    /// Replays `events` (arrivals only, time-sorted) under the fleet's
+    /// re-planning controller instead of a fixed plan: serving starts
+    /// on the frontier's cheapest entry, every admitted arrival feeds
+    /// the hysteresis kernel's λ estimator, and when the kernel decides
+    /// to switch the current epoch drains, the switch pair is audited
+    /// (PA305–PA307), and serving resumes under the new plan — the
+    /// APICO adaptive loop in deterministic virtual time.
+    ///
+    /// Returns the outcome plus the committed switch schedule. The
+    /// kernel is shared policy: [`pico_sim::FleetSim`] fed the same
+    /// admitted arrivals reproduces the identical schedule in virtual
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a malformed config or policy,
+    /// a scripted [`ServeEvent::Swap`] (the controller owns switching
+    /// here), or an unsorted/out-of-range trace;
+    /// [`ServeError::Runtime`] if the pipeline fails mid-replay.
+    pub fn run_adaptive(
+        &self,
+        frontier: &FleetFrontier,
+        policy: ReplanPolicy,
+        events: &[ServeEvent],
+    ) -> Result<(ReplayOutcome, Vec<SwitchRecord>), ServeError> {
+        self.config.validated()?;
+        let tenants = self.config.tenants.len();
+        let mut arrivals: Vec<(f64, usize, &Tensor)> = Vec::new();
+        let mut violations = policy.violations();
+        let mut last_t = f64::NEG_INFINITY;
+        for e in events {
+            match e {
+                ServeEvent::Arrival { t, tenant, input } => {
+                    if *t < last_t {
+                        violations.push(format!("trace is unsorted at t={t}"));
+                    }
+                    last_t = *t;
+                    if *tenant >= tenants {
+                        violations.push(format!("arrival for unknown tenant {tenant}"));
+                    }
+                    arrivals.push((*t, *tenant, input));
+                }
+                ServeEvent::Swap { t, .. } => {
+                    violations.push(format!(
+                        "scripted swap at t={t}: adaptive replay switches plans itself"
+                    ));
+                }
+            }
+        }
+        if !violations.is_empty() {
+            return Err(ServeError::InvalidConfig { violations });
+        }
+
+        let auditor = Auditor::new(self.model, self.cluster).with_params(*self.params);
+        let rec = &self.recorder;
+
+        let mut kernel = frontier.kernel(frontier.cheapest(), policy);
+        let mut switches: Vec<SwitchRecord> = Vec::new();
+        // The verdict travels from the admit path (where the kernel
+        // decides) to the epoch boundary (where the audited swap
+        // commits) through this slot.
+        let mut pending_record: Option<SwitchRecord> = None;
+
+        let mut ledger = AdmissionLedger::new(self.config.tenants.clone());
+        let mut batcher = AdaptiveBatcher::new(self.config.batch);
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); tenants];
+        let mut rr = 0usize;
+        let mut ai = 0usize; // next arrival index
+        let mut free_at = 0.0f64;
+        let mut outcome = ReplayOutcome {
+            completed: Vec::new(),
+            rejections: Vec::new(),
+            batch_sizes: Vec::new(),
+            per_tenant: Vec::new(),
+            swaps: 0,
+            swap_rejections: Vec::new(),
+            epochs: 0,
+            makespan: 0.0,
+        };
+
+        enum Exit {
+            Done,
+            Replan,
+        }
+
+        loop {
+            outcome.epochs += 1;
+            let epoch_index = outcome.epochs - 1;
+            let (profile, current) = {
+                let entry = &frontier.entries()[kernel.current()];
+                (entry.profile(), entry.plan.clone())
+            };
+            let mut epoch_completed = 0u64;
+            let exit = {
+                let runtime = PipelineRuntime::builder(self.model, &current, self.engine)
+                    .recorder(rec.clone())
+                    .build();
+                let (exit, _report) = runtime.session(|sess| {
+                    let admit = |at: usize,
+                                 ledger: &mut AdmissionLedger,
+                                 batcher: &mut AdaptiveBatcher,
+                                 kernel: &mut ReplanKernel,
+                                 pending_record: &mut Option<SwitchRecord>,
+                                 queues: &mut [VecDeque<usize>],
+                                 outcome: &mut ReplayOutcome| {
+                        let (t, tenant, _input) = arrivals[at];
+                        match ledger.offer(tenant) {
+                            Ok(depth) => {
+                                queues[tenant].push_back(at);
+                                batcher.observe_arrival(t);
+                                match kernel.observe_arrival(t) {
+                                    ReplanVerdict::Switch {
+                                        from,
+                                        to,
+                                        lambda,
+                                        at: boundary,
+                                    } => {
+                                        *pending_record = Some(SwitchRecord {
+                                            at: boundary,
+                                            from,
+                                            to,
+                                            lambda,
+                                        });
+                                    }
+                                    ReplanVerdict::Suppressed { lambda, .. } => {
+                                        rec.instant_at(
+                                            names::REPLAN_SUPPRESSED,
+                                            Ctx::default(),
+                                            t,
+                                            lambda,
+                                        );
+                                    }
+                                    ReplanVerdict::Hold => {}
+                                }
+                                rec.instant_at(
+                                    names::TASK_ADMITTED,
+                                    Ctx::tenant(tenant).for_task(at),
+                                    t,
+                                    depth as f64,
+                                );
+                            }
+                            Err(reason) => {
+                                rec.instant_at(
+                                    names::TASK_REJECTED,
+                                    Ctx::tenant(tenant).for_task(at),
+                                    t,
+                                    ledger.queued(tenant) as f64,
+                                );
+                                outcome.rejections.push(Rejection {
+                                    seq: at,
+                                    tenant,
+                                    error: ServeError::from_reject(tenant, reason),
+                                });
+                            }
+                        }
+                    };
+                    loop {
+                        if ledger.total_queued() == 0 {
+                            if ai >= arrivals.len() {
+                                return Ok(Exit::Done);
+                            }
+                            let t = arrivals[ai].0;
+                            if free_at < t {
+                                free_at = t;
+                            }
+                            admit(
+                                ai,
+                                &mut ledger,
+                                &mut batcher,
+                                &mut kernel,
+                                &mut pending_record,
+                                &mut queues,
+                                &mut outcome,
+                            );
+                            ai += 1;
+                            continue;
+                        }
+                        let start = free_at;
+                        while ai < arrivals.len() && arrivals[ai].0 <= start {
+                            admit(
+                                ai,
+                                &mut ledger,
+                                &mut batcher,
+                                &mut kernel,
+                                &mut pending_record,
+                                &mut queues,
+                                &mut outcome,
+                            );
+                            ai += 1;
+                        }
+                        // The same checkpoint where `run` honors a
+                        // scripted swap — and where `FleetSim` commits —
+                        // so all controllers switch at identical points
+                        // of virtual time.
+                        if kernel.pending().is_some() {
+                            return Ok(Exit::Replan);
+                        }
+                        let want = batcher.target().min(ledger.total_queued());
+                        let mut picks = vec![0usize; tenants];
+                        let mut order: Vec<(usize, usize)> = Vec::with_capacity(want);
+                        while order.len() < want {
+                            let tenant = rr % tenants;
+                            rr += 1;
+                            if ledger.queued(tenant) > picks[tenant] {
+                                picks[tenant] += 1;
+                                let seq = queues[tenant][picks[tenant] - 1];
+                                order.push((tenant, seq));
+                            }
+                        }
+                        for (tenant, n) in picks.iter().enumerate() {
+                            for _ in 0..*n {
+                                queues[tenant].pop_front();
+                            }
+                            if *n > 0 {
+                                ledger.take(tenant, *n);
+                            }
+                        }
+                        rec.observe_at(names::BATCH_FORMED, Ctx::default(), start, want as f64);
+                        let inputs: Vec<Tensor> = order
+                            .iter()
+                            .map(|&(_, seq)| arrivals[seq].2.clone())
+                            .collect();
+                        let outputs = sess.submit(&inputs)?;
+                        let done_at = start + profile.batch_time(want);
+                        for ((tenant, seq), output) in order.into_iter().zip(outputs) {
+                            ledger.complete(tenant, 1);
+                            outcome.completed.push(CompletedTask {
+                                seq,
+                                tenant,
+                                output,
+                                finished_at: done_at,
+                            });
+                        }
+                        outcome.batch_sizes.push(want);
+                        epoch_completed += want as u64;
+                        free_at = done_at;
+                        outcome.makespan = done_at;
+                    }
+                })?;
+                exit
+            };
+            match exit {
+                Exit::Done => break,
+                Exit::Replan => {
+                    let to = kernel
+                        .pending()
+                        .expect("replan exit without pending switch");
+                    let record = pending_record
+                        .take()
+                        .expect("pending switch without its record");
+                    let report = auditor.audit_switch_pair(&current, &frontier.entries()[to].plan);
+                    if report.is_executable() {
+                        let to = kernel.committed();
+                        rec.instant_at(
+                            names::SWAP_DRAINED,
+                            Ctx::stage(usize::try_from(epoch_index).unwrap_or(usize::MAX)),
+                            free_at,
+                            epoch_completed as f64,
+                        );
+                        rec.instant_at(
+                            names::REPLAN_TRIGGERED,
+                            Ctx::stage(to),
+                            free_at,
+                            record.lambda,
+                        );
+                        switches.push(record);
+                        outcome.swaps += 1;
+                    } else {
+                        // Unreachable while the kernel only proposes
+                        // matrix-approved targets; kept as a guard so a
+                        // frontier/audit drift degrades to "no switch"
+                        // instead of a wrong plan.
+                        kernel.rejected();
+                        outcome
+                            .swap_rejections
+                            .extend(report.errors().map(|d| d.message.clone()));
+                    }
+                }
+            }
+        }
+        outcome.per_tenant = (0..tenants)
+            .map(|t| TenantServeStat {
+                admitted: ledger.admitted(t),
+                rejected: ledger.rejected(t),
+                completed: ledger.completed(t),
+            })
+            .collect();
+        Ok((outcome, switches))
     }
 }

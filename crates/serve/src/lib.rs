@@ -20,6 +20,13 @@
 //!   while every batch still executes on the real threaded pipeline,
 //!   so outputs are bit-exact and runs are reproducible.
 //!
+//! Both drivers can also run **adaptively**: armed with a cached
+//! [`FleetFrontier`] (see [`fleet_frontier`]), the
+//! [`pico_sim::ReplanKernel`] hysteresis controller watches the
+//! admitted-arrival λ estimate and switches plans through the same
+//! audit-gated warm-swap path — [`Replayer::run_adaptive`] in virtual
+//! time, [`ServeHandle::spawn_adaptive`] live.
+//!
 //! ```
 //! use pico_model::zoo;
 //! use pico_partition::Cluster;
@@ -53,11 +60,14 @@ mod state;
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use front::{CompletedTask, Rejection, ReplayOutcome, Replayer, ServeEvent};
-pub use replay::{build_script, ReplayPlan, ReplayScript, ScriptSpec};
+pub use replay::{build_script, fleet_frontier, ReplayPlan, ReplayScript, ScriptSpec};
 pub use request::ServeRequest;
 pub use server::{ServeHandle, ServeOutcome, ServeTicket};
 pub use state::ServeState;
 
 // Re-export the policy types a caller needs to configure the front-end
-// without importing the simulator crate directly.
-pub use pico_sim::{BatchPolicy, RejectReason, TenantPolicy, TenantServeStat};
+// without importing the simulator or fleet crates directly.
+pub use pico_fleet::{FleetEntry, FleetFrontier};
+pub use pico_sim::{
+    BatchPolicy, RejectReason, ReplanPolicy, SwitchRecord, TenantPolicy, TenantServeStat,
+};

@@ -1,9 +1,42 @@
+use std::sync::Arc;
+
+use pico_fleet::{CacheKey, FleetConfig, FleetFrontier, PlanCache};
 use pico_model::Model;
-use pico_partition::{Cluster, CostParams, OptimalFused, PicoPlanner, Plan, PlanRequest, Planner};
-use pico_sim::{BatchPolicy, TenantPolicy};
+use pico_partition::{Cluster, CostParams, Plan};
+use pico_sim::{BatchPolicy, TenantPolicy, WorkloadBand};
+use pico_telemetry::Recorder;
 use pico_tensor::Tensor;
 
 use crate::{ServeConfig, ServeError, ServeEvent};
+
+/// Fetches the deployment's plan frontier from the process-global
+/// [`PlanCache`], building (and caching) it on first use.
+///
+/// This is the serving layer's only road to a plan: every front-end —
+/// scripted replay, adaptive replay, live server — draws plans from the
+/// cached Pareto frontier instead of invoking planners directly (lint
+/// rule 9), so repeated serves of one deployment pay for planning and
+/// switch audits exactly once per process.
+///
+/// # Errors
+///
+/// [`ServeError::Planning`] when no candidate plan survives the deep
+/// audit for this deployment.
+pub fn fleet_frontier(
+    model: &Model,
+    cluster: &Cluster,
+    params: &CostParams,
+    rec: &Recorder,
+) -> Result<Arc<FleetFrontier>, ServeError> {
+    let key = CacheKey::new(model, cluster, params, WorkloadBand::point(0.0));
+    PlanCache::global()
+        .get_or_build(key, rec, || {
+            FleetFrontier::build(model, cluster, params, FleetConfig::default())
+        })
+        .map_err(|e| ServeError::Planning {
+            detail: e.to_string(),
+        })
+}
 
 /// The built-in deterministic serving traces driven by
 /// `pico serve --replay`.
@@ -88,23 +121,31 @@ impl ScriptSpec {
 /// and the event trace. Feed to [`crate::Replayer::run`].
 #[derive(Debug, Clone)]
 pub struct ReplayPlan {
-    /// The plan serving starts under (the PICO pipeline).
+    /// The plan serving starts under (the frontier's highest-throughput
+    /// entry — the unconstrained PICO pipeline).
     pub initial: Plan,
     /// Batch + tenant policies sized for the script.
     pub config: ServeConfig,
     /// The time-sorted event trace.
     pub events: Vec<ServeEvent>,
+    /// The cached fleet frontier the plans were drawn from — hand it to
+    /// [`crate::Replayer::run_adaptive`] to let the re-planning
+    /// controller pick plans itself.
+    pub frontier: Arc<FleetFrontier>,
 }
 
 /// Builds a deterministic trace for `script`: arrival gaps are scaled
 /// by the initial plan's analytic period, so the same script exercises
-/// the same queueing regimes on any model/cluster pair. The optional
-/// swap targets the optimally fused plan — the paper's canonical
-/// audit-passing switch partner for the PICO pipeline.
+/// the same queueing regimes on any model/cluster pair. Plans come from
+/// the cached fleet frontier: serving starts on the highest-throughput
+/// entry, and the optional swap targets the cheapest entry the
+/// `PA305`–`PA307` switch audit reaches from it (the optimally fused
+/// plan on the paper's deployments).
 ///
 /// # Errors
 ///
-/// [`ServeError::Planning`] when either planner fails on the inputs.
+/// [`ServeError::Planning`] when the frontier cannot be built, or when
+/// a swap is requested and no audit-approved switch partner exists.
 pub fn build_script(
     model: &Model,
     cluster: &Cluster,
@@ -112,16 +153,21 @@ pub fn build_script(
     script: ReplayScript,
     spec: &ScriptSpec,
 ) -> Result<ReplayPlan, ServeError> {
-    let plan = |p: &dyn Planner| {
-        p.plan(&PlanRequest::new(model, cluster, params))
-            .map_err(|e| ServeError::Planning {
-                detail: e.to_string(),
-            })
+    let frontier = fleet_frontier(model, cluster, params, &Recorder::noop())?;
+    let initial_entry = &frontier.entries()[frontier.max_throughput()];
+    let initial = initial_entry.plan.clone();
+    let fused = match spec.swap_at {
+        None => None,
+        Some(_) => match frontier.swap_target(frontier.max_throughput()) {
+            Some(i) => Some(frontier.entries()[i].plan.clone()),
+            None => {
+                return Err(ServeError::Planning {
+                    detail: "no audit-approved swap partner on the frontier".to_owned(),
+                })
+            }
+        },
     };
-    let initial = plan(&PicoPlanner::new())?;
-    let fused = plan(&OptimalFused::new())?;
-    let metrics = params.cost_model(model).evaluate(&initial, cluster);
-    let (period, latency) = (metrics.period, metrics.latency);
+    let (period, latency) = (initial_entry.period, initial_entry.latency);
     let tenants = spec.tenants.max(1);
 
     let config = ServeConfig {
@@ -171,7 +217,7 @@ pub fn build_script(
         if spec.swap_at == Some(k) {
             events.push(ServeEvent::Swap {
                 t,
-                plan: fused.clone(),
+                plan: fused.clone().expect("swap partner resolved above"),
             });
         }
         events.push(ServeEvent::Arrival {
@@ -184,6 +230,7 @@ pub fn build_script(
         initial,
         config,
         events,
+        frontier,
     })
 }
 

@@ -1,6 +1,8 @@
+use std::sync::Arc;
 use std::time::Duration;
 
-use pico_sim::{BatchPolicy, TenantPolicy};
+use pico_fleet::FleetFrontier;
+use pico_sim::{BatchPolicy, ReplanPolicy, TenantPolicy};
 use pico_telemetry::Recorder;
 
 use crate::ServeConfig;
@@ -28,6 +30,7 @@ pub struct ServeRequest {
     recorder: Recorder,
     engine_seed: u64,
     flush_interval: Duration,
+    adaptive: Option<(Arc<FleetFrontier>, ReplanPolicy)>,
 }
 
 impl Default for ServeRequest {
@@ -45,7 +48,18 @@ impl ServeRequest {
             recorder: Recorder::noop(),
             engine_seed: 1,
             flush_interval: Duration::from_millis(10),
+            adaptive: None,
         }
+    }
+
+    /// Arms live re-planning: the server starts on `frontier`'s
+    /// cheapest entry and lets the hysteresis kernel switch plans as
+    /// the admitted-arrival λ estimate drifts (each switch still gated
+    /// by the PA305–PA307 audit). Consumed by
+    /// [`crate::ServeHandle::spawn_adaptive`].
+    pub fn with_adaptive(mut self, frontier: Arc<FleetFrontier>, policy: ReplanPolicy) -> Self {
+        self.adaptive = Some((frontier, policy));
+        self
     }
 
     /// Replaces the batching policy.
@@ -98,5 +112,10 @@ impl ServeRequest {
     /// The flush tick.
     pub fn flush_interval(&self) -> Duration {
         self.flush_interval
+    }
+
+    /// The armed re-planning setup, if any.
+    pub fn adaptive(&self) -> Option<&(Arc<FleetFrontier>, ReplanPolicy)> {
+        self.adaptive.as_ref()
     }
 }

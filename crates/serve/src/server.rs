@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use pico_audit::Auditor;
+use pico_fleet::FleetFrontier;
 use pico_model::Model;
 use pico_partition::{Cluster, CostParams, Plan};
 use pico_runtime::{ExecutionSession, PipelineRuntime, RuntimeError};
@@ -28,6 +29,9 @@ enum Ctrl {
 enum EpochExit {
     Close,
     Swap(Plan, Sender<Result<(), ServeError>>),
+    /// The re-planning kernel wants a switch: the epoch has drained and
+    /// the audited swap happens at the epoch boundary.
+    Replan,
 }
 
 /// Final accounting returned by [`ServeHandle::shutdown`].
@@ -91,6 +95,7 @@ impl ServeHandle {
             request.config(),
             request.recorder().clone(),
             clock::wall_now(),
+            None,
         ));
         // Depth 2: one pending nudge plus room for a control message.
         let (ctrl_tx, ctrl_rx) = bounded(2);
@@ -103,6 +108,73 @@ impl ServeHandle {
                 cluster,
                 params,
                 plan,
+                None,
+                seed,
+                tick,
+                thread_state,
+                ctrl_rx,
+            )
+        });
+        Ok(ServeHandle {
+            state,
+            ctrl: ctrl_tx,
+            thread: Some(thread),
+        })
+    }
+
+    /// Spawns a *self-re-planning* server over the fleet frontier armed
+    /// via [`ServeRequest::with_adaptive`]: serving starts on the
+    /// frontier's cheapest entry, every admission feeds the hysteresis
+    /// kernel's λ estimator, and when the kernel decides to switch the
+    /// server drains the pipeline, audits the switch pair
+    /// (PA305–PA307), and resumes under the new plan — no task is
+    /// dropped across the swap. Manual [`swap`](Self::swap) requests
+    /// still work and go through the same gate.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when the config or re-planning
+    /// policy has violations, or when the request was not armed with
+    /// [`ServeRequest::with_adaptive`].
+    pub fn spawn_adaptive(
+        model: Model,
+        cluster: Cluster,
+        params: CostParams,
+        request: &ServeRequest,
+    ) -> Result<ServeHandle, ServeError> {
+        request.config().validated()?;
+        let Some((frontier, policy)) = request.adaptive() else {
+            return Err(ServeError::InvalidConfig {
+                violations: vec![
+                    "adaptive spawn needs ServeRequest::with_adaptive(frontier, policy)".to_owned(),
+                ],
+            });
+        };
+        let violations = policy.violations();
+        if !violations.is_empty() {
+            return Err(ServeError::InvalidConfig { violations });
+        }
+        let initial = frontier.cheapest();
+        let kernel = frontier.kernel(initial, *policy);
+        let plan = frontier.entries()[initial].plan.clone();
+        let state = Arc::new(ServeState::new(
+            request.config(),
+            request.recorder().clone(),
+            clock::wall_now(),
+            Some(kernel),
+        ));
+        let (ctrl_tx, ctrl_rx) = bounded(2);
+        let thread_state = Arc::clone(&state);
+        let seed = request.engine_seed();
+        let tick = request.flush_interval();
+        let fleet = Arc::clone(frontier);
+        let thread = std::thread::spawn(move || {
+            run_server(
+                model,
+                cluster,
+                params,
+                plan,
+                Some(fleet),
                 seed,
                 tick,
                 thread_state,
@@ -175,6 +247,7 @@ fn run_server(
     cluster: Cluster,
     params: CostParams,
     plan0: Plan,
+    fleet: Option<Arc<FleetFrontier>>,
     engine_seed: u64,
     tick: Duration,
     state: Arc<ServeState>,
@@ -205,9 +278,16 @@ fn run_server(
                 }
                 Ok(Ctrl::Nudge) => {
                     pump(sess, &state, &mut batches, &mut epoch_completed, false)?;
+                    if state.replan_pending() {
+                        pump(sess, &state, &mut batches, &mut epoch_completed, true)?;
+                        return Ok(EpochExit::Replan);
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     pump(sess, &state, &mut batches, &mut epoch_completed, true)?;
+                    if state.replan_pending() {
+                        return Ok(EpochExit::Replan);
+                    }
                 }
             }
         });
@@ -236,6 +316,41 @@ fn run_server(
                 } else {
                     let errors = report.errors().map(|d| d.message.clone()).collect();
                     let _ = reply.send(Err(ServeError::SwapRejected { errors }));
+                }
+            }
+            EpochExit::Replan => {
+                let (Some(fleet), Some(replan)) = (fleet.as_ref(), state.replan.as_ref()) else {
+                    // A replan exit without a fleet cannot happen; keep
+                    // serving on the current plan if it somehow does.
+                    continue;
+                };
+                let mut ctl = replan.lock();
+                let Some(to) = ctl.kernel.pending() else {
+                    continue;
+                };
+                let next = fleet.entries()[to].plan.clone();
+                let report = auditor.audit_switch_pair(&plan, &next);
+                if report.is_executable() {
+                    let to = ctl.kernel.committed();
+                    let lambda = ctl.record.take().map_or(f64::NAN, |r| r.lambda);
+                    drop(ctl);
+                    let now = state.now();
+                    state.rec.instant_at(
+                        names::SWAP_DRAINED,
+                        Ctx::stage(usize::try_from(epoch_index).unwrap_or(usize::MAX)),
+                        now,
+                        epoch_completed as f64,
+                    );
+                    state
+                        .rec
+                        .instant_at(names::REPLAN_TRIGGERED, Ctx::stage(to), now, lambda);
+                    plan = next;
+                    swaps += 1;
+                } else {
+                    // Unreachable while the kernel only proposes
+                    // matrix-approved targets; degrade to "no switch".
+                    ctl.kernel.rejected();
+                    ctl.record = None;
                 }
             }
         }

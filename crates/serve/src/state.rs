@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use pico_sim::{AdaptiveBatcher, AdmissionLedger};
+use pico_sim::{AdaptiveBatcher, AdmissionLedger, ReplanKernel, ReplanVerdict, SwitchRecord};
 use pico_telemetry::{names, Ctx, Recorder};
 use pico_tensor::Tensor;
 
@@ -15,6 +15,16 @@ use crate::{ServeConfig, ServeError};
 pub(crate) struct QueuedTask {
     pub(crate) input: Tensor,
     pub(crate) reply: Sender<Result<Tensor, ServeError>>,
+}
+
+/// Live re-planning state: the shared hysteresis kernel plus the
+/// record of the switch it currently wants committed. Callers feed the
+/// kernel on their own thread (inside [`ServeState::admit`]); the
+/// server thread consumes the pending decision at its next drain
+/// point.
+pub(crate) struct ReplanControl {
+    pub(crate) kernel: ReplanKernel,
+    pub(crate) record: Option<SwitchRecord>,
 }
 
 /// Intake state shared (via `Arc`) between every [`crate::ServeHandle`]
@@ -29,10 +39,16 @@ pub struct ServeState {
     pub(crate) rr: AtomicUsize,
     pub(crate) rec: Recorder,
     pub(crate) started: Instant,
+    pub(crate) replan: Option<Mutex<ReplanControl>>,
 }
 
 impl ServeState {
-    pub(crate) fn new(config: &ServeConfig, rec: Recorder, started: Instant) -> Self {
+    pub(crate) fn new(
+        config: &ServeConfig,
+        rec: Recorder,
+        started: Instant,
+        kernel: Option<ReplanKernel>,
+    ) -> Self {
         let queues = config
             .tenants
             .iter()
@@ -46,7 +62,21 @@ impl ServeState {
             rr: AtomicUsize::new(0),
             rec,
             started,
+            replan: kernel.map(|kernel| {
+                Mutex::new(ReplanControl {
+                    kernel,
+                    record: None,
+                })
+            }),
         }
+    }
+
+    /// Whether the kernel holds a switch decision the server thread has
+    /// not yet committed or rejected.
+    pub(crate) fn replan_pending(&self) -> bool {
+        self.replan
+            .as_ref()
+            .is_some_and(|r| r.lock().kernel.pending().is_some())
     }
 
     /// Seconds since the front-end started — the telemetry timebase.
@@ -81,6 +111,33 @@ impl ServeState {
                     .push_back(QueuedTask { input, reply: tx });
                 drop(ledger);
                 self.batcher.lock().observe_arrival(t);
+                if let Some(replan) = &self.replan {
+                    let mut ctl = replan.lock();
+                    match ctl.kernel.observe_arrival(t) {
+                        ReplanVerdict::Switch {
+                            from,
+                            to,
+                            lambda,
+                            at,
+                        } => {
+                            ctl.record = Some(SwitchRecord {
+                                at,
+                                from,
+                                to,
+                                lambda,
+                            });
+                        }
+                        ReplanVerdict::Suppressed { lambda, .. } => {
+                            self.rec.instant_at(
+                                names::REPLAN_SUPPRESSED,
+                                Ctx::default(),
+                                t,
+                                lambda,
+                            );
+                        }
+                        ReplanVerdict::Hold => {}
+                    }
+                }
                 self.rec
                     .instant_at(names::TASK_ADMITTED, Ctx::tenant(tenant), t, depth as f64);
                 Ok(rx)

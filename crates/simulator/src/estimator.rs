@@ -1,3 +1,20 @@
+//! The shared workload-estimation module: every λ estimate in the
+//! workspace is produced here.
+//!
+//! Two consumers used to carry their own copies of the Eq. 15 smoothing
+//! state: the serving layer's adaptive micro-batcher (EWMA over
+//! inter-arrival *gaps*) and the APICO scheduler's windowed arrival
+//! counter. Both now compose the same primitives from this module, so
+//! the live front-end, the deterministic replayer, and the DES mirrors
+//! cannot drift apart:
+//!
+//! * [`Ewma`] — the bare Eq. 15 update `λ_t = β·λ̂ + (1 − β)·λ_{t−1}`;
+//! * [`InterArrivalEstimator`] — EWMA over observed inter-arrival gaps,
+//!   with the reciprocal read back as a λ estimate (the serve-layer
+//!   signal the fleet re-planner consumes);
+//! * [`WorkloadEstimator`] — the paper's windowed arrival-count
+//!   estimator used by the APICO DES scheduler.
+
 /// The Eq. 15 exponentially-weighted moving-average estimator:
 /// `λ_t = β·λ̂ + (1 − β)·λ_{t−1}`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +49,63 @@ impl Ewma {
     /// The current estimate (`None` before the first measurement).
     pub fn value(&self) -> Option<f64> {
         self.value
+    }
+}
+
+/// EWMA over observed inter-arrival gaps — the serving layer's λ
+/// signal.
+///
+/// Feed every *admitted* arrival's timestamp through
+/// [`observe_arrival`](Self::observe_arrival); the smoothed gap (and
+/// its reciprocal, the arrival rate) update once two arrivals have been
+/// seen. Timestamps are caller-supplied virtual times, so replays are
+/// bit-reproducible. This is the estimator the adaptive micro-batcher
+/// sizes batches from and the fleet re-planning controller reads λ
+/// from — one state, one update rule, shared bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterArrivalEstimator {
+    gap: Ewma,
+    last_arrival: Option<f64>,
+}
+
+impl InterArrivalEstimator {
+    /// Creates an estimator with gap-smoothing factor `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `(0, 1]`.
+    pub fn new(beta: f64) -> Self {
+        InterArrivalEstimator {
+            gap: Ewma::new(beta),
+            last_arrival: None,
+        }
+    }
+
+    /// Records an admitted arrival at absolute time `t` (non-decreasing
+    /// across calls) and folds the inter-arrival gap into the EWMA.
+    pub fn observe_arrival(&mut self, t: f64) {
+        if let Some(prev) = self.last_arrival {
+            self.gap.update((t - prev).max(0.0));
+        }
+        self.last_arrival = Some(t);
+    }
+
+    /// The smoothed inter-arrival gap in seconds, if one exists yet.
+    pub fn smoothed_gap(&self) -> Option<f64> {
+        self.gap.value()
+    }
+
+    /// The smoothed arrival rate `λ = 1 / gap` in tasks/s (`None`
+    /// before two arrivals; `+∞` for a collapsed zero gap).
+    pub fn lambda(&self) -> Option<f64> {
+        self.gap
+            .value()
+            .map(|g| if g > 0.0 { 1.0 / g } else { f64::INFINITY })
+    }
+
+    /// The newest observed arrival time, if any.
+    pub fn last_arrival(&self) -> Option<f64> {
+        self.last_arrival
     }
 }
 
@@ -126,6 +200,41 @@ mod tests {
     #[should_panic(expected = "beta")]
     fn invalid_beta_rejected() {
         Ewma::new(0.0);
+    }
+
+    #[test]
+    fn gap_estimator_matches_hand_rolled_ewma() {
+        // Regression for the dedup: the shared estimator must reproduce
+        // the exact update sequence the micro-batcher used to compute
+        // inline (gap = (t − prev).max(0), first gap seeds).
+        let times = [0.0, 0.4, 0.55, 0.55, 1.3, 1.31, 2.0];
+        let mut est = InterArrivalEstimator::new(0.4);
+        let mut reference = Ewma::new(0.4);
+        let mut prev: Option<f64> = None;
+        for &t in &times {
+            est.observe_arrival(t);
+            if let Some(p) = prev {
+                reference.update((t - p).max(0.0));
+            }
+            prev = Some(t);
+            assert_eq!(est.smoothed_gap(), reference.value());
+        }
+        let gap = est.smoothed_gap().unwrap();
+        assert_eq!(est.lambda(), Some(1.0 / gap));
+        assert_eq!(est.last_arrival(), Some(2.0));
+    }
+
+    #[test]
+    fn gap_estimator_rate_is_reciprocal_and_handles_collapse() {
+        let mut est = InterArrivalEstimator::new(1.0);
+        assert_eq!(est.lambda(), None);
+        est.observe_arrival(1.0);
+        assert_eq!(est.lambda(), None);
+        est.observe_arrival(1.5);
+        assert_eq!(est.lambda(), Some(2.0));
+        // A zero gap collapses the estimate to +inf, not a panic.
+        est.observe_arrival(1.5);
+        assert_eq!(est.lambda(), Some(f64::INFINITY));
     }
 
     #[test]

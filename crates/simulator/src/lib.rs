@@ -14,8 +14,12 @@
 //!   (max-throughput measurement), and explicit traces;
 //! * [`Simulation`] — deterministic pipeline/queue simulation;
 //! * [`mdone`] — the Theorem 2 analytic M/D/1 latency;
-//! * [`Ewma`] / [`WorkloadEstimator`] — the Eq. 15 workload tracker;
+//! * [`Ewma`] / [`InterArrivalEstimator`] / [`WorkloadEstimator`] — the
+//!   shared Eq. 15 workload trackers (one module, every consumer);
 //! * [`AdaptiveScheduler`] — APICO's scheme switching (Sec. IV-C);
+//! * [`ReplanKernel`] / [`FleetSim`] — the fleet re-planning hysteresis
+//!   kernel and its discrete-event mirror (shared bit-for-bit with the
+//!   live `pico-serve` controller);
 //! * [`workload`] — phase/burst/diurnal arrival generators for the
 //!   "dynamic workload" scenarios that motivate APICO;
 //! * [`serve_policy`] — admission control and adaptive micro-batching
@@ -48,9 +52,10 @@ mod adaptive;
 mod arrival;
 mod band;
 mod des;
-mod ewma;
+mod estimator;
 pub mod mdone;
 mod metrics;
+mod replan;
 pub mod serve_policy;
 pub mod workload;
 
@@ -58,8 +63,11 @@ pub use adaptive::{AdaptiveScheduler, SchedulerDecision};
 pub use arrival::Arrivals;
 pub use band::WorkloadBand;
 pub use des::{Simulation, StationProfile};
-pub use ewma::{Ewma, WorkloadEstimator};
+pub use estimator::{Ewma, InterArrivalEstimator, WorkloadEstimator};
 pub use metrics::{DeviceStat, SimReport};
+pub use replan::{
+    FleetSim, ReplanCandidate, ReplanKernel, ReplanPolicy, ReplanVerdict, SwitchRecord,
+};
 pub use serve_policy::{
     AdaptiveBatcher, AdmissionLedger, BatchPolicy, RejectReason, ServeSim, ServeSimReport,
     ServiceProfile, TenantPolicy, TenantServeStat,

@@ -1,0 +1,720 @@
+//! The fleet re-planning policy kernel and its discrete-event mirror.
+//!
+//! APICO's adaptive claim is that the cluster should *change plans* as
+//! the workload λ drifts (Sec. IV-C). The serving layer estimates λ
+//! from admitted inter-arrival gaps ([`InterArrivalEstimator`]); this
+//! module turns that estimate into switch decisions:
+//!
+//! * [`ReplanKernel`] — the hysteresis state machine. The *same* kernel
+//!   value drives the live `pico-serve` controller, the deterministic
+//!   replayer, and [`FleetSim`], so all three produce bit-identical
+//!   switch schedules from the same admitted-arrival sequence.
+//! * [`FleetSim`] — a [`ServeSim`]-shaped batch-server simulation with
+//!   the kernel wired in, for exploring controller behavior in virtual
+//!   time without touching an engine.
+//!
+//! The kernel deliberately knows nothing about plans or audits: it sees
+//! candidates as `(ServiceProfile, WorkloadBand)` rows plus a
+//! precomputed reachability matrix. `pico-fleet` builds those rows from
+//! its Pareto frontier and fills the matrix from `PA305`–`PA307`
+//! switch-pair audits, which is how the simulator mirror reproduces the
+//! audit gate's verdicts without depending on the audit crate.
+
+use std::collections::VecDeque;
+
+use crate::serve_policy::{
+    AdaptiveBatcher, AdmissionLedger, BatchPolicy, ServeSimReport, ServiceProfile, TenantPolicy,
+    TenantServeStat,
+};
+use crate::{InterArrivalEstimator, WorkloadBand};
+
+/// Knobs for the re-planning hysteresis rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanPolicy {
+    /// EWMA smoothing factor for the inter-arrival gap, in `(0, 1]`.
+    pub beta: f64,
+    /// Hysteresis margin `m` in `[0, 1)`: a window only counts as a
+    /// strike when the preferred plan differs from the current one at
+    /// *both* `λ̂·(1 − m)` and `λ̂·(1 + m)` — i.e. λ has left the current
+    /// plan's optimality band by at least the margin.
+    pub margin: f64,
+    /// Consecutive striking windows required before a switch fires
+    /// (≥ 1). `K − 1` windows emit [`ReplanVerdict::Suppressed`].
+    pub consecutive: usize,
+    /// Evaluation window length in seconds (> 0). λ̂ is re-examined at
+    /// each window boundary of virtual time.
+    pub window: f64,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy {
+            beta: 0.4,
+            margin: 0.25,
+            consecutive: 2,
+            window: 1.0,
+        }
+    }
+}
+
+impl ReplanPolicy {
+    /// Every way this policy is malformed, as human-readable sentences
+    /// (empty when valid).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            v.push(format!("beta ({}) must be in (0, 1]", self.beta));
+        }
+        if !(self.margin >= 0.0 && self.margin < 1.0) {
+            v.push(format!("margin ({}) must be in [0, 1)", self.margin));
+        }
+        if self.consecutive == 0 {
+            v.push("consecutive must be at least 1".to_owned());
+        }
+        if !(self.window > 0.0 && self.window.is_finite()) {
+            v.push(format!(
+                "window ({}) must be positive and finite",
+                self.window
+            ));
+        }
+        v
+    }
+}
+
+/// One switchable plan as the kernel sees it: its serving price and the
+/// λ band it can sustain (`PA303` stability precomputed as `band.hi`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanCandidate {
+    /// Batch pricing for this plan (Eq. 10 period, Eq. 11 latency).
+    pub profile: ServiceProfile,
+    /// Sustainable workload band `[0, λ*·margin]` for this plan.
+    pub band: WorkloadBand,
+}
+
+/// What the kernel concluded at the latest evaluated window boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplanVerdict {
+    /// λ̂ still prefers the current plan (or no estimate exists yet).
+    Hold,
+    /// λ̂ has left the current plan's band, but hysteresis is still
+    /// counting (`strikes < consecutive`).
+    Suppressed {
+        /// The λ estimate at the window boundary.
+        lambda: f64,
+        /// Striking windows so far (`< consecutive`).
+        strikes: usize,
+    },
+    /// Hysteresis expired: the controller should switch plans. The
+    /// kernel holds this decision pending until the caller reports
+    /// [`committed`](ReplanKernel::committed) or
+    /// [`rejected`](ReplanKernel::rejected).
+    Switch {
+        /// Candidate index being abandoned.
+        from: usize,
+        /// Candidate index to install.
+        to: usize,
+        /// The λ estimate that drove the decision.
+        lambda: f64,
+        /// Virtual time of the deciding window boundary.
+        at: f64,
+    },
+}
+
+/// One committed plan switch, for schedules and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchRecord {
+    /// Virtual time of the deciding window boundary.
+    pub at: f64,
+    /// Candidate index abandoned.
+    pub from: usize,
+    /// Candidate index installed.
+    pub to: usize,
+    /// The λ estimate that drove the decision.
+    pub lambda: f64,
+}
+
+/// The hysteresis state machine shared by every re-planning controller.
+///
+/// Feed each *admitted* arrival timestamp through
+/// [`observe_arrival`](Self::observe_arrival); at every elapsed window
+/// boundary the kernel compares the cheapest stable-and-reachable
+/// candidate at `λ̂·(1 ± margin)` against the current plan and counts
+/// strikes. After `consecutive` striking windows it emits
+/// [`ReplanVerdict::Switch`] and goes *pending*: further windows hold
+/// until the caller confirms the swap with
+/// [`committed`](Self::committed) (audit passed, plan installed) or
+/// [`rejected`](Self::rejected) (audit refused). Timestamps are
+/// caller-supplied virtual times, so decisions are bit-reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanKernel {
+    policy: ReplanPolicy,
+    candidates: Vec<ReplanCandidate>,
+    switchable: Vec<Vec<bool>>,
+    current: usize,
+    estimator: InterArrivalEstimator,
+    strikes: usize,
+    next_window: f64,
+    pending: Option<usize>,
+}
+
+impl ReplanKernel {
+    /// Creates a kernel over `candidates`, starting on plan `initial`.
+    ///
+    /// `switchable[i][j]` must hold the precomputed verdict of the
+    /// `PA305`–`PA307` switch-pair audit from plan `i` to plan `j` —
+    /// the kernel never proposes a switch the audit gate would refuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `candidates` is empty, `switchable` is not an
+    /// `N × N` matrix, `initial` is out of range, or `policy` has
+    /// [`violations`](ReplanPolicy::violations).
+    pub fn new(
+        candidates: Vec<ReplanCandidate>,
+        switchable: Vec<Vec<bool>>,
+        initial: usize,
+        policy: ReplanPolicy,
+    ) -> Self {
+        let violations = policy.violations();
+        assert!(
+            violations.is_empty(),
+            "invalid ReplanPolicy: {violations:?}"
+        );
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(initial < candidates.len(), "initial plan out of range");
+        assert!(
+            switchable.len() == candidates.len()
+                && switchable.iter().all(|row| row.len() == candidates.len()),
+            "switchable must be an N x N matrix"
+        );
+        ReplanKernel {
+            policy,
+            candidates,
+            switchable,
+            current: initial,
+            estimator: InterArrivalEstimator::new(policy.beta),
+            strikes: 0,
+            next_window: policy.window,
+            pending: None,
+        }
+    }
+
+    /// The policy this kernel was built from.
+    pub fn policy(&self) -> ReplanPolicy {
+        self.policy
+    }
+
+    /// The candidate table, indexed by the indices in verdicts.
+    pub fn candidates(&self) -> &[ReplanCandidate] {
+        &self.candidates
+    }
+
+    /// Index of the plan the kernel believes is installed.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// The switch decision awaiting [`committed`](Self::committed) /
+    /// [`rejected`](Self::rejected), if any.
+    pub fn pending(&self) -> Option<usize> {
+        self.pending
+    }
+
+    /// The current λ estimate (`None` before two admitted arrivals).
+    pub fn lambda(&self) -> Option<f64> {
+        self.estimator.lambda()
+    }
+
+    /// The cheapest stable plan reachable from the current one at rate
+    /// `lambda`: among candidates that are the current plan or pass the
+    /// switch audit from it *and* sustain `lambda` (`λ ≤ band.hi`,
+    /// PA303), the minimum by `(latency, period, index)`. When nothing
+    /// reachable sustains `lambda` (overload), falls back to the
+    /// reachable candidate with the largest sustainable band.
+    pub fn select(&self, lambda: f64) -> usize {
+        let reachable = |i: usize| i == self.current || self.switchable[self.current][i];
+        let mut best: Option<usize> = None;
+        for i in 0..self.candidates.len() {
+            if !reachable(i) || lambda > self.candidates[i].band.hi {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (ci, cb) = (self.candidates[i].profile, self.candidates[b].profile);
+                    (ci.latency, ci.period) < (cb.latency, cb.period)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        if let Some(i) = best {
+            return i;
+        }
+        // Overload: no reachable plan sustains λ — take the widest band.
+        let mut widest = self.current;
+        for i in 0..self.candidates.len() {
+            if reachable(i) && self.candidates[i].band.hi > self.candidates[widest].band.hi {
+                widest = i;
+            }
+        }
+        widest
+    }
+
+    /// Records an admitted arrival at absolute time `t` (non-decreasing
+    /// across calls), evaluates any elapsed window boundaries, and
+    /// returns the verdict of the latest one.
+    pub fn observe_arrival(&mut self, t: f64) -> ReplanVerdict {
+        self.estimator.observe_arrival(t);
+        let mut verdict = ReplanVerdict::Hold;
+        while t >= self.next_window {
+            let at = self.next_window;
+            self.next_window += self.policy.window;
+            if self.pending.is_some() {
+                // A decision is already in flight; hold until the
+                // caller commits or rejects it.
+                continue;
+            }
+            let Some(lambda) = self.estimator.lambda() else {
+                self.strikes = 0;
+                continue;
+            };
+            let low = self.select(lambda * (1.0 - self.policy.margin));
+            let high = self.select(lambda * (1.0 + self.policy.margin));
+            if low == self.current || high == self.current {
+                self.strikes = 0;
+                verdict = ReplanVerdict::Hold;
+                continue;
+            }
+            self.strikes += 1;
+            if self.strikes < self.policy.consecutive {
+                verdict = ReplanVerdict::Suppressed {
+                    lambda,
+                    strikes: self.strikes,
+                };
+                continue;
+            }
+            self.strikes = 0;
+            let to = self.select(lambda);
+            if to == self.current {
+                verdict = ReplanVerdict::Hold;
+                continue;
+            }
+            self.pending = Some(to);
+            verdict = ReplanVerdict::Switch {
+                from: self.current,
+                to,
+                lambda,
+                at,
+            };
+            break;
+        }
+        verdict
+    }
+
+    /// Reports that the pending switch was audit-approved and the new
+    /// plan is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no switch is pending.
+    pub fn committed(&mut self) -> usize {
+        let to = self.pending.take().expect("no switch pending");
+        self.current = to;
+        self.strikes = 0;
+        to
+    }
+
+    /// Reports that the pending switch was refused (audit gate said
+    /// no); the kernel stays on the current plan and restarts its
+    /// strike count.
+    pub fn rejected(&mut self) {
+        self.pending = None;
+        self.strikes = 0;
+    }
+}
+
+/// Deterministic discrete-event mirror of the *adaptive* serving
+/// front-end: [`ServeSim`](crate::ServeSim)'s batch-server loop with a
+/// [`ReplanKernel`] wired into admission, switching service pricing at
+/// exactly the checkpoints where the live path drains and warm-swaps.
+///
+/// Given the same admitted-arrival sequence and the same kernel value,
+/// this mirror and the live/replay controllers produce identical
+/// [`SwitchRecord`] schedules in virtual time.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    batch: BatchPolicy,
+    tenants: Vec<TenantPolicy>,
+}
+
+impl FleetSim {
+    /// Creates a mirror over the given serving policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any policy has violations or `tenants` is empty.
+    pub fn new(batch: BatchPolicy, tenants: Vec<TenantPolicy>) -> Self {
+        let violations = batch.violations();
+        assert!(violations.is_empty(), "invalid BatchPolicy: {violations:?}");
+        let _ = AdmissionLedger::new(tenants.clone());
+        FleetSim { batch, tenants }
+    }
+
+    /// Runs the mirror over `arrivals` — `(time, tenant)` pairs sorted
+    /// by time — starting on `kernel.current()`'s profile. The kernel
+    /// observes every admitted arrival; a pending switch is applied
+    /// (and committed) when the next batch forms, mirroring the live
+    /// drain-then-swap. Returns the serve report and the committed
+    /// switch schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is unsorted or names an unknown tenant.
+    pub fn run(
+        &self,
+        arrivals: &[(f64, usize)],
+        mut kernel: ReplanKernel,
+    ) -> (ServeSimReport, Vec<SwitchRecord>) {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].0 <= w[1].0),
+            "arrivals must be sorted by time"
+        );
+        let mut ledger = AdmissionLedger::new(self.tenants.clone());
+        let mut batcher = AdaptiveBatcher::new(self.batch);
+        let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); self.tenants.len()];
+        let mut rr_next = 0usize;
+
+        let mut i = 0usize;
+        let mut free_at = 0.0f64;
+        let mut active = kernel.candidates()[kernel.current()].profile;
+        let mut swaps = 0u64;
+        let mut switches: Vec<SwitchRecord> = Vec::new();
+        let mut batch_sizes = Vec::new();
+        let mut sojourn_sum = 0.0f64;
+        let mut sojourn_count = 0u64;
+        let mut makespan = 0.0f64;
+
+        let admit = |t: f64,
+                     tenant: usize,
+                     ledger: &mut AdmissionLedger,
+                     batcher: &mut AdaptiveBatcher,
+                     kernel: &mut ReplanKernel,
+                     switches: &mut Vec<SwitchRecord>,
+                     queues: &mut Vec<VecDeque<f64>>| {
+            if ledger.offer(tenant).is_ok() {
+                queues[tenant].push_back(t);
+                batcher.observe_arrival(t);
+                if let ReplanVerdict::Switch {
+                    from,
+                    to,
+                    lambda,
+                    at,
+                } = kernel.observe_arrival(t)
+                {
+                    switches.push(SwitchRecord {
+                        at,
+                        from,
+                        to,
+                        lambda,
+                    });
+                }
+            }
+        };
+
+        while i < arrivals.len() || ledger.total_queued() > 0 {
+            if ledger.total_queued() == 0 {
+                let (t, tenant) = arrivals[i];
+                i += 1;
+                if free_at < t {
+                    free_at = t;
+                }
+                admit(
+                    t,
+                    tenant,
+                    &mut ledger,
+                    &mut batcher,
+                    &mut kernel,
+                    &mut switches,
+                    &mut queues,
+                );
+                continue;
+            }
+            let start = free_at;
+            while i < arrivals.len() && arrivals[i].0 <= start {
+                let (t, tenant) = arrivals[i];
+                i += 1;
+                admit(
+                    t,
+                    tenant,
+                    &mut ledger,
+                    &mut batcher,
+                    &mut kernel,
+                    &mut switches,
+                    &mut queues,
+                );
+            }
+            // The batch-formation checkpoint: the same place the live
+            // path drains the in-service batch and installs the audited
+            // next plan.
+            if kernel.pending().is_some() {
+                let to = kernel.committed();
+                active = kernel.candidates()[to].profile;
+                swaps += 1;
+            }
+            let want = batcher.target().min(ledger.total_queued());
+            let mut picks: Vec<usize> = vec![0; self.tenants.len()];
+            let mut picked = 0usize;
+            while picked < want {
+                let tenant = rr_next % self.tenants.len();
+                rr_next += 1;
+                let available = ledger.queued(tenant) - picks[tenant];
+                if available > 0 {
+                    picks[tenant] += 1;
+                    picked += 1;
+                }
+            }
+            let done_at = start + active.batch_time(want);
+            for (tenant, &n) in picks.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                ledger.take(tenant, n);
+                ledger.complete(tenant, n);
+                for _ in 0..n {
+                    let arrived = queues[tenant].pop_front().expect("queued arrival time");
+                    sojourn_sum += done_at - arrived;
+                    sojourn_count += 1;
+                }
+            }
+            batch_sizes.push(want);
+            free_at = done_at;
+            makespan = done_at;
+        }
+
+        let per_tenant = (0..self.tenants.len())
+            .map(|t| TenantServeStat {
+                admitted: ledger.admitted(t),
+                rejected: ledger.rejected(t),
+                completed: ledger.completed(t),
+            })
+            .collect();
+        (
+            ServeSimReport {
+                per_tenant,
+                batch_sizes,
+                mean_sojourn: if sojourn_count == 0 {
+                    0.0
+                } else {
+                    sojourn_sum / sojourn_count as f64
+                },
+                makespan,
+                swaps,
+            },
+            switches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-plan fleet: a fused-style plan (cheap latency, narrow band)
+    /// and a pipelined plan (deep latency, wide band), both switchable.
+    fn two_plan_kernel(policy: ReplanPolicy) -> ReplanKernel {
+        let fused = ReplanCandidate {
+            profile: ServiceProfile {
+                latency: 0.1,
+                period: 0.1,
+            },
+            band: WorkloadBand::new(0.0, 8.0),
+        };
+        let pico = ReplanCandidate {
+            profile: ServiceProfile {
+                latency: 0.3,
+                period: 0.02,
+            },
+            band: WorkloadBand::new(0.0, 45.0),
+        };
+        ReplanKernel::new(
+            vec![fused, pico],
+            vec![vec![true, true], vec![true, true]],
+            0,
+            policy,
+        )
+    }
+
+    fn policy() -> ReplanPolicy {
+        ReplanPolicy {
+            beta: 0.5,
+            margin: 0.2,
+            consecutive: 2,
+            window: 1.0,
+        }
+    }
+
+    #[test]
+    fn policy_violations_are_reported() {
+        assert!(ReplanPolicy::default().violations().is_empty());
+        let bad = ReplanPolicy {
+            beta: 0.0,
+            margin: 1.0,
+            consecutive: 0,
+            window: 0.0,
+        };
+        assert_eq!(bad.violations().len(), 4);
+    }
+
+    #[test]
+    fn select_prefers_cheapest_stable_and_falls_back_under_overload() {
+        let k = two_plan_kernel(policy());
+        assert_eq!(k.select(2.0), 0); // both stable, fused is cheaper
+        assert_eq!(k.select(20.0), 1); // only pico sustains 20/s
+        assert_eq!(k.select(1000.0), 1); // overload: widest band
+    }
+
+    #[test]
+    fn select_honors_reachability() {
+        let mut k = two_plan_kernel(policy());
+        k.switchable = vec![vec![true, false], vec![true, true]];
+        // Pico is unreachable from fused, so even λ = 20 stays put.
+        assert_eq!(k.select(20.0), 0);
+    }
+
+    #[test]
+    fn steady_in_band_load_holds() {
+        let mut k = two_plan_kernel(policy());
+        for i in 0..40 {
+            // 2 tasks/s: fused (current) remains optimal.
+            assert_eq!(k.observe_arrival(i as f64 * 0.5), ReplanVerdict::Hold);
+        }
+        assert_eq!(k.current(), 0);
+        assert_eq!(k.pending(), None);
+    }
+
+    #[test]
+    fn ramp_is_suppressed_then_switches() {
+        let mut k = two_plan_kernel(policy());
+        // Settle in band first.
+        for i in 0..8 {
+            k.observe_arrival(i as f64 * 0.5);
+        }
+        // Burst at 20 tasks/s: the gap EWMA collapses toward 0.05 s.
+        let mut suppressed = 0;
+        let mut switch = None;
+        let mut t = 4.0;
+        for _ in 0..200 {
+            t += 0.05;
+            match k.observe_arrival(t) {
+                ReplanVerdict::Suppressed { strikes, .. } => {
+                    suppressed += 1;
+                    assert!(strikes < k.policy().consecutive);
+                }
+                ReplanVerdict::Switch { from, to, at, .. } => {
+                    switch = Some((from, to, at));
+                    break;
+                }
+                ReplanVerdict::Hold => {}
+            }
+        }
+        let (from, to, at) = switch.expect("ramp must trigger a switch");
+        assert_eq!((from, to), (0, 1));
+        assert_eq!(suppressed, 1, "K = 2 means exactly one suppressed window");
+        // The decision lands on a window boundary.
+        assert!((at / k.policy().window).fract().abs() < 1e-9, "at {at}");
+        // Pending until the controller commits.
+        assert_eq!(k.current(), 0);
+        assert_eq!(k.pending(), Some(1));
+        assert_eq!(k.committed(), 1);
+        assert_eq!(k.current(), 1);
+    }
+
+    #[test]
+    fn rejected_switch_restarts_hysteresis() {
+        let mut k = two_plan_kernel(ReplanPolicy {
+            consecutive: 1,
+            ..policy()
+        });
+        for i in 0..4 {
+            k.observe_arrival(i as f64 * 0.5);
+        }
+        let mut t = 2.0;
+        loop {
+            t += 0.05;
+            if let ReplanVerdict::Switch { .. } = k.observe_arrival(t) {
+                break;
+            }
+            assert!(t < 50.0, "no switch proposed");
+        }
+        k.rejected();
+        assert_eq!(k.pending(), None);
+        assert_eq!(k.current(), 0);
+        // The kernel proposes again at a later boundary rather than
+        // looping forever inside one window.
+        let mut again = false;
+        for _ in 0..100 {
+            t += 0.05;
+            if let ReplanVerdict::Switch { .. } = k.observe_arrival(t) {
+                again = true;
+                break;
+            }
+        }
+        assert!(again, "kernel must re-propose after rejection");
+    }
+
+    #[test]
+    fn margin_suppresses_boundary_flapping() {
+        // λ hovering just above fused's band edge (8/s): with a 20%
+        // margin, select(λ·0.8) still lands on fused, so no strike.
+        let mut k = two_plan_kernel(policy());
+        let mut t = 0.0;
+        for _ in 0..300 {
+            t += 1.0 / 9.0; // 9 tasks/s, inside 8/0.8 = 10
+            assert_eq!(k.observe_arrival(t), ReplanVerdict::Hold);
+        }
+        assert_eq!(k.current(), 0);
+    }
+
+    #[test]
+    fn fleet_sim_switches_on_ramp_and_is_deterministic() {
+        // Batches must grow deep enough under the burst for the
+        // pipelined plan to sustain 20/s: a batch of 10 costs
+        // 0.3 + 9·0.02 = 0.48 s → 20.8 tasks/s.
+        let batch = BatchPolicy {
+            min_batch: 1,
+            max_batch: 16,
+            target_delay: 0.5,
+            beta: 0.5,
+        };
+        let tenants = vec![TenantPolicy {
+            queue_capacity: 64,
+            in_flight_budget: 128,
+        }];
+        // Quiet phase at 2/s, then a sustained 20/s ramp.
+        let mut arrivals: Vec<(f64, usize)> = (0..10).map(|k| (k as f64 * 0.5, 0)).collect();
+        arrivals.extend((0..200).map(|k| (5.0 + k as f64 * 0.05, 0)));
+        let sim = FleetSim::new(batch, tenants);
+        let (report, switches) = sim.run(&arrivals, two_plan_kernel(policy()));
+        assert_eq!(report.rejected(), 0, "per-tenant {:?}", report.per_tenant);
+        assert_eq!(report.completed(), arrivals.len() as u64);
+        assert_eq!(switches.len(), 1, "switches {switches:?}");
+        assert_eq!((switches[0].from, switches[0].to), (0, 1));
+        assert_eq!(report.swaps, 1);
+        // Bit-identical on re-run.
+        let (report2, switches2) = sim.run(&arrivals, two_plan_kernel(policy()));
+        assert_eq!(report, report2);
+        assert_eq!(switches, switches2);
+    }
+
+    #[test]
+    fn fleet_sim_without_pressure_never_switches() {
+        let sim = FleetSim::new(BatchPolicy::default(), vec![TenantPolicy::default()]);
+        let arrivals: Vec<(f64, usize)> = (0..30).map(|k| (k as f64 * 0.5, 0)).collect();
+        let (report, switches) = sim.run(&arrivals, two_plan_kernel(policy()));
+        assert!(switches.is_empty());
+        assert_eq!(report.swaps, 0);
+        assert_eq!(report.completed(), 30);
+    }
+}

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use crate::Ewma;
+use crate::InterArrivalEstimator;
 
 /// Knobs for adaptive micro-batching.
 ///
@@ -88,8 +88,7 @@ impl BatchPolicy {
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveBatcher {
     policy: BatchPolicy,
-    gap: Ewma,
-    last_arrival: Option<f64>,
+    estimator: InterArrivalEstimator,
 }
 
 impl AdaptiveBatcher {
@@ -103,8 +102,7 @@ impl AdaptiveBatcher {
         assert!(violations.is_empty(), "invalid BatchPolicy: {violations:?}");
         AdaptiveBatcher {
             policy,
-            gap: Ewma::new(policy.beta),
-            last_arrival: None,
+            estimator: InterArrivalEstimator::new(policy.beta),
         }
     }
 
@@ -116,16 +114,13 @@ impl AdaptiveBatcher {
     /// Records an admitted arrival at absolute time `t` (non-decreasing
     /// across calls) and folds the inter-arrival gap into the EWMA.
     pub fn observe_arrival(&mut self, t: f64) {
-        if let Some(prev) = self.last_arrival {
-            self.gap.update((t - prev).max(0.0));
-        }
-        self.last_arrival = Some(t);
+        self.estimator.observe_arrival(t);
     }
 
     /// The current target batch size. Before two arrivals have been
     /// observed there is no gap estimate and the target is `min_batch`.
     pub fn target(&self) -> usize {
-        let Some(gap) = self.gap.value() else {
+        let Some(gap) = self.estimator.smoothed_gap() else {
             return self.policy.min_batch;
         };
         if gap <= 0.0 {
@@ -137,7 +132,13 @@ impl AdaptiveBatcher {
 
     /// The smoothed inter-arrival gap in seconds, if one exists yet.
     pub fn smoothed_gap(&self) -> Option<f64> {
-        self.gap.value()
+        self.estimator.smoothed_gap()
+    }
+
+    /// The underlying shared gap estimator — the same λ signal the
+    /// fleet re-planning kernel consumes.
+    pub fn estimator(&self) -> &InterArrivalEstimator {
+        &self.estimator
     }
 }
 
@@ -597,6 +598,40 @@ mod tests {
         b.observe_arrival(0.0);
         b.observe_arrival(0.025); // gap 25 ms → 0.1/0.025 = 4
         assert_eq!(b.target(), 4);
+    }
+
+    #[test]
+    fn batcher_delegation_matches_legacy_inline_ewma() {
+        // Regression for the estimator dedup: the batcher used to carry
+        // its own (gap EWMA, last_arrival) pair; after delegating to the
+        // shared InterArrivalEstimator its gaps and targets must be
+        // bit-identical to the legacy inline algorithm.
+        let policy = BatchPolicy {
+            min_batch: 1,
+            max_batch: 16,
+            target_delay: 0.1,
+            beta: 0.3,
+        };
+        let mut b = AdaptiveBatcher::new(policy);
+        let mut legacy_gap = crate::Ewma::new(policy.beta);
+        let mut legacy_last: Option<f64> = None;
+        let times = [0.0, 0.2, 0.21, 0.21, 0.9, 0.95, 1.0, 3.0, 3.001];
+        for &t in &times {
+            b.observe_arrival(t);
+            if let Some(prev) = legacy_last {
+                legacy_gap.update((t - prev).max(0.0));
+            }
+            legacy_last = Some(t);
+            let legacy_target = match legacy_gap.value() {
+                None => policy.min_batch,
+                Some(g) if g <= 0.0 => policy.max_batch,
+                Some(g) => ((policy.target_delay / g).round() as usize)
+                    .clamp(policy.min_batch, policy.max_batch),
+            };
+            assert_eq!(b.smoothed_gap(), legacy_gap.value());
+            assert_eq!(b.target(), legacy_target);
+            assert_eq!(b.estimator().last_arrival(), legacy_last);
+        }
     }
 
     #[test]

@@ -86,8 +86,25 @@ pub const BATCH_FORMED: &str = "batch_formed";
 /// under the drained plan.
 pub const SWAP_DRAINED: &str = "swap_drained";
 
+/// The fleet plan cache served a frontier without rebuilding
+/// (counter). One increment per hit.
+pub const PLAN_CACHE_HIT: &str = "plan_cache_hit";
+
+/// The fleet plan cache had to build (or rebuild) a frontier
+/// (counter). One increment per miss.
+pub const PLAN_CACHE_MISS: &str = "plan_cache_miss";
+
+/// The re-planning controller committed a plan switch (instant).
+/// `ctx.stage`: the frontier index installed; `value`: the λ estimate
+/// that drove the decision.
+pub const REPLAN_TRIGGERED: &str = "replan_triggered";
+
+/// The re-planning hysteresis saw λ outside the current plan's band
+/// but withheld the switch (instant). `value`: the λ estimate.
+pub const REPLAN_SUPPRESSED: &str = "replan_suppressed";
+
 /// Every registered name, in registry order.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 24] = [
     SCATTER,
     COMPUTE,
     HALO_EXCHANGE,
@@ -108,6 +125,10 @@ pub const ALL: [&str; 20] = [
     TASK_REJECTED,
     BATCH_FORMED,
     SWAP_DRAINED,
+    PLAN_CACHE_HIT,
+    PLAN_CACHE_MISS,
+    REPLAN_TRIGGERED,
+    REPLAN_SUPPRESSED,
 ];
 
 #[cfg(test)]

@@ -37,7 +37,12 @@
 //!    in non-test code of `pico-runtime` and `pico-serve`: every
 //!    queue in the serving path is bounded so backpressure reaches
 //!    admission control as a typed rejection instead of unbounded
-//!    memory growth.
+//!    memory growth;
+//! 9. **serve-plans-via-frontier** — `pico-serve` never invokes a
+//!    planner directly (no `.plan(` / `PlanRequest::new(` in non-test
+//!    code): every plan the serving path runs comes off the
+//!    audit-certified fleet frontier through the plan cache, so an
+//!    uncertified plan cannot reach the runtime.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -92,9 +97,10 @@ fn lint() -> ExitCode {
     lint_kernel_hot_path(&root, &mut violations);
     lint_wall_clock(&root, &mut violations);
     lint_bounded_channels(&root, &mut violations);
+    lint_serve_via_frontier(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (8 rules, 0 findings)");
+        println!("xtask lint: clean (9 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -621,6 +627,35 @@ fn lint_bounded_channels(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 9: `pico-serve` never plans for itself. Every plan the serving
+/// path executes must come off the audit-certified fleet frontier
+/// (through the plan cache), so a direct planner invocation here would
+/// bypass the deep-audit gate that certifies stability and memory.
+fn lint_serve_via_frontier(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates/serve/src"), &mut files);
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        for (line, code) in non_test_lines(&source) {
+            for pattern in [".plan(", "PlanRequest::new("] {
+                if code.contains(pattern) {
+                    violations.push(Violation {
+                        rule: "serve-plans-via-frontier",
+                        file: file.clone(),
+                        line,
+                        detail: format!(
+                            "`{pattern}` plans directly in pico-serve; take plans \
+                             from the audited fleet frontier (pico-fleet) instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +741,7 @@ mod tests {
         lint_kernel_hot_path(&root, &mut violations);
         lint_wall_clock(&root, &mut violations);
         lint_bounded_channels(&root, &mut violations);
+        lint_serve_via_frontier(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

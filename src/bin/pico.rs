@@ -13,7 +13,7 @@ use std::process::ExitCode;
 use pico::model::Model;
 use pico::partition::memory::{plan_memory, single_device_memory};
 use pico::prelude::*;
-use pico::serve::{build_script, ReplayScript, ScriptSpec};
+use pico::serve::{build_script, fleet_frontier, ReplayScript, ScriptSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +32,7 @@ const USAGE: &str = "\
 usage: pico <command> [options]
        pico trace <summarize|validate> <file.json>
        pico bench <kernels|planner|e2e> [options]
+       pico fleet <build|show> [options]
 
 commands:
   plan       plan a deployment and print the stage layout
@@ -46,6 +47,9 @@ commands:
   bench      offline micro-benchmarks (compute kernels under both
              backends, planner wall-time + calibration fit, end-to-end)
   memory     per-device memory footprint of the PICO plan
+  fleet      build the audit-certified Pareto plan frontier for a
+             deployment through the process-wide plan cache (`build`),
+             or inspect the cache (`show`)
   frontier   the period/latency Pareto frontier (T_lim sweep)
   model      per-layer summary of the model (shapes, params, FLOPs)
 
@@ -82,8 +86,17 @@ options:
   --seed <n>                 `run`/`serve`: synthetic weight/input seed
   --replay <steady|bursty|ramp>  `serve`: which scripted trace to replay
   --tenants <n>              `serve`: tenant count (default 2)
-  --swap-at <k|none>         `serve`: schedule the PICO->OFL warm swap
+  --swap-at <k|none>         `serve`: schedule the frontier warm swap
                              at arrival <k> (default: tasks/2)
+  --adaptive                 `serve`: replace the scripted swap with the
+                             hysteresis re-planning controller — the
+                             arrival-rate EWMA drives audit-gated warm
+                             swaps across the cached plan frontier
+  --min-replans <n>          `serve --adaptive`: fail unless at least
+                             <n> controller switches fired
+  --replan-window <s>        `serve --adaptive`: hysteresis evaluation
+                             window in virtual seconds (default: twice
+                             the starting plan's batch latency)
   --throttle-scale <f>       `run`: stretch stages to cost-model
                              proportions (scaled by <f>)
   --fail-device <id>@<task>  `run`: inject a failure — device <id> dies
@@ -97,6 +110,7 @@ options:
                              machine-readable report (round-tripped
                              through the strict parser before the
                              command succeeds)
+                             `fleet build`: write the frontier artifact
   --gate-ratio <x>           `bench kernels`: fail unless im2col beats
                              the reference conv3x3/64ch case by >= x";
 
@@ -114,7 +128,7 @@ impl Opts {
                 return Err(format!("unexpected argument `{key}`"));
             };
             // Boolean flags take no value.
-            if name == "deep" {
+            if name == "deep" || name == "adaptive" {
                 pairs.push((name.to_owned(), "true".to_owned()));
                 continue;
             }
@@ -351,6 +365,95 @@ fn bench_command(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `pico fleet <build|show>` — the audit-certified Pareto plan
+/// frontier for a deployment, served through the process-wide plan
+/// cache (`build`), or a look at the cache itself (`show`).
+fn fleet_command(rest: &[String]) -> Result<(), String> {
+    let Some((sub, flags)) = rest.split_first() else {
+        return Err("usage: pico fleet <build|show> [options]".to_owned());
+    };
+    let opts = Opts::parse(flags)?;
+    let pico = deployment_from(&opts)?;
+    match sub.as_str() {
+        "build" => {
+            let frontier = fleet_frontier(
+                pico.model(),
+                pico.cluster(),
+                &pico.params(),
+                &Recorder::noop(),
+            )
+            .map_err(|e| e.to_string())?;
+            let entries = frontier.entries();
+            println!(
+                "frontier for model {:016x} on cluster {:016x}: {} plan(s)",
+                frontier.fingerprint().as_u64(),
+                frontier.signature().as_u64(),
+                entries.len()
+            );
+            println!("entry  scheme  stages  period(s)  latency(s)  resident(MB)  sustains(/s)");
+            for (i, e) in entries.iter().enumerate() {
+                let mark = if i == frontier.max_throughput() {
+                    "  <- max throughput"
+                } else if i == frontier.cheapest() {
+                    "  <- cheapest"
+                } else {
+                    ""
+                };
+                println!(
+                    "{i:<6} {:<7} {:>6}  {:>9.4}  {:>10.4}  {:>12.1}  {:>12.3}{mark}",
+                    e.plan.scheme.to_string(),
+                    e.plan.stage_count(),
+                    e.period,
+                    e.latency,
+                    e.resident_bytes as f64 / 1e6,
+                    e.band.hi
+                );
+            }
+            println!("switch matrix (`+` = audit-approved warm swap, row from, column to):");
+            for i in 0..entries.len() {
+                let row: String = (0..entries.len())
+                    .map(|j| if frontier.switchable(i, j) { '+' } else { '.' })
+                    .collect();
+                println!("  {i}: {row}");
+            }
+            if let Some(path) = opts.get("json") {
+                std::fs::write(path, frontier.to_json())
+                    .map_err(|e| format!("--json {path}: {e}"))?;
+                println!("wrote {} frontier entri(es) to {path}", entries.len());
+            }
+            let s = PlanCache::global().stats();
+            println!(
+                "plan cache: {} hit(s), {} miss(es), {} eviction(s), {} resident",
+                s.hits, s.misses, s.evictions, s.entries
+            );
+            Ok(())
+        }
+        "show" => {
+            let key = CacheKey::new(
+                pico.model(),
+                pico.cluster(),
+                &pico.params(),
+                pico::sim::WorkloadBand::point(0.0),
+            );
+            match PlanCache::global().get(&key, &Recorder::noop()) {
+                Some(f) => println!(
+                    "deployment {:016x}: cached ({} frontier entri(es))",
+                    key.digest(),
+                    f.entries().len()
+                ),
+                None => println!("deployment {:016x}: not cached", key.digest()),
+            }
+            let s = PlanCache::global().stats();
+            println!(
+                "plan cache: {} hit(s), {} miss(es), {} eviction(s), {} resident",
+                s.hits, s.misses, s.evictions, s.entries
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown fleet subcommand `{other}`")),
+    }
+}
+
 /// `pico trace <summarize|validate> <file.json>` — offline inspection
 /// of Chrome trace-event files written by `pico run --trace`.
 fn trace_command(rest: &[String]) -> Result<(), String> {
@@ -389,6 +492,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "bench" {
         // `bench` takes a positional suite name before its flags.
         return bench_command(rest);
+    }
+    if command == "fleet" {
+        // `fleet` takes a positional subcommand before its flags.
+        return fleet_command(rest);
     }
     let opts = Opts::parse(rest)?;
     let pico = deployment_from(&opts)?;
@@ -663,13 +770,30 @@ fn run(args: &[String]) -> Result<(), String> {
             let tasks = opts.get_usize("tasks", 96)?;
             let seed = opts.get_usize("seed", 7)? as u64;
             let tenants = opts.get_usize("tenants", 2)?;
-            let swap_at = match opts.get("swap-at") {
-                Some("none") => None,
-                Some(v) => Some(
-                    v.parse()
-                        .map_err(|_| format!("--swap-at: bad index `{v}`"))?,
-                ),
-                None => Some(tasks / 2),
+            let adaptive = opts.get("adaptive").is_some();
+            for flag in ["min-replans", "replan-window"] {
+                if opts.get(flag).is_some() && !adaptive {
+                    return Err(format!("--{flag} requires --adaptive"));
+                }
+            }
+            let swap_at = if adaptive {
+                if opts.get("swap-at").is_some() {
+                    return Err(
+                        "--swap-at conflicts with --adaptive: the re-planning controller \
+                         schedules switches itself"
+                            .to_owned(),
+                    );
+                }
+                None
+            } else {
+                match opts.get("swap-at") {
+                    Some("none") => None,
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| format!("--swap-at: bad index `{v}`"))?,
+                    ),
+                    None => Some(tasks / 2),
+                }
             };
             let spec = ScriptSpec {
                 tasks,
@@ -681,16 +805,26 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let rec = Recorder::in_memory();
             let engine = Engine::with_seed(pico.model(), seed);
-            let outcome = Replayer::new(
-                pico.model(),
-                pico.cluster(),
-                &pico.params(),
-                &engine,
-                rp.config,
-            )
-            .with_recorder(rec.clone())
-            .run(&rp.initial, &rp.events)
-            .map_err(|e| e.to_string())?;
+            let params = pico.params();
+            let replayer = Replayer::new(pico.model(), pico.cluster(), &params, &engine, rp.config)
+                .with_recorder(rec.clone());
+            let (outcome, switches) = if adaptive {
+                let start = rp.frontier.cheapest();
+                let window =
+                    opts.get_f64("replan-window", 2.0 * rp.frontier.entries()[start].latency)?;
+                let policy = ReplanPolicy {
+                    window,
+                    ..ReplanPolicy::default()
+                };
+                replayer
+                    .run_adaptive(&rp.frontier, policy, &rp.events)
+                    .map_err(|e| e.to_string())?
+            } else {
+                let outcome = replayer
+                    .run(&rp.initial, &rp.events)
+                    .map_err(|e| e.to_string())?;
+                (outcome, Vec::new())
+            };
 
             println!(
                 "replayed `{}`: {} arrival(s), {} tenant(s), seed {seed}",
@@ -718,6 +852,19 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             for msg in &outcome.swap_rejections {
                 println!("swap rejected by audit: {msg}");
+            }
+            for s in &switches {
+                println!(
+                    "replan at t={:.3}s: frontier entry {} -> {} (lambda-hat {:.2} tasks/s)",
+                    s.at, s.from, s.to, s.lambda
+                );
+            }
+            let min_replans = opts.get_usize("min-replans", 0)?;
+            if switches.len() < min_replans {
+                return Err(format!(
+                    "adaptive gate failed: {} replan(s) fired, required at least {min_replans}",
+                    switches.len()
+                ));
             }
             for r in outcome.rejections.iter().take(5) {
                 println!("rejected task {} (tenant {}): {}", r.seq, r.tenant, r.error);
@@ -949,6 +1096,101 @@ mod tests {
             "x",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn serve_adaptive_replans_with_zero_drops() {
+        // The CI smoke contract: the ramp trace must push the EWMA far
+        // enough that the controller fires at least one audit-gated
+        // switch, and no task may be dropped across it.
+        run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--replay",
+            "ramp",
+            "--adaptive",
+            "--min-replans",
+            "1",
+        ]))
+        .unwrap();
+        // Scripted swaps and the controller are mutually exclusive.
+        assert!(run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--replay",
+            "ramp",
+            "--adaptive",
+            "--swap-at",
+            "8",
+        ]))
+        .is_err());
+        // The adaptive-only flags demand --adaptive.
+        assert!(run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--replay",
+            "ramp",
+            "--min-replans",
+            "1",
+        ]))
+        .is_err());
+        // A steady trace holds λ in-band: an impossible gate fails.
+        assert!(run(&sv(&[
+            "serve",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--replay",
+            "steady",
+            "--tasks",
+            "16",
+            "--adaptive",
+            "--min-replans",
+            "64",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_build_writes_artifact_and_show_reports_cache() {
+        let path = std::env::temp_dir().join(format!("pico-cli-fleet-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_owned();
+        run(&sv(&[
+            "fleet",
+            "build",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--json",
+            &path,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"entries\""));
+        std::fs::remove_file(&path).ok();
+        // After a build, `show` sees the cached deployment.
+        run(&sv(&[
+            "fleet",
+            "show",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&["fleet"])).is_err());
+        assert!(run(&sv(&["fleet", "frobnicate"])).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `pico-tensor` | [`tensor`] | CHW f32 engine with bit-exact halo split/stitch |
 //! | `pico-partition` | [`partition`] | cost model + LW/EFL/OFL/PICO/BFS planners |
 //! | `pico-sim` | [`sim`] | arrival streams, queueing simulation, M/D/1, APICO |
+//! | `pico-fleet` | [`fleet`] | Pareto plan frontiers, concurrent plan cache, re-planning glue |
 //! | `pico-audit` | [`audit`] | multi-pass plan diagnostics engine (`pico audit`) |
 //! | `pico-runtime` | [`runtime`] | threaded Fig.-6 pipeline executor |
 //! | `pico-telemetry` | [`telemetry`] | structured spans/counters/histograms, Chrome traces |
@@ -44,6 +45,7 @@
 pub use pico_audit as audit;
 pub use pico_bench as bench;
 pub use pico_core as core;
+pub use pico_fleet as fleet;
 pub use pico_model as model;
 pub use pico_partition as partition;
 pub use pico_runtime as runtime;
@@ -58,6 +60,7 @@ pub use pico_core::Pico;
 pub mod prelude {
     pub use pico_audit::{AuditConfig, AuditReport, Auditor};
     pub use pico_core::Pico;
+    pub use pico_fleet::{CacheKey, FleetConfig, FleetFrontier, PlanCache};
     pub use pico_model::{zoo, Model, Rows, Segment, Shape};
     pub use pico_partition::{
         BfsOptimal, Cluster, Code, CostParams, Device, Diagnostic, EarlyFused, GridFused,
@@ -70,7 +73,7 @@ pub mod prelude {
     pub use pico_serve::{
         BatchPolicy, Replayer, ServeConfig, ServeError, ServeHandle, ServeRequest, TenantPolicy,
     };
-    pub use pico_sim::{AdaptiveScheduler, Arrivals, Simulation};
+    pub use pico_sim::{AdaptiveScheduler, Arrivals, ReplanPolicy, Simulation};
     pub use pico_telemetry::{names, Ctx, Event, EventKind, Recorder, TraceSummary};
     pub use pico_tensor::{Engine, EngineBackend, Scratch, Tensor};
 }
