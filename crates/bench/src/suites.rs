@@ -4,9 +4,11 @@
 //! Every suite is deterministic in *structure* — same case names, same
 //! order, same protocol fields on every rerun — so reports can be
 //! diffed and gated on ratios between records. The kernel suite runs
-//! each case under **both** [`EngineBackend`]s; the
-//! `conv3x3_c64/reference` vs `conv3x3_c64/im2col` pair is the CI
-//! speedup gate.
+//! each case under **every** [`EngineBackend`] (plus a multi-threaded
+//! `simd_mt4` row for the gate case); the `conv3x3_c64/reference` vs
+//! `conv3x3_c64/simd` pair is the CI speedup gate, and
+//! `conv3x3_c64/simd` vs `conv3x3_c64/simd_mt4` the thread-scaling
+//! smoke (enforced only on hosts with ≥ 4 cores).
 
 use pico_model::{zoo, ConvSpec, Layer, Model, PoolSpec, Region2, Rows, Shape};
 use pico_partition::{Cluster, CostParams, PlanRequest};
@@ -80,7 +82,22 @@ fn bench_model(
     model: &Model,
     backend: EngineBackend,
 ) -> BenchRecord {
-    let engine = Engine::with_seed(model, 11).with_backend(backend);
+    bench_model_threads(suite, name, cfg, model, backend, 1)
+}
+
+/// [`bench_model`] with an explicit worker-thread count, used for the
+/// `simd_mt4` thread-scaling row.
+fn bench_model_threads(
+    suite: &str,
+    name: &str,
+    cfg: BenchConfig,
+    model: &Model,
+    backend: EngineBackend,
+    threads: usize,
+) -> BenchRecord {
+    let engine = Engine::with_seed(model, 11)
+        .with_backend(backend)
+        .with_threads(threads);
     let input = Tensor::random(model.input_shape(), 17);
     let seg = model.full_segment();
     let out = model.output_shape();
@@ -94,8 +111,12 @@ fn bench_model(
     })
 }
 
-/// The kernel suite: every case in [`kernel_cases`] under both
-/// backends, named `<case>/<backend>`.
+/// Worker threads used by the `simd_mt4` thread-scaling row.
+pub const SCALING_THREADS: usize = 4;
+
+/// The kernel suite: every case in [`kernel_cases`] under every
+/// backend, named `<case>/<backend>`, plus one multi-threaded
+/// `<gate>/simd_mt4` row for the thread-scaling smoke.
 pub fn kernels(cfg: BenchConfig) -> BenchReport {
     let mut report = BenchReport::new("kernels");
     for (case, model) in kernel_cases() {
@@ -105,15 +126,60 @@ pub fn kernels(cfg: BenchConfig) -> BenchReport {
                 .records
                 .push(bench_model("kernels", &name, cfg, &model, backend));
         }
+        if case == GATE_CASE {
+            let name = format!("{case}/simd_mt{SCALING_THREADS}");
+            report.records.push(bench_model_threads(
+                "kernels",
+                &name,
+                cfg,
+                &model,
+                EngineBackend::Simd,
+                SCALING_THREADS,
+            ));
+        }
     }
     report
 }
 
 /// Reference-over-fast median ratio for `case` (how many times faster
-/// the `Im2colGemm` backend ran it).
+/// the scalar `Im2colGemm` backend ran it).
 pub fn backend_speedup(report: &BenchReport, case: &str) -> Option<f64> {
     report.ratio(
         &format!("{case}/{}", EngineBackend::Reference),
+        &format!("{case}/{}", EngineBackend::Im2colGemm),
+    )
+}
+
+/// Reference-over-SIMD median ratio for `case` — the CI `--gate-ratio`
+/// metric (how many times faster the vectorized backend ran it).
+pub fn simd_speedup(report: &BenchReport, case: &str) -> Option<f64> {
+    report.ratio(
+        &format!("{case}/{}", EngineBackend::Reference),
+        &format!("{case}/{}", EngineBackend::Simd),
+    )
+}
+
+/// Single-thread-over-[`SCALING_THREADS`] SIMD median ratio for `case`
+/// — the CI `--scaling-gate` metric. `None` unless the suite benched a
+/// `<case>/simd_mt4` row (only the gate case gets one).
+pub fn thread_scaling(report: &BenchReport, case: &str) -> Option<f64> {
+    report.ratio(
+        &format!("{case}/{}", EngineBackend::Simd),
+        &format!("{case}/simd_mt{SCALING_THREADS}"),
+    )
+}
+
+/// Measured `backend_alpha` for `backend` on `case`: its median runtime
+/// over the scalar `Im2colGemm` median that `alpha_scale` calibration
+/// fits against. Feed the result to [`CostParams::with_backend_speedup`]
+/// inverted, or set `params.backend_alpha` directly.
+pub fn measured_backend_alpha(
+    report: &BenchReport,
+    case: &str,
+    backend: EngineBackend,
+) -> Option<f64> {
+    report.ratio(
+        &format!("{case}/{backend}"),
         &format!("{case}/{}", EngineBackend::Im2colGemm),
     )
 }
@@ -206,10 +272,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn kernel_suite_covers_every_case_under_both_backends() {
+    fn kernel_suite_covers_every_case_under_every_backend() {
         let report = kernels(BenchConfig::new(0, 1, 1));
         assert_eq!(report.suite, "kernels");
-        assert_eq!(report.records.len(), kernel_cases().len() * 2);
+        // One row per (case, backend) pair plus the simd_mt4 gate row.
+        assert_eq!(
+            report.records.len(),
+            kernel_cases().len() * EngineBackend::ALL.len() + 1
+        );
         for (case, _) in kernel_cases() {
             for b in EngineBackend::ALL {
                 assert!(
@@ -218,7 +288,14 @@ mod tests {
                 );
             }
         }
+        assert!(report
+            .record(&format!("{GATE_CASE}/simd_mt{SCALING_THREADS}"))
+            .is_some());
         assert!(backend_speedup(&report, GATE_CASE).is_some());
+        assert!(simd_speedup(&report, GATE_CASE).is_some());
+        assert!(thread_scaling(&report, GATE_CASE).is_some());
+        let alpha = measured_backend_alpha(&report, GATE_CASE, EngineBackend::Simd);
+        assert!(alpha.is_some_and(|a| a > 0.0 && a.is_finite()));
     }
 
     #[test]

@@ -41,7 +41,7 @@ use pico_serve::{ServeError, ServeHandle, ServeRequest};
 use pico_sim::ReplanPolicy;
 use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simulation};
 use pico_telemetry::Recorder;
-use pico_tensor::{Engine, Tensor};
+use pico_tensor::{Engine, EngineBackend, Tensor};
 
 /// One-stop entry point: a model deployed on a cluster under given
 /// network conditions.
@@ -51,6 +51,8 @@ pub struct Pico {
     cluster: Cluster,
     params: CostParams,
     recorder: Recorder,
+    backend: Option<EngineBackend>,
+    threads: usize,
 }
 
 impl Pico {
@@ -62,6 +64,8 @@ impl Pico {
             cluster,
             params: CostParams::wifi_50mbps(),
             recorder: Recorder::noop(),
+            backend: None,
+            threads: 1,
         }
     }
 
@@ -69,6 +73,34 @@ impl Pico {
     pub fn with_params(mut self, params: CostParams) -> Self {
         self.params = params;
         self
+    }
+
+    /// Overrides the compute backend every engine this deployment
+    /// builds will run (the default is the engine's own default,
+    /// [`EngineBackend::Im2colGemm`]).
+    pub fn with_backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the per-engine worker-thread count for GEMM macro-block
+    /// parallelism (default 1 — no pool).
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds a synthetic-weight engine for this deployment, applying
+    /// the configured backend and thread count.
+    fn engine(&self, seed: u64) -> Engine<'_> {
+        let mut engine = Engine::with_seed(&self.model, seed);
+        if let Some(backend) = self.backend {
+            engine = engine.with_backend(backend);
+        }
+        if self.threads > 1 {
+            engine = engine.with_threads(self.threads);
+        }
+        engine
     }
 
     /// Attaches a telemetry recorder: every plan, simulation, and
@@ -97,6 +129,16 @@ impl Pico {
     /// The environment parameters.
     pub fn params(&self) -> CostParams {
         self.params
+    }
+
+    /// The configured backend override, if any.
+    pub fn backend(&self) -> Option<EngineBackend> {
+        self.backend
+    }
+
+    /// The configured per-engine worker-thread count.
+    pub fn engine_threads(&self) -> usize {
+        self.threads
     }
 
     /// Plans with the paper's PICO pipeline strategy.
@@ -186,7 +228,7 @@ impl Pico {
         inputs: Vec<Tensor>,
         seed: u64,
     ) -> Result<RunReport, RuntimeError> {
-        let engine = Engine::with_seed(&self.model, seed);
+        let engine = self.engine(seed);
         PipelineRuntime::builder(&self.model, plan, &engine)
             .recorder(self.recorder.clone())
             .build()
@@ -206,7 +248,7 @@ impl Pico {
         seed: u64,
         scale: f64,
     ) -> Result<RunReport, RuntimeError> {
-        let engine = Engine::with_seed(&self.model, seed);
+        let engine = self.engine(seed);
         let throttle = Throttle::new(self.cluster.clone(), self.params, scale);
         PipelineRuntime::builder(&self.model, plan, &engine)
             .recorder(self.recorder.clone())
@@ -229,7 +271,7 @@ impl Pico {
         inputs: Vec<Tensor>,
         seed: u64,
     ) -> Result<RunReport, RuntimeError> {
-        let engine = Engine::with_seed(&self.model, seed);
+        let engine = self.engine(seed);
         let report = PipelineRuntime::builder(&self.model, plan, &engine)
             .recorder(self.recorder.clone())
             .build()
@@ -304,7 +346,7 @@ impl Pico {
         known_failed: &[usize],
         inject_failures: &[usize],
     ) -> Result<(RunReport, Plan, Vec<usize>), RuntimeError> {
-        let engine = Engine::with_seed(&self.model, seed);
+        let engine = self.engine(seed);
         let mut excluded: Vec<usize> = known_failed.to_vec();
         loop {
             let Some(cluster) = self.cluster.without(&excluded) else {
@@ -377,7 +419,7 @@ impl Pico {
         seed: u64,
         schedule: FailureSchedule,
     ) -> Result<RunReport, RuntimeError> {
-        let engine = Engine::with_seed(&self.model, seed);
+        let engine = self.engine(seed);
         let policy = RecoveryPolicy::new(self.cluster.clone(), self.params);
         PipelineRuntime::builder(&self.model, plan, &engine)
             .recorder(self.recorder.clone())
@@ -540,6 +582,24 @@ mod tests {
         let inputs = vec![Tensor::random(pico.model().input_shape(), 5)];
         let report = pico.execute_verified(&plan, inputs, 77).unwrap();
         assert_eq!(report.outputs.len(), 1);
+    }
+
+    #[test]
+    fn backend_override_flows_through_facade_bit_exactly() {
+        let base = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(3, 1.0));
+        let plan = base.plan().unwrap();
+        let inputs = vec![Tensor::random(base.model().input_shape(), 41)];
+        let reference = base.execute(&plan, inputs.clone(), 23).unwrap();
+        // SIMD (threaded) preserves the scalar addition chains, so the
+        // facade-level override must be bit-identical end to end.
+        let simd = base
+            .clone()
+            .with_backend(EngineBackend::Simd)
+            .with_engine_threads(2);
+        assert_eq!(simd.backend(), Some(EngineBackend::Simd));
+        assert_eq!(simd.engine_threads(), 2);
+        let report = simd.execute(&plan, inputs, 23).unwrap();
+        assert_eq!(report.outputs, reference.outputs);
     }
 
     #[test]

@@ -130,6 +130,7 @@ impl CacheKey {
             None => h.write_u64(0),
         }
         h.write_u64(params.alpha_scale.to_bits());
+        h.write_u64(params.backend_alpha.to_bits());
         CacheKey {
             model: ModelFingerprint::of(model),
             cluster: ClusterSignature::of(cluster),
@@ -227,5 +228,8 @@ mod tests {
         let mut scaled = CostParams::new(50e6);
         scaled.alpha_scale = 1.5;
         assert_ne!(base, CacheKey::new(&model, &cluster, &scaled, band));
+        // Pricing a faster backend is a different plan space too.
+        let vectorized = CostParams::new(50e6).with_backend_speedup(6.0);
+        assert_ne!(base, CacheKey::new(&model, &cluster, &vectorized, band));
     }
 }

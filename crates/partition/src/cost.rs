@@ -20,6 +20,16 @@ pub struct CostParams {
     /// so share balancing and stage ordering are unaffected — only
     /// absolute period/latency predictions move.
     pub alpha_scale: f64,
+    /// Per-backend throughput multiplier on compute times, composing
+    /// multiplicatively with `alpha_scale` (Eq. 5 becomes
+    /// `t = backend_alpha · alpha_scale · α · θ / ϑ`). `1.0` prices
+    /// the scalar `Im2colGemm` backend; a vectorized (`Simd`) or
+    /// int8-quantized device runs the same FLOPs in a fraction of the
+    /// time, so its plans should carry `backend_alpha < 1` (e.g. the
+    /// measured `Reference/Simd` gate ratio inverted —
+    /// `pico bench kernels` prints the per-backend medians this is
+    /// derived from; see EXPERIMENTS.md).
+    pub backend_alpha: f64,
 }
 
 impl CostParams {
@@ -37,6 +47,7 @@ impl CostParams {
             bandwidth_bps,
             t_lim: None,
             alpha_scale: 1.0,
+            backend_alpha: 1.0,
         }
     }
 
@@ -49,6 +60,23 @@ impl CostParams {
     pub fn with_t_lim(mut self, t_lim: f64) -> Self {
         assert!(t_lim.is_finite() && t_lim > 0.0, "t_lim must be positive");
         self.t_lim = Some(t_lim);
+        self
+    }
+
+    /// Returns these parameters pricing a compute backend `ratio`×
+    /// faster (`ratio > 1`, e.g. the measured `Reference/Simd` median
+    /// ratio) — sugar for setting [`CostParams::backend_alpha`] to
+    /// `1 / ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive and finite.
+    pub fn with_backend_speedup(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "backend speedup must be positive and finite"
+        );
+        self.backend_alpha = 1.0 / ratio;
         self
     }
 
@@ -159,7 +187,9 @@ impl<'m> CostModel<'m> {
     /// segment `seg` (including halo redundancy), scaled by the
     /// calibrated compute coefficient.
     pub fn assignment_comp_time(&self, device: &Device, seg: Segment, rows: Rows) -> f64 {
-        self.params.alpha_scale * device.compute_time(self.model.segment_flops(seg, rows))
+        self.params.backend_alpha
+            * self.params.alpha_scale
+            * device.compute_time(self.model.segment_flops(seg, rows))
     }
 
     /// Eq. 7: time to ship one device's input tile in and output tile
@@ -188,7 +218,9 @@ impl<'m> CostModel<'m> {
 
     /// Eq. 5 for a rectangular tile (grid partitioning).
     pub fn region_comp_time(&self, device: &Device, seg: Segment, region: Region2) -> f64 {
-        self.params.alpha_scale * device.compute_time(self.model.segment_region_flops(seg, region))
+        self.params.backend_alpha
+            * self.params.alpha_scale
+            * device.compute_time(self.model.segment_region_flops(seg, region))
     }
 
     /// Bytes moved for a rectangular tile: input region + output region.
@@ -507,6 +539,63 @@ mod tests {
         assert_eq!(
             scaled.assignment_comm_time(seg, rows),
             base.assignment_comm_time(seg, rows)
+        );
+    }
+
+    #[test]
+    fn backend_alpha_scales_comp_but_not_comm() {
+        let (m, c, p) = toy_setup();
+        assert_eq!(p.backend_alpha, 1.0);
+        // A 4× faster backend quarters compute times; transfers are
+        // untouched (the wire does not care about the micro-kernel).
+        let fast = p.with_backend_speedup(4.0);
+        assert!((fast.backend_alpha - 0.25).abs() < 1e-15);
+        let seg = m.full_segment();
+        let rows = Rows::full(m.output_shape().height);
+        let d = c.device(0).unwrap();
+        let base = p.cost_model(&m);
+        let scaled = fast.cost_model(&m);
+        assert!(
+            (scaled.assignment_comp_time(d, seg, rows)
+                - 0.25 * base.assignment_comp_time(d, seg, rows))
+            .abs()
+                < 1e-15
+        );
+        assert!(
+            (scaled.region_comp_time(
+                d,
+                seg,
+                Region2::new(rows, Rows::full(m.output_shape().width))
+            ) - 0.25
+                * base.region_comp_time(
+                    d,
+                    seg,
+                    Region2::new(rows, Rows::full(m.output_shape().width))
+                ))
+            .abs()
+                < 1e-15
+        );
+        assert_eq!(
+            scaled.assignment_comm_time(seg, rows),
+            base.assignment_comm_time(seg, rows)
+        );
+    }
+
+    #[test]
+    fn backend_alpha_composes_with_alpha_scale() {
+        let (m, c, p) = toy_setup();
+        let mut both = p.with_backend_speedup(2.0);
+        both.alpha_scale = 0.5;
+        let seg = m.full_segment();
+        let rows = Rows::full(m.output_shape().height);
+        let d = c.device(0).unwrap();
+        let base = p.cost_model(&m);
+        let scaled = both.cost_model(&m);
+        assert!(
+            (scaled.assignment_comp_time(d, seg, rows)
+                - 0.25 * base.assignment_comp_time(d, seg, rows))
+            .abs()
+                < 1e-15
         );
     }
 

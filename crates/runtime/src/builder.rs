@@ -1,7 +1,7 @@
 use pico_model::Model;
 use pico_partition::Plan;
 use pico_telemetry::Recorder;
-use pico_tensor::Engine;
+use pico_tensor::{Engine, EngineBackend};
 
 use crate::fault::{FailureSchedule, RecoveryPolicy};
 use crate::{PipelineRuntime, Throttle};
@@ -37,6 +37,8 @@ pub struct RuntimeBuilder<'a> {
     recovery: Option<RecoveryPolicy>,
     recorder: Recorder,
     channel_capacity: Option<usize>,
+    backend: Option<EngineBackend>,
+    device_backends: Vec<(usize, EngineBackend)>,
 }
 
 impl<'a> RuntimeBuilder<'a> {
@@ -50,6 +52,8 @@ impl<'a> RuntimeBuilder<'a> {
             recovery: None,
             recorder: Recorder::noop(),
             channel_capacity: None,
+            backend: None,
+            device_backends: Vec::new(),
         }
     }
 
@@ -115,6 +119,23 @@ impl<'a> RuntimeBuilder<'a> {
         self
     }
 
+    /// Overrides the compute backend for every worker, forking the
+    /// engine once at build time (weights and thread pool are shared
+    /// with the original; see [`Engine::fork_backend`]).
+    pub fn backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Overrides the compute backend for one device's workers — how a
+    /// heterogeneous cluster runs e.g. int8 on its weakest device while
+    /// the rest stay f32. Wins over [`RuntimeBuilder::backend`]; the
+    /// last call for a device wins. Forks happen once at build time.
+    pub fn device_backend(mut self, device: usize, backend: EngineBackend) -> Self {
+        self.device_backends.push((device, backend));
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Panics
@@ -124,10 +145,22 @@ impl<'a> RuntimeBuilder<'a> {
     /// this workspace).
     pub fn build(self) -> PipelineRuntime<'a> {
         PipelineRuntime::validate_plan_shape(self.model, self.plan);
+        // Forks are created once here, outside any worker thread, so
+        // scoped workers can simply borrow them — and an Int8 fork
+        // pays its one-time weight quantization up front, not on the
+        // serving path.
+        let default_fork = self.backend.map(|b| self.engine.fork_backend(b));
+        let device_forks = self
+            .device_backends
+            .iter()
+            .map(|&(d, b)| (d, self.engine.fork_backend(b)))
+            .collect();
         PipelineRuntime {
             model: self.model,
             plan: self.plan,
             engine: self.engine,
+            default_fork,
+            device_forks,
             throttle: self.throttle,
             schedule: self.schedule,
             recovery: self.recovery,

@@ -512,6 +512,12 @@ pub struct PipelineRuntime<'a> {
     pub(crate) model: &'a Model,
     pub(crate) plan: &'a Plan,
     pub(crate) engine: &'a Engine<'a>,
+    /// Whole-run backend override (`RuntimeBuilder::backend`), forked
+    /// from `engine` at build time.
+    pub(crate) default_fork: Option<Engine<'a>>,
+    /// Per-device backend overrides (`RuntimeBuilder::device_backend`),
+    /// each an engine fork sharing the original weights.
+    pub(crate) device_forks: Vec<(usize, Engine<'a>)>,
     pub(crate) throttle: Option<Throttle>,
     pub(crate) schedule: FailureSchedule,
     pub(crate) recovery: Option<RecoveryPolicy>,
@@ -538,6 +544,20 @@ impl<'a> PipelineRuntime<'a> {
     /// injection, recovery policy) instead of positional arguments.
     pub fn builder(model: &'a Model, plan: &'a Plan, engine: &'a Engine<'a>) -> RuntimeBuilder<'a> {
         RuntimeBuilder::new(model, plan, engine)
+    }
+
+    /// The engine a device's worker threads dispatch to: its own fork
+    /// when one was configured, else the whole-run fork, else the
+    /// shared engine. Duplicate `device_backend` calls resolve to the
+    /// last one.
+    pub(crate) fn engine_for(&self, device: usize) -> &Engine<'a> {
+        self.device_forks
+            .iter()
+            .rev()
+            .find(|(d, _)| *d == device)
+            .map(|(_, e)| e)
+            .or(self.default_fork.as_ref())
+            .unwrap_or(self.engine)
     }
 
     pub(crate) fn validate_plan_shape(model: &Model, plan: &Plan) {
@@ -878,7 +898,7 @@ impl<'a> PipelineRuntime<'a> {
                 done_rx.push(drx);
                 let device = spec.device;
                 let stage_specs: Vec<WorkerSpec> = workers.clone();
-                let engine = self.engine;
+                let engine = self.engine_for(device);
                 let throttle = self.throttle.clone();
                 let schedule = self.schedule.clone();
                 let rec = rec.clone();
@@ -1468,6 +1488,59 @@ mod tests {
             "cause: {}",
             report.failures[0].cause
         );
+    }
+
+    #[test]
+    fn backend_override_runs_simd_bit_exactly() {
+        // A whole-run Simd override (with an intra-shard thread pool)
+        // must reproduce the f32 reference outputs exactly.
+        use pico_tensor::EngineBackend;
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
+        let engine = Engine::with_seed(&m, 3).with_threads(2);
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .backend(EngineBackend::Simd)
+            .build();
+        let inputs: Vec<Tensor> = (0..3).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = runtime.run(inputs.clone()).unwrap();
+        let oracle = engine.fork_backend(EngineBackend::Reference);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(report.outputs[i], oracle.infer(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn mixed_device_backends_stitch_consistently() {
+        // One device per stage runs int8, the rest f32. Stages chain
+        // sequentially here, so the int8 stages inject bounded error;
+        // the run must still complete and track the f32 pipeline
+        // within the quantization budget.
+        use pico_tensor::EngineBackend;
+        let (m, c, p) = setup();
+        let plan = PicoPlanner.plan(&PlanRequest::new(&m, &c, &p)).unwrap();
+        let engine = Engine::with_seed(&m, 3);
+        let some_device = plan.stages[0].assignments[0].device;
+        let runtime = PipelineRuntime::builder(&m, &plan, &engine)
+            .device_backend(some_device, EngineBackend::Int8)
+            .build();
+        let inputs: Vec<Tensor> = (0..2).map(|i| Tensor::random(m.input_shape(), i)).collect();
+        let report = runtime.run(inputs.clone()).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let exact = engine.infer(input).unwrap();
+            let got = &report.outputs[i];
+            assert_eq!(got.shape(), exact.shape());
+            let scale = exact.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let worst = exact
+                .data()
+                .iter()
+                .zip(got.data())
+                .map(|(e, g)| (e - g).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                worst <= 0.05 * scale.max(1.0),
+                "task {i}: worst={worst} scale={scale}"
+            );
+        }
     }
 
     #[test]

@@ -1,15 +1,24 @@
+use std::sync::Arc;
+
 use pico_model::{Block, LayerKind, Merge, Model, Region2, Rows, Segment, Shape, Unit};
 
 use crate::ops;
-use crate::scratch::{self, Scratch};
+use crate::pool::ThreadPool;
+use crate::scratch::{self, Exec, Scratch};
+use crate::weights::{QuantizedLayer, QuantizedNetwork, QuantizedUnit};
 use crate::{LayerWeights, NetworkWeights, Tensor, TensorError, UnitWeights};
 
 /// Selects the compute kernels an [`Engine`] runs.
 ///
-/// Both backends produce identical tensors for every layer, region, and
-/// error case — `Reference` is the bit-exactness oracle, `Im2colGemm`
-/// the production path (the differential suite in
-/// `tests/backend_equivalence.rs` holds them together).
+/// The f32 backends produce identical tensors for every layer, region,
+/// and error case — `Reference` is the bit-exactness oracle,
+/// `Im2colGemm` the portable production path, `Simd` the explicitly
+/// vectorized one (bit-identical by preserving per-lane addition
+/// chains; see `simd.rs`). `Int8` trades bit-exactness versus f32 for
+/// integer arithmetic: it is deterministic and bit-exactly
+/// *self*-consistent across region splits, but only tolerance-close to
+/// `Reference` (the differential suite in
+/// `tests/backend_equivalence.rs` holds all four together).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EngineBackend {
     /// The naive direct loops in `ops.rs`, kept verbatim as the oracle.
@@ -17,11 +26,44 @@ pub enum EngineBackend {
     /// im2col lowering + cache-blocked GEMM with scratch-buffer reuse.
     #[default]
     Im2colGemm,
+    /// `Im2colGemm` with the runtime-detected vectorized micro-kernel
+    /// (AVX2 `f32x8`; portable scalar fallback elsewhere). Bit-identical
+    /// to `Reference`.
+    Simd,
+    /// Per-channel symmetric int8 GEMM with i32 accumulation and static
+    /// calibration-time activation scales. Tolerance-gated versus the
+    /// f32 oracle.
+    Int8,
 }
 
 impl EngineBackend {
-    /// Both backends, for differential test matrices.
-    pub const ALL: [EngineBackend; 2] = [EngineBackend::Reference, EngineBackend::Im2colGemm];
+    /// Every backend, for differential test matrices.
+    pub const ALL: [EngineBackend; 4] = [
+        EngineBackend::Reference,
+        EngineBackend::Im2colGemm,
+        EngineBackend::Simd,
+        EngineBackend::Int8,
+    ];
+
+    /// The backends that are bit-identical to `Reference` on every
+    /// input — i.e. all f32 backends. `Int8` is excluded: it carries a
+    /// documented tolerance instead.
+    pub const BIT_EXACT: [EngineBackend; 3] = [
+        EngineBackend::Reference,
+        EngineBackend::Im2colGemm,
+        EngineBackend::Simd,
+    ];
+
+    /// Parses the CLI/display name of a backend.
+    pub fn parse(name: &str) -> Option<EngineBackend> {
+        match name {
+            "reference" => Some(EngineBackend::Reference),
+            "im2col" => Some(EngineBackend::Im2colGemm),
+            "simd" => Some(EngineBackend::Simd),
+            "int8" => Some(EngineBackend::Int8),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineBackend {
@@ -29,6 +71,8 @@ impl std::fmt::Display for EngineBackend {
         match self {
             EngineBackend::Reference => write!(f, "reference"),
             EngineBackend::Im2colGemm => write!(f, "im2col"),
+            EngineBackend::Simd => write!(f, "simd"),
+            EngineBackend::Int8 => write!(f, "int8"),
         }
     }
 }
@@ -47,8 +91,13 @@ impl std::fmt::Display for EngineBackend {
 #[derive(Debug, Clone)]
 pub struct Engine<'m> {
     model: &'m Model,
-    weights: NetworkWeights,
+    weights: Arc<NetworkWeights>,
     backend: EngineBackend,
+    /// Int8 weights, built lazily the first time the backend switches
+    /// to `Int8` and shared by clones/forks from then on.
+    quant: Option<Arc<QuantizedNetwork>>,
+    /// Intra-shard GEMM thread pool (`with_threads`), shared by clones.
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl<'m> Engine<'m> {
@@ -71,8 +120,10 @@ impl<'m> Engine<'m> {
         }
         Ok(Engine {
             model,
-            weights,
+            weights: Arc::new(weights),
             backend: EngineBackend::default(),
+            quant: None,
+            pool: None,
         })
     }
 
@@ -81,20 +132,66 @@ impl<'m> Engine<'m> {
     pub fn with_seed(model: &'m Model, seed: u64) -> Self {
         Engine {
             model,
-            weights: NetworkWeights::generate(model, seed),
+            weights: Arc::new(NetworkWeights::generate(model, seed)),
             backend: EngineBackend::default(),
+            quant: None,
+            pool: None,
         }
     }
 
     /// Returns this engine with its compute backend switched.
+    ///
+    /// Switching to [`EngineBackend::Int8`] quantizes the weights once
+    /// (per-channel symmetric scales plus a deterministic calibration
+    /// forward pass for static activation scales); clones and
+    /// [`Engine::fork_backend`] forks share the result.
     pub fn with_backend(mut self, backend: EngineBackend) -> Self {
         self.backend = backend;
+        if backend == EngineBackend::Int8 && self.quant.is_none() {
+            // The model validated its own shapes at construction and
+            // `new` checked weight coverage, so the calibration pass
+            // cannot fail.
+            let q = QuantizedNetwork::quantize(self.model, &self.weights)
+                .expect("validated model and weights quantize cleanly");
+            self.quant = Some(Arc::new(q));
+        }
         self
+    }
+
+    /// Returns this engine with an intra-shard GEMM thread pool of
+    /// `threads` total participants (1 disables parallelism). Results
+    /// are bit-identical for every thread count: parallel chunks are
+    /// disjoint output rows, never a cross-thread reduction.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = if threads > 1 {
+            Some(Arc::new(ThreadPool::new(threads)))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// A cheap engine fork sharing this engine's weights (and thread
+    /// pool) but dispatching to `backend` — how the pipeline runtime
+    /// gives each worker its own backend without duplicating weights.
+    pub fn fork_backend(&self, backend: EngineBackend) -> Engine<'m> {
+        self.clone().with_backend(backend)
     }
 
     /// The compute backend this engine dispatches to.
     pub fn backend(&self) -> EngineBackend {
         self.backend
+    }
+
+    /// Thread-pool width (1 when no pool is attached).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    /// The quantized weights, present once the backend has been
+    /// switched to `Int8`.
+    pub fn quantized(&self) -> Option<&QuantizedNetwork> {
+        self.quant.as_deref()
     }
 
     /// The model this engine executes.
@@ -262,12 +359,56 @@ impl<'m> Engine<'m> {
         out: Region2,
     ) -> Result<Tensor, TensorError> {
         let in_shape = self.model.unit_input_shape(index);
+        let exec = Exec {
+            simd: self.backend == EngineBackend::Simd,
+            pool: self.pool.as_deref(),
+        };
+        let quant = match self.backend {
+            EngineBackend::Int8 => {
+                Some(
+                    self.quant
+                        .as_deref()
+                        .ok_or_else(|| TensorError::WeightMismatch {
+                            detail: "int8 backend without quantized weights".to_owned(),
+                        })?,
+                )
+            }
+            _ => None,
+        };
         match (self.model.unit(index), self.weights.unit(index)) {
             (Unit::Layer(l), UnitWeights::Layer(w)) => {
-                layer_region(self.backend, scratch, &l.kind, input, in_shape, w, out)
+                let qw = match quant.map(|q| q.unit(index)) {
+                    Some(QuantizedUnit::Layer(q)) => q.as_ref(),
+                    Some(QuantizedUnit::Block(_)) => {
+                        return Err(TensorError::WeightMismatch {
+                            detail: format!("unit {index} quantized weights do not match its kind"),
+                        })
+                    }
+                    None => None,
+                };
+                layer_region(
+                    self.backend,
+                    exec,
+                    scratch,
+                    &l.kind,
+                    input,
+                    in_shape,
+                    w,
+                    qw,
+                    out,
+                )
             }
             (Unit::Block(b), UnitWeights::Block(pw)) => {
-                block_region(self.backend, scratch, b, pw, input, in_shape, out)
+                let pq = match quant.map(|q| q.unit(index)) {
+                    Some(QuantizedUnit::Block(p)) => Some(p.as_slice()),
+                    Some(QuantizedUnit::Layer(_)) => {
+                        return Err(TensorError::WeightMismatch {
+                            detail: format!("unit {index} quantized weights do not match its kind"),
+                        })
+                    }
+                    None => None,
+                };
+                block_region(self.backend, exec, scratch, b, pw, pq, input, in_shape, out)
             }
             _ => Err(TensorError::WeightMismatch {
                 detail: format!("unit {index} weights do not match its kind"),
@@ -278,32 +419,49 @@ impl<'m> Engine<'m> {
 
 /// Dispatches one layer's region computation to the selected backend.
 /// Convolutions and FC layers apply a fused ReLU; pooling does not.
+///
+/// `Simd` and `Im2colGemm` share the scratch conv/fc paths — `exec`
+/// selects the micro-kernel (both bit-identical) and thread pool.
+/// `Int8` routes weighted layers to the quantized kernels; pooling has
+/// no weights and stays on the f32 path under every fast backend.
+#[allow(clippy::too_many_arguments)]
 fn layer_region(
     backend: EngineBackend,
+    exec: Exec<'_>,
     scratch: &mut Scratch,
     kind: &LayerKind,
     input: &Tensor,
     in_shape: Shape,
     weights: &LayerWeights,
+    quant: Option<&QuantizedLayer>,
     out: Region2,
 ) -> Result<Tensor, TensorError> {
+    let missing_q = |what: &str| TensorError::WeightMismatch {
+        detail: format!("int8 backend missing quantized {what} weights"),
+    };
     match (kind, backend) {
         (LayerKind::Conv(spec), EngineBackend::Reference) => {
             ops::conv_region(input, in_shape, spec, weights, out, true)
         }
-        (LayerKind::Conv(spec), EngineBackend::Im2colGemm) => {
-            scratch::conv_region(input, in_shape, spec, weights, out, true, scratch)
+        (LayerKind::Conv(spec), EngineBackend::Int8) => {
+            let q = quant.ok_or_else(|| missing_q("conv"))?;
+            scratch::conv_region_q(input, in_shape, spec, q, out, true, scratch)
+        }
+        (LayerKind::Conv(spec), _) => {
+            scratch::conv_region(input, in_shape, spec, weights, out, true, exec, scratch)
         }
         (LayerKind::Pool(spec), EngineBackend::Reference) => {
             ops::pool_region(input, in_shape, spec, out)
         }
-        (LayerKind::Pool(spec), EngineBackend::Im2colGemm) => {
-            scratch::pool_region(input, in_shape, spec, out, scratch)
-        }
+        (LayerKind::Pool(spec), _) => scratch::pool_region(input, in_shape, spec, out, scratch),
         (LayerKind::Fc(fc), EngineBackend::Reference) => {
             ops::fc_full(input, fc.in_features, fc.out_features, weights, true)
         }
-        (LayerKind::Fc(fc), EngineBackend::Im2colGemm) => scratch::fc_full(
+        (LayerKind::Fc(fc), EngineBackend::Int8) => {
+            let q = quant.ok_or_else(|| missing_q("fc"))?;
+            scratch::fc_full_q(input, fc.in_features, fc.out_features, q, true, scratch)
+        }
+        (LayerKind::Fc(fc), _) => scratch::fc_full(
             input,
             fc.in_features,
             fc.out_features,
@@ -317,17 +475,20 @@ fn layer_region(
 /// Runs a block over region `out`: each path back-propagates the region
 /// requirement through its own layers, computes forward from the shared
 /// input tile, and the path outputs merge (add or concat).
+#[allow(clippy::too_many_arguments)]
 fn block_region(
     backend: EngineBackend,
+    exec: Exec<'_>,
     scratch: &mut Scratch,
     block: &Block,
     path_weights: &[Vec<LayerWeights>],
+    path_quant: Option<&[Vec<Option<QuantizedLayer>>]>,
     input: &Tensor,
     in_shape: Shape,
     out: Region2,
 ) -> Result<Tensor, TensorError> {
     let mut outputs = Vec::with_capacity(block.paths.len());
-    for (path, weights) in block.paths.iter().zip(path_weights) {
+    for (pi, (path, weights)) in block.paths.iter().zip(path_weights).enumerate() {
         if path.is_empty() {
             // Identity shortcut: the block input region itself.
             outputs.push(input.slice_region(out)?);
@@ -356,23 +517,28 @@ fn block_region(
         // Forward computation, recycling spent path intermediates.
         let mut cur: Option<Tensor> = None;
         for (l, layer) in path.iter().enumerate() {
+            let qw = path_quant.and_then(|p| p[pi][l].as_ref());
             let next = match &cur {
                 Some(t) => layer_region(
                     backend,
+                    exec,
                     scratch,
                     &layer.kind,
                     t,
                     shapes[l],
                     &weights[l],
+                    qw,
                     regions[l],
                 )?,
                 None => layer_region(
                     backend,
+                    exec,
                     scratch,
                     &layer.kind,
                     input,
                     shapes[l],
                     &weights[l],
+                    qw,
                     regions[l],
                 )?,
             };
@@ -652,6 +818,105 @@ mod tests {
             .infer(&Tensor::random(m.input_shape(), 8))
             .unwrap();
         assert!(out.data().iter().all(|v| v.is_finite() && v.abs() < 1e4));
+    }
+
+    #[test]
+    fn simd_backend_is_bit_identical_to_reference() {
+        for m in [tiny_chain(), tiny_graph()] {
+            let oracle = Engine::with_seed(&m, 11).with_backend(EngineBackend::Reference);
+            let simd = Engine::with_seed(&m, 11).with_backend(EngineBackend::Simd);
+            let input = Tensor::random(m.input_shape(), 22);
+            assert_eq!(simd.infer(&input).unwrap(), oracle.infer(&input).unwrap());
+        }
+    }
+
+    #[test]
+    fn threaded_engine_is_bit_identical_to_single_threaded() {
+        // Disjoint-row fan-out has no cross-thread reduction, so any
+        // thread count reproduces the serial result exactly, across
+        // repeated runs.
+        for m in [tiny_chain(), tiny_graph()] {
+            let input = Tensor::random(m.input_shape(), 5);
+            let serial = Engine::with_seed(&m, 9)
+                .with_backend(EngineBackend::Simd)
+                .infer(&input)
+                .unwrap();
+            for threads in [2, 4] {
+                let par = Engine::with_seed(&m, 9)
+                    .with_backend(EngineBackend::Simd)
+                    .with_threads(threads);
+                assert_eq!(par.threads(), threads);
+                for _ in 0..3 {
+                    assert_eq!(par.infer(&input).unwrap(), serial, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_split_stitch_is_bit_exactly_self_consistent() {
+        // Static activation scales quantize every element identically
+        // in a tile or a full map, so int8 split/stitch reproduces the
+        // int8 monolithic result exactly — the property cooperative
+        // inference needs from a degraded-precision mode.
+        for m in [tiny_chain(), tiny_graph()] {
+            let engine = Engine::with_seed(&m, 11).with_backend(EngineBackend::Int8);
+            let input = Tensor::random(m.input_shape(), 22);
+            let full = engine.infer(&input).unwrap();
+            let seg = m.full_segment();
+            let h = m.output_shape().height;
+            let tiles: Vec<Tensor> = pico_model::rows_split_even(Rows::full(h), 3)
+                .into_iter()
+                .map(|r| {
+                    let need = m.segment_input_rows(seg, r);
+                    let tile = input.slice_rows(need).unwrap();
+                    engine.infer_region(seg, r, &tile).unwrap()
+                })
+                .collect();
+            assert_eq!(Tensor::stitch_rows(&tiles).unwrap(), full, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn int8_tracks_reference_within_tolerance() {
+        let m = tiny_chain();
+        let input = Tensor::random(m.input_shape(), 6);
+        let exact = Engine::with_seed(&m, 11)
+            .with_backend(EngineBackend::Reference)
+            .infer(&input)
+            .unwrap();
+        let coarse = Engine::with_seed(&m, 11)
+            .with_backend(EngineBackend::Int8)
+            .infer(&input)
+            .unwrap();
+        let scale = exact.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let worst = exact
+            .data()
+            .iter()
+            .zip(coarse.data())
+            .map(|(e, c)| (e - c).abs())
+            .fold(0.0f32, f32::max);
+        // Empirical end-to-end budget: a few percent of the output
+        // range (per-layer bounds compound through the chain).
+        assert!(
+            worst <= 0.05 * scale.max(1.0),
+            "worst={worst} scale={scale}"
+        );
+    }
+
+    #[test]
+    fn fork_backend_shares_weights_and_switches_kernels() {
+        let m = tiny_chain();
+        let base = Engine::with_seed(&m, 11);
+        let forked = base.fork_backend(EngineBackend::Simd);
+        assert_eq!(forked.backend(), EngineBackend::Simd);
+        let input = Tensor::random(m.input_shape(), 2);
+        assert_eq!(forked.infer(&input).unwrap(), base.infer(&input).unwrap());
+        // Int8 forks build (and then share) the quantized weights.
+        let q1 = base.fork_backend(EngineBackend::Int8);
+        assert!(q1.quantized().is_some());
+        let q2 = q1.fork_backend(EngineBackend::Int8);
+        assert_eq!(q1.infer(&input).unwrap(), q2.infer(&input).unwrap());
     }
 }
 

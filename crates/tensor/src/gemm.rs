@@ -222,6 +222,59 @@ mod tests {
     }
 
     #[test]
+    fn every_remainder_modulus_of_the_4x8_block_is_exact() {
+        // Exhaustive residue sweep: m ≡ 0..3 (mod MR) by n ≡ 0..7
+        // (mod NR), so each combination of full-tile, partial-row, and
+        // partial-column paths runs at least once — including the
+        // all-remainder corner (m < 4 and n < 8 simultaneously).
+        let k = 5;
+        for rm in 0..MR {
+            for rn in 0..NR {
+                for (m, n) in [(MR + rm, 2 * NR + rn), (rm.max(1), rn.max(1))] {
+                    let a = series(m * k, 0.8, -0.2);
+                    let b = series(k * n, 1.1, 0.3);
+                    let bias = series(m, 0.4, -0.05);
+                    let mut c = vec![0.0; m * n];
+                    gemm_bias_relu(&a, &b, &bias, m, k, n, true, &mut c);
+                    assert_eq!(c, naive(&a, &b, &bias, m, k, n, true), "m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_dimensions_hit_no_full_tile_boundary() {
+        // 13×31×23: nothing divides MR or NR, so the kernel runs
+        // mostly remainder code — still bit-exact against the oracle.
+        let (m, k, n) = (13, 31, 23);
+        let a = series(m * k, 0.6, 0.02);
+        let b = series(k * n, 0.9, -0.15);
+        let bias = series(m, 0.3, 0.1);
+        for relu in [false, true] {
+            let mut c = vec![0.0; m * n];
+            gemm_bias_relu(&a, &b, &bias, m, k, n, relu, &mut c);
+            assert_eq!(c, naive(&a, &b, &bias, m, k, n, relu));
+        }
+    }
+
+    #[test]
+    fn dirty_output_buffer_is_fully_overwritten() {
+        // Scratch pools recycle buffers without zeroing; every element
+        // of `c` must be written, so NaN poison cannot survive.
+        let (m, k, n) = (6, 3, 11);
+        let a = series(m * k, 1.0, 0.0);
+        let b = series(k * n, 1.0, 0.5);
+        let bias = series(m, 0.1, 0.0);
+        let mut c = vec![f32::NAN; m * n];
+        gemm_bias_relu(&a, &b, &bias, m, k, n, false, &mut c);
+        assert!(c.iter().all(|v| v.is_finite()));
+        assert_eq!(c, naive(&a, &b, &bias, m, k, n, false));
+        let mut out = vec![f32::NAN; m];
+        gemv_bias_relu(&a, &b[..k], &bias, m, k, false, &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn zero_k_yields_bias() {
         let bias = [1.5f32, -2.0];
         let mut c = vec![0.0; 2 * 3];

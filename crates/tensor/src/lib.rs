@@ -12,11 +12,15 @@
 //! accuracy, so only layer shapes matter for the reproduction, but real
 //! numerics let the test suite prove the split/stitch machinery correct.
 //!
-//! Two compute backends share the engine ([`EngineBackend`]): the naive
-//! direct loops (`Reference`, the bit-exactness oracle) and an im2col +
-//! cache-blocked-GEMM path (`Im2colGemm`, the default) that reuses
-//! [`Scratch`] buffers for allocation-free steady-state serving. Both
-//! produce identical tensors element for element.
+//! Four compute backends share the engine ([`EngineBackend`]): the
+//! naive direct loops (`Reference`, the bit-exactness oracle), an
+//! im2col + cache-blocked-GEMM path (`Im2colGemm`, the default) that
+//! reuses [`Scratch`] buffers for allocation-free steady-state serving,
+//! a runtime-feature-detected vectorized variant (`Simd`, optionally
+//! multi-threaded via [`Engine::with_threads`]) — all three bit-exactly
+//! identical — and a per-channel symmetric int8 mode (`Int8`) that is
+//! deterministic and self-consistent under region splits but only
+//! tolerance-close to the f32 oracle.
 //!
 //! # Example
 //!
@@ -40,14 +44,21 @@
 //! # Ok::<(), pico_tensor::TensorError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the two modules that need `std::arch`
+// intrinsics and raw-pointer chunking (`simd.rs`, `pool.rs`) opt back
+// in with a file-level `allow`, and xtask lint rule 10 confines unsafe
+// to exactly those files (with mandatory SAFETY comments).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
 mod error;
 mod gemm;
 mod ops;
+mod pool;
+mod quant;
 mod scratch;
+mod simd;
 mod tensor;
 mod weights;
 
@@ -55,4 +66,6 @@ pub use engine::{Engine, EngineBackend};
 pub use error::TensorError;
 pub use scratch::Scratch;
 pub use tensor::Tensor;
-pub use weights::{LayerWeights, NetworkWeights, UnitWeights};
+pub use weights::{
+    LayerWeights, NetworkWeights, QuantizedLayer, QuantizedNetwork, QuantizedUnit, UnitWeights,
+};

@@ -1,0 +1,415 @@
+//! A small dependency-free scoped-job thread pool for intra-shard
+//! GEMM parallelism (`Engine::with_threads`).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No channels in the hot loop** — job hand-off is a single
+//!    `Mutex<State>` + two `Condvar`s; a dispatched job is a thin
+//!    context pointer plus a monomorphized call shim, both `Copy`.
+//! 2. **Zero allocation in steady state** — workers are spawned once
+//!    at pool construction and parked on a condvar between jobs;
+//!    dispatching a job moves no heap memory at all.
+//! 3. **Determinism by construction** — the pool only ever runs
+//!    *data-parallel* jobs over disjoint output chunks (see
+//!    [`par_gemm_bias_relu`]). No cross-thread floating-point
+//!    reduction exists, so results are bit-identical for every thread
+//!    count and every scheduling interleaving.
+//!
+//! The caller of [`ThreadPool::run`] participates in the chunk loop
+//! itself and **blocks until every chunk has completed**, which is
+//! what makes the lifetime-erased job pointer sound: the borrowed
+//! closure cannot die while a worker still holds the pointer.
+//!
+//! xtask lint rule 10 polices this file: unsafe stays confined here
+//! (and in `simd.rs`), every `unsafe` carries a `SAFETY:` comment, and
+//! the kernel-hot-path rule (no allocation tokens, no
+//! `unwrap`/`expect`) applies.
+#![allow(unsafe_code)]
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::{gemm, simd};
+
+/// Output channels per register tile — chunk boundaries align to it so
+/// parallel macro-blocks see the same tile shapes as a serial run.
+const MR: usize = 4;
+
+/// Minimum multiply–accumulate count before a GEMM is worth fanning
+/// out; below this the dispatch overhead dominates on every machine
+/// we care about.
+const PAR_THRESHOLD_FLOPS: usize = 16 * 1024;
+
+/// A dispatched job: a thin pointer to the caller's closure plus the
+/// monomorphized shim that reconstitutes and calls it.
+#[derive(Clone, Copy)]
+struct Job {
+    ctx: *const (),
+    // SAFETY contract: only `call_chunk::<F>` is ever stored here, and
+    // it is only invoked with the `ctx` captured alongside it.
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: a `Job` only ever crosses threads while `ThreadPool::run`
+// is blocked in the same call that created it from an `&F` where
+// `F: Fn(usize) + Sync`; sharing `&F` across threads is exactly what
+// `Sync` licenses.
+unsafe impl Send for Job {}
+
+/// Shim reconstituting the `&F` a [`Job`] erased.
+unsafe fn call_chunk<F: Fn(usize) + Sync>(ctx: *const (), chunk: usize) {
+    // SAFETY: `ctx` came from `job as *const F` in `run`, which blocks
+    // until every chunk completes — the reference is live.
+    let f = unsafe { &*(ctx as *const F) };
+    f(chunk);
+}
+
+/// Pool bookkeeping behind the mutex.
+struct State {
+    /// The in-flight job, if any.
+    job: Option<Job>,
+    /// Next chunk index to hand out.
+    next: usize,
+    /// One past the last chunk index of the current job.
+    total: usize,
+    /// Chunks handed out but not yet completed, plus chunks not yet
+    /// handed out. `run` returns when this reaches zero.
+    pending: usize,
+    /// Set once, on drop; workers exit at the next wakeup.
+    shutdown: bool,
+    /// Workers that have not yet exited (drop joins on this).
+    alive: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: a new job or shutdown.
+    work: Condvar,
+    /// Signals the dispatcher: all chunks done, or a worker exited.
+    done: Condvar,
+}
+
+/// Locks a mutex, recovering from poisoning (a panicking job must not
+/// wedge every later inference; the pool state itself is only counters
+/// and is consistent at every await point).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The scoped-job pool. One per [`Engine`](crate::Engine) (shared by
+/// clones); `threads` counts the caller, so `new(4)` spawns three
+/// workers and the dispatching thread is the fourth participant.
+pub(crate) struct ThreadPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    /// Serializes dispatchers: engines are shared by reference across
+    /// pipeline workers, so two concurrent `run` calls must not
+    /// interleave their chunk counters.
+    gate: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total participants (clamped to at
+    /// least 1). All worker threads are spawned here, once; the hot
+    /// path never creates or destroys a thread.
+    pub(crate) fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                next: 0,
+                total: 0,
+                pending: 0,
+                shutdown: false,
+                alive: threads - 1,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        for _ in 1..threads {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || worker(sh));
+        }
+        ThreadPool {
+            shared,
+            threads,
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// Total participants (workers + the dispatching caller).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(chunk)` for every `chunk in 0..chunks`, spread over
+    /// the pool, and returns only when all chunks have completed.
+    /// Chunk indices are handed out in order; the mapping from chunk
+    /// to data is the caller's, so disjoint-chunk jobs are
+    /// deterministic regardless of which thread runs which chunk.
+    pub(crate) fn run<F: Fn(usize) + Sync>(&self, chunks: usize, job: &F) {
+        if chunks <= 1 || self.threads == 1 {
+            for i in 0..chunks {
+                job(i);
+            }
+            return;
+        }
+        let _gate = lock(&self.gate);
+        let erased = Job {
+            ctx: job as *const F as *const (),
+            call: call_chunk::<F>,
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = Some(erased);
+            st.next = 0;
+            st.total = chunks;
+            st.pending = chunks;
+        }
+        self.shared.work.notify_all();
+        // The dispatcher is a participant: grab chunks until none are
+        // left, then wait out any straggler a worker still holds.
+        loop {
+            let mut st = lock(&self.shared.state);
+            if st.next >= st.total {
+                break;
+            }
+            let chunk = st.next;
+            st.next += 1;
+            drop(st);
+            job(chunk);
+            let mut st = lock(&self.shared.state);
+            st.pending -= 1;
+            if st.pending == 0 {
+                self.shared.done.notify_all();
+            }
+        }
+        let mut st = lock(&self.shared.state);
+        while st.pending > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        // Join-by-counter: workers decrement `alive` and signal `done`
+        // on exit, so the pool never leaks running threads.
+        while st.alive > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Worker loop: park on `work`, drain chunks of the current job, mark
+/// completions, repeat until shutdown.
+fn worker(sh: Arc<Shared>) {
+    let mut st = lock(&sh.state);
+    loop {
+        if st.shutdown {
+            st.alive -= 1;
+            sh.done.notify_all();
+            return;
+        }
+        let Some(job) = st.job else {
+            st = sh.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            continue;
+        };
+        if st.next >= st.total {
+            st = sh.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            continue;
+        }
+        let chunk = st.next;
+        st.next += 1;
+        drop(st);
+        // SAFETY: `run` blocks until `pending` hits zero, so the
+        // closure behind `job.ctx` outlives this call.
+        unsafe { (job.call)(job.ctx, chunk) };
+        st = lock(&sh.state);
+        st.pending -= 1;
+        if st.pending == 0 {
+            sh.done.notify_all();
+        }
+    }
+}
+
+/// A raw output pointer that may cross threads. Each chunk writes a
+/// disjoint row range, which is what makes sharing it sound.
+#[derive(Clone, Copy)]
+struct OutPtr(*mut f32);
+// SAFETY: chunks index disjoint `c` row ranges (see the chunk math in
+// `par_gemm_bias_relu`); no two threads ever alias a byte.
+unsafe impl Send for OutPtr {}
+// SAFETY: as above — the pointer is only dereferenced through
+// per-chunk disjoint subslices.
+unsafe impl Sync for OutPtr {}
+
+impl OutPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Send + Sync` wrapper, not the bare pointer — edition-2021
+    /// disjoint capture would otherwise grab the `*mut f32` itself.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// `c[m×n] = relu?(bias ⊕ a[m×k] · b[k×n])`, fanned out over the
+/// pool by **M macro-blocks** (contiguous output-channel row ranges
+/// aligned to the 4-row register tile). Every chunk computes the same
+/// per-element addition chains a serial run would, into a disjoint
+/// `c` slice — no cross-thread reduction, so the result is
+/// bit-identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_gemm_bias_relu(
+    pool: Option<&ThreadPool>,
+    use_simd: bool,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+    c: &mut [f32],
+) {
+    let kernel = if use_simd {
+        simd::gemm_bias_relu
+    } else {
+        gemm::gemm_bias_relu
+    };
+    let worth_it = m * k * n >= PAR_THRESHOLD_FLOPS && m > MR;
+    let pool = match pool {
+        Some(p) if p.threads() > 1 && worth_it => p,
+        _ => {
+            kernel(a, b, bias, m, k, n, relu, c);
+            return;
+        }
+    };
+    let blocks = m.div_ceil(MR);
+    let chunks = pool.threads().min(blocks);
+    let rows_per = blocks.div_ceil(chunks) * MR;
+    let out = OutPtr(c.as_mut_ptr());
+    pool.run(chunks, &|chunk: usize| {
+        let i0 = chunk * rows_per;
+        let i1 = ((chunk + 1) * rows_per).min(m);
+        if i0 >= i1 {
+            return;
+        }
+        // SAFETY: chunks tile `0..m` into disjoint `rows_per`-sized
+        // row ranges, so `[i0*n, i1*n)` slices of `c` never overlap
+        // across chunks and stay within `c.len() == m*n`.
+        let c_chunk =
+            unsafe { std::slice::from_raw_parts_mut(out.get().add(i0 * n), (i1 - i0) * n) };
+        kernel(
+            &a[i0 * k..i1 * k],
+            b,
+            &bias[i0..i1],
+            i1 - i0,
+            k,
+            n,
+            relu,
+            c_chunk,
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(len: usize, scale: f32, shift: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32).sin() * scale + shift).collect()
+    }
+
+    #[test]
+    fn run_covers_every_chunk_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 50));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let mut seen = vec![false; 8];
+        let cell = std::sync::Mutex::new(&mut seen);
+        pool.run(8, &|i| {
+            lock(&cell)[i] = true;
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_for_every_thread_count() {
+        // Disjoint-chunk parallelism has no cross-thread reduction:
+        // results must match the serial kernel bit for bit under any
+        // pool size, and across repeated runs.
+        let (m, k, n) = (37, 29, 53);
+        let a = series(m * k, 0.8, -0.05);
+        let b = series(k * n, 1.1, 0.15);
+        let bias = series(m, 0.3, 0.0);
+        let mut serial = vec![0.0; m * n];
+        gemm::gemm_bias_relu(&a, &b, &bias, m, k, n, true, &mut serial);
+        for threads in [1usize, 2, 3, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            for _run in 0..3 {
+                let mut par = vec![0.0; m * n];
+                par_gemm_bias_relu(Some(&pool), false, &a, &b, &bias, m, k, n, true, &mut par);
+                let same = par.iter().zip(&serial).all(|(x, y)| x == y);
+                assert!(same, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_gemm_skips_the_pool() {
+        // Under the threshold the serial kernel runs on the caller;
+        // results still correct.
+        let pool = ThreadPool::new(4);
+        let (m, k, n) = (6, 3, 4);
+        let a = series(m * k, 0.5, 0.0);
+        let b = series(k * n, 0.5, 0.1);
+        let bias = series(m, 0.1, 0.0);
+        let mut par = vec![0.0; m * n];
+        let mut serial = vec![0.0; m * n];
+        par_gemm_bias_relu(Some(&pool), false, &a, &b, &bias, m, k, n, false, &mut par);
+        gemm::gemm_bias_relu(&a, &b, &bias, m, k, n, false, &mut serial);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Dropping the pool must not leave detached workers alive: the
+        // alive counter reaches zero before drop returns.
+        for _ in 0..8 {
+            let pool = ThreadPool::new(3);
+            pool.run(5, &|_i| {});
+            drop(pool);
+        }
+    }
+}

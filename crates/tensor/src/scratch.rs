@@ -17,7 +17,21 @@ use pico_model::{ConvSpec, PoolKind, PoolSpec, Region2, Shape};
 
 use crate::gemm;
 use crate::ops;
+use crate::pool::{self, ThreadPool};
+use crate::quant;
+use crate::weights::QuantizedLayer;
 use crate::{LayerWeights, Tensor, TensorError};
+
+/// How the fast conv path executes its GEMM: vectorized or scalar
+/// micro-kernel, optionally fanned out over an engine-owned thread
+/// pool. Plain data — cheap to construct per layer call.
+#[derive(Clone, Copy)]
+pub(crate) struct Exec<'p> {
+    /// Use the `simd.rs` micro-kernel (bit-identical to scalar).
+    pub(crate) simd: bool,
+    /// Fan M macro-blocks out over this pool when profitable.
+    pub(crate) pool: Option<&'p ThreadPool>,
+}
 
 /// Upper bound on pooled buffers; beyond this, returned buffers are
 /// dropped. A pipeline worker touches one segment (a handful of layers),
@@ -30,6 +44,9 @@ pub struct Scratch {
     /// The im2col patch matrix (`k × pixels`, row-major), reused and
     /// regrown across layers and tasks.
     patches: Vec<f32>,
+    /// Quantized mirror of `patches` for the `Int8` backend, reused
+    /// the same way.
+    qpatches: Vec<i8>,
     /// Recycled output/staging buffers, returned by finished layers and
     /// handed out to the next one.
     pool: Vec<Vec<f32>>,
@@ -86,6 +103,27 @@ impl Scratch {
         &mut self.patches[..len]
     }
 
+    /// The quantized patch matrix resized to `len` elements (contents
+    /// arbitrary — the quantize pass overwrites every slot).
+    fn qpatches_mut(&mut self, len: usize) -> &mut [i8] {
+        if self.qpatches.len() < len {
+            self.qpatches.resize(len, 0);
+        }
+        &mut self.qpatches[..len]
+    }
+
+    /// Both patch matrices at once (f32 source + i8 destination), for
+    /// the quantize step that reads one and writes the other.
+    fn patches_and_qpatches(&mut self, len: usize) -> (&[f32], &mut [i8]) {
+        if self.patches.len() < len {
+            self.patches.resize(len, 0.0);
+        }
+        if self.qpatches.len() < len {
+            self.qpatches.resize(len, 0);
+        }
+        (&self.patches[..len], &mut self.qpatches[..len])
+    }
+
     /// Moves the pooled region-trace buffer out for the duration of one
     /// inference call (pair with [`Scratch::give_trace`]).
     pub(crate) fn take_trace(&mut self) -> Vec<Region2> {
@@ -101,6 +139,9 @@ impl Scratch {
 
 /// Fast convolution: im2col lowering + blocked GEMM, one group at a
 /// time. Checks and error variants mirror `ops::conv_region` exactly.
+/// `exec` picks the micro-kernel (scalar or SIMD — both bit-identical)
+/// and the optional thread pool for the M macro-block fan-out.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_region(
     input: &Tensor,
     in_shape: Shape,
@@ -108,6 +149,7 @@ pub(crate) fn conv_region(
     weights: &LayerWeights,
     out: Region2,
     relu: bool,
+    exec: Exec<'_>,
     scratch: &mut Scratch,
 ) -> Result<Tensor, TensorError> {
     if input.shape().channels != spec.in_channels {
@@ -133,10 +175,75 @@ pub(crate) fn conv_region(
     for g in 0..spec.groups {
         im2col(input, in_shape, spec, g * in_per_group, out, patches);
         let oc0 = g * out_per_group;
-        gemm::gemm_bias_relu(
+        pool::par_gemm_bias_relu(
+            exec.pool,
+            exec.simd,
             &weights.kernel[oc0 * k..(oc0 + out_per_group) * k],
             patches,
             &weights.bias[oc0..oc0 + out_per_group],
+            out_per_group,
+            k,
+            n,
+            relu,
+            &mut data[oc0 * n..(oc0 + out_per_group) * n],
+        );
+    }
+    Tensor::from_parts(
+        Shape::new(spec.out_channels, out.rows.len(), out.cols.len()),
+        out.rows.start,
+        out.cols.start,
+        data,
+    )
+}
+
+/// Int8 convolution: f32 im2col, quantize patches with the layer's
+/// static activation scale, integer GEMM, dequantize per channel.
+///
+/// Because the activation scale is static (calibration-time), every
+/// element quantizes identically whether it appears in a full map or
+/// any region tile — so int8 split/stitch is bit-exactly
+/// self-consistent, even though it only tracks f32 within the
+/// documented tolerance.
+pub(crate) fn conv_region_q(
+    input: &Tensor,
+    in_shape: Shape,
+    spec: &ConvSpec,
+    q: &QuantizedLayer,
+    out: Region2,
+    relu: bool,
+    scratch: &mut Scratch,
+) -> Result<Tensor, TensorError> {
+    if input.shape().channels != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv".to_owned(),
+            expected: Shape::new(spec.in_channels, in_shape.height, in_shape.width),
+            found: input.shape(),
+        });
+    }
+    ops::require_region(
+        input,
+        ops::receptive(out, spec.kernel, spec.stride, spec.padding, in_shape),
+    )?;
+
+    let (kh, kw) = spec.kernel;
+    let in_per_group = spec.in_per_group();
+    let out_per_group = spec.out_channels / spec.groups;
+    let n = out.area();
+    let k = in_per_group * kh * kw;
+
+    let mut data = scratch.take(spec.out_channels * n);
+    for g in 0..spec.groups {
+        let patches = scratch.patches_mut(k * n);
+        im2col(input, in_shape, spec, g * in_per_group, out, patches);
+        let oc0 = g * out_per_group;
+        // Split borrows: `patches`/`qpatches` live in the same Scratch.
+        let (patches, qpatches) = scratch.patches_and_qpatches(k * n);
+        quant::quantize_into(patches, q.in_scale, qpatches);
+        quant::gemm_i8_bias_relu(
+            &q.kernel[oc0 * k..(oc0 + out_per_group) * k],
+            qpatches,
+            &q.bias[oc0..oc0 + out_per_group],
+            &q.dequant[oc0..oc0 + out_per_group],
             out_per_group,
             k,
             n,
@@ -299,6 +406,31 @@ pub(crate) fn fc_full(
         relu,
         &mut data,
     );
+    Tensor::from_parts(Shape::new(out_features, 1, 1), 0, 0, data)
+}
+
+/// Int8 fully-connected layer: quantize the input vector with the
+/// layer's static scale, integer GEMV, dequantize per output feature.
+/// Checks and error variants mirror `ops::fc_full` exactly.
+pub(crate) fn fc_full_q(
+    input: &Tensor,
+    in_features: usize,
+    out_features: usize,
+    q: &QuantizedLayer,
+    relu: bool,
+    scratch: &mut Scratch,
+) -> Result<Tensor, TensorError> {
+    if input.shape().elements() != in_features || input.row0() != 0 || input.col0() != 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "fc".to_owned(),
+            expected: Shape::new(in_features, 1, 1),
+            found: input.shape(),
+        });
+    }
+    let mut data = scratch.take(out_features);
+    let x_q = scratch.qpatches_mut(in_features);
+    quant::quantize_into(input.data(), q.in_scale, x_q);
+    quant::gemv_i8_bias_relu(&q.kernel, x_q, &q.bias, &q.dequant, relu, &mut data);
     Tensor::from_parts(Shape::new(out_features, 1, 1), 0, 0, data)
 }
 

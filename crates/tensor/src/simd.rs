@@ -1,0 +1,238 @@
+//! Explicitly vectorized f32 GEMM micro-kernel for the `Simd` backend.
+//!
+//! On x86_64 with AVX2 (runtime-detected, cached) the 4×8 register tile
+//! of `gemm.rs` is executed with 256-bit vectors: one `f32x8` lane
+//! vector per tile row, one output pixel per lane. Everywhere else —
+//! or when the feature probe fails — it falls back to the portable
+//! scalar kernel, whose inner loops are written to autovectorize.
+//!
+//! # Bit-exactness contract
+//!
+//! The vector kernel preserves the reference addition chain
+//! `bias + Σ_p w[p]·x[p]` (ascending `p`, one accumulator) **per
+//! lane**: lanes are independent output pixels, `_mm256_mul_ps` +
+//! `_mm256_add_ps` round each step exactly like the scalar `w * x`
+//! then `acc + t` (no FMA — `_mm256_fmadd_ps` is deliberately not
+//! used, for the same reason `mul_add` is banned in `gemm.rs`).
+//! `_mm256_max_ps(acc, 0)` matches `f32::max(0.0)` on every finite
+//! value the engine produces. The differential battery in
+//! `tests/backend_equivalence.rs` holds `Simd` bit-identical to
+//! `Reference` on every shape, including the scalar remainder paths
+//! for `n % 8 != 0` and `m % 4 != 0`.
+//!
+//! This file is `unsafe`-bearing (`std::arch` intrinsics require it)
+//! and is policed by xtask lint rule 10: unsafe is confined to
+//! `simd.rs`/`pool.rs`, every `unsafe` needs a `SAFETY:` comment, and
+//! the kernel-hot-path rule (no allocation, no `unwrap`/`expect`)
+//! applies.
+#![allow(unsafe_code)]
+
+use crate::gemm;
+
+/// Output channels per register tile (matches `gemm.rs`).
+const MR: usize = 4;
+/// Output pixels per register tile — one AVX2 `f32x8` vector.
+const NR: usize = 8;
+
+/// Whether the vector path is available on this machine.
+///
+/// The probe runs once and is cached; the result is stable for the
+/// process lifetime, so dispatch is branch-predicted free after the
+/// first call.
+pub(crate) fn vector_path_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        // 0 = unprobed, 1 = unavailable, 2 = available.
+        static PROBE: AtomicU8 = AtomicU8::new(0);
+        match PROBE.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let avail = std::arch::is_x86_feature_detected!("avx2");
+                PROBE.store(if avail { 2 } else { 1 }, Ordering::Relaxed);
+                avail
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `c[m×n] = relu?(bias ⊕ a[m×k] · b[k×n])` — the `Simd` backend's
+/// GEMM. Vectorized when AVX2 is present, otherwise the portable
+/// scalar kernel; both produce bit-identical results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_bias_relu(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(bias.len(), m);
+    debug_assert_eq!(c.len(), m * n);
+
+    #[cfg(target_arch = "x86_64")]
+    if vector_path_available() {
+        // SAFETY: the AVX2 probe above just confirmed the target
+        // feature is present on this CPU, which is the only
+        // precondition of the `target_feature(enable = "avx2")` fn;
+        // slice extents were checked by the debug asserts and are
+        // re-derived inside from `m`/`k`/`n`.
+        unsafe { gemm_avx2(a, b, bias, m, k, n, relu, c) };
+        return;
+    }
+    gemm::gemm_bias_relu(a, b, bias, m, k, n, relu, c);
+}
+
+/// The AVX2 4×8 tile kernel. Lane `l` of row accumulator `r` holds
+/// output element `(i + r, j + l)` — the exact scalar addition chain,
+/// eight pixels at a time.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+// SAFETY contract: `#[target_feature]` makes this fn unsafe to call —
+// the caller must guarantee AVX2 is available, which `gemm_bias_relu`
+// establishes through the cached runtime probe before dispatching.
+unsafe fn gemm_avx2(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+    c: &mut [f32],
+) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    let zero = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + MR <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc0 = _mm256_set1_ps(bias[i]);
+            let mut acc1 = _mm256_set1_ps(bias[i + 1]);
+            let mut acc2 = _mm256_set1_ps(bias[i + 2]);
+            let mut acc3 = _mm256_set1_ps(bias[i + 3]);
+            for p in 0..k {
+                // SAFETY: p < k and j + NR <= n, so the eight floats
+                // at b[p*n + j..] are in bounds (b.len() == k*n).
+                let x = unsafe { _mm256_loadu_ps(bp.add(p * n + j)) };
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(a0[p]), x));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(a1[p]), x));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(a2[p]), x));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(a3[p]), x));
+            }
+            if relu {
+                acc0 = _mm256_max_ps(acc0, zero);
+                acc1 = _mm256_max_ps(acc1, zero);
+                acc2 = _mm256_max_ps(acc2, zero);
+                acc3 = _mm256_max_ps(acc3, zero);
+            }
+            // SAFETY: rows i..i+MR <= m and j + NR <= n, so each store
+            // of eight floats at c[(i+r)*n + j..] is in bounds
+            // (c.len() == m*n).
+            unsafe {
+                _mm256_storeu_ps(cp.add(i * n + j), acc0);
+                _mm256_storeu_ps(cp.add((i + 1) * n + j), acc1);
+                _mm256_storeu_ps(cp.add((i + 2) * n + j), acc2);
+                _mm256_storeu_ps(cp.add((i + 3) * n + j), acc3);
+            }
+            j += NR;
+        }
+        // Rightmost partial pixel tile: scalar, same addition chains.
+        for jj in j..n {
+            let rows = [a0, a1, a2, a3];
+            for (r, ar) in rows.iter().enumerate() {
+                let mut acc = bias[i + r];
+                for p in 0..k {
+                    acc += ar[p] * b[p * n + jj];
+                }
+                c[(i + r) * n + jj] = if relu { acc.max(0.0) } else { acc };
+            }
+        }
+        i += MR;
+    }
+    // Bottom partial channel tile: one row at a time, scalar.
+    for ii in i..m {
+        let ar = &a[ii * k..(ii + 1) * k];
+        for jj in 0..n {
+            let mut acc = bias[ii];
+            for p in 0..k {
+                acc += ar[p] * b[p * n + jj];
+            }
+            c[ii * n + jj] = if relu { acc.max(0.0) } else { acc };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(len: usize, scale: f32, shift: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32).sin() * scale + shift).collect()
+    }
+
+    #[test]
+    fn probe_is_stable() {
+        let first = vector_path_available();
+        for _ in 0..3 {
+            assert_eq!(vector_path_available(), first);
+        }
+    }
+
+    #[test]
+    fn simd_gemm_is_bit_identical_to_scalar_across_tile_edges() {
+        // Every divisibility class of the 4×8 tile, including the
+        // degenerate extents — the scalar kernel is the oracle.
+        for &m in &[1usize, 3, 4, 5, 8, 9, 16] {
+            for &k in &[1usize, 2, 7, 16, 33] {
+                for &n in &[1usize, 5, 7, 8, 9, 15, 16, 24, 31] {
+                    let a = series(m * k, 0.7, -0.1);
+                    let b = series(k * n, 1.3, 0.2);
+                    let bias = series(m, 0.5, 0.01);
+                    for relu in [false, true] {
+                        let mut fast = vec![0.0; m * n];
+                        let mut scalar = vec![0.0; m * n];
+                        gemm_bias_relu(&a, &b, &bias, m, k, n, relu, &mut fast);
+                        gemm::gemm_bias_relu(&a, &b, &bias, m, k, n, relu, &mut scalar);
+                        let same = fast
+                            .iter()
+                            .zip(&scalar)
+                            .all(|(x, y)| x.to_bits() == y.to_bits() || (x == y));
+                        assert!(same, "m={m} k={k} n={n} relu={relu}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_yields_bias() {
+        let bias = [1.5f32, -2.0, 0.25, -0.5, 3.0];
+        let mut c = vec![0.0; 5 * 9];
+        gemm_bias_relu(&[], &[], &bias, 5, 0, 9, false, &mut c);
+        for (i, &b) in bias.iter().enumerate() {
+            assert!(c[i * 9..(i + 1) * 9].iter().all(|&v| v == b));
+        }
+    }
+}

@@ -1,4 +1,6 @@
-//! Steady-state allocation regression test for the fast backend.
+//! Steady-state allocation regression tests for the fast backends —
+//! scalar `Im2colGemm`, parallel `Simd` (pool threads included), and
+//! `Int8`.
 //!
 //! A worker that keeps one [`Scratch`] across its task stream and hands
 //! result buffers back via [`Scratch::give`] must reach a state where
@@ -63,6 +65,102 @@ fn steady_state_inference_performs_zero_allocations() {
         delta, 0,
         "steady-state fast-backend inference allocated {delta} times"
     );
+}
+
+#[test]
+fn parallel_simd_steady_state_performs_zero_allocations() {
+    // The parallel SIMD path must hit the same zero-allocation steady
+    // state as the scalar fast backend: the pool's workers are spawned
+    // once at engine build, `ThreadPool::run` dispatches chunks through
+    // preallocated shared state (no channels, no boxing per call), and
+    // every buffer comes from the caller's `Scratch`. A zero delta here
+    // also proves the pool *reuses* its threads — spawning a thread
+    // allocates, so any per-task respawn would fail this count.
+    let model = chain();
+    let engine = Engine::with_seed(&model, 42)
+        .with_backend(EngineBackend::Simd)
+        .with_threads(4);
+    let seg = model.full_segment();
+    let out = model.output_shape();
+    let region = Region2::full(out.height, out.width);
+    let input = Tensor::random(model.input_shape(), 7);
+
+    let mut scratch = Scratch::new();
+    for _ in 0..4 {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("inference works");
+        scratch.give(t.into_vec());
+    }
+
+    let before = allocation_count();
+    for _ in 0..16 {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("inference works");
+        scratch.give(t.into_vec());
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state parallel SIMD inference allocated {delta} times"
+    );
+}
+
+#[test]
+fn int8_steady_state_performs_zero_allocations() {
+    // Quantization tables are built once at `with_backend` time; the
+    // serving path only quantizes activations into the pooled
+    // `qpatches` buffer, so int8 inference is allocation-free too.
+    let model = chain();
+    let engine = Engine::with_seed(&model, 42).with_backend(EngineBackend::Int8);
+    let seg = model.full_segment();
+    let out = model.output_shape();
+    let region = Region2::full(out.height, out.width);
+    let input = Tensor::random(model.input_shape(), 7);
+
+    let mut scratch = Scratch::new();
+    for _ in 0..4 {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("inference works");
+        scratch.give(t.into_vec());
+    }
+
+    let before = allocation_count();
+    for _ in 0..16 {
+        let t = engine
+            .infer_region2_with(&mut scratch, seg, region, &input)
+            .expect("inference works");
+        scratch.give(t.into_vec());
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state int8 inference allocated {delta} times"
+    );
+}
+
+#[test]
+fn repeated_runs_are_bit_exact_for_every_thread_count() {
+    // Chunking is deterministic (disjoint MR-aligned row ranges, no
+    // cross-thread reduction), so the parallel SIMD result must be
+    // bit-identical run to run and thread count to thread count.
+    let model = chain();
+    let input = Tensor::random(model.input_shape(), 7);
+    let baseline = Engine::with_seed(&model, 42)
+        .with_backend(EngineBackend::Simd)
+        .infer(&input)
+        .expect("inference works");
+    for threads in [1usize, 2, 3, 4, 7] {
+        let engine = Engine::with_seed(&model, 42)
+            .with_backend(EngineBackend::Simd)
+            .with_threads(threads);
+        for run in 0..3 {
+            let got = engine.infer(&input).expect("inference works");
+            assert_eq!(got, baseline, "threads {threads} run {run}");
+        }
+    }
 }
 
 #[test]

@@ -1,18 +1,32 @@
-//! The differential kernel-oracle suite: the `Im2colGemm` backend must
-//! be **bit-identical** to the naive `Reference` loops on every layer
-//! kind, region shape, and error case proptest can throw at it —
-//! grouped/depthwise convolutions, stride/padding edge cases, full
-//! maps, row strips, grid tiles, and halo-short failures.
+//! The differential kernel-oracle battery: every fast backend against
+//! the naive `Reference` loops on every layer kind, region shape, and
+//! error case proptest can throw at it — grouped/depthwise
+//! convolutions, stride/padding edge cases, non-multiple-of-8
+//! remainders, dirty-scratch reuse, full maps, row strips, grid tiles
+//! with halos, and halo-short failures.
 //!
-//! Equality is `Tensor == Tensor` (exact f32 bit patterns via the
-//! derived `Vec<f32>` comparison), not approximate: the GEMM preserves
-//! each output element's addition chain, so there is nothing to
-//! tolerate.
+//! Two equality regimes:
+//!
+//! - **f32 backends** (`Im2colGemm`, `Simd`): `Tensor == Tensor`,
+//!   exact bit patterns — the kernels preserve each output element's
+//!   addition chain, so there is nothing to tolerate. The vectorized
+//!   backend's max-ulp distance from the reference is **zero** by
+//!   contract.
+//! - **`Int8`**: quantization is lossy by design, so outputs are held
+//!   to the *analytic* per-channel bound
+//!   [`QuantizedLayer::channel_tolerance`] (worst-case rounding of
+//!   weights and activations propagated through the i32 accumulator),
+//!   plus 2 ulp of the reference value for the two dequantization
+//!   roundings (`acc as f32 * scale`, then `+ bias`) — the documented
+//!   max-ulp bound of the int8 arithmetic itself. Across shards of the
+//!   same model the int8 backend is still **bit-exactly**
+//!   self-consistent, because activation scales are static per layer.
 
 use pico_model::{
-    grid_split_even, rows_split_even, ConvSpec, Layer, Model, PoolKind, PoolSpec, Rows, Shape,
+    grid_split_even, rows_split_even, ConvSpec, Layer, Model, PoolKind, PoolSpec, Region2, Rows,
+    Shape,
 };
-use pico_tensor::{Engine, EngineBackend, Scratch, Tensor, TensorError};
+use pico_tensor::{Engine, EngineBackend, QuantizedUnit, Scratch, Tensor, TensorError};
 use proptest::prelude::*;
 
 /// One generated layer before shape validation.
@@ -141,29 +155,48 @@ fn engine_pair(model: &Model, seed: u64) -> (Engine<'_>, Engine<'_>) {
     )
 }
 
+/// The fast f32 backends, each of which must be bit-identical to
+/// `Reference` (the first entry of [`EngineBackend::BIT_EXACT`]).
+const FAST_BIT_EXACT: [EngineBackend; 2] = [EngineBackend::Im2colGemm, EngineBackend::Simd];
+
+/// The oracle plus one engine per fast bit-exact backend, all sharing
+/// seeded weights.
+fn oracle_and_fast(model: &Model, seed: u64) -> (Engine<'_>, Vec<(EngineBackend, Engine<'_>)>) {
+    let oracle = Engine::with_seed(model, seed).with_backend(EngineBackend::Reference);
+    let fast = FAST_BIT_EXACT
+        .iter()
+        .map(|&b| (b, oracle.fork_backend(b)))
+        .collect();
+    (oracle, fast)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Full-map inference is bit-identical between backends.
+    /// Full-map inference is bit-identical between the reference and
+    /// every fast f32 backend.
     #[test]
     fn full_maps_are_bit_identical(model in arb_model(), seed in 0u64..1000) {
-        let (reference, fast) = engine_pair(&model, seed);
+        let (reference, fast) = oracle_and_fast(&model, seed);
         let input = Tensor::random(model.input_shape(), seed.wrapping_add(1));
         let want = reference.infer(&input).expect("reference inference works");
-        let got = fast.infer(&input).expect("fast inference works");
-        prop_assert_eq!(got, want);
+        for (backend, engine) in &fast {
+            let got = engine.infer(&input).expect("fast inference works");
+            prop_assert_eq!(&got, &want, "backend {}", backend);
+        }
     }
 
-    /// Every row strip of every even split matches the oracle, with one
-    /// dirty scratch pool reused across strips (recycled buffers must
-    /// be fully overwritten, never leak stale values).
+    /// Every row strip of every even split matches the oracle under
+    /// every fast backend, with one dirty scratch pool reused across
+    /// strips *and* backends (recycled buffers must be fully
+    /// overwritten, never leak stale values).
     #[test]
     fn row_strips_are_bit_identical(
         model in arb_model(),
         parts in 1usize..4,
         seed in 0u64..1000,
     ) {
-        let (reference, fast) = engine_pair(&model, seed);
+        let (reference, fast) = oracle_and_fast(&model, seed);
         let input = Tensor::random(model.input_shape(), seed.wrapping_add(2));
         let seg = model.full_segment();
         let h = model.output_shape().height;
@@ -177,19 +210,23 @@ proptest! {
             let want = reference
                 .infer_region(seg, rows, &tile)
                 .expect("reference region works");
-            let got = fast
-                .infer_region2_with(
-                    &mut scratch,
-                    seg,
-                    pico_model::Region2::new(rows, Rows::full(model.output_shape().width)),
-                    &tile,
-                )
-                .expect("fast region works");
-            prop_assert_eq!(got, want);
+            for (backend, engine) in &fast {
+                let got = engine
+                    .infer_region2_with(
+                        &mut scratch,
+                        seg,
+                        Region2::new(rows, Rows::full(model.output_shape().width)),
+                        &tile,
+                    )
+                    .expect("fast region works");
+                prop_assert_eq!(&got, &want, "backend {}", backend);
+                scratch.give(got.into_vec());
+            }
         }
     }
 
-    /// Every grid tile of every even 2-D split matches the oracle.
+    /// Every grid tile of every even 2-D split matches the oracle
+    /// under every fast backend.
     #[test]
     fn grid_tiles_are_bit_identical(
         model in arb_model(),
@@ -197,7 +234,7 @@ proptest! {
         gc in 1usize..3,
         seed in 0u64..1000,
     ) {
-        let (reference, fast) = engine_pair(&model, seed);
+        let (reference, fast) = oracle_and_fast(&model, seed);
         let input = Tensor::random(model.input_shape(), seed.wrapping_add(3));
         let out = model.output_shape();
         let seg = model.full_segment();
@@ -207,18 +244,20 @@ proptest! {
             let want = reference
                 .infer_region2(seg, region, &tile)
                 .expect("reference region works");
-            let got = fast
-                .infer_region2(seg, region, &tile)
-                .expect("fast region works");
-            prop_assert_eq!(got, want);
+            for (backend, engine) in &fast {
+                let got = engine
+                    .infer_region2(seg, region, &tile)
+                    .expect("fast region works");
+                prop_assert_eq!(&got, &want, "backend {}", backend);
+            }
         }
     }
 
-    /// A halo-short tile fails with the *same* error on both backends —
+    /// A halo-short tile fails with the *same* error on every backend —
     /// variant and fields, not just "some error".
     #[test]
     fn halo_short_tiles_fail_identically(model in arb_model(), seed in 0u64..1000) {
-        let (reference, fast) = engine_pair(&model, seed);
+        let (reference, fast) = oracle_and_fast(&model, seed);
         let input = Tensor::random(model.input_shape(), seed.wrapping_add(4));
         let seg = model.full_segment();
         let h = model.output_shape().height;
@@ -233,9 +272,40 @@ proptest! {
             .slice_rows(Rows::new(need.start + 1, in_h))
             .expect("slice is in range");
         let want = reference.infer_region(seg, rows, &tile);
-        let got = fast.infer_region(seg, rows, &tile);
         prop_assert!(want.is_err(), "tile was genuinely short");
-        prop_assert_eq!(got, want);
+        for (backend, engine) in &fast {
+            let got = engine.infer_region(seg, rows, &tile);
+            prop_assert_eq!(&got, &want, "backend {}", backend);
+        }
+        let int8 = reference.fork_backend(EngineBackend::Int8);
+        prop_assert_eq!(int8.infer_region(seg, rows, &tile), want);
+    }
+
+    /// Int8 shards stitch bit-exactly to full int8 inference for any
+    /// (model, shard) pair: activation scales are static per layer, so
+    /// a region sees the identical quantization a full map does.
+    #[test]
+    fn int8_shards_stitch_bit_exactly_to_full_int8(
+        model in arb_model(),
+        parts in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let int8 = Engine::with_seed(&model, seed).with_backend(EngineBackend::Int8);
+        let input = Tensor::random(model.input_shape(), seed.wrapping_add(5));
+        let full = int8.infer(&input).expect("int8 inference works");
+        let seg = model.full_segment();
+        let h = model.output_shape().height;
+        let tiles: Vec<Tensor> = rows_split_even(Rows::full(h), parts)
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|rows| {
+                let need = model.segment_input_rows(seg, rows);
+                let tile = input.slice_rows(need).expect("halo available");
+                int8.infer_region(seg, rows, &tile).expect("int8 region works")
+            })
+            .collect();
+        let stitched = Tensor::stitch_rows(&tiles).expect("tiles stitch");
+        prop_assert_eq!(stitched, full);
     }
 }
 
@@ -254,13 +324,48 @@ fn fc_and_relu_tails_match_exactly() {
     )
     .unwrap();
     for seed in 0..8 {
-        let (reference, fast) = engine_pair(&model, seed);
+        let (reference, fast) = oracle_and_fast(&model, seed);
         let input = Tensor::random(model.input_shape(), seed ^ 0x5a);
-        assert_eq!(
-            fast.infer(&input).unwrap(),
-            reference.infer(&input).unwrap(),
-            "seed {seed}"
-        );
+        let want = reference.infer(&input).unwrap();
+        for (backend, engine) in &fast {
+            assert_eq!(engine.infer(&input).unwrap(), want, "seed {seed} {backend}");
+        }
+    }
+}
+
+#[test]
+fn int8_error_stays_within_the_analytic_channel_bound() {
+    // Single dense conv: output channel oc occupies the contiguous
+    // slice [oc*h*w, (oc+1)*h*w), so every element can be held to its
+    // own channel's worst-case quantization bound — plus 2 ulp of the
+    // reference value for the dequantization's two f32 roundings (see
+    // the module doc's error-regime contract).
+    let model = Model::new(
+        "int8-bound",
+        Shape::new(6, 12, 12),
+        vec![Layer::conv("c", ConvSpec::square(6, 16, 3, 1, 1)).into()],
+    )
+    .unwrap();
+    for seed in 0..10u64 {
+        let reference = Engine::with_seed(&model, seed).with_backend(EngineBackend::Reference);
+        let int8 = reference.fork_backend(EngineBackend::Int8);
+        let quant = int8.quantized().expect("int8 engine carries tables");
+        let QuantizedUnit::Layer(Some(layer)) = quant.unit(0) else {
+            panic!("conv unit quantizes to a layer table");
+        };
+        let input = Tensor::random(model.input_shape(), seed ^ 0xA8);
+        let want = reference.infer(&input).unwrap();
+        let got = int8.infer(&input).unwrap();
+        let out = model.output_shape();
+        let pixels = out.height * out.width;
+        for (idx, (&w, &g)) in want.data().iter().zip(got.data()).enumerate() {
+            let oc = idx / pixels;
+            let tol = layer.channel_tolerance(oc) + 2.0 * (w.abs() * f32::EPSILON);
+            assert!(
+                (w - g).abs() <= tol,
+                "seed {seed} oc {oc}: |{w} - {g}| > {tol}"
+            );
+        }
     }
 }
 
@@ -317,12 +422,50 @@ fn mixed_stride_padding_edge_cases_match() {
     ];
     for (name, spec, input_shape) in cases {
         let model = Model::new(name, input_shape, vec![Layer::conv(name, spec).into()]).unwrap();
-        let (reference, fast) = engine_pair(&model, 9);
+        let (reference, fast) = oracle_and_fast(&model, 9);
         let input = Tensor::random(input_shape, 10);
-        assert_eq!(
-            fast.infer(&input).unwrap(),
-            reference.infer(&input).unwrap(),
-            "{name}"
-        );
+        let want = reference.infer(&input).unwrap();
+        for (backend, engine) in &fast {
+            assert_eq!(engine.infer(&input).unwrap(), want, "{name} {backend}");
+        }
+    }
+}
+
+#[test]
+fn remainder_k_and_n_shapes_cover_the_simd_tail_paths() {
+    // K = in_channels·kh·kw and N = out_h·out_w chosen so neither is a
+    // multiple of 8: the AVX2 kernel must take its scalar column tail
+    // and the 4-row remainder on every one of these, bit-exactly.
+    let cases = vec![
+        // K = 3*3*3 = 27, N = 5*5 = 25, M = 5 (not a multiple of 4).
+        (
+            "k27n25m5",
+            ConvSpec::square(3, 5, 3, 1, 1),
+            Shape::new(3, 5, 5),
+        ),
+        // K = 1*1*5 = 5 (pointwise), N = 7*9 = 63, M = 9.
+        ("k5n63m9", ConvSpec::pointwise(5, 9), Shape::new(5, 7, 9)),
+        // K = 2*2*7 = 28, N = 3*3 = 9, M = 1 — everything is tail.
+        (
+            "k28n9m1",
+            ConvSpec {
+                in_channels: 7,
+                out_channels: 1,
+                kernel: (2, 2),
+                stride: (2, 2),
+                padding: (0, 0),
+                groups: 1,
+            },
+            Shape::new(7, 6, 6),
+        ),
+    ];
+    for (name, spec, input_shape) in cases {
+        let model = Model::new(name, input_shape, vec![Layer::conv(name, spec).into()]).unwrap();
+        let (reference, fast) = oracle_and_fast(&model, 31);
+        let input = Tensor::random(input_shape, 32);
+        let want = reference.infer(&input).unwrap();
+        for (backend, engine) in &fast {
+            assert_eq!(engine.infer(&input).unwrap(), want, "{name} {backend}");
+        }
     }
 }

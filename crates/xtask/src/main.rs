@@ -13,7 +13,9 @@
 //!    between numeric primitives silently truncates;
 //! 3. **lint-headers** — every crate root keeps
 //!    `#![forbid(unsafe_code)]` and a `missing_docs` lint
-//!    (`warn` or `deny`);
+//!    (`warn` or `deny`); `pico-tensor` alone carries
+//!    `#![deny(unsafe_code)]` instead, because its vectorized and
+//!    parallel kernels opt back in per-module (see rule 10);
 //! 4. **diagnostics-registry** — every `PA###` diagnostic code
 //!    mentioned anywhere in the sources is documented in DESIGN.md's
 //!    "Plan diagnostics registry";
@@ -42,7 +44,13 @@
 //!    planner directly (no `.plan(` / `PlanRequest::new(` in non-test
 //!    code): every plan the serving path runs comes off the
 //!    audit-certified fleet frontier through the plan cache, so an
-//!    uncertified plan cannot reach the runtime.
+//!    uncertified plan cannot reach the runtime;
+//! 10. **simd-hot-path** — the vectorized, parallel, and quantized
+//!     kernels (`crates/tensor/src/{simd,pool,quant}.rs`) inherit the
+//!     rule-6 discipline (no `.unwrap()` / `.expect(`, no allocation
+//!     calls in non-test code), `unsafe` stays confined to `simd.rs`
+//!     and `pool.rs`, and every non-test line using `unsafe` carries a
+//!     nearby `SAFETY:` comment.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -98,9 +106,10 @@ fn lint() -> ExitCode {
     lint_wall_clock(&root, &mut violations);
     lint_bounded_channels(&root, &mut violations);
     lint_serve_via_frontier(&root, &mut violations);
+    lint_simd_hot_path(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (9 rules, 0 findings)");
+        println!("xtask lint: clean (10 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -315,12 +324,28 @@ fn lint_headers(root: &Path, violations: &mut Vec<Violation>) {
             });
             continue;
         };
-        if !source.contains("#![forbid(unsafe_code)]") {
+        // pico-tensor hosts the explicitly vectorized and parallel
+        // kernels, which opt back into `unsafe` per-module; its root
+        // must deny (not forbid) so those `#![allow]`s are possible,
+        // while rule 10 polices where they may appear.
+        let tensor_root = lib.ends_with("crates/tensor/src/lib.rs");
+        let (required, found) = if tensor_root {
+            (
+                "#![deny(unsafe_code)]",
+                source.contains("#![deny(unsafe_code)]"),
+            )
+        } else {
+            (
+                "#![forbid(unsafe_code)]",
+                source.contains("#![forbid(unsafe_code)]"),
+            )
+        };
+        if !found {
             violations.push(Violation {
                 rule: "lint-headers",
                 file: lib.clone(),
                 line: 1,
-                detail: "missing `#![forbid(unsafe_code)]`".to_owned(),
+                detail: format!("missing `{required}`"),
             });
         }
         if !source.contains("#![warn(missing_docs)]") && !source.contains("#![deny(missing_docs)]")
@@ -656,6 +681,103 @@ fn lint_serve_via_frontier(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// True when `code` contains `unsafe` as a whole word (so
+/// `unsafe_code` in an attribute does not count).
+fn contains_unsafe_keyword(code: &str) -> bool {
+    for pos in find_all(code, "unsafe") {
+        let before_ok = pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after_ok = !code[pos + 6..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 10: the vectorized, parallel, and quantized kernels inherit
+/// the rule-6 hot-path discipline, `unsafe` stays confined to the two
+/// modules that need it, and every use is documented with a nearby
+/// `SAFETY:` comment.
+fn lint_simd_hot_path(root: &Path, violations: &mut Vec<Violation>) {
+    const UNSAFE_OK: [&str; 2] = ["simd.rs", "pool.rs"];
+    for name in ["simd.rs", "pool.rs", "quant.rs"] {
+        let file = root.join("crates/tensor/src").join(name);
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            violations.push(Violation {
+                rule: "simd-hot-path",
+                file,
+                line: 0,
+                detail: format!("crates/tensor/src/{name} is missing"),
+            });
+            continue;
+        };
+        let raw_lines: Vec<&str> = source.lines().collect();
+        for (line, code) in non_test_lines(&source) {
+            for pattern in [".unwrap()", ".expect("] {
+                if code.contains(pattern) {
+                    violations.push(Violation {
+                        rule: "simd-hot-path",
+                        file: file.clone(),
+                        line,
+                        detail: format!("`{pattern}` in non-test kernel code"),
+                    });
+                }
+            }
+            for token in ALLOCATION_TOKENS {
+                if code.contains(token) {
+                    violations.push(Violation {
+                        rule: "simd-hot-path",
+                        file: file.clone(),
+                        line,
+                        detail: format!(
+                            "`{token}` allocates; kernel buffers must be caller-provided"
+                        ),
+                    });
+                }
+            }
+            if contains_unsafe_keyword(&code) {
+                if !UNSAFE_OK.contains(&name) {
+                    violations.push(Violation {
+                        rule: "simd-hot-path",
+                        file: file.clone(),
+                        line,
+                        detail: "`unsafe` outside simd.rs/pool.rs; quantized kernels \
+                                 are plain safe Rust"
+                            .to_owned(),
+                    });
+                } else {
+                    // The justification may sit above a doc comment
+                    // and attributes, so scan a few raw lines back
+                    // (comments included — that is where it lives).
+                    let documented = raw_lines[..line.saturating_sub(1)]
+                        .iter()
+                        .rev()
+                        .take(8)
+                        .any(|l| l.contains("SAFETY"))
+                        || raw_lines
+                            .get(line.saturating_sub(1))
+                            .is_some_and(|l| l.contains("SAFETY"));
+                    if !documented {
+                        violations.push(Violation {
+                            rule: "simd-hot-path",
+                            file: file.clone(),
+                            line,
+                            detail: "`unsafe` without a nearby `// SAFETY:` comment".to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,6 +810,15 @@ mod tests {
         let lines = non_test_lines(src);
         assert_eq!(lines.len(), 1);
         assert!(lines[0].1.contains("fn a"));
+    }
+
+    #[test]
+    fn unsafe_keyword_detection_requires_word_boundaries() {
+        assert!(contains_unsafe_keyword("unsafe fn f()"));
+        assert!(contains_unsafe_keyword("let s = unsafe { *p };"));
+        assert!(!contains_unsafe_keyword("#![allow(unsafe_code)]"));
+        assert!(!contains_unsafe_keyword("not_unsafe()"));
+        assert!(!contains_unsafe_keyword("fn safe_code() {}"));
     }
 
     #[test]
@@ -742,6 +873,7 @@ mod tests {
         lint_wall_clock(&root, &mut violations);
         lint_bounded_channels(&root, &mut violations);
         lint_serve_via_frontier(&root, &mut violations);
+        lint_simd_hot_path(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

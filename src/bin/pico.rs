@@ -44,8 +44,8 @@ commands:
              trace through the runtime (admission control, adaptive
              micro-batching, audit-gated mid-trace warm swap)
   trace      summarize or validate a Chrome trace written by `run`
-  bench      offline micro-benchmarks (compute kernels under both
-             backends, planner wall-time + calibration fit, end-to-end)
+  bench      offline micro-benchmarks (compute kernels under every
+             backend, planner wall-time + calibration fit, end-to-end)
   memory     per-device memory footprint of the PICO plan
   fleet      build the audit-certified Pareto plan frontier for a
              deployment through the process-wide plan cache (`build`),
@@ -105,14 +105,25 @@ options:
                              re-planned when a stage loses every device
   --trace <file.json>        `run`/`serve`: write a Chrome trace-event
                              file
+  --backend <reference|im2col|simd|int8>
+                             `run`/`serve`: compute backend for every
+                             engine (simd is bit-identical to the
+                             scalar backends; int8 is tolerance-bounded
+                             low-precision)
+  --threads <n>              `run`/`serve`: GEMM worker threads per
+                             engine (default 1; results are
+                             bit-identical for any thread count)
   --warmup/--iters/--runs <n> `bench`: measurement protocol overrides
   --json <file>              `bench`/`audit`: also write the
                              machine-readable report (round-tripped
                              through the strict parser before the
                              command succeeds)
                              `fleet build`: write the frontier artifact
-  --gate-ratio <x>           `bench kernels`: fail unless im2col beats
-                             the reference conv3x3/64ch case by >= x";
+  --gate-ratio <x>           `bench kernels`: fail unless simd beats
+                             the reference conv3x3/64ch case by >= x
+  --scaling-gate <x>         `bench kernels`: fail unless 4 simd
+                             threads beat 1 by >= x on the gate case
+                             (skipped on hosts with < 4 cores)";
 
 /// Tiny hand-rolled `--key value` parser (no CLI dependency).
 struct Opts {
@@ -257,7 +268,19 @@ fn deployment_from(opts: &Opts) -> Result<Pico, String> {
             .map_err(|_| format!("--t-lim: bad number `{t}`"))?;
         params = params.with_t_lim(secs);
     }
-    Ok(Pico::new(model, cluster).with_params(params))
+    let mut pico = Pico::new(model, cluster).with_params(params);
+    if let Some(name) = opts.get("backend") {
+        let backend = EngineBackend::parse(name).ok_or_else(|| {
+            format!("--backend: unknown backend `{name}` (reference|im2col|simd|int8)")
+        })?;
+        pico = pico.with_backend(backend);
+    }
+    let threads = opts.get_usize("threads", 1)?;
+    if threads == 0 {
+        return Err("need --threads >= 1".to_owned());
+    }
+    pico = pico.with_engine_threads(threads);
+    Ok(pico)
 }
 
 fn planner_by_name(name: &str) -> Result<Box<dyn Planner>, String> {
@@ -317,25 +340,62 @@ fn bench_command(rest: &[String]) -> Result<(), String> {
     }
 
     if suite == "kernels" {
-        let ratio = suites::backend_speedup(&report, suites::GATE_CASE)
+        let scalar = suites::backend_speedup(&report, suites::GATE_CASE)
+            .ok_or_else(|| "gate case missing from kernel report".to_owned())?;
+        let simd = suites::simd_speedup(&report, suites::GATE_CASE)
             .ok_or_else(|| "gate case missing from kernel report".to_owned())?;
         println!(
-            "speedup {}: {ratio:.2}x im2col over reference",
+            "speedup {}: {scalar:.2}x im2col, {simd:.2}x simd over reference",
             suites::GATE_CASE
+        );
+        let scaling = suites::thread_scaling(&report, suites::GATE_CASE)
+            .ok_or_else(|| "gate case missing from kernel report".to_owned())?;
+        println!(
+            "thread scaling {}: {scaling:.2}x simd 1 -> {} thread(s)",
+            suites::GATE_CASE,
+            suites::SCALING_THREADS
         );
         if let Some(gate) = opts.get("gate-ratio") {
             let gate: f64 = gate
                 .parse()
                 .map_err(|_| format!("--gate-ratio: bad number `{gate}`"))?;
-            if ratio < gate {
+            if simd < gate {
                 return Err(format!(
-                    "speedup gate failed: {ratio:.2}x < required {gate:.2}x on {}",
+                    "speedup gate failed: {simd:.2}x < required {gate:.2}x simd over \
+                     reference on {}",
                     suites::GATE_CASE
                 ));
             }
         }
-    } else if opts.get("gate-ratio").is_some() {
-        return Err("--gate-ratio applies to `bench kernels` only".to_owned());
+        if let Some(gate) = opts.get("scaling-gate") {
+            let gate: f64 = gate
+                .parse()
+                .map_err(|_| format!("--scaling-gate: bad number `{gate}`"))?;
+            // The scaling smoke needs real cores to mean anything: a
+            // 1-core CI runner times the 4-thread row under contention,
+            // so the gate is enforced only where >= SCALING_THREADS
+            // cores exist.
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if cores < suites::SCALING_THREADS {
+                println!(
+                    "scaling gate skipped: {cores} core(s) < {} required",
+                    suites::SCALING_THREADS
+                );
+            } else if scaling < gate {
+                return Err(format!(
+                    "scaling gate failed: {scaling:.2}x < required {gate:.2}x for \
+                     {} thread(s) on {}",
+                    suites::SCALING_THREADS,
+                    suites::GATE_CASE
+                ));
+            }
+        }
+    } else {
+        for flag in ["gate-ratio", "scaling-gate"] {
+            if opts.get(flag).is_some() {
+                return Err(format!("--{flag} applies to `bench kernels` only"));
+            }
+        }
     }
 
     if suite == "planner" {
@@ -804,7 +864,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let rp = build_script(pico.model(), pico.cluster(), &pico.params(), script, &spec)
                 .map_err(|e| e.to_string())?;
             let rec = Recorder::in_memory();
-            let engine = Engine::with_seed(pico.model(), seed);
+            let mut engine = Engine::with_seed(pico.model(), seed);
+            if let Some(backend) = pico.backend() {
+                engine = engine.with_backend(backend);
+            }
+            if pico.engine_threads() > 1 {
+                engine = engine.with_threads(pico.engine_threads());
+            }
             let params = pico.params();
             let replayer = Replayer::new(pico.model(), pico.cluster(), &params, &engine, rp.config)
                 .with_recorder(rec.clone());
@@ -1260,6 +1326,35 @@ mod tests {
     }
 
     #[test]
+    fn run_accepts_backend_and_threads_overrides() {
+        for backend in ["reference", "im2col", "simd", "int8"] {
+            run(&sv(&[
+                "run",
+                "--model",
+                "mnist_toy",
+                "--devices",
+                "3",
+                "--tasks",
+                "1",
+                "--backend",
+                backend,
+                "--threads",
+                "2",
+            ]))
+            .unwrap();
+        }
+        let base = ["run", "--model", "mnist_toy", "--devices", "3"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            sv(&v)
+        };
+        assert!(run(&with(&["--backend", "avx512"])).is_err());
+        assert!(run(&with(&["--threads", "0"])).is_err());
+        assert!(run(&with(&["--threads", "abc"])).is_err());
+    }
+
+    #[test]
     fn run_supports_throttle_and_scheme() {
         run(&sv(&[
             "run",
@@ -1347,14 +1442,18 @@ mod tests {
             &path,
             "--gate-ratio",
             "0.0001",
+            "--scaling-gate",
+            "0.0001",
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let report = pico::bench::report::BenchReport::from_json(&text).unwrap();
         assert_eq!(report.suite, "kernels");
-        assert!(report
-            .record(&format!("{}/im2col", pico::bench::suites::GATE_CASE))
-            .is_some());
+        for backend in ["reference", "im2col", "simd", "int8", "simd_mt4"] {
+            assert!(report
+                .record(&format!("{}/{backend}", pico::bench::suites::GATE_CASE))
+                .is_some());
+        }
         std::fs::remove_file(&path).ok();
         // An impossible gate fails cleanly.
         assert!(run(&sv(&[
@@ -1406,6 +1505,32 @@ mod tests {
             "0",
             "--runs",
             "1",
+        ]))
+        .is_err());
+        assert!(run(&sv(&[
+            "bench",
+            "planner",
+            "--scaling-gate",
+            "2",
+            "--iters",
+            "1",
+            "--warmup",
+            "0",
+            "--runs",
+            "1",
+        ]))
+        .is_err());
+        assert!(run(&sv(&[
+            "bench",
+            "kernels",
+            "--scaling-gate",
+            "abc",
+            "--iters",
+            "1",
+            "--warmup",
+            "0",
+            "--runs",
+            "1"
         ]))
         .is_err());
     }

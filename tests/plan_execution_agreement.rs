@@ -1,8 +1,11 @@
 //! Cross-crate integration: plans from every planner must survive
 //! validation, simulation, and *real* threaded execution with
 //! bit-identical outputs — the full plan → simulate → execute loop,
-//! exercised under every [`EngineBackend`] against the naive-loop
-//! oracle.
+//! exercised under every bit-exact [`EngineBackend`] against the
+//! naive-loop oracle. The lossy `Int8` backend rides the same loop
+//! with its own contract: pipelined execution is *bit-exactly*
+//! self-consistent with single-device int8 inference (static
+//! activation scales), and tolerance-bounded against the f32 oracle.
 
 use pico::prelude::*;
 
@@ -27,12 +30,12 @@ fn every_planner_executes_bit_exactly_on_homogeneous_cluster() {
     let params = CostParams::wifi_50mbps();
     for model in models_under_test() {
         let input = Tensor::random(model.input_shape(), 9);
-        // One oracle for both backends: the naive reference loops.
+        // One oracle for every f32 backend: the naive reference loops.
         let reference = Engine::with_seed(&model, 123)
             .with_backend(EngineBackend::Reference)
             .infer(&input)
             .unwrap();
-        for backend in EngineBackend::ALL {
+        for backend in EngineBackend::BIT_EXACT {
             let engine = Engine::with_seed(&model, 123).with_backend(backend);
             for planner in planners() {
                 let plan = planner
@@ -63,7 +66,7 @@ fn every_planner_executes_bit_exactly_on_heterogeneous_cluster() {
         .collect();
     let oracle = Engine::with_seed(&model, 7).with_backend(EngineBackend::Reference);
     let references: Vec<Tensor> = inputs.iter().map(|x| oracle.infer(x).unwrap()).collect();
-    for backend in EngineBackend::ALL {
+    for backend in EngineBackend::BIT_EXACT {
         let engine = Engine::with_seed(&model, 7).with_backend(backend);
         for planner in planners() {
             let plan = planner
@@ -142,6 +145,58 @@ fn grid_plan_executes_bit_exactly_through_runtime() {
                 "task {i} with {backend} backend"
             );
         }
+    }
+}
+
+#[test]
+fn int8_plans_are_self_consistent_and_tolerance_bounded() {
+    // The lossy backend's pipeline contract, split in two: static
+    // activation scales make region inference bit-exactly consistent
+    // with full-map int8 inference, so a pipelined int8 plan must
+    // reproduce single-device int8 output *exactly* under every
+    // planner — quantization error is a property of the backend, not
+    // of the partitioning. Against the f32 reference the output only
+    // has to stay inside the empirical degradation budget.
+    let cluster = Cluster::paper_heterogeneous_6();
+    let params = CostParams::wifi_50mbps();
+    let model = zoo::mnist_toy();
+    let input = Tensor::random(model.input_shape(), 33);
+    let reference = Engine::with_seed(&model, 7)
+        .with_backend(EngineBackend::Reference)
+        .infer(&input)
+        .unwrap();
+    let engine = Engine::with_seed(&model, 7).with_backend(EngineBackend::Int8);
+    let full = engine.infer(&input).unwrap();
+    let budget = 0.05
+        * reference
+            .data()
+            .iter()
+            .fold(1.0f32, |acc, v| acc.max(v.abs()));
+    for planner in planners() {
+        let plan = planner
+            .plan(&PlanRequest::new(&model, &cluster, &params))
+            .unwrap();
+        plan.validate(&model, &cluster).unwrap();
+        let report = PipelineRuntime::new(&model, &plan, &engine)
+            .run(vec![input.clone()])
+            .unwrap();
+        assert_eq!(
+            report.outputs[0],
+            full,
+            "{} int8 pipeline diverged from single-device int8",
+            planner.name()
+        );
+        let worst = report.outputs[0]
+            .data()
+            .iter()
+            .zip(reference.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            worst <= budget,
+            "{}: int8 error {worst} exceeds budget {budget}",
+            planner.name()
+        );
     }
 }
 
