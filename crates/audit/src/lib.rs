@@ -63,7 +63,9 @@
 
 use pico_model::Model;
 use pico_partition::diag::structural_diagnostics;
-use pico_partition::{memory, redundancy, Cluster, CostParams, Plan};
+use pico_partition::{
+    memory, redundancy, ChurnError, ChurnMembership, Cluster, ClusterSchedule, CostParams, Plan,
+};
 
 pub mod absint;
 pub mod json;
@@ -311,6 +313,34 @@ impl<'a> Auditor<'a> {
                 switch::swap_memory_pass(self.model, a, b, budget, &mut diagnostics);
             }
             switch::deadlock_pass(a, b, self.config.channel_capacity, &mut diagnostics);
+        }
+        AuditReport::normalized(diagnostics)
+    }
+
+    /// Audits a churn schedule (PA501–PA503) against this auditor's
+    /// cluster *before* any event is applied: every event is replayed
+    /// through a [`ChurnMembership`], and each illegal transition —
+    /// unknown device (PA501), leave/rejoin/recapacity against the
+    /// wrong membership state (PA502), a `join` reusing a live id
+    /// (PA503) — becomes an Error diagnostic. Illegal events are
+    /// skipped and the replay continues, so one bad line surfaces
+    /// every downstream inconsistency it causes, mirroring how the
+    /// structural passes report all violations at once.
+    pub fn audit_churn(&self, schedule: &ClusterSchedule) -> AuditReport {
+        let mut membership = ChurnMembership::new(self.cluster);
+        let mut diagnostics = Vec::new();
+        for event in schedule.events() {
+            if let Err(e) = membership.apply(event) {
+                let code = match e {
+                    ChurnError::UnknownDevice { .. } => Code::ChurnUnknownDevice,
+                    ChurnError::DuplicateJoin { .. } => Code::ChurnDuplicateJoin,
+                    _ => Code::ChurnInvalidTransition,
+                };
+                diagnostics.push(
+                    Diagnostic::new(code, format!("churn event `{event}` rejected: {e}"))
+                        .at_device(event.device),
+                );
+            }
         }
         AuditReport::normalized(diagnostics)
     }
@@ -748,6 +778,36 @@ mod tests {
             assert!(flagged.has_code(Code::ExcludedDeviceUsed), "{flagged}");
             assert!(flagged.is_executable(), "PA203 is Info, not Error");
         }
+    }
+
+    #[test]
+    fn clean_churn_schedule_audits_empty() {
+        let m = zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let schedule = ClusterSchedule::new()
+            .leave(3, 2)
+            .rejoin(3, 5)
+            .leave(3, 8)
+            .rejoin(3, 11);
+        let report = Auditor::new(&m, &c).audit_churn(&schedule);
+        assert!(report.is_executable(), "{report}");
+        assert!(report.diagnostics.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn illegal_churn_events_map_to_pa5xx_codes() {
+        let m = zoo::mnist_toy();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let schedule = ClusterSchedule::new()
+            .leave(9, 1) // unknown device -> PA501
+            .rejoin(2, 3) // never left -> PA502
+            .join(0, 4, 1.0); // id 0 already live -> PA503
+        let report = Auditor::new(&m, &c).audit_churn(&schedule);
+        assert!(!report.is_executable());
+        assert!(report.has_code(Code::ChurnUnknownDevice), "{report}");
+        assert!(report.has_code(Code::ChurnInvalidTransition), "{report}");
+        assert!(report.has_code(Code::ChurnDuplicateJoin), "{report}");
+        assert_eq!(report.counts().0, 3, "{report}");
     }
 
     #[test]

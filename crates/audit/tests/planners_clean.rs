@@ -6,8 +6,8 @@
 use pico_audit::{AuditConfig, Auditor, WorkloadBand};
 use pico_model::{zoo, Model};
 use pico_partition::{
-    BfsOptimal, Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner,
-    PlanRequest, Planner,
+    BfsOptimal, Cluster, CostParams, EarlyFused, GridFused, Interleaved, LayerWise, OptimalFused,
+    PicoPlanner, PlanRequest, Planner,
 };
 use pico_sim::{mdone, Simulation};
 
@@ -18,6 +18,7 @@ fn planners() -> Vec<Box<dyn Planner>> {
         Box::new(OptimalFused::new()),
         Box::new(PicoPlanner::new()),
         Box::new(GridFused::new()),
+        Box::new(Interleaved),
     ]
 }
 

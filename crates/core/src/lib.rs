@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use pico_fleet::FleetFrontier;
+use pico_fleet::{FleetFrontier, PlanCache};
 use pico_model::Model;
 use pico_partition::{
     BfsOptimal, Cluster, CostParams, EarlyFused, LayerWise, OptimalFused, PicoPlanner, Plan,
@@ -43,6 +43,10 @@ use pico_sim::{AdaptiveScheduler, Arrivals, SchedulerDecision, SimReport, Simula
 use pico_telemetry::Recorder;
 use pico_tensor::{Engine, EngineBackend, Tensor};
 
+mod churn;
+
+pub use churn::{ChurnReport, ChurnRunError, EpochRecord};
+
 /// One-stop entry point: a model deployed on a cluster under given
 /// network conditions.
 #[derive(Debug, Clone)]
@@ -53,6 +57,7 @@ pub struct Pico {
     recorder: Recorder,
     backend: Option<EngineBackend>,
     threads: usize,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl Pico {
@@ -66,7 +71,21 @@ impl Pico {
             recorder: Recorder::noop(),
             backend: None,
             threads: 1,
+            cache: None,
         }
+    }
+
+    /// Uses a dedicated plan cache for churn re-admission instead of
+    /// the process-global one — tests and multi-deployment hosts get
+    /// exact, isolated hit/miss/invalidation accounting.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The dedicated plan cache, when one was set.
+    pub(crate) fn cache(&self) -> Option<&PlanCache> {
+        self.cache.as_deref()
     }
 
     /// Overrides the environment parameters.

@@ -18,7 +18,7 @@ use parking_lot::RwLock;
 use pico_telemetry::{names, Recorder};
 
 use crate::frontier::{FleetError, FleetFrontier};
-use crate::key::CacheKey;
+use crate::key::{CacheKey, ClusterSignature};
 
 const SHARDS: usize = 8;
 
@@ -39,6 +39,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect capacity.
     pub evictions: u64,
+    /// Entries dropped because their cluster signature went stale
+    /// (membership churn).
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -52,6 +55,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl PlanCache {
@@ -70,6 +74,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -149,12 +154,41 @@ impl PlanCache {
         Ok(self.insert(key, built))
     }
 
+    /// Drops every resident frontier whose cluster signature equals
+    /// `stale` — the membership it was planned for no longer exists
+    /// (a device left, rejoined at a new clock, or was re-provisioned),
+    /// so serving those plans would route work to hardware that is not
+    /// there. Returns how many entries were dropped; each one counts a
+    /// `plan_cache_invalidated` on `rec` and in
+    /// [`CacheStats::invalidations`].
+    pub fn invalidate_stale(&self, stale: ClusterSignature, rec: &Recorder) -> u64 {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            let doomed: Vec<CacheKey> = shard
+                .iter()
+                .filter(|(k, _)| k.cluster == stale)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in doomed {
+                shard.remove(&k);
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+            rec.count(names::PLAN_CACHE_INVALIDATED, dropped as f64);
+        }
+        dropped
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.read().len()).sum(),
         }
     }
@@ -243,6 +277,28 @@ mod tests {
         assert!(stats.entries <= SHARDS);
         // The newest key always survives its own shard's eviction.
         assert!(cache.get(keys.last().unwrap(), &rec).is_some());
+    }
+
+    #[test]
+    fn invalidate_stale_drops_only_matching_signatures() {
+        let cache = PlanCache::new(8);
+        let rec = Recorder::noop();
+        let (key4, f4) = frontier(4);
+        let (key2, f2) = frontier(2);
+        cache.insert(key4, f4);
+        cache.insert(key2, f2);
+        assert_eq!(cache.stats().entries, 2);
+        // Invalidate the 4-device membership only.
+        let dropped = cache.invalidate_stale(key4.cluster, &rec);
+        assert_eq!(dropped, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(cache.get(&key4, &rec).is_none());
+        assert!(cache.get(&key2, &rec).is_some());
+        // A second invalidation of the same signature is a no-op.
+        assert_eq!(cache.invalidate_stale(key4.cluster, &rec), 0);
+        assert_eq!(cache.stats().invalidations, 1);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use pico_audit::{AuditConfig, Auditor};
 use pico_model::Model;
 use pico_partition::memory::plan_memory;
 use pico_partition::{
-    pareto, Cluster, CostParams, EarlyFused, GridFused, LayerWise, OptimalFused, PicoPlanner, Plan,
-    PlanRequest, Planner,
+    pareto, Cluster, CostParams, EarlyFused, GridFused, Interleaved, LayerWise, OptimalFused,
+    PicoPlanner, Plan, PlanRequest, Planner,
 };
 use pico_sim::serve_policy::ServiceProfile;
 use pico_sim::{mdone, ReplanCandidate, ReplanKernel, ReplanPolicy, Simulation, WorkloadBand};
@@ -155,11 +155,12 @@ impl FleetFrontier {
         let sim = Simulation::new(model, cluster, params);
         let request = PlanRequest::new(model, cluster, params);
 
-        let planners: [&dyn Planner; 5] = [
+        let planners: [&dyn Planner; 6] = [
             &LayerWise,
             &EarlyFused::new(),
             &OptimalFused,
             &GridFused::new(),
+            &Interleaved,
             &PicoPlanner::new(),
         ];
         let mut plans: Vec<Plan> = planners

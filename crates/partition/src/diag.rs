@@ -125,11 +125,21 @@ pub enum Code {
     /// queue bound plus the maximum batch already caps admitted-but-
     /// incomplete tasks below it — dead configuration.
     ServeBudgetShadowed,
+    /// PA501: a churn event references a device the schedule never
+    /// admitted and the initial cluster does not contain.
+    ChurnUnknownDevice,
+    /// PA502: a churn event's transition is invalid for the device's
+    /// membership state (leave while departed, rejoin while active,
+    /// recapacity while departed).
+    ChurnInvalidTransition,
+    /// PA503: a join event re-adds a device id that is already a
+    /// member — joins must use fresh ids; returning devices rejoin.
+    ChurnDuplicateJoin,
 }
 
 impl Code {
     /// Every registered code, in registry order.
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 30] = [
         Code::EmptyPlan,
         Code::NonContiguousStages,
         Code::IncompleteCoverage,
@@ -157,6 +167,9 @@ impl Code {
         Code::ChannelDeadlock,
         Code::ServeConfigInvalid,
         Code::ServeBudgetShadowed,
+        Code::ChurnUnknownDevice,
+        Code::ChurnInvalidTransition,
+        Code::ChurnDuplicateJoin,
     ];
 
     /// The stable identifier, e.g. `"PA001"`.
@@ -189,6 +202,9 @@ impl Code {
             Code::ChannelDeadlock => "PA307",
             Code::ServeConfigInvalid => "PA401",
             Code::ServeBudgetShadowed => "PA402",
+            Code::ChurnUnknownDevice => "PA501",
+            Code::ChurnInvalidTransition => "PA502",
+            Code::ChurnDuplicateJoin => "PA503",
         }
     }
 
@@ -222,7 +238,10 @@ impl Code {
             | Code::SwitchBoundaryIncompatible
             | Code::SwapMemoryOverlap
             | Code::ChannelDeadlock
-            | Code::ServeConfigInvalid => Severity::Error,
+            | Code::ServeConfigInvalid
+            | Code::ChurnUnknownDevice
+            | Code::ChurnInvalidTransition
+            | Code::ChurnDuplicateJoin => Severity::Error,
             Code::NearSaturation | Code::ServeBudgetShadowed => Severity::Warning,
         }
     }
@@ -257,6 +276,9 @@ impl Code {
             Code::ChannelDeadlock => "combined bounded-channel topology has a wait-for cycle",
             Code::ServeConfigInvalid => "serving configuration is malformed",
             Code::ServeBudgetShadowed => "tenant in-flight budget can never bind",
+            Code::ChurnUnknownDevice => "churn event references a device the cluster never had",
+            Code::ChurnInvalidTransition => "churn event invalid for the device's membership state",
+            Code::ChurnDuplicateJoin => "join re-adds a device id that is already a member",
         }
     }
 
@@ -292,6 +314,9 @@ impl Code {
             Code::ServeBudgetShadowed => {
                 "lower the budget below queue_capacity + max_batch or drop it"
             }
+            Code::ChurnUnknownDevice => "join the device first, or fix the device id",
+            Code::ChurnInvalidTransition => "order events so state transitions are legal",
+            Code::ChurnDuplicateJoin => "use rejoin for returning devices, fresh ids for joins",
         }
     }
 }

@@ -1,0 +1,167 @@
+use pico_model::{rows_split_weighted, Region2, Rows, Segment};
+use pico_telemetry::names;
+
+use crate::{Assignment, ExecutionMode, Plan, PlanError, PlanRequest, Planner, Scheme, Stage};
+
+/// Interleaved operator partitioning (ILV), after arXiv 2409.07693.
+///
+/// Like [`LayerWise`](crate::LayerWise) this plans one stage per unit,
+/// but alternates the partition axis between consecutive partitionable
+/// units: even-indexed units are split into capacity-weighted *row*
+/// strips, odd-indexed units into *column* tiles of the same weights.
+/// Alternating the axis interleaves which halo rows/columns each device
+/// re-fetches between operators, so no single device sits on the same
+/// boundary for the whole network — the property the agreement gates
+/// exercise as a genuinely different partitioning family.
+///
+/// Non-partitionable (FC) units run whole on the fastest device, as in
+/// every other planner here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Interleaved;
+
+impl Interleaved {
+    /// Creates the interleaved planner.
+    pub fn new() -> Self {
+        Interleaved
+    }
+}
+
+impl Planner for Interleaved {
+    fn name(&self) -> &'static str {
+        "ILV"
+    }
+
+    fn plan(&self, req: &PlanRequest<'_>) -> Result<Plan, PlanError> {
+        let _plan_span = req.recorder().span(names::PLAN);
+        let model = req.model();
+        let cluster = req.cluster();
+        let weights: Vec<f64> = cluster.devices().iter().map(|d| d.capacity).collect();
+        let fastest = cluster.ids_by_capacity_desc()[0];
+        let mut stages = Vec::with_capacity(model.len());
+        for i in 0..model.len() {
+            let seg = Segment::new(i, i + 1);
+            let shape = model.unit_output_shape(i);
+            let (h, w) = (shape.height, shape.width);
+            let assignments = if model.unit(i).is_partitionable() && h >= 1 && w >= 1 {
+                if i % 2 == 0 {
+                    cluster
+                        .devices()
+                        .iter()
+                        .zip(rows_split_weighted(Rows::full(h), &weights))
+                        .map(|(d, r)| Assignment::new(d.id, r))
+                        .collect()
+                } else {
+                    // Column tiles: full row span, capacity-weighted
+                    // column ranges (reusing the row splitter on the
+                    // width axis).
+                    cluster
+                        .devices()
+                        .iter()
+                        .zip(rows_split_weighted(Rows::full(w), &weights))
+                        .map(|(d, c)| Assignment::tile(d.id, Region2::new(Rows::full(h), c)))
+                        .collect()
+                }
+            } else {
+                vec![Assignment::new(fastest, Rows::full(h))]
+            };
+            stages.push(Stage::new(seg, assignments));
+        }
+        req.admit(Plan::new(
+            Scheme::Interleaved,
+            ExecutionMode::Sequential,
+            stages,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, CostParams, PlanRequest};
+    use pico_model::zoo;
+
+    #[test]
+    fn one_stage_per_unit_and_structurally_clean() {
+        let m = zoo::toy(6);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = Interleaved
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
+            .unwrap();
+        assert_eq!(plan.stage_count(), 6);
+        let diags = crate::diag::structural_diagnostics(&plan, &m, &c);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn axis_alternates_between_units() {
+        let m = zoo::toy(4);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = Interleaved
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
+            .unwrap();
+        // Even units are row strips (no column bounds), odd units carry
+        // column tiles.
+        assert!(plan.stages[0].assignments.iter().all(|a| a.cols.is_none()));
+        assert!(plan.stages[1].assignments.iter().any(|a| a.cols.is_some()));
+        assert!(plan.stages[2].assignments.iter().all(|a| a.cols.is_none()));
+        assert!(plan.stages[3].assignments.iter().any(|a| a.cols.is_some()));
+    }
+
+    #[test]
+    fn fc_layers_run_on_fastest_device() {
+        let m = zoo::vgg16();
+        let c = Cluster::paper_heterogeneous();
+        let plan = Interleaved
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
+            .unwrap();
+        let last = plan.stages.last().unwrap();
+        assert_eq!(last.worker_count(), 1);
+        assert_eq!(last.assignments[0].device, c.ids_by_capacity_desc()[0]);
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_shares_follow_capacity() {
+        let m = zoo::toy(2);
+        let c = Cluster::paper_heterogeneous();
+        let plan = Interleaved
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
+            .unwrap();
+        for st in &plan.stages {
+            let fast = st.assignments[0]
+                .rows
+                .len()
+                .max(st.assignments[0].cols.map(|c| c.len()).unwrap_or(0))
+                as f64;
+            let slow = st.assignments[7]
+                .rows
+                .len()
+                .max(st.assignments[7].cols.map(|c| c.len()).unwrap_or(0))
+                as f64;
+            assert!(fast >= slow, "fast={fast} slow={slow}");
+        }
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn works_on_graph_models() {
+        let m = zoo::resnet34().features();
+        let c = Cluster::pi_cluster(4, 1.0);
+        let plan = Interleaved
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
+            .unwrap();
+        plan.validate(&m, &c).unwrap();
+    }
+
+    #[test]
+    fn sequential_mode_and_scheme() {
+        let m = zoo::toy(3);
+        let c = Cluster::pi_cluster(2, 1.0);
+        let plan = Interleaved
+            .plan(&PlanRequest::new(&m, &c, &CostParams::default()))
+            .unwrap();
+        assert_eq!(plan.mode, ExecutionMode::Sequential);
+        assert_eq!(plan.scheme, Scheme::Interleaved);
+        assert_eq!(plan.scheme.to_string(), "ILV");
+    }
+}

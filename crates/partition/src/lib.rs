@@ -37,6 +37,7 @@
 
 mod bfs;
 pub mod block_parallel;
+pub mod churn;
 mod cost;
 mod device;
 pub mod diag;
@@ -44,10 +45,12 @@ mod error;
 mod fused;
 pub mod grid;
 mod grid_fused;
+mod interleaved;
 mod layer_wise;
 pub mod memory;
 pub mod pareto;
 mod pico;
+pub mod placement;
 mod plan;
 mod planner;
 pub mod redundancy;
@@ -55,12 +58,14 @@ mod request;
 pub mod symbolic;
 
 pub use bfs::BfsOptimal;
+pub use churn::{ChurnEpoch, ChurnError, ChurnEvent, ChurnKind, ChurnMembership, ClusterSchedule};
 pub use cost::{CostModel, CostParams, PlanMetrics, StageCost};
 pub use device::{Cluster, Device, FLOPS_PER_CYCLE};
 pub use diag::{structural_diagnostics, Code, Diagnostic, Severity};
 pub use error::PlanError;
 pub use fused::{EarlyFused, OptimalFused};
 pub use grid_fused::GridFused;
+pub use interleaved::Interleaved;
 pub use layer_wise::LayerWise;
 pub use pico::{balance_rows, PicoPlanner};
 pub use plan::{Assignment, ExecutionMode, Plan, Scheme, Stage};

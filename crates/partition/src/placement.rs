@@ -1,0 +1,330 @@
+//! Multi-model placement: sharing one cluster between several models.
+//!
+//! Real edge fleets rarely dedicate a cluster to a single network; the
+//! placement literature (arXiv 2210.12219) shows co-resident models
+//! contend for cores, stretching compute times. This module places `k`
+//! models on one cluster under two strategies and keeps whichever has
+//! the smaller bottleneck period:
+//!
+//! * **Partitioned** — the cluster is split into `k` disjoint device
+//!   groups, capacity-proportional to each model's FLOPs; every model
+//!   runs alone on its group ([`CostParams::interference`] stays `1`).
+//! * **Shared** — every model is planned over the full cluster and the
+//!   interference factor is set to `k`, pricing the time-slicing of
+//!   `k` co-resident models on every core.
+//!
+//! Placement is fully deterministic: same models, cluster, and params
+//! always produce the same groups and plans.
+
+use pico_model::{Model, Rows};
+
+use crate::{Cluster, CostParams, PicoPlanner, Plan, PlanError, PlanRequest, Planner};
+
+/// Which co-residency strategy a [`Placement`] chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Disjoint device groups, one per model, no interference.
+    Partitioned,
+    /// All models over the full cluster, interference = model count.
+    Shared,
+}
+
+/// One model's slot in a [`Placement`].
+#[derive(Debug, Clone)]
+pub struct ModelPlacement {
+    /// Caller-supplied model name (zoo id or similar).
+    pub name: String,
+    /// Device ids this model runs on (ascending).
+    pub devices: Vec<usize>,
+    /// The cost parameters the plan was priced under, including the
+    /// interference factor the strategy implies.
+    pub params: CostParams,
+    /// The admitted plan.
+    pub plan: Plan,
+    /// Predicted pipeline period under `params`.
+    pub period: f64,
+}
+
+/// The outcome of placing several models on one cluster.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The winning strategy.
+    pub strategy: PlacementStrategy,
+    /// The interference factor applied to every model's compute times.
+    pub interference: f64,
+    /// Per-model placements, in input order.
+    pub models: Vec<ModelPlacement>,
+}
+
+impl Placement {
+    /// The slowest model's period — the fleet-level bottleneck the
+    /// strategy choice minimizes.
+    pub fn bottleneck_period(&self) -> f64 {
+        self.models.iter().map(|m| m.period).fold(0.0, f64::max)
+    }
+}
+
+/// Total FLOPs of one task through `model` (full output map).
+fn model_flops(model: &Model) -> f64 {
+    let h = model.output_shape().height;
+    model.segment_flops(model.full_segment(), Rows::full(h))
+}
+
+/// Splits `cluster` into `k` non-empty disjoint groups whose total
+/// capacities track `weights` (one weight per group): devices are taken
+/// in capacity-descending order and each goes to the group with the
+/// largest remaining capacity deficit. Returns `None` when the cluster
+/// has fewer devices than groups.
+fn split_cluster(cluster: &Cluster, weights: &[f64]) -> Option<Vec<Cluster>> {
+    let k = weights.len();
+    if cluster.len() < k || k == 0 {
+        return None;
+    }
+    let total_cap: f64 = cluster.devices().iter().map(|d| d.capacity).sum();
+    let total_w: f64 = weights.iter().sum();
+    let targets: Vec<f64> = weights.iter().map(|w| total_cap * w / total_w).collect();
+    let mut filled = vec![0.0f64; k];
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for &id in &cluster.ids_by_capacity_desc() {
+        let cap = cluster.device(id).map(|d| d.capacity).unwrap_or(0.0);
+        // Empty groups first (each model needs at least one device),
+        // then the largest deficit; ties break on the lower group index
+        // so the split is deterministic.
+        let mut best = 0;
+        let mut best_key = f64::NEG_INFINITY;
+        for g in 0..k {
+            let key = if groups[g].is_empty() {
+                f64::INFINITY
+            } else {
+                targets[g] - filled[g]
+            };
+            if key > best_key {
+                best_key = key;
+                best = g;
+            }
+        }
+        groups[best].push(id);
+        filled[best] += cap;
+    }
+    let mut out = Vec::with_capacity(k);
+    for mut ids in groups {
+        ids.sort_unstable();
+        let devices: Vec<_> = ids
+            .iter()
+            .filter_map(|&id| cluster.device(id).cloned())
+            .collect();
+        if devices.is_empty() {
+            return None;
+        }
+        out.push(devices.into_iter().collect());
+    }
+    Some(out)
+}
+
+fn place_on(
+    name: &str,
+    model: &Model,
+    cluster: &Cluster,
+    params: &CostParams,
+    planner: &dyn Planner,
+) -> Result<ModelPlacement, PlanError> {
+    let plan = planner.plan(&PlanRequest::new(model, cluster, params))?;
+    let period = params.cost_model(model).evaluate(&plan, cluster).period;
+    Ok(ModelPlacement {
+        name: name.to_string(),
+        devices: cluster.devices().iter().map(|d| d.id).collect(),
+        params: *params,
+        plan,
+        period,
+    })
+}
+
+fn place_partitioned(
+    specs: &[(&str, &Model)],
+    cluster: &Cluster,
+    params: &CostParams,
+    planner: &dyn Planner,
+) -> Option<Result<Placement, PlanError>> {
+    let weights: Vec<f64> = specs.iter().map(|(_, m)| model_flops(m)).collect();
+    let groups = split_cluster(cluster, &weights)?;
+    let mut models = Vec::with_capacity(specs.len());
+    for ((name, model), group) in specs.iter().zip(&groups) {
+        match place_on(name, model, group, params, planner) {
+            Ok(p) => models.push(p),
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    Some(Ok(Placement {
+        strategy: PlacementStrategy::Partitioned,
+        interference: 1.0,
+        models,
+    }))
+}
+
+fn place_shared(
+    specs: &[(&str, &Model)],
+    cluster: &Cluster,
+    params: &CostParams,
+    planner: &dyn Planner,
+) -> Result<Placement, PlanError> {
+    let factor = specs.len() as f64;
+    let shared = params.with_interference(params.interference * factor);
+    let mut models = Vec::with_capacity(specs.len());
+    for (name, model) in specs {
+        models.push(place_on(name, model, cluster, &shared, planner)?);
+    }
+    Ok(Placement {
+        strategy: PlacementStrategy::Shared,
+        interference: shared.interference,
+        models,
+    })
+}
+
+/// Places `specs` (name, model) on `cluster`, choosing between the
+/// partitioned and shared strategies by the smaller bottleneck period.
+/// Plans come from the paper's [`PicoPlanner`]; use
+/// [`place_with`] to supply another planner.
+///
+/// # Errors
+///
+/// Returns the first [`PlanError`] if neither strategy can plan every
+/// model.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn place(
+    specs: &[(&str, &Model)],
+    cluster: &Cluster,
+    params: &CostParams,
+) -> Result<Placement, PlanError> {
+    place_with(specs, cluster, params, &PicoPlanner::new())
+}
+
+/// [`place`] with an explicit planner.
+///
+/// # Errors
+///
+/// Returns the first [`PlanError`] if neither strategy can plan every
+/// model.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn place_with(
+    specs: &[(&str, &Model)],
+    cluster: &Cluster,
+    params: &CostParams,
+    planner: &dyn Planner,
+) -> Result<Placement, PlanError> {
+    assert!(!specs.is_empty(), "need at least one model to place");
+    let shared = place_shared(specs, cluster, params, planner);
+    match place_partitioned(specs, cluster, params, planner) {
+        Some(Ok(part)) => match shared {
+            Ok(sh) if sh.bottleneck_period() < part.bottleneck_period() => Ok(sh),
+            _ => Ok(part),
+        },
+        Some(Err(part_err)) => shared.or(Err(part_err)),
+        None => shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_model::zoo;
+
+    #[test]
+    fn partitioned_groups_are_disjoint_and_interference_free() {
+        let a = zoo::toy(4);
+        let b = zoo::toy(4);
+        let c = Cluster::pi_cluster(4, 1.0);
+        let p = place(&[("a", &a), ("b", &b)], &c, &CostParams::default()).unwrap();
+        if p.strategy == PlacementStrategy::Partitioned {
+            assert_eq!(p.interference, 1.0);
+            let mut all: Vec<usize> = p.models.iter().flat_map(|m| m.devices.clone()).collect();
+            let n = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), n, "device groups overlap");
+        } else {
+            assert_eq!(p.interference, 2.0);
+        }
+        assert_eq!(p.models.len(), 2);
+        assert!(p.bottleneck_period() > 0.0);
+    }
+
+    #[test]
+    fn single_device_forces_shared_with_stretch() {
+        let a = zoo::toy(3);
+        let b = zoo::toy(3);
+        let c = Cluster::pi_cluster(1, 1.0);
+        let p = place(&[("a", &a), ("b", &b)], &c, &CostParams::default()).unwrap();
+        assert_eq!(p.strategy, PlacementStrategy::Shared);
+        assert_eq!(p.interference, 2.0);
+        for m in &p.models {
+            assert_eq!(m.params.interference, 2.0);
+            assert_eq!(m.devices, vec![0]);
+        }
+    }
+
+    #[test]
+    fn shared_interference_stretches_the_period() {
+        let a = zoo::toy(3);
+        let c = Cluster::pi_cluster(1, 1.0);
+        let alone = place(&[("a", &a)], &c, &CostParams::default()).unwrap();
+        let b = zoo::toy(3);
+        let both = place(&[("a", &a), ("b", &b)], &c, &CostParams::default()).unwrap();
+        assert!(both.bottleneck_period() > alone.bottleneck_period());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = zoo::toy(4);
+        let b = zoo::toy(6);
+        let c = Cluster::paper_heterogeneous();
+        let p1 = place(&[("a", &a), ("b", &b)], &c, &CostParams::default()).unwrap();
+        let p2 = place(&[("a", &a), ("b", &b)], &c, &CostParams::default()).unwrap();
+        assert_eq!(p1.strategy, p2.strategy);
+        for (m1, m2) in p1.models.iter().zip(&p2.models) {
+            assert_eq!(m1.devices, m2.devices);
+            assert_eq!(m1.plan, m2.plan);
+            assert_eq!(m1.period, m2.period);
+        }
+    }
+
+    #[test]
+    fn plans_validate_on_their_groups() {
+        let a = zoo::toy(4);
+        let b = zoo::toy(4);
+        let cluster = Cluster::pi_cluster(6, 1.0);
+        let p = place(&[("a", &a), ("b", &b)], &cluster, &CostParams::default()).unwrap();
+        for (spec, m) in [("a", &a), ("b", &b)].iter().zip(&p.models) {
+            let group: Cluster = m
+                .devices
+                .iter()
+                .filter_map(|&id| cluster.device(id).cloned())
+                .collect();
+            m.plan.validate(spec.1, &group).unwrap();
+        }
+    }
+
+    #[test]
+    fn bigger_model_gets_more_capacity() {
+        let small = zoo::toy(2);
+        let big = zoo::toy(8);
+        let cluster = Cluster::pi_cluster(6, 1.0);
+        let weights = [model_flops(&small), model_flops(&big)];
+        let groups = split_cluster(&cluster, &weights).unwrap();
+        let cap = |c: &Cluster| c.devices().iter().map(|d| d.capacity).sum::<f64>();
+        assert!(cap(&groups[1]) >= cap(&groups[0]));
+        assert!(!groups[0].is_empty() && !groups[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_specs_panic() {
+        let c = Cluster::pi_cluster(2, 1.0);
+        let _ = place(&[], &c, &CostParams::default());
+    }
+}

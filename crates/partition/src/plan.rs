@@ -103,6 +103,9 @@ pub enum Scheme {
     /// Grid-partitioned early fusion (DeepThings' actual 2-D scheme,
     /// implemented here as an extension).
     GridFused,
+    /// Interleaved operator partitioning (arXiv 2409.07693): per-unit
+    /// stages alternating the split axis between rows and columns.
+    Interleaved,
 }
 
 impl std::fmt::Display for Scheme {
@@ -114,6 +117,7 @@ impl std::fmt::Display for Scheme {
             Scheme::Pico => "PICO",
             Scheme::BfsOptimal => "BFS",
             Scheme::GridFused => "GRID",
+            Scheme::Interleaved => "ILV",
         };
         f.write_str(s)
     }

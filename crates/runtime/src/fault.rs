@@ -69,6 +69,19 @@ impl FailureSchedule {
         self
     }
 
+    /// Builds a schedule from `(device, from_task)` pairs — the shape a
+    /// churn epoch's [`ChurnEpoch::leaves`](pico_partition::ChurnEpoch)
+    /// carries, with `from_task` already rebased to the epoch's own task
+    /// numbering so a rejoined device starts the next epoch as a fresh
+    /// worker with no stale failure entry.
+    pub fn from_leaves(leaves: &[(usize, usize)]) -> Self {
+        let mut s = FailureSchedule::new();
+        for &(device, from_task) in leaves {
+            s = s.fail(device, from_task);
+        }
+        s
+    }
+
     /// Whether the schedule injects nothing.
     pub fn is_empty(&self) -> bool {
         self.failures.is_empty()

@@ -69,6 +69,11 @@ pub mod topology;
 pub use builder::RuntimeBuilder;
 pub use error::RuntimeError;
 pub use fault::{FailureRecord, FailureSchedule, InjectedFailure, RecoveryPolicy};
+// Churn is modelled one layer down so the simulator can share it; the
+// runtime consumes epochs as failure schedules (`FailureSchedule::from_leaves`).
+pub use pico_partition::{
+    ChurnEpoch, ChurnError, ChurnEvent, ChurnKind, ChurnMembership, ClusterSchedule,
+};
 pub use runtime::{
     ExecutionSession, PipelineRuntime, RunReport, StageStat, TaskTiming, DEFAULT_CHANNEL_CAPACITY,
 };

@@ -77,6 +77,18 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Mirrors one churn epoch into the simulation: the epoch's
+    /// departures (already rebased to epoch-relative task indices by
+    /// [`ClusterSchedule::epochs`](pico_partition::ClusterSchedule::epochs))
+    /// become scripted failures. Construct the `Simulation` over the
+    /// epoch's own cluster snapshot — rejoins, joins, and recapacities
+    /// are membership changes, so each epoch is a fresh simulation, the
+    /// exact shape `PipelineRuntime` consumes via
+    /// `FailureSchedule::from_leaves`.
+    pub fn with_churn(self, epoch: &pico_partition::ChurnEpoch) -> Self {
+        self.with_failures(&epoch.leaves)
+    }
+
     /// Enables straggler jitter: each (task, stage) service time is
     /// stretched by an independent `1 + Exp(1) * jitter` factor —
     /// deterministic cost models never capture the OS hiccups and WiFi

@@ -313,6 +313,37 @@ impl ReplanKernel {
         verdict
     }
 
+    /// Proposes an *event-driven* switch to candidate `to` at virtual
+    /// time `at` — the churn re-admission path: membership changed, a
+    /// fresh plan was built for the new cluster, and the controller
+    /// asks the kernel to stage it through the same
+    /// pending → [`committed`](Self::committed) /
+    /// [`rejected`](Self::rejected) protocol the λ-driven path uses, so
+    /// every install stays behind the `PA305`–`PA307` audit gate.
+    ///
+    /// Returns [`ReplanVerdict::Hold`] when a decision is already in
+    /// flight, `to` is the current plan, or the precomputed switch
+    /// audit refuses the pair; otherwise goes pending and returns
+    /// [`ReplanVerdict::Switch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to` is out of range.
+    pub fn propose(&mut self, to: usize, at: f64) -> ReplanVerdict {
+        assert!(to < self.candidates.len(), "candidate out of range");
+        if self.pending.is_some() || to == self.current || !self.switchable[self.current][to] {
+            return ReplanVerdict::Hold;
+        }
+        self.strikes = 0;
+        self.pending = Some(to);
+        ReplanVerdict::Switch {
+            from: self.current,
+            to,
+            lambda: self.estimator.lambda().unwrap_or(0.0),
+            at,
+        }
+    }
+
     /// Reports that the pending switch was audit-approved and the new
     /// plan is installed.
     ///
@@ -706,6 +737,49 @@ mod tests {
         let (report2, switches2) = sim.run(&arrivals, two_plan_kernel(policy()));
         assert_eq!(report, report2);
         assert_eq!(switches, switches2);
+    }
+
+    #[test]
+    fn propose_stages_an_event_driven_switch_through_the_commit_path() {
+        let mut k = two_plan_kernel(policy());
+        // A churn boundary asks for plan 1 directly, no λ ramp needed.
+        let v = k.propose(1, 3.0);
+        assert_eq!(
+            v,
+            ReplanVerdict::Switch {
+                from: 0,
+                to: 1,
+                lambda: 0.0,
+                at: 3.0
+            }
+        );
+        assert_eq!(k.pending(), Some(1));
+        assert_eq!(k.current(), 0, "not installed until committed");
+        // A second proposal while one is in flight holds.
+        assert_eq!(k.propose(1, 3.5), ReplanVerdict::Hold);
+        assert_eq!(k.committed(), 1);
+        assert_eq!(k.current(), 1);
+        // Proposing the current plan is a no-op.
+        assert_eq!(k.propose(1, 4.0), ReplanVerdict::Hold);
+    }
+
+    #[test]
+    fn propose_respects_the_switch_audit_matrix() {
+        let mut k = two_plan_kernel(policy());
+        k.switchable = vec![vec![true, false], vec![true, true]];
+        assert_eq!(k.propose(1, 1.0), ReplanVerdict::Hold);
+        assert_eq!(k.pending(), None);
+    }
+
+    #[test]
+    fn rejected_proposal_leaves_the_kernel_on_the_current_plan() {
+        let mut k = two_plan_kernel(policy());
+        assert!(matches!(k.propose(1, 2.0), ReplanVerdict::Switch { .. }));
+        k.rejected();
+        assert_eq!(k.pending(), None);
+        assert_eq!(k.current(), 0);
+        // The kernel can propose again after a rejection.
+        assert!(matches!(k.propose(1, 2.5), ReplanVerdict::Switch { .. }));
     }
 
     #[test]

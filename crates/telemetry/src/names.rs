@@ -103,8 +103,18 @@ pub const REPLAN_TRIGGERED: &str = "replan_triggered";
 /// but withheld the switch (instant). `value`: the λ estimate.
 pub const REPLAN_SUPPRESSED: &str = "replan_suppressed";
 
+/// A departed device was re-admitted at a churn epoch boundary
+/// (instant). `ctx.device`: the rejoined device; `ctx.task`: the global
+/// task index the new epoch starts at.
+pub const DEVICE_REJOINED: &str = "device_rejoined";
+
+/// The fleet plan cache dropped entries whose cluster signature no
+/// longer matches the live membership (counter). `value`: entries
+/// dropped in one invalidation sweep.
+pub const PLAN_CACHE_INVALIDATED: &str = "plan_cache_invalidated";
+
 /// Every registered name, in registry order.
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 26] = [
     SCATTER,
     COMPUTE,
     HALO_EXCHANGE,
@@ -129,6 +139,8 @@ pub const ALL: [&str; 24] = [
     PLAN_CACHE_MISS,
     REPLAN_TRIGGERED,
     REPLAN_SUPPRESSED,
+    DEVICE_REJOINED,
+    PLAN_CACHE_INVALIDATED,
 ];
 
 #[cfg(test)]

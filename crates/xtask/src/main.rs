@@ -50,7 +50,13 @@
 //!     rule-6 discipline (no `.unwrap()` / `.expect(`, no allocation
 //!     calls in non-test code), `unsafe` stays confined to `simd.rs`
 //!     and `pool.rs`, and every non-test line using `unsafe` carries a
-//!     nearby `SAFETY:` comment.
+//!     nearby `SAFETY:` comment;
+//! 11. **no-churn-in-serve** — `pico-serve` never constructs or
+//!     consumes churn events (`ClusterSchedule` / `ChurnEvent` /
+//!     `ChurnKind` stay out of non-test code): membership churn is
+//!     decided by the deployment layer (`pico-core`'s epoch
+//!     orchestration), and the serving path only ever sees its
+//!     consequences through the plan cache and fleet frontier.
 //!
 //! Exit code 0 when clean, 1 with a findings listing otherwise.
 
@@ -107,9 +113,10 @@ fn lint() -> ExitCode {
     lint_bounded_channels(&root, &mut violations);
     lint_serve_via_frontier(&root, &mut violations);
     lint_simd_hot_path(&root, &mut violations);
+    lint_no_churn_in_serve(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: clean (10 rules, 0 findings)");
+        println!("xtask lint: clean (11 rules, 0 findings)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -681,6 +688,36 @@ fn lint_serve_via_frontier(root: &Path, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 11: membership churn never reaches `pico-serve`. Churn events
+/// are a deployment-layer concern — `pico-core` slices streams into
+/// epochs and re-admits devices behind the audit gates — so the serving
+/// path handling churn types directly would create a second, ungated
+/// re-admission path.
+fn lint_no_churn_in_serve(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates/serve/src"), &mut files);
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        for (line, code) in non_test_lines(&source) {
+            for pattern in ["ClusterSchedule", "ChurnEvent", "ChurnKind"] {
+                if code.contains(pattern) {
+                    violations.push(Violation {
+                        rule: "no-churn-in-serve",
+                        file: file.clone(),
+                        line,
+                        detail: format!(
+                            "`{pattern}` in pico-serve; churn is orchestrated by \
+                             pico-core's epoch machinery, not the serving path"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// True when `code` contains `unsafe` as a whole word (so
 /// `unsafe_code` in an attribute does not count).
 fn contains_unsafe_keyword(code: &str) -> bool {
@@ -874,6 +911,7 @@ mod tests {
         lint_bounded_channels(&root, &mut violations);
         lint_serve_via_frontier(&root, &mut violations);
         lint_simd_hot_path(&root, &mut violations);
+        lint_no_churn_in_serve(&root, &mut violations);
         let rendered: Vec<String> = violations
             .iter()
             .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file.display(), v.line, v.detail))

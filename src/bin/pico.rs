@@ -37,7 +37,7 @@ usage: pico <command> [options]
 commands:
   plan       plan a deployment and print the stage layout
   audit      multi-pass plan diagnostics (PA*** codes) per scheme
-  compare    predict every scheme (LW/EFL/OFL/GRID/PICO) side by side
+  compare    predict every scheme (LW/EFL/OFL/GRID/ILV/PICO) side by side
   simulate   run a Poisson workload through the queueing simulator
   run        execute a plan on the threaded runtime (optionally traced)
   serve      deterministically replay a scripted multi-tenant serving
@@ -59,7 +59,8 @@ options:
   --devices <n> --ghz <f>    a homogeneous cluster (default 8 x 1.0)
   --bandwidth <mbps>         shared link bandwidth (default 50)
   --t-lim <seconds>          pipeline latency limit (PICO plans)
-  --scheme <lw|efl|ofl|grid|pico>  planner for `plan`/`run` (default pico)
+  --scheme <lw|efl|ofl|grid|ilv|pico>  planner for `plan`/`run`
+                             (default pico)
                              `audit`: audit one scheme (default: all)
   --memory-budget <MB>       `audit`: warn when a device exceeds this
   --redundancy-limit <f>     `audit`: warn above this redundancy ratio
@@ -103,6 +104,12 @@ options:
                              from task <task> on; repeatable. Failures
                              are retried on survivors and the pipeline
                              re-planned when a stage loses every device
+  --churn <file.script>      `run`: replay a membership churn script
+                             (leave/rejoin/join/recapacity events, see
+                             DESIGN.md §17). Departures are absorbed
+                             in-run; re-admissions re-plan behind the
+                             deep-audit and switch-pair gates and
+                             invalidate stale plan-cache entries
   --trace <file.json>        `run`/`serve`: write a Chrome trace-event
                              file
   --backend <reference|im2col|simd|int8>
@@ -289,6 +296,7 @@ fn planner_by_name(name: &str) -> Result<Box<dyn Planner>, String> {
         "efl" => Box::new(EarlyFused::new()),
         "ofl" => Box::new(OptimalFused::new()),
         "grid" => Box::new(GridFused::new()),
+        "ilv" => Box::new(Interleaved::new()),
         "pico" => Box::new(PicoPlanner::new()),
         other => return Err(format!("unknown scheme `{other}`")),
     })
@@ -611,7 +619,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let schemes: Vec<&str> = match opts.get("scheme") {
                 Some(s) => vec![s],
-                None => vec!["lw", "efl", "ofl", "grid", "pico"],
+                None => vec!["lw", "efl", "ofl", "grid", "ilv", "pico"],
             };
             let mut errors = 0;
             let mut entries: Vec<(String, AuditReport)> = Vec::new();
@@ -683,7 +691,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "compare" => {
             println!("scheme  stages  period(s)  latency(s)  tasks/min");
-            for name in ["lw", "efl", "ofl", "grid", "pico"] {
+            for name in ["lw", "efl", "ofl", "grid", "ilv", "pico"] {
                 let planner = planner_by_name(name)?;
                 match pico.plan_with(&planner) {
                     Ok(plan) => {
@@ -757,6 +765,60 @@ fn run(args: &[String]) -> Result<(), String> {
             for spec in opts.get_all("fail-device") {
                 let (device, from_task) = parse_failure(spec)?;
                 schedule = schedule.fail(device, from_task);
+            }
+            if let Some(path) = opts.get("churn") {
+                if opts.get("throttle-scale").is_some() || !schedule.is_empty() {
+                    return Err(
+                        "--churn cannot be combined with --fail-device or --throttle-scale"
+                            .to_owned(),
+                    );
+                }
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("--churn {path}: {e}"))?;
+                let churn =
+                    ClusterSchedule::parse(&text).map_err(|e| format!("--churn {path}: {e}"))?;
+                let gate = Auditor::new(pico.model(), pico.cluster()).audit_churn(&churn);
+                if !gate.is_executable() {
+                    return Err(format!(
+                        "--churn {path}: schedule rejected by the churn audit:\n{gate}"
+                    ));
+                }
+                let report = pico
+                    .execute_churn(inputs, seed, &churn)
+                    .map_err(|e| e.to_string())?;
+                for (i, ep) in report.epochs.iter().enumerate() {
+                    let mut boundary = String::new();
+                    if !ep.admitted.is_empty() {
+                        boundary.push_str(&format!(" admitted {:?}", ep.admitted));
+                    }
+                    if !ep.resized.is_empty() {
+                        boundary.push_str(&format!(" resized {:?}", ep.resized));
+                    }
+                    if ep.switch_committed {
+                        boundary.push_str(" (switch committed)");
+                    }
+                    println!(
+                        "epoch {i}: {} task(s) from task {} on devices {:?} under {}{boundary}, \
+                         {} departure(s) absorbed",
+                        ep.tasks, ep.start_task, ep.devices, ep.scheme, ep.failures
+                    );
+                }
+                let stats = pico.plan_cache().stats();
+                println!(
+                    "plan cache: {} hit(s), {} miss(es), {} invalidation(s)",
+                    stats.hits, stats.misses, stats.invalidations
+                );
+                println!(
+                    "{} task(s) completed under churn, 0 dropped",
+                    report.outputs.len()
+                );
+                if let Some(path) = opts.get("trace") {
+                    let events = rec.snapshot();
+                    std::fs::write(path, pico::telemetry::trace::chrome_trace(&events))
+                        .map_err(|e| format!("--trace {path}: {e}"))?;
+                    println!("wrote {} event(s) to {path}", events.len());
+                }
+                return Ok(());
             }
             let report = match (opts.get("throttle-scale"), schedule.is_empty()) {
                 (Some(_), false) => {
@@ -1077,8 +1139,8 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let reports = pico::audit::json::reports_from_json(&text).unwrap();
-        // Five schemes plus the pico+ofl switch pair.
-        assert_eq!(reports.len(), 6);
+        // Six schemes plus the pico+ofl switch pair.
+        assert_eq!(reports.len(), 7);
         assert!(reports.iter().any(|(name, _)| name == "pico+ofl"));
         assert!(reports.iter().all(|(_, r)| r.is_executable()));
         std::fs::remove_file(&path).ok();
@@ -1410,6 +1472,66 @@ mod tests {
             "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn run_churn_replays_a_script_and_reports_epochs() {
+        let path =
+            std::env::temp_dir().join(format!("pico-cli-churn-{}.script", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_owned();
+        std::fs::write(&path, "# flap device 3\nleave 3@1\nrejoin 3@3\n").unwrap();
+        run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--tasks",
+            "5",
+            "--churn",
+            &path,
+        ]))
+        .unwrap();
+        // The interleaved planner is a first-class scheme.
+        run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "3",
+            "--tasks",
+            "1",
+            "--scheme",
+            "ilv",
+        ]))
+        .unwrap();
+        // An illegal schedule is rejected by the churn audit gate.
+        std::fs::write(&path, "rejoin 1@2\n").unwrap();
+        assert!(run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--churn",
+            &path
+        ]))
+        .is_err());
+        // --churn conflicts with the single-run failure injector.
+        std::fs::write(&path, "leave 3@1\nrejoin 3@2\n").unwrap();
+        assert!(run(&sv(&[
+            "run",
+            "--model",
+            "mnist_toy",
+            "--devices",
+            "4",
+            "--churn",
+            &path,
+            "--fail-device",
+            "1"
+        ]))
+        .is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

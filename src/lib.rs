@@ -59,11 +59,12 @@ pub use pico_core::Pico;
 /// Everything most programs need, one `use` away.
 pub mod prelude {
     pub use pico_audit::{AuditConfig, AuditReport, Auditor};
-    pub use pico_core::Pico;
-    pub use pico_fleet::{CacheKey, FleetConfig, FleetFrontier, PlanCache};
+    pub use pico_core::{ChurnReport, ChurnRunError, EpochRecord, Pico};
+    pub use pico_fleet::{CacheKey, ClusterSignature, FleetConfig, FleetFrontier, PlanCache};
     pub use pico_model::{zoo, Model, Rows, Segment, Shape};
     pub use pico_partition::{
-        BfsOptimal, Cluster, Code, CostParams, Device, Diagnostic, EarlyFused, GridFused,
+        BfsOptimal, ChurnEpoch, ChurnError, ChurnEvent, ChurnKind, ChurnMembership, Cluster,
+        ClusterSchedule, Code, CostParams, Device, Diagnostic, EarlyFused, GridFused, Interleaved,
         LayerWise, OptimalFused, PicoPlanner, Plan, PlanRequest, Planner, Scheme, Severity,
     };
     pub use pico_runtime::{

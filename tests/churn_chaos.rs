@@ -1,0 +1,171 @@
+//! Churn chaos battery: scripted *membership* churn — departures,
+//! re-admissions, re-provisioning, flapping — pushed through the epoch
+//! orchestration, across a matrix of weight seeds, churn schedules, and
+//! bit-exact compute backends (the mirror of `tests/chaos.rs`, which
+//! covers fail-stop outages only). Every task must complete bit-exact
+//! against clean single-device inference (churn moves work, never
+//! changes results), re-admission epoch schedules must be
+//! deterministic run over run, and no task may be dropped.
+
+use std::sync::Arc;
+
+use pico::prelude::*;
+
+fn setup(cache: &Arc<PlanCache>) -> Pico {
+    Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(4, 1.0)).with_plan_cache(cache.clone())
+}
+
+/// Three qualitatively different churn stories over a 6-task stream:
+/// a leave→rejoin cycle, a mid-stream re-provisioning, and a device
+/// flapping twice.
+fn schedules() -> Vec<(&'static str, ClusterSchedule)> {
+    vec![
+        (
+            "leave-rejoin",
+            ClusterSchedule::new().leave(3, 2).rejoin(3, 4),
+        ),
+        ("recapacity", ClusterSchedule::new().recapacity(0, 3, 0.6)),
+        (
+            "flapping",
+            ClusterSchedule::new()
+                .leave(3, 1)
+                .rejoin(3, 2)
+                .leave(3, 3)
+                .rejoin(3, 4),
+        ),
+    ]
+}
+
+#[test]
+fn churn_matrix_is_bit_exact_across_seeds_and_schedules() {
+    let n = 6;
+    for seed in [11u64, 22, 33] {
+        let model = zoo::mnist_toy();
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::random(model.input_shape(), seed ^ (i as u64)))
+            .collect();
+        let oracle = Engine::with_seed(&model, seed).with_backend(EngineBackend::Reference);
+        let references: Vec<Tensor> = inputs.iter().map(|x| oracle.infer(x).unwrap()).collect();
+        for backend in EngineBackend::BIT_EXACT {
+            for (name, schedule) in schedules() {
+                let cache = Arc::new(PlanCache::new(64));
+                let pico = setup(&cache).with_backend(backend);
+                let report = pico
+                    .execute_churn(inputs.clone(), seed, &schedule)
+                    .unwrap_or_else(|e| panic!("seed {seed} {name} {backend}: {e}"));
+                assert_eq!(
+                    report.outputs.len(),
+                    n,
+                    "seed {seed} {name} {backend}: tasks dropped"
+                );
+                for (i, reference) in references.iter().enumerate() {
+                    assert_eq!(
+                        &report.outputs[i], reference,
+                        "seed {seed} {name} {backend}: task {i} diverged from clean inference"
+                    );
+                }
+                // Every epoch boundary in the script became an epoch,
+                // and the full task range is covered exactly once.
+                let covered: usize = report.epochs.iter().map(|e| e.tasks).sum();
+                assert_eq!(covered, n, "seed {seed} {name} {backend}: epoch gap");
+                assert!(
+                    report.epochs.len() > 1,
+                    "seed {seed} {name} {backend}: churn produced no boundary"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn readmission_schedules_are_deterministic() {
+    // Same schedule, same seed: identical epoch records (membership,
+    // admissions, switches) and identical outputs, run after run.
+    let inputs: Vec<Tensor> = (0..6)
+        .map(|i| Tensor::random(zoo::mnist_toy().input_shape(), 40 + i))
+        .collect();
+    for (name, schedule) in schedules() {
+        let run = || {
+            let cache = Arc::new(PlanCache::new(64));
+            setup(&cache)
+                .execute_churn(inputs.clone(), 17, &schedule)
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.outputs, b.outputs, "{name}: outputs diverged");
+        let key = |r: &ChurnReport| -> Vec<String> {
+            r.epochs
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}+{} {:?} {:?} {}",
+                        e.start_task, e.tasks, e.devices, e.admitted, e.switch_committed
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b), "{name}: epoch records diverged");
+        assert_eq!(
+            a.cache_invalidations, b.cache_invalidations,
+            "{name}: invalidation accounting diverged"
+        );
+    }
+}
+
+#[test]
+fn recapacity_invalidates_the_stale_membership() {
+    // Re-provisioning device 0 changes the cluster signature, so the
+    // frontier cached for the original membership must be dropped —
+    // exactly one entry, exactly once.
+    let cache = Arc::new(PlanCache::new(64));
+    let pico = setup(&cache);
+    let inputs: Vec<Tensor> = (0..6)
+        .map(|i| Tensor::random(pico.model().input_shape(), 50 + i))
+        .collect();
+    let schedule = ClusterSchedule::new().recapacity(0, 3, 0.6);
+    let report = pico.execute_churn(inputs, 9, &schedule).unwrap();
+    assert_eq!(report.cache_invalidations, 1);
+    let stats = cache.stats();
+    assert_eq!(stats.invalidations, 1, "{stats:?}");
+    assert_eq!(stats.misses, 2, "{stats:?}"); // one build per membership
+    assert_eq!(stats.entries, 1, "{stats:?}"); // the stale one is gone
+    assert_eq!(report.epochs[1].resized, vec![0]);
+}
+
+#[test]
+fn rejoined_device_is_a_fresh_worker() {
+    // Regression (gather-path retry state): device 3 dies at task 2 of
+    // the first epoch; after it rejoins, the new epoch must treat it as
+    // a fresh worker — no stale failure entry or per-task backoff may
+    // leak across the epoch boundary and re-kill it.
+    let cache = Arc::new(PlanCache::new(64));
+    let pico = setup(&cache);
+    let n = 8usize;
+    let inputs: Vec<Tensor> = (0..n)
+        .map(|i| Tensor::random(pico.model().input_shape(), 70 + i as u64))
+        .collect();
+    let schedule = ClusterSchedule::new().leave(3, 2).rejoin(3, 4);
+    let report = pico.execute_churn(inputs.clone(), 23, &schedule).unwrap();
+    assert_eq!(report.outputs.len(), n);
+    assert_eq!(report.epochs.len(), 2);
+    // The rejoin epoch serves the full 4-device membership again...
+    assert_eq!(report.epochs[1].devices, vec![0, 1, 2, 3]);
+    assert_eq!(report.epochs[1].admitted, vec![3]);
+    // ...and device 3 is never re-declared dead: the old epoch's
+    // failure entry (device 3 from relative task 2) must not shadow
+    // tasks 2+ of the new epoch.
+    assert_eq!(
+        report.epochs[1].failures, 0,
+        "stale failure state leaked into the rejoin epoch"
+    );
+    // The structural guarantee behind it: the rejoin epoch's failure
+    // schedule is empty, because leaves are rebased per epoch.
+    let epochs = schedule.epochs(pico.cluster()).unwrap();
+    assert_eq!(epochs[0].leaves, vec![(3, 2)]);
+    assert!(epochs[1].leaves.is_empty());
+    // And the outputs stayed bit-exact throughout.
+    let oracle = Engine::with_seed(pico.model(), 23).with_backend(EngineBackend::Reference);
+    for (i, input) in inputs.iter().enumerate() {
+        assert_eq!(report.outputs[i], oracle.infer(input).unwrap(), "task {i}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property: churn re-admission is total. For an arbitrary
+//! valid-by-construction churn-event sequence over a small cluster,
+//! every re-admission re-plan behind [`Pico::execute_churn`] is
+//! deep-audit clean (the orchestration gates on it, so `Ok` proves it)
+//! or the call returns a typed [`ChurnRunError`] — never a panic — and
+//! the plan-cache hit/miss/invalidation accounting stays exact against
+//! a reference simulation of the epoch walk. Corrupted sequences must
+//! be rejected as [`ChurnRunError::Schedule`] and flagged PA5xx by the
+//! churn audit pass.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use pico::prelude::*;
+use proptest::prelude::*;
+
+/// Picks the `pick`-th device (mod pool size) whose liveness equals
+/// `want`. Callers guarantee the pool is non-empty.
+fn nth_with(active: &[bool], pick: usize, want: bool) -> usize {
+    let pool: Vec<usize> = active
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a == want)
+        .map(|(i, _)| i)
+        .collect();
+    pool[pick % pool.len()]
+}
+
+/// Folds raw op tuples into a legal schedule: leaves keep at least one
+/// device live, rejoins target currently-absent devices, joins mint
+/// fresh ids, recapacities target live devices, and every event gets a
+/// distinct task index.
+fn build_schedule(ops: &[(usize, usize, usize)], base: usize) -> ClusterSchedule {
+    let mut active = vec![true; base];
+    let mut live = base;
+    let mut next_join = base;
+    let mut at = 0usize;
+    let mut schedule = ClusterSchedule::new();
+    for &(pick, kind, gap) in ops {
+        at += gap;
+        match kind {
+            0 if live > 1 => {
+                let dev = nth_with(&active, pick, true);
+                schedule = schedule.leave(dev, at);
+                active[dev] = false;
+                live -= 1;
+            }
+            1 if live < active.len() => {
+                let dev = nth_with(&active, pick, false);
+                schedule = schedule.rejoin(dev, at);
+                active[dev] = true;
+                live += 1;
+            }
+            2 => {
+                schedule = schedule.join(next_join, at, 0.6 + 0.1 * (pick % 5) as f64);
+                active.push(true);
+                next_join += 1;
+                live += 1;
+            }
+            3 => {
+                let dev = nth_with(&active, pick, true);
+                schedule = schedule.recapacity(dev, at, 0.5 + 0.1 * (pick % 8) as f64);
+            }
+            _ => {} // leave/rejoin op that would be illegal right now: skip
+        }
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn readmission_replans_audit_clean_or_fail_typed(
+        ops in proptest::collection::vec((0usize..8, 0usize..4, 1usize..3), 1..6),
+        devices in 3usize..5,
+        n in 2usize..5,
+    ) {
+        let schedule = build_schedule(&ops, devices);
+        let cache = Arc::new(PlanCache::new(64));
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(devices, 1.0))
+            .with_plan_cache(cache.clone());
+
+        // Valid by construction: the schedule-level audit pass agrees.
+        let churn_audit = Auditor::new(pico.model(), pico.cluster()).audit_churn(&schedule);
+        prop_assert!(
+            churn_audit.is_executable(),
+            "legal schedule flagged: {churn_audit}"
+        );
+
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::random(pico.model().input_shape(), 1000 + i as u64))
+            .collect();
+        match pico.execute_churn(inputs, 5, &schedule) {
+            Ok(report) => {
+                prop_assert_eq!(report.outputs.len(), n, "tasks dropped");
+
+                // Reference simulation of the epoch walk: one cache
+                // access per epoch, one stale-signature sweep per
+                // re-plan boundary whose membership changed.
+                let epochs = schedule.epochs(pico.cluster()).unwrap();
+                let mut cached: BTreeSet<u64> = BTreeSet::new();
+                let (mut hits, mut misses, mut invalidations) = (0u64, 0u64, 0u64);
+                let mut prev_sig: Option<u64> = None;
+                for epoch in &epochs {
+                    let sig = ClusterSignature::of(&epoch.cluster).as_u64();
+                    if cached.contains(&sig) {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                        cached.insert(sig);
+                    }
+                    if let Some(p) = prev_sig {
+                        if epoch.needs_replan() && p != sig && cached.remove(&p) {
+                            invalidations += 1;
+                        }
+                    }
+                    prev_sig = Some(sig);
+                }
+                let stats = cache.stats();
+                prop_assert_eq!(stats.hits, hits, "hit accounting drifted: {:?}", stats);
+                prop_assert_eq!(stats.misses, misses, "miss accounting drifted: {:?}", stats);
+                prop_assert_eq!(
+                    stats.invalidations, invalidations,
+                    "invalidation accounting drifted: {:?}", stats
+                );
+                prop_assert_eq!(report.cache_invalidations, invalidations);
+                prop_assert_eq!(stats.evictions, 0, "cache too small for the walk");
+                prop_assert_eq!(stats.hits + stats.misses, epochs.len() as u64);
+                prop_assert_eq!(stats.entries as u64, misses - invalidations);
+            }
+            // A typed planning/audit/runtime refusal is a legitimate
+            // outcome; an illegal-schedule error is not, because the
+            // sequence was legal by construction.
+            Err(e) => prop_assert!(
+                !matches!(e, ChurnRunError::Schedule(_)),
+                "legal schedule rejected as illegal: {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn corrupted_sequences_are_rejected_typed_and_flagged(
+        ops in proptest::collection::vec((0usize..8, 0usize..4, 1usize..3), 0..5),
+        devices in 3usize..5,
+    ) {
+        // Append an always-illegal event: device 99 never existed.
+        let schedule = build_schedule(&ops, devices).leave(99, 40);
+        let pico = Pico::new(zoo::mnist_toy(), Cluster::pi_cluster(devices, 1.0));
+
+        let report = Auditor::new(pico.model(), pico.cluster()).audit_churn(&schedule);
+        prop_assert!(report.has_code(Code::ChurnUnknownDevice), "{report}");
+        prop_assert!(!report.is_executable());
+
+        let inputs = vec![Tensor::random(pico.model().input_shape(), 2000)];
+        let err = pico.execute_churn(inputs, 5, &schedule).unwrap_err();
+        prop_assert!(
+            matches!(err, ChurnRunError::Schedule(ChurnError::UnknownDevice { .. })),
+            "expected a typed schedule error, got: {err}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Differential battery for the interleaved operator-partitioning
+//! family (ILV, after arXiv 2409.07693): its plans must agree
+//! bit-exactly with the fused and layer-wise families on the zoo, its
+//! analytic cost must agree with the queueing simulator, and the plan
+//! frontier that now sweeps it must stay deep-audit clean over every
+//! entry's sustainable band.
+
+use pico::prelude::*;
+use pico::sim::WorkloadBand;
+
+fn families() -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(Interleaved::new()),
+        Box::new(LayerWise::new()),
+        Box::new(EarlyFused::new()),
+        Box::new(OptimalFused::new()),
+    ]
+}
+
+#[test]
+fn interleaved_agrees_bit_exactly_with_fused_and_layer_wise() {
+    let cluster = Cluster::pi_cluster(4, 1.0);
+    let params = CostParams::wifi_50mbps();
+    for model in [zoo::mnist_toy(), zoo::toy(6)] {
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::random(model.input_shape(), 300 + i))
+            .collect();
+        let oracle = Engine::with_seed(&model, 31).with_backend(EngineBackend::Reference);
+        let references: Vec<Tensor> = inputs.iter().map(|x| oracle.infer(x).unwrap()).collect();
+        for backend in EngineBackend::BIT_EXACT {
+            let engine = Engine::with_seed(&model, 31).with_backend(backend);
+            let mut per_family: Vec<(String, Vec<Tensor>)> = Vec::new();
+            for planner in families() {
+                let plan = planner
+                    .plan(&PlanRequest::new(&model, &cluster, &params))
+                    .unwrap();
+                plan.validate(&model, &cluster).unwrap();
+                let report = PipelineRuntime::new(&model, &plan, &engine)
+                    .run(inputs.clone())
+                    .unwrap();
+                for (i, r) in references.iter().enumerate() {
+                    assert_eq!(
+                        &report.outputs[i],
+                        r,
+                        "{} task {i} on {} with {backend} diverged from the oracle",
+                        planner.name(),
+                        model.name()
+                    );
+                }
+                per_family.push((planner.name().to_string(), report.outputs));
+            }
+            // ...and therefore from each other: the interleaved family
+            // is differentially identical to fused and layer-wise.
+            let (ilv_name, ilv_outputs) = &per_family[0];
+            for (name, outputs) in &per_family[1..] {
+                assert_eq!(
+                    ilv_outputs,
+                    outputs,
+                    "{ilv_name} vs {name} on {} with {backend}",
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_alternates_partitioning_axes() {
+    // The family's signature: per-unit stages that alternate the split
+    // axis — row strips on even units, column tiles on odd units.
+    let model = zoo::mnist_toy();
+    let cluster = Cluster::pi_cluster(4, 1.0);
+    let params = CostParams::wifi_50mbps();
+    let plan = Interleaved::new()
+        .plan(&PlanRequest::new(&model, &cluster, &params))
+        .unwrap();
+    plan.validate(&model, &cluster).unwrap();
+    assert_eq!(plan.scheme, Scheme::Interleaved);
+    assert_eq!(plan.stages.len(), model.len(), "one stage per unit");
+    assert!(
+        !plan.stages[0].is_grid(),
+        "even units are row strips, not tiles"
+    );
+    assert!(
+        plan.stages.iter().any(|s| s.is_grid()),
+        "no column-tiled stage: the axes never alternated"
+    );
+}
+
+#[test]
+fn interleaved_analytic_cost_agrees_with_the_simulator() {
+    // Plan-level agreement: the cost model's period for an ILV plan
+    // must match the queueing simulator's steady-state throughput, the
+    // same contract the other families are held to.
+    let model = zoo::vgg16().features();
+    let cluster = Cluster::pi_cluster(8, 1.0);
+    let params = CostParams::wifi_50mbps();
+    let plan = Interleaved::new()
+        .plan(&PlanRequest::new(&model, &cluster, &params))
+        .unwrap();
+    let metrics = params.cost_model(&model).evaluate(&plan, &cluster);
+    let report = Simulation::new(&model, &cluster, &params).run(&plan, &Arrivals::closed_loop(300));
+    let expected = 1.0 / metrics.period;
+    assert!(
+        (report.throughput - expected).abs() / expected < 0.05,
+        "ILV: sim {} vs analytic {expected}",
+        report.throughput
+    );
+}
+
+#[test]
+fn frontier_entries_audit_clean_over_the_sustainable_band() {
+    // The frontier sweep now includes ILV; every Pareto entry — from
+    // whichever family survived — must pass the deep audit over the
+    // exact workload band it advertises as sustainable.
+    let model = zoo::mnist_toy();
+    let cluster = Cluster::pi_cluster(4, 1.0);
+    let params = CostParams::wifi_50mbps();
+    let frontier = FleetFrontier::build(&model, &cluster, &params, FleetConfig::default()).unwrap();
+    assert!(!frontier.entries().is_empty());
+    for entry in frontier.entries() {
+        assert!(entry.lambda_star > 0.0);
+        assert!(
+            entry.band.hi < entry.lambda_star,
+            "{}: band reaches the stability limit",
+            entry.plan.scheme
+        );
+        let report = Auditor::new(&model, &cluster)
+            .with_params(params)
+            .with_config(AuditConfig::default().with_workload_band(entry.band))
+            .audit_deep(&entry.plan);
+        assert!(
+            report.is_executable(),
+            "{} frontier entry not audit clean over {:?}: {report}",
+            entry.plan.scheme,
+            entry.band
+        );
+    }
+    // And the ILV family itself clears the same bar over its own band.
+    let plan = Interleaved::new()
+        .plan(&PlanRequest::new(&model, &cluster, &params))
+        .unwrap();
+    let lambda_star = 1.0 / params.cost_model(&model).evaluate(&plan, &cluster).period;
+    let report = Auditor::new(&model, &cluster)
+        .with_params(params)
+        .with_config(
+            AuditConfig::default().with_workload_band(WorkloadBand::new(0.0, 0.9 * lambda_star)),
+        )
+        .audit_deep(&plan);
+    assert!(report.is_executable(), "ILV over its own band: {report}");
+}
